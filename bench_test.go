@@ -1,0 +1,378 @@
+package sealedbottle
+
+// Repository-level benchmarks: one benchmark per table and figure of the
+// paper's evaluation, plus the ablations called out in DESIGN.md and the
+// micro-operations of Tables IV-V as plain testing.B benchmarks. Run with
+//
+//	go test -bench=. -benchmem
+//
+// The table/figure benchmarks report the time to regenerate the whole
+// artefact at a reduced (CI-friendly) scale; cmd/benchtables produces the
+// full renderings.
+
+import (
+	"crypto/rand"
+	"testing"
+
+	"sealedbottle/internal/attr"
+	"sealedbottle/internal/baseline/dotproduct"
+	"sealedbottle/internal/baseline/fc10"
+	"sealedbottle/internal/baseline/findu"
+	"sealedbottle/internal/baseline/fnp"
+	"sealedbottle/internal/core"
+	"sealedbottle/internal/crypt"
+	"sealedbottle/internal/experiments"
+)
+
+// benchConfig keeps the table/figure benchmarks at a CI-friendly scale.
+func benchConfig() experiments.Config {
+	return experiments.Config{
+		CorpusUsers:       2000,
+		Seed:              1,
+		Initiators:        5,
+		PoolUsers:         200,
+		SampleUsers:       200,
+		MeasureIterations: 200,
+	}
+}
+
+// --- Tables -----------------------------------------------------------------
+
+func BenchmarkTable1PrivacyLevelsHBC(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if tbl := experiments.TableI(); len(tbl.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkTable2PrivacyLevelsMalicious(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if tbl := experiments.TableII(); len(tbl.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkTable3AsymptoticComparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if tbl := experiments.TableIII(); len(tbl.Rows) != 4 {
+			b.Fatal("unexpected table shape")
+		}
+	}
+}
+
+func BenchmarkTable4SymmetricOps(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if tbl := experiments.TableIV(cfg); len(tbl.Rows) != 6 {
+			b.Fatal("unexpected table shape")
+		}
+	}
+}
+
+func BenchmarkTable5AsymmetricOps(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if tbl := experiments.TableV(cfg); len(tbl.Rows) != 4 {
+			b.Fatal("unexpected table shape")
+		}
+	}
+}
+
+func BenchmarkTable6DecomposedTimes(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if tbl := experiments.TableVI(cfg); len(tbl.Rows) != 5 {
+			b.Fatal("unexpected table shape")
+		}
+	}
+}
+
+func BenchmarkTable7TypicalScenario(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if tbl := experiments.TableVII(cfg); len(tbl.Rows) != 4 {
+			b.Fatal("unexpected table shape")
+		}
+	}
+}
+
+// --- Figures ----------------------------------------------------------------
+
+func BenchmarkFigure4ProfileUniqueness(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if s := experiments.Figure4(cfg); len(s.X) == 0 {
+			b.Fatal("empty series")
+		}
+	}
+}
+
+func BenchmarkFigure5AttributeDistribution(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if s := experiments.Figure5(cfg); len(s.X) == 0 {
+			b.Fatal("empty series")
+		}
+	}
+}
+
+func BenchmarkFigure6CandidateProportionSixAttrs(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if s := experiments.Figure6(cfg, experiments.CaseSixAttributes); len(s.X) == 0 {
+			b.Fatal("empty series")
+		}
+	}
+}
+
+func BenchmarkFigure6CandidateProportionDiverse(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if s := experiments.Figure6(cfg, experiments.CaseDiverse); len(s.X) == 0 {
+			b.Fatal("empty series")
+		}
+	}
+}
+
+func BenchmarkFigure7CandidateKeySetSixAttrs(b *testing.B) {
+	cfg := benchConfig()
+	cfg.PoolUsers = 80
+	cfg.Initiators = 2
+	for i := 0; i < b.N; i++ {
+		if s := experiments.Figure7(cfg, experiments.CaseSixAttributes); len(s.X) == 0 {
+			b.Fatal("empty series")
+		}
+	}
+}
+
+func BenchmarkFigure7CandidateKeySetDiverse(b *testing.B) {
+	cfg := benchConfig()
+	cfg.PoolUsers = 80
+	cfg.Initiators = 2
+	for i := 0; i < b.N; i++ {
+		if s := experiments.Figure7(cfg, experiments.CaseDiverse); len(s.X) == 0 {
+			b.Fatal("empty series")
+		}
+	}
+}
+
+// --- Ablations --------------------------------------------------------------
+
+func BenchmarkAblationRemainderPrime(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if tbl := experiments.AblationRemainder(cfg); len(tbl.Rows) != 4 {
+			b.Fatal("unexpected table shape")
+		}
+	}
+}
+
+func BenchmarkAblationVerifiability(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if tbl := experiments.AblationVerifiability(cfg); len(tbl.Rows) != 2 {
+			b.Fatal("unexpected table shape")
+		}
+	}
+}
+
+func BenchmarkAblationLocationBinding(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if tbl := experiments.AblationLocationBinding(cfg); len(tbl.Rows) != 2 {
+			b.Fatal("unexpected table shape")
+		}
+	}
+}
+
+// --- Core protocol micro-benchmarks (the paper's headline numbers) ----------
+
+func benchSpec() core.RequestSpec {
+	return core.RequestSpec{
+		Necessary: []attr.Attribute{
+			attr.MustNew("sex", "male"),
+			attr.MustNew("university", "columbia"),
+		},
+		Optional: []attr.Attribute{
+			attr.MustNew("interest", "basketball"),
+			attr.MustNew("interest", "chess"),
+			attr.MustNew("interest", "golf"),
+			attr.MustNew("interest", "tennis"),
+		},
+		MinOptional: 2,
+	}
+}
+
+// BenchmarkRequestGeneration is the paper's "generate a friending request"
+// cost (≈1.3 ms on the 2011 handset, ≈0.04 ms on its laptop).
+func BenchmarkRequestGeneration(b *testing.B) {
+	spec := benchSpec()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.BuildRequest(spec, core.BuildOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkNonCandidateProcessing is the per-request cost for a user excluded
+// by the remainder-vector fast check (≈0.63 ms on the paper's handset).
+func BenchmarkNonCandidateProcessing(b *testing.B) {
+	built, err := core.BuildRequest(benchSpec(), core.BuildOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	matcher, err := core.NewMatcher(attr.NewProfile(
+		attr.MustNew("interest", "gardening"),
+		attr.MustNew("interest", "astronomy"),
+		attr.MustNew("profession", "chef"),
+		attr.MustNew("city", "lyon"),
+		attr.MustNew("sex", "female"),
+		attr.MustNew("interest", "opera"),
+	), core.MatcherConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := matcher.CandidateKeys(built.Package); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCandidateProcessing is the per-request cost for a candidate user
+// that must enumerate keys and attempt decryption (≈7 ms on the handset).
+func BenchmarkCandidateProcessing(b *testing.B) {
+	built, err := core.BuildRequest(benchSpec(), core.BuildOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	matcher, err := core.NewMatcher(attr.NewProfile(
+		attr.MustNew("sex", "male"),
+		attr.MustNew("university", "columbia"),
+		attr.MustNew("interest", "basketball"),
+		attr.MustNew("interest", "chess"),
+		attr.MustNew("interest", "cooking"),
+		attr.MustNew("interest", "hiking"),
+	), core.MatcherConfig{AllowCollisionSkip: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := matcher.TryUnseal(built.Package); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkProfileKeyGeneration isolates hashing a 6-attribute profile into
+// its profile key.
+func BenchmarkProfileKeyGeneration(b *testing.B) {
+	profile := attr.NewProfile(benchSpec().Necessary...)
+	for _, a := range benchSpec().Optional {
+		profile.Add(a)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		v, err := crypt.VectorFromProfile(profile)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := v.Key(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Baseline comparison benchmarks (Table VII, measured end to end) --------
+
+func baselineSets() (client, server []string) {
+	client = []string{"tag:a", "tag:b", "tag:c", "tag:d", "tag:e", "tag:f"}
+	server = []string{"tag:d", "tag:e", "tag:f", "tag:g", "tag:h", "tag:i"}
+	return client, server
+}
+
+func BenchmarkBaselineFNP(b *testing.B) {
+	client, server := baselineSets()
+	for i := 0; i < b.N; i++ {
+		if _, err := fnp.Run(rand.Reader, 512, client, server); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBaselineFC10(b *testing.B) {
+	client, server := baselineSets()
+	for i := 0; i < b.N; i++ {
+		if _, err := fc10.Run(rand.Reader, 1024, client, server); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBaselineFindUPSI(b *testing.B) {
+	client, server := baselineSets()
+	group, err := findu.NewGroup(rand.Reader, 512)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := findu.PSI(rand.Reader, group, client, server); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBaselineDotProduct(b *testing.B) {
+	alice := []int64{3, 1, 4, 1, 5, 9}
+	bob := []int64{2, 7, 1, 8, 2, 8}
+	for i := 0; i < b.N; i++ {
+		if _, err := dotproduct.Run(rand.Reader, 512, alice, bob); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSealedBottleEndToEnd runs a full Protocol 1 exchange (request,
+// candidate processing, reply, reply verification) — the number to hold
+// against the baseline benchmarks above.
+func BenchmarkSealedBottleEndToEnd(b *testing.B) {
+	spec := benchSpec()
+	profile := attr.NewProfile(
+		attr.MustNew("sex", "male"),
+		attr.MustNew("university", "columbia"),
+		attr.MustNew("interest", "basketball"),
+		attr.MustNew("interest", "chess"),
+	)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		init, err := core.NewInitiator(spec, core.InitiatorConfig{Protocol: core.Protocol1, Origin: "bench"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		participant, err := core.NewParticipant(profile, core.ParticipantConfig{
+			ID:      "peer",
+			Matcher: core.MatcherConfig{AllowCollisionSkip: true},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := participant.HandleRequest(init.Request())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Reply == nil {
+			b.Fatal("expected a reply")
+		}
+		if m, reject, err := init.ProcessReply(res.Reply); err != nil || reject != core.RejectNone || m == nil {
+			b.Fatalf("reply rejected: %v %v", reject, err)
+		}
+	}
+}

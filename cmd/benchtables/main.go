@@ -1,0 +1,105 @@
+// Command benchtables regenerates every table and figure of the paper's
+// evaluation from the Sealed Bottle implementation:
+//
+//	benchtables                  # everything
+//	benchtables -table 6         # only Table VI
+//	benchtables -figure 7        # only Figure 7 (both sub-cases)
+//	benchtables -ablation all    # the DESIGN.md ablations
+//	benchtables -users 20000     # larger synthetic corpus
+//
+// Output is plain text, one rendered table/series per artefact.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sealedbottle/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintf(os.Stderr, "benchtables: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("benchtables", flag.ContinueOnError)
+	var (
+		table    = fs.Int("table", 0, "regenerate only this table (1-7); 0 = all")
+		figure   = fs.Int("figure", 0, "regenerate only this figure (4-7); 0 = all")
+		ablation = fs.String("ablation", "", "run ablations: remainder, verifiability, location, or all")
+		users    = fs.Int("users", 0, "synthetic corpus size (default 5000)")
+		seed     = fs.Int64("seed", 1, "random seed for the synthetic corpus")
+		inits    = fs.Int("initiators", 0, "initiators averaged in Figures 6-7 (default 10)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := experiments.Config{CorpusUsers: *users, Seed: *seed, Initiators: *inits}
+
+	onlyTables := *table != 0
+	onlyFigures := *figure != 0
+	onlyAblation := *ablation != ""
+	all := !onlyTables && !onlyFigures && !onlyAblation
+
+	out := os.Stdout
+	emit := func(s string) { fmt.Fprintln(out, s) }
+
+	if all || onlyTables {
+		tables := map[int]func() experiments.Table{
+			1: experiments.TableI,
+			2: experiments.TableII,
+			3: experiments.TableIII,
+			4: func() experiments.Table { return experiments.TableIV(cfg) },
+			5: func() experiments.Table { return experiments.TableV(cfg) },
+			6: func() experiments.Table { return experiments.TableVI(cfg) },
+			7: func() experiments.Table { return experiments.TableVII(cfg) },
+		}
+		for i := 1; i <= 7; i++ {
+			if onlyTables && i != *table {
+				continue
+			}
+			emit(tables[i]().Render())
+		}
+	}
+
+	if all || onlyFigures {
+		if !onlyFigures || *figure == 4 {
+			emit(experiments.Figure4(cfg).Render())
+		}
+		if !onlyFigures || *figure == 5 {
+			emit(experiments.Figure5(cfg).Render())
+		}
+		if !onlyFigures || *figure == 6 {
+			emit(experiments.Figure6(cfg, experiments.CaseSixAttributes).Render())
+			emit(experiments.Figure6(cfg, experiments.CaseDiverse).Render())
+		}
+		if !onlyFigures || *figure == 7 {
+			emit(experiments.Figure7(cfg, experiments.CaseSixAttributes).Render())
+			emit(experiments.Figure7(cfg, experiments.CaseDiverse).Render())
+		}
+		if onlyFigures && (*figure < 4 || *figure > 7) {
+			return fmt.Errorf("unknown figure %d (the paper's result figures are 4-7)", *figure)
+		}
+	}
+
+	if all || onlyAblation {
+		which := *ablation
+		if which == "" {
+			which = "all"
+		}
+		if which == "all" || which == "remainder" {
+			emit(experiments.AblationRemainder(cfg).Render())
+		}
+		if which == "all" || which == "verifiability" {
+			emit(experiments.AblationVerifiability(cfg).Render())
+		}
+		if which == "all" || which == "location" {
+			emit(experiments.AblationLocationBinding(cfg).Render())
+		}
+	}
+	return nil
+}

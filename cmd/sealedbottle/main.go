@@ -1,0 +1,194 @@
+// Command sealedbottle builds and answers privacy-preserving friending
+// requests from the command line, which is handy for poking at the mechanism
+// and for generating request packages to inspect:
+//
+//	sealedbottle request -necessary "sex:male,university:columbia" \
+//	    -optional "interest:basketball,interest:chess,interest:golf" \
+//	    -min-optional 2 -out request.bin
+//
+//	sealedbottle answer -profile "sex:male,university:columbia,interest:basketball,interest:chess" \
+//	    -in request.bin
+//
+//	sealedbottle inspect -in request.bin
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"sealedbottle/internal/attr"
+	"sealedbottle/internal/core"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintf(os.Stderr, "sealedbottle: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: sealedbottle <request|answer|inspect> [flags]")
+	}
+	switch args[0] {
+	case "request":
+		return runRequest(args[1:])
+	case "answer":
+		return runAnswer(args[1:])
+	case "inspect":
+		return runInspect(args[1:])
+	default:
+		return fmt.Errorf("unknown subcommand %q (want request, answer or inspect)", args[0])
+	}
+}
+
+func parseAttrList(s string) ([]attr.Attribute, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]attr.Attribute, 0, len(parts))
+	for _, p := range parts {
+		a, err := attr.Parse(strings.TrimSpace(p))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+func runRequest(args []string) error {
+	fs := flag.NewFlagSet("request", flag.ContinueOnError)
+	var (
+		necessary   = fs.String("necessary", "", "comma-separated header:value attributes every match must own")
+		optional    = fs.String("optional", "", "comma-separated optional attributes")
+		minOptional = fs.Int("min-optional", 0, "minimum optional attributes a match must own (β)")
+		prime       = fs.Uint("prime", uint(core.DefaultPrime), "remainder-vector prime p")
+		protocol    = fs.Int("protocol", 1, "protocol variant (1, 2 or 3)")
+		note        = fs.String("note", "", "message for the matching user (protocol 1 only)")
+		outPath     = fs.String("out", "request.bin", "where to write the request package")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	nec, err := parseAttrList(*necessary)
+	if err != nil {
+		return fmt.Errorf("parsing -necessary: %w", err)
+	}
+	opt, err := parseAttrList(*optional)
+	if err != nil {
+		return fmt.Errorf("parsing -optional: %w", err)
+	}
+	spec := core.RequestSpec{
+		Necessary:   nec,
+		Optional:    opt,
+		MinOptional: *minOptional,
+		Prime:       uint32(*prime),
+	}
+	init, err := core.NewInitiator(spec, core.InitiatorConfig{
+		Protocol: core.Protocol(*protocol),
+		Origin:   "cli",
+		Note:     []byte(*note),
+	})
+	if err != nil {
+		return err
+	}
+	pkg := init.Request()
+	wire, err := pkg.Marshal()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*outPath, wire, 0o600); err != nil {
+		return fmt.Errorf("writing request package: %w", err)
+	}
+	fmt.Printf("request %s written to %s (%d bytes)\n", pkg.ID, *outPath, len(wire))
+	fmt.Printf("  attributes: %d (α=%d, β=%d, γ=%d), θ=%.2f, p=%d, mode=%s\n",
+		pkg.AttributeCount(), pkg.NecessaryCount(), pkg.MinOptional(), pkg.MaxUnknown, pkg.Threshold(), pkg.Prime, pkg.Mode)
+	fmt.Printf("  session key x retained by the initiator (fingerprint %v)\n", init.GroupKey())
+	return nil
+}
+
+func runAnswer(args []string) error {
+	fs := flag.NewFlagSet("answer", flag.ContinueOnError)
+	var (
+		profile = fs.String("profile", "", "comma-separated header:value attributes of this user")
+		inPath  = fs.String("in", "request.bin", "request package to answer")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	attrs, err := parseAttrList(*profile)
+	if err != nil {
+		return fmt.Errorf("parsing -profile: %w", err)
+	}
+	if len(attrs) == 0 {
+		return fmt.Errorf("-profile must list at least one attribute")
+	}
+	wire, err := os.ReadFile(*inPath)
+	if err != nil {
+		return fmt.Errorf("reading request package: %w", err)
+	}
+	pkg, err := core.UnmarshalPackage(wire)
+	if err != nil {
+		return err
+	}
+	participant, err := core.NewParticipant(attr.NewProfile(attrs...), core.ParticipantConfig{
+		ID:      "cli-participant",
+		Matcher: core.MatcherConfig{AllowCollisionSkip: true},
+	})
+	if err != nil {
+		return err
+	}
+	res, err := participant.HandleRequest(pkg)
+	if err != nil {
+		return err
+	}
+	if res.Diagnostics != nil {
+		fc := res.Diagnostics.FastCheck
+		fmt.Printf("fast check: candidate=%v (empty necessary %d, empty optional %d)\n",
+			fc.Candidate, fc.EmptyNecessary, fc.EmptyOptional)
+		fmt.Printf("candidate vectors: %d, candidate keys: %d\n",
+			res.Diagnostics.VectorsEnumerated, res.Diagnostics.KeysGenerated)
+	}
+	switch {
+	case res.Dropped != "":
+		fmt.Printf("request dropped: %s\n", res.Dropped)
+	case res.Matched:
+		fmt.Printf("MATCH — recovered the initiator's session key; note: %q\n", res.Note)
+		fmt.Printf("channel key established: %v\n", res.ChannelKey)
+	case res.Reply != nil:
+		fmt.Printf("candidate — produced %d acknowledgement(s); only the initiator learns whether they match\n", len(res.Reply.Acks))
+	default:
+		fmt.Println("no match — forward the request to other users")
+	}
+	return nil
+}
+
+func runInspect(args []string) error {
+	fs := flag.NewFlagSet("inspect", flag.ContinueOnError)
+	inPath := fs.String("in", "request.bin", "request package to inspect")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	wire, err := os.ReadFile(*inPath)
+	if err != nil {
+		return fmt.Errorf("reading request package: %w", err)
+	}
+	pkg, err := core.UnmarshalPackage(wire)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("request %s from %q\n", pkg.ID, pkg.Origin)
+	fmt.Printf("  mode: %s, prime: %d, created: %s, expires: %s\n", pkg.Mode, pkg.Prime, pkg.CreatedAt, pkg.ExpiresAt)
+	fmt.Printf("  attributes: %d (necessary %d, optional %d, γ=%d, θ=%.2f)\n",
+		pkg.AttributeCount(), pkg.NecessaryCount(), pkg.OptionalCount(), pkg.MaxUnknown, pkg.Threshold())
+	fmt.Printf("  remainders: %v\n", pkg.Remainders)
+	fmt.Printf("  sealed message: %d bytes, hint matrix: %v, wire size: %d bytes\n",
+		len(pkg.Sealed), pkg.Hint != nil, len(wire))
+	fmt.Println("  note: no attribute text, attribute hash, or profile key appears above — that is the point")
+	return nil
+}

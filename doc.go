@@ -1,0 +1,12 @@
+// Package sealedbottle is a from-scratch Go reproduction of "Message in a
+// Sealed Bottle: Privacy Preserving Friending in Social Networks" (Zhang &
+// Li, ICDCS 2013): symmetric-cryptography-only private profile matching and
+// secure channel establishment for decentralized mobile social networks.
+//
+// The implementation lives under internal/ (core mechanism, crypto substrate,
+// hexagonal-lattice location hashing, MSN simulator, dataset generator,
+// asymmetric baselines, adversary harness, cost model and experiment
+// generators), with runnable entry points under cmd/ and examples/. The
+// repository-level benchmarks in bench_test.go regenerate every table and
+// figure of the paper's evaluation; see DESIGN.md and EXPERIMENTS.md.
+package sealedbottle

@@ -1,0 +1,117 @@
+// MSN friending: the end-to-end scenario the paper's introduction motivates —
+// a decentralized, multi-hop mobile social network where a user searches for
+// a matching stranger via relays, with lossy links, mobility, duplicate
+// suppression and DoS rate limiting, all without exposing anyone's profile.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"sealedbottle/internal/attr"
+	"sealedbottle/internal/core"
+	"sealedbottle/internal/dataset"
+	"sealedbottle/internal/msn"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	const (
+		nodeCount = 80
+		area      = 800.0
+		seed      = 42
+	)
+	sim := msn.NewSimulator(msn.Config{
+		Range:            130,
+		Latency:          15 * time.Millisecond,
+		LatencyJitter:    10 * time.Millisecond,
+		LossRate:         0.05,
+		DefaultTTL:       10,
+		RelayRateLimit:   2 * time.Second,
+		MobilityInterval: time.Second,
+		Area:             msn.Position{X: area, Y: area},
+		Seed:             seed,
+	})
+	rng := rand.New(rand.NewSource(seed))
+
+	// The profile Alice is looking for.
+	target := []attr.Attribute{
+		attr.MustNew("interest", "rock climbing"),
+		attr.MustNew("interest", "photography"),
+		attr.MustNew("interest", "street food"),
+		attr.MustNew("city", "shanghai"),
+	}
+	spec := core.RequestSpec{
+		Necessary:   []attr.Attribute{target[3]},
+		Optional:    target[:3],
+		MinOptional: 2,
+	}
+
+	// Build the population from the synthetic corpus; plant three users that
+	// genuinely match somewhere in the crowd.
+	corpus := dataset.Generate(dataset.Params{Users: nodeCount, Seed: seed})
+	planted := map[int]bool{17: true, 42: true, 63: true}
+	var alice *msn.FriendingApp
+	for i := 0; i < nodeCount; i++ {
+		profile := corpus.Users[i].TagProfile()
+		if planted[i] {
+			profile = attr.NewProfile(append(target, attr.MustNew("interest", fmt.Sprintf("hobby%d", i)))...)
+		}
+		pos := msn.Position{X: rng.Float64() * area, Y: rng.Float64() * area}
+		app, node, err := msn.NewFriendingApp(sim, msn.NodeID(fmt.Sprintf("user%02d", i)), pos, msn.FriendingConfig{
+			Profile: profile,
+			Participant: core.ParticipantConfig{
+				Matcher:             core.MatcherConfig{AllowCollisionSkip: true},
+				DiscloseCardinality: true,
+			},
+		})
+		if err != nil {
+			return err
+		}
+		// Half the population wanders around at walking speed.
+		if i%2 == 0 {
+			if err := sim.RandomWaypoint(node.ID, 1.4); err != nil {
+				return err
+			}
+		}
+		if i == 0 {
+			alice = app
+		}
+	}
+
+	fmt.Printf("%d nodes over a %.0f×%.0f m area, radio range %.0f m\n",
+		nodeCount, area, area, sim.Config().Range)
+
+	reqID, err := alice.StartSearch(spec, msn.SearchOptions{
+		Protocol: core.Protocol1,
+		Note:     []byte("weekend climbing trip — interested?"),
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("user00 broadcast request %s (θ=%.2f)\n\n", reqID[:8], spec.Threshold())
+
+	// Let the network run for a while (mobility keeps generating events, so
+	// bound by simulated time rather than draining the queue).
+	sim.RunFor(30 * time.Second)
+
+	stats := sim.Stats()
+	fmt.Printf("after 30 s of simulated time: %d transmissions, %d delivered, %d lost, %d duplicates, %d rate-limited\n",
+		stats.Sent, stats.Delivered, stats.Lost, stats.Duplicates, stats.RateLimited)
+
+	matches := alice.Matches()[reqID]
+	fmt.Printf("\nalice found %d matching user(s):\n", len(matches))
+	for _, m := range matches {
+		fmt.Printf("  %-8s shared-attribute cardinality %d, channel key %v\n", m.Peer, m.Cardinality, m.ChannelKey)
+	}
+	fmt.Println("\nrelay users that did not match only ever saw remainders and ciphertext;")
+	fmt.Println("matching users verified the match locally (Protocol 1) and replied through the reverse path.")
+	return nil
+}

@@ -1,0 +1,124 @@
+// Quickstart: privacy-preserving friending between two users in a few dozen
+// lines. Alice searches for a Columbia-educated basketball or chess player;
+// Bob matches, recovers the sealed session key, and both ends derive the same
+// secure-channel key — without either profile ever leaving its owner.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sealedbottle/internal/attr"
+	"sealedbottle/internal/channel"
+	"sealedbottle/internal/core"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// 1. Alice describes the person she wants to find: two attributes are
+	//    mandatory, and at least two of the three optional interests must be
+	//    shared (similarity threshold θ = 4/5).
+	spec := core.RequestSpec{
+		Necessary: []attr.Attribute{
+			attr.MustNew("sex", "male"),
+			attr.MustNew("university", "Columbia"),
+		},
+		Optional: []attr.Attribute{
+			attr.MustNew("interest", "basketball"),
+			attr.MustNew("interest", "chess"),
+			attr.MustNew("interest", "golf"),
+		},
+		MinOptional: 2,
+	}
+	alice, err := core.NewInitiator(spec, core.InitiatorConfig{
+		Protocol: core.Protocol1,
+		Origin:   "alice",
+		Note:     []byte("coffee at the student center?"),
+	})
+	if err != nil {
+		return err
+	}
+	pkg := alice.Request()
+	wire, err := pkg.Marshal()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Alice broadcasts a %d-byte request: θ=%.2f, p=%d, %d remainders, no attribute data\n",
+		len(wire), pkg.Threshold(), pkg.Prime, pkg.AttributeCount())
+
+	// 2. Bob receives the broadcast. His profile is his own business — it is
+	//    only ever hashed locally.
+	bobProfile := attr.NewProfile(
+		attr.MustNew("sex", "male"),
+		attr.MustNew("university", "columbia"), // note: different capitalisation still matches
+		attr.MustNew("interest", "Basket Ball"),
+		attr.MustNew("interest", "chess"),
+		attr.MustNew("interest", "cooking"),
+	)
+	bob, err := core.NewParticipant(bobProfile, core.ParticipantConfig{
+		ID:      "bob",
+		Matcher: core.MatcherConfig{AllowCollisionSkip: true},
+	})
+	if err != nil {
+		return err
+	}
+	result, err := bob.HandleRequest(pkg)
+	if err != nil {
+		return err
+	}
+	if !result.Matched {
+		return fmt.Errorf("bob unexpectedly did not match")
+	}
+	fmt.Printf("Bob matches, reads Alice's note %q and replies\n", result.Note)
+
+	// 3. Alice processes the reply: she learns Bob matched and both sides now
+	//    share a pairwise channel key derived from (x, y).
+	match, reject, err := alice.ProcessReply(result.Reply)
+	if err != nil {
+		return err
+	}
+	if reject != core.RejectNone {
+		return fmt.Errorf("reply rejected: %v", reject)
+	}
+	fmt.Printf("Alice confirms the match with %s\n", match.Peer)
+
+	// 4. The secure channel: both ends construct it independently from their
+	//    halves of the key exchange and exchange an encrypted message.
+	aliceEnd, err := channel.NewWithKey(match.ChannelKey, channel.RoleInitiator, nil)
+	if err != nil {
+		return err
+	}
+	bobEnd, err := channel.NewWithKey(result.ChannelKey, channel.RoleResponder, nil)
+	if err != nil {
+		return err
+	}
+	frame, err := aliceEnd.Seal([]byte("great — tomorrow at 10?"))
+	if err != nil {
+		return err
+	}
+	plaintext, err := bobEnd.Open(frame)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Bob decrypts Alice's first channel message: %q\n", plaintext)
+	fmt.Printf("channel fingerprints agree: %v\n", aliceEnd.Fingerprint() == bobEnd.Fingerprint())
+
+	// A bystander with a different profile learns nothing at any step.
+	carolProfile := attr.NewProfile(attr.MustNew("interest", "painting"), attr.MustNew("sex", "female"))
+	carol, err := core.NewParticipant(carolProfile, core.ParticipantConfig{ID: "carol"})
+	if err != nil {
+		return err
+	}
+	carolResult, err := carol.HandleRequest(pkg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Carol (no match): matched=%v, replies=%v, forwards=%v\n",
+		carolResult.Matched, carolResult.Reply != nil, carolResult.Forward)
+	return nil
+}

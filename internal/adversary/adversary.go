@@ -1,0 +1,348 @@
+// Package adversary implements the attacks of the paper's adversary model
+// (Section II-B) against the Sealed Bottle protocols, so the privacy claims
+// of Tables I and II can be checked empirically rather than merely asserted:
+//
+//   - dictionary profiling — an attacker who obtained an attribute dictionary
+//     from another source tries to reconstruct the request profile from an
+//     eavesdropped request package;
+//   - cheating — a participant who never recovered the profile key tries to
+//     pretend it matched;
+//   - eavesdropping — a passive observer inspects everything on the wire for
+//     attribute material;
+//   - man-in-the-middle — an active relay tries to insert itself into the
+//     secure channel established between the initiator and a matching user;
+//   - denial of service — a flooder spams requests through the ad-hoc network
+//     to exhaust relays.
+package adversary
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"sealedbottle/internal/attr"
+	"sealedbottle/internal/core"
+	"sealedbottle/internal/crypt"
+)
+
+// Level is a privacy protection level (Definition 3): PPL0 exposes the whole
+// profile, PPL3 exposes nothing.
+type Level int
+
+// Privacy protection levels.
+const (
+	PPL0 Level = iota // the adversary learns the profile
+	PPL1              // the adversary learns the intersection with its own set
+	PPL2              // the adversary learns the necessary attributes + threshold fact
+	PPL3              // the adversary learns nothing
+)
+
+// String implements fmt.Stringer.
+func (l Level) String() string {
+	if l < PPL0 || l > PPL3 {
+		return fmt.Sprintf("Level(%d)", int(l))
+	}
+	return fmt.Sprintf("PPL%d", int(l))
+}
+
+// Dictionary is the attacker's external knowledge of the attribute universe.
+type Dictionary struct {
+	attrs []attr.Attribute
+}
+
+// NewDictionary builds a dictionary from candidate attributes.
+func NewDictionary(attrs ...attr.Attribute) *Dictionary {
+	return &Dictionary{attrs: append([]attr.Attribute(nil), attrs...)}
+}
+
+// Size returns the number of dictionary entries.
+func (d *Dictionary) Size() int { return len(d.attrs) }
+
+// Attributes returns a copy of the entries.
+func (d *Dictionary) Attributes() []attr.Attribute {
+	return append([]attr.Attribute(nil), d.attrs...)
+}
+
+// GuessSpace returns (m/p)^mt, the expected number of remainder-consistent
+// guesses a brute-force attacker must test (Section IV-A1).
+func (d *Dictionary) GuessSpace(prime uint32, requestAttributes int) float64 {
+	perPosition := float64(d.Size()) / float64(prime)
+	if perPosition < 1 {
+		perPosition = 1
+	}
+	space := 1.0
+	for i := 0; i < requestAttributes; i++ {
+		space *= perPosition
+	}
+	return space
+}
+
+// RecoveryResult is the outcome of a dictionary-profiling attempt against a
+// request package.
+type RecoveryResult struct {
+	// Verified is true when the attacker could confirm a recovery (only
+	// possible when the request carries confirmation information, i.e.
+	// Protocol 1).
+	Verified bool
+	// Attributes are the request attributes recovered from the dictionary
+	// (empty unless Verified).
+	Attributes []attr.Attribute
+	// CandidateKeys is how many remainder-consistent candidate keys the
+	// attacker had to consider.
+	CandidateKeys int
+	// Work approximates the attack cost (candidate vectors enumerated).
+	Work int
+}
+
+// Leak returns the PPL corresponding to what was recovered about a request
+// profile of the given size.
+func (r *RecoveryResult) Leak(requestSize int) Level {
+	if !r.Verified || len(r.Attributes) == 0 {
+		return PPL3
+	}
+	if len(r.Attributes) >= requestSize {
+		return PPL0
+	}
+	return PPL1
+}
+
+// DictionaryAttacker mounts dictionary profiling against request packages:
+// it behaves exactly like a participant whose "profile" is the entire
+// dictionary, which is the strongest form of the attack.
+type DictionaryAttacker struct {
+	dict    *Dictionary
+	matcher *core.Matcher
+}
+
+// NewDictionaryAttacker builds the attacker. enumerationCap bounds the work
+// the attacker is willing to spend (mirrors the response-time window the
+// initiator enforces).
+func NewDictionaryAttacker(dict *Dictionary, enumerationCap int) (*DictionaryAttacker, error) {
+	if dict == nil || dict.Size() == 0 {
+		return nil, errors.New("adversary: empty dictionary")
+	}
+	matcher, err := core.NewMatcher(attr.NewProfile(dict.attrs...), core.MatcherConfig{
+		MaxCandidateVectors: enumerationCap,
+		AllowCollisionSkip:  true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &DictionaryAttacker{dict: dict, matcher: matcher}, nil
+}
+
+// RecoverRequest attempts to reconstruct the request profile from an
+// eavesdropped package. Against a verifiable (Protocol 1) request with a
+// small dictionary the attack succeeds; against an opaque (Protocol 2/3)
+// request the attacker cannot confirm any guess and learns nothing.
+func (a *DictionaryAttacker) RecoverRequest(pkg *core.RequestPackage) (*RecoveryResult, error) {
+	vectors, diag, err := a.matcher.CandidateVectors(pkg)
+	if err != nil {
+		if errors.Is(err, core.ErrTooManyCandidates) {
+			// The attacker ran out of budget before confirming anything.
+			return &RecoveryResult{Work: diagnosticsWork(diag)}, nil
+		}
+		return nil, err
+	}
+	result := &RecoveryResult{Work: diagnosticsWork(diag)}
+	seen := make(map[crypt.Key]struct{})
+	dictProfile := a.matcher.Profile()
+	dictAttrs := dictProfile.Attributes()
+	for _, cv := range vectors {
+		key, err := cv.Digests.Key()
+		if err != nil {
+			continue
+		}
+		if _, dup := seen[key]; dup {
+			continue
+		}
+		seen[key] = struct{}{}
+		if pkg.Mode != core.SealModeVerifiable {
+			continue
+		}
+		if _, err := crypt.OpenVerifiable(key, pkg.Sealed); err != nil {
+			continue
+		}
+		// Confirmed: map the assignment back to dictionary attributes. The
+		// positions recovered via the hint matrix have no dictionary
+		// preimage, so only positions matched to dictionary entries count.
+		result.Verified = true
+		for _, idx := range cv.OwnIndices {
+			if idx >= 0 && idx < len(dictAttrs) {
+				result.Attributes = append(result.Attributes, dictAttrs[idx])
+			}
+		}
+		break
+	}
+	result.CandidateKeys = len(seen)
+	return result, nil
+}
+
+func diagnosticsWork(diag *core.Diagnostics) int {
+	if diag == nil {
+		return 0
+	}
+	return diag.VectorsEnumerated + diag.HintSystemsSolved
+}
+
+// Cheater is a participant that never recovered the profile key but tries to
+// convince the initiator it matched by forging acknowledgements with guessed
+// keys (Section IV-A3, verifiability).
+type Cheater struct {
+	ID   string
+	rng  io.Reader
+	now  func() time.Time
+	acks int
+}
+
+// NewCheater builds a cheater that will forge the given number of
+// acknowledgements per reply (more acknowledgements raise its chance of a
+// lucky guess but trip the initiator's cardinality threshold).
+func NewCheater(id string, acks int, rng io.Reader, now func() time.Time) *Cheater {
+	if acks <= 0 {
+		acks = 1
+	}
+	if rng == nil {
+		rng = crypt.DefaultRand()
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &Cheater{ID: id, rng: rng, now: now, acks: acks}
+}
+
+// ForgeReply fabricates a reply to the request without knowing x: every
+// acknowledgement is sealed under a random guess for x.
+func (c *Cheater) ForgeReply(pkg *core.RequestPackage) (*core.Reply, error) {
+	acks := make([][]byte, 0, c.acks)
+	for i := 0; i < c.acks; i++ {
+		guess, err := crypt.NewSessionKey(c.rng)
+		if err != nil {
+			return nil, err
+		}
+		y, err := crypt.NewSessionKey(c.rng)
+		if err != nil {
+			return nil, err
+		}
+		payload := append([]byte("SBACK1"), y[:]...)
+		payload = append(payload, 0)
+		sealed, err := crypt.SealVerifiable(c.rng, guess, payload)
+		if err != nil {
+			return nil, err
+		}
+		acks = append(acks, sealed)
+	}
+	return &core.Reply{RequestID: pkg.ID, From: c.ID, SentAt: c.now().UTC(), Acks: acks}, nil
+}
+
+// Exposure summarizes what a passive eavesdropper can see on the wire for a
+// single request/reply exchange.
+type Exposure struct {
+	// WireBytes is the total ciphertext volume observed.
+	WireBytes int
+	// AttributeHashLeaks counts occurrences of any request attribute's
+	// SHA-256 hash appearing verbatim in the observed bytes (must be zero —
+	// the mechanism never transmits attribute hashes).
+	AttributeHashLeaks int
+	// PlaintextLeaks counts occurrences of any attribute's canonical text
+	// appearing verbatim in the observed bytes (must be zero).
+	PlaintextLeaks int
+	// ProfileKeyLeaks counts occurrences of the request profile key in the
+	// observed bytes (must be zero).
+	ProfileKeyLeaks int
+}
+
+// Eavesdrop inspects everything transmitted for a request (its wire encoding
+// plus any replies) and checks whether any attribute hash, canonical
+// attribute string, or the profile key appears verbatim.
+func Eavesdrop(pkg *core.RequestPackage, replies []*core.Reply, requestAttrs []attr.Attribute, profileKey crypt.Key) (*Exposure, error) {
+	wire, err := pkg.Marshal()
+	if err != nil {
+		return nil, err
+	}
+	var observed []byte
+	observed = append(observed, wire...)
+	for _, r := range replies {
+		observed = append(observed, r.Marshal()...)
+	}
+	exp := &Exposure{WireBytes: len(observed)}
+	for _, a := range requestAttrs {
+		h := crypt.HashAttribute(a.Canonical())
+		if bytes.Contains(observed, h[:]) {
+			exp.AttributeHashLeaks++
+		}
+		if bytes.Contains(observed, []byte(a.Canonical())) {
+			exp.PlaintextLeaks++
+		}
+	}
+	if !profileKey.IsZero() && bytes.Contains(observed, profileKey[:]) {
+		exp.ProfileKeyLeaks++
+	}
+	return exp, nil
+}
+
+// MITMOutcome reports what an active man in the middle achieved.
+type MITMOutcome struct {
+	// LearnedX is true if the interceptor recovered the initiator's session
+	// key (it never should without the matching attributes).
+	LearnedX bool
+	// HijackedChannel is true if the interceptor got the initiator to accept
+	// a channel key the interceptor knows.
+	HijackedChannel bool
+	// Work is the enumeration work the interceptor performed.
+	Work int
+}
+
+// ManInTheMiddle plays an active interceptor between the initiator and a
+// matching user: it sees the request, may forge or modify replies, and wins
+// only if it ends up sharing a channel key with the initiator. Without the
+// matching attributes it can neither decrypt x nor produce an acknowledgement
+// the initiator accepts, so the attack must fail.
+func ManInTheMiddle(init *core.Initiator, interceptorProfile *attr.Profile, rng io.Reader) (*MITMOutcome, error) {
+	if rng == nil {
+		rng = crypt.DefaultRand()
+	}
+	pkg := init.Request()
+	out := &MITMOutcome{}
+
+	matcher, err := core.NewMatcher(interceptorProfile, core.MatcherConfig{AllowCollisionSkip: true})
+	if err != nil {
+		return nil, err
+	}
+	switch pkg.Mode {
+	case core.SealModeVerifiable:
+		res, diag, err := matcher.TryUnseal(pkg)
+		if err != nil {
+			return nil, err
+		}
+		out.Work = diagnosticsWork(diag)
+		if res.Matched {
+			out.LearnedX = res.X.Equal(init.GroupKey())
+		}
+	case core.SealModeOpaque:
+		xs, diag, err := matcher.CandidateSessionKeys(pkg)
+		if err != nil {
+			return nil, err
+		}
+		out.Work = diagnosticsWork(diag)
+		for _, x := range xs {
+			if x.Equal(init.GroupKey()) {
+				out.LearnedX = true
+			}
+		}
+	}
+
+	// Regardless of what it learned, the interceptor now tries to get the
+	// initiator to accept a reply whose y it knows, using a guessed x.
+	cheater := NewCheater("mitm", 4, rng, nil)
+	forged, err := cheater.ForgeReply(pkg)
+	if err != nil {
+		return nil, err
+	}
+	if m, reject, err := init.ProcessReply(forged); err == nil && reject == core.RejectNone && m != nil {
+		out.HijackedChannel = true
+	}
+	return out, nil
+}

@@ -1,0 +1,322 @@
+package adversary
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"sealedbottle/internal/attr"
+	"sealedbottle/internal/core"
+)
+
+// detRand is a deterministic randomness source for reproducible tests.
+type detRand struct{ rng *rand.Rand }
+
+func newDetRand(seed int64) *detRand          { return &detRand{rng: rand.New(rand.NewSource(seed))} }
+func (d *detRand) Read(p []byte) (int, error) { return d.rng.Read(p) }
+func fixedClock(t time.Time) func() time.Time { return func() time.Time { return t } }
+
+var testEpoch = time.Date(2013, 7, 8, 12, 0, 0, 0, time.UTC)
+
+func tagAttrs(values ...string) []attr.Attribute {
+	out := make([]attr.Attribute, len(values))
+	for i, v := range values {
+		out[i] = attr.MustNew("tag", v)
+	}
+	return out
+}
+
+// smallUniverse is the attacker's dictionary: all attributes that exist in
+// this toy social network (the paper's "worst case" of a small dictionary).
+func smallUniverse() []attr.Attribute {
+	values := []string{
+		"male", "female", "columbia", "mit", "basketball", "chess", "golf",
+		"tennis", "cooking", "painting", "engineer", "doctor",
+	}
+	return tagAttrs(values...)
+}
+
+func buildInitiator(t *testing.T, proto core.Protocol) *core.Initiator {
+	t.Helper()
+	spec := core.RequestSpec{
+		Necessary:   tagAttrs("male", "columbia"),
+		Optional:    tagAttrs("basketball", "chess", "golf"),
+		MinOptional: 2,
+	}
+	init, err := core.NewInitiator(spec, core.InitiatorConfig{
+		Protocol: proto,
+		Origin:   "alice",
+		Rand:     newDetRand(1),
+		Now:      fixedClock(testEpoch),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return init
+}
+
+func TestLevelString(t *testing.T) {
+	if PPL0.String() != "PPL0" || PPL3.String() != "PPL3" {
+		t.Error("level strings wrong")
+	}
+	if Level(9).String() == "" {
+		t.Error("unknown level should render")
+	}
+}
+
+func TestDictionaryGuessSpace(t *testing.T) {
+	dict := NewDictionary(smallUniverse()...)
+	if dict.Size() != 12 {
+		t.Fatalf("dictionary size = %d", dict.Size())
+	}
+	small := dict.GuessSpace(11, 6)
+	if small < 1 {
+		t.Error("guess space should be at least 1")
+	}
+	// A Tencent-Weibo-scale dictionary (m ≈ 2^20) makes brute force infeasible
+	// (the paper quotes ≈ 2^100 guesses for p=11, mt=6).
+	big := NewDictionary(tagAttrs("placeholder")...)
+	_ = big
+	huge := (&Dictionary{attrs: make([]attr.Attribute, 1<<20)}).GuessSpace(11, 6)
+	if huge < 1e28 {
+		t.Errorf("large-dictionary guess space = %g, want ≥ 1e28", huge)
+	}
+	if len(dict.Attributes()) != dict.Size() {
+		t.Error("Attributes() size mismatch")
+	}
+}
+
+func TestDictionaryProfilingBreaksProtocol1ButNotProtocol2(t *testing.T) {
+	dict := NewDictionary(smallUniverse()...)
+	attacker, err := NewDictionaryAttacker(dict, 1<<16)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Protocol 1: confirmation information lets the attacker verify guesses,
+	// so with a small dictionary the request profile is fully recovered
+	// (Table II entry (A_I, v'_P) = PPL0).
+	init1 := buildInitiator(t, core.Protocol1)
+	res1, err := attacker.RecoverRequest(init1.Request())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res1.Verified {
+		t.Fatal("small-dictionary attack on Protocol 1 should succeed")
+	}
+	recovered := attr.NewProfile(res1.Attributes...)
+	for _, a := range tagAttrs("male", "columbia") {
+		if !recovered.Contains(a) {
+			t.Errorf("necessary attribute %s not recovered", a)
+		}
+	}
+	if got := res1.Leak(init1.Request().AttributeCount()); got != PPL0 && got != PPL1 {
+		t.Errorf("Protocol 1 leak = %v, want PPL0/PPL1", got)
+	}
+
+	// Protocol 2: no confirmation — the attacker can enumerate candidate keys
+	// but can never verify any of them (Table II entry (A_I, v'_P) = PPL3).
+	init2 := buildInitiator(t, core.Protocol2)
+	res2, err := attacker.RecoverRequest(init2.Request())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Verified || len(res2.Attributes) != 0 {
+		t.Error("dictionary attack on Protocol 2 must not verify anything")
+	}
+	if res2.Leak(init2.Request().AttributeCount()) != PPL3 {
+		t.Errorf("Protocol 2 leak = %v, want PPL3", res2.Leak(init2.Request().AttributeCount()))
+	}
+}
+
+func TestDictionaryAttackerWithoutTheRightEntriesFails(t *testing.T) {
+	// A dictionary missing the necessary attributes cannot recover the
+	// request even under Protocol 1.
+	dict := NewDictionary(tagAttrs("cooking", "painting", "surfing", "running")...)
+	attacker, err := NewDictionaryAttacker(dict, 1<<12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	init := buildInitiator(t, core.Protocol1)
+	res, err := attacker.RecoverRequest(init.Request())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verified {
+		t.Error("attack should fail without the request attributes in the dictionary")
+	}
+}
+
+func TestNewDictionaryAttackerValidation(t *testing.T) {
+	if _, err := NewDictionaryAttacker(nil, 10); err == nil {
+		t.Error("nil dictionary should fail")
+	}
+	if _, err := NewDictionaryAttacker(NewDictionary(), 10); err == nil {
+		t.Error("empty dictionary should fail")
+	}
+}
+
+func TestCheaterCannotFoolInitiator(t *testing.T) {
+	for _, proto := range []core.Protocol{core.Protocol1, core.Protocol2} {
+		t.Run(proto.String(), func(t *testing.T) {
+			init := buildInitiator(t, proto)
+			cheater := NewCheater("mallory", 8, newDetRand(3), fixedClock(testEpoch.Add(time.Second)))
+			reply, err := cheater.ForgeReply(init.Request())
+			if err != nil {
+				t.Fatal(err)
+			}
+			m, reject, err := init.ProcessReply(reply)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if m != nil || reject == core.RejectNone {
+				t.Errorf("forged reply accepted (reject=%v)", reject)
+			}
+		})
+	}
+}
+
+func TestCheaterWithHugeAckSetTripsCardinalityThreshold(t *testing.T) {
+	init := buildInitiator(t, core.Protocol2)
+	cheater := NewCheater("mallory", core.DefaultMaxReplyAcks+10, newDetRand(4), fixedClock(testEpoch.Add(time.Second)))
+	reply, err := cheater.ForgeReply(init.Request())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, reject, err := init.ProcessReply(reply)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reject != core.RejectTooManyAcks {
+		t.Errorf("oversized forged reply rejected with %v, want cardinality threshold", reject)
+	}
+}
+
+func TestEavesdropperSeesNoAttributeMaterial(t *testing.T) {
+	spec := core.RequestSpec{
+		Necessary:   tagAttrs("male", "columbia"),
+		Optional:    tagAttrs("basketball", "chess", "golf"),
+		MinOptional: 2,
+	}
+	for _, proto := range []core.Protocol{core.Protocol1, core.Protocol2} {
+		init, err := core.NewInitiator(spec, core.InitiatorConfig{
+			Protocol: proto, Origin: "alice", Rand: newDetRand(5), Now: fixedClock(testEpoch),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Capture a matching user's reply too.
+		participant, err := core.NewParticipant(
+			attr.NewProfile(tagAttrs("male", "columbia", "basketball", "chess")...),
+			core.ParticipantConfig{
+				ID: "bob", Matcher: core.MatcherConfig{AllowCollisionSkip: true},
+				Rand: newDetRand(6), Now: fixedClock(testEpoch.Add(time.Second)),
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := participant.HandleRequest(init.Request())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var replies []*core.Reply
+		if res.Reply != nil {
+			replies = append(replies, res.Reply)
+		}
+		allAttrs := tagAttrs("male", "columbia", "basketball", "chess", "golf")
+		exposure, err := Eavesdrop(init.Request(), replies, allAttrs, init.ProfileKey())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if exposure.AttributeHashLeaks != 0 {
+			t.Errorf("%v: %d attribute hashes visible on the wire", proto, exposure.AttributeHashLeaks)
+		}
+		if exposure.PlaintextLeaks != 0 {
+			t.Errorf("%v: %d plaintext attributes visible on the wire", proto, exposure.PlaintextLeaks)
+		}
+		if exposure.ProfileKeyLeaks != 0 {
+			t.Errorf("%v: profile key visible on the wire", proto)
+		}
+		if exposure.WireBytes == 0 {
+			t.Error("exposure should count wire bytes")
+		}
+	}
+}
+
+func TestMITMCannotJoinChannel(t *testing.T) {
+	for _, proto := range []core.Protocol{core.Protocol1, core.Protocol2} {
+		t.Run(proto.String(), func(t *testing.T) {
+			init := buildInitiator(t, proto)
+			interceptor := attr.NewProfile(tagAttrs("unrelated", "attacker", "profile")...)
+			out, err := ManInTheMiddle(init, interceptor, newDetRand(7))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if out.LearnedX {
+				t.Error("MITM learned the session key without matching attributes")
+			}
+			if out.HijackedChannel {
+				t.Error("MITM got the initiator to accept a forged channel")
+			}
+		})
+	}
+}
+
+func TestMITMWithMatchingProfileIsJustAMatch(t *testing.T) {
+	// Sanity check of the attack harness: an "interceptor" that actually owns
+	// the matching attributes is simply a legitimate matching user and does
+	// recover x. The defence is the attribute ownership itself.
+	init := buildInitiator(t, core.Protocol1)
+	matching := attr.NewProfile(tagAttrs("male", "columbia", "basketball", "chess")...)
+	out, err := ManInTheMiddle(init, matching, newDetRand(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.LearnedX {
+		t.Error("a matching user should recover x")
+	}
+	if out.HijackedChannel {
+		t.Error("even a matching user cannot make the initiator accept a random-key ack")
+	}
+}
+
+func TestDoSFloodRateLimitReducesTraffic(t *testing.T) {
+	report, err := DoSFlood(5, 6, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.TransmissionsWithoutLimit <= report.TransmissionsWithLimit {
+		t.Errorf("rate limit did not reduce transmissions: %d vs %d",
+			report.TransmissionsWithoutLimit, report.TransmissionsWithLimit)
+	}
+	if report.SuppressedRelays == 0 {
+		t.Error("rate limit should have suppressed some relays")
+	}
+	if report.ReductionFactor() <= 1 {
+		t.Errorf("reduction factor = %v", report.ReductionFactor())
+	}
+	if _, err := DoSFlood(0, 5, time.Minute); err == nil {
+		t.Error("zero requests should fail")
+	}
+}
+
+func TestRecoveryLeakLevels(t *testing.T) {
+	tests := []struct {
+		name string
+		res  RecoveryResult
+		size int
+		want Level
+	}{
+		{"nothing", RecoveryResult{}, 5, PPL3},
+		{"unverified", RecoveryResult{Attributes: tagAttrs("a")}, 5, PPL3},
+		{"partial", RecoveryResult{Verified: true, Attributes: tagAttrs("a", "b")}, 5, PPL1},
+		{"full", RecoveryResult{Verified: true, Attributes: tagAttrs("a", "b", "c", "d", "e")}, 5, PPL0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.res.Leak(tt.size); got != tt.want {
+				t.Errorf("Leak = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}

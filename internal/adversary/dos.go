@@ -1,0 +1,87 @@
+package adversary
+
+import (
+	"fmt"
+	"time"
+
+	"sealedbottle/internal/attr"
+	"sealedbottle/internal/core"
+	"sealedbottle/internal/msn"
+)
+
+// DoSReport compares how a flooding attacker propagates through the ad-hoc
+// network with and without the per-origin relay rate limit the paper
+// prescribes.
+type DoSReport struct {
+	// RequestsInjected is how many requests the flooder originated.
+	RequestsInjected int
+	// TransmissionsWithoutLimit counts link transmissions when relays do not
+	// rate-limit.
+	TransmissionsWithoutLimit int
+	// TransmissionsWithLimit counts link transmissions when relays enforce
+	// the per-origin rate limit.
+	TransmissionsWithLimit int
+	// SuppressedRelays counts relays suppressed by the rate limit.
+	SuppressedRelays int
+}
+
+// ReductionFactor returns how many times fewer transmissions the rate limit
+// caused.
+func (r DoSReport) ReductionFactor() float64 {
+	if r.TransmissionsWithLimit == 0 {
+		return float64(r.TransmissionsWithoutLimit)
+	}
+	return float64(r.TransmissionsWithoutLimit) / float64(r.TransmissionsWithLimit)
+}
+
+// DoSFlood simulates a flooder injecting `requests` back-to-back friending
+// requests into a line of `relays` relay nodes, once without and once with
+// the relay rate limit, and reports the transmission counts.
+func DoSFlood(requests, relays int, rateLimit time.Duration) (*DoSReport, error) {
+	if requests <= 0 || relays <= 0 {
+		return nil, fmt.Errorf("adversary: requests and relays must be positive")
+	}
+	report := &DoSReport{RequestsInjected: requests}
+
+	run := func(limit time.Duration) (msn.Stats, error) {
+		sim := msn.NewSimulator(msn.Config{
+			Range:          100,
+			Latency:        time.Millisecond,
+			RelayRateLimit: limit,
+			Seed:           1,
+		})
+		flooderProfile := attr.NewProfile(attr.MustNew("tag", "flooder"))
+		flooder, _, err := msn.NewFriendingApp(sim, "flooder", msn.Position{X: 0}, msn.FriendingConfig{Profile: flooderProfile})
+		if err != nil {
+			return msn.Stats{}, err
+		}
+		for i := 0; i < relays; i++ {
+			id := msn.NodeID(fmt.Sprintf("relay%02d", i))
+			profile := attr.NewProfile(attr.MustNew("tag", fmt.Sprintf("relayinterest%c", 'a'+i%26)))
+			if _, _, err := msn.NewFriendingApp(sim, id, msn.Position{X: float64((i + 1) * 80)}, msn.FriendingConfig{Profile: profile}); err != nil {
+				return msn.Stats{}, err
+			}
+		}
+		spec := core.PerfectMatch(attr.MustNew("tag", "victimattribute"), attr.MustNew("tag", "nonexistent"))
+		for i := 0; i < requests; i++ {
+			if _, err := flooder.StartSearch(spec, msn.SearchOptions{Protocol: core.Protocol1}); err != nil {
+				return msn.Stats{}, err
+			}
+		}
+		sim.Drain()
+		return sim.Stats(), nil
+	}
+
+	noLimit, err := run(0)
+	if err != nil {
+		return nil, err
+	}
+	withLimit, err := run(rateLimit)
+	if err != nil {
+		return nil, err
+	}
+	report.TransmissionsWithoutLimit = noLimit.Sent
+	report.TransmissionsWithLimit = withLimit.Sent
+	report.SuppressedRelays = withLimit.RateLimited
+	return report, nil
+}

@@ -1,0 +1,245 @@
+package attr
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// This file implements Definitions 4-6 of the paper: attribute entropy,
+// profile entropy and the ϕ-entropy-privacy budget used by Protocol 3,
+// together with the two suggested policies for choosing ϕ (k-anonymity based
+// and sensitive-attribute based).
+
+// ValueDistribution describes the empirical distribution of values taken by a
+// single attribute category across the user population, e.g. the distribution
+// of "interest" values. Probabilities need not be normalized; Entropy
+// normalizes internally.
+type ValueDistribution struct {
+	// Header is the attribute category the distribution describes.
+	Header string
+	// Counts maps a normalized value to its number of occurrences (or any
+	// non-negative weight proportional to its probability).
+	Counts map[string]float64
+}
+
+// Entropy returns the Shannon entropy S(a) = -Σ P(a=x_j) log2 P(a=x_j) of the
+// attribute category, in bits (Definition 4).
+func (d ValueDistribution) Entropy() float64 {
+	var total float64
+	for _, c := range d.Counts {
+		if c > 0 {
+			total += c
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	var s float64
+	for _, c := range d.Counts {
+		if c <= 0 {
+			continue
+		}
+		p := c / total
+		s -= p * math.Log2(p)
+	}
+	return s
+}
+
+// ValueSurprisal returns -log2 P(a = value), the information content of one
+// specific value, in bits. Unknown values are assigned the probability of a
+// singleton (count 1) so that rare values are treated as highly identifying.
+func (d ValueDistribution) ValueSurprisal(value string) float64 {
+	var total float64
+	for _, c := range d.Counts {
+		if c > 0 {
+			total += c
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	c, ok := d.Counts[Normalize(value)]
+	if !ok || c <= 0 {
+		c = 1
+		total++
+	}
+	return -math.Log2(c / total)
+}
+
+// EntropyModel aggregates per-category value distributions for a whole social
+// network, allowing profile entropies to be evaluated (Definition 5) and ϕ
+// budgets to be derived.
+type EntropyModel struct {
+	// Population is the total number of users n the distributions were
+	// estimated from; it anchors the k-anonymity ϕ rule.
+	Population int
+
+	dists map[string]ValueDistribution
+}
+
+// NewEntropyModel returns an empty model for a population of n users.
+func NewEntropyModel(population int) *EntropyModel {
+	return &EntropyModel{
+		Population: population,
+		dists:      make(map[string]ValueDistribution),
+	}
+}
+
+// Observe records one occurrence of value under the given header, building the
+// empirical distributions incrementally (e.g. while streaming a corpus).
+func (m *EntropyModel) Observe(header, value string) {
+	h := Normalize(header)
+	v := Normalize(value)
+	d, ok := m.dists[h]
+	if !ok {
+		d = ValueDistribution{Header: h, Counts: make(map[string]float64)}
+		m.dists[h] = d
+	}
+	d.Counts[v]++
+}
+
+// ObserveProfile records every attribute of the profile.
+func (m *EntropyModel) ObserveProfile(p *Profile) {
+	for _, a := range p.Attributes() {
+		m.Observe(a.Header, a.Value)
+	}
+}
+
+// SetDistribution installs a pre-computed distribution for a category,
+// replacing any prior observations for that header.
+func (m *EntropyModel) SetDistribution(d ValueDistribution) {
+	m.dists[Normalize(d.Header)] = ValueDistribution{Header: Normalize(d.Header), Counts: d.Counts}
+}
+
+// Distribution returns the distribution for a header and whether it is known.
+func (m *EntropyModel) Distribution(header string) (ValueDistribution, bool) {
+	d, ok := m.dists[Normalize(header)]
+	return d, ok
+}
+
+// Headers returns the known category headers in sorted order.
+func (m *EntropyModel) Headers() []string {
+	out := make([]string, 0, len(m.dists))
+	for h := range m.dists {
+		out = append(out, h)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// AttributeEntropy returns S(a) for the category of the given attribute.
+// Categories never observed get zero entropy.
+func (m *EntropyModel) AttributeEntropy(a Attribute) float64 {
+	d, ok := m.dists[Normalize(a.Header)]
+	if !ok {
+		return 0
+	}
+	return d.Entropy()
+}
+
+// AttributeSurprisal returns -log2 P(header=value) for the specific attribute
+// value, a per-value refinement used when ranking disclosure candidates.
+func (m *EntropyModel) AttributeSurprisal(a Attribute) float64 {
+	d, ok := m.dists[Normalize(a.Header)]
+	if !ok {
+		return 0
+	}
+	return d.ValueSurprisal(a.Value)
+}
+
+// ProfileEntropy returns S(A_k) = Σ_i S(a^i) (Definition 5), in bits.
+func (m *EntropyModel) ProfileEntropy(p *Profile) float64 {
+	var s float64
+	for _, a := range p.Attributes() {
+		s += m.AttributeEntropy(a)
+	}
+	return s
+}
+
+// KAnonymityPhi returns the ϕ budget derived from a k-anonymity requirement
+// (Section III-E3, option 1): a user only discloses attribute subsets that at
+// least k users are expected to share, i.e. ϕ = log2(n/k) where n is the
+// population size.
+func (m *EntropyModel) KAnonymityPhi(k int) (float64, error) {
+	if k <= 0 {
+		return 0, errors.New("attr: k must be positive")
+	}
+	if m.Population <= 0 {
+		return 0, errors.New("attr: entropy model has no population size")
+	}
+	if k > m.Population {
+		return 0, fmt.Errorf("attr: k=%d exceeds population %d", k, m.Population)
+	}
+	return math.Log2(float64(m.Population) / float64(k)), nil
+}
+
+// SensitivePhi returns the ϕ budget derived from a set of sensitive attributes
+// (Section III-E3, option 2): ϕ = min_i S(a^i) over the sensitive attributes,
+// so that no subset whose entropy could cover even the cheapest sensitive
+// attribute is ever disclosed.
+func (m *EntropyModel) SensitivePhi(sensitive []Attribute) (float64, error) {
+	if len(sensitive) == 0 {
+		return 0, errors.New("attr: no sensitive attributes given")
+	}
+	phi := math.Inf(1)
+	for _, a := range sensitive {
+		if s := m.AttributeEntropy(a); s < phi {
+			phi = s
+		}
+	}
+	return phi, nil
+}
+
+// BudgetedSubsets enumerates maximal candidate attribute subsets of p whose
+// cumulative entropy stays within phi. Protocol 3 candidates use this to
+// bound what they are willing to risk exposing to a possibly-malicious
+// initiator: the union of all profiles used for candidate keys must satisfy
+// S(∪ A_c) ≤ ϕ.
+//
+// The returned subsets are sorted by descending attribute count so that the
+// candidate tries its most-complete (most likely to match) subsets first, and
+// the union of returned subsets is guaranteed to stay within the budget.
+func (m *EntropyModel) BudgetedSubsets(p *Profile, phi float64) []*Profile {
+	attrs := p.Attributes()
+	// Greedy: order attributes by ascending entropy so the budget covers as
+	// many attributes as possible, then emit the prefix plus single-attribute
+	// fallbacks that individually fit.
+	type weighted struct {
+		a Attribute
+		s float64
+	}
+	ws := make([]weighted, len(attrs))
+	for i, a := range attrs {
+		ws[i] = weighted{a: a, s: m.AttributeEntropy(a)}
+	}
+	sort.SliceStable(ws, func(i, j int) bool { return ws[i].s < ws[j].s })
+
+	var budgetUsed float64
+	kept := &Profile{}
+	for _, w := range ws {
+		if budgetUsed+w.s > phi {
+			break
+		}
+		budgetUsed += w.s
+		kept.Add(w.a)
+	}
+	if kept.Len() == 0 {
+		return nil
+	}
+	subsets := []*Profile{kept}
+	// Also expose each strict sub-prefix, so the matcher can try smaller
+	// subsets when the full kept set does not decrypt the request. Their
+	// union equals kept, so the ϕ bound still holds for the union.
+	for n := kept.Len() - 1; n >= 1; n-- {
+		sub := NewProfile(kept.Attributes()[:n]...)
+		subsets = append(subsets, sub)
+	}
+	return subsets
+}
+
+// WithinBudget reports whether disclosing the union profile stays within phi.
+func (m *EntropyModel) WithinBudget(union *Profile, phi float64) bool {
+	return m.ProfileEntropy(union) <= phi+1e-9
+}

@@ -1,0 +1,188 @@
+package attr
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestValueDistributionEntropy(t *testing.T) {
+	tests := []struct {
+		name string
+		d    ValueDistribution
+		want float64
+	}{
+		{
+			name: "uniform binary",
+			d:    ValueDistribution{Header: "sex", Counts: map[string]float64{"male": 50, "female": 50}},
+			want: 1,
+		},
+		{
+			name: "uniform four values",
+			d:    ValueDistribution{Header: "x", Counts: map[string]float64{"a": 1, "b": 1, "c": 1, "d": 1}},
+			want: 2,
+		},
+		{
+			name: "single value",
+			d:    ValueDistribution{Header: "x", Counts: map[string]float64{"only": 10}},
+			want: 0,
+		},
+		{
+			name: "empty",
+			d:    ValueDistribution{Header: "x", Counts: map[string]float64{}},
+			want: 0,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.d.Entropy(); math.Abs(got-tt.want) > 1e-9 {
+				t.Errorf("Entropy() = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestValueSurprisal(t *testing.T) {
+	d := ValueDistribution{Header: "sex", Counts: map[string]float64{"male": 50, "female": 50}}
+	if got := d.ValueSurprisal("male"); math.Abs(got-1) > 1e-9 {
+		t.Errorf("ValueSurprisal(male) = %v, want 1", got)
+	}
+	// Unknown value gets treated as a singleton: -log2(1/101) > 6 bits.
+	if got := d.ValueSurprisal("other"); got < 6 {
+		t.Errorf("ValueSurprisal(unknown) = %v, want > 6", got)
+	}
+}
+
+func TestEntropyModelObserveAndProfileEntropy(t *testing.T) {
+	m := NewEntropyModel(100)
+	for i := 0; i < 50; i++ {
+		m.Observe("sex", "male")
+		m.Observe("sex", "female")
+	}
+	for i := 0; i < 25; i++ {
+		m.Observe("interest", "a")
+		m.Observe("interest", "b")
+		m.Observe("interest", "c")
+		m.Observe("interest", "d")
+	}
+	p := NewProfile(MustNew("sex", "male"), MustNew("interest", "a"))
+	got := m.ProfileEntropy(p)
+	if math.Abs(got-3) > 1e-9 { // 1 bit (sex) + 2 bits (interest)
+		t.Errorf("ProfileEntropy = %v, want 3", got)
+	}
+	if got := m.AttributeEntropy(MustNew("unknown", "x")); got != 0 {
+		t.Errorf("unknown category entropy = %v, want 0", got)
+	}
+	if len(m.Headers()) != 2 {
+		t.Errorf("Headers() = %v", m.Headers())
+	}
+}
+
+func TestKAnonymityPhi(t *testing.T) {
+	m := NewEntropyModel(1024)
+	phi, err := m.KAnonymityPhi(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(phi-8) > 1e-9 { // log2(1024/4) = 8
+		t.Errorf("KAnonymityPhi = %v, want 8", phi)
+	}
+	if _, err := m.KAnonymityPhi(0); err == nil {
+		t.Error("k=0 should fail")
+	}
+	if _, err := m.KAnonymityPhi(2048); err == nil {
+		t.Error("k > population should fail")
+	}
+	if _, err := NewEntropyModel(0).KAnonymityPhi(2); err == nil {
+		t.Error("zero population should fail")
+	}
+}
+
+func TestSensitivePhi(t *testing.T) {
+	m := NewEntropyModel(100)
+	m.SetDistribution(ValueDistribution{Header: "sex", Counts: map[string]float64{"male": 1, "female": 1}})
+	m.SetDistribution(ValueDistribution{Header: "disease", Counts: map[string]float64{"a": 1, "b": 1, "c": 1, "d": 1, "e": 1, "f": 1, "g": 1, "h": 1}})
+	phi, err := m.SensitivePhi([]Attribute{MustNew("disease", "a"), MustNew("sex", "male")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(phi-1) > 1e-9 { // min(3 bits, 1 bit) = 1
+		t.Errorf("SensitivePhi = %v, want 1", phi)
+	}
+	if _, err := m.SensitivePhi(nil); err == nil {
+		t.Error("empty sensitive set should fail")
+	}
+}
+
+func TestBudgetedSubsets(t *testing.T) {
+	m := NewEntropyModel(100)
+	// sex: 1 bit, interest: 2 bits, keyword: 3 bits.
+	m.SetDistribution(ValueDistribution{Header: "sex", Counts: map[string]float64{"m": 1, "f": 1}})
+	m.SetDistribution(ValueDistribution{Header: "interest", Counts: map[string]float64{"a": 1, "b": 1, "c": 1, "d": 1}})
+	m.SetDistribution(ValueDistribution{Header: "keyword", Counts: map[string]float64{"a": 1, "b": 1, "c": 1, "d": 1, "e": 1, "f": 1, "g": 1, "h": 1}})
+
+	p := NewProfile(MustNew("sex", "m"), MustNew("interest", "a"), MustNew("keyword", "a"))
+
+	// Budget of 3.5 bits admits sex (1) + interest (2) but not keyword (3).
+	subsets := m.BudgetedSubsets(p, 3.5)
+	if len(subsets) == 0 {
+		t.Fatal("expected at least one subset")
+	}
+	union := NewProfile()
+	for _, s := range subsets {
+		union = union.Union(s)
+	}
+	if !m.WithinBudget(union, 3.5) {
+		t.Errorf("union of budgeted subsets exceeds phi: %v bits", m.ProfileEntropy(union))
+	}
+	if union.Contains(MustNew("keyword", "a")) {
+		t.Error("keyword (3 bits) should have been excluded from a 3.5-bit budget with 3 bits already spent")
+	}
+	if !union.Contains(MustNew("sex", "m")) || !union.Contains(MustNew("interest", "a")) {
+		t.Errorf("expected sex and interest in union, got %v", union)
+	}
+
+	// Zero budget admits nothing... unless there are zero-entropy attributes.
+	if got := m.BudgetedSubsets(p, 0.5); got != nil {
+		for _, s := range got {
+			if m.ProfileEntropy(s) > 0.5 {
+				t.Errorf("subset %v exceeds tiny budget", s)
+			}
+		}
+	}
+}
+
+// Property: the union of all budgeted subsets always respects phi, and every
+// subset is a subset of the original profile.
+func TestBudgetedSubsetsProperty(t *testing.T) {
+	m := NewEntropyModel(1000)
+	m.SetDistribution(ValueDistribution{Header: "a", Counts: map[string]float64{"x": 1, "y": 1}})
+	m.SetDistribution(ValueDistribution{Header: "b", Counts: map[string]float64{"x": 1, "y": 1, "z": 1, "w": 1}})
+	m.SetDistribution(ValueDistribution{Header: "c", Counts: map[string]float64{"1": 1, "2": 1, "3": 1, "4": 1, "5": 1, "6": 1, "7": 1, "8": 1}})
+
+	f := func(hasA, hasB, hasC bool, phiRaw uint8) bool {
+		p := NewProfile()
+		if hasA {
+			p.Add(MustNew("a", "x"))
+		}
+		if hasB {
+			p.Add(MustNew("b", "x"))
+		}
+		if hasC {
+			p.Add(MustNew("c", "1"))
+		}
+		phi := float64(phiRaw % 10)
+		subsets := m.BudgetedSubsets(p, phi)
+		union := NewProfile()
+		for _, s := range subsets {
+			if !s.Subset(p) {
+				return false
+			}
+			union = union.Union(s)
+		}
+		return m.WithinBudget(union, phi)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,385 @@
+package attr
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Normalize applies the paper's profile-normalization pipeline (Section
+// III-B) to a raw attribute header or value so that strings which humans
+// consider equivalent produce identical canonical text and therefore
+// identical SHA-256 hashes:
+//
+//  1. accent marks and diacritics are stripped,
+//  2. all letters are converted to lower case,
+//  3. abbreviations are expanded ("cs" -> "computer science"),
+//  4. numbers are converted into words ("2" -> "two"),
+//  5. plural words are converted to singular form,
+//  6. whitespace and punctuation are removed.
+//
+// Semantic equivalence between different words (synonyms) is explicitly out
+// of scope, exactly as in the paper.
+func Normalize(s string) string {
+	s = strings.ToLower(s)
+	s = stripDiacritics(s)
+	words := splitWords(s)
+	out := make([]string, 0, len(words))
+	for _, w := range words {
+		if w == "" {
+			continue
+		}
+		w = expandAbbreviation(w)
+		// Expansion may introduce several words ("cs" -> "computer science");
+		// each expanded word goes through the remaining steps independently.
+		for _, part := range strings.Fields(w) {
+			part = numberToWords(part)
+			for _, np := range strings.Fields(part) {
+				np = singularize(np)
+				if np != "" {
+					out = append(out, np)
+				}
+			}
+		}
+	}
+	return strings.Join(out, "")
+}
+
+// NormalizeWords is Normalize but keeps single spaces between words, which is
+// occasionally useful for presenting normalized text to humans.
+func NormalizeWords(s string) string {
+	s = strings.ToLower(s)
+	s = stripDiacritics(s)
+	words := splitWords(s)
+	out := make([]string, 0, len(words))
+	for _, w := range words {
+		if w == "" {
+			continue
+		}
+		w = expandAbbreviation(w)
+		for _, part := range strings.Fields(w) {
+			part = numberToWords(part)
+			for _, np := range strings.Fields(part) {
+				np = singularize(np)
+				if np != "" {
+					out = append(out, np)
+				}
+			}
+		}
+	}
+	return strings.Join(out, " ")
+}
+
+// splitWords breaks the input at whitespace and punctuation, keeping letter
+// and digit runs. Digits and letters are kept in separate words so that
+// "windows7" normalizes the same way as "windows 7".
+func splitWords(s string) []string {
+	var words []string
+	var cur strings.Builder
+	var curDigit bool
+	flush := func() {
+		if cur.Len() > 0 {
+			words = append(words, cur.String())
+			cur.Reset()
+		}
+	}
+	for _, r := range s {
+		switch {
+		case unicode.IsLetter(r):
+			if curDigit {
+				flush()
+			}
+			curDigit = false
+			cur.WriteRune(r)
+		case unicode.IsDigit(r):
+			if !curDigit && cur.Len() > 0 {
+				flush()
+			}
+			curDigit = true
+			cur.WriteRune(r)
+		default:
+			flush()
+			curDigit = false
+		}
+	}
+	flush()
+	return words
+}
+
+// _diacriticFold maps common accented Latin characters to their base letter.
+// The stdlib has no transliteration support, so this table covers the Latin-1
+// supplement and Latin Extended-A ranges that occur in practice.
+var _diacriticFold = map[rune]rune{
+	'à': 'a', 'á': 'a', 'â': 'a', 'ã': 'a', 'ä': 'a', 'å': 'a', 'ā': 'a', 'ă': 'a', 'ą': 'a',
+	'ç': 'c', 'ć': 'c', 'ĉ': 'c', 'č': 'c',
+	'è': 'e', 'é': 'e', 'ê': 'e', 'ë': 'e', 'ē': 'e', 'ĕ': 'e', 'ė': 'e', 'ę': 'e', 'ě': 'e',
+	'ì': 'i', 'í': 'i', 'î': 'i', 'ï': 'i', 'ĩ': 'i', 'ī': 'i', 'ĭ': 'i', 'į': 'i', 'ı': 'i',
+	'ñ': 'n', 'ń': 'n', 'ņ': 'n', 'ň': 'n',
+	'ò': 'o', 'ó': 'o', 'ô': 'o', 'õ': 'o', 'ö': 'o', 'ø': 'o', 'ō': 'o', 'ŏ': 'o', 'ő': 'o',
+	'ù': 'u', 'ú': 'u', 'û': 'u', 'ü': 'u', 'ũ': 'u', 'ū': 'u', 'ŭ': 'u', 'ů': 'u', 'ű': 'u', 'ų': 'u',
+	'ý': 'y', 'ÿ': 'y', 'ŷ': 'y',
+	'ß': 's',
+	'ś': 's', 'ŝ': 's', 'ş': 's', 'š': 's',
+	'ź': 'z', 'ż': 'z', 'ž': 'z',
+	'ğ': 'g', 'ĝ': 'g', 'ġ': 'g', 'ģ': 'g',
+	'ł': 'l', 'ĺ': 'l', 'ļ': 'l', 'ľ': 'l',
+	'ŕ': 'r', 'ŗ': 'r', 'ř': 'r',
+	'ť': 't', 'ţ': 't', 'ț': 't',
+	'ď': 'd', 'đ': 'd',
+	'À': 'a', 'Á': 'a', 'Â': 'a', 'Ã': 'a', 'Ä': 'a', 'Å': 'a',
+	'Ç': 'c',
+	'È': 'e', 'É': 'e', 'Ê': 'e', 'Ë': 'e',
+	'Ì': 'i', 'Í': 'i', 'Î': 'i', 'Ï': 'i',
+	'Ñ': 'n',
+	'Ò': 'o', 'Ó': 'o', 'Ô': 'o', 'Õ': 'o', 'Ö': 'o', 'Ø': 'o',
+	'Ù': 'u', 'Ú': 'u', 'Û': 'u', 'Ü': 'u',
+	'Ý': 'y',
+}
+
+func stripDiacritics(s string) string {
+	var b strings.Builder
+	b.Grow(len(s))
+	for _, r := range s {
+		if folded, ok := _diacriticFold[r]; ok {
+			b.WriteRune(folded)
+			continue
+		}
+		// Drop combining marks outright (NFD-decomposed inputs).
+		if unicode.Is(unicode.Mn, r) {
+			continue
+		}
+		b.WriteRune(r)
+	}
+	return b.String()
+}
+
+// _abbreviations expands common social-network profile abbreviations. The
+// table is intentionally small and public: both the initiator and relays must
+// agree on it, just as they must agree on the hash function.
+var _abbreviations = map[string]string{
+	"cs":      "computer science",
+	"comp":    "computer",
+	"sci":     "science",
+	"eng":     "engineering",
+	"engr":    "engineer",
+	"univ":    "university",
+	"uni":     "university",
+	"inst":    "institute",
+	"tech":    "technology",
+	"mgmt":    "management",
+	"dept":    "department",
+	"prof":    "professor",
+	"dr":      "doctor",
+	"mr":      "mister",
+	"ms":      "miss",
+	"st":      "saint",
+	"ave":     "avenue",
+	"blvd":    "boulevard",
+	"rd":      "road",
+	"nyc":     "new york city",
+	"ny":      "new york",
+	"la":      "los angeles",
+	"sf":      "san francisco",
+	"uk":      "united kingdom",
+	"usa":     "united states",
+	"us":      "united states",
+	"bball":   "basketball",
+	"bsktbll": "basketball",
+	"ftbl":    "football",
+	"mgr":     "manager",
+	"asst":    "assistant",
+	"intl":    "international",
+	"natl":    "national",
+	"assn":    "association",
+	"corp":    "corporation",
+	"co":      "company",
+	"grp":     "group",
+	"fav":     "favorite",
+	"pic":     "picture",
+	"pics":    "pictures",
+	"msg":     "message",
+	"msgs":    "messages",
+	"info":    "information",
+	"app":     "application",
+	"apps":    "applications",
+	"dev":     "developer",
+	"devs":    "developers",
+	"bio":     "biology",
+	"chem":    "chemistry",
+	"math":    "mathematics",
+	"maths":   "mathematics",
+	"phys":    "physics",
+	"econ":    "economics",
+	"psych":   "psychology",
+	"lit":     "literature",
+	"phil":    "philosophy",
+	"ee":      "electrical engineering",
+	"me":      "mechanical engineering",
+	"ai":      "artificial intelligence",
+	"ml":      "machine learning",
+	"db":      "database",
+	"os":      "operating system",
+	"hr":      "human resources",
+	"pr":      "public relations",
+	"vp":      "vice president",
+	"ceo":     "chief executive officer",
+	"cto":     "chief technology officer",
+	"cfo":     "chief financial officer",
+}
+
+func expandAbbreviation(w string) string {
+	if full, ok := _abbreviations[w]; ok {
+		return full
+	}
+	return w
+}
+
+var _ones = []string{
+	"zero", "one", "two", "three", "four", "five", "six", "seven", "eight", "nine",
+	"ten", "eleven", "twelve", "thirteen", "fourteen", "fifteen", "sixteen",
+	"seventeen", "eighteen", "nineteen",
+}
+
+var _tens = []string{
+	"", "", "twenty", "thirty", "forty", "fifty", "sixty", "seventy", "eighty", "ninety",
+}
+
+// numberToWords converts a decimal digit string into English words, e.g.
+// "1987" -> "one thousand nine hundred eighty seven". Non-numeric words are
+// returned unchanged. Numbers too large to matter for profile attributes
+// (>= 10^15) are spelled digit by digit.
+func numberToWords(w string) string {
+	if w == "" {
+		return w
+	}
+	for _, r := range w {
+		if !unicode.IsDigit(r) {
+			return w
+		}
+	}
+	// Strip leading zeros but keep a single zero.
+	trimmed := strings.TrimLeft(w, "0")
+	if trimmed == "" {
+		return "zero"
+	}
+	if len(trimmed) > 15 {
+		parts := make([]string, 0, len(trimmed))
+		for _, r := range trimmed {
+			parts = append(parts, _ones[r-'0'])
+		}
+		return strings.Join(parts, " ")
+	}
+	var n int64
+	for _, r := range trimmed {
+		n = n*10 + int64(r-'0')
+	}
+	return int64ToWords(n)
+}
+
+func int64ToWords(n int64) string {
+	switch {
+	case n < 20:
+		return _ones[n]
+	case n < 100:
+		s := _tens[n/10]
+		if n%10 != 0 {
+			s += " " + _ones[n%10]
+		}
+		return s
+	case n < 1000:
+		s := _ones[n/100] + " hundred"
+		if n%100 != 0 {
+			s += " " + int64ToWords(n%100)
+		}
+		return s
+	}
+	type scale struct {
+		value int64
+		name  string
+	}
+	scales := []scale{
+		{1_000_000_000_000, "trillion"},
+		{1_000_000_000, "billion"},
+		{1_000_000, "million"},
+		{1_000, "thousand"},
+	}
+	for _, sc := range scales {
+		if n >= sc.value {
+			s := int64ToWords(n/sc.value) + " " + sc.name
+			if n%sc.value != 0 {
+				s += " " + int64ToWords(n%sc.value)
+			}
+			return s
+		}
+	}
+	return _ones[0] // unreachable for n >= 1000
+}
+
+// _irregularPlurals maps irregular English plurals to their singular form.
+var _irregularPlurals = map[string]string{
+	"children":    "child",
+	"men":         "man",
+	"women":       "woman",
+	"people":      "person",
+	"feet":        "foot",
+	"teeth":       "tooth",
+	"geese":       "goose",
+	"mice":        "mouse",
+	"lives":       "life",
+	"wives":       "wife",
+	"knives":      "knife",
+	"wolves":      "wolf",
+	"leaves":      "leaf",
+	"halves":      "half",
+	"selves":      "self",
+	"shelves":     "shelf",
+	"data":        "datum",
+	"media":       "medium",
+	"criteria":    "criterion",
+	"analyses":    "analysis",
+	"theses":      "thesis",
+	"crises":      "crisis",
+	"movies":      "movie",
+	"series":      "series",
+	"species":     "species",
+	"news":        "news",
+	"physics":     "physics",
+	"politics":    "politics",
+	"economics":   "economics",
+	"mathematics": "mathematics",
+	"athletics":   "athletics",
+	"graphics":    "graphics",
+	"chess":       "chess",
+	"tennis":      "tennis",
+	"bus":         "bus",
+	"gas":         "gas",
+	"lens":        "lens",
+	"jeans":       "jeans",
+	"glasses":     "glasses",
+	"electronics": "electronics",
+	"games":       "game",
+	"sales":       "sale",
+}
+
+// singularize converts a plural English word to singular form using the
+// irregular table plus standard suffix rules. Words already singular are
+// returned unchanged in the common cases.
+func singularize(w string) string {
+	if s, ok := _irregularPlurals[w]; ok {
+		return s
+	}
+	n := len(w)
+	switch {
+	case n > 3 && strings.HasSuffix(w, "ies"):
+		return w[:n-3] + "y"
+	case n > 4 && strings.HasSuffix(w, "sses"):
+		return w[:n-2]
+	case n > 4 && (strings.HasSuffix(w, "shes") || strings.HasSuffix(w, "ches") || strings.HasSuffix(w, "xes") || strings.HasSuffix(w, "zes")):
+		return w[:n-2]
+	case n > 3 && strings.HasSuffix(w, "oes"):
+		return w[:n-2]
+	case n > 2 && strings.HasSuffix(w, "s") && !strings.HasSuffix(w, "ss") && !strings.HasSuffix(w, "us") && !strings.HasSuffix(w, "is"):
+		return w[:n-1]
+	default:
+		return w
+	}
+}

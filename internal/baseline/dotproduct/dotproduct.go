@@ -1,0 +1,133 @@
+// Package dotproduct implements the private vector dot-product baseline used
+// by the social-coordinate proximity matching approaches the paper compares
+// against ([9], [12], [28]): Alice learns ⟨a, b⟩ and nothing else about b;
+// Bob learns nothing about a. It is built on the Paillier cryptosystem.
+package dotproduct
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+
+	"sealedbottle/internal/baseline/paillier"
+)
+
+// Errors returned by the protocol.
+var (
+	// ErrEmptyVector indicates a zero-length input vector.
+	ErrEmptyVector = errors.New("dotproduct: empty vector")
+	// ErrLengthMismatch indicates the two parties' vectors differ in length.
+	ErrLengthMismatch = errors.New("dotproduct: vector length mismatch")
+)
+
+// Request is Alice's first message: her Paillier public key and the
+// element-wise encryption of her vector.
+type Request struct {
+	// PublicKey is Alice's Paillier public key.
+	PublicKey *paillier.PublicKey
+	// Encrypted holds Enc(a_1), ..., Enc(a_m).
+	Encrypted []*paillier.Ciphertext
+}
+
+// BuildRequest encrypts Alice's vector under her key. Negative entries are
+// represented modulo n, so the final dot product must stay well below n/2 in
+// absolute value — amply true for the interest-level vectors of [28].
+func BuildRequest(rng io.Reader, key *paillier.PrivateKey, vector []int64) (*Request, error) {
+	if len(vector) == 0 {
+		return nil, ErrEmptyVector
+	}
+	enc := make([]*paillier.Ciphertext, len(vector))
+	for i, v := range vector {
+		m := big.NewInt(v)
+		if v < 0 {
+			m.Mod(m, key.N)
+		}
+		ct, err := key.Encrypt(rng, m)
+		if err != nil {
+			return nil, fmt.Errorf("dotproduct: encrypting element %d: %w", i, err)
+		}
+		enc[i] = ct
+	}
+	return &Request{PublicKey: &key.PublicKey, Encrypted: enc}, nil
+}
+
+// Respond is Bob's side: he computes Enc(Σ a_i·b_i) homomorphically without
+// learning anything about a.
+func Respond(rng io.Reader, req *Request, vector []int64) (*paillier.Ciphertext, error) {
+	if req == nil || req.PublicKey == nil || len(req.Encrypted) == 0 {
+		return nil, ErrEmptyVector
+	}
+	if len(vector) != len(req.Encrypted) {
+		return nil, ErrLengthMismatch
+	}
+	pk := req.PublicKey
+	var acc *paillier.Ciphertext
+	for i, b := range vector {
+		k := big.NewInt(b)
+		if b < 0 {
+			k.Mod(k, pk.N)
+		}
+		term := pk.ScalarMul(req.Encrypted[i], k)
+		if acc == nil {
+			acc = term
+			continue
+		}
+		acc = pk.Add(acc, term)
+	}
+	return pk.Rerandomize(rng, acc)
+}
+
+// Finish decrypts Bob's response and maps the result back to a signed value.
+func Finish(key *paillier.PrivateKey, response *paillier.Ciphertext) (int64, error) {
+	if response == nil {
+		return 0, errors.New("dotproduct: nil response")
+	}
+	m, err := key.Decrypt(response)
+	if err != nil {
+		return 0, err
+	}
+	// Values above n/2 represent negatives.
+	half := new(big.Int).Rsh(key.N, 1)
+	if m.Cmp(half) > 0 {
+		m.Sub(m, key.N)
+	}
+	if !m.IsInt64() {
+		return 0, errors.New("dotproduct: result does not fit in int64")
+	}
+	return m.Int64(), nil
+}
+
+// Run executes the whole protocol between the two vectors and returns the dot
+// product from Alice's point of view.
+func Run(rng io.Reader, keyBits int, alice, bob []int64) (int64, error) {
+	if keyBits <= 0 {
+		keyBits = 1024
+	}
+	key, err := paillier.GenerateKey(rng, keyBits)
+	if err != nil {
+		return 0, err
+	}
+	req, err := BuildRequest(rng, key, alice)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := Respond(rng, req, bob)
+	if err != nil {
+		return 0, err
+	}
+	return Finish(key, resp)
+}
+
+// Plain computes the dot product in the clear (the ground-truth oracle used
+// by tests and experiments).
+func Plain(a, b []int64) (int64, error) {
+	if len(a) != len(b) {
+		return 0, ErrLengthMismatch
+	}
+	var sum int64
+	for i := range a {
+		sum += a[i] * b[i]
+	}
+	return sum, nil
+}

@@ -1,0 +1,121 @@
+package dotproduct
+
+import (
+	"crypto/rand"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	mrand "math/rand"
+
+	"sealedbottle/internal/baseline/paillier"
+)
+
+const testKeyBits = 512
+
+func testKey(tb testing.TB) *paillier.PrivateKey {
+	tb.Helper()
+	key, err := paillier.GenerateKey(rand.Reader, testKeyBits)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return key
+}
+
+func TestRunBasic(t *testing.T) {
+	got, err := Run(rand.Reader, testKeyBits, []int64{1, 2, 3}, []int64{4, 5, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 32 {
+		t.Errorf("dot product = %d, want 32", got)
+	}
+}
+
+func TestRunWithNegativeEntries(t *testing.T) {
+	got, err := Run(rand.Reader, testKeyBits, []int64{1, -5, 2}, []int64{2, 1, -3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := Plain([]int64{1, -5, 2}, []int64{2, 1, -3})
+	if got != want {
+		t.Errorf("dot product = %d, want %d", got, want)
+	}
+	if want >= 0 {
+		t.Fatal("test case should exercise a negative result")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	key := testKey(t)
+	if _, err := BuildRequest(rand.Reader, key, nil); !errors.Is(err, ErrEmptyVector) {
+		t.Error("empty vector should fail")
+	}
+	req, err := BuildRequest(rand.Reader, key, []int64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Respond(rand.Reader, req, []int64{1}); !errors.Is(err, ErrLengthMismatch) {
+		t.Error("length mismatch should fail")
+	}
+	if _, err := Respond(rand.Reader, nil, []int64{1}); err == nil {
+		t.Error("nil request should fail")
+	}
+	if _, err := Finish(key, nil); err == nil {
+		t.Error("nil response should fail")
+	}
+	if _, err := Plain([]int64{1}, []int64{1, 2}); !errors.Is(err, ErrLengthMismatch) {
+		t.Error("plain length mismatch should fail")
+	}
+}
+
+func TestResponderLearnsNothingDirectly(t *testing.T) {
+	key := testKey(t)
+	req, err := BuildRequest(rand.Reader, key, []int64{9, 9, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, ct := range req.Encrypted {
+		if ct.C.BitLen() < 100 {
+			t.Errorf("element %d looks unencrypted", i)
+		}
+	}
+	// Two encryptions of the same vector differ.
+	req2, _ := BuildRequest(rand.Reader, key, []int64{9, 9, 9})
+	if req.Encrypted[0].C.Cmp(req2.Encrypted[0].C) == 0 {
+		t.Error("encryptions are not randomized")
+	}
+}
+
+// Property: the private protocol agrees with the plaintext dot product for
+// random vectors, reusing one key to keep the test fast.
+func TestMatchesPlainProperty(t *testing.T) {
+	key := testKey(t)
+	rng := mrand.New(mrand.NewSource(2))
+	f := func() bool {
+		m := 1 + rng.Intn(6)
+		a := make([]int64, m)
+		b := make([]int64, m)
+		for i := range a {
+			a[i] = int64(rng.Intn(201) - 100)
+			b[i] = int64(rng.Intn(201) - 100)
+		}
+		req, err := BuildRequest(rand.Reader, key, a)
+		if err != nil {
+			return false
+		}
+		resp, err := Respond(rand.Reader, req, b)
+		if err != nil {
+			return false
+		}
+		got, err := Finish(key, resp)
+		if err != nil {
+			return false
+		}
+		want, _ := Plain(a, b)
+		return got == want
+	}
+	if err := quick.Check(func() bool { return f() }, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,234 @@
+// Package fc10 implements the De Cristofaro–Tsudik practical private set
+// intersection protocol with linear complexity (Financial Cryptography 2010),
+// the "FC10 [7]" baseline of the paper's efficiency comparison. It is built
+// on blind RSA signatures implemented directly on math/big.
+//
+// Protocol sketch: the server holds an RSA key (n, e, d) and publishes
+// tags t_j = H'( H(s_j)^d mod n ) for its elements s_j. The client blinds
+// each of its elements as H(c_i)·r_i^e mod n and sends them; the server
+// raises every blinded value to d (a blind signature) and returns them; the
+// client unblinds by multiplying with r_i⁻¹, obtaining H(c_i)^d, and checks
+// whether H'(H(c_i)^d) appears among the server tags.
+package fc10
+
+import (
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+
+	"sealedbottle/internal/crypt"
+)
+
+// DefaultKeyBits is the RSA modulus size used when unspecified.
+const DefaultKeyBits = 1024
+
+//nolint:gochecknoglobals // small immutable constants.
+var (
+	one          = big.NewInt(1)
+	publicExp    = big.NewInt(65537)
+	errEmptySet  = errors.New("fc10: empty input set")
+	errMalformed = errors.New("fc10: malformed protocol message")
+)
+
+// hashToGroup maps an element's canonical string into Z*_n.
+func hashToGroup(canonical string, n *big.Int) *big.Int {
+	d := crypt.HashAttribute(canonical)
+	v := new(big.Int).Mod(d.Big(), n)
+	if v.Sign() == 0 {
+		v.SetInt64(1)
+	}
+	return v
+}
+
+// tagOf computes the outer hash H'(·) of a signed element.
+func tagOf(signed *big.Int) string {
+	return crypt.HashBytes(signed.Bytes()).String()
+}
+
+// Server is the set holder that publishes signed tags and blind-signs client
+// queries.
+type Server struct {
+	n, e, d *big.Int
+	tags    map[string]struct{}
+}
+
+// NewServer generates the RSA key pair and precomputes the tag set.
+func NewServer(rng io.Reader, keyBits int, set []string) (*Server, error) {
+	if len(set) == 0 {
+		return nil, errEmptySet
+	}
+	if keyBits <= 0 {
+		keyBits = DefaultKeyBits
+	}
+	if rng == nil {
+		rng = rand.Reader
+	}
+	n, d, err := generateRSA(rng, keyBits)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{n: n, e: new(big.Int).Set(publicExp), d: d, tags: make(map[string]struct{}, len(set))}
+	for _, item := range set {
+		h := hashToGroup(item, n)
+		signed := new(big.Int).Exp(h, d, n)
+		s.tags[tagOf(signed)] = struct{}{}
+	}
+	return s, nil
+}
+
+// generateRSA builds an RSA modulus whose totient is coprime with e = 65537.
+func generateRSA(rng io.Reader, bits int) (n, d *big.Int, err error) {
+	for {
+		p, err := rand.Prime(rng, bits/2)
+		if err != nil {
+			return nil, nil, fmt.Errorf("fc10: generating p: %w", err)
+		}
+		q, err := rand.Prime(rng, bits-bits/2)
+		if err != nil {
+			return nil, nil, fmt.Errorf("fc10: generating q: %w", err)
+		}
+		if p.Cmp(q) == 0 {
+			continue
+		}
+		n = new(big.Int).Mul(p, q)
+		phi := new(big.Int).Mul(new(big.Int).Sub(p, one), new(big.Int).Sub(q, one))
+		d = new(big.Int).ModInverse(publicExp, phi)
+		if d == nil {
+			continue
+		}
+		return n, d, nil
+	}
+}
+
+// PublicParams returns the server's public modulus and exponent.
+func (s *Server) PublicParams() (n, e *big.Int) {
+	return new(big.Int).Set(s.n), new(big.Int).Set(s.e)
+}
+
+// Tags returns the published tag set (order-free).
+func (s *Server) Tags() map[string]struct{} {
+	out := make(map[string]struct{}, len(s.tags))
+	for t := range s.tags {
+		out[t] = struct{}{}
+	}
+	return out
+}
+
+// BlindSign raises each blinded client element to the private exponent.
+func (s *Server) BlindSign(blinded []*big.Int) ([]*big.Int, error) {
+	if len(blinded) == 0 {
+		return nil, errMalformed
+	}
+	out := make([]*big.Int, len(blinded))
+	for i, b := range blinded {
+		if b == nil || b.Sign() <= 0 || b.Cmp(s.n) >= 0 {
+			return nil, errMalformed
+		}
+		out[i] = new(big.Int).Exp(b, s.d, s.n)
+	}
+	return out, nil
+}
+
+// Client is the querying party that learns which of its elements the server
+// also holds.
+type Client struct {
+	n, e     *big.Int
+	set      []string
+	blinds   []*big.Int
+	blinded  []*big.Int
+	rngState io.Reader
+}
+
+// NewClient prepares and blinds the client's set under the server's public
+// parameters.
+func NewClient(rng io.Reader, n, e *big.Int, set []string) (*Client, error) {
+	if len(set) == 0 {
+		return nil, errEmptySet
+	}
+	if rng == nil {
+		rng = rand.Reader
+	}
+	c := &Client{
+		n:        new(big.Int).Set(n),
+		e:        new(big.Int).Set(e),
+		set:      append([]string(nil), set...),
+		rngState: rng,
+	}
+	c.blinds = make([]*big.Int, len(set))
+	c.blinded = make([]*big.Int, len(set))
+	for i, item := range set {
+		r, err := randomUnit(rng, n)
+		if err != nil {
+			return nil, err
+		}
+		c.blinds[i] = r
+		h := hashToGroup(item, n)
+		re := new(big.Int).Exp(r, e, n)
+		c.blinded[i] = new(big.Int).Mod(new(big.Int).Mul(h, re), n)
+	}
+	return c, nil
+}
+
+// Blinded returns the client's first message.
+func (c *Client) Blinded() []*big.Int {
+	out := make([]*big.Int, len(c.blinded))
+	copy(out, c.blinded)
+	return out
+}
+
+// Intersect unblinds the server's signatures and matches tags, returning the
+// canonical strings of the client's elements present in the server's set.
+func (c *Client) Intersect(signed []*big.Int, serverTags map[string]struct{}) ([]string, error) {
+	if len(signed) != len(c.set) {
+		return nil, errMalformed
+	}
+	var out []string
+	for i, sig := range signed {
+		rInv := new(big.Int).ModInverse(c.blinds[i], c.n)
+		if rInv == nil {
+			return nil, errMalformed
+		}
+		unblinded := new(big.Int).Mod(new(big.Int).Mul(sig, rInv), c.n)
+		if _, ok := serverTags[tagOf(unblinded)]; ok {
+			out = append(out, c.set[i])
+		}
+	}
+	return out, nil
+}
+
+// randomUnit draws r ∈ Z*_n.
+func randomUnit(rng io.Reader, n *big.Int) (*big.Int, error) {
+	for {
+		r, err := rand.Int(rng, n)
+		if err != nil {
+			return nil, fmt.Errorf("fc10: sampling blinding factor: %w", err)
+		}
+		if r.Sign() <= 0 {
+			continue
+		}
+		if new(big.Int).GCD(nil, nil, r, n).Cmp(one) == 0 {
+			return r, nil
+		}
+	}
+}
+
+// Run executes the whole protocol and returns the intersection from the
+// client's point of view.
+func Run(rng io.Reader, keyBits int, clientSet, serverSet []string) ([]string, error) {
+	server, err := NewServer(rng, keyBits, serverSet)
+	if err != nil {
+		return nil, err
+	}
+	n, e := server.PublicParams()
+	client, err := NewClient(rng, n, e, clientSet)
+	if err != nil {
+		return nil, err
+	}
+	signed, err := server.BlindSign(client.Blinded())
+	if err != nil {
+		return nil, err
+	}
+	return client.Intersect(signed, server.Tags())
+}

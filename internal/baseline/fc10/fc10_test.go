@@ -1,0 +1,145 @@
+package fc10
+
+import (
+	"crypto/rand"
+	"math/big"
+	"sort"
+	"testing"
+)
+
+const testKeyBits = 512
+
+func TestRunBasicIntersection(t *testing.T) {
+	client := []string{"tag:a", "tag:b", "tag:c"}
+	server := []string{"tag:b", "tag:c", "tag:d", "tag:e"}
+	got, err := Run(rand.Reader, testKeyBits, client, server)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(got)
+	want := []string{"tag:b", "tag:c"}
+	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("intersection = %v, want %v", got, want)
+	}
+}
+
+func TestRunDisjointAndIdentical(t *testing.T) {
+	if got, err := Run(rand.Reader, testKeyBits, []string{"tag:a"}, []string{"tag:z"}); err != nil || len(got) != 0 {
+		t.Errorf("disjoint intersection = %v (err %v)", got, err)
+	}
+	set := []string{"tag:p", "tag:q"}
+	if got, err := Run(rand.Reader, testKeyBits, set, set); err != nil || len(got) != 2 {
+		t.Errorf("identical intersection = %v (err %v)", got, err)
+	}
+}
+
+func TestServerValidation(t *testing.T) {
+	if _, err := NewServer(rand.Reader, testKeyBits, nil); err == nil {
+		t.Error("empty server set should fail")
+	}
+	server, err := NewServer(rand.Reader, testKeyBits, []string{"tag:x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(server.Tags()) != 1 {
+		t.Error("tag set size wrong")
+	}
+	if _, err := server.BlindSign(nil); err == nil {
+		t.Error("empty blind-sign batch should fail")
+	}
+	n, _ := server.PublicParams()
+	if _, err := server.BlindSign([]*big.Int{new(big.Int).Set(n)}); err == nil {
+		t.Error("out-of-range blinded value should fail")
+	}
+	if _, err := server.BlindSign([]*big.Int{nil}); err == nil {
+		t.Error("nil blinded value should fail")
+	}
+}
+
+func TestClientValidation(t *testing.T) {
+	server, err := NewServer(rand.Reader, testKeyBits, []string{"tag:x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, e := server.PublicParams()
+	if _, err := NewClient(rand.Reader, n, e, nil); err == nil {
+		t.Error("empty client set should fail")
+	}
+	client, err := NewClient(rand.Reader, n, e, []string{"tag:x", "tag:y"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(client.Blinded()) != 2 {
+		t.Error("blinded set size wrong")
+	}
+	if _, err := client.Intersect([]*big.Int{big.NewInt(1)}, server.Tags()); err == nil {
+		t.Error("length mismatch should fail")
+	}
+}
+
+func TestBlindingHidesElements(t *testing.T) {
+	// The same client set blinded twice must produce different messages
+	// (fresh blinding factors), so the server cannot link queries.
+	server, err := NewServer(rand.Reader, testKeyBits, []string{"tag:x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, e := server.PublicParams()
+	c1, err := NewClient(rand.Reader, n, e, []string{"tag:a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := NewClient(rand.Reader, n, e, []string{"tag:a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1.Blinded()[0].Cmp(c2.Blinded()[0]) == 0 {
+		t.Error("two blindings of the same element should differ")
+	}
+}
+
+func TestTagsDoNotRevealPlainHashes(t *testing.T) {
+	server, err := NewServer(rand.Reader, testKeyBits, []string{"tag:secret"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, _ := server.PublicParams()
+	plain := hashToGroup("tag:secret", n)
+	for tag := range server.Tags() {
+		if tag == tagOf(plain) {
+			t.Error("published tag equals the hash of the plain element (no exponentiation applied)")
+		}
+	}
+}
+
+func TestMatchesPlainIntersection(t *testing.T) {
+	cases := []struct {
+		client, server []string
+	}{
+		{[]string{"tag:a", "tag:b", "tag:c"}, []string{"tag:a"}},
+		{[]string{"tag:a"}, []string{"tag:a", "tag:b", "tag:c"}},
+		{[]string{"tag:a", "tag:b"}, []string{"tag:b", "tag:a"}},
+	}
+	for _, tc := range cases {
+		got, err := Run(rand.Reader, testKeyBits, tc.client, tc.server)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := map[string]bool{}
+		for _, c := range tc.client {
+			for _, s := range tc.server {
+				if c == s {
+					want[c] = true
+				}
+			}
+		}
+		if len(got) != len(want) {
+			t.Errorf("client %v server %v: got %v", tc.client, tc.server, got)
+		}
+		for _, g := range got {
+			if !want[g] {
+				t.Errorf("unexpected element %q", g)
+			}
+		}
+	}
+}

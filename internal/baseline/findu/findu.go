@@ -1,0 +1,197 @@
+// Package findu implements a commutative-encryption (Diffie–Hellman style)
+// private set intersection and private cardinality of set intersection,
+// standing in for the FindU-class profile-matching baselines ("Advanced
+// [14]", Veneta [23]) the paper compares against.
+//
+// Both parties hash their attributes into a prime-order subgroup and
+// exponentiate with their private exponents; because exponentiation commutes,
+// an element held by both parties ends up with the same double-exponentiated
+// value on both sides. Returning the double-exponentiated set in order yields
+// PSI (the querier learns which elements matched); returning it shuffled
+// yields PCSI (only the cardinality is learned).
+package findu
+
+import (
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+	"sort"
+
+	"sealedbottle/internal/crypt"
+)
+
+// Group is the shared cyclic group: the quadratic residues modulo a safe
+// prime p.
+type Group struct {
+	// P is the safe prime modulus.
+	P *big.Int
+	// Q is the subgroup order (p−1)/2.
+	Q *big.Int
+}
+
+// DefaultGroupBits is the modulus size used when generating a fresh group.
+const DefaultGroupBits = 1024
+
+// NewGroup generates a safe-prime group of the requested size. Group
+// generation is expensive; reuse one group across protocol runs (it is a
+// public parameter).
+func NewGroup(rng io.Reader, bits int) (*Group, error) {
+	if bits < 256 {
+		return nil, errors.New("findu: group modulus must be at least 256 bits")
+	}
+	if rng == nil {
+		rng = rand.Reader
+	}
+	for {
+		q, err := rand.Prime(rng, bits-1)
+		if err != nil {
+			return nil, fmt.Errorf("findu: generating subgroup order: %w", err)
+		}
+		p := new(big.Int).Add(new(big.Int).Lsh(q, 1), big.NewInt(1))
+		if p.ProbablyPrime(32) {
+			return &Group{P: p, Q: q}, nil
+		}
+	}
+}
+
+// hashToGroup maps a canonical attribute string into the quadratic-residue
+// subgroup by hashing and squaring.
+func (g *Group) hashToGroup(canonical string) *big.Int {
+	d := crypt.HashAttribute(canonical)
+	v := new(big.Int).Mod(d.Big(), g.P)
+	if v.Sign() == 0 {
+		v.SetInt64(2)
+	}
+	return v.Mul(v, v).Mod(v, g.P)
+}
+
+// Party holds one side's secret exponent and attribute set.
+type Party struct {
+	group  *Group
+	secret *big.Int
+	set    []string
+}
+
+// NewParty creates a protocol party with a fresh secret exponent.
+func NewParty(rng io.Reader, group *Group, set []string) (*Party, error) {
+	if group == nil {
+		return nil, errors.New("findu: nil group")
+	}
+	if len(set) == 0 {
+		return nil, errors.New("findu: empty set")
+	}
+	if rng == nil {
+		rng = rand.Reader
+	}
+	secret, err := rand.Int(rng, new(big.Int).Sub(group.Q, big.NewInt(2)))
+	if err != nil {
+		return nil, fmt.Errorf("findu: sampling secret: %w", err)
+	}
+	secret.Add(secret, big.NewInt(2)) // in [2, q)
+	return &Party{group: group, secret: secret, set: append([]string(nil), set...)}, nil
+}
+
+// Commit returns this party's single-exponentiated set: H(x_i)^secret, in the
+// order of the party's set.
+func (p *Party) Commit() []*big.Int {
+	out := make([]*big.Int, len(p.set))
+	for i, s := range p.set {
+		out[i] = new(big.Int).Exp(p.group.hashToGroup(s), p.secret, p.group.P)
+	}
+	return out
+}
+
+// Transform applies this party's secret on top of the peer's commitments,
+// yielding the double-exponentiated values. When shuffle is true the output
+// is returned in a canonical sorted order that destroys the positional
+// correspondence — the PCSI (cardinality-only) variant.
+func (p *Party) Transform(peerCommitments []*big.Int, shuffle bool) ([]*big.Int, error) {
+	if len(peerCommitments) == 0 {
+		return nil, errors.New("findu: empty peer commitment set")
+	}
+	out := make([]*big.Int, len(peerCommitments))
+	for i, c := range peerCommitments {
+		if c == nil || c.Sign() <= 0 || c.Cmp(p.group.P) >= 0 {
+			return nil, errors.New("findu: malformed commitment")
+		}
+		out[i] = new(big.Int).Exp(c, p.secret, p.group.P)
+	}
+	if shuffle {
+		sort.Slice(out, func(i, j int) bool { return out[i].Cmp(out[j]) < 0 })
+	}
+	return out, nil
+}
+
+// matchKeys renders double-exponentiated values as comparable map keys.
+func matchKeys(values []*big.Int) map[string]int {
+	out := make(map[string]int, len(values))
+	for _, v := range values {
+		out[v.String()]++
+	}
+	return out
+}
+
+// PSI runs the full protocol between two sets and returns, from party A's
+// point of view, which of its elements are also held by party B.
+func PSI(rng io.Reader, group *Group, aSet, bSet []string) ([]string, error) {
+	a, err := NewParty(rng, group, aSet)
+	if err != nil {
+		return nil, err
+	}
+	b, err := NewParty(rng, group, bSet)
+	if err != nil {
+		return nil, err
+	}
+	// A -> B: A's commitments. B returns them double-exponentiated, keeping
+	// the order so A can attribute matches to its own elements.
+	aDouble, err := b.Transform(a.Commit(), false)
+	if err != nil {
+		return nil, err
+	}
+	// B -> A: B's commitments; A double-exponentiates them locally.
+	bDouble, err := a.Transform(b.Commit(), true)
+	if err != nil {
+		return nil, err
+	}
+	bKeys := matchKeys(bDouble)
+	var out []string
+	for i, v := range aDouble {
+		if bKeys[v.String()] > 0 {
+			out = append(out, aSet[i])
+		}
+	}
+	return out, nil
+}
+
+// PCSI runs the cardinality-only variant: party A learns only |A ∩ B|.
+func PCSI(rng io.Reader, group *Group, aSet, bSet []string) (int, error) {
+	a, err := NewParty(rng, group, aSet)
+	if err != nil {
+		return 0, err
+	}
+	b, err := NewParty(rng, group, bSet)
+	if err != nil {
+		return 0, err
+	}
+	// B shuffles A's double-exponentiated set, so A can count matches but not
+	// attribute them to particular elements.
+	aDouble, err := b.Transform(a.Commit(), true)
+	if err != nil {
+		return 0, err
+	}
+	bDouble, err := a.Transform(b.Commit(), true)
+	if err != nil {
+		return 0, err
+	}
+	bKeys := matchKeys(bDouble)
+	count := 0
+	for _, v := range aDouble {
+		if bKeys[v.String()] > 0 {
+			count++
+			bKeys[v.String()]--
+		}
+	}
+	return count, nil
+}

@@ -1,0 +1,145 @@
+package findu
+
+import (
+	"crypto/rand"
+	"math/big"
+	"sort"
+	"sync"
+	"testing"
+)
+
+// Generating a safe-prime group is slow, so tests share one 512-bit group.
+//
+//nolint:gochecknoglobals // test-only lazily-initialized shared fixture.
+var (
+	sharedGroupOnce sync.Once
+	sharedGroup     *Group
+	sharedGroupErr  error
+)
+
+func testGroup(tb testing.TB) *Group {
+	tb.Helper()
+	sharedGroupOnce.Do(func() {
+		sharedGroup, sharedGroupErr = NewGroup(rand.Reader, 512)
+	})
+	if sharedGroupErr != nil {
+		tb.Fatal(sharedGroupErr)
+	}
+	return sharedGroup
+}
+
+func TestNewGroupValidation(t *testing.T) {
+	if _, err := NewGroup(rand.Reader, 100); err == nil {
+		t.Error("tiny group should fail")
+	}
+	g := testGroup(t)
+	if !g.P.ProbablyPrime(32) || !g.Q.ProbablyPrime(32) {
+		t.Error("group parameters are not prime")
+	}
+	// p = 2q + 1.
+	expect := new(big.Int).Add(new(big.Int).Lsh(g.Q, 1), big.NewInt(1))
+	if g.P.Cmp(expect) != 0 {
+		t.Error("p is not a safe prime over q")
+	}
+}
+
+func TestPSIBasic(t *testing.T) {
+	g := testGroup(t)
+	a := []string{"tag:a", "tag:b", "tag:c", "tag:d"}
+	b := []string{"tag:b", "tag:d", "tag:e"}
+	got, err := PSI(rand.Reader, g, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(got)
+	if len(got) != 2 || got[0] != "tag:b" || got[1] != "tag:d" {
+		t.Fatalf("PSI = %v", got)
+	}
+}
+
+func TestPSIDisjointAndIdentical(t *testing.T) {
+	g := testGroup(t)
+	if got, err := PSI(rand.Reader, g, []string{"tag:a"}, []string{"tag:z"}); err != nil || len(got) != 0 {
+		t.Errorf("disjoint PSI = %v (err %v)", got, err)
+	}
+	set := []string{"tag:x", "tag:y", "tag:z"}
+	got, err := PSI(rand.Reader, g, set, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Errorf("identical PSI = %v", got)
+	}
+}
+
+func TestPCSIRevealsOnlyCardinality(t *testing.T) {
+	g := testGroup(t)
+	a := []string{"tag:a", "tag:b", "tag:c"}
+	b := []string{"tag:b", "tag:c", "tag:d", "tag:e"}
+	n, err := PCSI(rand.Reader, g, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Errorf("PCSI = %d, want 2", n)
+	}
+	if n, err := PCSI(rand.Reader, g, []string{"tag:a"}, []string{"tag:q"}); err != nil || n != 0 {
+		t.Errorf("disjoint PCSI = %d (err %v)", n, err)
+	}
+}
+
+func TestPartyValidation(t *testing.T) {
+	g := testGroup(t)
+	if _, err := NewParty(rand.Reader, nil, []string{"tag:a"}); err == nil {
+		t.Error("nil group should fail")
+	}
+	if _, err := NewParty(rand.Reader, g, nil); err == nil {
+		t.Error("empty set should fail")
+	}
+	p, err := NewParty(rand.Reader, g, []string{"tag:a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Transform(nil, false); err == nil {
+		t.Error("empty peer set should fail")
+	}
+	if _, err := p.Transform([]*big.Int{big.NewInt(0)}, false); err == nil {
+		t.Error("malformed commitment should fail")
+	}
+	if _, err := p.Transform([]*big.Int{new(big.Int).Set(g.P)}, false); err == nil {
+		t.Error("out-of-range commitment should fail")
+	}
+}
+
+func TestCommitmentsHideElements(t *testing.T) {
+	g := testGroup(t)
+	// Two parties holding the same element produce different commitments
+	// (different secrets), so observing a commitment does not identify the
+	// attribute without the holder's secret.
+	p1, _ := NewParty(rand.Reader, g, []string{"tag:secret"})
+	p2, _ := NewParty(rand.Reader, g, []string{"tag:secret"})
+	if p1.Commit()[0].Cmp(p2.Commit()[0]) == 0 {
+		t.Error("independent parties produced identical commitments")
+	}
+	// The commitment is not the bare group hash either.
+	if p1.Commit()[0].Cmp(g.hashToGroup("tag:secret")) == 0 {
+		t.Error("commitment equals the unblinded hash")
+	}
+}
+
+func TestCommutativityUnderlyingPSI(t *testing.T) {
+	g := testGroup(t)
+	a, _ := NewParty(rand.Reader, g, []string{"tag:x"})
+	b, _ := NewParty(rand.Reader, g, []string{"tag:x"})
+	ab, err := b.Transform(a.Commit(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ba, err := a.Transform(b.Commit(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ab[0].Cmp(ba[0]) != 0 {
+		t.Error("double exponentiation is not commutative — PSI cannot work")
+	}
+}

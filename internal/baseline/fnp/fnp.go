@@ -1,0 +1,190 @@
+// Package fnp implements the Freedman–Nissim–Pinkas private set intersection
+// protocol (EUROCRYPT 2004) via oblivious polynomial evaluation over the
+// Paillier cryptosystem. It is the "FNP [10]" baseline of the paper's
+// efficiency comparison (Tables III and VII).
+//
+// Protocol sketch: the client encodes its set X as the roots of a polynomial
+// P(y) = Π (y − x_i) and sends the Paillier encryptions of P's coefficients.
+// For each of its elements y_j, the server homomorphically evaluates
+// Enc(r_j·P(y_j) + y_j) for a fresh random r_j. The client decrypts: if y_j
+// is in X, P(y_j) = 0 and the plaintext is y_j itself (a member of X);
+// otherwise it is a random value revealing nothing about y_j.
+package fnp
+
+import (
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+
+	"sealedbottle/internal/baseline/paillier"
+	"sealedbottle/internal/crypt"
+)
+
+// DefaultKeyBits is the Paillier modulus size used when the caller does not
+// choose one. The paper's comparison assumes 1024-bit asymmetric keys.
+const DefaultKeyBits = 1024
+
+// element reduces an attribute's canonical string into Z_n via SHA-256.
+func element(canonical string, n *big.Int) *big.Int {
+	d := crypt.HashAttribute(canonical)
+	return new(big.Int).Mod(d.Big(), n)
+}
+
+// Client is the set holder that learns the intersection.
+type Client struct {
+	key      *paillier.PrivateKey
+	rng      io.Reader
+	elements map[string]*big.Int // canonical -> reduced element
+}
+
+// NewClient generates a Paillier key pair and prepares the client's set.
+func NewClient(rng io.Reader, keyBits int, set []string) (*Client, error) {
+	if len(set) == 0 {
+		return nil, errors.New("fnp: client set is empty")
+	}
+	if keyBits <= 0 {
+		keyBits = DefaultKeyBits
+	}
+	if rng == nil {
+		rng = rand.Reader
+	}
+	key, err := paillier.GenerateKey(rng, keyBits)
+	if err != nil {
+		return nil, fmt.Errorf("fnp: generating key: %w", err)
+	}
+	c := &Client{key: key, rng: rng, elements: make(map[string]*big.Int, len(set))}
+	for _, s := range set {
+		c.elements[s] = element(s, key.N)
+	}
+	return c, nil
+}
+
+// Request is the client's first message: the public key and the encrypted
+// polynomial coefficients (degree |X|).
+type Request struct {
+	// PublicKey is the client's Paillier public key.
+	PublicKey *paillier.PublicKey
+	// Coefficients are Enc(c_0), ..., Enc(c_k) of P(y) = Σ c_i·y^i.
+	Coefficients []*paillier.Ciphertext
+}
+
+// BuildRequest encodes the client set as an encrypted polynomial.
+func (c *Client) BuildRequest() (*Request, error) {
+	n := c.key.N
+	// P(y) = Π (y - x_i), built coefficient-by-coefficient over Z_n.
+	coeffs := []*big.Int{big.NewInt(1)} // constant polynomial 1
+	for _, x := range c.elements {
+		negX := new(big.Int).Mod(new(big.Int).Neg(x), n)
+		next := make([]*big.Int, len(coeffs)+1)
+		for i := range next {
+			next[i] = big.NewInt(0)
+		}
+		for i, coef := range coeffs {
+			// (coef · y^i) · (y - x) contributes coef·y^{i+1} and -x·coef·y^i.
+			next[i+1] = new(big.Int).Mod(new(big.Int).Add(next[i+1], coef), n)
+			next[i] = new(big.Int).Mod(new(big.Int).Add(next[i], new(big.Int).Mul(coef, negX)), n)
+		}
+		coeffs = next
+	}
+	enc := make([]*paillier.Ciphertext, len(coeffs))
+	for i, coef := range coeffs {
+		ct, err := c.key.Encrypt(c.rng, coef)
+		if err != nil {
+			return nil, fmt.Errorf("fnp: encrypting coefficient %d: %w", i, err)
+		}
+		enc[i] = ct
+	}
+	return &Request{PublicKey: &c.key.PublicKey, Coefficients: enc}, nil
+}
+
+// Response is the server's message: one ciphertext per server element, in the
+// same order as the server's set.
+type Response struct {
+	// Items holds Enc(r_j·P(y_j) + y_j).
+	Items []*paillier.Ciphertext
+}
+
+// Respond is the server side: it obliviously evaluates the client polynomial
+// on every element of its own set.
+func Respond(rng io.Reader, req *Request, serverSet []string) (*Response, error) {
+	if req == nil || req.PublicKey == nil || len(req.Coefficients) < 2 {
+		return nil, errors.New("fnp: malformed request")
+	}
+	if len(serverSet) == 0 {
+		return nil, errors.New("fnp: server set is empty")
+	}
+	if rng == nil {
+		rng = rand.Reader
+	}
+	pk := req.PublicKey
+	out := make([]*paillier.Ciphertext, len(serverSet))
+	for j, s := range serverSet {
+		y := element(s, pk.N)
+		// Horner evaluation of Enc(P(y)): acc = acc·y + c_i homomorphically.
+		acc := req.Coefficients[len(req.Coefficients)-1]
+		for i := len(req.Coefficients) - 2; i >= 0; i-- {
+			acc = pk.Add(pk.ScalarMul(acc, y), req.Coefficients[i])
+		}
+		r, err := rand.Int(rng, pk.N)
+		if err != nil {
+			return nil, fmt.Errorf("fnp: sampling blinding factor: %w", err)
+		}
+		// Enc(r·P(y) + y)
+		blinded := pk.AddPlain(pk.ScalarMul(acc, r), y)
+		rerandomized, err := pk.Rerandomize(rng, blinded)
+		if err != nil {
+			return nil, fmt.Errorf("fnp: rerandomizing: %w", err)
+		}
+		out[j] = rerandomized
+	}
+	return &Response{Items: out}, nil
+}
+
+// Intersect decrypts the server response and returns the canonical strings of
+// the client's elements found in the server's set.
+func (c *Client) Intersect(resp *Response) ([]string, error) {
+	if resp == nil {
+		return nil, errors.New("fnp: nil response")
+	}
+	// Reverse index from reduced element to canonical string.
+	index := make(map[string]string, len(c.elements))
+	for canonical, v := range c.elements {
+		index[v.String()] = canonical
+	}
+	var out []string
+	seen := make(map[string]struct{})
+	for _, ct := range resp.Items {
+		m, err := c.key.Decrypt(ct)
+		if err != nil {
+			return nil, fmt.Errorf("fnp: decrypting response item: %w", err)
+		}
+		if canonical, ok := index[m.String()]; ok {
+			if _, dup := seen[canonical]; !dup {
+				seen[canonical] = struct{}{}
+				out = append(out, canonical)
+			}
+		}
+	}
+	return out, nil
+}
+
+// Run executes the whole protocol between a client set and a server set and
+// returns the intersection from the client's point of view. It is the
+// convenience entry point used by the comparison experiments.
+func Run(rng io.Reader, keyBits int, clientSet, serverSet []string) ([]string, error) {
+	client, err := NewClient(rng, keyBits, clientSet)
+	if err != nil {
+		return nil, err
+	}
+	req, err := client.BuildRequest()
+	if err != nil {
+		return nil, err
+	}
+	resp, err := Respond(rng, req, serverSet)
+	if err != nil {
+		return nil, err
+	}
+	return client.Intersect(resp)
+}

@@ -1,0 +1,143 @@
+package fnp
+
+import (
+	"crypto/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	mrand "math/rand"
+)
+
+// Small keys keep the O(|X|·|Y|) homomorphic evaluation fast in tests.
+const testKeyBits = 384
+
+func TestRunBasicIntersection(t *testing.T) {
+	client := []string{"tag:a", "tag:b", "tag:c", "tag:d"}
+	server := []string{"tag:c", "tag:d", "tag:e"}
+	got, err := Run(rand.Reader, testKeyBits, client, server)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(got)
+	want := []string{"tag:c", "tag:d"}
+	if len(got) != len(want) {
+		t.Fatalf("intersection = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("intersection = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRunDisjointSets(t *testing.T) {
+	got, err := Run(rand.Reader, testKeyBits, []string{"tag:a", "tag:b"}, []string{"tag:x", "tag:y"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("disjoint sets should have empty intersection, got %v", got)
+	}
+}
+
+func TestRunIdenticalSets(t *testing.T) {
+	set := []string{"tag:a", "tag:b", "tag:c"}
+	got, err := Run(rand.Reader, testKeyBits, set, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(set) {
+		t.Errorf("identical sets should fully intersect, got %v", got)
+	}
+}
+
+func TestClientValidation(t *testing.T) {
+	if _, err := NewClient(rand.Reader, testKeyBits, nil); err == nil {
+		t.Error("empty client set should fail")
+	}
+	client, err := NewClient(rand.Reader, testKeyBits, []string{"tag:a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Intersect(nil); err == nil {
+		t.Error("nil response should fail")
+	}
+	req, err := client.BuildRequest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(req.Coefficients) != 2 {
+		t.Errorf("degree-1 polynomial should have 2 coefficients, got %d", len(req.Coefficients))
+	}
+	if _, err := Respond(rand.Reader, req, nil); err == nil {
+		t.Error("empty server set should fail")
+	}
+	if _, err := Respond(rand.Reader, nil, []string{"tag:x"}); err == nil {
+		t.Error("nil request should fail")
+	}
+}
+
+func TestServerLearnsNothingDirectly(t *testing.T) {
+	// The request contains only Paillier ciphertexts — every coefficient
+	// ciphertext must differ from the raw coefficient values (sanity check
+	// that nothing is sent in the clear).
+	client, err := NewClient(rand.Reader, testKeyBits, []string{"tag:a", "tag:b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := client.BuildRequest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, ct := range req.Coefficients {
+		if ct.C.BitLen() < 100 {
+			t.Errorf("coefficient %d looks unencrypted (%d bits)", i, ct.C.BitLen())
+		}
+	}
+}
+
+// Property: the protocol output always equals the plaintext intersection.
+func TestMatchesPlainIntersectionProperty(t *testing.T) {
+	rng := mrand.New(mrand.NewSource(1))
+	universe := []string{"tag:a", "tag:b", "tag:c", "tag:d", "tag:e", "tag:f"}
+	pick := func() []string {
+		var out []string
+		for _, u := range universe {
+			if rng.Intn(2) == 0 {
+				out = append(out, u)
+			}
+		}
+		if len(out) == 0 {
+			out = append(out, universe[rng.Intn(len(universe))])
+		}
+		return out
+	}
+	f := func() bool {
+		clientSet, serverSet := pick(), pick()
+		got, err := Run(rand.Reader, testKeyBits, clientSet, serverSet)
+		if err != nil {
+			return false
+		}
+		want := map[string]bool{}
+		for _, c := range clientSet {
+			for _, s := range serverSet {
+				if c == s {
+					want[c] = true
+				}
+			}
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for _, g := range got {
+			if !want[g] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(func() bool { return f() }, &quick.Config{MaxCount: 8}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,188 @@
+// Package paillier implements the Paillier additively homomorphic
+// cryptosystem from scratch on math/big. It is the asymmetric substrate of
+// the FNP04 private-set-intersection baseline and the private dot-product
+// baseline that the paper compares against (Table III): Enc(a)·Enc(b) =
+// Enc(a+b) and Enc(a)^k = Enc(k·a).
+//
+// The implementation is for reproducing the paper's baselines and cost
+// comparisons; it has not been hardened for production use.
+package paillier
+
+import (
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+)
+
+// MinimumBits is the smallest modulus size accepted, to keep accidental toy
+// keys out of benchmarks while still allowing fast test keys.
+const MinimumBits = 256
+
+//nolint:gochecknoglobals // small immutable big.Int constants.
+var (
+	one = big.NewInt(1)
+	two = big.NewInt(2)
+)
+
+// PublicKey is a Paillier public key (n, g) with g = n+1.
+type PublicKey struct {
+	// N is the modulus p·q.
+	N *big.Int
+	// NSquared caches n².
+	NSquared *big.Int
+	// G is the generator n+1.
+	G *big.Int
+}
+
+// PrivateKey holds the decryption trapdoor.
+type PrivateKey struct {
+	PublicKey
+	// Lambda is lcm(p-1, q-1).
+	Lambda *big.Int
+	// Mu is (L(g^λ mod n²))⁻¹ mod n.
+	Mu *big.Int
+}
+
+// GenerateKey creates a Paillier key pair with an n of the given bit length.
+func GenerateKey(rng io.Reader, bits int) (*PrivateKey, error) {
+	if bits < MinimumBits {
+		return nil, fmt.Errorf("paillier: modulus must be at least %d bits, got %d", MinimumBits, bits)
+	}
+	if rng == nil {
+		rng = rand.Reader
+	}
+	for {
+		p, err := rand.Prime(rng, bits/2)
+		if err != nil {
+			return nil, fmt.Errorf("paillier: generating p: %w", err)
+		}
+		q, err := rand.Prime(rng, bits-bits/2)
+		if err != nil {
+			return nil, fmt.Errorf("paillier: generating q: %w", err)
+		}
+		if p.Cmp(q) == 0 {
+			continue
+		}
+		n := new(big.Int).Mul(p, q)
+		pMinus1 := new(big.Int).Sub(p, one)
+		qMinus1 := new(big.Int).Sub(q, one)
+		gcd := new(big.Int).GCD(nil, nil, pMinus1, qMinus1)
+		lambda := new(big.Int).Div(new(big.Int).Mul(pMinus1, qMinus1), gcd)
+
+		nSquared := new(big.Int).Mul(n, n)
+		g := new(big.Int).Add(n, one)
+		// mu = (L(g^lambda mod n^2))^-1 mod n, with L(u) = (u-1)/n.
+		u := new(big.Int).Exp(g, lambda, nSquared)
+		l := lFunction(u, n)
+		mu := new(big.Int).ModInverse(l, n)
+		if mu == nil {
+			continue
+		}
+		return &PrivateKey{
+			PublicKey: PublicKey{N: n, NSquared: nSquared, G: g},
+			Lambda:    lambda,
+			Mu:        mu,
+		}, nil
+	}
+}
+
+func lFunction(u, n *big.Int) *big.Int {
+	return new(big.Int).Div(new(big.Int).Sub(u, one), n)
+}
+
+// Ciphertext is a Paillier ciphertext (an element of Z*_{n²}).
+type Ciphertext struct {
+	C *big.Int
+}
+
+// Errors returned by encryption and decryption.
+var (
+	// ErrMessageRange indicates a plaintext outside [0, n).
+	ErrMessageRange = errors.New("paillier: message outside [0, n)")
+	// ErrInvalidCiphertext indicates a ciphertext outside Z_{n²}.
+	ErrInvalidCiphertext = errors.New("paillier: invalid ciphertext")
+)
+
+// Encrypt encrypts m ∈ [0, n) under the public key.
+func (pk *PublicKey) Encrypt(rng io.Reader, m *big.Int) (*Ciphertext, error) {
+	if m.Sign() < 0 || m.Cmp(pk.N) >= 0 {
+		return nil, ErrMessageRange
+	}
+	if rng == nil {
+		rng = rand.Reader
+	}
+	r, err := randomCoprime(rng, pk.N)
+	if err != nil {
+		return nil, err
+	}
+	// c = g^m · r^n mod n²; with g = n+1, g^m = 1 + m·n mod n².
+	gm := new(big.Int).Mod(new(big.Int).Add(one, new(big.Int).Mul(m, pk.N)), pk.NSquared)
+	rn := new(big.Int).Exp(r, pk.N, pk.NSquared)
+	c := new(big.Int).Mod(new(big.Int).Mul(gm, rn), pk.NSquared)
+	return &Ciphertext{C: c}, nil
+}
+
+// EncryptInt64 is a convenience wrapper for small plaintexts.
+func (pk *PublicKey) EncryptInt64(rng io.Reader, m int64) (*Ciphertext, error) {
+	v := big.NewInt(m)
+	if m < 0 {
+		v.Mod(v, pk.N)
+	}
+	return pk.Encrypt(rng, v)
+}
+
+// Decrypt recovers the plaintext of a ciphertext.
+func (sk *PrivateKey) Decrypt(ct *Ciphertext) (*big.Int, error) {
+	if ct == nil || ct.C == nil || ct.C.Sign() <= 0 || ct.C.Cmp(sk.NSquared) >= 0 {
+		return nil, ErrInvalidCiphertext
+	}
+	u := new(big.Int).Exp(ct.C, sk.Lambda, sk.NSquared)
+	l := lFunction(u, sk.N)
+	m := new(big.Int).Mod(new(big.Int).Mul(l, sk.Mu), sk.N)
+	return m, nil
+}
+
+// Add returns a ciphertext of the sum of the two plaintexts.
+func (pk *PublicKey) Add(a, b *Ciphertext) *Ciphertext {
+	return &Ciphertext{C: new(big.Int).Mod(new(big.Int).Mul(a.C, b.C), pk.NSquared)}
+}
+
+// AddPlain returns a ciphertext of (plaintext of a) + m.
+func (pk *PublicKey) AddPlain(a *Ciphertext, m *big.Int) *Ciphertext {
+	gm := new(big.Int).Mod(new(big.Int).Add(one, new(big.Int).Mul(new(big.Int).Mod(m, pk.N), pk.N)), pk.NSquared)
+	return &Ciphertext{C: new(big.Int).Mod(new(big.Int).Mul(a.C, gm), pk.NSquared)}
+}
+
+// ScalarMul returns a ciphertext of k · (plaintext of a).
+func (pk *PublicKey) ScalarMul(a *Ciphertext, k *big.Int) *Ciphertext {
+	exp := new(big.Int).Mod(k, pk.N)
+	return &Ciphertext{C: new(big.Int).Exp(a.C, exp, pk.NSquared)}
+}
+
+// Rerandomize multiplies a ciphertext by a fresh encryption of zero, hiding
+// which homomorphic operations produced it.
+func (pk *PublicKey) Rerandomize(rng io.Reader, a *Ciphertext) (*Ciphertext, error) {
+	zero, err := pk.Encrypt(rng, big.NewInt(0))
+	if err != nil {
+		return nil, err
+	}
+	return pk.Add(a, zero), nil
+}
+
+// randomCoprime draws r ∈ [1, n) with gcd(r, n) = 1.
+func randomCoprime(rng io.Reader, n *big.Int) (*big.Int, error) {
+	for {
+		r, err := rand.Int(rng, n)
+		if err != nil {
+			return nil, fmt.Errorf("paillier: sampling randomizer: %w", err)
+		}
+		if r.Cmp(two) < 0 {
+			continue
+		}
+		if new(big.Int).GCD(nil, nil, r, n).Cmp(one) == 0 {
+			return r, nil
+		}
+	}
+}

@@ -1,0 +1,164 @@
+package paillier
+
+import (
+	"crypto/rand"
+	"math/big"
+	mrand "math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// testKey generates a small (fast) key once per test binary.
+func testKey(tb testing.TB) *PrivateKey {
+	tb.Helper()
+	key, err := GenerateKey(rand.Reader, 512)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return key
+}
+
+func TestGenerateKeyValidation(t *testing.T) {
+	if _, err := GenerateKey(rand.Reader, 128); err == nil {
+		t.Error("tiny modulus should be rejected")
+	}
+	key := testKey(t)
+	if key.N.BitLen() < 500 {
+		t.Errorf("modulus only %d bits", key.N.BitLen())
+	}
+	if new(big.Int).Mul(key.N, key.N).Cmp(key.NSquared) != 0 {
+		t.Error("NSquared is not N²")
+	}
+}
+
+func TestEncryptDecryptRoundTrip(t *testing.T) {
+	key := testKey(t)
+	for _, m := range []int64{0, 1, 42, 65535, 1 << 40} {
+		ct, err := key.EncryptInt64(rand.Reader, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := key.Decrypt(ct)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Int64() != m {
+			t.Errorf("Decrypt(Encrypt(%d)) = %v", m, got)
+		}
+	}
+}
+
+func TestEncryptionIsRandomized(t *testing.T) {
+	key := testKey(t)
+	a, _ := key.EncryptInt64(rand.Reader, 7)
+	b, _ := key.EncryptInt64(rand.Reader, 7)
+	if a.C.Cmp(b.C) == 0 {
+		t.Error("two encryptions of the same plaintext should differ")
+	}
+}
+
+func TestEncryptRange(t *testing.T) {
+	key := testKey(t)
+	if _, err := key.Encrypt(rand.Reader, new(big.Int).Neg(big.NewInt(1))); err != ErrMessageRange {
+		t.Error("negative plaintext should be rejected")
+	}
+	if _, err := key.Encrypt(rand.Reader, key.N); err != ErrMessageRange {
+		t.Error("plaintext = n should be rejected")
+	}
+}
+
+func TestDecryptRejectsBadCiphertext(t *testing.T) {
+	key := testKey(t)
+	if _, err := key.Decrypt(nil); err == nil {
+		t.Error("nil ciphertext should fail")
+	}
+	if _, err := key.Decrypt(&Ciphertext{C: big.NewInt(0)}); err == nil {
+		t.Error("zero ciphertext should fail")
+	}
+	if _, err := key.Decrypt(&Ciphertext{C: key.NSquared}); err == nil {
+		t.Error("out-of-range ciphertext should fail")
+	}
+}
+
+func TestHomomorphicAdd(t *testing.T) {
+	key := testKey(t)
+	a, _ := key.EncryptInt64(rand.Reader, 1234)
+	b, _ := key.EncryptInt64(rand.Reader, 4321)
+	sum, err := key.Decrypt(key.Add(a, b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Int64() != 5555 {
+		t.Errorf("homomorphic add = %v, want 5555", sum)
+	}
+}
+
+func TestHomomorphicAddPlainAndScalarMul(t *testing.T) {
+	key := testKey(t)
+	a, _ := key.EncryptInt64(rand.Reader, 100)
+	plus, err := key.Decrypt(key.AddPlain(a, big.NewInt(23)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plus.Int64() != 123 {
+		t.Errorf("AddPlain = %v, want 123", plus)
+	}
+	times, err := key.Decrypt(key.ScalarMul(a, big.NewInt(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if times.Int64() != 700 {
+		t.Errorf("ScalarMul = %v, want 700", times)
+	}
+}
+
+func TestRerandomizePreservesPlaintext(t *testing.T) {
+	key := testKey(t)
+	a, _ := key.EncryptInt64(rand.Reader, 99)
+	b, err := key.Rerandomize(rand.Reader, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.C.Cmp(b.C) == 0 {
+		t.Error("rerandomization should change the ciphertext")
+	}
+	got, err := key.Decrypt(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Int64() != 99 {
+		t.Errorf("rerandomized plaintext = %v", got)
+	}
+}
+
+// Property: Dec(Enc(a)·Enc(b)) = a+b and Dec(Enc(a)^k) = k·a for random
+// small values (all mod n, but kept far below it here).
+func TestHomomorphismProperty(t *testing.T) {
+	key := testKey(t)
+	rng := mrand.New(mrand.NewSource(1))
+	f := func() bool {
+		a := rng.Int63n(1 << 30)
+		b := rng.Int63n(1 << 30)
+		k := rng.Int63n(1 << 10)
+		ca, err := key.EncryptInt64(rand.Reader, a)
+		if err != nil {
+			return false
+		}
+		cb, err := key.EncryptInt64(rand.Reader, b)
+		if err != nil {
+			return false
+		}
+		sum, err := key.Decrypt(key.Add(ca, cb))
+		if err != nil || sum.Int64() != a+b {
+			return false
+		}
+		prod, err := key.Decrypt(key.ScalarMul(ca, big.NewInt(k)))
+		if err != nil || prod.Int64() != a*k {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(func() bool { return f() }, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,245 @@
+package channel
+
+import (
+	"bytes"
+	"crypto/rand"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"sealedbottle/internal/crypt"
+)
+
+func testKeys(tb testing.TB) (crypt.Key, crypt.Key) {
+	tb.Helper()
+	x, err := crypt.NewSessionKey(rand.Reader)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	y, err := crypt.NewSessionKey(rand.Reader)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return x, y
+}
+
+func pairwisePair(tb testing.TB) (*Channel, *Channel) {
+	tb.Helper()
+	x, y := testKeys(tb)
+	a, err := NewPairwise(x, y, RoleInitiator, rand.Reader)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	b, err := NewPairwise(x, y, RoleResponder, rand.Reader)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return a, b
+}
+
+func TestNewChannelValidation(t *testing.T) {
+	x, y := testKeys(t)
+	if _, err := NewPairwise(crypt.Key{}, crypt.Key{}, RoleInitiator, rand.Reader); err == nil {
+		t.Error("zero key should fail")
+	}
+	if _, err := NewPairwise(x, y, Role(7), rand.Reader); err == nil {
+		t.Error("invalid role should fail")
+	}
+	c, err := NewWithKey(crypt.CombineKeys(x, y), RoleInitiator, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Role() != RoleInitiator {
+		t.Error("role not stored")
+	}
+}
+
+func TestPairwiseRoundTrip(t *testing.T) {
+	a, b := pairwisePair(t)
+	msg := []byte("hello over the sealed channel")
+	frame, err := a.Seal(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.Open(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Error("round trip mismatch")
+	}
+	// And the reverse direction.
+	frame2, err := b.Seal([]byte("reply"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Open(frame2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBothEndsDeriveSameFingerprint(t *testing.T) {
+	a, b := pairwisePair(t)
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Error("fingerprints differ for the same key")
+	}
+	// A different key pair yields a different fingerprint.
+	c, _ := pairwisePair(t)
+	if a.Fingerprint() == c.Fingerprint() {
+		t.Error("independent channels should not share fingerprints")
+	}
+}
+
+func TestOrderOfKeysMatters(t *testing.T) {
+	x, y := testKeys(t)
+	a, _ := NewPairwise(x, y, RoleInitiator, rand.Reader)
+	swapped, _ := NewPairwise(y, x, RoleResponder, rand.Reader)
+	frame, err := a.Seal([]byte("msg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := swapped.Open(frame); err == nil {
+		t.Error("swapping x and y should produce an incompatible key")
+	}
+}
+
+func TestReplayRejected(t *testing.T) {
+	a, b := pairwisePair(t)
+	frame, _ := a.Seal([]byte("once"))
+	if _, err := b.Open(frame); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Open(frame); !errors.Is(err, ErrReplay) {
+		t.Errorf("replay should be rejected, got %v", err)
+	}
+}
+
+func TestOutOfOrderRejected(t *testing.T) {
+	a, b := pairwisePair(t)
+	f1, _ := a.Seal([]byte("one"))
+	f2, _ := a.Seal([]byte("two"))
+	if _, err := b.Open(f2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Open(f1); !errors.Is(err, ErrReplay) {
+		t.Errorf("stale frame should be rejected, got %v", err)
+	}
+}
+
+func TestWrongDirectionRejected(t *testing.T) {
+	a, b := pairwisePair(t)
+	frame, _ := a.Seal([]byte("to responder"))
+	// Another initiator-side channel with the same key must not accept its
+	// own role's traffic (reflection attack).
+	if _, err := a.Open(frame); !errors.Is(err, ErrWrongDirection) {
+		t.Errorf("reflection should be rejected, got %v", err)
+	}
+	_ = b
+}
+
+func TestTamperedFrameRejected(t *testing.T) {
+	a, b := pairwisePair(t)
+	frame, _ := a.Seal([]byte("payload"))
+	frame[len(frame)-1] ^= 0x01
+	if _, err := b.Open(frame); !errors.Is(err, ErrBadFrame) {
+		t.Errorf("tampered frame should fail authentication, got %v", err)
+	}
+	if _, err := b.Open([]byte("junk")); !errors.Is(err, ErrBadFrame) {
+		t.Errorf("junk should fail, got %v", err)
+	}
+}
+
+func TestEavesdropperWithoutKeyLearnsNothing(t *testing.T) {
+	a, _ := pairwisePair(t)
+	frame, _ := a.Seal([]byte("secret rendezvous"))
+	// An eavesdropper with a random key cannot open the frame.
+	eveKey, _ := crypt.NewSessionKey(rand.Reader)
+	eve, _ := NewWithKey(eveKey, RoleResponder, rand.Reader)
+	if _, err := eve.Open(frame); err == nil {
+		t.Error("eavesdropper opened the frame")
+	}
+}
+
+func TestGroupChannel(t *testing.T) {
+	x, _ := testKeys(t)
+	leader, err := NewGroup(x, RoleInitiator, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	member, err := NewGroup(x, RoleResponder, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame, _ := leader.Seal([]byte("community announcement"))
+	got, err := member.Open(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "community announcement" {
+		t.Error("group message mismatch")
+	}
+	// The group key is not x itself.
+	direct, _ := NewWithKey(x, RoleResponder, rand.Reader)
+	if _, err := direct.Open(frame); err == nil {
+		t.Error("group key must be derived, not x verbatim")
+	}
+}
+
+func TestConfirmHandshake(t *testing.T) {
+	a, b := pairwisePair(t)
+	challenge, expected, err := a.Confirm()
+	if err != nil {
+		t.Fatal(err)
+	}
+	echo, err := b.Answer(challenge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !echo.Equal(expected) {
+		t.Error("honest peer's echo should match")
+	}
+
+	// A man in the middle with a different key cannot answer.
+	mitmKey, _ := crypt.NewSessionKey(rand.Reader)
+	mitm, _ := NewWithKey(mitmKey, RoleResponder, rand.Reader)
+	if _, err := mitm.Answer(challenge); err == nil {
+		t.Error("MITM answered the confirmation challenge")
+	}
+
+	// A non-confirmation frame is rejected by Answer.
+	plain, _ := a.Seal([]byte("not a challenge"))
+	if _, err := b.Answer(plain); err == nil {
+		t.Error("non-challenge frame accepted by Answer")
+	}
+}
+
+// Property: arbitrary payloads round-trip in both directions and sequence
+// numbers strictly increase.
+func TestChannelRoundTripProperty(t *testing.T) {
+	a, b := pairwisePair(t)
+	f := func(payloads [][]byte) bool {
+		for _, p := range payloads {
+			frame, err := a.Seal(p)
+			if err != nil {
+				return false
+			}
+			got, err := b.Open(frame)
+			if err != nil || !bytes.Equal(got, p) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRoleString(t *testing.T) {
+	if RoleInitiator.String() != "initiator" || RoleResponder.String() != "responder" {
+		t.Error("role strings wrong")
+	}
+	if Role(9).String() == "" {
+		t.Error("unknown role should still render")
+	}
+}

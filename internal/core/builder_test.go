@@ -1,0 +1,190 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"sealedbottle/internal/crypt"
+)
+
+func TestBuildRequestVerifiable(t *testing.T) {
+	spec := RequestSpec{
+		Necessary:   tags("male", "columbia"),
+		Optional:    tags("basketball", "chess", "golf"),
+		MinOptional: 2,
+	}
+	built := mustBuild(t, spec, BuildOptions{Mode: SealModeVerifiable, Origin: "alice", Note: []byte("hello")})
+	pkg := built.Package
+
+	if pkg.Mode != SealModeVerifiable {
+		t.Errorf("mode = %v", pkg.Mode)
+	}
+	if pkg.AttributeCount() != 5 || pkg.NecessaryCount() != 2 || pkg.OptionalCount() != 3 {
+		t.Errorf("counts m=%d α=%d opt=%d", pkg.AttributeCount(), pkg.NecessaryCount(), pkg.OptionalCount())
+	}
+	if pkg.MaxUnknown != 1 || pkg.MinOptional() != 2 {
+		t.Errorf("γ=%d β=%d", pkg.MaxUnknown, pkg.MinOptional())
+	}
+	if pkg.Hint == nil || pkg.Hint.Gamma() != 1 || pkg.Hint.OptionalCount() != 3 {
+		t.Errorf("hint = %+v", pkg.Hint)
+	}
+	if pkg.Prime != DefaultPrime {
+		t.Errorf("prime = %d", pkg.Prime)
+	}
+	if pkg.Origin != "alice" || pkg.ID == "" {
+		t.Errorf("origin=%q id=%q", pkg.Origin, pkg.ID)
+	}
+	if !pkg.ExpiresAt.Equal(pkg.CreatedAt.Add(DefaultValidity)) {
+		t.Errorf("expiry window wrong: %v -> %v", pkg.CreatedAt, pkg.ExpiresAt)
+	}
+	for i, r := range pkg.Remainders {
+		if r >= pkg.Prime {
+			t.Errorf("remainder[%d]=%d not reduced", i, r)
+		}
+	}
+
+	// The sealed message opens under the retained profile key and carries x
+	// plus the note.
+	plaintext, err := crypt.OpenVerifiable(built.Key, pkg.Sealed)
+	if err != nil {
+		t.Fatalf("initiator cannot open its own sealed message: %v", err)
+	}
+	x, note, err := decodePayload(plaintext)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !x.Equal(built.X) {
+		t.Error("payload x mismatch")
+	}
+	if string(note) != "hello" {
+		t.Errorf("note = %q", note)
+	}
+}
+
+func TestBuildRequestPerfectMatchHasNoHint(t *testing.T) {
+	built := mustBuild(t, PerfectMatch(tags("a", "b", "c")...), BuildOptions{})
+	if built.Package.Hint != nil {
+		t.Error("perfect match should not carry a hint matrix")
+	}
+	if built.Package.MaxUnknown != 0 {
+		t.Errorf("γ = %d", built.Package.MaxUnknown)
+	}
+	if built.Package.Mode != SealModeVerifiable {
+		t.Errorf("default mode = %v, want verifiable", built.Package.Mode)
+	}
+}
+
+func TestBuildRequestOpaqueRejectsNote(t *testing.T) {
+	_, err := BuildRequest(PerfectMatch(tags("a")...), BuildOptions{
+		Mode: SealModeOpaque,
+		Note: []byte("not allowed"),
+		Rand: newDetRand(1),
+	})
+	if !errors.Is(err, ErrNoteNotAllowed) {
+		t.Errorf("want ErrNoteNotAllowed, got %v", err)
+	}
+}
+
+func TestBuildRequestOpaquePayloadIsFixedSize(t *testing.T) {
+	built := mustBuild(t, FuzzyMatch(2, tags("a", "b", "c")...), BuildOptions{Mode: SealModeOpaque})
+	if got := len(built.Package.Sealed); got != crypt.KeySize+crypt.OpaqueOverhead {
+		t.Errorf("opaque sealed size = %d, want %d", got, crypt.KeySize+crypt.OpaqueOverhead)
+	}
+	plaintext, err := crypt.OpenOpaque(built.Key, built.Package.Sealed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, note, err := decodePayload(plaintext)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !x.Equal(built.X) || len(note) != 0 {
+		t.Error("opaque payload should be exactly the session key")
+	}
+}
+
+func TestBuildRequestInvalidSpec(t *testing.T) {
+	if _, err := BuildRequest(RequestSpec{}, BuildOptions{Rand: newDetRand(1)}); err == nil {
+		t.Error("empty spec should fail")
+	}
+	if _, err := BuildRequest(PerfectMatch(tags("a")...), BuildOptions{Mode: SealMode(9), Rand: newDetRand(1)}); err == nil {
+		t.Error("invalid mode should fail")
+	}
+}
+
+func TestBuildRequestDynamicKeyChangesEverything(t *testing.T) {
+	spec := PerfectMatch(tags("a", "b")...)
+	plain := mustBuild(t, spec, BuildOptions{})
+	specDyn := spec
+	specDyn.DynamicKey = []byte("lattice-point-set-hash")
+	bound := mustBuild(t, specDyn, BuildOptions{})
+
+	if plain.Key.Equal(bound.Key) {
+		t.Error("dynamic key must change the profile key")
+	}
+	same := true
+	for i := range plain.Package.Remainders {
+		if plain.Package.Remainders[i] != bound.Package.Remainders[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("dynamic key should change the remainder vector")
+	}
+}
+
+func TestBuildRequestCustomValidityAndPrime(t *testing.T) {
+	spec := PerfectMatch(tags("a", "b")...)
+	spec.Prime = 23
+	built := mustBuild(t, spec, BuildOptions{Validity: time.Minute})
+	if built.Package.Prime != 23 {
+		t.Errorf("prime = %d", built.Package.Prime)
+	}
+	if got := built.Package.ExpiresAt.Sub(built.Package.CreatedAt); got != time.Minute {
+		t.Errorf("validity = %v", got)
+	}
+}
+
+func TestHintMatrixConsistentWithVector(t *testing.T) {
+	spec := RequestSpec{
+		Necessary:   tags("n1"),
+		Optional:    tags("o1", "o2", "o3", "o4"),
+		MinOptional: 2,
+	}
+	built := mustBuild(t, spec, BuildOptions{})
+	hint := built.Package.Hint
+	if hint.Gamma() != 2 || hint.OptionalCount() != 4 {
+		t.Fatalf("hint shape %dx%d", hint.Gamma(), hint.OptionalCount())
+	}
+	// Recompute B from the retained vector: C × h_opt must equal B.
+	opt := make([][]byte, 0, 4)
+	for i, isOpt := range built.Package.Optional {
+		if isOpt {
+			d := built.Vector[i]
+			opt = append(opt, d[:])
+		}
+	}
+	if len(opt) != 4 {
+		t.Fatalf("optional positions = %d", len(opt))
+	}
+	b2, err := hint.C.MulVector(vectorFromDigests(opt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b2.Equal(hint.B) {
+		t.Error("hint B does not equal C × optional hashes")
+	}
+	// The leading γ×γ block of C must be the identity.
+	for i := 0; i < hint.Gamma(); i++ {
+		for j := 0; j < hint.Gamma(); j++ {
+			e := hint.C.At(i, j)
+			if i == j && !e.Equal(oneElement()) {
+				t.Error("identity block diagonal is not 1")
+			}
+			if i != j && !e.IsZero() {
+				t.Error("identity block off-diagonal is not 0")
+			}
+		}
+	}
+}

@@ -1,0 +1,31 @@
+// Package core implements the Sealed Bottle mechanism itself: the privacy
+// preserving profile matching and secure channel establishment protocols of
+// Zhang & Li, "Message in a Sealed Bottle" (ICDCS 2013).
+//
+// The initiator describes the person they want to find as a request attribute
+// set A_t = (N_t, O_t): α necessary attributes that a match must own and
+// m_t−α optional attributes of which at least β must be owned, giving the
+// similarity threshold θ = (α+β)/m_t. From the request profile the initiator
+// derives
+//
+//   - a profile key K_t = H(H_t) that seals a secret message (carrying the
+//     random session key x),
+//   - a remainder vector (the attribute hashes mod a small prime p) that lets
+//     most non-matching relays dismiss the request after a handful of modulo
+//     comparisons, and
+//   - a hint matrix [C, B] with C = [I_γ, R] that lets a user owning at least
+//     β optional attributes solve for the γ = m_t−α−β hashes they are missing
+//     and reconstruct K_t exactly.
+//
+// Only the sealed message, the remainder vector and the hint matrix ever
+// leave the initiator's device; the profile vector and profile key do not.
+// A user that reconstructs K_t can unseal the message, learn x, and reply
+// with its own session key y sealed under x, after which both ends share the
+// pairwise channel key derived from (x, y).
+//
+// Three protocol variants trade off verifiability against resistance to
+// dictionary profiling: Protocol 1 includes confirmation information in the
+// sealed message, Protocol 2 removes it, and Protocol 3 additionally bounds
+// the entropy a candidate is willing to risk exposing to a malicious
+// initiator (ϕ-entropy privacy).
+package core

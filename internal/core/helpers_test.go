@@ -1,0 +1,72 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"sealedbottle/internal/attr"
+	"sealedbottle/internal/field"
+)
+
+// detRand is a deterministic io.Reader for reproducible tests. It is NOT
+// cryptographically secure and must never leave _test files.
+type detRand struct{ rng *rand.Rand }
+
+func newDetRand(seed int64) *detRand { return &detRand{rng: rand.New(rand.NewSource(seed))} }
+
+func (d *detRand) Read(p []byte) (int, error) { return d.rng.Read(p) }
+
+// fixedClock returns a time.Now substitute pinned at a fixed instant.
+func fixedClock(t time.Time) func() time.Time { return func() time.Time { return t } }
+
+// testEpoch is the base instant used by deterministic tests.
+var testEpoch = time.Date(2013, 7, 8, 12, 0, 0, 0, time.UTC)
+
+// tags builds attributes under the "tag" header from plain values.
+func tags(values ...string) []attr.Attribute {
+	out := make([]attr.Attribute, len(values))
+	for i, v := range values {
+		out[i] = attr.MustNew("tag", v)
+	}
+	return out
+}
+
+// profileOf builds a profile from "tag" values.
+func profileOf(values ...string) *attr.Profile {
+	return attr.NewProfile(tags(values...)...)
+}
+
+// mustBuild builds a request and fails the test on error.
+func mustBuild(t *testing.T, spec RequestSpec, opts BuildOptions) *BuiltRequest {
+	t.Helper()
+	if opts.Rand == nil {
+		opts.Rand = newDetRand(42)
+	}
+	if opts.Now == nil {
+		opts.Now = fixedClock(testEpoch)
+	}
+	built, err := BuildRequest(spec, opts)
+	if err != nil {
+		t.Fatalf("BuildRequest: %v", err)
+	}
+	return built
+}
+
+// mustMatcher builds a matcher and fails the test on error.
+func mustMatcher(t *testing.T, p *attr.Profile, cfg MatcherConfig) *Matcher {
+	t.Helper()
+	m, err := NewMatcher(p, cfg)
+	if err != nil {
+		t.Fatalf("NewMatcher: %v", err)
+	}
+	return m
+}
+
+// vectorFromDigests lifts raw digest byte slices into a field vector.
+func vectorFromDigests(digests [][]byte) field.Vector {
+	return field.VectorFromBytes(digests)
+}
+
+// oneElement returns the field's multiplicative identity.
+func oneElement() field.Element { return field.One() }

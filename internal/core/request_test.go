@@ -1,0 +1,163 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"sort"
+	"testing"
+
+	"sealedbottle/internal/attr"
+)
+
+func TestRequestSpecDerivedQuantities(t *testing.T) {
+	spec := RequestSpec{
+		Necessary:   tags("a", "b"),
+		Optional:    tags("c", "d", "e", "f"),
+		MinOptional: 3,
+	}
+	if spec.Alpha() != 2 || spec.Beta() != 3 || spec.Gamma() != 1 || spec.Total() != 6 {
+		t.Fatalf("α=%d β=%d γ=%d m=%d", spec.Alpha(), spec.Beta(), spec.Gamma(), spec.Total())
+	}
+	if math.Abs(spec.Threshold()-5.0/6.0) > 1e-9 {
+		t.Errorf("θ = %v, want 5/6", spec.Threshold())
+	}
+	if spec.EffectivePrime() != DefaultPrime {
+		t.Errorf("default prime = %d", spec.EffectivePrime())
+	}
+	if err := spec.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestRequestSpecConstructors(t *testing.T) {
+	pm := PerfectMatch(tags("a", "b", "c")...)
+	if pm.Gamma() != 0 || pm.Threshold() != 1 {
+		t.Errorf("PerfectMatch γ=%d θ=%v", pm.Gamma(), pm.Threshold())
+	}
+	fz := FuzzyMatch(2, tags("a", "b", "c", "d")...)
+	if fz.Alpha() != 0 || fz.Beta() != 2 || fz.Gamma() != 2 {
+		t.Errorf("FuzzyMatch α=%d β=%d γ=%d", fz.Alpha(), fz.Beta(), fz.Gamma())
+	}
+	if fz.Threshold() != 0.5 {
+		t.Errorf("θ = %v", fz.Threshold())
+	}
+}
+
+func TestRequestSpecValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		spec    RequestSpec
+		wantErr error
+	}{
+		{"empty", RequestSpec{}, ErrNoAttributes},
+		{
+			"beta too large",
+			RequestSpec{Optional: tags("a", "b"), MinOptional: 3},
+			ErrBadThreshold,
+		},
+		{
+			"negative beta",
+			RequestSpec{Optional: tags("a", "b"), MinOptional: -1},
+			ErrBadThreshold,
+		},
+		{
+			"bad prime",
+			RequestSpec{Necessary: tags("a"), Prime: 10},
+			ErrBadPrime,
+		},
+		{
+			"prime too small",
+			RequestSpec{Necessary: tags("a"), Prime: 2},
+			ErrBadPrime,
+		},
+		{
+			"overlap",
+			RequestSpec{Necessary: tags("a"), Optional: tags("a", "b"), MinOptional: 1},
+			ErrOverlap,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.spec.Validate()
+			if !errors.Is(err, tt.wantErr) {
+				t.Errorf("Validate() = %v, want %v", err, tt.wantErr)
+			}
+		})
+	}
+	dup := RequestSpec{Necessary: []attr.Attribute{attr.MustNew("tag", "a"), attr.MustNew("Tag", "A")}}
+	if err := dup.Validate(); err == nil {
+		t.Error("duplicate necessary attributes should fail validation")
+	}
+	dupOpt := RequestSpec{Optional: []attr.Attribute{attr.MustNew("tag", "a"), attr.MustNew("Tag", "A")}, MinOptional: 1}
+	if err := dupOpt.Validate(); err == nil {
+		t.Error("duplicate optional attributes should fail validation")
+	}
+}
+
+func TestRequestSpecMatchesOracle(t *testing.T) {
+	spec := RequestSpec{
+		Necessary:   tags("male", "columbia"),
+		Optional:    tags("basketball", "chess", "golf", "tennis"),
+		MinOptional: 2,
+	}
+	tests := []struct {
+		name    string
+		profile *attr.Profile
+		want    bool
+	}{
+		{"perfect", profileOf("male", "columbia", "basketball", "chess", "golf", "tennis"), true},
+		{"just enough optional", profileOf("male", "columbia", "basketball", "chess"), true},
+		{"missing necessary", profileOf("male", "basketball", "chess", "golf"), false},
+		{"too few optional", profileOf("male", "columbia", "basketball"), false},
+		{"extra attributes ok", profileOf("male", "columbia", "basketball", "chess", "cooking", "hiking"), true},
+		{"empty profile", profileOf(), false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := spec.Matches(tt.profile); got != tt.want {
+				t.Errorf("Matches = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestBuildLayoutSortedWithMask(t *testing.T) {
+	spec := RequestSpec{
+		Necessary:   tags("zebra", "apple"),
+		Optional:    tags("mango", "banana"),
+		MinOptional: 1,
+	}
+	l := spec.buildLayout()
+	if len(l.attrs) != 4 || len(l.optional) != 4 {
+		t.Fatalf("layout sizes %d/%d", len(l.attrs), len(l.optional))
+	}
+	canon := make([]string, len(l.attrs))
+	for i, a := range l.attrs {
+		canon[i] = a.Canonical()
+	}
+	if !sort.StringsAreSorted(canon) {
+		t.Errorf("layout not sorted: %v", canon)
+	}
+	// The optional mask must track the attributes through the sort.
+	necessary := attr.NewProfile(spec.Necessary...)
+	for i, a := range l.attrs {
+		if necessary.Contains(a) == l.optional[i] {
+			t.Errorf("position %d (%s): optional mask %v is wrong", i, a.Canonical(), l.optional[i])
+		}
+	}
+}
+
+func TestIsSmallPrime(t *testing.T) {
+	primes := []uint32{2, 3, 5, 7, 11, 13, 23, 47, 65521}
+	composites := []uint32{0, 1, 4, 9, 15, 21, 25, 49, 65520}
+	for _, p := range primes {
+		if !isSmallPrime(p) {
+			t.Errorf("isSmallPrime(%d) = false", p)
+		}
+	}
+	for _, c := range composites {
+		if isSmallPrime(c) {
+			t.Errorf("isSmallPrime(%d) = true", c)
+		}
+	}
+}

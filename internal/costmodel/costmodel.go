@@ -1,0 +1,348 @@
+// Package costmodel reproduces the paper's analytic efficiency comparison:
+// the operation-count and communication formulas of Table III, the basic
+// operation timings of Tables IV and V, and the typical-scenario comparison
+// of Table VII. Operation counts are evaluated either with the timings the
+// paper published (so the tables can be regenerated exactly as printed) or
+// with timings measured on the host machine (so the shape can be checked on
+// today's hardware).
+package costmodel
+
+import (
+	"crypto/rand"
+	"crypto/sha256"
+	"fmt"
+	"math"
+	"math/big"
+	"time"
+
+	"sealedbottle/internal/crypt"
+)
+
+// Operation names used in the cost formulas.
+const (
+	// Symmetric operations (this paper's protocol).
+	OpHash   = "H" // one SHA-256 of an attribute
+	OpMod    = "M" // one 256-bit value mod small prime
+	OpAESEnc = "E" // one AES-256 encryption
+	OpAESDec = "D" // one AES-256 decryption
+	OpMul256 = "Mul256"
+	OpCmp256 = "Cmp256"
+
+	// Asymmetric operations (the baselines).
+	OpMul1024 = "M2" // 1024-bit modular multiplication
+	OpMul2048 = "M3" // 2048-bit modular multiplication
+	OpExp1024 = "E2" // 1024-bit modular exponentiation
+	OpExp2048 = "E3" // 2048-bit modular exponentiation
+)
+
+// OpTimes maps an operation name to its duration.
+type OpTimes map[string]time.Duration
+
+// PaperLaptopTimes are the per-operation timings the paper reports for its
+// ThinkPad X1 (Tables IV and V), used to regenerate Table VII as printed.
+func PaperLaptopTimes() OpTimes {
+	return OpTimes{
+		OpHash:    1200 * time.Nanosecond,
+		OpMod:     310 * time.Nanosecond,
+		OpAESEnc:  870 * time.Nanosecond,
+		OpAESDec:  960 * time.Nanosecond,
+		OpMul256:  140 * time.Nanosecond,
+		OpCmp256:  10 * time.Nanosecond,
+		OpExp1024: 17 * time.Millisecond,
+		OpExp2048: 120 * time.Millisecond,
+		OpMul1024: 23 * time.Microsecond,
+		OpMul2048: 100 * time.Microsecond,
+	}
+}
+
+// PaperPhoneTimes are the per-operation timings the paper reports for its
+// HTC G17 handset.
+func PaperPhoneTimes() OpTimes {
+	return OpTimes{
+		OpHash:    48 * time.Microsecond,
+		OpMod:     57 * time.Microsecond,
+		OpAESEnc:  21 * time.Microsecond,
+		OpAESDec:  25 * time.Microsecond,
+		OpMul256:  32 * time.Microsecond,
+		OpCmp256:  1 * time.Microsecond,
+		OpExp1024: 34 * time.Millisecond,
+		OpExp2048: 197 * time.Millisecond,
+		OpMul1024: 150 * time.Microsecond,
+		OpMul2048: 240 * time.Microsecond,
+	}
+}
+
+// PhoneSlowdown approximates how much slower the paper's handset is than its
+// laptop across the symmetric operations; it converts host-measured timings
+// into phone-scale estimates when real hardware is unavailable.
+const PhoneSlowdown = 30
+
+// Scale multiplies every timing by a constant factor.
+func (t OpTimes) Scale(factor float64) OpTimes {
+	out := make(OpTimes, len(t))
+	for k, v := range t {
+		out[k] = time.Duration(float64(v) * factor)
+	}
+	return out
+}
+
+// MeasureSymmetric measures the symmetric basic operations (Table IV) on the
+// host: SHA-256 of an attribute, 256-bit mod p, AES-256 encryption and
+// decryption of a 32-byte message, 256-bit multiplication and comparison.
+func MeasureSymmetric(iterations int) OpTimes {
+	if iterations <= 0 {
+		iterations = 2000
+	}
+	out := make(OpTimes, 6)
+	attrText := "interest:basketball"
+	digest := crypt.HashAttribute(attrText)
+	key := crypt.KeyFromDigest(digest)
+	msg := make([]byte, 32)
+	sealed, err := crypt.SealOpaque(rand.Reader, key, msg)
+	if err != nil {
+		sealed = make([]byte, 48)
+	}
+	a := new(big.Int).SetBytes(digest[:])
+	b := new(big.Int).Add(a, big.NewInt(12345))
+	other := sha256.Sum256([]byte("other"))
+
+	out[OpHash] = timeOp(iterations, func() { _ = crypt.HashAttribute(attrText) })
+	out[OpMod] = timeOp(iterations, func() { _ = digest.Mod(11) })
+	out[OpAESEnc] = timeOp(iterations, func() { _, _ = crypt.SealOpaque(rand.Reader, key, msg) })
+	out[OpAESDec] = timeOp(iterations, func() { _, _ = crypt.OpenOpaque(key, sealed) })
+	out[OpMul256] = timeOp(iterations, func() { _ = new(big.Int).Mul(a, b) })
+	out[OpCmp256] = timeOp(iterations, func() { _ = digest.Equal(other) })
+	return out
+}
+
+// MeasureAsymmetric measures the asymmetric basic operations (Table V) on the
+// host: 1024/2048-bit modular exponentiation and multiplication.
+func MeasureAsymmetric(iterations int) OpTimes {
+	if iterations <= 0 {
+		iterations = 50
+	}
+	out := make(OpTimes, 4)
+	for _, size := range []int{1024, 2048} {
+		mod, _ := rand.Prime(rand.Reader, size)
+		base, _ := rand.Int(rand.Reader, mod)
+		exp, _ := rand.Int(rand.Reader, mod)
+		factor, _ := rand.Int(rand.Reader, mod)
+		expOp := OpExp1024
+		mulOp := OpMul1024
+		if size == 2048 {
+			expOp = OpExp2048
+			mulOp = OpMul2048
+		}
+		out[expOp] = timeOp(iterations, func() { _ = new(big.Int).Exp(base, exp, mod) })
+		out[mulOp] = timeOp(iterations*20, func() { _ = new(big.Int).Mod(new(big.Int).Mul(base, factor), mod) })
+	}
+	return out
+}
+
+func timeOp(iterations int, op func()) time.Duration {
+	start := time.Now()
+	for i := 0; i < iterations; i++ {
+		op()
+	}
+	return time.Since(start) / time.Duration(iterations)
+}
+
+// Scenario parameterizes the cost formulas: the paper's Table VII uses
+// mt = mk = 6, γ = β = 3, p = 11, n = 100, t = 4 and q = 256.
+type Scenario struct {
+	// Mt and Mk are the request and participant attribute counts.
+	Mt, Mk int
+	// N is the number of participants in the network.
+	N int
+	// T is the baseline-specific parameter t of [14].
+	T int
+	// Gamma and Beta are the fuzzy-search parameters of Protocol 1.
+	Gamma, Beta int
+	// P is the remainder-vector prime.
+	P uint32
+	// Q is the symmetric security parameter in bits (256).
+	Q int
+}
+
+// TypicalScenario returns the Table VII parameters.
+func TypicalScenario() Scenario {
+	return Scenario{Mt: 6, Mk: 6, N: 100, T: 4, Gamma: 3, Beta: 3, P: 11, Q: 256}
+}
+
+// Theta returns the similarity threshold implied by γ and m_t.
+func (s Scenario) Theta() float64 {
+	if s.Mt == 0 {
+		return 0
+	}
+	return float64(s.Mt-s.Gamma) / float64(s.Mt)
+}
+
+// ExpectedCandidateKeys returns ε(κ_k) = C(m_k, α+β)·(1/p)^(α+β), the
+// expected number of candidate profile keys for a participant (Section
+// IV-B1). The scenario's necessary-attribute count is m_t−γ−β.
+func (s Scenario) ExpectedCandidateKeys() float64 {
+	alphaPlusBeta := s.Mt - s.Gamma
+	if alphaPlusBeta <= 0 || s.P == 0 {
+		return 0
+	}
+	return binomial(s.Mk, alphaPlusBeta) * math.Pow(1/float64(s.P), float64(alphaPlusBeta))
+}
+
+// CandidateFraction returns the expected fraction of users that pass the fast
+// check and reply under Protocol 2: n·(1/p)^(m_t·θ) of the population
+// (Section IV-B2), expressed as a fraction of n.
+func (s Scenario) CandidateFraction() float64 {
+	return math.Pow(1/float64(s.P), float64(s.Mt)*s.Theta())
+}
+
+func binomial(n, k int) float64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	out := 1.0
+	for i := 0; i < k; i++ {
+		out *= float64(n-i) / float64(i+1)
+	}
+	return out
+}
+
+// SchemeCost is one row of Table III: per-party operation counts plus
+// communication volume and transmission pattern.
+type SchemeCost struct {
+	// Name identifies the scheme ("FNP", "FC10", "Advanced", "Protocol 1").
+	Name string
+	// InitiatorOps counts operations performed by the initiator P1.
+	InitiatorOps map[string]float64
+	// ParticipantOps counts operations performed by a participant P_k. For
+	// Protocol 1 this is the non-candidate cost; CandidateOps has the
+	// candidate cost.
+	ParticipantOps map[string]float64
+	// CandidateOps counts the extra work of a candidate participant
+	// (Protocol 1 only; nil otherwise).
+	CandidateOps map[string]float64
+	// CommunicationBits is the total bits transmitted across the protocol.
+	CommunicationBits float64
+	// Transmissions describes the transmission pattern.
+	Transmissions string
+}
+
+// FNPCost returns the FNP [10] row of Table III.
+func FNPCost(s Scenario) SchemeCost {
+	mt, mk, n, q := float64(s.Mt), float64(s.Mk), float64(s.N), float64(s.Q)
+	return SchemeCost{
+		Name:              "FNP",
+		InitiatorOps:      map[string]float64{OpExp2048: 2*mt + mk*n},
+		ParticipantOps:    map[string]float64{OpExp2048: mk * math.Log2(math.Max(mt, 2))},
+		CommunicationBits: 8 * q * (mt + mk*n),
+		Transmissions:     "1 broadcast + n unicasts",
+	}
+}
+
+// FC10Cost returns the FC10 [7] row of Table III.
+func FC10Cost(s Scenario) SchemeCost {
+	mt, mk, n, q := float64(s.Mt), float64(s.Mk), float64(s.N), float64(s.Q)
+	return SchemeCost{
+		Name:              "FC10",
+		InitiatorOps:      map[string]float64{OpMul1024: 2.5 * mt * n},
+		ParticipantOps:    map[string]float64{OpExp1024: mt + mk},
+		CommunicationBits: 4 * q * n * (3*mt + mk),
+		Transmissions:     "2n unicasts",
+	}
+}
+
+// AdvancedCost returns the "Advanced [14]" (FindU) row of Table III.
+func AdvancedCost(s Scenario) SchemeCost {
+	mt, mk, n, t, q := float64(s.Mt), float64(s.Mk), float64(s.N), float64(s.T), float64(s.Q)
+	return SchemeCost{
+		Name:              "Advanced",
+		InitiatorOps:      map[string]float64{OpExp2048: 3 * mt * n},
+		ParticipantOps:    map[string]float64{OpExp2048: 2 * mt},
+		CommunicationBits: 24*(mt*mk*n+t*n*(8*mt+2*mk+12*mt*t)) + 16*q*mt*n,
+		Transmissions:     "5n unicasts",
+	}
+}
+
+// Protocol1Cost returns this paper's Protocol 1 row of Table III.
+func Protocol1Cost(s Scenario) SchemeCost {
+	mt, mk, n, q := float64(s.Mt), float64(s.Mk), float64(s.N), float64(s.Q)
+	gamma, beta := float64(s.Gamma), float64(s.Beta)
+	theta := s.Theta()
+	kappa := s.ExpectedCandidateKeys()
+	comm := (1-theta)*32*mt*mt + (288-q*theta)*mt + q + q*n*s.CandidateFraction()
+	return SchemeCost{
+		Name: "Protocol 1",
+		InitiatorOps: map[string]float64{
+			OpHash:   mt + 1,
+			OpMod:    mt,
+			OpAESEnc: 1,
+		},
+		ParticipantOps: map[string]float64{
+			OpHash: mk,
+			OpMod:  mk,
+		},
+		CandidateOps: map[string]float64{
+			OpMul256: kappa * gamma * (gamma + beta),
+			OpHash:   mk + kappa,
+			OpMod:    mk,
+			OpAESDec: kappa,
+		},
+		CommunicationBits: comm,
+		Transmissions:     fmt.Sprintf("1 broadcast + n·(1/p)^(mtθ) ≈ %.3f·n unicasts", s.CandidateFraction()),
+	}
+}
+
+// AllSchemes returns every Table III row for a scenario, in the paper's order.
+func AllSchemes(s Scenario) []SchemeCost {
+	return []SchemeCost{FNPCost(s), FC10Cost(s), AdvancedCost(s), Protocol1Cost(s)}
+}
+
+// EvaluateOps converts an operation-count map into wall-clock time under the
+// given per-operation timings. Unknown operations contribute zero.
+func EvaluateOps(ops map[string]float64, times OpTimes) time.Duration {
+	var total float64
+	for op, count := range ops {
+		total += count * float64(times[op])
+	}
+	return time.Duration(total)
+}
+
+// Evaluation is a Table VII row: a scheme's costs turned into times and bytes
+// for a concrete scenario.
+type Evaluation struct {
+	// Name identifies the scheme.
+	Name string
+	// InitiatorTime and ParticipantTime are the per-party computation times.
+	InitiatorTime   time.Duration
+	ParticipantTime time.Duration
+	// CandidateTime is the candidate-participant time (Protocol 1 only).
+	CandidateTime time.Duration
+	// CommunicationKB is the transmitted volume in kilobytes.
+	CommunicationKB float64
+	// Transmissions describes the transmission pattern.
+	Transmissions string
+}
+
+// Evaluate turns a SchemeCost into concrete times under the given timings.
+func Evaluate(c SchemeCost, times OpTimes) Evaluation {
+	eval := Evaluation{
+		Name:            c.Name,
+		InitiatorTime:   EvaluateOps(c.InitiatorOps, times),
+		ParticipantTime: EvaluateOps(c.ParticipantOps, times),
+		CommunicationKB: c.CommunicationBits / 8 / 1024,
+		Transmissions:   c.Transmissions,
+	}
+	if c.CandidateOps != nil {
+		eval.CandidateTime = EvaluateOps(c.CandidateOps, times)
+	}
+	return eval
+}
+
+// EvaluateAll produces every Table VII row under the given timings.
+func EvaluateAll(s Scenario, times OpTimes) []Evaluation {
+	schemes := AllSchemes(s)
+	out := make([]Evaluation, len(schemes))
+	for i, c := range schemes {
+		out[i] = Evaluate(c, times)
+	}
+	return out
+}

@@ -1,0 +1,181 @@
+package costmodel
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestTypicalScenarioParameters(t *testing.T) {
+	s := TypicalScenario()
+	if s.Mt != 6 || s.Mk != 6 || s.N != 100 || s.Gamma != 3 || s.Beta != 3 || s.P != 11 || s.Q != 256 {
+		t.Errorf("typical scenario = %+v", s)
+	}
+	if math.Abs(s.Theta()-0.5) > 1e-9 {
+		t.Errorf("θ = %v, want 0.5", s.Theta())
+	}
+}
+
+func TestExpectedCandidateKeysMatchesPaperExample(t *testing.T) {
+	// The paper's example: m_k = 20, α+β = 6, p = 11 → ε(κ_k) ≈ 0.02.
+	s := Scenario{Mt: 6, Mk: 20, Gamma: 0, Beta: 6, P: 11}
+	got := s.ExpectedCandidateKeys()
+	if got < 0.01 || got > 0.05 {
+		t.Errorf("ε(κ_k) = %v, paper reports ≈ 0.02", got)
+	}
+	if (Scenario{Mt: 0, P: 11}).ExpectedCandidateKeys() != 0 {
+		t.Error("degenerate scenario should be 0")
+	}
+}
+
+func TestCandidateFractionMatchesPaperExample(t *testing.T) {
+	// The paper: p = 11, m_t = 6, θ = 0.6 → about 1/5610 of users reply.
+	s := Scenario{Mt: 6, Gamma: 2, P: 11} // θ = 4/6 ≈ 0.67; use explicit θ = 0.6 case below
+	if s.CandidateFraction() <= 0 {
+		t.Error("candidate fraction should be positive")
+	}
+	exact := math.Pow(1.0/11.0, 6*0.6)
+	if math.Abs(exact-1.0/5610) > 1.0/5610 {
+		t.Errorf("paper example fraction = %v, want ≈ 1/5610", exact)
+	}
+}
+
+func TestBinomial(t *testing.T) {
+	tests := []struct {
+		n, k int
+		want float64
+	}{
+		{6, 0, 1}, {6, 6, 1}, {6, 2, 15}, {20, 6, 38760}, {5, 7, 0}, {5, -1, 0},
+	}
+	for _, tt := range tests {
+		if got := binomial(tt.n, tt.k); math.Abs(got-tt.want) > 1e-6 {
+			t.Errorf("binomial(%d,%d) = %v, want %v", tt.n, tt.k, got, tt.want)
+		}
+	}
+}
+
+func TestPaperTimesPopulated(t *testing.T) {
+	for _, times := range []OpTimes{PaperLaptopTimes(), PaperPhoneTimes()} {
+		for _, op := range []string{OpHash, OpMod, OpAESEnc, OpAESDec, OpExp1024, OpExp2048, OpMul1024, OpMul2048} {
+			if times[op] <= 0 {
+				t.Errorf("missing timing for %s", op)
+			}
+		}
+	}
+	// The phone is slower than the laptop for every symmetric op.
+	laptop, phone := PaperLaptopTimes(), PaperPhoneTimes()
+	for _, op := range []string{OpHash, OpMod, OpAESEnc, OpAESDec} {
+		if phone[op] <= laptop[op] {
+			t.Errorf("phone %s (%v) should be slower than laptop (%v)", op, phone[op], laptop[op])
+		}
+	}
+	scaled := laptop.Scale(2)
+	if scaled[OpHash] != 2*laptop[OpHash] {
+		t.Error("Scale failed")
+	}
+}
+
+func TestMeasureSymmetricAndAsymmetric(t *testing.T) {
+	sym := MeasureSymmetric(200)
+	for _, op := range []string{OpHash, OpMod, OpAESEnc, OpAESDec, OpMul256, OpCmp256} {
+		if sym[op] <= 0 {
+			t.Errorf("symmetric timing %s not measured", op)
+		}
+	}
+	asym := MeasureAsymmetric(3)
+	for _, op := range []string{OpExp1024, OpExp2048, OpMul1024, OpMul2048} {
+		if asym[op] <= 0 {
+			t.Errorf("asymmetric timing %s not measured", op)
+		}
+	}
+	// The structural relationships the paper's argument rests on: modular
+	// exponentiation is orders of magnitude more expensive than hashing, and
+	// 2048-bit exponentiation is more expensive than 1024-bit.
+	if asym[OpExp1024] < 100*sym[OpHash] {
+		t.Errorf("1024-bit exponentiation (%v) should dwarf SHA-256 (%v)", asym[OpExp1024], sym[OpHash])
+	}
+	if asym[OpExp2048] <= asym[OpExp1024] {
+		t.Errorf("2048-bit exp (%v) should exceed 1024-bit exp (%v)", asym[OpExp2048], asym[OpExp1024])
+	}
+}
+
+func TestTableIIICountsMatchPaperTypicalScenario(t *testing.T) {
+	s := TypicalScenario()
+	fnp := FNPCost(s)
+	if got := fnp.InitiatorOps[OpExp2048]; got != 612 {
+		t.Errorf("FNP initiator E3 = %v, want 612 (Table VII)", got)
+	}
+	fc := FC10Cost(s)
+	if got := fc.InitiatorOps[OpMul1024]; got != 1500 {
+		t.Errorf("FC10 initiator M2 = %v, want 1500", got)
+	}
+	if got := fc.ParticipantOps[OpExp1024]; got != 12 {
+		t.Errorf("FC10 participant E2 = %v, want 12", got)
+	}
+	adv := AdvancedCost(s)
+	if got := adv.InitiatorOps[OpExp2048]; got != 1800 {
+		t.Errorf("Advanced initiator E3 = %v, want 1800", got)
+	}
+	if got := adv.ParticipantOps[OpExp2048]; got != 12 {
+		t.Errorf("Advanced participant E3 = %v, want 12", got)
+	}
+	p1 := Protocol1Cost(s)
+	if got := p1.InitiatorOps[OpHash]; got != 7 {
+		t.Errorf("Protocol 1 initiator H = %v, want 7", got)
+	}
+	if got := p1.InitiatorOps[OpMod]; got != 6 {
+		t.Errorf("Protocol 1 initiator M = %v, want 6", got)
+	}
+	if got := p1.ParticipantOps[OpHash]; got != 6 {
+		t.Errorf("Protocol 1 participant H = %v, want 6", got)
+	}
+	if len(AllSchemes(s)) != 4 {
+		t.Error("AllSchemes should return 4 rows")
+	}
+}
+
+func TestTableVIIShapeUnderPaperTimings(t *testing.T) {
+	s := TypicalScenario()
+	evals := EvaluateAll(s, PaperLaptopTimes())
+	byName := map[string]Evaluation{}
+	for _, e := range evals {
+		byName[e.Name] = e
+	}
+	p1 := byName["Protocol 1"]
+	// Protocol 1's initiator must be orders of magnitude cheaper than every
+	// asymmetric baseline — the paper's headline claim.
+	for _, baseline := range []string{"FNP", "FC10", "Advanced"} {
+		b := byName[baseline]
+		if p1.InitiatorTime*1000 > b.InitiatorTime {
+			t.Errorf("Protocol 1 initiator (%v) not ≥1000× cheaper than %s (%v)", p1.InitiatorTime, baseline, b.InitiatorTime)
+		}
+		if p1.CommunicationKB >= b.CommunicationKB {
+			t.Errorf("Protocol 1 communication (%v KB) not below %s (%v KB)", p1.CommunicationKB, baseline, b.CommunicationKB)
+		}
+	}
+	// Paper's own numbers: FNP ≈ 73.4 s, Advanced ≈ 216 s for the initiator.
+	if fnp := byName["FNP"]; fnp.InitiatorTime < 60*time.Second || fnp.InitiatorTime > 90*time.Second {
+		t.Errorf("FNP initiator time = %v, paper reports ≈ 73 s", fnp.InitiatorTime)
+	}
+	if adv := byName["Advanced"]; adv.InitiatorTime < 180*time.Second || adv.InitiatorTime > 260*time.Second {
+		t.Errorf("Advanced initiator time = %v, paper reports ≈ 216 s", adv.InitiatorTime)
+	}
+	// Protocol 1 communication ≈ 0.22 KB in the paper.
+	if p1.CommunicationKB > 1.5 {
+		t.Errorf("Protocol 1 communication = %v KB, paper reports ≈ 0.22 KB", p1.CommunicationKB)
+	}
+	// Candidate time present for Protocol 1 only.
+	if p1.CandidateTime <= 0 {
+		t.Error("Protocol 1 candidate time missing")
+	}
+	if byName["FNP"].CandidateTime != 0 {
+		t.Error("baselines should not report a candidate time")
+	}
+}
+
+func TestEvaluateOpsUnknownOpIsZero(t *testing.T) {
+	d := EvaluateOps(map[string]float64{"bogus": 100}, PaperLaptopTimes())
+	if d != 0 {
+		t.Errorf("unknown op evaluated to %v", d)
+	}
+}

@@ -1,0 +1,196 @@
+package crypt
+
+import (
+	"bytes"
+	"crypto/rand"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func testKey(tb testing.TB, seed byte) Key {
+	tb.Helper()
+	var k Key
+	for i := range k {
+		k[i] = seed + byte(i)
+	}
+	return k
+}
+
+func TestSealVerifiableRoundTrip(t *testing.T) {
+	key := testKey(t, 1)
+	plaintext := []byte("confirmation||x=0123456789abcdef")
+	sealed, err := SealVerifiable(rand.Reader, key, plaintext)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sealed) != len(plaintext)+VerifiableOverhead {
+		t.Errorf("sealed length %d, want %d", len(sealed), len(plaintext)+VerifiableOverhead)
+	}
+	got, err := OpenVerifiable(key, sealed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, plaintext) {
+		t.Error("round trip mismatch")
+	}
+}
+
+func TestOpenVerifiableWrongKey(t *testing.T) {
+	sealed, err := SealVerifiable(rand.Reader, testKey(t, 1), []byte("secret"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenVerifiable(testKey(t, 2), sealed); !errors.Is(err, ErrDecryptFailed) {
+		t.Errorf("wrong key should yield ErrDecryptFailed, got %v", err)
+	}
+}
+
+func TestOpenVerifiableTamperDetected(t *testing.T) {
+	key := testKey(t, 3)
+	sealed, err := SealVerifiable(rand.Reader, key, []byte("secret message"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, idx := range []int{0, NonceSize + 1, len(sealed) - 1} {
+		tampered := append([]byte(nil), sealed...)
+		tampered[idx] ^= 0x80
+		if _, err := OpenVerifiable(key, tampered); !errors.Is(err, ErrDecryptFailed) {
+			t.Errorf("tamper at %d not detected: %v", idx, err)
+		}
+	}
+	if _, err := OpenVerifiable(key, sealed[:10]); err == nil {
+		t.Error("truncated message should fail")
+	}
+}
+
+func TestSealOpaqueRoundTrip(t *testing.T) {
+	key := testKey(t, 5)
+	plaintext := bytes.Repeat([]byte{0x42}, KeySize)
+	sealed, err := SealOpaque(rand.Reader, key, plaintext)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sealed) != len(plaintext)+OpaqueOverhead {
+		t.Errorf("sealed length %d, want %d", len(sealed), len(plaintext)+OpaqueOverhead)
+	}
+	got, err := OpenOpaque(key, sealed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, plaintext) {
+		t.Error("round trip mismatch")
+	}
+}
+
+func TestOpenOpaqueWrongKeyIsSilentGarbage(t *testing.T) {
+	key := testKey(t, 6)
+	plaintext := bytes.Repeat([]byte{0x42}, KeySize)
+	sealed, err := SealOpaque(rand.Reader, key, plaintext)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := OpenOpaque(testKey(t, 7), sealed)
+	if err != nil {
+		t.Fatalf("opaque open must not error on wrong key: %v", err)
+	}
+	if bytes.Equal(got, plaintext) {
+		t.Error("wrong key should not recover the plaintext")
+	}
+	if len(got) != len(plaintext) {
+		t.Error("output length should match plaintext length")
+	}
+	if _, err := OpenOpaque(key, sealed[:4]); err == nil {
+		t.Error("truncated message should fail")
+	}
+}
+
+func TestSealsAreRandomized(t *testing.T) {
+	key := testKey(t, 8)
+	a, _ := SealOpaque(rand.Reader, key, []byte("same message"))
+	b, _ := SealOpaque(rand.Reader, key, []byte("same message"))
+	if bytes.Equal(a, b) {
+		t.Error("sealing the same message twice should produce different ciphertexts")
+	}
+	c, _ := SealVerifiable(rand.Reader, key, []byte("same message"))
+	d, _ := SealVerifiable(rand.Reader, key, []byte("same message"))
+	if bytes.Equal(c, d) {
+		t.Error("verifiable sealing should also be randomized")
+	}
+}
+
+func TestNewSessionKey(t *testing.T) {
+	x, err := NewSessionKey(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, err := NewSessionKey(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.Equal(y) {
+		t.Error("independent session keys should differ")
+	}
+	if x.IsZero() {
+		t.Error("session key should not be zero")
+	}
+}
+
+func TestCombineKeys(t *testing.T) {
+	x, _ := NewSessionKey(rand.Reader)
+	y, _ := NewSessionKey(rand.Reader)
+	xy := CombineKeys(x, y)
+	if xy.Equal(CombineKeys(y, x)) {
+		t.Error("combination should be role-ordered (initiator key first)")
+	}
+	if !xy.Equal(CombineKeys(x, y)) {
+		t.Error("combination should be deterministic")
+	}
+	if xy.Equal(x) || xy.Equal(y) {
+		t.Error("combined key should differ from both inputs")
+	}
+}
+
+func TestDefaultRand(t *testing.T) {
+	buf := make([]byte, 8)
+	if _, err := DefaultRand().Read(buf); err != nil {
+		t.Fatalf("DefaultRand read failed: %v", err)
+	}
+}
+
+// Property: both sealing modes round-trip arbitrary plaintext under arbitrary
+// keys, and the verifiable mode rejects a flipped key bit.
+func TestSealRoundTripProperty(t *testing.T) {
+	f := func(keyBytes [KeySize]byte, plaintext []byte, flipBit uint16) bool {
+		key := Key(keyBytes)
+		sv, err := SealVerifiable(rand.Reader, key, plaintext)
+		if err != nil {
+			return false
+		}
+		pv, err := OpenVerifiable(key, sv)
+		if err != nil || !bytes.Equal(pv, plaintext) {
+			return false
+		}
+		so, err := SealOpaque(rand.Reader, key, plaintext)
+		if err != nil {
+			return false
+		}
+		po, err := OpenOpaque(key, so)
+		if err != nil || !bytes.Equal(po, plaintext) {
+			return false
+		}
+		// Flip one bit of the key: verifiable open must fail.
+		wrong := key
+		wrong[int(flipBit)%KeySize] ^= 1 << (flipBit % 8)
+		if wrong.Equal(key) {
+			return true
+		}
+		if _, err := OpenVerifiable(wrong, sv); err == nil {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

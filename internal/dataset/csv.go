@@ -1,0 +1,83 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// CSV persistence: each user is one row
+// id,birthyear,gender,tag1|tag2|...,kw1|kw2|...
+// so corpora can be generated once and shared across experiment runs.
+
+const listSeparator = "|"
+
+// WriteCSV serializes the corpus to CSV.
+func (c *Corpus) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"id", "birthyear", "gender", "tags", "keywords"}); err != nil {
+		return fmt.Errorf("dataset: writing header: %w", err)
+	}
+	for _, u := range c.Users {
+		row := []string{
+			u.ID,
+			strconv.Itoa(u.BirthYear),
+			u.Gender,
+			strings.Join(u.Tags, listSeparator),
+			strings.Join(u.Keywords, listSeparator),
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("dataset: writing user %s: %w", u.ID, err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("dataset: flushing csv: %w", err)
+	}
+	return nil
+}
+
+// ReadCSV parses a corpus previously written by WriteCSV.
+func ReadCSV(r io.Reader) (*Corpus, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 5
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: reading header: %w", err)
+	}
+	if len(header) != 5 || header[0] != "id" {
+		return nil, fmt.Errorf("dataset: unexpected header %v", header)
+	}
+	corpus := &Corpus{}
+	for {
+		row, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: reading row: %w", err)
+		}
+		year, err := strconv.Atoi(row[1])
+		if err != nil {
+			return nil, fmt.Errorf("dataset: bad birth year %q: %w", row[1], err)
+		}
+		corpus.Users = append(corpus.Users, User{
+			ID:        row[0],
+			BirthYear: year,
+			Gender:    row[2],
+			Tags:      splitList(row[3]),
+			Keywords:  splitList(row[4]),
+		})
+	}
+	corpus.Params = Params{Users: len(corpus.Users)}
+	return corpus, nil
+}
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	return strings.Split(s, listSeparator)
+}

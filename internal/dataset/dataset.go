@@ -1,0 +1,349 @@
+// Package dataset generates and analyzes a synthetic social-network profile
+// corpus with the published marginal statistics of the Tencent Weibo dataset
+// the paper evaluates on (Section V-A): a tag vocabulary of ≈560k and a
+// keyword vocabulary of ≈714k, a mean of 6 and maximum of 20 tags per user, a
+// mean of 7 and maximum of 129 keywords per user, Zipf-like popularity so
+// that more than 90% of users end up with unique profiles, plus birth year
+// and gender fields.
+//
+// The original 2.32M-user dataset is proprietary; the experiments only depend
+// on these marginals and on hash/remainder arithmetic, so the synthetic
+// corpus reproduces the shapes of Figures 4-7 and Table VI (see DESIGN.md,
+// substitution 1).
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"sealedbottle/internal/attr"
+)
+
+// Default corpus parameters, matching the published Tencent Weibo marginals.
+const (
+	DefaultTagVocabulary     = 560_419
+	DefaultKeywordVocabulary = 713_747
+	DefaultMeanTags          = 6
+	DefaultMaxTags           = 20
+	DefaultMeanKeywords      = 7
+	DefaultMaxKeywords       = 129
+	// FullScaleUsers is the size of the original dataset; experiments default
+	// to a smaller laptop-friendly scale.
+	FullScaleUsers = 2_320_000
+)
+
+// Params parameterizes corpus generation.
+type Params struct {
+	// Users is the number of user profiles to generate.
+	Users int
+	// TagVocabulary and KeywordVocabulary are the attribute-space sizes m.
+	TagVocabulary     int
+	KeywordVocabulary int
+	// MeanTags/MaxTags control the per-user tag count distribution
+	// (truncated geometric with the given mean).
+	MeanTags int
+	MaxTags  int
+	// MeanKeywords/MaxKeywords control the per-user keyword count.
+	MeanKeywords int
+	MaxKeywords  int
+	// ZipfExponent shapes attribute popularity (>1; default 1.2).
+	ZipfExponent float64
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// withDefaults fills unset fields with the paper's values.
+func (p Params) withDefaults() Params {
+	if p.Users <= 0 {
+		p.Users = 10_000
+	}
+	if p.TagVocabulary <= 0 {
+		p.TagVocabulary = DefaultTagVocabulary
+	}
+	if p.KeywordVocabulary <= 0 {
+		p.KeywordVocabulary = DefaultKeywordVocabulary
+	}
+	if p.MeanTags <= 0 {
+		p.MeanTags = DefaultMeanTags
+	}
+	if p.MaxTags <= 0 {
+		p.MaxTags = DefaultMaxTags
+	}
+	if p.MeanKeywords <= 0 {
+		p.MeanKeywords = DefaultMeanKeywords
+	}
+	if p.MaxKeywords <= 0 {
+		p.MaxKeywords = DefaultMaxKeywords
+	}
+	if p.ZipfExponent <= 1 {
+		// A mildly skewed popularity curve: popular tags exist (as in the
+		// real dataset) but the long tail keeps >90% of profiles unique.
+		p.ZipfExponent = 1.05
+	}
+	return p
+}
+
+// User is one synthetic profile record.
+type User struct {
+	// ID is a stable user identifier.
+	ID string
+	// BirthYear and Gender mirror the dataset's demographic fields.
+	BirthYear int
+	Gender    string
+	// Tags are the user-selected interest tags.
+	Tags []string
+	// Keywords are the keywords extracted from the user's posts.
+	Keywords []string
+}
+
+// Profile converts the record into an attribute profile. When withKeywords is
+// false only tags (plus demographics) are included, matching the paper's
+// "profile without keywords" variant of Fig. 4.
+func (u User) Profile(withKeywords bool) *attr.Profile {
+	p := attr.NewProfile()
+	for _, t := range u.Tags {
+		p.Add(attr.MustNew(attr.HeaderTag, t))
+	}
+	if withKeywords {
+		for _, k := range u.Keywords {
+			p.Add(attr.MustNew(attr.HeaderKeyword, k))
+		}
+	}
+	return p
+}
+
+// TagProfile returns the tags-only profile (the unit used by Figs. 6-7).
+func (u User) TagProfile() *attr.Profile { return u.Profile(false) }
+
+// Corpus is a generated set of user profiles.
+type Corpus struct {
+	// Params echoes the generation parameters.
+	Params Params
+	// Users holds the generated records.
+	Users []User
+}
+
+// Generate builds a deterministic synthetic corpus.
+func Generate(params Params) *Corpus {
+	params = params.withDefaults()
+	rng := rand.New(rand.NewSource(params.Seed))
+	tagZipf := rand.NewZipf(rng, params.ZipfExponent, 1, uint64(params.TagVocabulary-1))
+	keywordZipf := rand.NewZipf(rng, params.ZipfExponent, 1, uint64(params.KeywordVocabulary-1))
+
+	users := make([]User, params.Users)
+	for i := range users {
+		nTags := truncatedGeometric(rng, params.MeanTags, params.MaxTags)
+		nKeywords := truncatedGeometric(rng, params.MeanKeywords, params.MaxKeywords)
+		users[i] = User{
+			ID:        fmt.Sprintf("u%07d", i),
+			BirthYear: 1950 + rng.Intn(55),
+			Gender:    pickGender(rng),
+			Tags:      sampleDistinct(tagZipf, nTags, "tag"),
+			Keywords:  sampleDistinct(keywordZipf, nKeywords, "kw"),
+		}
+	}
+	return &Corpus{Params: params, Users: users}
+}
+
+// pickGender draws a gender value with a small unknown fraction, mirroring
+// real profile data.
+func pickGender(rng *rand.Rand) string {
+	switch r := rng.Float64(); {
+	case r < 0.48:
+		return "male"
+	case r < 0.96:
+		return "female"
+	default:
+		return "unknown"
+	}
+}
+
+// truncatedGeometric draws from a geometric distribution with the given mean,
+// truncated to [1, max]. The resulting per-user attribute counts reproduce
+// the heavily skewed, long-tailed shape of Fig. 5.
+func truncatedGeometric(rng *rand.Rand, mean, max int) int {
+	if mean < 1 {
+		mean = 1
+	}
+	p := 1.0 / float64(mean)
+	n := 1
+	for n < max && rng.Float64() > p {
+		n++
+	}
+	return n
+}
+
+// sampleDistinct draws n distinct vocabulary items from the Zipf sampler.
+// Items are named "<prefix><index>" so they normalize to stable, distinct
+// canonical attribute values.
+func sampleDistinct(z *rand.Zipf, n int, prefix string) []string {
+	seen := make(map[uint64]struct{}, n)
+	out := make([]string, 0, n)
+	for len(out) < n {
+		v := z.Uint64()
+		if _, dup := seen[v]; dup {
+			continue
+		}
+		seen[v] = struct{}{}
+		out = append(out, fmt.Sprintf("%s%s", prefix, indexToken(v)))
+	}
+	sort.Strings(out)
+	return out
+}
+
+// indexToken encodes a vocabulary index using letters so normalization keeps
+// distinct indices distinct. The alphabet deliberately omits 's': the
+// singularization step of the normalization pipeline strips trailing 's'
+// characters, which would merge tokens like "as" and "a". Digits are avoided
+// because they would be spelled out as words.
+func indexToken(v uint64) string {
+	const alphabet = "abcdefghijklmnopqrtuvwxyz" // 25 letters, no 's'
+	base := uint64(len(alphabet))
+	if v == 0 {
+		return "a"
+	}
+	buf := make([]byte, 0, 16)
+	for v > 0 {
+		buf = append(buf, alphabet[v%base])
+		v /= base
+	}
+	return string(buf)
+}
+
+// Profiles materializes every user's profile (with or without keywords).
+func (c *Corpus) Profiles(withKeywords bool) []*attr.Profile {
+	out := make([]*attr.Profile, len(c.Users))
+	for i, u := range c.Users {
+		out[i] = u.Profile(withKeywords)
+	}
+	return out
+}
+
+// UsersWithTagCount returns the users having exactly n tags — the analogue of
+// the paper's "52,248 users with 6 attributes" sub-population.
+func (c *Corpus) UsersWithTagCount(n int) []User {
+	var out []User
+	for _, u := range c.Users {
+		if len(u.Tags) == n {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// Sample returns k users drawn without replacement (deterministically, given
+// the seed), the analogue of the paper's 1,000-user diverse sample.
+func (c *Corpus) Sample(k int, seed int64) []User {
+	if k >= len(c.Users) {
+		out := make([]User, len(c.Users))
+		copy(out, c.Users)
+		return out
+	}
+	rng := rand.New(rand.NewSource(seed))
+	idx := rng.Perm(len(c.Users))[:k]
+	sort.Ints(idx)
+	out := make([]User, k)
+	for i, j := range idx {
+		out[i] = c.Users[j]
+	}
+	return out
+}
+
+// EntropyModel builds a per-category value distribution model from the corpus
+// (used by Protocol 3's ϕ budgets).
+func (c *Corpus) EntropyModel(withKeywords bool) *attr.EntropyModel {
+	m := attr.NewEntropyModel(len(c.Users))
+	for _, u := range c.Users {
+		m.ObserveProfile(u.Profile(withKeywords))
+	}
+	return m
+}
+
+// CollisionStats describes how unique profiles are (Fig. 4).
+type CollisionStats struct {
+	// Histogram[k] is the fraction of users whose exact profile is shared by
+	// exactly k users (k=1 means unique).
+	Histogram map[int]float64
+	// CDF[k] is the fraction of users whose profile is shared by at most k
+	// users.
+	CDF map[int]float64
+	// UniqueFraction is Histogram[1].
+	UniqueFraction float64
+}
+
+// Collisions computes profile-uniqueness statistics, with or without
+// keywords, over the corpus.
+func (c *Corpus) Collisions(withKeywords bool) CollisionStats {
+	counts := make(map[string]int, len(c.Users))
+	for _, u := range c.Users {
+		counts[u.Profile(withKeywords).Fingerprint()]++
+	}
+	hist := make(map[int]float64)
+	total := float64(len(c.Users))
+	for _, n := range counts {
+		hist[n] += float64(n) / total
+	}
+	cdf := make(map[int]float64)
+	maxK := 0
+	for k := range hist {
+		if k > maxK {
+			maxK = k
+		}
+	}
+	running := 0.0
+	for k := 1; k <= maxK; k++ {
+		running += hist[k]
+		cdf[k] = running
+	}
+	return CollisionStats{Histogram: hist, CDF: cdf, UniqueFraction: hist[1]}
+}
+
+// TagCountDistribution returns, for each tag count n, how many users have
+// exactly n tags (Fig. 5).
+func (c *Corpus) TagCountDistribution() map[int]int {
+	out := make(map[int]int)
+	for _, u := range c.Users {
+		out[len(u.Tags)]++
+	}
+	return out
+}
+
+// MeanTagCount returns the average number of tags per user.
+func (c *Corpus) MeanTagCount() float64 {
+	if len(c.Users) == 0 {
+		return 0
+	}
+	total := 0
+	for _, u := range c.Users {
+		total += len(u.Tags)
+	}
+	return float64(total) / float64(len(c.Users))
+}
+
+// MeanKeywordCount returns the average number of keywords per user.
+func (c *Corpus) MeanKeywordCount() float64 {
+	if len(c.Users) == 0 {
+		return 0
+	}
+	total := 0
+	for _, u := range c.Users {
+		total += len(u.Keywords)
+	}
+	return float64(total) / float64(len(c.Users))
+}
+
+// VocabularyUsed returns how many distinct tags and keywords actually occur.
+func (c *Corpus) VocabularyUsed() (tags, keywords int) {
+	t := make(map[string]struct{})
+	k := make(map[string]struct{})
+	for _, u := range c.Users {
+		for _, tag := range u.Tags {
+			t[tag] = struct{}{}
+		}
+		for _, kw := range u.Keywords {
+			k[kw] = struct{}{}
+		}
+	}
+	return len(t), len(k)
+}

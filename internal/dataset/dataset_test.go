@@ -1,0 +1,241 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func smallCorpus(tb testing.TB) *Corpus {
+	tb.Helper()
+	return Generate(Params{Users: 2000, Seed: 42})
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(Params{Users: 100, Seed: 7})
+	b := Generate(Params{Users: 100, Seed: 7})
+	if len(a.Users) != 100 || len(b.Users) != 100 {
+		t.Fatal("wrong user count")
+	}
+	for i := range a.Users {
+		if a.Users[i].ID != b.Users[i].ID || len(a.Users[i].Tags) != len(b.Users[i].Tags) {
+			t.Fatal("generation is not deterministic")
+		}
+		for j := range a.Users[i].Tags {
+			if a.Users[i].Tags[j] != b.Users[i].Tags[j] {
+				t.Fatal("tag sets differ across identical seeds")
+			}
+		}
+	}
+	c := Generate(Params{Users: 100, Seed: 8})
+	same := true
+	for i := range a.Users {
+		if len(a.Users[i].Tags) != len(c.Users[i].Tags) {
+			same = false
+			break
+		}
+	}
+	if same {
+		// Extremely unlikely for all 100 users to have identical tag counts
+		// under a different seed; treat as suspicious.
+		t.Log("warning: different seeds produced identical tag-count sequences")
+	}
+}
+
+func TestGeneratedMarginalsMatchPaper(t *testing.T) {
+	c := smallCorpus(t)
+	mean := c.MeanTagCount()
+	if mean < 4 || mean > 8 {
+		t.Errorf("mean tag count = %v, want ≈6", mean)
+	}
+	meanKw := c.MeanKeywordCount()
+	if meanKw < 5 || meanKw > 9 {
+		t.Errorf("mean keyword count = %v, want ≈7", meanKw)
+	}
+	for _, u := range c.Users {
+		if len(u.Tags) < 1 || len(u.Tags) > DefaultMaxTags {
+			t.Fatalf("user %s has %d tags", u.ID, len(u.Tags))
+		}
+		if len(u.Keywords) < 1 || len(u.Keywords) > DefaultMaxKeywords {
+			t.Fatalf("user %s has %d keywords", u.ID, len(u.Keywords))
+		}
+		if u.Gender == "" || u.BirthYear < 1950 || u.BirthYear > 2010 {
+			t.Fatalf("user %s has bad demographics: %+v", u.ID, u)
+		}
+		seen := map[string]struct{}{}
+		for _, tag := range u.Tags {
+			if _, dup := seen[tag]; dup {
+				t.Fatalf("user %s has duplicate tag %q", u.ID, tag)
+			}
+			seen[tag] = struct{}{}
+		}
+	}
+}
+
+func TestProfileUniquenessMatchesFig4(t *testing.T) {
+	c := smallCorpus(t)
+	with := c.Collisions(true)
+	without := c.Collisions(false)
+	// The paper reports >90% unique profiles; with keywords uniqueness is
+	// higher than without.
+	if with.UniqueFraction < 0.9 {
+		t.Errorf("unique fraction with keywords = %v, want > 0.9", with.UniqueFraction)
+	}
+	if with.UniqueFraction < without.UniqueFraction {
+		t.Errorf("keywords should not reduce uniqueness: %v < %v", with.UniqueFraction, without.UniqueFraction)
+	}
+	// The CDF is monotone and ends at 1.
+	prev := 0.0
+	maxK := 0
+	for k := range without.CDF {
+		if k > maxK {
+			maxK = k
+		}
+	}
+	for k := 1; k <= maxK; k++ {
+		if without.CDF[k]+1e-9 < prev {
+			t.Error("collision CDF is not monotone")
+		}
+		prev = without.CDF[k]
+	}
+	if math.Abs(prev-1) > 1e-6 {
+		t.Errorf("collision CDF should reach 1, got %v", prev)
+	}
+}
+
+func TestTagCountDistributionShape(t *testing.T) {
+	c := smallCorpus(t)
+	dist := c.TagCountDistribution()
+	total := 0
+	for n, cnt := range dist {
+		if n < 1 || n > DefaultMaxTags {
+			t.Errorf("tag count %d out of range", n)
+		}
+		total += cnt
+	}
+	if total != len(c.Users) {
+		t.Errorf("distribution total %d != %d users", total, len(c.Users))
+	}
+	// Long-tailed: few-tag users outnumber many-tag users (Fig. 5).
+	if dist[1] < dist[15] {
+		t.Errorf("distribution not decreasing: %d users with 1 tag vs %d with 15", dist[1], dist[15])
+	}
+}
+
+func TestUsersWithTagCountAndSample(t *testing.T) {
+	c := smallCorpus(t)
+	six := c.UsersWithTagCount(6)
+	for _, u := range six {
+		if len(u.Tags) != 6 {
+			t.Fatal("UsersWithTagCount returned a wrong user")
+		}
+	}
+	if len(six) == 0 {
+		t.Error("expected some six-tag users in a 2000-user corpus")
+	}
+	sample := c.Sample(100, 1)
+	if len(sample) != 100 {
+		t.Errorf("sample size = %d", len(sample))
+	}
+	// Sampling more than the corpus returns everything.
+	if got := len(c.Sample(10_000, 1)); got != len(c.Users) {
+		t.Errorf("oversized sample = %d", got)
+	}
+	// Deterministic given the seed.
+	again := c.Sample(100, 1)
+	for i := range sample {
+		if sample[i].ID != again[i].ID {
+			t.Fatal("sampling is not deterministic")
+		}
+	}
+}
+
+func TestProfilesAndEntropyModel(t *testing.T) {
+	c := Generate(Params{Users: 300, Seed: 5})
+	profiles := c.Profiles(false)
+	if len(profiles) != 300 {
+		t.Fatal("wrong profile count")
+	}
+	for i, p := range profiles {
+		if p.Len() != len(c.Users[i].Tags) {
+			t.Fatalf("profile %d has %d attributes, want %d", i, p.Len(), len(c.Users[i].Tags))
+		}
+	}
+	m := c.EntropyModel(false)
+	if m.Population != 300 {
+		t.Error("entropy model population wrong")
+	}
+	if m.ProfileEntropy(profiles[0]) <= 0 {
+		t.Error("profile entropy should be positive for tag attributes")
+	}
+	tags, kws := c.VocabularyUsed()
+	if tags == 0 {
+		t.Error("no tags used")
+	}
+	if kws == 0 {
+		t.Error("no keywords used")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	c := Generate(Params{Users: 50, Seed: 3})
+	var buf bytes.Buffer
+	if err := c.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Users) != len(c.Users) {
+		t.Fatalf("user count %d != %d", len(back.Users), len(c.Users))
+	}
+	for i := range c.Users {
+		if back.Users[i].ID != c.Users[i].ID ||
+			back.Users[i].BirthYear != c.Users[i].BirthYear ||
+			back.Users[i].Gender != c.Users[i].Gender ||
+			len(back.Users[i].Tags) != len(c.Users[i].Tags) ||
+			len(back.Users[i].Keywords) != len(c.Users[i].Keywords) {
+			t.Fatalf("user %d did not round trip: %+v vs %+v", i, back.Users[i], c.Users[i])
+		}
+	}
+	if _, err := ReadCSV(bytes.NewBufferString("not,a,valid,corpus\n")); err == nil {
+		t.Error("bad header should fail")
+	}
+	if _, err := ReadCSV(bytes.NewBufferString("")); err == nil {
+		t.Error("empty input should fail")
+	}
+}
+
+func TestIndexTokenDistinct(t *testing.T) {
+	seen := map[string]uint64{}
+	for v := uint64(0); v < 5000; v++ {
+		tok := indexToken(v)
+		if prev, dup := seen[tok]; dup {
+			t.Fatalf("indexToken collision: %d and %d both map to %q", prev, v, tok)
+		}
+		seen[tok] = v
+	}
+}
+
+// Property: truncatedGeometric always stays within [1, max] and its empirical
+// mean lands near the target.
+func TestTruncatedGeometricProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		c := Generate(Params{Users: 500, Seed: seed, MeanTags: 6, MaxTags: 20})
+		mean := c.MeanTagCount()
+		if mean < 3 || mean > 9 {
+			return false
+		}
+		for _, u := range c.Users {
+			if len(u.Tags) < 1 || len(u.Tags) > 20 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}

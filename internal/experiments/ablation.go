@@ -1,0 +1,199 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"sealedbottle/internal/adversary"
+	"sealedbottle/internal/attr"
+	"sealedbottle/internal/core"
+	"sealedbottle/internal/crypt"
+)
+
+// tagAttributes builds "tag" attributes from plain values.
+func tagAttributes(values ...string) []attr.Attribute {
+	out := make([]attr.Attribute, len(values))
+	for i, v := range values {
+		out[i] = attr.MustNew(attr.HeaderTag, v)
+	}
+	return out
+}
+
+// AblationRemainder sweeps the remainder-vector prime p and reports, for each
+// value, the three quantities the design trades off (DESIGN.md ablation 1):
+// the fraction of non-matching users that survive the fast check (wasted
+// candidate work), the request wire size, and the dictionary-attack guess
+// space (m/p)^mt for a Tencent-Weibo-scale dictionary.
+func AblationRemainder(cfg Config) Table {
+	cfg = cfg.withDefaults()
+	corpus := cfg.corpus()
+	pool, initiators, _ := figurePool(cfg, corpus, CaseSixAttributes)
+	primes := []uint32{7, 11, 23, 47}
+
+	const dictionarySize = 1 << 20 // ≈ the paper's m ≈ 2^20 attribute space
+	rows := make([][]string, 0, len(primes))
+	rng := rand.New(rand.NewSource(cfg.Seed + 17))
+
+	for _, p := range primes {
+		falseCandidates, nonMatching := 0, 0
+		wireSize := 0
+		for _, initProfile := range initiators {
+			spec := core.FuzzyMatch(initProfile.Len()*3/5, initProfile.Attributes()...)
+			spec.Prime = p
+			built, err := core.BuildRequest(spec, core.BuildOptions{Rand: rng})
+			if err != nil {
+				continue
+			}
+			if wireSize == 0 {
+				if n, err := built.Package.WireSize(); err == nil {
+					wireSize = n
+				}
+			}
+			for _, other := range pool {
+				if other == nil || spec.Matches(other) {
+					continue
+				}
+				nonMatching++
+				matcher, err := core.NewMatcher(other, core.MatcherConfig{})
+				if err != nil {
+					continue
+				}
+				if matcher.FastCheck(built.Package).Candidate {
+					falseCandidates++
+				}
+			}
+		}
+		falseRate := 0.0
+		if nonMatching > 0 {
+			falseRate = float64(falseCandidates) / float64(nonMatching)
+		}
+		guessBits := 6 * math.Log2(float64(dictionarySize)/float64(p))
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", p),
+			fmt.Sprintf("%.4f", falseRate),
+			fmt.Sprintf("%d", wireSize),
+			fmt.Sprintf("2^%.0f", guessBits),
+		})
+	}
+	return Table{
+		Title:  "Ablation — remainder-vector prime p",
+		Header: []string{"p", "false-candidate rate", "request bytes", "dictionary guesses"},
+		Rows:   rows,
+		Notes: []string{
+			"false-candidate rate: non-matching users that survive the fast check and must enumerate keys",
+			"dictionary guesses: (m/p)^mt with m=2^20, mt=6 (Section IV-A1)",
+		},
+	}
+}
+
+// AblationVerifiability compares Protocol 1 (verifiable sealing) with
+// Protocol 2 (opaque sealing) under a small-dictionary adversary: the same
+// attack that recovers a Protocol 1 request verifies nothing against
+// Protocol 2 (DESIGN.md ablation 3).
+func AblationVerifiability(cfg Config) Table {
+	cfg = cfg.withDefaults()
+	dictValues := []string{
+		"male", "female", "columbia", "mit", "basketball", "chess", "golf",
+		"tennis", "cooking", "painting", "engineer", "doctor",
+	}
+	rows := make([][]string, 0, 2)
+	for _, proto := range []core.Protocol{core.Protocol1, core.Protocol2} {
+		spec := core.RequestSpec{
+			Necessary:   tagAttributes("male", "columbia"),
+			Optional:    tagAttributes("basketball", "chess", "golf"),
+			MinOptional: 2,
+		}
+		init, err := core.NewInitiator(spec, core.InitiatorConfig{
+			Protocol: proto,
+			Origin:   "ablation",
+			Rand:     rand.New(rand.NewSource(cfg.Seed + 23)),
+			Now:      func() time.Time { return time.Date(2013, 7, 8, 0, 0, 0, 0, time.UTC) },
+		})
+		if err != nil {
+			continue
+		}
+		dict := adversary.NewDictionary(tagAttributes(dictValues...)...)
+		attacker, err := adversary.NewDictionaryAttacker(dict, 1<<16)
+		if err != nil {
+			continue
+		}
+		start := time.Now()
+		res, err := attacker.RecoverRequest(init.Request())
+		if err != nil {
+			continue
+		}
+		rows = append(rows, []string{
+			proto.String(),
+			fmt.Sprintf("%v", res.Verified),
+			fmt.Sprintf("%d", len(res.Attributes)),
+			fmt.Sprintf("%d", res.CandidateKeys),
+			formatDuration(time.Since(start)),
+		})
+	}
+	return Table{
+		Title:  "Ablation — verifiable vs opaque sealing under a small-dictionary attack",
+		Header: []string{"Protocol", "request recovered", "attributes leaked", "candidate keys tried", "attack time"},
+		Rows:   rows,
+		Notes:  []string{"dictionary: the full 12-attribute universe of the toy network (the paper's worst case)"},
+	}
+}
+
+// AblationLocationBinding measures how binding static attributes to a dynamic
+// location key (Section III-D3) affects the dictionary attack and the extra
+// hashing cost (DESIGN.md ablation 4).
+func AblationLocationBinding(cfg Config) Table {
+	cfg = cfg.withDefaults()
+	spec := core.RequestSpec{
+		Necessary:   tagAttributes("male", "columbia"),
+		Optional:    tagAttributes("basketball", "chess", "golf"),
+		MinOptional: 2,
+	}
+	rows := make([][]string, 0, 2)
+	for _, bound := range []bool{false, true} {
+		s := spec
+		if bound {
+			s.DynamicKey = []byte("lattice-cell-dynamic-key")
+		}
+		built, err := core.BuildRequest(s, core.BuildOptions{
+			Rand: rand.New(rand.NewSource(cfg.Seed + 29)),
+		})
+		if err != nil {
+			continue
+		}
+		dict := adversary.NewDictionary(tagAttributes(
+			"male", "female", "columbia", "mit", "basketball", "chess", "golf", "tennis")...)
+		attacker, err := adversary.NewDictionaryAttacker(dict, 1<<14)
+		if err != nil {
+			continue
+		}
+		res, err := attacker.RecoverRequest(built.Package)
+		if err != nil {
+			continue
+		}
+		plain := timePerOp(2000, func() { crypt.HashAttribute("tag:basketball") })
+		boundCost := timePerOp(2000, func() { crypt.HashAttributeBound("tag:basketball", []byte("key")) })
+		rows = append(rows, []string{
+			fmt.Sprintf("%v", bound),
+			fmt.Sprintf("%v", res.Verified),
+			fmt.Sprintf("%d", len(res.Attributes)),
+			formatDuration(plain),
+			formatDuration(boundCost),
+		})
+	}
+	return Table{
+		Title:  "Ablation — location-bound attribute hashing",
+		Header: []string{"bound to dynamic key", "dictionary attack verified", "attributes leaked", "plain hash", "bound hash"},
+		Rows:   rows,
+		Notes:  []string{"the dictionary holds the correct attribute texts but not the dynamic key, so binding defeats it"},
+	}
+}
+
+func timePerOp(n int, op func()) time.Duration {
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		op()
+	}
+	return time.Since(start) / time.Duration(n)
+}

@@ -1,0 +1,158 @@
+// Package experiments regenerates every table and figure of the paper's
+// analysis and evaluation sections (Tables I-VII, Figures 4-7) plus the
+// ablation studies called out in DESIGN.md. Each generator returns a
+// structured result with a Render method that prints the same rows or series
+// the paper reports; cmd/benchtables and the repository-level benchmarks are
+// thin wrappers around these functions.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"sealedbottle/internal/dataset"
+)
+
+// Config tunes experiment scale. The defaults keep every experiment
+// laptop-sized while preserving the shapes of the paper's plots; raise
+// CorpusUsers toward dataset.FullScaleUsers to approach the original scale.
+type Config struct {
+	// CorpusUsers is the synthetic corpus size (default 5000).
+	CorpusUsers int
+	// Seed makes every experiment deterministic.
+	Seed int64
+	// Initiators is how many randomly chosen initiators Figures 6-7 average
+	// over (default 10).
+	Initiators int
+	// PoolUsers caps the number of participants evaluated per initiator in
+	// Figures 6-7 (default 500).
+	PoolUsers int
+	// SampleUsers is the size of the diverse sample for the (b) sub-figures
+	// (default 500; the paper uses 1000).
+	SampleUsers int
+	// MeasureIterations controls micro-benchmark iterations for Tables IV-VI.
+	MeasureIterations int
+}
+
+// withDefaults fills unset fields.
+func (c Config) withDefaults() Config {
+	if c.CorpusUsers <= 0 {
+		c.CorpusUsers = 5000
+	}
+	if c.Initiators <= 0 {
+		c.Initiators = 10
+	}
+	if c.PoolUsers <= 0 {
+		c.PoolUsers = 500
+	}
+	if c.SampleUsers <= 0 {
+		c.SampleUsers = 500
+	}
+	if c.MeasureIterations <= 0 {
+		c.MeasureIterations = 500
+	}
+	return c
+}
+
+// corpus builds the experiment corpus for a config.
+func (c Config) corpus() *dataset.Corpus {
+	return dataset.Generate(dataset.Params{Users: c.CorpusUsers, Seed: c.Seed})
+}
+
+// Table is a rendered table: a title, a header row and data rows.
+type Table struct {
+	// Title identifies the paper artefact (e.g. "Table IV").
+	Title string
+	// Header names the columns.
+	Header []string
+	// Rows holds the data, one slice per row.
+	Rows [][]string
+	// Notes carries caveats (e.g. measured-vs-paper hardware).
+	Notes []string
+}
+
+// Render prints the table with aligned columns.
+func (t Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.Header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteString("\n")
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Series is a rendered figure: one x column and one or more named y series.
+type Series struct {
+	// Title identifies the paper artefact (e.g. "Figure 6(a)").
+	Title string
+	// XLabel and YLabel describe the axes.
+	XLabel string
+	YLabel string
+	// X holds the x coordinates shared by every series.
+	X []float64
+	// Y maps a series name to its y values (same length as X).
+	Y map[string][]float64
+	// Notes carries caveats.
+	Notes []string
+}
+
+// SeriesNames returns the series names in deterministic order.
+func (s Series) SeriesNames() []string {
+	names := make([]string, 0, len(s.Y))
+	for name := range s.Y {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Render prints the figure as an aligned data table (one row per x value).
+func (s Series) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", s.Title)
+	names := s.SeriesNames()
+	header := append([]string{s.XLabel}, names...)
+	rows := make([][]string, len(s.X))
+	for i, x := range s.X {
+		row := []string{fmt.Sprintf("%g", x)}
+		for _, name := range names {
+			row = append(row, fmt.Sprintf("%.4f", s.Y[name][i]))
+		}
+		rows[i] = row
+	}
+	tbl := Table{Title: "  (" + s.YLabel + ")", Header: header, Rows: rows, Notes: s.Notes}
+	b.WriteString(tbl.Render())
+	return b.String()
+}

@@ -1,0 +1,267 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// fastConfig keeps experiment tests quick while exercising the real code paths.
+func fastConfig() Config {
+	return Config{
+		CorpusUsers:       800,
+		Seed:              1,
+		Initiators:        3,
+		PoolUsers:         120,
+		SampleUsers:       120,
+		MeasureIterations: 50,
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tbl := Table{
+		Title:  "demo",
+		Header: []string{"a", "long column"},
+		Rows:   [][]string{{"1", "2"}, {"333", "4"}},
+		Notes:  []string{"a note"},
+	}
+	out := tbl.Render()
+	for _, want := range []string{"demo", "long column", "333", "note: a note"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSeriesRender(t *testing.T) {
+	s := Series{
+		Title:  "fig",
+		XLabel: "x",
+		YLabel: "y",
+		X:      []float64{1, 2},
+		Y:      map[string][]float64{"b": {0.1, 0.2}, "a": {0.3, 0.4}},
+	}
+	if names := s.SeriesNames(); names[0] != "a" || names[1] != "b" {
+		t.Errorf("series names not sorted: %v", names)
+	}
+	out := s.Render()
+	for _, want := range []string{"fig", "0.1000", "0.4000"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered series missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableIAndII(t *testing.T) {
+	t1 := TableI()
+	if len(t1.Rows) != 5 || len(t1.Header) != 5 {
+		t.Errorf("Table I shape %dx%d", len(t1.Rows), len(t1.Header))
+	}
+	// Protocol 1's matching-user column is PPL1; Protocols 2/3 are PPL3.
+	if t1.Rows[0][1] != "PPL1" || t1.Rows[1][1] != "PPL3" {
+		t.Error("Table I protocol rows wrong")
+	}
+	t2 := TableII()
+	if len(t2.Rows) != 3 {
+		t.Errorf("Table II rows = %d", len(t2.Rows))
+	}
+	if t2.Rows[0][1] != "PPL0" || t2.Rows[1][1] != "PPL3" {
+		t.Error("Table II dictionary column wrong")
+	}
+}
+
+func TestTableIII(t *testing.T) {
+	tbl := TableIII()
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("Table III rows = %d", len(tbl.Rows))
+	}
+	if tbl.Rows[3][0] != "Protocol 1" {
+		t.Error("Protocol 1 row missing")
+	}
+	out := tbl.Render()
+	if !strings.Contains(out, "E3") || !strings.Contains(out, "H") {
+		t.Error("Table III should mention both asymmetric and symmetric ops")
+	}
+}
+
+func TestTableIVAndV(t *testing.T) {
+	cfg := fastConfig()
+	t4 := TableIV(cfg)
+	if len(t4.Rows) != 6 {
+		t.Errorf("Table IV rows = %d", len(t4.Rows))
+	}
+	for _, row := range t4.Rows {
+		if row[1] == "-" {
+			t.Errorf("missing measurement for %s", row[0])
+		}
+	}
+	t5 := TableV(cfg)
+	if len(t5.Rows) != 4 {
+		t.Errorf("Table V rows = %d", len(t5.Rows))
+	}
+}
+
+func TestTableVI(t *testing.T) {
+	tbl := TableVI(fastConfig())
+	if len(tbl.Rows) != 5 {
+		t.Fatalf("Table VI rows = %d", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		if row[1] == "-" {
+			t.Errorf("step %s has no mean measurement", row[0])
+		}
+	}
+}
+
+func TestTableVII(t *testing.T) {
+	tbl := TableVII(fastConfig())
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("Table VII rows = %d", len(tbl.Rows))
+	}
+	// Protocol 1 communication column should be well under 1 KB while the
+	// baselines are in the hundreds of KB.
+	if !strings.Contains(tbl.Rows[3][0], "Protocol 1") {
+		t.Fatal("Protocol 1 row missing")
+	}
+}
+
+func TestFigure4(t *testing.T) {
+	s := Figure4(fastConfig())
+	if len(s.X) != 10 {
+		t.Fatalf("Figure 4 x length = %d", len(s.X))
+	}
+	with := s.Y["profile with keywords"]
+	without := s.Y["profile without keywords"]
+	if with[0] < 0.9 {
+		t.Errorf("unique fraction with keywords = %v, want > 0.9", with[0])
+	}
+	// CDFs are monotone non-decreasing.
+	for i := 1; i < len(with); i++ {
+		if with[i]+1e-9 < with[i-1] || without[i]+1e-9 < without[i-1] {
+			t.Fatal("Figure 4 CDFs are not monotone")
+		}
+	}
+}
+
+func TestFigure5(t *testing.T) {
+	s := Figure5(fastConfig())
+	if len(s.X) != 20 {
+		t.Fatalf("Figure 5 x length = %d", len(s.X))
+	}
+	total := 0.0
+	for _, v := range s.Y["users"] {
+		total += v
+	}
+	if total != float64(fastConfig().CorpusUsers) {
+		t.Errorf("Figure 5 user counts sum to %v, want %d", total, fastConfig().CorpusUsers)
+	}
+}
+
+func TestFigure6ShapesMatchPaper(t *testing.T) {
+	cfg := fastConfig()
+	cfg.CorpusUsers = 2500
+	cfg.Initiators = 8
+	cfg.PoolUsers = 250
+	s := Figure6(cfg, CaseSixAttributes)
+	truth := s.Y["similar user proportion (truth)"]
+	p11 := s.Y["candidate proportion (p=11)"]
+	p23 := s.Y["candidate proportion (p=23)"]
+	if len(truth) == 0 {
+		t.Fatal("empty series")
+	}
+	var excess11, excess23 float64
+	for i := range truth {
+		// Candidates are a superset of true matches…
+		if p11[i]+1e-9 < truth[i] || p23[i]+1e-9 < truth[i] {
+			t.Errorf("candidate proportion below truth at similarity %v", s.X[i])
+		}
+		excess11 += p11[i] - truth[i]
+		excess23 += p23[i] - truth[i]
+	}
+	// …and a larger prime brings the candidate set closer to the truth in
+	// aggregate (pointwise ordering is not guaranteed because 23 is not a
+	// multiple of 11, so individual collisions differ; allow sampling noise).
+	if excess23 > excess11+0.25 {
+		t.Errorf("p=23 should produce no more false candidates overall: excess %v vs %v", excess23, excess11)
+	}
+	// All proportions are non-increasing in the similarity requirement.
+	for i := 1; i < len(truth); i++ {
+		if truth[i] > truth[i-1]+1e-9 || p11[i] > p11[i-1]+1e-9 {
+			t.Error("proportions should not increase with the similarity requirement")
+		}
+	}
+	// At similarity 0 every user qualifies.
+	if truth[0] < 0.999 || p11[0] < 0.999 {
+		t.Errorf("similarity-0 proportions should be 1, got %v / %v", truth[0], p11[0])
+	}
+}
+
+func TestFigure6DiverseCase(t *testing.T) {
+	s := Figure6(fastConfig(), CaseDiverse)
+	if len(s.X) != 10 { // 0..9
+		t.Fatalf("Figure 6(b) x length = %d", len(s.X))
+	}
+	if CaseDiverse.String() == CaseSixAttributes.String() {
+		t.Error("case strings should differ")
+	}
+}
+
+func TestFigure7SmallCandidateKeySets(t *testing.T) {
+	cfg := fastConfig()
+	cfg.PoolUsers = 60
+	cfg.Initiators = 2
+	s := Figure7(cfg, CaseSixAttributes)
+	if len(s.X) != 6 {
+		t.Fatalf("Figure 7 x length = %d", len(s.X))
+	}
+	mean11 := s.Y["mean (p=11)"]
+	max11 := s.Y["max (p=11)"]
+	for i := range mean11 {
+		if mean11[i] > max11[i]+1e-9 {
+			t.Error("mean exceeds max")
+		}
+		// The paper's point: candidate key sets stay small (single digits).
+		if max11[i] > 64 {
+			t.Errorf("candidate key set blew up to %v at similarity %v", max11[i], s.X[i])
+		}
+	}
+}
+
+func TestAblationRemainder(t *testing.T) {
+	tbl := AblationRemainder(fastConfig())
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("ablation rows = %d", len(tbl.Rows))
+	}
+	// Larger p → lower false-candidate rate (first and last rows).
+	first, err := strconv.ParseFloat(tbl.Rows[0][1], 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last, err := strconv.ParseFloat(tbl.Rows[len(tbl.Rows)-1][1], 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last > first+1e-9 {
+		t.Errorf("false-candidate rate should fall as p grows: p=7 %v vs p=47 %v", first, last)
+	}
+}
+
+func TestAblationVerifiabilityAndLocationBinding(t *testing.T) {
+	v := AblationVerifiability(fastConfig())
+	if len(v.Rows) != 2 {
+		t.Fatalf("verifiability ablation rows = %d", len(v.Rows))
+	}
+	if v.Rows[0][1] != "true" {
+		t.Error("Protocol 1 should be recovered by the small-dictionary attack")
+	}
+	if v.Rows[1][1] != "false" {
+		t.Error("Protocol 2 should resist the small-dictionary attack")
+	}
+	l := AblationLocationBinding(fastConfig())
+	if len(l.Rows) != 2 {
+		t.Fatalf("location ablation rows = %d", len(l.Rows))
+	}
+	if l.Rows[0][1] != "true" || l.Rows[1][1] != "false" {
+		t.Errorf("location binding should defeat the dictionary attack: %v", l.Rows)
+	}
+}

@@ -1,0 +1,326 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"sealedbottle/internal/attr"
+	"sealedbottle/internal/core"
+	"sealedbottle/internal/crypt"
+	"sealedbottle/internal/dataset"
+)
+
+// Figure4 reproduces Fig. 4: the cumulative fraction of users whose profile
+// is shared by at most k other users, with and without keywords. The paper's
+// headline observation — more than 90% of users have a unique profile — shows
+// up as the k=1 value.
+func Figure4(cfg Config) Series {
+	cfg = cfg.withDefaults()
+	corpus := cfg.corpus()
+	with := corpus.Collisions(true)
+	without := corpus.Collisions(false)
+
+	const maxK = 10
+	xs := make([]float64, maxK)
+	withY := make([]float64, maxK)
+	withoutY := make([]float64, maxK)
+	cum := func(cdf map[int]float64, k int) float64 {
+		// The CDF is only populated up to the largest collision count; carry
+		// the last value forward.
+		best := 0.0
+		for i := 1; i <= k; i++ {
+			if v, ok := cdf[i]; ok {
+				best = v
+			}
+		}
+		return best
+	}
+	for k := 1; k <= maxK; k++ {
+		xs[k-1] = float64(k)
+		withY[k-1] = cum(with.CDF, k)
+		withoutY[k-1] = cum(without.CDF, k)
+	}
+	return Series{
+		Title:  "Figure 4 — profile uniqueness and collisions",
+		XLabel: "profile collisions k",
+		YLabel: "cumulative user fraction",
+		X:      xs,
+		Y: map[string][]float64{
+			"profile with keywords":    withY,
+			"profile without keywords": withoutY,
+		},
+		Notes: []string{fmt.Sprintf("unique fraction: %.3f with keywords, %.3f without", with.UniqueFraction, without.UniqueFraction)},
+	}
+}
+
+// Figure5 reproduces Fig. 5: the distribution of per-user tag counts
+// (log-scaled y axis in the paper; raw counts here).
+func Figure5(cfg Config) Series {
+	cfg = cfg.withDefaults()
+	corpus := cfg.corpus()
+	dist := corpus.TagCountDistribution()
+	xs := make([]float64, 0, dataset.DefaultMaxTags)
+	ys := make([]float64, 0, dataset.DefaultMaxTags)
+	for n := 1; n <= dataset.DefaultMaxTags; n++ {
+		xs = append(xs, float64(n))
+		ys = append(ys, float64(dist[n]))
+	}
+	return Series{
+		Title:  "Figure 5 — users' attribute number distribution",
+		XLabel: "tag count",
+		YLabel: "user count",
+		X:      xs,
+		Y:      map[string][]float64{"users": ys},
+		Notes:  []string{fmt.Sprintf("mean tag count %.2f over %d users", corpus.MeanTagCount(), cfg.CorpusUsers)},
+	}
+}
+
+// FigureCase selects which sub-figure of Figs. 6-7 to generate.
+type FigureCase int
+
+const (
+	// CaseSixAttributes is sub-figure (a): every user has exactly 6 tags.
+	CaseSixAttributes FigureCase = iota + 1
+	// CaseDiverse is sub-figure (b): a random sample with diverse tag counts.
+	CaseDiverse
+)
+
+// String implements fmt.Stringer.
+func (c FigureCase) String() string {
+	if c == CaseSixAttributes {
+		return "users with 6 attributes"
+	}
+	return "diverse number of attributes"
+}
+
+// figurePool selects the participant pool and the initiators for a case.
+func figurePool(cfg Config, corpus *dataset.Corpus, c FigureCase) (pool []*attr.Profile, initiators []*attr.Profile, maxShared int) {
+	var users []dataset.User
+	switch c {
+	case CaseSixAttributes:
+		users = corpus.UsersWithTagCount(dataset.DefaultMeanTags)
+		maxShared = dataset.DefaultMeanTags
+	default:
+		users = corpus.Sample(cfg.SampleUsers, cfg.Seed+7)
+		maxShared = 9
+	}
+	if len(users) > cfg.PoolUsers {
+		users = users[:cfg.PoolUsers]
+	}
+	pool = make([]*attr.Profile, len(users))
+	for i, u := range users {
+		pool[i] = u.TagProfile()
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 11))
+	n := cfg.Initiators
+	if n > len(pool) {
+		n = len(pool)
+	}
+	perm := rng.Perm(len(pool))
+	for i := 0; i < n; i++ {
+		p := pool[perm[i]]
+		if p.Len() >= 2 {
+			initiators = append(initiators, p)
+		}
+	}
+	return pool, initiators, maxShared
+}
+
+// Figure6 reproduces Fig. 6: the proportion of users that are true similar
+// users versus the proportion that pass the remainder-vector fast check
+// (candidates), as the required number of shared attributes grows, for
+// p ∈ {11, 23}.
+func Figure6(cfg Config, c FigureCase) Series {
+	cfg = cfg.withDefaults()
+	corpus := cfg.corpus()
+	pool, initiators, maxShared := figurePool(cfg, corpus, c)
+	primes := []uint32{11, 23}
+
+	xs := make([]float64, maxShared+1)
+	truth := make([]float64, maxShared+1)
+	candidate := map[uint32][]float64{}
+	for _, p := range primes {
+		candidate[p] = make([]float64, maxShared+1)
+	}
+
+	// Pre-hash the pool once per prime.
+	poolVectors := make([]crypt.ProfileVector, len(pool))
+	for i, p := range pool {
+		v, err := crypt.VectorFromProfile(p)
+		if err != nil {
+			continue
+		}
+		poolVectors[i] = v
+	}
+
+	evaluated := 0
+	for _, initProfile := range initiators {
+		reqVector, err := crypt.VectorFromProfile(initProfile)
+		if err != nil {
+			continue
+		}
+		evaluated++
+		reqAttrs := initProfile.Attributes()
+		for s := 0; s <= maxShared; s++ {
+			xs[s] = float64(s)
+		}
+		reqRemainders := map[uint32][]uint32{}
+		for _, p := range primes {
+			reqRemainders[p] = reqVector.Remainders(p)
+		}
+		for i, other := range pool {
+			if other == nil || poolVectors[i] == nil {
+				continue
+			}
+			inter := countIntersection(reqAttrs, other)
+			// filled[p]: how many request positions have at least one matching
+			// remainder in the other user's vector.
+			for _, p := range primes {
+				otherRem := poolVectors[i].Remainders(p)
+				filled := 0
+				for _, want := range reqRemainders[p] {
+					for _, r := range otherRem {
+						if r == want {
+							filled++
+							break
+						}
+					}
+				}
+				for s := 0; s <= maxShared && s <= len(reqAttrs); s++ {
+					if filled >= s {
+						candidate[p][s]++
+					}
+				}
+			}
+			for s := 0; s <= maxShared && s <= len(reqAttrs); s++ {
+				if inter >= s {
+					truth[s]++
+				}
+			}
+		}
+	}
+	norm := float64(evaluated) * float64(len(pool))
+	series := map[string][]float64{"similar user proportion (truth)": normalize(truth, norm)}
+	for _, p := range primes {
+		series[fmt.Sprintf("candidate proportion (p=%d)", p)] = normalize(candidate[p], norm)
+	}
+	return Series{
+		Title:  fmt.Sprintf("Figure 6 — candidate user proportion (%s)", c),
+		XLabel: "shared attribute number (similarity)",
+		YLabel: "user proportion",
+		X:      xs,
+		Y:      series,
+		Notes: []string{
+			fmt.Sprintf("%d initiators averaged over a pool of %d users", evaluated, len(pool)),
+		},
+	}
+}
+
+// Figure7 reproduces Fig. 7: the mean and maximum number of candidate profile
+// keys a candidate user generates, as the required number of shared
+// attributes grows, for p ∈ {11, 23}.
+func Figure7(cfg Config, c FigureCase) Series {
+	cfg = cfg.withDefaults()
+	corpus := cfg.corpus()
+	pool, initiators, maxShared := figurePool(cfg, corpus, c)
+	primes := []uint32{11, 23}
+	rng := rand.New(rand.NewSource(cfg.Seed + 13))
+
+	xs := make([]float64, 0, maxShared)
+	mean := map[uint32][]float64{}
+	maxKeys := map[uint32][]float64{}
+	for _, p := range primes {
+		mean[p] = make([]float64, 0, maxShared)
+		maxKeys[p] = make([]float64, 0, maxShared)
+	}
+
+	for s := 1; s <= maxShared; s++ {
+		xs = append(xs, float64(s))
+		for _, p := range primes {
+			total, count, maxSeen := 0.0, 0.0, 0.0
+			for _, initProfile := range initiators {
+				if initProfile.Len() < s {
+					continue
+				}
+				spec := core.FuzzyMatch(s, initProfile.Attributes()...)
+				spec.Prime = p
+				built, err := core.BuildRequest(spec, core.BuildOptions{Rand: rng})
+				if err != nil {
+					continue
+				}
+				for _, other := range pool {
+					if other == nil || other.Len() == 0 {
+						continue
+					}
+					matcher, err := core.NewMatcher(other, core.MatcherConfig{MaxCandidateVectors: 512})
+					if err != nil {
+						continue
+					}
+					if !matcher.FastCheck(built.Package).Candidate {
+						continue
+					}
+					keys, _, err := matcher.CandidateKeys(built.Package)
+					if err != nil {
+						continue
+					}
+					if len(keys) == 0 {
+						// Passed the fast check but produced no
+						// order-consistent candidate vector; such users do no
+						// key work, so they do not contribute to κ_k.
+						continue
+					}
+					total += float64(len(keys))
+					count++
+					if float64(len(keys)) > maxSeen {
+						maxSeen = float64(len(keys))
+					}
+				}
+			}
+			if count == 0 {
+				mean[p] = append(mean[p], 0)
+				maxKeys[p] = append(maxKeys[p], 0)
+				continue
+			}
+			mean[p] = append(mean[p], total/count)
+			maxKeys[p] = append(maxKeys[p], maxSeen)
+		}
+	}
+	series := map[string][]float64{}
+	for _, p := range primes {
+		series[fmt.Sprintf("mean (p=%d)", p)] = mean[p]
+		series[fmt.Sprintf("max (p=%d)", p)] = maxKeys[p]
+	}
+	return Series{
+		Title:  fmt.Sprintf("Figure 7 — candidate profile key set size (%s)", c),
+		XLabel: "shared attribute number (similarity)",
+		YLabel: "number of candidate profile keys",
+		X:      xs,
+		Y:      series,
+		Notes: []string{
+			fmt.Sprintf("%d initiators over a pool of %d users", len(initiators), len(pool)),
+		},
+	}
+}
+
+// countIntersection counts how many request attributes the profile owns.
+func countIntersection(reqAttrs []attr.Attribute, p *attr.Profile) int {
+	n := 0
+	for _, a := range reqAttrs {
+		if p.Contains(a) {
+			n++
+		}
+	}
+	return n
+}
+
+// normalize divides every value by total (guarding against zero).
+func normalize(values []float64, total float64) []float64 {
+	out := make([]float64, len(values))
+	if total == 0 {
+		return out
+	}
+	for i, v := range values {
+		out[i] = v / total
+	}
+	return out
+}

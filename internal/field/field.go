@@ -1,0 +1,206 @@
+// Package field implements arithmetic over the prime field GF(q) used by the
+// hint matrix of the Sealed Bottle mechanism.
+//
+// The paper builds the hint matrix B = C × [h^{α+1}, ..., h^{m_t}]^T from
+// 256-bit SHA-256 attribute hashes and later solves the linear system
+// [I, R] x = B (Eqs. 9-13) to recover missing hashes. For the recovery to be
+// exact the arithmetic must be carried out over a field in which every
+// 256-bit hash embeds losslessly; we use GF(q) with q the smallest prime
+// larger than 2^256 (q = 2^256 + 297). The paper leaves the arithmetic
+// domain unspecified; this choice preserves the unique-solution property the
+// paper relies on while keeping all values a fixed 33 bytes on the wire.
+package field
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+)
+
+// modulusDecimal is q = 2^256 + 297, the smallest prime exceeding 2^256.
+const modulusDecimal = "115792089237316195423570985008687907853269984665640564039457584007913129640233"
+
+// ElementSize is the canonical encoded size of a field element in bytes.
+// q is a 257-bit prime, so 33 bytes are required.
+const ElementSize = 33
+
+//nolint:gochecknoglobals // immutable module-level constants shared by all elements.
+var (
+	_modulus = mustParseModulus()
+	_zero    = big.NewInt(0)
+)
+
+func mustParseModulus() *big.Int {
+	m, ok := new(big.Int).SetString(modulusDecimal, 10)
+	if !ok {
+		panic("field: invalid modulus constant")
+	}
+	return m
+}
+
+// Modulus returns a copy of the field modulus q.
+func Modulus() *big.Int { return new(big.Int).Set(_modulus) }
+
+// Element is an immutable element of GF(q). The zero value is the field's
+// additive identity and is ready to use.
+type Element struct {
+	// v is always nil (meaning 0) or reduced into [0, q).
+	v *big.Int
+}
+
+// Zero returns the additive identity.
+func Zero() Element { return Element{} }
+
+// One returns the multiplicative identity.
+func One() Element { return FromUint64(1) }
+
+// FromBig reduces an arbitrary integer into the field.
+func FromBig(x *big.Int) Element {
+	v := new(big.Int).Mod(x, _modulus)
+	return Element{v: v}
+}
+
+// FromUint64 lifts a machine integer into the field.
+func FromUint64(x uint64) Element {
+	return Element{v: new(big.Int).SetUint64(x)}
+}
+
+// FromInt64 lifts a signed machine integer into the field (negative values
+// wrap around the modulus).
+func FromInt64(x int64) Element {
+	return FromBig(big.NewInt(x))
+}
+
+// FromBytes interprets b as a big-endian unsigned integer and reduces it into
+// the field. It is the standard way to lift a SHA-256 digest into GF(q); a
+// 32-byte digest is always already smaller than q, so no information is lost.
+func FromBytes(b []byte) Element {
+	return FromBig(new(big.Int).SetBytes(b))
+}
+
+// Random returns a uniformly random field element read from r
+// (crypto/rand.Reader in production code).
+func Random(r io.Reader) (Element, error) {
+	v, err := rand.Int(r, _modulus)
+	if err != nil {
+		return Element{}, fmt.Errorf("field: sampling random element: %w", err)
+	}
+	return Element{v: v}, nil
+}
+
+// RandomNonZero returns a uniformly random non-zero field element.
+func RandomNonZero(r io.Reader) (Element, error) {
+	for {
+		e, err := Random(r)
+		if err != nil {
+			return Element{}, err
+		}
+		if !e.IsZero() {
+			return e, nil
+		}
+	}
+}
+
+func (e Element) big() *big.Int {
+	if e.v == nil {
+		return _zero
+	}
+	return e.v
+}
+
+// Big returns a copy of the element's canonical representative in [0, q).
+func (e Element) Big() *big.Int { return new(big.Int).Set(e.big()) }
+
+// Bytes returns the canonical fixed-width (33-byte) big-endian encoding.
+func (e Element) Bytes() []byte {
+	out := make([]byte, ElementSize)
+	e.big().FillBytes(out)
+	return out
+}
+
+// ElementFromCanonicalBytes decodes a fixed-width encoding produced by Bytes.
+// It rejects values outside [0, q) so that every element has exactly one
+// valid encoding.
+func ElementFromCanonicalBytes(b []byte) (Element, error) {
+	if len(b) != ElementSize {
+		return Element{}, fmt.Errorf("field: encoded element must be %d bytes, got %d", ElementSize, len(b))
+	}
+	v := new(big.Int).SetBytes(b)
+	if v.Cmp(_modulus) >= 0 {
+		return Element{}, errors.New("field: encoded element is not reduced")
+	}
+	return Element{v: v}, nil
+}
+
+// IsZero reports whether the element is the additive identity.
+func (e Element) IsZero() bool { return e.big().Sign() == 0 }
+
+// Equal reports whether two elements are the same field element.
+func (e Element) Equal(o Element) bool { return e.big().Cmp(o.big()) == 0 }
+
+// Add returns e + o.
+func (e Element) Add(o Element) Element {
+	v := new(big.Int).Add(e.big(), o.big())
+	if v.Cmp(_modulus) >= 0 {
+		v.Sub(v, _modulus)
+	}
+	return Element{v: v}
+}
+
+// Sub returns e - o.
+func (e Element) Sub(o Element) Element {
+	v := new(big.Int).Sub(e.big(), o.big())
+	if v.Sign() < 0 {
+		v.Add(v, _modulus)
+	}
+	return Element{v: v}
+}
+
+// Neg returns -e.
+func (e Element) Neg() Element {
+	if e.IsZero() {
+		return Element{}
+	}
+	return Element{v: new(big.Int).Sub(_modulus, e.big())}
+}
+
+// Mul returns e * o.
+func (e Element) Mul(o Element) Element {
+	v := new(big.Int).Mul(e.big(), o.big())
+	v.Mod(v, _modulus)
+	return Element{v: v}
+}
+
+// Inv returns the multiplicative inverse of e. It returns an error for the
+// zero element, which has no inverse.
+func (e Element) Inv() (Element, error) {
+	if e.IsZero() {
+		return Element{}, errors.New("field: zero has no multiplicative inverse")
+	}
+	v := new(big.Int).ModInverse(e.big(), _modulus)
+	if v == nil {
+		return Element{}, errors.New("field: element has no inverse (modulus not prime?)")
+	}
+	return Element{v: v}, nil
+}
+
+// Div returns e / o, failing when o is zero.
+func (e Element) Div(o Element) (Element, error) {
+	inv, err := o.Inv()
+	if err != nil {
+		return Element{}, err
+	}
+	return e.Mul(inv), nil
+}
+
+// String renders the element as a shortened hexadecimal string for debugging.
+func (e Element) String() string {
+	h := hex.EncodeToString(e.Bytes())
+	if len(h) > 16 {
+		return h[:8] + "…" + h[len(h)-8:]
+	}
+	return h
+}

@@ -1,0 +1,177 @@
+package field
+
+import (
+	"bytes"
+	"crypto/rand"
+	"crypto/sha256"
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+func TestModulusIsSmallestPrimeAbove2_256(t *testing.T) {
+	q := Modulus()
+	two256 := new(big.Int).Lsh(big.NewInt(1), 256)
+	if q.Cmp(two256) <= 0 {
+		t.Fatal("modulus is not larger than 2^256")
+	}
+	if !q.ProbablyPrime(64) {
+		t.Fatal("modulus is not prime")
+	}
+	// No smaller integer in (2^256, q) is prime.
+	for c := new(big.Int).Add(two256, big.NewInt(1)); c.Cmp(q) < 0; c.Add(c, big.NewInt(1)) {
+		if c.ProbablyPrime(64) {
+			t.Fatalf("found a smaller prime above 2^256: %v", c)
+		}
+	}
+}
+
+func TestElementBasics(t *testing.T) {
+	if !Zero().IsZero() {
+		t.Error("Zero() should be zero")
+	}
+	if One().IsZero() {
+		t.Error("One() should not be zero")
+	}
+	if !FromUint64(5).Add(FromUint64(7)).Equal(FromUint64(12)) {
+		t.Error("5+7 != 12")
+	}
+	if !FromUint64(5).Sub(FromUint64(7)).Equal(FromInt64(-2)) {
+		t.Error("5-7 != -2 mod q")
+	}
+	if !FromUint64(5).Mul(FromUint64(7)).Equal(FromUint64(35)) {
+		t.Error("5*7 != 35")
+	}
+	if !FromUint64(5).Neg().Add(FromUint64(5)).IsZero() {
+		t.Error("x + (-x) != 0")
+	}
+	inv, err := FromUint64(7).Inv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !inv.Mul(FromUint64(7)).Equal(One()) {
+		t.Error("7 * 7^-1 != 1")
+	}
+	if _, err := Zero().Inv(); err == nil {
+		t.Error("zero inverse should fail")
+	}
+	q, err := FromUint64(35).Div(FromUint64(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.Equal(FromUint64(5)) {
+		t.Error("35/7 != 5")
+	}
+	if _, err := One().Div(Zero()); err == nil {
+		t.Error("division by zero should fail")
+	}
+}
+
+func TestWraparound(t *testing.T) {
+	qMinus1 := FromBig(new(big.Int).Sub(Modulus(), big.NewInt(1)))
+	if !qMinus1.Add(One()).IsZero() {
+		t.Error("(q-1) + 1 should wrap to 0")
+	}
+	if !Zero().Sub(One()).Equal(qMinus1) {
+		t.Error("0 - 1 should wrap to q-1")
+	}
+}
+
+func TestBytesRoundTrip(t *testing.T) {
+	digest := sha256.Sum256([]byte("interest:basketball"))
+	e := FromBytes(digest[:])
+	enc := e.Bytes()
+	if len(enc) != ElementSize {
+		t.Fatalf("encoded length %d, want %d", len(enc), ElementSize)
+	}
+	dec, err := ElementFromCanonicalBytes(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dec.Equal(e) {
+		t.Error("round trip mismatch")
+	}
+	// A SHA-256 digest is < 2^256 < q, so lifting loses nothing.
+	if !bytes.Equal(e.Big().Bytes(), new(big.Int).SetBytes(digest[:]).Bytes()) {
+		t.Error("digest was altered by lifting into the field")
+	}
+}
+
+func TestElementFromCanonicalBytesRejectsBad(t *testing.T) {
+	if _, err := ElementFromCanonicalBytes(make([]byte, 10)); err == nil {
+		t.Error("short encoding should fail")
+	}
+	unreduced := make([]byte, ElementSize)
+	Modulus().FillBytes(unreduced)
+	if _, err := ElementFromCanonicalBytes(unreduced); err == nil {
+		t.Error("unreduced encoding should fail")
+	}
+}
+
+func TestRandom(t *testing.T) {
+	a, err := Random(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Random(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Equal(b) {
+		t.Error("two random 257-bit elements should virtually never collide")
+	}
+	nz, err := RandomNonZero(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nz.IsZero() {
+		t.Error("RandomNonZero returned zero")
+	}
+}
+
+func TestStringShortens(t *testing.T) {
+	s := FromUint64(123456).String()
+	if len(s) == 0 || len(s) > 20 {
+		t.Errorf("String() = %q; want short digest", s)
+	}
+}
+
+// Property: field axioms hold for random elements derived from arbitrary byte
+// strings (commutativity, associativity, distributivity, inverses).
+func TestFieldAxiomsProperty(t *testing.T) {
+	lift := func(b []byte) Element {
+		d := sha256.Sum256(b)
+		return FromBytes(d[:])
+	}
+	f := func(ab, bb, cb []byte) bool {
+		a, b, c := lift(ab), lift(bb), lift(cb)
+		if !a.Add(b).Equal(b.Add(a)) {
+			return false
+		}
+		if !a.Mul(b).Equal(b.Mul(a)) {
+			return false
+		}
+		if !a.Add(b).Add(c).Equal(a.Add(b.Add(c))) {
+			return false
+		}
+		if !a.Mul(b).Mul(c).Equal(a.Mul(b.Mul(c))) {
+			return false
+		}
+		if !a.Mul(b.Add(c)).Equal(a.Mul(b).Add(a.Mul(c))) {
+			return false
+		}
+		if !a.Sub(a).IsZero() {
+			return false
+		}
+		if !a.IsZero() {
+			inv, err := a.Inv()
+			if err != nil || !inv.Mul(a).Equal(One()) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,338 @@
+package field
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Vector is a column vector of field elements.
+type Vector []Element
+
+// NewVector allocates a zero vector of length n.
+func NewVector(n int) Vector { return make(Vector, n) }
+
+// VectorFromBytes lifts a slice of byte strings (e.g. SHA-256 digests) into a
+// vector of field elements.
+func VectorFromBytes(digests [][]byte) Vector {
+	v := make(Vector, len(digests))
+	for i, d := range digests {
+		v[i] = FromBytes(d)
+	}
+	return v
+}
+
+// Clone returns a copy of the vector.
+func (v Vector) Clone() Vector {
+	out := make(Vector, len(v))
+	copy(out, v)
+	return out
+}
+
+// Equal reports element-wise equality.
+func (v Vector) Equal(o Vector) bool {
+	if len(v) != len(o) {
+		return false
+	}
+	for i := range v {
+		if !v[i].Equal(o[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Add returns v + o.
+func (v Vector) Add(o Vector) (Vector, error) {
+	if len(v) != len(o) {
+		return nil, fmt.Errorf("field: vector length mismatch %d vs %d", len(v), len(o))
+	}
+	out := make(Vector, len(v))
+	for i := range v {
+		out[i] = v[i].Add(o[i])
+	}
+	return out, nil
+}
+
+// Dot returns the inner product of two vectors.
+func (v Vector) Dot(o Vector) (Element, error) {
+	if len(v) != len(o) {
+		return Element{}, fmt.Errorf("field: vector length mismatch %d vs %d", len(v), len(o))
+	}
+	acc := Zero()
+	for i := range v {
+		acc = acc.Add(v[i].Mul(o[i]))
+	}
+	return acc, nil
+}
+
+// String renders the vector for debugging.
+func (v Vector) String() string {
+	parts := make([]string, len(v))
+	for i, e := range v {
+		parts[i] = e.String()
+	}
+	return "[" + strings.Join(parts, " ") + "]"
+}
+
+// Matrix is a dense rows×cols matrix of field elements.
+type Matrix struct {
+	rows, cols int
+	data       []Element // row-major
+}
+
+// NewMatrix allocates a zero matrix of the given shape.
+func NewMatrix(rows, cols int) (*Matrix, error) {
+	if rows <= 0 || cols <= 0 {
+		return nil, fmt.Errorf("field: invalid matrix shape %dx%d", rows, cols)
+	}
+	return &Matrix{rows: rows, cols: cols, data: make([]Element, rows*cols)}, nil
+}
+
+// Identity returns the n×n identity matrix.
+func Identity(n int) (*Matrix, error) {
+	m, err := NewMatrix(n, n)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		m.Set(i, i, One())
+	}
+	return m, nil
+}
+
+// RandomMatrix returns a rows×cols matrix whose entries are uniformly random
+// non-zero field elements, as required for the R block of the constraint
+// matrix C = [I, R].
+func RandomMatrix(r io.Reader, rows, cols int) (*Matrix, error) {
+	m, err := NewMatrix(rows, cols)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			e, err := RandomNonZero(r)
+			if err != nil {
+				return nil, err
+			}
+			m.Set(i, j, e)
+		}
+	}
+	return m, nil
+}
+
+// Rows returns the number of rows.
+func (m *Matrix) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *Matrix) Cols() int { return m.cols }
+
+// At returns the element at row i, column j.
+func (m *Matrix) At(i, j int) Element { return m.data[i*m.cols+j] }
+
+// Set assigns the element at row i, column j.
+func (m *Matrix) Set(i, j int, e Element) { m.data[i*m.cols+j] = e }
+
+// Clone returns a deep copy of the matrix.
+func (m *Matrix) Clone() *Matrix {
+	out := &Matrix{rows: m.rows, cols: m.cols, data: make([]Element, len(m.data))}
+	copy(out.data, m.data)
+	return out
+}
+
+// Equal reports element-wise equality of two matrices.
+func (m *Matrix) Equal(o *Matrix) bool {
+	if m.rows != o.rows || m.cols != o.cols {
+		return false
+	}
+	for i := range m.data {
+		if !m.data[i].Equal(o.data[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// HStack returns [m | o], the horizontal concatenation of two matrices with
+// the same number of rows. It is used to build C = [I, R] and M = [C, B].
+func (m *Matrix) HStack(o *Matrix) (*Matrix, error) {
+	if m.rows != o.rows {
+		return nil, fmt.Errorf("field: hstack row mismatch %d vs %d", m.rows, o.rows)
+	}
+	out, err := NewMatrix(m.rows, m.cols+o.cols)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < m.rows; i++ {
+		for j := 0; j < m.cols; j++ {
+			out.Set(i, j, m.At(i, j))
+		}
+		for j := 0; j < o.cols; j++ {
+			out.Set(i, m.cols+j, o.At(i, j))
+		}
+	}
+	return out, nil
+}
+
+// Submatrix returns the block [r0, r1) × [c0, c1).
+func (m *Matrix) Submatrix(r0, r1, c0, c1 int) (*Matrix, error) {
+	if r0 < 0 || c0 < 0 || r1 > m.rows || c1 > m.cols || r0 >= r1 || c0 >= c1 {
+		return nil, fmt.Errorf("field: invalid submatrix bounds [%d,%d)x[%d,%d) of %dx%d", r0, r1, c0, c1, m.rows, m.cols)
+	}
+	out, err := NewMatrix(r1-r0, c1-c0)
+	if err != nil {
+		return nil, err
+	}
+	for i := r0; i < r1; i++ {
+		for j := c0; j < c1; j++ {
+			out.Set(i-r0, j-c0, m.At(i, j))
+		}
+	}
+	return out, nil
+}
+
+// MulVector returns the matrix-vector product m·v.
+func (m *Matrix) MulVector(v Vector) (Vector, error) {
+	if len(v) != m.cols {
+		return nil, fmt.Errorf("field: matrix %dx%d cannot multiply vector of length %d", m.rows, m.cols, len(v))
+	}
+	out := make(Vector, m.rows)
+	for i := 0; i < m.rows; i++ {
+		acc := Zero()
+		for j := 0; j < m.cols; j++ {
+			acc = acc.Add(m.At(i, j).Mul(v[j]))
+		}
+		out[i] = acc
+	}
+	return out, nil
+}
+
+// MulMatrix returns the matrix product m·o.
+func (m *Matrix) MulMatrix(o *Matrix) (*Matrix, error) {
+	if m.cols != o.rows {
+		return nil, fmt.Errorf("field: cannot multiply %dx%d by %dx%d", m.rows, m.cols, o.rows, o.cols)
+	}
+	out, err := NewMatrix(m.rows, o.cols)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < m.rows; i++ {
+		for k := 0; k < m.cols; k++ {
+			mik := m.At(i, k)
+			if mik.IsZero() {
+				continue
+			}
+			for j := 0; j < o.cols; j++ {
+				out.Set(i, j, out.At(i, j).Add(mik.Mul(o.At(k, j))))
+			}
+		}
+	}
+	return out, nil
+}
+
+// String renders the matrix shape and contents for debugging.
+func (m *Matrix) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%dx%d[", m.rows, m.cols)
+	for i := 0; i < m.rows; i++ {
+		if i > 0 {
+			b.WriteString("; ")
+		}
+		for j := 0; j < m.cols; j++ {
+			if j > 0 {
+				b.WriteString(" ")
+			}
+			b.WriteString(m.At(i, j).String())
+		}
+	}
+	b.WriteString("]")
+	return b.String()
+}
+
+// Errors returned by the linear solver.
+var (
+	// ErrInconsistentSystem indicates the system A·x = b has no solution.
+	ErrInconsistentSystem = errors.New("field: linear system is inconsistent")
+	// ErrUnderdetermined indicates the system has more than one solution.
+	ErrUnderdetermined = errors.New("field: linear system is underdetermined")
+)
+
+// Solve finds the unique x with A·x = b by Gaussian elimination over GF(q).
+// It returns ErrUnderdetermined when the solution is not unique and
+// ErrInconsistentSystem when no solution exists. A may be rectangular
+// (more equations than unknowns is fine as long as they are consistent).
+func Solve(a *Matrix, b Vector) (Vector, error) {
+	if a.rows != len(b) {
+		return nil, fmt.Errorf("field: %d equations but %d right-hand sides", a.rows, len(b))
+	}
+	rows, cols := a.rows, a.cols
+	// Build the augmented matrix and run row reduction.
+	aug := a.Clone()
+	rhs := b.Clone()
+
+	pivotCols := make([]int, 0, cols)
+	row := 0
+	for col := 0; col < cols && row < rows; col++ {
+		// Find a pivot in this column at or below `row`.
+		pivot := -1
+		for r := row; r < rows; r++ {
+			if !aug.At(r, col).IsZero() {
+				pivot = r
+				break
+			}
+		}
+		if pivot < 0 {
+			continue
+		}
+		// Swap the pivot row into place.
+		if pivot != row {
+			for j := 0; j < cols; j++ {
+				tmp := aug.At(row, j)
+				aug.Set(row, j, aug.At(pivot, j))
+				aug.Set(pivot, j, tmp)
+			}
+			rhs[row], rhs[pivot] = rhs[pivot], rhs[row]
+		}
+		// Normalize the pivot row.
+		inv, err := aug.At(row, col).Inv()
+		if err != nil {
+			return nil, err
+		}
+		for j := col; j < cols; j++ {
+			aug.Set(row, j, aug.At(row, j).Mul(inv))
+		}
+		rhs[row] = rhs[row].Mul(inv)
+		// Eliminate the column from every other row.
+		for r := 0; r < rows; r++ {
+			if r == row {
+				continue
+			}
+			factor := aug.At(r, col)
+			if factor.IsZero() {
+				continue
+			}
+			for j := col; j < cols; j++ {
+				aug.Set(r, j, aug.At(r, j).Sub(factor.Mul(aug.At(row, j))))
+			}
+			rhs[r] = rhs[r].Sub(factor.Mul(rhs[row]))
+		}
+		pivotCols = append(pivotCols, col)
+		row++
+	}
+	// Any remaining non-zero right-hand side with an all-zero row means the
+	// system is inconsistent.
+	for r := row; r < rows; r++ {
+		if !rhs[r].IsZero() {
+			return nil, ErrInconsistentSystem
+		}
+	}
+	if len(pivotCols) < cols {
+		return nil, ErrUnderdetermined
+	}
+	x := make(Vector, cols)
+	for i, col := range pivotCols {
+		x[col] = rhs[i]
+	}
+	return x, nil
+}

@@ -1,0 +1,285 @@
+package field
+
+import (
+	"crypto/rand"
+	"errors"
+	"math/big"
+	mrand "math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mustMatrix(t *testing.T, rows, cols int, vals ...uint64) *Matrix {
+	t.Helper()
+	m, err := NewMatrix(rows, cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			m.Set(i, j, FromUint64(vals[i*cols+j]))
+		}
+	}
+	return m
+}
+
+func TestNewMatrixValidation(t *testing.T) {
+	if _, err := NewMatrix(0, 3); err == nil {
+		t.Error("zero rows should fail")
+	}
+	if _, err := NewMatrix(3, -1); err == nil {
+		t.Error("negative cols should fail")
+	}
+}
+
+func TestVectorOps(t *testing.T) {
+	v := Vector{FromUint64(1), FromUint64(2), FromUint64(3)}
+	w := Vector{FromUint64(4), FromUint64(5), FromUint64(6)}
+	sum, err := v.Add(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sum.Equal(Vector{FromUint64(5), FromUint64(7), FromUint64(9)}) {
+		t.Errorf("Add = %v", sum)
+	}
+	dot, err := v.Dot(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dot.Equal(FromUint64(32)) {
+		t.Errorf("Dot = %v, want 32", dot)
+	}
+	if _, err := v.Dot(Vector{One()}); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	if _, err := v.Add(Vector{One()}); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	clone := v.Clone()
+	clone[0] = Zero()
+	if v[0].IsZero() {
+		t.Error("Clone should be independent")
+	}
+	if v.Equal(w) {
+		t.Error("distinct vectors reported equal")
+	}
+	if len(v.String()) == 0 {
+		t.Error("String empty")
+	}
+}
+
+func TestVectorFromBytes(t *testing.T) {
+	v := VectorFromBytes([][]byte{{0x01}, {0x02, 0x00}})
+	if !v[0].Equal(FromUint64(1)) || !v[1].Equal(FromUint64(512)) {
+		t.Errorf("VectorFromBytes = %v", v)
+	}
+}
+
+func TestIdentityAndMultiply(t *testing.T) {
+	id, err := Identity(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := mustMatrix(t, 3, 3, 1, 2, 3, 4, 5, 6, 7, 8, 10)
+	prod, err := id.MulMatrix(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !prod.Equal(m) {
+		t.Error("I*M != M")
+	}
+	v := Vector{FromUint64(1), FromUint64(0), FromUint64(2)}
+	mv, err := m.MulVector(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Vector{FromUint64(7), FromUint64(16), FromUint64(27)}
+	if !mv.Equal(want) {
+		t.Errorf("MulVector = %v, want %v", mv, want)
+	}
+	if _, err := m.MulVector(Vector{One()}); err == nil {
+		t.Error("dimension mismatch should fail")
+	}
+	if _, err := m.MulMatrix(mustMatrix(t, 2, 2, 1, 2, 3, 4)); err == nil {
+		t.Error("dimension mismatch should fail")
+	}
+}
+
+func TestHStackAndSubmatrix(t *testing.T) {
+	id, _ := Identity(2)
+	r := mustMatrix(t, 2, 3, 1, 2, 3, 4, 5, 6)
+	c, err := id.HStack(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Rows() != 2 || c.Cols() != 5 {
+		t.Fatalf("HStack shape %dx%d", c.Rows(), c.Cols())
+	}
+	if !c.At(0, 0).Equal(One()) || !c.At(1, 4).Equal(FromUint64(6)) {
+		t.Error("HStack content wrong")
+	}
+	sub, err := c.Submatrix(0, 2, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sub.Equal(r) {
+		t.Error("Submatrix did not recover R block")
+	}
+	if _, err := c.Submatrix(0, 3, 0, 1); err == nil {
+		t.Error("out-of-bounds submatrix should fail")
+	}
+	if _, err := id.HStack(mustMatrix(t, 3, 1, 1, 2, 3)); err == nil {
+		t.Error("row mismatch hstack should fail")
+	}
+}
+
+func TestSolveUniqueSystem(t *testing.T) {
+	// 2x + 3y = 8, x + 4y = 9  -> x = 1, y = 2
+	a := mustMatrix(t, 2, 2, 2, 3, 1, 4)
+	b := Vector{FromUint64(8), FromUint64(9)}
+	x, err := Solve(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !x.Equal(Vector{FromUint64(1), FromUint64(2)}) {
+		t.Errorf("Solve = %v", x)
+	}
+}
+
+func TestSolveNeedsPivotSwap(t *testing.T) {
+	// First pivot is zero, forcing a row swap.
+	a := mustMatrix(t, 2, 2, 0, 1, 1, 0)
+	b := Vector{FromUint64(5), FromUint64(7)}
+	x, err := Solve(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !x.Equal(Vector{FromUint64(7), FromUint64(5)}) {
+		t.Errorf("Solve = %v", x)
+	}
+}
+
+func TestSolveInconsistent(t *testing.T) {
+	// x + y = 1, x + y = 2 has no solution.
+	a := mustMatrix(t, 2, 2, 1, 1, 1, 1)
+	b := Vector{FromUint64(1), FromUint64(2)}
+	if _, err := Solve(a, b); !errors.Is(err, ErrInconsistentSystem) {
+		t.Errorf("want ErrInconsistentSystem, got %v", err)
+	}
+}
+
+func TestSolveUnderdetermined(t *testing.T) {
+	// One equation, two unknowns.
+	a := mustMatrix(t, 1, 2, 1, 1)
+	b := Vector{FromUint64(1)}
+	if _, err := Solve(a, b); !errors.Is(err, ErrUnderdetermined) {
+		t.Errorf("want ErrUnderdetermined, got %v", err)
+	}
+}
+
+func TestSolveOverdeterminedConsistent(t *testing.T) {
+	// Three consistent equations in two unknowns.
+	a := mustMatrix(t, 3, 2, 1, 0, 0, 1, 1, 1)
+	b := Vector{FromUint64(3), FromUint64(4), FromUint64(7)}
+	x, err := Solve(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !x.Equal(Vector{FromUint64(3), FromUint64(4)}) {
+		t.Errorf("Solve = %v", x)
+	}
+}
+
+func TestSolveDimensionMismatch(t *testing.T) {
+	a := mustMatrix(t, 2, 2, 1, 0, 0, 1)
+	if _, err := Solve(a, Vector{One()}); err == nil {
+		t.Error("mismatched rhs length should fail")
+	}
+}
+
+func TestRandomMatrixNonZero(t *testing.T) {
+	m, err := RandomMatrix(rand.Reader, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < m.Rows(); i++ {
+		for j := 0; j < m.Cols(); j++ {
+			if m.At(i, j).IsZero() {
+				t.Error("RandomMatrix produced a zero entry")
+			}
+		}
+	}
+}
+
+// Property: for random invertible-looking systems built as A·x = b with known
+// x, Solve recovers exactly x. This is the exact shape of the hint-matrix
+// recovery in the paper: [I, R]·h = B with h the optional attribute hashes.
+func TestSolveRecoversKnownSolutionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := mrand.New(mrand.NewSource(seed))
+		gamma := 1 + rng.Intn(4)
+		beta := rng.Intn(4)
+		n := gamma + beta
+
+		// Build C = [I, R] with random non-zero R entries.
+		id, err := Identity(gamma)
+		if err != nil {
+			return false
+		}
+		var c *Matrix
+		if beta > 0 {
+			r, err := NewMatrix(gamma, beta)
+			if err != nil {
+				return false
+			}
+			for i := 0; i < gamma; i++ {
+				for j := 0; j < beta; j++ {
+					r.Set(i, j, FromUint64(uint64(1+rng.Intn(1<<30))))
+				}
+			}
+			c, err = id.HStack(r)
+			if err != nil {
+				return false
+			}
+		} else {
+			c = id
+		}
+
+		// Random "hash" vector x of length n.
+		x := make(Vector, n)
+		for i := range x {
+			x[i] = FromBig(new(big.Int).Rand(rng, Modulus()))
+		}
+		b, err := c.MulVector(x)
+		if err != nil {
+			return false
+		}
+
+		// Knowing the beta trailing entries, the gamma leading unknowns are
+		// determined; emulate that by moving known terms to the RHS and
+		// solving the gamma×gamma identity system.
+		rhs := b.Clone()
+		for i := 0; i < gamma; i++ {
+			for j := 0; j < beta; j++ {
+				rhs[i] = rhs[i].Sub(c.At(i, gamma+j).Mul(x[gamma+j]))
+			}
+		}
+		sub, err := c.Submatrix(0, gamma, 0, gamma)
+		if err != nil {
+			return false
+		}
+		sol, err := Solve(sub, rhs)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < gamma; i++ {
+			if !sol[i].Equal(x[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,249 @@
+// Package lattice implements the hexagonal-lattice location hashing of
+// Section III-D: locations are snapped to the nearest point of a hexagonal
+// lattice, a user's vicinity becomes a set of lattice points, and vicinity
+// search reduces to the fuzzy profile matching mechanism with the lattice
+// points playing the role of (dynamic) attributes. The package also derives
+// dynamic keys from lattice points so that static attributes can be bound to
+// the holder's current location (Section III-D3), which makes externally
+// built attribute dictionaries useless.
+package lattice
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"sealedbottle/internal/attr"
+	"sealedbottle/internal/crypt"
+)
+
+// Point is a planar location in meters relative to an arbitrary but shared
+// geographic origin (e.g. a local tangent-plane projection of GPS
+// coordinates).
+type Point struct {
+	X float64
+	Y float64
+}
+
+// Distance returns the Euclidean distance between two points.
+func (p Point) Distance(q Point) float64 {
+	return math.Hypot(p.X-q.X, p.Y-q.Y)
+}
+
+// LatticePoint identifies a lattice point by its integer coordinates
+// (u1, u2) in the primitive-vector basis (Eq. 14).
+type LatticePoint struct {
+	U1 int
+	U2 int
+}
+
+// String renders the lattice point compactly.
+func (lp LatticePoint) String() string { return fmt.Sprintf("(%d,%d)", lp.U1, lp.U2) }
+
+// Less orders lattice points lexicographically; used to keep vicinity sets in
+// a canonical order on both sides.
+func (lp LatticePoint) Less(o LatticePoint) bool {
+	if lp.U1 != o.U1 {
+		return lp.U1 < o.U1
+	}
+	return lp.U2 < o.U2
+}
+
+// Lattice is a hexagonal lattice with primitive vectors a1 = (d, 0) and
+// a2 = (d/2, √3·d/2) (Eq. 15), anchored at a shared origin. All participants
+// of a vicinity search must agree on the origin and cell size, exactly as
+// they must agree on the hash function.
+type Lattice struct {
+	origin Point
+	d      float64
+	tag    string
+}
+
+// New builds a lattice with the given origin and cell size d (the shortest
+// distance between lattice points, in meters).
+func New(origin Point, d float64) (*Lattice, error) {
+	if d <= 0 || math.IsNaN(d) || math.IsInf(d, 0) {
+		return nil, errors.New("lattice: cell size must be a positive finite number")
+	}
+	// The grid tag folds the public lattice parameters into every attribute
+	// so that points from differently-parameterized grids can never collide.
+	tagDigest := crypt.HashBytes([]byte(fmt.Sprintf("lattice|%.6f|%.6f|%.6f", origin.X, origin.Y, d)))
+	return &Lattice{origin: origin, d: d, tag: encodeToken(int(tagDigest.Uint64() % 1_000_000))}, nil
+}
+
+// CellSize returns d.
+func (l *Lattice) CellSize() float64 { return l.d }
+
+// Origin returns the lattice origin.
+func (l *Lattice) Origin() Point { return l.origin }
+
+// Center returns the planar coordinates of a lattice point:
+// u1·a1 + u2·a2 relative to the origin.
+func (l *Lattice) Center(lp LatticePoint) Point {
+	return Point{
+		X: l.origin.X + float64(lp.U1)*l.d + float64(lp.U2)*l.d/2,
+		Y: l.origin.Y + float64(lp.U2)*l.d*math.Sqrt(3)/2,
+	}
+}
+
+// Nearest hashes a location to its nearest lattice point. Any two locations
+// hashed to the same lattice point are within a bounded distance of each
+// other (at most d/√3 from the lattice point, the circumradius of the
+// hexagonal cell).
+func (l *Lattice) Nearest(p Point) LatticePoint {
+	// Invert the basis to get fractional lattice coordinates.
+	relX := p.X - l.origin.X
+	relY := p.Y - l.origin.Y
+	fu2 := relY * 2 / (l.d * math.Sqrt(3))
+	fu1 := relX/l.d - fu2/2
+	// The nearest lattice point is among the four integer corners of the
+	// fractional cell; pick the one minimizing Euclidean distance.
+	best := LatticePoint{U1: int(math.Floor(fu1)), U2: int(math.Floor(fu2))}
+	bestDist := math.Inf(1)
+	for du1 := 0; du1 <= 1; du1++ {
+		for du2 := 0; du2 <= 1; du2++ {
+			cand := LatticePoint{U1: int(math.Floor(fu1)) + du1, U2: int(math.Floor(fu2)) + du2}
+			if dist := p.Distance(l.Center(cand)); dist < bestDist {
+				best, bestDist = cand, dist
+			}
+		}
+	}
+	return best
+}
+
+// PointDistance returns the Euclidean distance between the centers of two
+// lattice points.
+func (l *Lattice) PointDistance(a, b LatticePoint) float64 {
+	return l.Center(a).Distance(l.Center(b))
+}
+
+// Vicinity returns the vicinity lattice point set V(O, d, loc, D): the lattice
+// point nearest to loc plus every lattice point whose center lies within
+// distance D of that center point (Section III-D2). The result is sorted in a
+// canonical order so that both parties derive identical attribute vectors.
+func (l *Lattice) Vicinity(loc Point, radius float64) []LatticePoint {
+	center := l.Nearest(loc)
+	if radius < 0 {
+		radius = 0
+	}
+	// Enumerate a bounding box in lattice coordinates and filter by distance.
+	span := int(math.Ceil(radius/l.d)) + 1
+	out := []LatticePoint{}
+	centerPt := l.Center(center)
+	for du1 := -2 * span; du1 <= 2*span; du1++ {
+		for du2 := -2 * span; du2 <= 2*span; du2++ {
+			cand := LatticePoint{U1: center.U1 + du1, U2: center.U2 + du2}
+			if centerPt.Distance(l.Center(cand)) <= radius+1e-9 {
+				out = append(out, cand)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// Overlap returns |a ∩ b|, the number of shared lattice points.
+func Overlap(a, b []LatticePoint) int {
+	set := make(map[LatticePoint]struct{}, len(a))
+	for _, p := range a {
+		set[p] = struct{}{}
+	}
+	n := 0
+	for _, p := range b {
+		if _, ok := set[p]; ok {
+			n++
+		}
+	}
+	return n
+}
+
+// VicinityRatio returns θ_k = |V_i ∩ V_k| / |V_k| (Eq. 16): the fraction of
+// the candidate's vicinity set shared with the initiator's.
+func VicinityRatio(initiator, candidate []LatticePoint) float64 {
+	if len(candidate) == 0 {
+		return 0
+	}
+	return float64(Overlap(initiator, candidate)) / float64(len(candidate))
+}
+
+// AttributeHeader is the attribute category used for lattice points.
+const AttributeHeader = "lattice"
+
+// Attribute converts a lattice point into a profile attribute. The value
+// encodes the grid tag and the integer coordinates using alphabetic tokens so
+// that the normalization pipeline (which strips signs and converts digits)
+// cannot merge distinct points.
+func (l *Lattice) Attribute(lp LatticePoint) attr.Attribute {
+	value := fmt.Sprintf("g%s q%s r%s", l.tag, encodeToken(lp.U1), encodeToken(lp.U2))
+	return attr.MustNew(AttributeHeader, value)
+}
+
+// Attributes converts a vicinity set into sorted profile attributes.
+func (l *Lattice) Attributes(points []LatticePoint) []attr.Attribute {
+	out := make([]attr.Attribute, len(points))
+	for i, p := range points {
+		out[i] = l.Attribute(p)
+	}
+	return out
+}
+
+// VicinityAttributes hashes the user's vicinity region into attributes ready
+// to be used as the optional set of a fuzzy request, and returns the minimum
+// optional count corresponding to the similarity threshold Θ.
+func (l *Lattice) VicinityAttributes(loc Point, radius, theta float64) ([]attr.Attribute, int) {
+	points := l.Vicinity(loc, radius)
+	attrs := l.Attributes(points)
+	if theta < 0 {
+		theta = 0
+	}
+	if theta > 1 {
+		theta = 1
+	}
+	minOptional := int(math.Ceil(theta * float64(len(points))))
+	if minOptional > len(points) {
+		minOptional = len(points)
+	}
+	return attrs, minOptional
+}
+
+// DynamicKey derives the dynamic key of a single lattice point: a public
+// one-way function of the (grid, point) pair. Binding static attributes to
+// the key of the holder's current cell makes the same attribute hash
+// differently at every location; a nearby participant only has to try the
+// handful of lattice points in its own vicinity as candidate keys.
+func (l *Lattice) DynamicKey(lp LatticePoint) []byte {
+	d := crypt.HashBytes([]byte("sealedbottle/dynamic-key/v1|" + l.Attribute(lp).Canonical()))
+	return d[:]
+}
+
+// CandidateDynamicKeys returns the dynamic keys of every lattice point in the
+// user's vicinity, i.e. the keys a participant should try when matching
+// location-bound requests.
+func (l *Lattice) CandidateDynamicKeys(loc Point, radius float64) [][]byte {
+	points := l.Vicinity(loc, radius)
+	out := make([][]byte, len(points))
+	for i, p := range points {
+		out[i] = l.DynamicKey(p)
+	}
+	return out
+}
+
+// encodeToken encodes an integer as a letters-only token that survives the
+// attribute normalization pipeline unambiguously: a sign letter followed by
+// one letter (a-j) per decimal digit.
+func encodeToken(n int) string {
+	var b strings.Builder
+	if n < 0 {
+		b.WriteByte('n')
+		n = -n
+	} else {
+		b.WriteByte('p')
+	}
+	digits := fmt.Sprintf("%d", n)
+	for _, r := range digits {
+		b.WriteByte(byte('a' + (r - '0')))
+	}
+	return b.String()
+}

@@ -1,0 +1,280 @@
+package lattice
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mustLattice(t *testing.T, origin Point, d float64) *Lattice {
+	t.Helper()
+	l, err := New(origin, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Point{}, 0); err == nil {
+		t.Error("zero cell size should fail")
+	}
+	if _, err := New(Point{}, -5); err == nil {
+		t.Error("negative cell size should fail")
+	}
+	if _, err := New(Point{}, math.NaN()); err == nil {
+		t.Error("NaN cell size should fail")
+	}
+	l := mustLattice(t, Point{X: 3, Y: 4}, 50)
+	if l.CellSize() != 50 || l.Origin().X != 3 {
+		t.Error("parameters not stored")
+	}
+}
+
+func TestCenterUsesHexBasis(t *testing.T) {
+	l := mustLattice(t, Point{}, 10)
+	c := l.Center(LatticePoint{U1: 1, U2: 0})
+	if math.Abs(c.X-10) > 1e-9 || math.Abs(c.Y) > 1e-9 {
+		t.Errorf("a1 center = %+v", c)
+	}
+	c = l.Center(LatticePoint{U1: 0, U2: 1})
+	if math.Abs(c.X-5) > 1e-9 || math.Abs(c.Y-10*math.Sqrt(3)/2) > 1e-9 {
+		t.Errorf("a2 center = %+v", c)
+	}
+	// Nearest-neighbour distance is exactly d for several neighbours.
+	neighbours := []LatticePoint{{1, 0}, {0, 1}, {-1, 1}, {-1, 0}, {0, -1}, {1, -1}}
+	for _, n := range neighbours {
+		if d := l.PointDistance(LatticePoint{}, n); math.Abs(d-10) > 1e-9 {
+			t.Errorf("neighbour %v at distance %v, want 10", n, d)
+		}
+	}
+}
+
+func TestNearestRoundTripsLatticeCenters(t *testing.T) {
+	l := mustLattice(t, Point{X: 100, Y: -50}, 25)
+	for u1 := -3; u1 <= 3; u1++ {
+		for u2 := -3; u2 <= 3; u2++ {
+			lp := LatticePoint{U1: u1, U2: u2}
+			if got := l.Nearest(l.Center(lp)); got != lp {
+				t.Errorf("Nearest(Center(%v)) = %v", lp, got)
+			}
+		}
+	}
+}
+
+// Property: every point is within the hexagonal circumradius d/√3 of its
+// nearest lattice point, and two points snapping to the same lattice point
+// are within d·2/√3 of each other (bounded distance, Section III-D1).
+func TestNearestBoundedDistanceProperty(t *testing.T) {
+	l := mustLattice(t, Point{}, 40)
+	circumradius := 40/math.Sqrt(3) + 1e-6
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := Point{X: rng.Float64()*2000 - 1000, Y: rng.Float64()*2000 - 1000}
+		lp := l.Nearest(p)
+		return p.Distance(l.Center(lp)) <= circumradius
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVicinityContainsCenterAndIsSorted(t *testing.T) {
+	l := mustLattice(t, Point{}, 10)
+	loc := Point{X: 3, Y: 4}
+	v := l.Vicinity(loc, 30)
+	if len(v) == 0 {
+		t.Fatal("vicinity should not be empty")
+	}
+	center := l.Nearest(loc)
+	found := false
+	for i := 1; i < len(v); i++ {
+		if v[i].Less(v[i-1]) {
+			t.Fatal("vicinity not sorted")
+		}
+	}
+	centerPt := l.Center(center)
+	for _, p := range v {
+		if p == center {
+			found = true
+		}
+		if l.Center(p).Distance(centerPt) > 30+1e-6 {
+			t.Errorf("point %v outside radius", p)
+		}
+	}
+	if !found {
+		t.Error("vicinity must contain the center lattice point")
+	}
+	// Radius 0 yields exactly the center.
+	v0 := l.Vicinity(loc, 0)
+	if len(v0) != 1 || v0[0] != center {
+		t.Errorf("zero-radius vicinity = %v", v0)
+	}
+	// Negative radius treated as zero.
+	if len(l.Vicinity(loc, -5)) != 1 {
+		t.Error("negative radius should behave like zero")
+	}
+}
+
+func TestVicinityCountGrowsWithRadius(t *testing.T) {
+	l := mustLattice(t, Point{}, 10)
+	loc := Point{X: 0, Y: 0}
+	prev := 0
+	for _, r := range []float64{0, 10, 20, 30, 50} {
+		n := len(l.Vicinity(loc, r))
+		if n < prev {
+			t.Errorf("vicinity shrank when radius grew: %d -> %d at r=%v", prev, n, r)
+		}
+		prev = n
+	}
+	// D = d covers the center plus its 6 nearest neighbours.
+	if n := len(l.Vicinity(loc, 10)); n != 7 {
+		t.Errorf("D=d vicinity has %d points, want 7", n)
+	}
+}
+
+func TestOverlapAndVicinityRatio(t *testing.T) {
+	l := mustLattice(t, Point{}, 10)
+	a := l.Vicinity(Point{}, 20)
+	b := l.Vicinity(Point{X: 10}, 20)
+	inter := Overlap(a, b)
+	if inter == 0 || inter > len(a) {
+		t.Errorf("overlap = %d of %d", inter, len(a))
+	}
+	ratio := VicinityRatio(a, b)
+	if ratio <= 0 || ratio > 1 {
+		t.Errorf("ratio = %v", ratio)
+	}
+	if VicinityRatio(a, nil) != 0 {
+		t.Error("empty candidate set should yield 0")
+	}
+	// Same location → full overlap.
+	if VicinityRatio(a, a) != 1 {
+		t.Error("identical sets should have ratio 1")
+	}
+	// Far apart → no overlap.
+	far := l.Vicinity(Point{X: 10_000}, 20)
+	if Overlap(a, far) != 0 {
+		t.Error("distant vicinities should not overlap")
+	}
+}
+
+func TestAttributesSurviveNormalizationDistinctly(t *testing.T) {
+	l := mustLattice(t, Point{}, 10)
+	seen := map[string]LatticePoint{}
+	for u1 := -5; u1 <= 5; u1++ {
+		for u2 := -5; u2 <= 5; u2++ {
+			lp := LatticePoint{U1: u1, U2: u2}
+			c := l.Attribute(lp).Canonical()
+			if prev, dup := seen[c]; dup {
+				t.Fatalf("attribute collision: %v and %v both map to %q", prev, lp, c)
+			}
+			seen[c] = lp
+		}
+	}
+	// A different grid must produce different attributes for the same point.
+	l2 := mustLattice(t, Point{X: 1}, 10)
+	if l.Attribute(LatticePoint{1, 1}).Equal(l2.Attribute(LatticePoint{1, 1})) {
+		t.Error("different grids must not share attributes")
+	}
+}
+
+func TestVicinityAttributes(t *testing.T) {
+	l := mustLattice(t, Point{}, 10)
+	attrs, minOpt := l.VicinityAttributes(Point{}, 20, 0.5)
+	points := l.Vicinity(Point{}, 20)
+	if len(attrs) != len(points) {
+		t.Fatalf("attribute count %d != point count %d", len(attrs), len(points))
+	}
+	want := int(math.Ceil(0.5 * float64(len(points))))
+	if minOpt != want {
+		t.Errorf("minOptional = %d, want %d", minOpt, want)
+	}
+	// Threshold clamping.
+	if _, m := l.VicinityAttributes(Point{}, 20, 2); m != len(points) {
+		t.Errorf("θ>1 should clamp to all points, got %d", m)
+	}
+	if _, m := l.VicinityAttributes(Point{}, 20, -1); m != 0 {
+		t.Errorf("θ<0 should clamp to 0, got %d", m)
+	}
+}
+
+func TestDynamicKeys(t *testing.T) {
+	l := mustLattice(t, Point{}, 10)
+	k1 := l.DynamicKey(LatticePoint{0, 0})
+	k2 := l.DynamicKey(LatticePoint{0, 1})
+	if len(k1) == 0 || string(k1) == string(k2) {
+		t.Error("dynamic keys of different points must differ")
+	}
+	if string(k1) != string(l.DynamicKey(LatticePoint{0, 0})) {
+		t.Error("dynamic key must be deterministic")
+	}
+	keys := l.CandidateDynamicKeys(Point{}, 10)
+	if len(keys) != 7 {
+		t.Errorf("candidate key count = %d, want 7", len(keys))
+	}
+	// The initiator's cell key must appear among a nearby user's candidates.
+	initKey := l.DynamicKey(l.Nearest(Point{X: 2, Y: 3}))
+	found := false
+	for _, k := range l.CandidateDynamicKeys(Point{X: 8, Y: 1}, 20) {
+		if string(k) == string(initKey) {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("nearby user's candidate keys must include the initiator's cell key")
+	}
+}
+
+// Property: users within each other's search range share a large fraction of
+// vicinity lattice points; users far outside share none. This is the
+// monotonicity the Θ-threshold search relies on.
+func TestVicinityOverlapMonotonicityProperty(t *testing.T) {
+	l := mustLattice(t, Point{}, 20)
+	const radius = 100.0
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := Point{X: rng.Float64() * 500, Y: rng.Float64() * 500}
+		va := l.Vicinity(a, radius)
+
+		// A user very close by (within one cell) shares most points.
+		near := Point{X: a.X + rng.Float64()*10, Y: a.Y + rng.Float64()*10}
+		vNear := l.Vicinity(near, radius)
+		// A user far away (more than 2·radius + 2 cells) shares none.
+		far := Point{X: a.X + 2*radius + 3*20 + rng.Float64()*100, Y: a.Y}
+		vFar := l.Vicinity(far, radius)
+
+		if VicinityRatio(va, vNear) < 0.5 {
+			return false
+		}
+		return Overlap(va, vFar) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncodeToken(t *testing.T) {
+	tests := []struct {
+		n    int
+		want string
+	}{
+		{0, "pa"},
+		{3, "pd"},
+		{-3, "nd"},
+		{12, "pbc"},
+		{-120, "nbca"},
+	}
+	for _, tt := range tests {
+		if got := encodeToken(tt.n); got != tt.want {
+			t.Errorf("encodeToken(%d) = %q, want %q", tt.n, got, tt.want)
+		}
+	}
+}
+
+func TestLatticePointString(t *testing.T) {
+	if (LatticePoint{U1: 1, U2: -2}).String() != "(1,-2)" {
+		t.Error("String format changed")
+	}
+}

@@ -1,0 +1,209 @@
+package msn
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"sealedbottle/internal/attr"
+	"sealedbottle/internal/core"
+)
+
+// detReader is a deterministic randomness source for reproducible tests.
+type detReader struct{ rng *rand.Rand }
+
+func newDetReader(seed int64) *detReader { return &detReader{rng: rand.New(rand.NewSource(seed))} }
+
+func (d *detReader) Read(p []byte) (int, error) { return d.rng.Read(p) }
+
+func profileOf(values ...string) *attr.Profile {
+	attrs := make([]attr.Attribute, len(values))
+	for i, v := range values {
+		attrs[i] = attr.MustNew("tag", v)
+	}
+	return attr.NewProfile(attrs...)
+}
+
+func addFriendingNode(t *testing.T, sim *Simulator, id NodeID, pos Position, profile *attr.Profile, seed int64) *FriendingApp {
+	t.Helper()
+	app, _, err := NewFriendingApp(sim, id, pos, FriendingConfig{
+		Profile: profile,
+		Participant: core.ParticipantConfig{
+			Matcher: core.MatcherConfig{AllowCollisionSkip: true},
+		},
+		Rand: newDetReader(seed),
+	})
+	if err != nil {
+		t.Fatalf("NewFriendingApp(%s): %v", id, err)
+	}
+	return app
+}
+
+func TestFriendingAppValidation(t *testing.T) {
+	sim := NewSimulator(Config{})
+	if _, _, err := NewFriendingApp(nil, "x", Position{}, FriendingConfig{Profile: profileOf("a")}); err == nil {
+		t.Error("nil simulator should fail")
+	}
+	if _, _, err := NewFriendingApp(sim, "x", Position{}, FriendingConfig{}); err == nil {
+		t.Error("empty profile should fail")
+	}
+	if _, _, err := NewFriendingApp(sim, "x", Position{}, FriendingConfig{Profile: attr.NewProfile()}); err == nil {
+		t.Error("empty profile should fail")
+	}
+	app := addFriendingNode(t, sim, "ok", Position{}, profileOf("a"), 1)
+	if app.Participant() == nil {
+		t.Error("participant not exposed")
+	}
+	if _, _, err := NewFriendingApp(sim, "ok", Position{}, FriendingConfig{Profile: profileOf("a")}); err == nil {
+		t.Error("duplicate node id should fail")
+	}
+}
+
+func TestProtocol1FriendingOverMultipleHops(t *testing.T) {
+	// Line topology: alice — relay1 — relay2 — bob. Only bob matches the
+	// request; the request floods out and bob's reply is routed back, after
+	// which both ends hold the same channel key.
+	sim := NewSimulator(Config{Range: 100, Latency: time.Millisecond, Seed: 5})
+
+	alice := addFriendingNode(t, sim, "alice", Position{X: 0}, profileOf("initiator", "placeholder"), 10)
+	addFriendingNode(t, sim, "relay1", Position{X: 80}, profileOf("cooking", "gardening"), 11)
+	addFriendingNode(t, sim, "relay2", Position{X: 160}, profileOf("sailing", "surfing"), 12)
+	bob := addFriendingNode(t, sim, "bob", Position{X: 240}, profileOf("male", "columbia", "basketball", "chess"), 13)
+
+	spec := core.RequestSpec{
+		Necessary:   []attr.Attribute{attr.MustNew("tag", "male"), attr.MustNew("tag", "columbia")},
+		Optional:    []attr.Attribute{attr.MustNew("tag", "basketball"), attr.MustNew("tag", "chess"), attr.MustNew("tag", "golf")},
+		MinOptional: 2,
+	}
+	reqID, err := alice.StartSearch(spec, SearchOptions{Protocol: core.Protocol1, Rand: newDetReader(20)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.Drain()
+
+	matches := alice.Matches()[reqID]
+	if len(matches) != 1 {
+		t.Fatalf("alice has %d matches, want 1 (rejections: %v)", len(matches), alice.Rejections())
+	}
+	if matches[0].Peer != "bob" {
+		t.Errorf("matched peer = %q", matches[0].Peer)
+	}
+	peer := bob.PeerMatches()
+	if len(peer) != 1 {
+		t.Fatalf("bob recorded %d peer matches, want 1", len(peer))
+	}
+	if peer[0].Initiator != "alice" || peer[0].RequestID != reqID {
+		t.Errorf("peer match = %+v", peer[0])
+	}
+	if !matches[0].ChannelKey.Equal(peer[0].ChannelKey) {
+		t.Error("the two ends derived different channel keys")
+	}
+	if init, ok := alice.Initiator(reqID); !ok || len(init.Matches()) != 1 {
+		t.Error("Initiator lookup failed")
+	}
+}
+
+func TestProtocol2FriendingOnlyInitiatorLearnsResult(t *testing.T) {
+	sim := NewSimulator(Config{Range: 100, Latency: time.Millisecond, Seed: 6})
+
+	alice := addFriendingNode(t, sim, "alice", Position{X: 0}, profileOf("whatever"), 30)
+	bob := addFriendingNode(t, sim, "bob", Position{X: 80}, profileOf("male", "columbia", "basketball", "chess"), 31)
+	carol := addFriendingNode(t, sim, "carol", Position{X: 160}, profileOf("female", "painting"), 32)
+
+	spec := core.RequestSpec{
+		Necessary:   []attr.Attribute{attr.MustNew("tag", "male"), attr.MustNew("tag", "columbia")},
+		Optional:    []attr.Attribute{attr.MustNew("tag", "basketball"), attr.MustNew("tag", "chess"), attr.MustNew("tag", "golf")},
+		MinOptional: 2,
+	}
+	reqID, err := alice.StartSearch(spec, SearchOptions{Protocol: core.Protocol2, Rand: newDetReader(40)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.Drain()
+
+	matches := alice.Matches()[reqID]
+	if len(matches) != 1 || matches[0].Peer != "bob" {
+		t.Fatalf("alice matches = %+v", matches)
+	}
+	// Under Protocol 2 no participant can verify locally.
+	if len(bob.PeerMatches()) != 0 || len(carol.PeerMatches()) != 0 {
+		t.Error("Protocol 2 participants must not learn the matching result locally")
+	}
+}
+
+func TestFriendingNoMatchProducesNoMatches(t *testing.T) {
+	sim := NewSimulator(Config{Range: 100, Latency: time.Millisecond, Seed: 8})
+	alice := addFriendingNode(t, sim, "alice", Position{X: 0}, profileOf("self"), 50)
+	addFriendingNode(t, sim, "bob", Position{X: 80}, profileOf("unrelated", "profile"), 51)
+
+	spec := core.PerfectMatch(attr.MustNew("tag", "nonexistent"), attr.MustNew("tag", "combination"))
+	reqID, err := alice.StartSearch(spec, SearchOptions{Protocol: core.Protocol1, Rand: newDetReader(60)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.Drain()
+	if len(alice.Matches()[reqID]) != 0 {
+		t.Error("no one should have matched")
+	}
+}
+
+func TestFriendingMultipleMatchesCommunity(t *testing.T) {
+	// Several matching users: the initiator collects all of them (community
+	// discovery, Section III-F) and can derive a distinct pairwise key per
+	// member while x serves as the group key.
+	sim := NewSimulator(Config{Range: 300, Latency: time.Millisecond, Seed: 9})
+	alice := addFriendingNode(t, sim, "alice", Position{X: 0}, profileOf("self"), 70)
+	matchProfile := profileOf("male", "columbia", "basketball")
+	for i := 0; i < 3; i++ {
+		addFriendingNode(t, sim, NodeID(fmt.Sprintf("peer%d", i)), Position{X: float64(50 + i*40)}, matchProfile, int64(71+i))
+	}
+	addFriendingNode(t, sim, "outsider", Position{X: 200}, profileOf("other"), 80)
+
+	spec := core.PerfectMatch(
+		attr.MustNew("tag", "male"), attr.MustNew("tag", "columbia"), attr.MustNew("tag", "basketball"))
+	reqID, err := alice.StartSearch(spec, SearchOptions{Protocol: core.Protocol1, Rand: newDetReader(90)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.Drain()
+
+	matches := alice.Matches()[reqID]
+	if len(matches) != 3 {
+		t.Fatalf("matches = %d, want 3", len(matches))
+	}
+	keys := map[string]bool{}
+	for _, m := range matches {
+		keys[string(m.ChannelKey[:])] = true
+	}
+	if len(keys) != 3 {
+		t.Error("pairwise channel keys should be distinct per member")
+	}
+}
+
+func TestFriendingIgnoresMalformedPayloads(t *testing.T) {
+	sim := NewSimulator(Config{Range: 100, Latency: time.Millisecond})
+	addFriendingNode(t, sim, "alice", Position{X: 0}, profileOf("a"), 1)
+	bob := addFriendingNode(t, sim, "bob", Position{X: 50}, profileOf("b"), 2)
+
+	// Garbage request payload: dropped without forwarding or panicking.
+	if err := sim.Originate("alice", &Message{Kind: KindRequest, ID: "junk", Payload: []byte("garbage")}); err != nil {
+		t.Fatal(err)
+	}
+	// Reply that correlates to nothing.
+	if err := sim.Originate("alice", &Message{Kind: KindReply, ID: "r", Correlate: "junk", Destination: "bob", Payload: []byte("garbage")}); err != nil {
+		t.Fatal(err)
+	}
+	sim.Drain()
+	if len(bob.PeerMatches()) != 0 || len(bob.Matches()) != 0 {
+		t.Error("garbage should not produce matches")
+	}
+}
+
+func TestStartSearchErrors(t *testing.T) {
+	sim := NewSimulator(Config{})
+	alice := addFriendingNode(t, sim, "alice", Position{}, profileOf("a"), 1)
+	if _, err := alice.StartSearch(core.RequestSpec{}, SearchOptions{}); err == nil {
+		t.Error("empty spec should fail")
+	}
+}

@@ -1,0 +1,177 @@
+// Package msn is a discrete-event simulator for decentralized, multi-hop
+// mobile social networks — the substrate the Sealed Bottle protocols run on.
+//
+// The paper evaluates its protocols over ad-hoc Wi-Fi/Bluetooth networks of
+// smartphones; this package provides the equivalent synthetic environment:
+// nodes with positions and a radio range, proximity-based connectivity,
+// per-hop latency and loss, request flooding with TTL and duplicate
+// suppression, reverse-path routing of replies, per-origin relay rate
+// limiting (the paper's DoS defence), and random-waypoint mobility. The
+// friending application layer (request broadcasting, relaying, replying, and
+// secure-channel establishment) is wired on top in friending.go.
+package msn
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// NodeID identifies a node (device) in the network.
+type NodeID string
+
+// Position is a planar location in meters.
+type Position struct {
+	X float64
+	Y float64
+}
+
+// MessageKind classifies messages at the network layer.
+type MessageKind uint8
+
+const (
+	// KindRequest is a flooded friending request package.
+	KindRequest MessageKind = iota + 1
+	// KindReply is a unicast reply routed back toward the request origin.
+	KindReply
+	// KindData is an application data frame over an established channel.
+	KindData
+)
+
+// String implements fmt.Stringer.
+func (k MessageKind) String() string {
+	switch k {
+	case KindRequest:
+		return "request"
+	case KindReply:
+		return "reply"
+	case KindData:
+		return "data"
+	default:
+		return fmt.Sprintf("MessageKind(%d)", uint8(k))
+	}
+}
+
+// Message is a network-layer frame.
+type Message struct {
+	// Kind selects flooding (request) vs reverse-path unicast (reply/data).
+	Kind MessageKind
+	// ID de-duplicates flooded messages and keys reverse-path state.
+	ID string
+	// Correlate references the request a reply or data frame belongs to.
+	Correlate string
+	// Origin is the node that created the message.
+	Origin NodeID
+	// Destination is the unicast target; empty for flooded messages.
+	Destination NodeID
+	// Payload is the opaque application payload (a marshalled request
+	// package, a marshalled reply, or a sealed channel frame).
+	Payload []byte
+	// TTL is the remaining hop budget.
+	TTL int
+	// Hops counts hops travelled so far.
+	Hops int
+}
+
+// clone returns a copy safe to mutate during forwarding.
+func (m *Message) clone() *Message {
+	out := *m
+	out.Payload = append([]byte(nil), m.Payload...)
+	return &out
+}
+
+// Handler is the application layer attached to each node.
+type Handler interface {
+	// OnMessage processes a message delivered to this node. It reports
+	// whether a flooded message should be re-broadcast by this node and
+	// returns any new messages to originate (replies, data frames).
+	OnMessage(now time.Time, node *Node, msg *Message) (forward bool, outgoing []*Message)
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(now time.Time, node *Node, msg *Message) (bool, []*Message)
+
+// OnMessage implements Handler.
+func (f HandlerFunc) OnMessage(now time.Time, node *Node, msg *Message) (bool, []*Message) {
+	return f(now, node, msg)
+}
+
+// Config parameterizes the simulated network.
+type Config struct {
+	// Range is the radio range in meters (default 50, the paper's proximity
+	// example).
+	Range float64
+	// Latency is the per-hop transmission latency (default 20ms).
+	Latency time.Duration
+	// LatencyJitter adds up to this much uniform jitter per hop.
+	LatencyJitter time.Duration
+	// LossRate is the independent per-link loss probability in [0, 1).
+	LossRate float64
+	// DefaultTTL bounds flooding depth (default 8 hops).
+	DefaultTTL int
+	// RelayRateLimit is the minimum interval between relayed requests from
+	// the same origin (DoS defence); zero disables relay rate limiting.
+	RelayRateLimit time.Duration
+	// MobilityInterval is how often mobile nodes advance toward their
+	// waypoint; zero disables mobility.
+	MobilityInterval time.Duration
+	// Area bounds the mobility region (waypoints are drawn inside it).
+	Area Position
+	// Seed makes the simulation deterministic.
+	Seed int64
+	// Start is the simulated epoch (defaults to a fixed instant so runs are
+	// reproducible).
+	Start time.Time
+}
+
+// withDefaults fills unset fields.
+func (c Config) withDefaults() Config {
+	if c.Range <= 0 {
+		c.Range = 50
+	}
+	if c.Latency <= 0 {
+		c.Latency = 20 * time.Millisecond
+	}
+	if c.DefaultTTL <= 0 {
+		c.DefaultTTL = 8
+	}
+	if c.Area.X <= 0 {
+		c.Area.X = 1000
+	}
+	if c.Area.Y <= 0 {
+		c.Area.Y = 1000
+	}
+	if c.Start.IsZero() {
+		c.Start = time.Date(2013, 7, 8, 0, 0, 0, 0, time.UTC)
+	}
+	return c
+}
+
+// Stats aggregates network-level counters.
+type Stats struct {
+	// Sent counts link-level transmissions attempted.
+	Sent int
+	// Delivered counts link-level receptions that reached a node.
+	Delivered int
+	// Lost counts transmissions dropped by the loss model.
+	Lost int
+	// Duplicates counts flooded frames dropped as already-seen.
+	Duplicates int
+	// Expired counts frames dropped for exhausted TTL.
+	Expired int
+	// RateLimited counts relays suppressed by the per-origin rate limit.
+	RateLimited int
+	// Undeliverable counts unicast frames with no route.
+	Undeliverable int
+	// DeliveredByKind breaks deliveries down by message kind.
+	DeliveredByKind map[MessageKind]int
+	// BytesSent totals payload bytes transmitted.
+	BytesSent int
+}
+
+func newStats() Stats {
+	return Stats{DeliveredByKind: make(map[MessageKind]int)}
+}
+
+// ErrUnknownNode is returned when addressing a node that was never added.
+var ErrUnknownNode = errors.New("msn: unknown node")

@@ -1,0 +1,88 @@
+package msn
+
+import (
+	"math"
+	"time"
+)
+
+// Node is a device participating in the ad-hoc network.
+type Node struct {
+	// ID is the node's stable identifier.
+	ID NodeID
+
+	pos      Position
+	speed    float64 // meters per second; zero means stationary
+	waypoint Position
+	handler  Handler
+
+	// seen de-duplicates flooded message IDs.
+	seen map[string]struct{}
+	// reversePath remembers the neighbour a flooded message was first
+	// received from, keyed by message ID; replies walk this chain back.
+	reversePath map[string]NodeID
+	// lastRelay tracks the last time a request from a given origin was
+	// relayed, for the DoS rate limit.
+	lastRelay map[NodeID]time.Time
+}
+
+func newNode(id NodeID, pos Position, handler Handler) *Node {
+	return &Node{
+		ID:          id,
+		pos:         pos,
+		handler:     handler,
+		seen:        make(map[string]struct{}),
+		reversePath: make(map[string]NodeID),
+		lastRelay:   make(map[NodeID]time.Time),
+	}
+}
+
+// Position returns the node's current position.
+func (n *Node) Position() Position { return n.pos }
+
+// SetPosition teleports the node (useful for scripted scenarios and tests).
+func (n *Node) SetPosition(p Position) { n.pos = p }
+
+// Speed returns the node's mobility speed in m/s.
+func (n *Node) Speed() float64 { return n.speed }
+
+// SetSpeed sets the node's mobility speed in m/s (0 disables movement).
+func (n *Node) SetSpeed(v float64) {
+	if v < 0 {
+		v = 0
+	}
+	n.speed = v
+}
+
+// HasSeen reports whether a flooded message ID was already processed.
+func (n *Node) HasSeen(id string) bool {
+	_, ok := n.seen[id]
+	return ok
+}
+
+// NextHopToward returns the reverse-path neighbour for a request ID, if any.
+func (n *Node) NextHopToward(requestID string) (NodeID, bool) {
+	hop, ok := n.reversePath[requestID]
+	return hop, ok
+}
+
+// distance returns the Euclidean distance between two positions.
+func distance(a, b Position) float64 {
+	return math.Hypot(a.X-b.X, a.Y-b.Y)
+}
+
+// advanceToward moves the node toward its waypoint by speed·dt, returning
+// true when the waypoint was reached (so a new one should be drawn).
+func (n *Node) advanceToward(dt time.Duration) bool {
+	if n.speed <= 0 {
+		return false
+	}
+	step := n.speed * dt.Seconds()
+	d := distance(n.pos, n.waypoint)
+	if d <= step || d == 0 {
+		n.pos = n.waypoint
+		return true
+	}
+	n.pos.X += (n.waypoint.X - n.pos.X) / d * step
+	n.pos.Y += (n.waypoint.Y - n.pos.Y) / d * step
+	return false
+}
