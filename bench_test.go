@@ -12,6 +12,8 @@ package sealedbottle
 
 import (
 	"crypto/rand"
+	"fmt"
+	"sync/atomic"
 	"testing"
 
 	"sealedbottle/internal/attr"
@@ -19,6 +21,7 @@ import (
 	"sealedbottle/internal/baseline/fc10"
 	"sealedbottle/internal/baseline/findu"
 	"sealedbottle/internal/baseline/fnp"
+	"sealedbottle/internal/broker"
 	"sealedbottle/internal/core"
 	"sealedbottle/internal/crypt"
 	"sealedbottle/internal/experiments"
@@ -337,6 +340,135 @@ func BenchmarkBaselineDotProduct(b *testing.B) {
 		if _, err := dotproduct.Run(rand.Reader, 512, alice, bob); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// --- Bottle-rack broker benchmarks ---------------------------------------
+//
+// These track the rendezvous subsystem's perf trajectory: submit throughput
+// vs shard count (contention), and sweep cost vs shard count and rack size.
+
+// benchRawBottles pre-marshals n wire-distinct request packages by cloning
+// one built request and re-stamping its ID, so benchmark loops measure broker
+// cost rather than request-generation crypto.
+func benchRawBottles(b *testing.B, n int) [][]byte {
+	b.Helper()
+	built, err := core.BuildRequest(benchSpec(), core.BuildOptions{Origin: "bench"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	out := make([][]byte, n)
+	for i := range out {
+		pkg := built.Package.Clone()
+		pkg.ID = fmt.Sprintf("%032x", i)
+		if out[i], err = pkg.Marshal(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return out
+}
+
+// benchSweeperResidues builds the residue set of a profile that passes the
+// benchSpec prefilter, so sweeps pay the full screen-and-return path.
+func benchSweeperResidues(b *testing.B) []core.ResidueSet {
+	b.Helper()
+	matcher, err := core.NewMatcher(attr.NewProfile(
+		attr.MustNew("sex", "male"),
+		attr.MustNew("university", "columbia"),
+		attr.MustNew("interest", "basketball"),
+		attr.MustNew("interest", "chess"),
+	), core.MatcherConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return []core.ResidueSet{matcher.ResidueSet(core.DefaultPrime)}
+}
+
+// BenchmarkBrokerSubmit measures racked submissions per second as the shard
+// count grows (parallel submitters contend on shard mutexes).
+func BenchmarkBrokerSubmit(b *testing.B) {
+	for _, shards := range []int{1, 8, 64} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			rack := broker.New(broker.Config{Shards: shards, ReapInterval: -1})
+			defer rack.Close()
+			raws := benchRawBottles(b, b.N)
+			var next atomic.Int64
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					i := next.Add(1) - 1
+					if _, err := rack.Submit(raws[i]); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkBrokerSweepShards measures sweep latency over a fixed-size rack as
+// the shard count grows — the worker pool fans one query across shards.
+func BenchmarkBrokerSweepShards(b *testing.B) {
+	const rackSize = 4096
+	for _, shards := range []int{1, 8, 64} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			rack := broker.New(broker.Config{Shards: shards, ReapInterval: -1})
+			defer rack.Close()
+			for _, raw := range benchRawBottles(b, rackSize) {
+				if _, err := rack.Submit(raw); err != nil {
+					b.Fatal(err)
+				}
+			}
+			residues := benchSweeperResidues(b)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := rack.Sweep(broker.SweepQuery{Residues: residues, Limit: 64}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkBrokerSweepRackSize measures how sweep cost scales with the number
+// of racked bottles at a fixed shard count.
+func BenchmarkBrokerSweepRackSize(b *testing.B) {
+	for _, rackSize := range []int{1024, 8192, 32768} {
+		b.Run(fmt.Sprintf("bottles=%d", rackSize), func(b *testing.B) {
+			rack := broker.New(broker.Config{Shards: 32, ReapInterval: -1})
+			defer rack.Close()
+			for _, raw := range benchRawBottles(b, rackSize) {
+				if _, err := rack.Submit(raw); err != nil {
+					b.Fatal(err)
+				}
+			}
+			residues := benchSweeperResidues(b)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := rack.Sweep(broker.SweepQuery{Residues: residues, Limit: 64}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkBrokerPrefilter isolates the residue-presence screen a sweep runs
+// per racked bottle.
+func BenchmarkBrokerPrefilter(b *testing.B) {
+	built, err := core.BuildRequest(benchSpec(), core.BuildOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rs := benchSweeperResidues(b)[0]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		built.Package.PrefilterMatch(rs)
 	}
 }
 

@@ -1,0 +1,86 @@
+// Command bottlerack serves a bottle-rack rendezvous broker over TCP: it
+// accepts marshalled sealed-bottle request packages, serves residue-prefilter
+// sweeps, and routes replies back to initiators. Run cmd/loadgen against it
+// to measure throughput, or point broker-mode simulator scenarios at it.
+//
+// Usage:
+//
+//	bottlerack [-addr :7117] [-shards 32] [-workers 0] [-reap 5s] [-stats 10s]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"sealedbottle/internal/broker"
+	"sealedbottle/internal/broker/transport"
+)
+
+func main() {
+	addr := flag.String("addr", ":7117", "TCP listen address")
+	shards := flag.Int("shards", 32, "shard count (rounded up to a power of two)")
+	workers := flag.Int("workers", 0, "sweep worker pool size (0: GOMAXPROCS)")
+	reap := flag.Duration("reap", broker.DefaultReapInterval, "background reaper interval")
+	statsEvery := flag.Duration("stats", 10*time.Second, "stats logging interval (0: disabled)")
+	flag.Parse()
+
+	rack := broker.New(broker.Config{Shards: *shards, Workers: *workers, ReapInterval: *reap})
+	defer rack.Close()
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("bottlerack: listen %s: %v", *addr, err)
+	}
+	log.Printf("bottlerack: listening on %s (%d shards, %d workers)",
+		l.Addr(), rack.Stats().Shards, rack.Stats().Workers)
+
+	srv := transport.NewServer(rack)
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(l) }()
+
+	var ticker *time.Ticker
+	var tick <-chan time.Time
+	if *statsEvery > 0 {
+		ticker = time.NewTicker(*statsEvery)
+		defer ticker.Stop()
+		tick = ticker.C
+	}
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+
+	for {
+		select {
+		case <-tick:
+			log.Print(statsLine(rack.Stats()))
+		case s := <-sig:
+			log.Printf("bottlerack: %v, shutting down", s)
+			l.Close()
+			srv.Close()
+			<-done
+			log.Print(statsLine(rack.Stats()))
+			return
+		case err := <-done:
+			if err != nil {
+				log.Fatalf("bottlerack: serve: %v", err)
+			}
+			return
+		}
+	}
+}
+
+// statsLine renders a one-line operational summary of a stats snapshot.
+func statsLine(st broker.Stats) string {
+	return fmt.Sprintf(
+		"bottlerack: held=%d submitted=%d dup=%d expired=%d sweeps=%d scanned=%d prefilter-reject=%.1f%% match=%.1f%% replies in/out/dropped=%d/%d/%d primes=%v",
+		st.Held, st.Totals.Submitted, st.Totals.Duplicates, st.Totals.Expired,
+		st.Totals.Sweeps, st.Totals.Scanned,
+		100*st.PrefilterRejectRate(), 100*st.MatchRate(),
+		st.Totals.RepliesIn, st.Totals.RepliesOut, st.Totals.RepliesDropped,
+		st.Primes)
+}

@@ -1,0 +1,321 @@
+// Command loadgen drives a bottle-rack broker with a concurrent friending
+// workload and reports throughput and latency: submitter goroutines build and
+// rack sealed-bottle request packages while sweeper goroutines concurrently
+// sweep with their residue sets, evaluate returned bottles with the full
+// participant machinery, and post replies; a final phase fetches replies for
+// a sample of the submitted requests.
+//
+// By default everything runs in-process over the in-memory pipe transport, so
+// the full framed protocol is exercised with no network setup:
+//
+//	loadgen -bottles 100000 -submitters 8 -sweepers 4
+//
+// Point it at a running cmd/bottlerack with -addr host:port instead.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sealedbottle/internal/attr"
+	"sealedbottle/internal/broker"
+	"sealedbottle/internal/broker/transport"
+	"sealedbottle/internal/core"
+)
+
+// rendezvous is the client surface the workers need; satisfied by both
+// *broker.Rack and *transport.Client.
+type rendezvous interface {
+	Submit(raw []byte) (string, error)
+	Sweep(q broker.SweepQuery) (broker.SweepResult, error)
+	Reply(requestID string, raw []byte) error
+	Fetch(requestID string) ([][]byte, error)
+}
+
+type options struct {
+	addr       string
+	bottles    int
+	submitters int
+	sweepers   int
+	sweepLimit int
+	shards     int
+	universe   int
+	validity   time.Duration
+	seed       int64
+}
+
+func main() {
+	var opts options
+	flag.StringVar(&opts.addr, "addr", "", "broker TCP address (empty: in-process pipe transport)")
+	flag.IntVar(&opts.bottles, "bottles", 100_000, "bottles to submit")
+	flag.IntVar(&opts.submitters, "submitters", 8, "concurrent submitter goroutines")
+	flag.IntVar(&opts.sweepers, "sweepers", 4, "concurrent sweeper goroutines")
+	flag.IntVar(&opts.sweepLimit, "sweep-limit", 64, "bottles returned per sweep")
+	flag.IntVar(&opts.shards, "shards", 32, "rack shards (in-process mode)")
+	flag.IntVar(&opts.universe, "universe", 48, "size of the interest-attribute vocabulary")
+	flag.DurationVar(&opts.validity, "validity", 5*time.Minute, "request validity window")
+	flag.Int64Var(&opts.seed, "seed", 1, "workload seed")
+	flag.Parse()
+
+	if err := run(opts); err != nil {
+		log.Fatalf("loadgen: %v", err)
+	}
+}
+
+func run(opts options) error {
+	dial, statsFn, cleanup, err := connect(opts)
+	if err != nil {
+		return err
+	}
+	defer cleanup()
+
+	var (
+		submitted  atomic.Int64
+		failed     atomic.Int64
+		sweeps     atomic.Int64
+		swept      atomic.Int64
+		replies    atomic.Int64
+		submitting atomic.Bool
+	)
+	submitting.Store(true)
+
+	subLat := make([][]time.Duration, opts.submitters)
+	sampleIDs := make([][]string, opts.submitters)
+	var wgSub sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < opts.submitters; w++ {
+		wgSub.Add(1)
+		go func(w int) {
+			defer wgSub.Done()
+			rv, err := dial()
+			if err != nil {
+				failed.Add(int64(opts.bottles / opts.submitters))
+				return
+			}
+			rng := rand.New(rand.NewSource(opts.seed + int64(w)))
+			i := 0
+			for int(submitted.Load()) < opts.bottles {
+				raw, id, err := buildBottle(rng, opts, w, i)
+				i++
+				if err != nil {
+					failed.Add(1)
+					continue
+				}
+				t0 := time.Now()
+				if _, err := rv.Submit(raw); err != nil {
+					failed.Add(1)
+					continue
+				}
+				subLat[w] = append(subLat[w], time.Since(t0))
+				if n := submitted.Add(1); n%100 == 0 {
+					sampleIDs[w] = append(sampleIDs[w], id)
+				}
+			}
+		}(w)
+	}
+
+	sweepLat := make([][]time.Duration, opts.sweepers)
+	var wgSweep sync.WaitGroup
+	for w := 0; w < opts.sweepers; w++ {
+		wgSweep.Add(1)
+		go func(w int) {
+			defer wgSweep.Done()
+			rv, err := dial()
+			if err != nil {
+				return
+			}
+			rng := rand.New(rand.NewSource(opts.seed + 1000 + int64(w)))
+			part, err := core.NewParticipant(randomProfile(rng, opts.universe, 6), core.ParticipantConfig{
+				ID:               fmt.Sprintf("sweeper-%d", w),
+				Matcher:          core.MatcherConfig{AllowCollisionSkip: true},
+				MinReplyInterval: time.Nanosecond,
+				Rand:             rng,
+			})
+			if err != nil {
+				return
+			}
+			residues := []core.ResidueSet{part.Matcher().ResidueSet(core.DefaultPrime)}
+			// seen is a bounded window of already-evaluated bottle IDs passed
+			// back to the broker so each sweep spends its limit on fresh ones.
+			const seenCap = 8192
+			var seen []string
+			for submitting.Load() {
+				t0 := time.Now()
+				res, err := rv.Sweep(broker.SweepQuery{Residues: residues, Limit: opts.sweepLimit, Seen: seen})
+				if err != nil {
+					return
+				}
+				sweepLat[w] = append(sweepLat[w], time.Since(t0))
+				sweeps.Add(1)
+				swept.Add(int64(len(res.Bottles)))
+				for _, b := range res.Bottles {
+					if len(seen) < seenCap {
+						seen = append(seen, b.ID)
+					}
+					pkg, err := core.UnmarshalPackage(b.Raw)
+					if err != nil {
+						continue
+					}
+					hr, err := part.HandleRequest(pkg)
+					if err != nil || hr.Reply == nil {
+						continue
+					}
+					if err := rv.Reply(pkg.ID, hr.Reply.Marshal()); err == nil {
+						replies.Add(1)
+					}
+				}
+			}
+		}(w)
+	}
+
+	wgSub.Wait()
+	elapsed := time.Since(start)
+	submitting.Store(false)
+	wgSweep.Wait()
+
+	// Final phase: fetch replies for the sampled request IDs.
+	fetched := 0
+	if rv, err := dial(); err == nil {
+		for _, ids := range sampleIDs {
+			for _, id := range ids {
+				raws, err := rv.Fetch(id)
+				if err != nil {
+					continue
+				}
+				fetched += len(raws)
+			}
+		}
+	}
+
+	fmt.Printf("submitted  %d bottles in %v (%.0f bottles/sec, %d failed)\n",
+		submitted.Load(), elapsed.Round(time.Millisecond),
+		float64(submitted.Load())/elapsed.Seconds(), failed.Load())
+	printLatencies("submit", flatten(subLat))
+	fmt.Printf("swept      %d sweeps returned %d bottles, %d replies posted, %d fetched\n",
+		sweeps.Load(), swept.Load(), replies.Load(), fetched)
+	printLatencies("sweep ", flatten(sweepLat))
+	if statsFn != nil {
+		st, err := statsFn()
+		if err != nil {
+			return fmt.Errorf("fetching broker stats: %w", err)
+		}
+		fmt.Printf("rack       shards=%d workers=%d held=%d scanned=%d prefilter-reject=%.1f%% match=%.1f%% replies=%d\n",
+			st.Shards, st.Workers, st.Held, st.Totals.Scanned,
+			100*st.PrefilterRejectRate(), 100*st.MatchRate(), st.Totals.RepliesIn)
+	}
+	if int(submitted.Load()) < opts.bottles {
+		return fmt.Errorf("only %d of %d bottles submitted", submitted.Load(), opts.bottles)
+	}
+	return nil
+}
+
+// connect returns a dial function for worker connections, a stats fetcher,
+// and a cleanup hook. With no -addr it stands up a rack plus framed server
+// over the in-memory pipe listener.
+func connect(opts options) (dial func() (rendezvous, error), stats func() (broker.Stats, error), cleanup func(), err error) {
+	if opts.addr != "" {
+		dial = func() (rendezvous, error) { return transport.Dial(opts.addr) }
+		stats = func() (broker.Stats, error) {
+			c, err := transport.Dial(opts.addr)
+			if err != nil {
+				return broker.Stats{}, err
+			}
+			defer c.Close()
+			return c.Stats()
+		}
+		return dial, stats, func() {}, nil
+	}
+	rack := broker.New(broker.Config{Shards: opts.shards})
+	l := transport.ListenPipe()
+	srv := transport.NewServer(rack)
+	go srv.Serve(l)
+	dial = func() (rendezvous, error) {
+		conn, err := l.Dial()
+		if err != nil {
+			return nil, err
+		}
+		return transport.NewClient(conn), nil
+	}
+	stats = func() (broker.Stats, error) { return rack.Stats(), nil }
+	cleanup = func() {
+		l.Close()
+		srv.Close()
+		rack.Close()
+	}
+	return dial, stats, cleanup, nil
+}
+
+// buildBottle constructs one marshalled request package: one necessary group
+// attribute plus four optional interests with β=2 (so γ=2 exercises the hint
+// matrix on both the build and sweep sides).
+func buildBottle(rng *rand.Rand, opts options, worker, i int) ([]byte, string, error) {
+	optional := make([]attr.Attribute, 0, 4)
+	seen := make(map[int]struct{}, 4)
+	for len(optional) < 4 {
+		k := rng.Intn(opts.universe)
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		seen[k] = struct{}{}
+		optional = append(optional, attr.MustNew("interest", fmt.Sprintf("i%03d", k)))
+	}
+	spec := core.RequestSpec{
+		Necessary:   []attr.Attribute{attr.MustNew("group", fmt.Sprintf("g%d", rng.Intn(8)))},
+		Optional:    optional,
+		MinOptional: 2,
+	}
+	built, err := core.BuildRequest(spec, core.BuildOptions{
+		Origin:   fmt.Sprintf("sub-%d-%d", worker, i),
+		Validity: opts.validity,
+		Rand:     rng,
+	})
+	if err != nil {
+		return nil, "", err
+	}
+	raw, err := built.Package.Marshal()
+	if err != nil {
+		return nil, "", err
+	}
+	return raw, built.Package.ID, nil
+}
+
+// randomProfile draws a sweeper profile over the same vocabulary the
+// submitters use, so a realistic fraction of bottles passes the prefilter.
+func randomProfile(rng *rand.Rand, universe, n int) *attr.Profile {
+	p := attr.NewProfile(attr.MustNew("group", fmt.Sprintf("g%d", rng.Intn(8))))
+	for p.Len() < n {
+		p.Add(attr.MustNew("interest", fmt.Sprintf("i%03d", rng.Intn(universe))))
+	}
+	return p
+}
+
+// flatten merges per-worker latency slices.
+func flatten(parts [][]time.Duration) []time.Duration {
+	var out []time.Duration
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out
+}
+
+// printLatencies reports p50/p95/p99/max of a latency sample.
+func printLatencies(label string, lat []time.Duration) {
+	if len(lat) == 0 {
+		fmt.Printf("%s     no samples\n", label)
+		return
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	pct := func(p float64) time.Duration {
+		i := int(p * float64(len(lat)-1))
+		return lat[i]
+	}
+	fmt.Printf("%s     p50=%v p95=%v p99=%v max=%v (%d samples)\n",
+		label, pct(0.50).Round(time.Microsecond), pct(0.95).Round(time.Microsecond),
+		pct(0.99).Round(time.Microsecond), lat[len(lat)-1].Round(time.Microsecond), len(lat))
+}

@@ -4,9 +4,11 @@
 // secure channel establishment for decentralized mobile social networks.
 //
 // The implementation lives under internal/ (core mechanism, crypto substrate,
-// hexagonal-lattice location hashing, MSN simulator, dataset generator,
-// asymmetric baselines, adversary harness, cost model and experiment
-// generators), with runnable entry points under cmd/ and examples/. The
-// repository-level benchmarks in bench_test.go regenerate every table and
-// figure of the paper's evaluation; see DESIGN.md and EXPERIMENTS.md.
+// hexagonal-lattice location hashing, bottle-rack rendezvous broker with its
+// framed transport, MSN simulator, dataset generator, asymmetric baselines,
+// adversary harness, cost model and experiment generators), with runnable
+// entry points under cmd/ and examples/. The repository-level benchmarks in
+// bench_test.go regenerate every table and figure of the paper's evaluation
+// and track the broker's throughput; see README.md for the package map and
+// quickstart.
 package sealedbottle

@@ -1,0 +1,155 @@
+// Bottlerack: the store-and-forward rendezvous flow end to end over the real
+// framed transport. A rack server runs behind the in-memory pipe listener;
+// Alice's client submits a sealed-bottle request; Bob and Carol sweep the
+// rack with their residue presence sets — the broker dismisses Carol's
+// non-matching profile with the remainder prefilter before any cryptography —
+// Bob verifies locally, posts a reply, and Alice fetches it and derives the
+// shared channel key. The broker never sees anything but public packages and
+// residues.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sealedbottle/internal/attr"
+	"sealedbottle/internal/broker"
+	"sealedbottle/internal/broker/transport"
+	"sealedbottle/internal/core"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// 1. Stand up the rack and serve it over the framed protocol.
+	rack := broker.New(broker.Config{Shards: 8})
+	defer rack.Close()
+	l := transport.ListenPipe()
+	defer l.Close()
+	srv := transport.NewServer(rack)
+	go srv.Serve(l)
+	defer srv.Close()
+
+	dial := func() (*transport.Client, error) {
+		conn, err := l.Dial()
+		if err != nil {
+			return nil, err
+		}
+		return transport.NewClient(conn), nil
+	}
+
+	// 2. Alice seals her search and racks the bottle.
+	spec := core.RequestSpec{
+		Necessary: []attr.Attribute{attr.MustNew("university", "Columbia")},
+		Optional: []attr.Attribute{
+			attr.MustNew("interest", "basketball"),
+			attr.MustNew("interest", "chess"),
+			attr.MustNew("interest", "golf"),
+		},
+		MinOptional: 2,
+	}
+	alice, err := core.NewInitiator(spec, core.InitiatorConfig{Protocol: core.Protocol1, Origin: "alice"})
+	if err != nil {
+		return err
+	}
+	raw, err := alice.Request().Marshal()
+	if err != nil {
+		return err
+	}
+	aliceClient, err := dial()
+	if err != nil {
+		return err
+	}
+	reqID, err := aliceClient.Submit(raw)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("alice racked bottle %s…\n", reqID[:8])
+
+	// 3. Bob and Carol sweep. Each sends only residues mod p — never hashes.
+	sweep := func(name string, profile *attr.Profile) error {
+		part, err := core.NewParticipant(profile, core.ParticipantConfig{
+			ID:      name,
+			Matcher: core.MatcherConfig{AllowCollisionSkip: true},
+		})
+		if err != nil {
+			return err
+		}
+		c, err := dial()
+		if err != nil {
+			return err
+		}
+		res, err := c.Sweep(broker.SweepQuery{
+			Residues: []core.ResidueSet{part.Matcher().ResidueSet(core.DefaultPrime)},
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s swept: %d bottle(s) passed the prefilter (%d screened, %d rejected)\n",
+			name, len(res.Bottles), res.Scanned, res.Rejected)
+		for _, b := range res.Bottles {
+			pkg, err := core.UnmarshalPackage(b.Raw)
+			if err != nil {
+				continue
+			}
+			hr, err := part.HandleRequest(pkg)
+			if err != nil || hr.Reply == nil {
+				continue
+			}
+			if err := c.Reply(pkg.ID, hr.Reply.Marshal()); err != nil {
+				return err
+			}
+			fmt.Printf("%s matched and posted a reply (channel key %s…)\n", name, hr.ChannelKey.String()[:8])
+		}
+		return nil
+	}
+	if err := sweep("bob", attr.NewProfile(
+		attr.MustNew("university", "Columbia"),
+		attr.MustNew("interest", "basketball"),
+		attr.MustNew("interest", "chess"),
+		attr.MustNew("interest", "cooking"),
+	)); err != nil {
+		return err
+	}
+	if err := sweep("carol", attr.NewProfile(
+		attr.MustNew("university", "MIT"),
+		attr.MustNew("interest", "opera"),
+		attr.MustNew("interest", "sailing"),
+	)); err != nil {
+		return err
+	}
+
+	// 4. Alice fetches her replies and confirms the match with x.
+	raws, err := aliceClient.Fetch(reqID)
+	if err != nil {
+		return err
+	}
+	for _, r := range raws {
+		reply, err := core.UnmarshalReply(r)
+		if err != nil {
+			continue
+		}
+		m, reject, err := alice.ProcessReply(reply)
+		if err != nil {
+			return err
+		}
+		if m != nil {
+			fmt.Printf("alice confirmed %s (channel key %s…)\n", m.Peer, m.ChannelKey.String()[:8])
+		} else {
+			fmt.Printf("alice rejected a reply: %s\n", reject)
+		}
+	}
+
+	st, err := aliceClient.Stats()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("rack stats: held=%d scanned=%d prefilter-reject=%.0f%% replies=%d/%d\n",
+		st.Held, st.Totals.Scanned, 100*st.PrefilterRejectRate(),
+		st.Totals.RepliesIn, st.Totals.RepliesOut)
+	return nil
+}

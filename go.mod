@@ -1,0 +1,3 @@
+module sealedbottle
+
+go 1.24

@@ -1,0 +1,511 @@
+// Package broker implements the "bottle rack": a concurrent store-and-forward
+// rendezvous service for sealed-bottle requests. Initiators submit marshalled
+// core.RequestPackages; candidates sweep the rack with residue presence sets
+// (the public remainder-vector prefilter of Section III-C1) and receive only
+// the bottles they could plausibly open, which they then evaluate locally
+// with the full core.Matcher machinery; repliers post marshalled core.Reply
+// frames that the initiator fetches later. The broker never sees a profile
+// vector, a profile key or a plaintext — it holds exactly the public request
+// package plus residue sets, the same view any relay in the paper's mobile
+// social network has.
+//
+// The rack is sharded (power-of-two shard count, one mutex per shard) so
+// submissions scale across cores, and sweeps are fanned out over a fixed
+// worker pool so a single large query is served by every core while
+// concurrent queries batch fairly behind it. Expiry is lazy (expired bottles
+// are skipped and unlinked as sweeps encounter them) with a background reaper
+// closing the long tail.
+package broker
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"sync"
+	"time"
+
+	"sealedbottle/internal/core"
+)
+
+// Defaults for Config fields left zero.
+const (
+	DefaultShards       = 16
+	DefaultSweepLimit   = 256
+	DefaultReapInterval = 5 * time.Second
+	// DefaultMaxReplies bounds the reply queue per request; repliers beyond it
+	// are dropped (and counted) rather than allowed to exhaust memory — the
+	// broker-side analogue of the paper's ack-set cardinality screen.
+	DefaultMaxReplies = 1024
+)
+
+// Errors returned by rack operations.
+var (
+	// ErrRackClosed indicates the rack has been shut down.
+	ErrRackClosed = errors.New("broker: rack closed")
+	// ErrDuplicateBottle indicates a submission reusing a held request ID.
+	ErrDuplicateBottle = errors.New("broker: duplicate bottle id")
+	// ErrUnknownBottle indicates a reply or fetch for an ID not on the rack.
+	ErrUnknownBottle = errors.New("broker: unknown bottle id")
+	// ErrBadQuery indicates a sweep query with no valid residue sets.
+	ErrBadQuery = errors.New("broker: sweep query has no valid residue sets")
+)
+
+// Config tunes a Rack.
+type Config struct {
+	// Shards is the shard count; it is rounded up to a power of two
+	// (zero: DefaultShards).
+	Shards int
+	// Workers sizes the sweep worker pool (zero: GOMAXPROCS).
+	Workers int
+	// ReapInterval is the background reaper period (zero: default; negative:
+	// no background reaper, expiry is purely lazy).
+	ReapInterval time.Duration
+	// MaxRepliesPerBottle bounds each bottle's reply queue (zero: default).
+	MaxRepliesPerBottle int
+	// Now supplies the clock (nil: time.Now); injected by tests and by the
+	// discrete-event simulator so expiry follows simulated time.
+	Now func() time.Time
+}
+
+// withDefaults fills unset fields and normalizes the shard count.
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = DefaultShards
+	}
+	n := 1
+	for n < c.Shards {
+		n <<= 1
+	}
+	c.Shards = n
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.ReapInterval == 0 {
+		c.ReapInterval = DefaultReapInterval
+	}
+	if c.MaxRepliesPerBottle <= 0 {
+		c.MaxRepliesPerBottle = DefaultMaxReplies
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// Rack is the concurrent bottle rack. All methods are safe for concurrent
+// use; Close releases the worker pool and reaper.
+type Rack struct {
+	cfg    Config
+	mask   uint64
+	shards []*shard
+
+	jobs    chan sweepJob
+	closed  chan struct{}
+	closeMu sync.Mutex
+	done    bool
+	wg      sync.WaitGroup
+}
+
+// sweepJob asks a worker to scan one shard for one query. The seen set is
+// built once per query and shared read-only across all shard jobs.
+type sweepJob struct {
+	sh   *shard
+	q    *SweepQuery
+	seen map[string]struct{}
+	now  time.Time
+	out  chan<- shardSweep
+	idx  int
+}
+
+// New builds a rack and starts its worker pool and (unless disabled) reaper.
+func New(cfg Config) *Rack {
+	cfg = cfg.withDefaults()
+	r := &Rack{
+		cfg:    cfg,
+		mask:   uint64(cfg.Shards - 1),
+		shards: make([]*shard, cfg.Shards),
+		jobs:   make(chan sweepJob, cfg.Shards),
+		closed: make(chan struct{}),
+	}
+	for i := range r.shards {
+		r.shards[i] = newShard()
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		r.wg.Add(1)
+		go r.worker()
+	}
+	if cfg.ReapInterval > 0 {
+		r.wg.Add(1)
+		go r.reaper()
+	}
+	return r
+}
+
+// Close stops the worker pool and reaper. Operations after Close return
+// ErrRackClosed.
+func (r *Rack) Close() {
+	r.closeMu.Lock()
+	defer r.closeMu.Unlock()
+	if r.done {
+		return
+	}
+	r.done = true
+	// Workers and in-flight sweeps exit via the closed channel; r.jobs is
+	// deliberately never closed, since a sweep between its isClosed check and
+	// its dispatch select could otherwise panic sending on it.
+	close(r.closed)
+	r.wg.Wait()
+}
+
+// isClosed reports whether Close has been called.
+func (r *Rack) isClosed() bool {
+	select {
+	case <-r.closed:
+		return true
+	default:
+		return false
+	}
+}
+
+// shardFor hashes a request ID to its shard.
+func (r *Rack) shardFor(id string) *shard {
+	h := fnv.New64a()
+	h.Write([]byte(id))
+	return r.shards[h.Sum64()&r.mask]
+}
+
+// Submit validates a marshalled request package and racks it. It returns the
+// request ID under which the bottle is held.
+func (r *Rack) Submit(raw []byte) (string, error) {
+	if r.isClosed() {
+		return "", ErrRackClosed
+	}
+	pkg, err := core.UnmarshalPackage(raw)
+	if err != nil {
+		return "", err
+	}
+	now := r.cfg.Now().UTC()
+	if pkg.Expired(now) {
+		return "", core.ErrExpired
+	}
+	b := &bottle{
+		id:        pkg.ID,
+		origin:    pkg.Origin,
+		prime:     pkg.Prime,
+		raw:       append([]byte(nil), raw...),
+		pkg:       pkg,
+		expiresAt: pkg.ExpiresAt,
+	}
+	sh := r.shardFor(pkg.ID)
+	if err := sh.put(b); err != nil {
+		return "", err
+	}
+	return pkg.ID, nil
+}
+
+// SweepQuery describes one candidate's sweep: its residue presence sets (one
+// per prime it is willing to screen against), a result cap, and optional
+// exclusions.
+type SweepQuery struct {
+	// Residues holds one presence set per prime; bottles with a prime not
+	// covered here are skipped (not rejected — the candidate simply cannot
+	// screen them).
+	Residues []core.ResidueSet
+	// Limit caps the number of bottles returned (zero: DefaultSweepLimit).
+	Limit int
+	// ExcludeOrigin skips bottles submitted by this origin (a candidate never
+	// wants its own requests back).
+	ExcludeOrigin string
+	// Seen lists request IDs the candidate has already evaluated; they are
+	// skipped server-side so the limit is spent on fresh bottles.
+	Seen []string
+}
+
+// normalize validates the query and fills defaults. Residue sets are
+// deduplicated by prime (first wins): a query repeating a prime would
+// otherwise rescan that prime's group once per duplicate — returning the same
+// bottles several times and handing remote clients a scan-amplification
+// lever.
+func (q *SweepQuery) normalize() error {
+	valid := q.Residues[:0:0]
+	primes := make(map[uint32]struct{}, len(q.Residues))
+	for _, s := range q.Residues {
+		if !s.Valid() {
+			continue
+		}
+		if _, dup := primes[s.Prime]; dup {
+			continue
+		}
+		primes[s.Prime] = struct{}{}
+		valid = append(valid, s)
+	}
+	if len(valid) == 0 {
+		return ErrBadQuery
+	}
+	q.Residues = valid
+	if q.Limit <= 0 {
+		q.Limit = DefaultSweepLimit
+	}
+	return nil
+}
+
+// residueFor returns the query's presence set for a prime.
+func (q *SweepQuery) residueFor(prime uint32) (core.ResidueSet, bool) {
+	for _, s := range q.Residues {
+		if s.Prime == prime {
+			return s, true
+		}
+	}
+	return core.ResidueSet{}, false
+}
+
+// SweptBottle is one rack entry returned by a sweep.
+type SweptBottle struct {
+	// ID is the request ID.
+	ID string
+	// Raw is the marshalled request package, exactly as submitted.
+	Raw []byte
+}
+
+// SweepResult is the outcome of one sweep query.
+type SweepResult struct {
+	// Bottles holds the prefilter-passing packages, in shard order.
+	Bottles []SweptBottle
+	// Scanned is how many live bottles were screened.
+	Scanned int
+	// Rejected is how many were dismissed by the residue prefilter.
+	Rejected int
+	// Truncated is true when more bottles passed than Limit allowed.
+	Truncated bool
+}
+
+// Sweep screens every racked bottle against the query's residue sets and
+// returns the ones the candidate could plausibly open. The scan is fanned out
+// across the shard set through the rack's worker pool.
+func (r *Rack) Sweep(q SweepQuery) (SweepResult, error) {
+	if r.isClosed() {
+		return SweepResult{}, ErrRackClosed
+	}
+	if err := q.normalize(); err != nil {
+		return SweepResult{}, err
+	}
+	now := r.cfg.Now().UTC()
+	var seen map[string]struct{}
+	if len(q.Seen) > 0 {
+		seen = make(map[string]struct{}, len(q.Seen))
+		for _, id := range q.Seen {
+			seen[id] = struct{}{}
+		}
+	}
+	// out is buffered to the shard count so workers never block on it, even
+	// when this sweep aborts early on Close.
+	out := make(chan shardSweep, len(r.shards))
+	dispatched := 0
+	for i, sh := range r.shards {
+		select {
+		case r.jobs <- sweepJob{sh: sh, q: &q, seen: seen, now: now, out: out, idx: i}:
+			dispatched++
+		case <-r.closed:
+			return SweepResult{}, ErrRackClosed
+		}
+	}
+	parts := make([]shardSweep, dispatched)
+	for i := 0; i < dispatched; i++ {
+		select {
+		case p := <-out:
+			parts[p.idx] = p
+		case <-r.closed:
+			// Workers are gone; queued jobs will never be served.
+			return SweepResult{}, ErrRackClosed
+		}
+	}
+	// Merge in shard order so results are deterministic for a quiescent rack.
+	var res SweepResult
+	for _, p := range parts {
+		res.Scanned += p.scanned
+		res.Rejected += p.rejected
+		res.Truncated = res.Truncated || p.truncated
+		for _, b := range p.bottles {
+			if len(res.Bottles) >= q.Limit {
+				res.Truncated = true
+				break
+			}
+			res.Bottles = append(res.Bottles, b)
+		}
+	}
+	return res, nil
+}
+
+// worker serves shard-scan jobs until the rack closes.
+func (r *Rack) worker() {
+	defer r.wg.Done()
+	for {
+		select {
+		case job := <-r.jobs:
+			out := job.sh.sweep(job.q, job.seen, job.now)
+			out.idx = job.idx
+			job.out <- out
+		case <-r.closed:
+			return
+		}
+	}
+}
+
+// Reply racks a marshalled core.Reply for the initiator of the addressed
+// request to fetch. The reply must parse and must echo the request ID it is
+// posted under; replies to unknown or expired bottles are rejected.
+func (r *Rack) Reply(requestID string, raw []byte) error {
+	if r.isClosed() {
+		return ErrRackClosed
+	}
+	rep, err := core.UnmarshalReply(raw)
+	if err != nil {
+		return err
+	}
+	if rep.RequestID != requestID {
+		return fmt.Errorf("broker: reply addressed to %q but carries request id %q", requestID, rep.RequestID)
+	}
+	sh := r.shardFor(requestID)
+	return sh.pushReply(requestID, raw, r.cfg.MaxRepliesPerBottle, r.cfg.Now().UTC())
+}
+
+// Fetch drains and returns the replies queued for a request. Only bottles
+// still on the rack (not yet reaped) can be fetched from.
+func (r *Rack) Fetch(requestID string) ([][]byte, error) {
+	if r.isClosed() {
+		return nil, ErrRackClosed
+	}
+	return r.shardFor(requestID).drainReplies(requestID)
+}
+
+// Remove takes a bottle (and its pending replies) off the rack, e.g. when an
+// initiator has found enough matches. It reports whether the bottle was held.
+func (r *Rack) Remove(requestID string) bool {
+	if r.isClosed() {
+		return false
+	}
+	return r.shardFor(requestID).remove(requestID)
+}
+
+// Reap removes every expired bottle now; it returns the number reaped. The
+// background reaper calls this on its interval, and it is exported for
+// clock-injected deployments (the simulator) that want deterministic expiry.
+func (r *Rack) Reap() int {
+	now := r.cfg.Now().UTC()
+	n := 0
+	for _, sh := range r.shards {
+		n += sh.reap(now)
+	}
+	return n
+}
+
+// reaper runs Reap on the configured interval until the rack closes.
+func (r *Rack) reaper() {
+	defer r.wg.Done()
+	t := time.NewTicker(r.cfg.ReapInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			r.Reap()
+		case <-r.closed:
+			return
+		}
+	}
+}
+
+// Primes returns the sorted set of remainder primes currently live on the
+// rack; sweepers use it to decide which residue sets to compute.
+func (r *Rack) Primes() []uint32 {
+	var all []uint32
+	for _, sh := range r.shards {
+		all = append(all, sh.primes()...)
+	}
+	return core.MergePrimes(all...)
+}
+
+// ShardStats is one shard's counter snapshot.
+type ShardStats struct {
+	// Held is the number of live bottles on the shard.
+	Held int
+	// Submitted counts bottles ever racked on the shard.
+	Submitted uint64
+	// Duplicates counts submissions rejected for ID reuse.
+	Duplicates uint64
+	// Expired counts bottles removed by lazy or background expiry.
+	Expired uint64
+	// Sweeps counts shard scans served.
+	Sweeps uint64
+	// Scanned counts live bottles screened across all sweeps.
+	Scanned uint64
+	// Rejected counts prefilter dismissals.
+	Rejected uint64
+	// Returned counts bottles handed to sweepers.
+	Returned uint64
+	// RepliesIn / RepliesOut / RepliesDropped count reply traffic.
+	RepliesIn      uint64
+	RepliesOut     uint64
+	RepliesDropped uint64
+}
+
+// Stats is a point-in-time snapshot of the whole rack.
+type Stats struct {
+	// Shards and Workers echo the effective configuration.
+	Shards  int
+	Workers int
+	// Held is the number of live bottles across all shards.
+	Held int
+	// Totals aggregates every shard's counters.
+	Totals ShardStats
+	// PerShard holds the individual shard snapshots, in shard order.
+	PerShard []ShardStats
+	// Primes is the sorted set of live remainder primes.
+	Primes []uint32
+}
+
+// PrefilterRejectRate is the fraction of screened bottles the residue
+// prefilter dismissed without a full matcher evaluation.
+func (s Stats) PrefilterRejectRate() float64 {
+	if s.Totals.Scanned == 0 {
+		return 0
+	}
+	return float64(s.Totals.Rejected) / float64(s.Totals.Scanned)
+}
+
+// MatchRate is the fraction of screened bottles handed to sweepers.
+func (s Stats) MatchRate() float64 {
+	if s.Totals.Scanned == 0 {
+		return 0
+	}
+	return float64(s.Totals.Returned) / float64(s.Totals.Scanned)
+}
+
+// Stats snapshots every shard's counters.
+func (r *Rack) Stats() Stats {
+	st := Stats{
+		Shards:   r.cfg.Shards,
+		Workers:  r.cfg.Workers,
+		PerShard: make([]ShardStats, len(r.shards)),
+	}
+	var primes []uint32
+	for i, sh := range r.shards {
+		ss := sh.snapshot()
+		st.PerShard[i] = ss
+		st.Held += ss.Held
+		st.Totals.Held += ss.Held
+		st.Totals.Submitted += ss.Submitted
+		st.Totals.Duplicates += ss.Duplicates
+		st.Totals.Expired += ss.Expired
+		st.Totals.Sweeps += ss.Sweeps
+		st.Totals.Scanned += ss.Scanned
+		st.Totals.Rejected += ss.Rejected
+		st.Totals.Returned += ss.Returned
+		st.Totals.RepliesIn += ss.RepliesIn
+		st.Totals.RepliesOut += ss.RepliesOut
+		st.Totals.RepliesDropped += ss.RepliesDropped
+		primes = append(primes, sh.primes()...)
+	}
+	st.Primes = core.MergePrimes(primes...)
+	return st
+}

@@ -1,0 +1,403 @@
+package broker
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"sealedbottle/internal/core"
+)
+
+// Wire encodings for the broker operations, shared by the transport client
+// and server. The style matches the core package's request/reply format:
+// big-endian fixed-width integers and uint16/uint32 length prefixes.
+
+// ErrMalformedFrame indicates a broker wire encoding that cannot be decoded.
+var ErrMalformedFrame = errors.New("broker: malformed frame")
+
+// MarshalSweepQuery encodes a sweep query.
+func MarshalSweepQuery(q SweepQuery) []byte {
+	var buf []byte
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(q.Residues)))
+	for _, s := range q.Residues {
+		buf = binary.BigEndian.AppendUint32(buf, s.Prime)
+		buf = binary.BigEndian.AppendUint16(buf, uint16(len(s.Bits)))
+		for _, w := range s.Bits {
+			buf = binary.BigEndian.AppendUint64(buf, w)
+		}
+	}
+	// A non-positive limit means "use the server default"; clamping here keeps
+	// the wire semantics identical to the in-process rack (a raw uint32 cast
+	// would turn -1 into an effectively unlimited 4294967295).
+	limit := q.Limit
+	if limit < 0 {
+		limit = 0
+	}
+	buf = binary.BigEndian.AppendUint32(buf, uint32(limit))
+	buf = appendString16(buf, q.ExcludeOrigin)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(q.Seen)))
+	for _, id := range q.Seen {
+		buf = appendString16(buf, id)
+	}
+	return buf
+}
+
+// UnmarshalSweepQuery decodes a sweep query.
+func UnmarshalSweepQuery(data []byte) (SweepQuery, error) {
+	r := &reader{data: data}
+	var q SweepQuery
+	n, err := r.uint16()
+	if err != nil {
+		return q, fmt.Errorf("%w: residue count", ErrMalformedFrame)
+	}
+	q.Residues = make([]core.ResidueSet, n)
+	for i := range q.Residues {
+		if q.Residues[i].Prime, err = r.uint32(); err != nil {
+			return q, fmt.Errorf("%w: residue prime", ErrMalformedFrame)
+		}
+		words, err := r.uint16()
+		if err != nil {
+			return q, fmt.Errorf("%w: residue words", ErrMalformedFrame)
+		}
+		q.Residues[i].Bits = make([]uint64, words)
+		for j := range q.Residues[i].Bits {
+			if q.Residues[i].Bits[j], err = r.uint64(); err != nil {
+				return q, fmt.Errorf("%w: residue bits", ErrMalformedFrame)
+			}
+		}
+	}
+	limit, err := r.uint32()
+	if err != nil {
+		return q, fmt.Errorf("%w: limit", ErrMalformedFrame)
+	}
+	q.Limit = int(limit)
+	if q.ExcludeOrigin, err = r.string16(); err != nil {
+		return q, fmt.Errorf("%w: exclude origin", ErrMalformedFrame)
+	}
+	seen, err := r.uint32()
+	if err != nil {
+		return q, fmt.Errorf("%w: seen count", ErrMalformedFrame)
+	}
+	if int(seen) > r.remaining() {
+		return q, fmt.Errorf("%w: implausible seen count %d", ErrMalformedFrame, seen)
+	}
+	q.Seen = make([]string, seen)
+	for i := range q.Seen {
+		if q.Seen[i], err = r.string16(); err != nil {
+			return q, fmt.Errorf("%w: seen id", ErrMalformedFrame)
+		}
+	}
+	if r.remaining() != 0 {
+		return q, fmt.Errorf("%w: trailing bytes", ErrMalformedFrame)
+	}
+	return q, nil
+}
+
+// MarshalSweepResult encodes a sweep result.
+func MarshalSweepResult(res SweepResult) []byte {
+	var buf []byte
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(res.Bottles)))
+	for _, b := range res.Bottles {
+		buf = appendString16(buf, b.ID)
+		buf = binary.BigEndian.AppendUint32(buf, uint32(len(b.Raw)))
+		buf = append(buf, b.Raw...)
+	}
+	buf = binary.BigEndian.AppendUint64(buf, uint64(res.Scanned))
+	buf = binary.BigEndian.AppendUint64(buf, uint64(res.Rejected))
+	if res.Truncated {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	return buf
+}
+
+// UnmarshalSweepResult decodes a sweep result.
+func UnmarshalSweepResult(data []byte) (SweepResult, error) {
+	r := &reader{data: data}
+	var res SweepResult
+	n, err := r.uint32()
+	if err != nil {
+		return res, fmt.Errorf("%w: bottle count", ErrMalformedFrame)
+	}
+	if int(n) > r.remaining() {
+		return res, fmt.Errorf("%w: implausible bottle count %d", ErrMalformedFrame, n)
+	}
+	res.Bottles = make([]SweptBottle, n)
+	for i := range res.Bottles {
+		if res.Bottles[i].ID, err = r.string16(); err != nil {
+			return res, fmt.Errorf("%w: bottle id", ErrMalformedFrame)
+		}
+		size, err := r.uint32()
+		if err != nil {
+			return res, fmt.Errorf("%w: bottle size", ErrMalformedFrame)
+		}
+		raw, err := r.bytes(int(size))
+		if err != nil {
+			return res, fmt.Errorf("%w: bottle payload", ErrMalformedFrame)
+		}
+		res.Bottles[i].Raw = append([]byte(nil), raw...)
+	}
+	scanned, err := r.uint64()
+	if err != nil {
+		return res, fmt.Errorf("%w: scanned", ErrMalformedFrame)
+	}
+	rejected, err := r.uint64()
+	if err != nil {
+		return res, fmt.Errorf("%w: rejected", ErrMalformedFrame)
+	}
+	trunc, err := r.byte()
+	if err != nil {
+		return res, fmt.Errorf("%w: truncated flag", ErrMalformedFrame)
+	}
+	res.Scanned = int(scanned)
+	res.Rejected = int(rejected)
+	res.Truncated = trunc != 0
+	if r.remaining() != 0 {
+		return res, fmt.Errorf("%w: trailing bytes", ErrMalformedFrame)
+	}
+	return res, nil
+}
+
+// MarshalRawList encodes a list of opaque byte blobs (fetched replies).
+func MarshalRawList(raws [][]byte) []byte {
+	var buf []byte
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(raws)))
+	for _, raw := range raws {
+		buf = binary.BigEndian.AppendUint32(buf, uint32(len(raw)))
+		buf = append(buf, raw...)
+	}
+	return buf
+}
+
+// UnmarshalRawList decodes a list of opaque byte blobs.
+func UnmarshalRawList(data []byte) ([][]byte, error) {
+	r := &reader{data: data}
+	n, err := r.uint32()
+	if err != nil {
+		return nil, fmt.Errorf("%w: blob count", ErrMalformedFrame)
+	}
+	if int(n) > r.remaining() {
+		return nil, fmt.Errorf("%w: implausible blob count %d", ErrMalformedFrame, n)
+	}
+	out := make([][]byte, n)
+	for i := range out {
+		size, err := r.uint32()
+		if err != nil {
+			return nil, fmt.Errorf("%w: blob size", ErrMalformedFrame)
+		}
+		raw, err := r.bytes(int(size))
+		if err != nil {
+			return nil, fmt.Errorf("%w: blob payload", ErrMalformedFrame)
+		}
+		out[i] = append([]byte(nil), raw...)
+	}
+	if r.remaining() != 0 {
+		return nil, fmt.Errorf("%w: trailing bytes", ErrMalformedFrame)
+	}
+	return out, nil
+}
+
+// marshalShardStats encodes one shard's counters.
+func marshalShardStats(buf []byte, ss ShardStats) []byte {
+	buf = binary.BigEndian.AppendUint64(buf, uint64(ss.Held))
+	for _, v := range []uint64{
+		ss.Submitted, ss.Duplicates, ss.Expired, ss.Sweeps, ss.Scanned,
+		ss.Rejected, ss.Returned, ss.RepliesIn, ss.RepliesOut, ss.RepliesDropped,
+	} {
+		buf = binary.BigEndian.AppendUint64(buf, v)
+	}
+	return buf
+}
+
+// unmarshalShardStats decodes one shard's counters.
+func unmarshalShardStats(r *reader) (ShardStats, error) {
+	var ss ShardStats
+	held, err := r.uint64()
+	if err != nil {
+		return ss, err
+	}
+	ss.Held = int(held)
+	for _, dst := range []*uint64{
+		&ss.Submitted, &ss.Duplicates, &ss.Expired, &ss.Sweeps, &ss.Scanned,
+		&ss.Rejected, &ss.Returned, &ss.RepliesIn, &ss.RepliesOut, &ss.RepliesDropped,
+	} {
+		if *dst, err = r.uint64(); err != nil {
+			return ss, err
+		}
+	}
+	return ss, nil
+}
+
+// MarshalStats encodes a stats snapshot.
+func MarshalStats(st Stats) []byte {
+	var buf []byte
+	buf = binary.BigEndian.AppendUint32(buf, uint32(st.Shards))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(st.Workers))
+	buf = binary.BigEndian.AppendUint64(buf, uint64(st.Held))
+	buf = marshalShardStats(buf, st.Totals)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(st.PerShard)))
+	for _, ss := range st.PerShard {
+		buf = marshalShardStats(buf, ss)
+	}
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(st.Primes)))
+	for _, p := range st.Primes {
+		buf = binary.BigEndian.AppendUint32(buf, p)
+	}
+	return buf
+}
+
+// UnmarshalStats decodes a stats snapshot.
+func UnmarshalStats(data []byte) (Stats, error) {
+	r := &reader{data: data}
+	var st Stats
+	shards, err := r.uint32()
+	if err != nil {
+		return st, fmt.Errorf("%w: shard count", ErrMalformedFrame)
+	}
+	workers, err := r.uint32()
+	if err != nil {
+		return st, fmt.Errorf("%w: worker count", ErrMalformedFrame)
+	}
+	held, err := r.uint64()
+	if err != nil {
+		return st, fmt.Errorf("%w: held", ErrMalformedFrame)
+	}
+	st.Shards, st.Workers, st.Held = int(shards), int(workers), int(held)
+	if st.Totals, err = unmarshalShardStats(r); err != nil {
+		return st, fmt.Errorf("%w: totals", ErrMalformedFrame)
+	}
+	per, err := r.uint32()
+	if err != nil {
+		return st, fmt.Errorf("%w: per-shard count", ErrMalformedFrame)
+	}
+	if int(per) > r.remaining() {
+		return st, fmt.Errorf("%w: implausible per-shard count %d", ErrMalformedFrame, per)
+	}
+	st.PerShard = make([]ShardStats, per)
+	for i := range st.PerShard {
+		if st.PerShard[i], err = unmarshalShardStats(r); err != nil {
+			return st, fmt.Errorf("%w: shard %d", ErrMalformedFrame, i)
+		}
+	}
+	primes, err := r.uint32()
+	if err != nil {
+		return st, fmt.Errorf("%w: prime count", ErrMalformedFrame)
+	}
+	if int(primes) > r.remaining() {
+		return st, fmt.Errorf("%w: implausible prime count %d", ErrMalformedFrame, primes)
+	}
+	st.Primes = make([]uint32, primes)
+	for i := range st.Primes {
+		if st.Primes[i], err = r.uint32(); err != nil {
+			return st, fmt.Errorf("%w: prime", ErrMalformedFrame)
+		}
+	}
+	if r.remaining() != 0 {
+		return st, fmt.Errorf("%w: trailing bytes", ErrMalformedFrame)
+	}
+	return st, nil
+}
+
+// MarshalReplyPost encodes a reply post (request ID + marshalled reply).
+func MarshalReplyPost(requestID string, raw []byte) []byte {
+	var buf []byte
+	buf = appendString16(buf, requestID)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(raw)))
+	return append(buf, raw...)
+}
+
+// UnmarshalReplyPost decodes a reply post.
+func UnmarshalReplyPost(data []byte) (string, []byte, error) {
+	r := &reader{data: data}
+	id, err := r.string16()
+	if err != nil {
+		return "", nil, fmt.Errorf("%w: request id", ErrMalformedFrame)
+	}
+	size, err := r.uint32()
+	if err != nil {
+		return "", nil, fmt.Errorf("%w: reply size", ErrMalformedFrame)
+	}
+	raw, err := r.bytes(int(size))
+	if err != nil {
+		return "", nil, fmt.Errorf("%w: reply payload", ErrMalformedFrame)
+	}
+	if r.remaining() != 0 {
+		return "", nil, fmt.Errorf("%w: trailing bytes", ErrMalformedFrame)
+	}
+	return id, append([]byte(nil), raw...), nil
+}
+
+// appendString16 appends a uint16-length-prefixed string. Strings beyond the
+// prefix's 64 KiB range (no legitimate ID or origin comes close) are
+// truncated consistently with their prefix, so the frame always decodes
+// instead of desynchronizing the reader.
+func appendString16(buf []byte, s string) []byte {
+	if len(s) > 0xffff {
+		s = s[:0xffff]
+	}
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(s)))
+	return append(buf, s...)
+}
+
+// reader is a minimal bounds-checked cursor over a byte slice.
+type reader struct {
+	data []byte
+	off  int
+}
+
+func (r *reader) remaining() int { return len(r.data) - r.off }
+
+func (r *reader) bytes(n int) ([]byte, error) {
+	if n < 0 || r.remaining() < n {
+		return nil, io.ErrUnexpectedEOF
+	}
+	out := r.data[r.off : r.off+n]
+	r.off += n
+	return out, nil
+}
+
+func (r *reader) byte() (byte, error) {
+	b, err := r.bytes(1)
+	if err != nil {
+		return 0, err
+	}
+	return b[0], nil
+}
+
+func (r *reader) uint16() (uint16, error) {
+	b, err := r.bytes(2)
+	if err != nil {
+		return 0, err
+	}
+	return binary.BigEndian.Uint16(b), nil
+}
+
+func (r *reader) uint32() (uint32, error) {
+	b, err := r.bytes(4)
+	if err != nil {
+		return 0, err
+	}
+	return binary.BigEndian.Uint32(b), nil
+}
+
+func (r *reader) uint64() (uint64, error) {
+	b, err := r.bytes(8)
+	if err != nil {
+		return 0, err
+	}
+	return binary.BigEndian.Uint64(b), nil
+}
+
+func (r *reader) string16() (string, error) {
+	n, err := r.uint16()
+	if err != nil {
+		return "", err
+	}
+	b, err := r.bytes(int(n))
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}

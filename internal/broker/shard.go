@@ -1,0 +1,229 @@
+package broker
+
+import (
+	"sync"
+	"time"
+
+	"sealedbottle/internal/core"
+)
+
+// bottle is one racked request package.
+type bottle struct {
+	id        string
+	origin    string
+	prime     uint32
+	raw       []byte
+	pkg       *core.RequestPackage
+	expiresAt time.Time
+	// gone marks a bottle removed from the ID index but not yet compacted out
+	// of its prime group slice.
+	gone bool
+}
+
+// expired reports whether the bottle is past its validity window.
+func (b *bottle) expired(now time.Time) bool {
+	return !b.expiresAt.IsZero() && now.After(b.expiresAt)
+}
+
+// shard is one lock domain of the rack: an ID index, insertion-ordered prime
+// groups for sweeps, per-request reply queues, and counters. All fields are
+// guarded by mu; sweeps hold the lock for the duration of one shard scan,
+// which is the batching unit of the worker pool.
+type shard struct {
+	mu      sync.Mutex
+	bottles map[string]*bottle
+	byPrime map[uint32][]*bottle
+	replies map[string][][]byte
+	stats   ShardStats
+}
+
+func newShard() *shard {
+	return &shard{
+		bottles: make(map[string]*bottle),
+		byPrime: make(map[uint32][]*bottle),
+		replies: make(map[string][][]byte),
+	}
+}
+
+// put racks a bottle, rejecting duplicate IDs.
+func (s *shard) put(b *bottle) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.bottles[b.id]; dup {
+		s.stats.Duplicates++
+		return ErrDuplicateBottle
+	}
+	s.bottles[b.id] = b
+	s.byPrime[b.prime] = append(s.byPrime[b.prime], b)
+	s.stats.Submitted++
+	return nil
+}
+
+// shardSweep is the per-shard slice of a sweep result.
+type shardSweep struct {
+	idx       int
+	bottles   []SweptBottle
+	scanned   int
+	rejected  int
+	truncated bool
+}
+
+// sweep screens the shard's bottles against the query; seen is the query's
+// already-evaluated ID set, built once by the rack and shared read-only
+// across shard jobs. Expired bottles encountered along the way are unlinked
+// (lazy expiry). Per-shard results are capped at the query limit; the rack
+// merges and truncates across shards.
+func (s *shard) sweep(q *SweepQuery, seen map[string]struct{}, now time.Time) shardSweep {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.Sweeps++
+	var out shardSweep
+	for _, rs := range q.Residues {
+		for _, b := range s.compactLocked(rs.Prime, now) {
+			if b.origin != "" && b.origin == q.ExcludeOrigin {
+				continue
+			}
+			if seen != nil {
+				if _, dup := seen[b.id]; dup {
+					continue
+				}
+			}
+			s.stats.Scanned++
+			out.scanned++
+			if !b.pkg.PrefilterMatch(rs) {
+				s.stats.Rejected++
+				out.rejected++
+				continue
+			}
+			if len(out.bottles) < q.Limit {
+				out.bottles = append(out.bottles, SweptBottle{ID: b.id, Raw: b.raw})
+				s.stats.Returned++
+			} else {
+				out.truncated = true
+			}
+		}
+	}
+	return out
+}
+
+// compactLocked removes gone and expired bottles from a prime group in place
+// (unlinking expired ones from the ID index) and returns the surviving
+// bottles. It is the single compaction path shared by lazy (sweep) and
+// background (reap) expiry. The caller holds mu.
+func (s *shard) compactLocked(prime uint32, now time.Time) []*bottle {
+	group := s.byPrime[prime]
+	if len(group) == 0 {
+		return nil
+	}
+	kept := group[:0]
+	for _, b := range group {
+		if b.gone {
+			continue
+		}
+		if b.expired(now) {
+			s.dropLocked(b)
+			continue
+		}
+		kept = append(kept, b)
+	}
+	for i := len(kept); i < len(group); i++ {
+		group[i] = nil
+	}
+	if len(kept) == 0 {
+		delete(s.byPrime, prime)
+		return nil
+	}
+	s.byPrime[prime] = kept
+	return kept
+}
+
+// dropLocked removes an expired bottle from the ID index and its reply queue.
+// The caller holds mu and is responsible for unlinking it from prime groups.
+func (s *shard) dropLocked(b *bottle) {
+	if b.gone {
+		return
+	}
+	b.gone = true
+	delete(s.bottles, b.id)
+	delete(s.replies, b.id)
+	s.stats.Expired++
+}
+
+// pushReply queues a reply for a racked bottle.
+func (s *shard) pushReply(id string, raw []byte, maxQueue int, now time.Time) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.bottles[id]
+	if !ok || b.expired(now) {
+		return ErrUnknownBottle
+	}
+	if len(s.replies[id]) >= maxQueue {
+		s.stats.RepliesDropped++
+		return nil
+	}
+	s.replies[id] = append(s.replies[id], append([]byte(nil), raw...))
+	s.stats.RepliesIn++
+	return nil
+}
+
+// drainReplies returns and clears the reply queue for a racked bottle.
+func (s *shard) drainReplies(id string) ([][]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.bottles[id]; !ok {
+		return nil, ErrUnknownBottle
+	}
+	out := s.replies[id]
+	delete(s.replies, id)
+	s.stats.RepliesOut += uint64(len(out))
+	return out, nil
+}
+
+// remove unlinks a bottle by ID.
+func (s *shard) remove(id string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.bottles[id]
+	if !ok {
+		return false
+	}
+	b.gone = true
+	delete(s.bottles, id)
+	delete(s.replies, id)
+	return true
+}
+
+// reap removes every expired bottle and compacts the prime groups.
+func (s *shard) reap(now time.Time) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	before := s.stats.Expired
+	primes := make([]uint32, 0, len(s.byPrime))
+	for p := range s.byPrime {
+		primes = append(primes, p)
+	}
+	for _, p := range primes {
+		s.compactLocked(p, now)
+	}
+	return int(s.stats.Expired - before)
+}
+
+// primes lists the primes with live bottles on this shard.
+func (s *shard) primes() []uint32 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]uint32, 0, len(s.byPrime))
+	for p := range s.byPrime {
+		out = append(out, p)
+	}
+	return out
+}
+
+// snapshot copies the shard's counters.
+func (s *shard) snapshot() ShardStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ss := s.stats
+	ss.Held = len(s.bottles)
+	return ss
+}

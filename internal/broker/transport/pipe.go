@@ -1,0 +1,62 @@
+package transport
+
+import (
+	"errors"
+	"net"
+	"sync"
+)
+
+// PipeListener is an in-memory net.Listener whose connections are net.Pipe
+// pairs: Dial hands one end to the caller and queues the other for Accept.
+// It lets tests and in-process load generators exercise the full framed
+// protocol without touching the network stack.
+type PipeListener struct {
+	ch   chan net.Conn
+	once sync.Once
+	done chan struct{}
+}
+
+// ErrPipeClosed is returned by Dial and Accept after Close.
+var ErrPipeClosed = errors.New("transport: pipe listener closed")
+
+// ListenPipe creates an in-memory listener.
+func ListenPipe() *PipeListener {
+	return &PipeListener{ch: make(chan net.Conn), done: make(chan struct{})}
+}
+
+// Dial opens a new in-memory connection to the listener.
+func (l *PipeListener) Dial() (net.Conn, error) {
+	client, server := net.Pipe()
+	select {
+	case l.ch <- server:
+		return client, nil
+	case <-l.done:
+		client.Close()
+		server.Close()
+		return nil, ErrPipeClosed
+	}
+}
+
+// Accept implements net.Listener.
+func (l *PipeListener) Accept() (net.Conn, error) {
+	select {
+	case conn := <-l.ch:
+		return conn, nil
+	case <-l.done:
+		return nil, ErrPipeClosed
+	}
+}
+
+// Close implements net.Listener.
+func (l *PipeListener) Close() error {
+	l.once.Do(func() { close(l.done) })
+	return nil
+}
+
+// Addr implements net.Listener.
+func (l *PipeListener) Addr() net.Addr { return pipeAddr{} }
+
+type pipeAddr struct{}
+
+func (pipeAddr) Network() string { return "pipe" }
+func (pipeAddr) String() string  { return "pipe" }

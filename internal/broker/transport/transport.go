@@ -1,0 +1,308 @@
+// Package transport layers a length-prefixed framed request/response
+// protocol over net.Conn for the bottle-rack broker: a TCP server for real
+// deployments plus an in-memory pipe listener for tests and in-process load
+// generation. Each frame is a 4-byte big-endian length followed by a 1-byte
+// opcode (requests) or status (responses) and an operation-specific body
+// encoded by the broker package's codec.
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"sealedbottle/internal/broker"
+)
+
+// Opcodes of the framed protocol.
+const (
+	OpSubmit byte = iota + 1
+	OpSweep
+	OpReply
+	OpFetch
+	OpStats
+	OpRemove
+)
+
+// Response status bytes.
+const (
+	statusOK  byte = 0
+	statusErr byte = 1
+)
+
+// MaxFrameSize bounds a single frame; larger frames are rejected before
+// allocation so a malicious peer cannot ask the server to allocate gigabytes.
+const MaxFrameSize = 16 << 20
+
+// Errors of the framed protocol.
+var (
+	// ErrFrameTooLarge indicates a frame exceeding MaxFrameSize.
+	ErrFrameTooLarge = errors.New("transport: frame exceeds maximum size")
+	// ErrShortFrame indicates a frame without an opcode/status byte.
+	ErrShortFrame = errors.New("transport: frame too short")
+)
+
+// writeFrame writes one tagged frame.
+func writeFrame(w io.Writer, tag byte, body []byte) error {
+	if len(body)+1 > MaxFrameSize {
+		return ErrFrameTooLarge
+	}
+	header := make([]byte, 5, 5+len(body))
+	binary.BigEndian.PutUint32(header, uint32(len(body)+1))
+	header[4] = tag
+	_, err := w.Write(append(header, body...))
+	return err
+}
+
+// readFrame reads one tagged frame.
+func readFrame(r io.Reader) (byte, []byte, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return 0, nil, err
+	}
+	size := binary.BigEndian.Uint32(lenBuf[:])
+	if size == 0 {
+		return 0, nil, ErrShortFrame
+	}
+	if size > MaxFrameSize {
+		return 0, nil, ErrFrameTooLarge
+	}
+	buf := make([]byte, size)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return 0, nil, err
+	}
+	return buf[0], buf[1:], nil
+}
+
+// Server serves rack operations over accepted connections.
+type Server struct {
+	rack *broker.Rack
+
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
+	done  bool
+}
+
+// NewServer wraps a rack.
+func NewServer(rack *broker.Rack) *Server {
+	return &Server{rack: rack, conns: make(map[net.Conn]struct{})}
+}
+
+// Serve accepts connections until the listener is closed; each connection is
+// served by its own goroutine, one request at a time (clients may pipeline
+// by opening several connections).
+func (s *Server) Serve(l net.Listener) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			if s.closing() {
+				return nil
+			}
+			return err
+		}
+		if !s.track(conn) {
+			conn.Close()
+			return nil
+		}
+		go s.serveConn(conn)
+	}
+}
+
+// Close terminates every tracked connection; callers close the listener
+// themselves (Serve then returns nil).
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.done = true
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+}
+
+func (s *Server) closing() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.done
+}
+
+func (s *Server) track(conn net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.done {
+		return false
+	}
+	s.conns[conn] = struct{}{}
+	return true
+}
+
+func (s *Server) untrack(conn net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
+}
+
+// serveConn answers framed requests on one connection until it closes.
+func (s *Server) serveConn(conn net.Conn) {
+	defer conn.Close()
+	defer s.untrack(conn)
+	for {
+		op, body, err := readFrame(conn)
+		if err != nil {
+			return
+		}
+		respBody, opErr := s.dispatch(op, body)
+		if opErr != nil {
+			if err := writeFrame(conn, statusErr, []byte(opErr.Error())); err != nil {
+				return
+			}
+			continue
+		}
+		if err := writeFrame(conn, statusOK, respBody); err != nil {
+			return
+		}
+	}
+}
+
+// dispatch executes one operation against the rack.
+func (s *Server) dispatch(op byte, body []byte) ([]byte, error) {
+	switch op {
+	case OpSubmit:
+		id, err := s.rack.Submit(body)
+		if err != nil {
+			return nil, err
+		}
+		return []byte(id), nil
+	case OpSweep:
+		q, err := broker.UnmarshalSweepQuery(body)
+		if err != nil {
+			return nil, err
+		}
+		res, err := s.rack.Sweep(q)
+		if err != nil {
+			return nil, err
+		}
+		return broker.MarshalSweepResult(res), nil
+	case OpReply:
+		id, raw, err := broker.UnmarshalReplyPost(body)
+		if err != nil {
+			return nil, err
+		}
+		return nil, s.rack.Reply(id, raw)
+	case OpFetch:
+		raws, err := s.rack.Fetch(string(body))
+		if err != nil {
+			return nil, err
+		}
+		return broker.MarshalRawList(raws), nil
+	case OpStats:
+		return broker.MarshalStats(s.rack.Stats()), nil
+	case OpRemove:
+		if s.rack.Remove(string(body)) {
+			return []byte{1}, nil
+		}
+		return []byte{0}, nil
+	default:
+		return nil, fmt.Errorf("transport: unknown opcode %d", op)
+	}
+}
+
+// Client speaks the framed protocol over one connection. Methods are safe for
+// concurrent use; requests are serialized on the connection.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+// NewClient wraps an established connection.
+func NewClient(conn net.Conn) *Client { return &Client{conn: conn} }
+
+// Dial connects a client over TCP.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(conn), nil
+}
+
+// Close closes the underlying connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.conn.Close()
+}
+
+// call performs one request/response round trip.
+func (c *Client) call(op byte, body []byte) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := writeFrame(c.conn, op, body); err != nil {
+		return nil, err
+	}
+	status, resp, err := readFrame(c.conn)
+	if err != nil {
+		return nil, err
+	}
+	if status != statusOK {
+		return nil, fmt.Errorf("transport: remote error: %s", resp)
+	}
+	return resp, nil
+}
+
+// Submit racks a marshalled request package and returns its request ID.
+func (c *Client) Submit(raw []byte) (string, error) {
+	resp, err := c.call(OpSubmit, raw)
+	if err != nil {
+		return "", err
+	}
+	return string(resp), nil
+}
+
+// Sweep screens the rack with the query's residue sets.
+func (c *Client) Sweep(q broker.SweepQuery) (broker.SweepResult, error) {
+	resp, err := c.call(OpSweep, broker.MarshalSweepQuery(q))
+	if err != nil {
+		return broker.SweepResult{}, err
+	}
+	return broker.UnmarshalSweepResult(resp)
+}
+
+// Reply posts a marshalled reply for the given request.
+func (c *Client) Reply(requestID string, raw []byte) error {
+	_, err := c.call(OpReply, broker.MarshalReplyPost(requestID, raw))
+	return err
+}
+
+// Fetch drains the replies queued for a request.
+func (c *Client) Fetch(requestID string) ([][]byte, error) {
+	resp, err := c.call(OpFetch, []byte(requestID))
+	if err != nil {
+		return nil, err
+	}
+	return broker.UnmarshalRawList(resp)
+}
+
+// Stats snapshots the rack's counters.
+func (c *Client) Stats() (broker.Stats, error) {
+	resp, err := c.call(OpStats, nil)
+	if err != nil {
+		return broker.Stats{}, err
+	}
+	return broker.UnmarshalStats(resp)
+}
+
+// Remove takes a bottle off the rack; it reports whether the bottle was held.
+func (c *Client) Remove(requestID string) (bool, error) {
+	resp, err := c.call(OpRemove, []byte(requestID))
+	if err != nil {
+		return false, err
+	}
+	return len(resp) == 1 && resp[0] == 1, nil
+}

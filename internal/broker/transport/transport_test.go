@@ -1,0 +1,240 @@
+package transport
+
+import (
+	"errors"
+	"math/rand"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"sealedbottle/internal/attr"
+	"sealedbottle/internal/broker"
+	"sealedbottle/internal/core"
+)
+
+type detReader struct{ rng *rand.Rand }
+
+func (d *detReader) Read(p []byte) (int, error) { return d.rng.Read(p) }
+
+func buildRaw(tb testing.TB, seed int64) ([]byte, *core.RequestPackage) {
+	tb.Helper()
+	built, err := core.BuildRequest(core.RequestSpec{
+		Necessary: []attr.Attribute{attr.MustNew("interest", "chess")},
+		Optional: []attr.Attribute{
+			attr.MustNew("interest", "go"),
+			attr.MustNew("interest", "shogi"),
+		},
+		MinOptional: 1,
+	}, core.BuildOptions{
+		Origin: "alice",
+		Rand:   &detReader{rng: rand.New(rand.NewSource(seed))},
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	raw, err := built.Package.Marshal()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return raw, built.Package
+}
+
+// exerciseEndToEnd drives the full operation set through a client.
+func exerciseEndToEnd(t *testing.T, c *Client) {
+	t.Helper()
+	raw, pkg := buildRaw(t, 1)
+	id, err := c.Submit(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != pkg.ID {
+		t.Fatalf("Submit id = %q, want %q", id, pkg.ID)
+	}
+	// Error propagation: duplicate submission surfaces the remote error text.
+	if _, err := c.Submit(raw); err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Fatalf("duplicate submit error = %v, want remote duplicate error", err)
+	}
+
+	matcher, err := core.NewMatcher(attr.NewProfile(
+		attr.MustNew("interest", "chess"),
+		attr.MustNew("interest", "go"),
+		attr.MustNew("interest", "shogi"),
+	), core.MatcherConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Sweep(broker.SweepQuery{
+		Residues: []core.ResidueSet{matcher.ResidueSet(pkg.Prime)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Bottles) != 1 || res.Bottles[0].ID != pkg.ID {
+		t.Fatalf("Sweep = %d bottles, want the submitted one", len(res.Bottles))
+	}
+
+	reply := &core.Reply{RequestID: pkg.ID, From: "bob", SentAt: time.Now(), Acks: [][]byte{{7}}}
+	if err := c.Reply(pkg.ID, reply.Marshal()); err != nil {
+		t.Fatal(err)
+	}
+	raws, err := c.Fetch(pkg.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raws) != 1 {
+		t.Fatalf("Fetch = %d replies, want 1", len(raws))
+	}
+	if got, err := core.UnmarshalReply(raws[0]); err != nil || got.From != "bob" {
+		t.Fatalf("fetched reply mismatch: %v", err)
+	}
+
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Held != 1 || st.Totals.RepliesIn != 1 {
+		t.Fatalf("Stats mismatch: %+v", st.Totals)
+	}
+
+	removed, err := c.Remove(pkg.ID)
+	if err != nil || !removed {
+		t.Fatalf("Remove = %v, %v; want true", removed, err)
+	}
+	removed, err = c.Remove(pkg.ID)
+	if err != nil || removed {
+		t.Fatalf("second Remove = %v, %v; want false", removed, err)
+	}
+}
+
+func TestEndToEndOverPipe(t *testing.T) {
+	rack := broker.New(broker.Config{Shards: 4, Workers: 2, ReapInterval: -1})
+	defer rack.Close()
+	l := ListenPipe()
+	srv := NewServer(rack)
+	go srv.Serve(l)
+	defer func() { l.Close(); srv.Close() }()
+
+	conn, err := l.Dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewClient(conn)
+	defer c.Close()
+	exerciseEndToEnd(t, c)
+}
+
+func TestEndToEndOverTCP(t *testing.T) {
+	rack := broker.New(broker.Config{Shards: 4, Workers: 2, ReapInterval: -1})
+	defer rack.Close()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("cannot listen on loopback: %v", err)
+	}
+	srv := NewServer(rack)
+	go srv.Serve(l)
+	defer func() { l.Close(); srv.Close() }()
+
+	c, err := Dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	exerciseEndToEnd(t, c)
+}
+
+// TestConcurrentClients exercises many clients over the pipe listener at
+// once; its value is under -race.
+func TestConcurrentClients(t *testing.T) {
+	rack := broker.New(broker.Config{Shards: 8, Workers: 4, ReapInterval: -1})
+	defer rack.Close()
+	l := ListenPipe()
+	srv := NewServer(rack)
+	go srv.Serve(l)
+	defer func() { l.Close(); srv.Close() }()
+
+	matcher, err := core.NewMatcher(attr.NewProfile(attr.MustNew("interest", "chess")), core.MatcherConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := []core.ResidueSet{matcher.ResidueSet(core.DefaultPrime)}
+
+	var wg sync.WaitGroup
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			conn, err := l.Dial()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			c := NewClient(conn)
+			defer c.Close()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < 25; i++ {
+				if w%2 == 0 {
+					built, err := core.BuildRequest(
+						core.PerfectMatch(attr.MustNew("interest", "chess")),
+						core.BuildOptions{Rand: &detReader{rng: rng}})
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					raw, err := built.Package.Marshal()
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					if _, err := c.Submit(raw); err != nil {
+						t.Error(err)
+						return
+					}
+				} else {
+					if _, err := c.Sweep(broker.SweepQuery{Residues: rs, Limit: 8}); err != nil {
+						t.Error(err)
+						return
+					}
+					if _, err := c.Stats(); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+func TestFrameLimits(t *testing.T) {
+	client, server := net.Pipe()
+	defer client.Close()
+	defer server.Close()
+	go func() {
+		// Oversized frame announcement: 4-byte length beyond MaxFrameSize.
+		server.Write([]byte{0xff, 0xff, 0xff, 0xff})
+	}()
+	if _, _, err := readFrame(client); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("oversized frame err = %v, want ErrFrameTooLarge", err)
+	}
+	if err := writeFrame(client, 1, make([]byte, MaxFrameSize)); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("oversized write err = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func TestPipeListenerClose(t *testing.T) {
+	l := ListenPipe()
+	done := make(chan error, 1)
+	go func() {
+		_, err := l.Accept()
+		done <- err
+	}()
+	l.Close()
+	if err := <-done; !errors.Is(err, ErrPipeClosed) {
+		t.Fatalf("Accept after Close = %v, want ErrPipeClosed", err)
+	}
+	if _, err := l.Dial(); !errors.Is(err, ErrPipeClosed) {
+		t.Fatalf("Dial after Close = %v, want ErrPipeClosed", err)
+	}
+}

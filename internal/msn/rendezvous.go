@@ -1,0 +1,151 @@
+package msn
+
+import (
+	"fmt"
+	"time"
+
+	"sealedbottle/internal/broker"
+	"sealedbottle/internal/core"
+)
+
+// Rendezvous is the broker surface the friending layer needs: submit a
+// request bottle, sweep for candidate bottles, post a reply, fetch replies.
+// Both *broker.Rack (in-process) and *transport.Client (framed protocol over
+// a net.Conn) satisfy it, so a simulator scenario can run against the real
+// subsystem either way.
+type Rendezvous interface {
+	Submit(raw []byte) (string, error)
+	Sweep(q broker.SweepQuery) (broker.SweepResult, error)
+	Reply(requestID string, raw []byte) error
+	Fetch(requestID string) ([][]byte, error)
+}
+
+// pendingRequest tracks one of this node's outstanding requests for
+// broker-mode reply fetching.
+type pendingRequest struct {
+	id      string
+	expires time.Time
+}
+
+// rendezvousSeenCap bounds the seen-ID window shipped with every sweep query;
+// without it a long-lived node's queries would grow (and cost the broker)
+// linearly with its lifetime.
+const rendezvousSeenCap = 4096
+
+// startRendezvousSearch submits the request bottle to the broker instead of
+// flooding it through the ad-hoc network.
+func (a *FriendingApp) startRendezvousSearch(payload []byte) error {
+	if _, err := a.rendezvous.Submit(payload); err != nil {
+		return fmt.Errorf("msn: submitting request to rendezvous: %w", err)
+	}
+	return nil
+}
+
+// RendezvousTick performs one sweep-and-fetch cycle against the broker: it
+// sweeps for fresh bottles with this node's residue sets, evaluates each with
+// the full participant machinery, posts any replies back to the rack, and
+// drains replies for this node's own outstanding requests. Scenarios
+// typically register it with Simulator.Every so cycles happen on the
+// simulated clock.
+func (a *FriendingApp) RendezvousTick(now time.Time) error {
+	if a.rendezvous == nil {
+		return fmt.Errorf("msn: node %q has no rendezvous configured", a.id)
+	}
+	matcher := a.part.Matcher()
+	residues := make([]core.ResidueSet, 0, len(a.sweepPrimes))
+	for _, p := range a.sweepPrimes {
+		residues = append(residues, matcher.ResidueSet(p))
+	}
+	res, err := a.rendezvous.Sweep(broker.SweepQuery{
+		Residues:      residues,
+		ExcludeOrigin: string(a.id),
+		Seen:          a.sweepSeen,
+	})
+	if err != nil {
+		return fmt.Errorf("msn: sweeping rendezvous: %w", err)
+	}
+	for _, b := range res.Bottles {
+		a.sweepSeen = append(a.sweepSeen, b.ID)
+		a.handleRendezvousBottle(now, b)
+	}
+	if excess := len(a.sweepSeen) - rendezvousSeenCap; excess > 0 {
+		a.sweepSeen = append(a.sweepSeen[:0], a.sweepSeen[excess:]...)
+	}
+	// Drain replies for this node's outstanding requests, dropping requests
+	// whose bottles have expired off the rack — no further replies can arrive
+	// for those. A fetch error (bottle reaped early, transport hiccup) is not
+	// fatal; the request stays pending until its expiry.
+	kept := a.pending[:0]
+	for _, pr := range a.pending {
+		if !pr.expires.IsZero() && now.After(pr.expires) {
+			continue
+		}
+		kept = append(kept, pr)
+		raws, err := a.rendezvous.Fetch(pr.id)
+		if err != nil {
+			continue
+		}
+		for _, raw := range raws {
+			reply, err := core.UnmarshalReply(raw)
+			if err != nil {
+				continue
+			}
+			init := a.initiators[pr.id]
+			_, reject, err := init.ProcessReply(reply)
+			if err != nil {
+				continue
+			}
+			if reject != core.RejectNone {
+				a.rejected[reject]++
+			}
+		}
+	}
+	a.pending = kept
+	return nil
+}
+
+// handleRendezvousBottle evaluates one swept bottle exactly as a flooded
+// request would be: full participant handling, match recording, and a reply
+// posted back to the rack instead of routed over a reverse path.
+func (a *FriendingApp) handleRendezvousBottle(now time.Time, b broker.SweptBottle) {
+	pkg, err := core.UnmarshalPackage(b.Raw)
+	if err != nil {
+		return
+	}
+	if _, mine := a.initiators[pkg.ID]; mine {
+		return
+	}
+	res, err := a.part.HandleRequest(pkg)
+	if err != nil {
+		return
+	}
+	if res.Matched {
+		a.peerMatches = append(a.peerMatches, PeerMatch{
+			RequestID:  pkg.ID,
+			Initiator:  NodeID(pkg.Origin),
+			ChannelKey: res.ChannelKey,
+			At:         now,
+		})
+	}
+	if res.Reply != nil {
+		// Reply errors (e.g. the bottle expired between sweep and reply) are
+		// the broker-mode analogue of an undeliverable unicast: dropped.
+		_ = a.rendezvous.Reply(pkg.ID, res.Reply.Marshal())
+	}
+}
+
+// AttachRendezvous registers one periodic hook that ticks every app against
+// the broker in deterministic (registration) order; scenarios call it once
+// after building their nodes.
+func AttachRendezvous(sim *Simulator, interval time.Duration, apps ...*FriendingApp) error {
+	if sim == nil {
+		return fmt.Errorf("msn: nil simulator")
+	}
+	return sim.Every(interval, func(now time.Time) {
+		for _, app := range apps {
+			if app != nil && app.rendezvous != nil {
+				_ = app.RendezvousTick(now)
+			}
+		}
+	})
+}

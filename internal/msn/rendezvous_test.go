@@ -1,0 +1,235 @@
+package msn
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+	"time"
+
+	"sealedbottle/internal/attr"
+	"sealedbottle/internal/broker"
+	"sealedbottle/internal/core"
+)
+
+// rendezvousOutcome summarizes one broker-backed scenario run for the
+// determinism comparison.
+type rendezvousOutcome struct {
+	matches     []string // "requester<-peer" pairs
+	peerMatches []string
+	stats       broker.Stats
+}
+
+// runRendezvousScenario stands up three nodes on a shared bottle rack driven
+// by the simulated clock: alice searches, bob matches, carol does not.
+func runRendezvousScenario(t *testing.T, seed int64) rendezvousOutcome {
+	t.Helper()
+	sim := NewSimulator(Config{Seed: seed})
+	rack := broker.New(broker.Config{Shards: 4, Workers: 2, ReapInterval: -1, Now: sim.Now})
+	defer rack.Close()
+
+	spec := core.RequestSpec{
+		Necessary: []attr.Attribute{attr.MustNew("university", "tsinghua")},
+		Optional: []attr.Attribute{
+			attr.MustNew("interest", "basketball"),
+			attr.MustNew("interest", "chess"),
+			attr.MustNew("interest", "go"),
+		},
+		MinOptional: 2,
+	}
+	profiles := map[NodeID]*attr.Profile{
+		"alice": attr.NewProfile(
+			attr.MustNew("university", "tsinghua"),
+			attr.MustNew("interest", "basketball"),
+			attr.MustNew("interest", "chess"),
+			attr.MustNew("interest", "go"),
+		),
+		"bob": attr.NewProfile(
+			attr.MustNew("university", "tsinghua"),
+			attr.MustNew("interest", "basketball"),
+			attr.MustNew("interest", "chess"),
+			attr.MustNew("interest", "cooking"),
+		),
+		"carol": attr.NewProfile(
+			attr.MustNew("university", "pku"),
+			attr.MustNew("interest", "opera"),
+			attr.MustNew("interest", "cinema"),
+		),
+	}
+	apps := make(map[NodeID]*FriendingApp, len(profiles))
+	order := []NodeID{"alice", "bob", "carol"}
+	for i, id := range order {
+		app, _, err := NewFriendingApp(sim, id, Position{X: float64(i) * 400, Y: 0}, FriendingConfig{
+			Profile:    profiles[id],
+			Rand:       newDetReader(seed + int64(i)),
+			Rendezvous: rack,
+			Participant: core.ParticipantConfig{
+				Matcher: core.MatcherConfig{AllowCollisionSkip: true},
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		apps[id] = app
+	}
+	if err := AttachRendezvous(sim, 100*time.Millisecond, apps["alice"], apps["bob"], apps["carol"]); err != nil {
+		t.Fatal(err)
+	}
+
+	reqID, err := apps["alice"].StartSearch(spec, SearchOptions{
+		Protocol: core.Protocol1,
+		Rand:     newDetReader(seed + 100),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.RunFor(2 * time.Second)
+
+	var out rendezvousOutcome
+	for _, id := range order {
+		for rid, ms := range apps[id].Matches() {
+			if rid != reqID {
+				t.Fatalf("unexpected request id %q", rid)
+			}
+			for _, m := range ms {
+				out.matches = append(out.matches, fmt.Sprintf("%s<-%s", id, m.Peer))
+			}
+		}
+		for _, pm := range apps[id].PeerMatches() {
+			out.peerMatches = append(out.peerMatches, fmt.Sprintf("%s:%s@%s", id, pm.Initiator, pm.At.Format(time.RFC3339Nano)))
+		}
+	}
+	sort.Strings(out.matches)
+	sort.Strings(out.peerMatches)
+	out.stats = rack.Stats()
+	return out
+}
+
+func TestRendezvousFriendingProtocol1(t *testing.T) {
+	out := runRendezvousScenario(t, 42)
+	if len(out.matches) != 1 || out.matches[0] != "alice<-bob" {
+		t.Fatalf("matches = %v, want [alice<-bob]", out.matches)
+	}
+	if len(out.peerMatches) != 1 {
+		t.Fatalf("peer matches = %v, want exactly bob's", out.peerMatches)
+	}
+	st := out.stats
+	if st.Held != 1 {
+		t.Fatalf("rack held = %d, want alice's bottle", st.Held)
+	}
+	if st.Totals.RepliesIn != 1 || st.Totals.RepliesOut != 1 {
+		t.Fatalf("reply flow = %d in / %d out, want 1/1", st.Totals.RepliesIn, st.Totals.RepliesOut)
+	}
+	// Carol must have been dismissed by the residue prefilter or the full
+	// matcher without ever producing a reply; either way no extra replies.
+	if st.Totals.Scanned == 0 {
+		t.Fatal("sweeps never scanned the bottle")
+	}
+}
+
+// TestRendezvousDeterminism re-runs the identical broker-backed scenario and
+// demands byte-identical outcomes, including the rack's counter totals —
+// the property that makes broker-mode simulations reproducible.
+func TestRendezvousDeterminism(t *testing.T) {
+	a := runRendezvousScenario(t, 7)
+	b := runRendezvousScenario(t, 7)
+	if fmt.Sprintf("%v", a.matches) != fmt.Sprintf("%v", b.matches) {
+		t.Fatalf("matches diverged: %v vs %v", a.matches, b.matches)
+	}
+	if fmt.Sprintf("%v", a.peerMatches) != fmt.Sprintf("%v", b.peerMatches) {
+		t.Fatalf("peer matches diverged: %v vs %v", a.peerMatches, b.peerMatches)
+	}
+	if fmt.Sprintf("%+v", a.stats.Totals) != fmt.Sprintf("%+v", b.stats.Totals) {
+		t.Fatalf("rack totals diverged:\n a: %+v\n b: %+v", a.stats.Totals, b.stats.Totals)
+	}
+}
+
+// TestRendezvousExpiryDropsBottle checks that simulated time drives broker
+// expiry: after the validity window the bottle is reaped and late sweeps
+// return nothing.
+func TestRendezvousExpiryDropsBottle(t *testing.T) {
+	sim := NewSimulator(Config{Seed: 3})
+	rack := broker.New(broker.Config{Shards: 2, Workers: 1, ReapInterval: -1, Now: sim.Now})
+	defer rack.Close()
+
+	app, _, err := NewFriendingApp(sim, "alice", Position{}, FriendingConfig{
+		Profile:    attr.NewProfile(attr.MustNew("interest", "chess")),
+		Rand:       newDetReader(1),
+		Rendezvous: rack,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := app.StartSearch(core.PerfectMatch(attr.MustNew("interest", "chess")), SearchOptions{
+		Validity: time.Second,
+		Rand:     newDetReader(2),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if st := rack.Stats(); st.Held != 1 {
+		t.Fatalf("held = %d, want 1", st.Held)
+	}
+	sim.RunFor(2 * time.Second)
+	if n := rack.Reap(); n != 1 {
+		t.Fatalf("Reap = %d, want 1", n)
+	}
+	if st := rack.Stats(); st.Held != 0 {
+		t.Fatalf("held after expiry = %d, want 0", st.Held)
+	}
+}
+
+// TestDrainTerminatesWithPeriodicHooks guards Drain against the livelock a
+// self-rescheduling Every hook (or mobility tick) would otherwise cause.
+func TestDrainTerminatesWithPeriodicHooks(t *testing.T) {
+	sim := NewSimulator(Config{MobilityInterval: time.Second})
+	ticks := 0
+	if err := sim.Every(time.Second, func(time.Time) { ticks++ }); err != nil {
+		t.Fatal(err)
+	}
+	if n := sim.Drain(); n != 0 {
+		t.Fatalf("Drain with only periodic events processed %d, want 0", n)
+	}
+	// With a delivery pending, Drain must process it (and any periodic events
+	// scheduled before it) and then stop again.
+	alice, _, err := NewFriendingApp(sim, "alice", Position{}, FriendingConfig{
+		Profile: attr.NewProfile(attr.MustNew("interest", "chess")),
+		Rand:    newDetReader(1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := NewFriendingApp(sim, "bob", Position{X: 10}, FriendingConfig{
+		Profile: attr.NewProfile(attr.MustNew("interest", "chess")),
+		Rand:    newDetReader(2),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := alice.StartSearch(core.PerfectMatch(attr.MustNew("interest", "chess")), SearchOptions{
+		Rand: newDetReader(3),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if n := sim.Drain(); n == 0 {
+		t.Fatal("Drain ignored a pending delivery")
+	}
+	if len(alice.Matches()) != 1 {
+		t.Fatalf("matches = %d, want 1", len(alice.Matches()))
+	}
+}
+
+func TestEveryValidation(t *testing.T) {
+	sim := NewSimulator(Config{})
+	if err := sim.Every(0, func(time.Time) {}); err == nil {
+		t.Fatal("Every must reject a non-positive interval")
+	}
+	if err := sim.Every(time.Second, nil); err == nil {
+		t.Fatal("Every must reject a nil hook")
+	}
+	ticks := 0
+	if err := sim.Every(time.Second, func(time.Time) { ticks++ }); err != nil {
+		t.Fatal(err)
+	}
+	sim.RunFor(5500 * time.Millisecond)
+	if ticks != 5 {
+		t.Fatalf("ticks = %d, want 5", ticks)
+	}
+}

@@ -20,19 +20,27 @@ type Simulator struct {
 
 	events eventQueue
 	seq    uint64
+	// deliveries counts pending frame-delivery events (msg != nil), so Drain
+	// can test for outstanding work in O(1).
+	deliveries int
 
 	stats Stats
 }
 
-// event is a scheduled occurrence: either a frame delivery or a mobility tick.
+// event is a scheduled occurrence: a frame delivery, a mobility tick (nil msg
+// and fn), or a periodic hook registered with Every (non-nil fn).
 type event struct {
 	at  time.Time
 	seq uint64 // tie-breaker for determinism
 
-	// delivery fields (nil msg means this is a mobility tick)
+	// delivery fields (nil msg means this is a mobility tick or hook)
 	to   NodeID
 	from NodeID
 	msg  *Message
+
+	// periodic hook fields
+	fn    func(now time.Time)
+	every time.Duration
 }
 
 // eventQueue is a min-heap ordered by (time, sequence).
@@ -160,6 +168,9 @@ func (s *Simulator) Originate(from NodeID, msg *Message) error {
 func (s *Simulator) schedule(e *event) {
 	s.seq++
 	e.seq = s.seq
+	if e.msg != nil {
+		s.deliveries++
+	}
 	heap.Push(&s.events, e)
 }
 
@@ -217,8 +228,18 @@ func (s *Simulator) Step() bool {
 		return false
 	}
 	e := heap.Pop(&s.events).(*event)
+	if e.msg != nil {
+		s.deliveries--
+	}
 	if e.at.After(s.clock) {
 		s.clock = e.at
+	}
+	if e.fn != nil {
+		e.fn(s.clock)
+		if e.every > 0 {
+			s.schedule(&event{at: s.clock.Add(e.every), fn: e.fn, every: e.every})
+		}
+		return true
 	}
 	if e.msg == nil {
 		s.mobilityTick()
@@ -226,6 +247,20 @@ func (s *Simulator) Step() bool {
 	}
 	s.deliver(e)
 	return true
+}
+
+// Every schedules fn to run on the simulated clock each interval, starting
+// one interval from now. Hooks run in registration order when co-scheduled;
+// they drive periodic application behaviour such as rendezvous sweeps.
+func (s *Simulator) Every(interval time.Duration, fn func(now time.Time)) error {
+	if interval <= 0 {
+		return fmt.Errorf("msn: Every interval must be positive, got %v", interval)
+	}
+	if fn == nil {
+		return fmt.Errorf("msn: Every requires a non-nil hook")
+	}
+	s.schedule(&event{at: s.clock.Add(interval), fn: fn, every: interval})
+	return nil
 }
 
 // Run processes events until the queue drains or the simulated clock passes
@@ -251,10 +286,14 @@ func (s *Simulator) RunFor(d time.Duration) int {
 	return s.Run(s.clock.Add(d))
 }
 
-// Drain processes every pending event regardless of time.
+// Drain processes events regardless of time until no frame deliveries remain
+// pending. Self-rescheduling periodic events (mobility ticks, Every hooks)
+// are processed while deliveries are outstanding but do not keep Drain alive
+// on their own — otherwise a simulation with mobility or a periodic hook
+// would never drain.
 func (s *Simulator) Drain() int {
 	processed := 0
-	for s.Step() {
+	for s.deliveries > 0 && s.Step() {
 		processed++
 	}
 	return processed
