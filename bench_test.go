@@ -13,6 +13,7 @@ package sealedbottle
 import (
 	"crypto/rand"
 	"fmt"
+	"net"
 	"sync/atomic"
 	"testing"
 
@@ -22,6 +23,8 @@ import (
 	"sealedbottle/internal/baseline/findu"
 	"sealedbottle/internal/baseline/fnp"
 	"sealedbottle/internal/broker"
+	"sealedbottle/internal/broker/transport"
+	"sealedbottle/internal/client"
 	"sealedbottle/internal/core"
 	"sealedbottle/internal/crypt"
 	"sealedbottle/internal/experiments"
@@ -469,6 +472,101 @@ func BenchmarkBrokerPrefilter(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		built.Package.PrefilterMatch(rs)
+	}
+}
+
+// --- Transport benchmarks -------------------------------------------------
+//
+// These compare the two wire framings on ONE connection: the lock-step client
+// serializes a full round trip per operation, while the multiplexed client
+// keeps many requests in flight and the batch opcodes amortize the round trip
+// across whole groups. They run over TCP loopback so the numbers include real
+// socket behaviour.
+
+// benchTransportRack serves a fresh rack over TCP loopback.
+func benchTransportRack(b *testing.B) (addr string, cleanup func()) {
+	b.Helper()
+	rack := broker.New(broker.Config{Shards: 32, ReapInterval: -1})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		rack.Close()
+		b.Skipf("cannot listen on loopback: %v", err)
+	}
+	srv := transport.NewServer(rack)
+	go srv.Serve(l)
+	return l.Addr().String(), func() {
+		l.Close()
+		srv.Close()
+		rack.Close()
+	}
+}
+
+// benchSubmitThroughput drives b.N pre-marshalled submissions through one
+// courier from many goroutines; with Conns=1 every request rides the same
+// connection, so the framing alone decides how many can be in flight.
+func benchSubmitThroughput(b *testing.B, legacy bool) {
+	addr, cleanup := benchTransportRack(b)
+	defer cleanup()
+	courier, err := client.Dial(client.Config{Addr: addr, Conns: 1, Legacy: legacy})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer courier.Close()
+	raws := benchRawBottles(b, b.N)
+	var next atomic.Int64
+	b.SetParallelism(32) // deep in-flight pipeline on the single connection
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			i := next.Add(1) - 1
+			if _, err := courier.Submit(raws[i]); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}
+
+// BenchmarkTransportSubmitLockstep is the old framing: one round trip at a
+// time per connection.
+func BenchmarkTransportSubmitLockstep(b *testing.B) { benchSubmitThroughput(b, true) }
+
+// BenchmarkTransportSubmitPipelined is the multiplexed framing on the same
+// single connection; the acceptance bar for the refactor is ≥2× the lock-step
+// submit throughput.
+func BenchmarkTransportSubmitPipelined(b *testing.B) { benchSubmitThroughput(b, false) }
+
+// BenchmarkTransportSubmitBatched adds the SubmitBatch opcode on top of the
+// multiplexed framing: one round trip and one shard-lock acquisition per
+// group of 64.
+func BenchmarkTransportSubmitBatched(b *testing.B) {
+	const batch = 64
+	addr, cleanup := benchTransportRack(b)
+	defer cleanup()
+	courier, err := client.Dial(client.Config{Addr: addr, Conns: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer courier.Close()
+	raws := benchRawBottles(b, b.N)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for done := 0; done < b.N; {
+		n := batch
+		if b.N-done < n {
+			n = b.N - done
+		}
+		results, err := courier.SubmitBatch(raws[done : done+n])
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, res := range results {
+			if res.Err != nil {
+				b.Fatal(res.Err)
+			}
+		}
+		done += n
 	}
 }
 

@@ -3,9 +3,16 @@
 // sweeps, and routes replies back to initiators. Run cmd/loadgen against it
 // to measure throughput, or point broker-mode simulator scenarios at it.
 //
+// The server speaks both wire framings — lock-step and multiplexed — detected
+// per connection, so old clients keep working while pipelined couriers sustain
+// many in-flight requests per connection. It shuts down gracefully on
+// SIGINT/SIGTERM (closing the listener and every connection, then logging a
+// final stats snapshot) and logs operational stats periodically.
+//
 // Usage:
 //
 //	bottlerack [-addr :7117] [-shards 32] [-workers 0] [-reap 5s] [-stats 10s]
+//	           [-read-idle 10m] [-write-timeout 1m] [-inflight 64]
 package main
 
 import (
@@ -28,6 +35,9 @@ func main() {
 	workers := flag.Int("workers", 0, "sweep worker pool size (0: GOMAXPROCS)")
 	reap := flag.Duration("reap", broker.DefaultReapInterval, "background reaper interval")
 	statsEvery := flag.Duration("stats", 10*time.Second, "stats logging interval (0: disabled)")
+	readIdle := flag.Duration("read-idle", 10*time.Minute, "drop connections idle longer than this (0: never)")
+	writeTimeout := flag.Duration("write-timeout", time.Minute, "per-response write deadline (0: none)")
+	inflight := flag.Int("inflight", transport.DefaultMaxInflight, "max concurrent requests per multiplexed connection")
 	flag.Parse()
 
 	rack := broker.New(broker.Config{Shards: *shards, Workers: *workers, ReapInterval: *reap})
@@ -37,10 +47,14 @@ func main() {
 	if err != nil {
 		log.Fatalf("bottlerack: listen %s: %v", *addr, err)
 	}
-	log.Printf("bottlerack: listening on %s (%d shards, %d workers)",
-		l.Addr(), rack.Stats().Shards, rack.Stats().Workers)
+	log.Printf("bottlerack: listening on %s (%d shards, %d workers, read-idle %v, write-timeout %v)",
+		l.Addr(), rack.Stats().Shards, rack.Stats().Workers, *readIdle, *writeTimeout)
 
-	srv := transport.NewServer(rack)
+	srv := transport.NewServer(rack, transport.ServerOptions{
+		ReadIdleTimeout: *readIdle,
+		WriteTimeout:    *writeTimeout,
+		MaxInflight:     *inflight,
+	})
 	done := make(chan error, 1)
 	go func() { done <- srv.Serve(l) }()
 

@@ -5,6 +5,12 @@
 // participant machinery, and post replies; a final phase fetches replies for
 // a sample of the submitted requests.
 //
+// Everything goes through the internal/client courier SDK: submitters share a
+// pool of multiplexed connections (many in-flight requests per connection)
+// and sweepers run the SDK's sweep-evaluate-reply loop. -batch amortizes the
+// round trip further with the batched opcodes; -legacy selects the lock-step
+// framing to measure what pipelining buys.
+//
 // By default everything runs in-process over the in-memory pipe transport, so
 // the full framed protocol is exercised with no network setup:
 //
@@ -18,6 +24,7 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
+	"net"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -26,17 +33,9 @@ import (
 	"sealedbottle/internal/attr"
 	"sealedbottle/internal/broker"
 	"sealedbottle/internal/broker/transport"
+	"sealedbottle/internal/client"
 	"sealedbottle/internal/core"
 )
-
-// rendezvous is the client surface the workers need; satisfied by both
-// *broker.Rack and *transport.Client.
-type rendezvous interface {
-	Submit(raw []byte) (string, error)
-	Sweep(q broker.SweepQuery) (broker.SweepResult, error)
-	Reply(requestID string, raw []byte) error
-	Fetch(requestID string) ([][]byte, error)
-}
 
 type options struct {
 	addr       string
@@ -45,8 +44,12 @@ type options struct {
 	sweepers   int
 	sweepLimit int
 	shards     int
+	conns      int
+	batch      int
+	legacy     bool
 	universe   int
 	validity   time.Duration
+	timeout    time.Duration
 	seed       int64
 }
 
@@ -58,8 +61,12 @@ func main() {
 	flag.IntVar(&opts.sweepers, "sweepers", 4, "concurrent sweeper goroutines")
 	flag.IntVar(&opts.sweepLimit, "sweep-limit", 64, "bottles returned per sweep")
 	flag.IntVar(&opts.shards, "shards", 32, "rack shards (in-process mode)")
+	flag.IntVar(&opts.conns, "conns", 4, "courier connection pool size")
+	flag.IntVar(&opts.batch, "batch", 1, "bottles per submit round trip (SubmitBatch when >1)")
+	flag.BoolVar(&opts.legacy, "legacy", false, "use the lock-step framing instead of the multiplexed one")
 	flag.IntVar(&opts.universe, "universe", 48, "size of the interest-attribute vocabulary")
 	flag.DurationVar(&opts.validity, "validity", 5*time.Minute, "request validity window")
+	flag.DurationVar(&opts.timeout, "timeout", 30*time.Second, "per-call timeout")
 	flag.Int64Var(&opts.seed, "seed", 1, "workload seed")
 	flag.Parse()
 
@@ -69,7 +76,10 @@ func main() {
 }
 
 func run(opts options) error {
-	dial, statsFn, cleanup, err := connect(opts)
+	if opts.batch < 1 {
+		opts.batch = 1
+	}
+	courier, statsFn, cleanup, err := connect(opts)
 	if err != nil {
 		return err
 	}
@@ -93,28 +103,24 @@ func run(opts options) error {
 		wgSub.Add(1)
 		go func(w int) {
 			defer wgSub.Done()
-			rv, err := dial()
-			if err != nil {
-				failed.Add(int64(opts.bottles / opts.submitters))
-				return
-			}
 			rng := rand.New(rand.NewSource(opts.seed + int64(w)))
 			i := 0
 			for int(submitted.Load()) < opts.bottles {
-				raw, id, err := buildBottle(rng, opts, w, i)
-				i++
+				raws, ids, err := buildBottles(rng, opts, w, &i)
 				if err != nil {
-					failed.Add(1)
+					failed.Add(int64(opts.batch))
 					continue
 				}
 				t0 := time.Now()
-				if _, err := rv.Submit(raw); err != nil {
-					failed.Add(1)
+				racked, ok := submit(courier, raws)
+				subLat[w] = append(subLat[w], time.Since(t0))
+				failed.Add(int64(len(raws) - racked))
+				if racked == 0 {
 					continue
 				}
-				subLat[w] = append(subLat[w], time.Since(t0))
-				if n := submitted.Add(1); n%100 == 0 {
-					sampleIDs[w] = append(sampleIDs[w], id)
+				// Sample roughly every hundredth bottle for the fetch phase.
+				if n := submitted.Add(int64(racked)); ok && n%100 < int64(racked) {
+					sampleIDs[w] = append(sampleIDs[w], ids[0])
 				}
 			}
 		}(w)
@@ -126,10 +132,6 @@ func run(opts options) error {
 		wgSweep.Add(1)
 		go func(w int) {
 			defer wgSweep.Done()
-			rv, err := dial()
-			if err != nil {
-				return
-			}
 			rng := rand.New(rand.NewSource(opts.seed + 1000 + int64(w)))
 			part, err := core.NewParticipant(randomProfile(rng, opts.universe, 6), core.ParticipantConfig{
 				ID:               fmt.Sprintf("sweeper-%d", w),
@@ -140,36 +142,24 @@ func run(opts options) error {
 			if err != nil {
 				return
 			}
-			residues := []core.ResidueSet{part.Matcher().ResidueSet(core.DefaultPrime)}
-			// seen is a bounded window of already-evaluated bottle IDs passed
-			// back to the broker so each sweep spends its limit on fresh ones.
-			const seenCap = 8192
-			var seen []string
+			sweeper, err := client.NewSweeper(courier, client.SweeperConfig{
+				Participant: part,
+				Limit:       opts.sweepLimit,
+				SeenCap:     8192,
+			})
+			if err != nil {
+				return
+			}
 			for submitting.Load() {
 				t0 := time.Now()
-				res, err := rv.Sweep(broker.SweepQuery{Residues: residues, Limit: opts.sweepLimit, Seen: seen})
+				st, err := sweeper.Tick()
 				if err != nil {
 					return
 				}
 				sweepLat[w] = append(sweepLat[w], time.Since(t0))
 				sweeps.Add(1)
-				swept.Add(int64(len(res.Bottles)))
-				for _, b := range res.Bottles {
-					if len(seen) < seenCap {
-						seen = append(seen, b.ID)
-					}
-					pkg, err := core.UnmarshalPackage(b.Raw)
-					if err != nil {
-						continue
-					}
-					hr, err := part.HandleRequest(pkg)
-					if err != nil || hr.Reply == nil {
-						continue
-					}
-					if err := rv.Reply(pkg.ID, hr.Reply.Marshal()); err == nil {
-						replies.Add(1)
-					}
-				}
+				swept.Add(int64(st.Swept))
+				replies.Add(int64(st.Replies))
 			}
 		}(w)
 	}
@@ -179,23 +169,19 @@ func run(opts options) error {
 	submitting.Store(false)
 	wgSweep.Wait()
 
-	// Final phase: fetch replies for the sampled request IDs.
+	// Final phase: fetch replies for the sampled request IDs, batched.
 	fetched := 0
-	if rv, err := dial(); err == nil {
-		for _, ids := range sampleIDs {
-			for _, id := range ids {
-				raws, err := rv.Fetch(id)
-				if err != nil {
-					continue
-				}
-				fetched += len(raws)
+	for _, ids := range sampleIDs {
+		for _, res := range client.FetchMany(courier, ids) {
+			if res.Err == nil {
+				fetched += len(res.Replies)
 			}
 		}
 	}
 
-	fmt.Printf("submitted  %d bottles in %v (%.0f bottles/sec, %d failed)\n",
+	fmt.Printf("submitted  %d bottles in %v (%.0f bottles/sec, %d failed, batch=%d)\n",
 		submitted.Load(), elapsed.Round(time.Millisecond),
-		float64(submitted.Load())/elapsed.Seconds(), failed.Load())
+		float64(submitted.Load())/elapsed.Seconds(), failed.Load(), opts.batch)
 	printLatencies("submit", flatten(subLat))
 	fmt.Printf("swept      %d sweeps returned %d bottles, %d replies posted, %d fetched\n",
 		sweeps.Load(), swept.Load(), replies.Load(), fetched)
@@ -215,40 +201,83 @@ func run(opts options) error {
 	return nil
 }
 
-// connect returns a dial function for worker connections, a stats fetcher,
-// and a cleanup hook. With no -addr it stands up a rack plus framed server
-// over the in-memory pipe listener.
-func connect(opts options) (dial func() (rendezvous, error), stats func() (broker.Stats, error), cleanup func(), err error) {
-	if opts.addr != "" {
-		dial = func() (rendezvous, error) { return transport.Dial(opts.addr) }
-		stats = func() (broker.Stats, error) {
-			c, err := transport.Dial(opts.addr)
-			if err != nil {
-				return broker.Stats{}, err
-			}
-			defer c.Close()
-			return c.Stats()
+// submit racks one batch (or a single bottle) through the courier; it returns
+// how many were racked and whether the first bottle of the batch made it.
+func submit(courier *client.Courier, raws [][]byte) (racked int, firstOK bool) {
+	if len(raws) == 1 {
+		if _, err := courier.Submit(raws[0]); err != nil {
+			return 0, false
 		}
-		return dial, stats, func() {}, nil
+		return 1, true
+	}
+	results, err := courier.SubmitBatch(raws)
+	if err != nil {
+		return 0, false
+	}
+	for i, res := range results {
+		if res.Err == nil {
+			racked++
+			if i == 0 {
+				firstOK = true
+			}
+		}
+	}
+	return racked, firstOK
+}
+
+// connect stands up the courier (and, without -addr, an in-process rack plus
+// framed server over the in-memory pipe listener).
+func connect(opts options) (courier *client.Courier, stats func() (broker.Stats, error), cleanup func(), err error) {
+	cfg := client.Config{
+		Conns:       opts.conns,
+		CallTimeout: opts.timeout,
+		Legacy:      opts.legacy,
+	}
+	if opts.addr != "" {
+		cfg.Addr = opts.addr
+		courier, err = client.Dial(cfg)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		return courier, courier.Stats, func() { courier.Close() }, nil
 	}
 	rack := broker.New(broker.Config{Shards: opts.shards})
 	l := transport.ListenPipe()
 	srv := transport.NewServer(rack)
 	go srv.Serve(l)
-	dial = func() (rendezvous, error) {
-		conn, err := l.Dial()
-		if err != nil {
-			return nil, err
-		}
-		return transport.NewClient(conn), nil
+	cfg.Dialer = func() (net.Conn, error) { return l.Dial() }
+	courier, err = client.Dial(cfg)
+	if err != nil {
+		l.Close()
+		srv.Close()
+		rack.Close()
+		return nil, nil, nil, err
 	}
 	stats = func() (broker.Stats, error) { return rack.Stats(), nil }
 	cleanup = func() {
+		courier.Close()
 		l.Close()
 		srv.Close()
 		rack.Close()
 	}
-	return dial, stats, cleanup, nil
+	return courier, stats, cleanup, nil
+}
+
+// buildBottles constructs opts.batch marshalled request packages, advancing
+// the worker's bottle counter.
+func buildBottles(rng *rand.Rand, opts options, worker int, counter *int) ([][]byte, []string, error) {
+	raws := make([][]byte, 0, opts.batch)
+	ids := make([]string, 0, opts.batch)
+	for len(raws) < opts.batch {
+		raw, id, err := buildBottle(rng, opts, worker, *counter)
+		*counter++
+		if err != nil {
+			return nil, nil, err
+		}
+		raws = append(raws, raw)
+		ids = append(ids, id)
+	}
+	return raws, ids, nil
 }
 
 // buildBottle constructs one marshalled request package: one necessary group

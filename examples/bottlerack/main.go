@@ -1,20 +1,23 @@
 // Bottlerack: the store-and-forward rendezvous flow end to end over the real
-// framed transport. A rack server runs behind the in-memory pipe listener;
-// Alice's client submits a sealed-bottle request; Bob and Carol sweep the
-// rack with their residue presence sets — the broker dismisses Carol's
-// non-matching profile with the remainder prefilter before any cryptography —
-// Bob verifies locally, posts a reply, and Alice fetches it and derives the
-// shared channel key. The broker never sees anything but public packages and
-// residues.
+// framed transport, driven entirely through the internal/client courier SDK.
+// A rack server runs behind the in-memory pipe listener; Alice's courier
+// submits a sealed-bottle request over a multiplexed connection; Bob's and
+// Carol's sweepers screen the rack with their residue presence sets — the
+// broker dismisses Carol's non-matching profile with the remainder prefilter
+// before any cryptography — Bob's sweeper verifies locally and posts a reply,
+// and Alice fetches it and derives the shared channel key. The broker never
+// sees anything but public packages and residues.
 package main
 
 import (
 	"fmt"
 	"log"
+	"net"
 
 	"sealedbottle/internal/attr"
 	"sealedbottle/internal/broker"
 	"sealedbottle/internal/broker/transport"
+	"sealedbottle/internal/client"
 	"sealedbottle/internal/core"
 )
 
@@ -25,7 +28,9 @@ func main() {
 }
 
 func run() error {
-	// 1. Stand up the rack and serve it over the framed protocol.
+	// 1. Stand up the rack, serve it over the framed protocol, and connect
+	// one courier that every party shares (its pooled multiplexed connection
+	// carries all their calls).
 	rack := broker.New(broker.Config{Shards: 8})
 	defer rack.Close()
 	l := transport.ListenPipe()
@@ -34,13 +39,11 @@ func run() error {
 	go srv.Serve(l)
 	defer srv.Close()
 
-	dial := func() (*transport.Client, error) {
-		conn, err := l.Dial()
-		if err != nil {
-			return nil, err
-		}
-		return transport.NewClient(conn), nil
+	courier, err := client.Dial(client.Config{Dialer: func() (net.Conn, error) { return l.Dial() }})
+	if err != nil {
+		return err
 	}
+	defer courier.Close()
 
 	// 2. Alice seals her search and racks the bottle.
 	spec := core.RequestSpec{
@@ -60,17 +63,16 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	aliceClient, err := dial()
-	if err != nil {
-		return err
-	}
-	reqID, err := aliceClient.Submit(raw)
+	reqID, err := courier.Submit(raw)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("alice racked bottle %s…\n", reqID[:8])
 
-	// 3. Bob and Carol sweep. Each sends only residues mod p — never hashes.
+	// 3. Bob and Carol sweep through the SDK's sweeper: it sends only
+	// residues mod p — never hashes — and evaluates whatever passes the
+	// broker's prefilter with the full participant machinery, posting replies
+	// automatically.
 	sweep := func(name string, profile *attr.Profile) error {
 		part, err := core.NewParticipant(profile, core.ParticipantConfig{
 			ID:      name,
@@ -79,31 +81,29 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		c, err := dial()
-		if err != nil {
-			return err
-		}
-		res, err := c.Sweep(broker.SweepQuery{
-			Residues: []core.ResidueSet{part.Matcher().ResidueSet(core.DefaultPrime)},
+		var matchedKey string
+		sweeper, err := client.NewSweeper(courier, client.SweeperConfig{
+			Participant: part,
+			OnResult: func(pkg *core.RequestPackage, res *core.HandleResult) {
+				if res.Matched {
+					matchedKey = res.ChannelKey.String()
+				}
+			},
 		})
 		if err != nil {
 			return err
 		}
+		st, err := sweeper.Tick()
+		if err != nil {
+			return err
+		}
+		if st.ReplyErrors > 0 {
+			return fmt.Errorf("%s failed to post %d reply(ies)", name, st.ReplyErrors)
+		}
 		fmt.Printf("%s swept: %d bottle(s) passed the prefilter (%d screened, %d rejected)\n",
-			name, len(res.Bottles), res.Scanned, res.Rejected)
-		for _, b := range res.Bottles {
-			pkg, err := core.UnmarshalPackage(b.Raw)
-			if err != nil {
-				continue
-			}
-			hr, err := part.HandleRequest(pkg)
-			if err != nil || hr.Reply == nil {
-				continue
-			}
-			if err := c.Reply(pkg.ID, hr.Reply.Marshal()); err != nil {
-				return err
-			}
-			fmt.Printf("%s matched and posted a reply (channel key %s…)\n", name, hr.ChannelKey.String()[:8])
+			name, st.Swept, st.Scanned, st.Rejected)
+		if st.Replies > 0 {
+			fmt.Printf("%s matched and posted a reply (channel key %s…)\n", name, matchedKey[:8])
 		}
 		return nil
 	}
@@ -124,7 +124,7 @@ func run() error {
 	}
 
 	// 4. Alice fetches her replies and confirms the match with x.
-	raws, err := aliceClient.Fetch(reqID)
+	raws, err := courier.Fetch(reqID)
 	if err != nil {
 		return err
 	}
@@ -144,7 +144,7 @@ func run() error {
 		}
 	}
 
-	st, err := aliceClient.Stats()
+	st, err := courier.Stats()
 	if err != nil {
 		return err
 	}

@@ -181,27 +181,161 @@ func (r *Rack) Submit(raw []byte) (string, error) {
 	if r.isClosed() {
 		return "", ErrRackClosed
 	}
-	pkg, err := core.UnmarshalPackage(raw)
+	b, err := bottleFromRaw(raw, r.cfg.Now().UTC())
 	if err != nil {
 		return "", err
 	}
-	now := r.cfg.Now().UTC()
-	if pkg.Expired(now) {
-		return "", core.ErrExpired
+	if err := r.shardFor(b.id).put(b); err != nil {
+		return "", err
 	}
-	b := &bottle{
+	return b.id, nil
+}
+
+// SubmitResult is the outcome of one package within a SubmitBatch.
+type SubmitResult struct {
+	// ID is the request ID the bottle is held under (empty on error).
+	ID string
+	// Err is the per-item failure, if any.
+	Err error
+}
+
+// bottleFromRaw validates one marshalled package and builds its rack entry.
+func bottleFromRaw(raw []byte, now time.Time) (*bottle, error) {
+	pkg, err := core.UnmarshalPackage(raw)
+	if err != nil {
+		return nil, err
+	}
+	if pkg.Expired(now) {
+		return nil, core.ErrExpired
+	}
+	return &bottle{
 		id:        pkg.ID,
 		origin:    pkg.Origin,
 		prime:     pkg.Prime,
 		raw:       append([]byte(nil), raw...),
 		pkg:       pkg,
 		expiresAt: pkg.ExpiresAt,
+	}, nil
+}
+
+// SubmitBatch racks several marshalled packages at once: bottles are grouped
+// by shard and each shard's lock is taken once for its whole group, so the
+// per-operation locking cost is amortized across the batch. Outcomes are
+// returned per item, in order; the call itself only fails if the rack is
+// closed.
+func (r *Rack) SubmitBatch(raws [][]byte) ([]SubmitResult, error) {
+	if r.isClosed() {
+		return nil, ErrRackClosed
 	}
-	sh := r.shardFor(pkg.ID)
-	if err := sh.put(b); err != nil {
-		return "", err
+	now := r.cfg.Now().UTC()
+	results := make([]SubmitResult, len(raws))
+	type item struct {
+		idx int
+		b   *bottle
 	}
-	return pkg.ID, nil
+	perShard := make(map[*shard][]item)
+	for i, raw := range raws {
+		b, err := bottleFromRaw(raw, now)
+		if err != nil {
+			results[i].Err = err
+			continue
+		}
+		sh := r.shardFor(b.id)
+		perShard[sh] = append(perShard[sh], item{idx: i, b: b})
+		results[i].ID = b.id
+	}
+	for sh, items := range perShard {
+		bs := make([]*bottle, len(items))
+		for j, it := range items {
+			bs[j] = it.b
+		}
+		for j, err := range sh.putBatch(bs) {
+			if err != nil {
+				results[items[j].idx] = SubmitResult{Err: err}
+			}
+		}
+	}
+	return results, nil
+}
+
+// ReplyPost is one reply within a ReplyBatch: the request it is addressed to
+// plus the marshalled core.Reply.
+type ReplyPost struct {
+	// RequestID addresses the racked bottle.
+	RequestID string
+	// Raw is the marshalled reply.
+	Raw []byte
+}
+
+// ReplyBatch posts several replies at once, grouping by shard so each shard's
+// lock is taken once per batch. Outcomes are returned per item, in order; the
+// call itself only fails if the rack is closed.
+func (r *Rack) ReplyBatch(posts []ReplyPost) ([]error, error) {
+	if r.isClosed() {
+		return nil, ErrRackClosed
+	}
+	now := r.cfg.Now().UTC()
+	errs := make([]error, len(posts))
+	perShard := make(map[*shard][]int)
+	for i, p := range posts {
+		rep, err := core.UnmarshalReply(p.Raw)
+		if err != nil {
+			errs[i] = err
+			continue
+		}
+		if rep.RequestID != p.RequestID {
+			errs[i] = fmt.Errorf("broker: reply addressed to %q but carries request id %q", p.RequestID, rep.RequestID)
+			continue
+		}
+		sh := r.shardFor(p.RequestID)
+		perShard[sh] = append(perShard[sh], i)
+	}
+	for sh, idxs := range perShard {
+		for j, err := range sh.pushReplyBatch(posts, idxs, r.cfg.MaxRepliesPerBottle, now) {
+			errs[idxs[j]] = err
+		}
+	}
+	return errs, nil
+}
+
+// FetchResult is the outcome of one request ID within a FetchBatch.
+type FetchResult struct {
+	// Replies are the drained marshalled replies (nil on error).
+	Replies [][]byte
+	// Err is the per-item failure, if any.
+	Err error
+}
+
+// ErrFetchBudget marks FetchBatch items left undrained because the batch hit
+// its byte budget; their replies are still queued — fetch them again (alone
+// or in a smaller batch).
+var ErrFetchBudget = errors.New("broker: fetch batch byte budget exhausted, retry this id")
+
+// MaxFetchBatchBytes bounds the reply payload drained by one FetchBatch.
+// Draining is destructive, so the budget must keep the whole response under
+// the transport's frame cap: items past the budget are refused with
+// ErrFetchBudget instead of drained-and-then-dropped by an oversized frame.
+const MaxFetchBatchBytes = 8 << 20
+
+// FetchBatch drains the reply queues of several requests at once, grouping by
+// shard so each shard's lock is taken once per batch. Outcomes are returned
+// per item, in order; items beyond MaxFetchBatchBytes are left queued and
+// marked ErrFetchBudget. The call itself only fails if the rack is closed.
+func (r *Rack) FetchBatch(ids []string) ([]FetchResult, error) {
+	if r.isClosed() {
+		return nil, ErrRackClosed
+	}
+	results := make([]FetchResult, len(ids))
+	perShard := make(map[*shard][]int)
+	for i, id := range ids {
+		sh := r.shardFor(id)
+		perShard[sh] = append(perShard[sh], i)
+	}
+	budget := MaxFetchBatchBytes
+	for sh, idxs := range perShard {
+		budget = sh.drainBatch(ids, idxs, results, budget)
+	}
+	return results, nil
 }
 
 // SweepQuery describes one candidate's sweep: its residue presence sets (one

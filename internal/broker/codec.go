@@ -160,9 +160,8 @@ func UnmarshalSweepResult(data []byte) (SweepResult, error) {
 	return res, nil
 }
 
-// MarshalRawList encodes a list of opaque byte blobs (fetched replies).
-func MarshalRawList(raws [][]byte) []byte {
-	var buf []byte
+// appendRawList appends a count-prefixed list of sized byte blobs.
+func appendRawList(buf []byte, raws [][]byte) []byte {
 	buf = binary.BigEndian.AppendUint32(buf, uint32(len(raws)))
 	for _, raw := range raws {
 		buf = binary.BigEndian.AppendUint32(buf, uint32(len(raw)))
@@ -171,9 +170,8 @@ func MarshalRawList(raws [][]byte) []byte {
 	return buf
 }
 
-// UnmarshalRawList decodes a list of opaque byte blobs.
-func UnmarshalRawList(data []byte) ([][]byte, error) {
-	r := &reader{data: data}
+// readRawList reads a count-prefixed list of sized byte blobs.
+func readRawList(r *reader) ([][]byte, error) {
 	n, err := r.uint32()
 	if err != nil {
 		return nil, fmt.Errorf("%w: blob count", ErrMalformedFrame)
@@ -192,6 +190,252 @@ func UnmarshalRawList(data []byte) ([][]byte, error) {
 			return nil, fmt.Errorf("%w: blob payload", ErrMalformedFrame)
 		}
 		out[i] = append([]byte(nil), raw...)
+	}
+	return out, nil
+}
+
+// MarshalRawList encodes a list of opaque byte blobs (fetched replies,
+// batched submissions).
+func MarshalRawList(raws [][]byte) []byte {
+	return appendRawList(nil, raws)
+}
+
+// UnmarshalRawList decodes a list of opaque byte blobs.
+func UnmarshalRawList(data []byte) ([][]byte, error) {
+	r := &reader{data: data}
+	out, err := readRawList(r)
+	if err != nil {
+		return nil, err
+	}
+	if r.remaining() != 0 {
+		return nil, fmt.Errorf("%w: trailing bytes", ErrMalformedFrame)
+	}
+	return out, nil
+}
+
+// Per-item outcome flags of the batch encodings.
+const (
+	outcomeOK  byte = 0
+	outcomeErr byte = 1
+)
+
+// appendError appends an ok/err flag plus the error text for failed items.
+func appendError(buf []byte, err error) []byte {
+	if err == nil {
+		return append(buf, outcomeOK)
+	}
+	buf = append(buf, outcomeErr)
+	return appendString16(buf, err.Error())
+}
+
+// readError reads the flag written by appendError, reconstructing failed
+// items as opaque errors carrying the remote text.
+func readError(r *reader) (error, bool, error) {
+	flag, err := r.byte()
+	if err != nil {
+		return nil, false, err
+	}
+	if flag == outcomeOK {
+		return nil, true, nil
+	}
+	msg, err := r.string16()
+	if err != nil {
+		return nil, false, err
+	}
+	return errors.New(msg), true, nil
+}
+
+// MarshalSubmitResults encodes the per-item outcomes of a SubmitBatch.
+func MarshalSubmitResults(results []SubmitResult) []byte {
+	var buf []byte
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(results)))
+	for _, res := range results {
+		buf = appendError(buf, res.Err)
+		if res.Err == nil {
+			buf = appendString16(buf, res.ID)
+		}
+	}
+	return buf
+}
+
+// UnmarshalSubmitResults decodes the per-item outcomes of a SubmitBatch.
+func UnmarshalSubmitResults(data []byte) ([]SubmitResult, error) {
+	r := &reader{data: data}
+	n, err := r.uint32()
+	if err != nil {
+		return nil, fmt.Errorf("%w: outcome count", ErrMalformedFrame)
+	}
+	if int(n) > r.remaining() {
+		return nil, fmt.Errorf("%w: implausible outcome count %d", ErrMalformedFrame, n)
+	}
+	out := make([]SubmitResult, n)
+	for i := range out {
+		itemErr, ok, err := readError(r)
+		if !ok || err != nil {
+			return nil, fmt.Errorf("%w: outcome flag", ErrMalformedFrame)
+		}
+		if itemErr != nil {
+			out[i].Err = itemErr
+			continue
+		}
+		if out[i].ID, err = r.string16(); err != nil {
+			return nil, fmt.Errorf("%w: request id", ErrMalformedFrame)
+		}
+	}
+	if r.remaining() != 0 {
+		return nil, fmt.Errorf("%w: trailing bytes", ErrMalformedFrame)
+	}
+	return out, nil
+}
+
+// MarshalReplyBatch encodes a batch of reply posts.
+func MarshalReplyBatch(posts []ReplyPost) []byte {
+	var buf []byte
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(posts)))
+	for _, p := range posts {
+		buf = appendString16(buf, p.RequestID)
+		buf = binary.BigEndian.AppendUint32(buf, uint32(len(p.Raw)))
+		buf = append(buf, p.Raw...)
+	}
+	return buf
+}
+
+// UnmarshalReplyBatch decodes a batch of reply posts.
+func UnmarshalReplyBatch(data []byte) ([]ReplyPost, error) {
+	r := &reader{data: data}
+	n, err := r.uint32()
+	if err != nil {
+		return nil, fmt.Errorf("%w: post count", ErrMalformedFrame)
+	}
+	if int(n) > r.remaining() {
+		return nil, fmt.Errorf("%w: implausible post count %d", ErrMalformedFrame, n)
+	}
+	out := make([]ReplyPost, n)
+	for i := range out {
+		if out[i].RequestID, err = r.string16(); err != nil {
+			return nil, fmt.Errorf("%w: request id", ErrMalformedFrame)
+		}
+		size, err := r.uint32()
+		if err != nil {
+			return nil, fmt.Errorf("%w: reply size", ErrMalformedFrame)
+		}
+		raw, err := r.bytes(int(size))
+		if err != nil {
+			return nil, fmt.Errorf("%w: reply payload", ErrMalformedFrame)
+		}
+		out[i].Raw = append([]byte(nil), raw...)
+	}
+	if r.remaining() != 0 {
+		return nil, fmt.Errorf("%w: trailing bytes", ErrMalformedFrame)
+	}
+	return out, nil
+}
+
+// MarshalErrorList encodes per-item outcomes that carry no payload (the
+// ReplyBatch response).
+func MarshalErrorList(errs []error) []byte {
+	var buf []byte
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(errs)))
+	for _, err := range errs {
+		buf = appendError(buf, err)
+	}
+	return buf
+}
+
+// UnmarshalErrorList decodes per-item payload-free outcomes.
+func UnmarshalErrorList(data []byte) ([]error, error) {
+	r := &reader{data: data}
+	n, err := r.uint32()
+	if err != nil {
+		return nil, fmt.Errorf("%w: outcome count", ErrMalformedFrame)
+	}
+	if int(n) > r.remaining() {
+		return nil, fmt.Errorf("%w: implausible outcome count %d", ErrMalformedFrame, n)
+	}
+	out := make([]error, n)
+	for i := range out {
+		itemErr, ok, err := readError(r)
+		if !ok || err != nil {
+			return nil, fmt.Errorf("%w: outcome flag", ErrMalformedFrame)
+		}
+		out[i] = itemErr
+	}
+	if r.remaining() != 0 {
+		return nil, fmt.Errorf("%w: trailing bytes", ErrMalformedFrame)
+	}
+	return out, nil
+}
+
+// MarshalIDList encodes a list of request IDs (the FetchBatch request).
+func MarshalIDList(ids []string) []byte {
+	var buf []byte
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(ids)))
+	for _, id := range ids {
+		buf = appendString16(buf, id)
+	}
+	return buf
+}
+
+// UnmarshalIDList decodes a list of request IDs.
+func UnmarshalIDList(data []byte) ([]string, error) {
+	r := &reader{data: data}
+	n, err := r.uint32()
+	if err != nil {
+		return nil, fmt.Errorf("%w: id count", ErrMalformedFrame)
+	}
+	if int(n) > r.remaining() {
+		return nil, fmt.Errorf("%w: implausible id count %d", ErrMalformedFrame, n)
+	}
+	out := make([]string, n)
+	for i := range out {
+		if out[i], err = r.string16(); err != nil {
+			return nil, fmt.Errorf("%w: id", ErrMalformedFrame)
+		}
+	}
+	if r.remaining() != 0 {
+		return nil, fmt.Errorf("%w: trailing bytes", ErrMalformedFrame)
+	}
+	return out, nil
+}
+
+// MarshalFetchResults encodes the per-item outcomes of a FetchBatch: each
+// item is an outcome flag followed by either the drained reply list or the
+// error text.
+func MarshalFetchResults(results []FetchResult) []byte {
+	var buf []byte
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(results)))
+	for _, res := range results {
+		buf = appendError(buf, res.Err)
+		if res.Err == nil {
+			buf = appendRawList(buf, res.Replies)
+		}
+	}
+	return buf
+}
+
+// UnmarshalFetchResults decodes the per-item outcomes of a FetchBatch.
+func UnmarshalFetchResults(data []byte) ([]FetchResult, error) {
+	r := &reader{data: data}
+	n, err := r.uint32()
+	if err != nil {
+		return nil, fmt.Errorf("%w: outcome count", ErrMalformedFrame)
+	}
+	if int(n) > r.remaining() {
+		return nil, fmt.Errorf("%w: implausible outcome count %d", ErrMalformedFrame, n)
+	}
+	out := make([]FetchResult, n)
+	for i := range out {
+		itemErr, ok, err := readError(r)
+		if !ok || err != nil {
+			return nil, fmt.Errorf("%w: outcome flag", ErrMalformedFrame)
+		}
+		if itemErr != nil {
+			out[i].Err = itemErr
+			continue
+		}
+		if out[i].Replies, err = readRawList(r); err != nil {
+			return nil, err
+		}
 	}
 	if r.remaining() != 0 {
 		return nil, fmt.Errorf("%w: trailing bytes", ErrMalformedFrame)

@@ -49,6 +49,24 @@ func newShard() *shard {
 func (s *shard) put(b *bottle) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.putLocked(b)
+}
+
+// putBatch racks several bottles under one lock acquisition, returning one
+// outcome per bottle in order.
+func (s *shard) putBatch(bs []*bottle) []error {
+	errs := make([]error, len(bs))
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, b := range bs {
+		errs[i] = s.putLocked(b)
+	}
+	return errs
+}
+
+// putLocked is the insertion path shared by put and putBatch. The caller
+// holds mu.
+func (s *shard) putLocked(b *bottle) error {
 	if _, dup := s.bottles[b.id]; dup {
 		s.stats.Duplicates++
 		return ErrDuplicateBottle
@@ -153,6 +171,24 @@ func (s *shard) dropLocked(b *bottle) {
 func (s *shard) pushReply(id string, raw []byte, maxQueue int, now time.Time) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.pushReplyLocked(id, raw, maxQueue, now)
+}
+
+// pushReplyBatch queues the posts at the given indices under one lock
+// acquisition, returning one outcome per index in order.
+func (s *shard) pushReplyBatch(posts []ReplyPost, idxs []int, maxQueue int, now time.Time) []error {
+	errs := make([]error, len(idxs))
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, idx := range idxs {
+		errs[i] = s.pushReplyLocked(posts[idx].RequestID, posts[idx].Raw, maxQueue, now)
+	}
+	return errs
+}
+
+// pushReplyLocked is the reply-queueing path shared by pushReply and
+// pushReplyBatch. The caller holds mu.
+func (s *shard) pushReplyLocked(id string, raw []byte, maxQueue int, now time.Time) error {
 	b, ok := s.bottles[id]
 	if !ok || b.expired(now) {
 		return ErrUnknownBottle
@@ -170,6 +206,37 @@ func (s *shard) pushReply(id string, raw []byte, maxQueue int, now time.Time) er
 func (s *shard) drainReplies(id string) ([][]byte, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.drainRepliesLocked(id)
+}
+
+// drainBatch drains the reply queues of the bottles at the given indices
+// under one lock acquisition, writing each outcome back to results. Draining
+// stops once the byte budget is spent — remaining items keep their queues and
+// are marked ErrFetchBudget — and the leftover budget is returned.
+func (s *shard) drainBatch(ids []string, idxs []int, results []FetchResult, budget int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, idx := range idxs {
+		size := 0
+		for _, raw := range s.replies[ids[idx]] {
+			size += len(raw)
+		}
+		// Sized before draining so the budget is never overshot; a queue that
+		// alone exceeds the whole budget is as unfetchable as it would be
+		// through a single Fetch's frame cap.
+		if size > budget {
+			results[idx].Err = ErrFetchBudget
+			continue
+		}
+		results[idx].Replies, results[idx].Err = s.drainRepliesLocked(ids[idx])
+		budget -= size
+	}
+	return budget
+}
+
+// drainRepliesLocked is the drain path shared by drainReplies and drainBatch.
+// The caller holds mu.
+func (s *shard) drainRepliesLocked(id string) ([][]byte, error) {
 	if _, ok := s.bottles[id]; !ok {
 		return nil, ErrUnknownBottle
 	}

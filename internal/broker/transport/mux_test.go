@@ -1,0 +1,338 @@
+package transport
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"sealedbottle/internal/broker"
+	"sealedbottle/internal/core"
+)
+
+func newMuxPair(t *testing.T, opts ...Options) (*Mux, func()) {
+	t.Helper()
+	rack := broker.New(broker.Config{Shards: 4, Workers: 2, ReapInterval: -1})
+	l := ListenPipe()
+	srv := NewServer(rack)
+	go srv.Serve(l)
+	conn, err := l.Dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMux(conn, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, func() {
+		m.Close()
+		l.Close()
+		srv.Close()
+		rack.Close()
+	}
+}
+
+func TestMuxEndToEndOverPipe(t *testing.T) {
+	m, cleanup := newMuxPair(t)
+	defer cleanup()
+	exerciseEndToEnd(t, m)
+}
+
+func TestMuxEndToEndOverTCP(t *testing.T) {
+	rack := broker.New(broker.Config{Shards: 4, Workers: 2, ReapInterval: -1})
+	defer rack.Close()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("cannot listen on loopback: %v", err)
+	}
+	srv := NewServer(rack)
+	go srv.Serve(l)
+	defer func() { l.Close(); srv.Close() }()
+
+	m, err := DialMux(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	exerciseEndToEnd(t, m)
+}
+
+// TestMuxConcurrentCallers hammers a single multiplexed connection from many
+// goroutines; its value is under -race, and it proves one connection sustains
+// many in-flight calls.
+func TestMuxConcurrentCallers(t *testing.T) {
+	m, cleanup := newMuxPair(t)
+	defer cleanup()
+
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				switch w % 3 {
+				case 0:
+					raw, _ := buildRaw(t, int64(1000*w+i))
+					if _, err := m.Submit(raw); err != nil {
+						t.Errorf("submit: %v", err)
+						return
+					}
+				case 1:
+					if _, err := m.Stats(); err != nil {
+						t.Errorf("stats: %v", err)
+						return
+					}
+				default:
+					if _, err := m.Fetch("nope"); err == nil {
+						t.Error("fetch of unknown id succeeded")
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// muxScriptServer speaks raw mux framing on one net.Pipe end so tests control
+// response order and timing exactly.
+func muxScriptServer(t *testing.T, conn net.Conn, script func(requests []recordedReq, w io.Writer), nrequests int) {
+	t.Helper()
+	var magic [4]byte
+	if _, err := io.ReadFull(conn, magic[:]); err != nil {
+		t.Errorf("reading magic: %v", err)
+		return
+	}
+	if binary.BigEndian.Uint32(magic[:]) != MuxMagic {
+		t.Errorf("magic = %x, want %x", magic, MuxMagic)
+		return
+	}
+	reqs := make([]recordedReq, 0, nrequests)
+	for len(reqs) < nrequests {
+		seq, op, body, err := readMuxFrame(conn)
+		if err != nil {
+			t.Errorf("reading request: %v", err)
+			return
+		}
+		reqs = append(reqs, recordedReq{seq: seq, op: op, body: append([]byte(nil), body...)})
+	}
+	script(reqs, conn)
+}
+
+type recordedReq struct {
+	seq  uint64
+	op   byte
+	body []byte
+}
+
+// TestMuxOutOfOrderResponses proves the demux layer routes responses by
+// sequence number: the server answers the second request first, and both
+// callers still get their own payloads.
+func TestMuxOutOfOrderResponses(t *testing.T) {
+	cli, srv := net.Pipe()
+	defer srv.Close()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		muxScriptServer(t, srv, func(reqs []recordedReq, w io.Writer) {
+			// Respond in reverse order, echoing each request's body back.
+			for i := len(reqs) - 1; i >= 0; i-- {
+				if err := writeMuxFrame(w, reqs[i].seq, statusOK, reqs[i].body); err != nil {
+					t.Errorf("writing response: %v", err)
+					return
+				}
+			}
+		}, 2)
+	}()
+
+	m, err := NewMux(cli)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	var wg sync.WaitGroup
+	for _, id := range []string{"first", "second"} {
+		wg.Add(1)
+		go func(id string) {
+			defer wg.Done()
+			// Fetch echoes the request ID as the response body in this
+			// scripted server, so a cross-delivery is detectable.
+			resp, err := m.call(OpFetch, []byte(id))
+			if err != nil {
+				t.Errorf("call %q: %v", id, err)
+				return
+			}
+			if string(resp) != id {
+				t.Errorf("call %q got response %q", id, resp)
+			}
+		}(id)
+	}
+	wg.Wait()
+	<-done
+}
+
+// TestMuxCallTimeout proves a dead peer fails in-flight calls with
+// ErrCallTimeout instead of hanging them forever.
+func TestMuxCallTimeout(t *testing.T) {
+	cli, srv := net.Pipe()
+	defer srv.Close()
+	go func() {
+		// Swallow the magic and the request, then go silent.
+		var magic [4]byte
+		io.ReadFull(srv, magic[:])
+		readMuxFrame(srv)
+	}()
+	m, err := NewMux(cli, Options{CallTimeout: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if _, err := m.Stats(); !errors.Is(err, ErrCallTimeout) {
+		t.Fatalf("call against silent peer = %v, want ErrCallTimeout", err)
+	}
+	// The connection is failed; further calls error immediately.
+	if _, err := m.Stats(); err == nil {
+		t.Fatal("call on failed connection succeeded")
+	}
+}
+
+// TestMuxRemoteError proves per-operation server errors surface as
+// RemoteError without poisoning the connection.
+func TestMuxRemoteError(t *testing.T) {
+	m, cleanup := newMuxPair(t)
+	defer cleanup()
+	raw, _ := buildRaw(t, 99)
+	if _, err := m.Submit(raw); err != nil {
+		t.Fatal(err)
+	}
+	_, err := m.Submit(raw)
+	var re *RemoteError
+	if !errors.As(err, &re) {
+		t.Fatalf("duplicate submit err = %v, want RemoteError", err)
+	}
+	// The connection survives a remote error.
+	if _, err := m.Stats(); err != nil {
+		t.Fatalf("stats after remote error: %v", err)
+	}
+}
+
+// TestMuxBatchOps drives the batch opcodes end to end over one multiplexed
+// connection, including per-item failures.
+func TestMuxBatchOps(t *testing.T) {
+	m, cleanup := newMuxPair(t)
+	defer cleanup()
+
+	rawA, pkgA := buildRaw(t, 1)
+	rawB, pkgB := buildRaw(t, 2)
+	results, err := m.SubmitBatch([][]byte{rawA, rawB, rawA, []byte("garbage")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("SubmitBatch returned %d results, want 4", len(results))
+	}
+	if results[0].Err != nil || results[0].ID != pkgA.ID {
+		t.Fatalf("item 0 = %+v, want racked %s", results[0], pkgA.ID)
+	}
+	if results[1].Err != nil || results[1].ID != pkgB.ID {
+		t.Fatalf("item 1 = %+v, want racked %s", results[1], pkgB.ID)
+	}
+	if results[2].Err == nil {
+		t.Fatal("duplicate item racked")
+	}
+	if results[3].Err == nil {
+		t.Fatal("garbage item racked")
+	}
+
+	replyFor := func(id, from string) []byte {
+		return (&core.Reply{RequestID: id, From: from, SentAt: time.Now(), Acks: [][]byte{{7}}}).Marshal()
+	}
+	errs, err := m.ReplyBatch([]broker.ReplyPost{
+		{RequestID: pkgA.ID, Raw: replyFor(pkgA.ID, "bob")},
+		{RequestID: pkgB.ID, Raw: replyFor(pkgA.ID, "mallory")}, // ID mismatch
+		{RequestID: "unknown", Raw: replyFor("unknown", "carol")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errs[0] != nil {
+		t.Fatalf("reply 0 failed: %v", errs[0])
+	}
+	if errs[1] == nil || errs[2] == nil {
+		t.Fatalf("mismatched/unknown replies accepted: %v %v", errs[1], errs[2])
+	}
+
+	fetched, err := m.FetchBatch([]string{pkgA.ID, pkgB.ID, "unknown"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fetched[0].Err != nil || len(fetched[0].Replies) != 1 {
+		t.Fatalf("fetch 0 = %+v, want one reply", fetched[0])
+	}
+	if fetched[1].Err != nil || len(fetched[1].Replies) != 0 {
+		t.Fatalf("fetch 1 = %+v, want zero replies", fetched[1])
+	}
+	if fetched[2].Err == nil {
+		t.Fatal("fetch of unknown id succeeded")
+	}
+}
+
+// TestServerReadIdleTimeout proves the server drops connections that stay
+// silent past the idle deadline.
+func TestServerReadIdleTimeout(t *testing.T) {
+	rack := broker.New(broker.Config{Shards: 2, Workers: 1, ReapInterval: -1})
+	defer rack.Close()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("cannot listen on loopback: %v", err)
+	}
+	srv := NewServer(rack, ServerOptions{ReadIdleTimeout: 30 * time.Millisecond})
+	go srv.Serve(l)
+	defer func() { l.Close(); srv.Close() }()
+
+	m, err := DialMux(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if _, err := m.Stats(); err != nil {
+		t.Fatalf("stats before idling: %v", err)
+	}
+	time.Sleep(150 * time.Millisecond)
+	if _, err := m.Stats(); err == nil {
+		t.Fatal("call on idle-dropped connection succeeded")
+	}
+}
+
+// FuzzMuxFrame hardens the mux frame header/reader: arbitrary bytes must
+// never panic, and any frame that parses must round-trip through the writer.
+func FuzzMuxFrame(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{0, 0, 0, 9, 0, 0, 0, 0, 0, 0, 0, 1, OpSubmit})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 1, 2, 3})
+	seed := appendMuxFrame(nil, 42, OpSweep, []byte("body"))
+	f.Add(seed)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		seq, tag, body, err := readMuxFrame(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := writeMuxFrame(&buf, seq, tag, body); err != nil {
+			t.Fatalf("re-marshal of parsed frame failed: %v", err)
+		}
+		seq2, tag2, body2, err := readMuxFrame(&buf)
+		if err != nil {
+			t.Fatalf("re-parse failed: %v", err)
+		}
+		if seq2 != seq || tag2 != tag || !bytes.Equal(body2, body) {
+			t.Fatalf("round trip mismatch: (%d,%d,%x) != (%d,%d,%x)", seq2, tag2, body2, seq, tag, body)
+		}
+	})
+}

@@ -1,23 +1,33 @@
-// Package transport layers a length-prefixed framed request/response
-// protocol over net.Conn for the bottle-rack broker: a TCP server for real
-// deployments plus an in-memory pipe listener for tests and in-process load
-// generation. Each frame is a 4-byte big-endian length followed by a 1-byte
-// opcode (requests) or status (responses) and an operation-specific body
-// encoded by the broker package's codec.
+// Package transport layers the bottle-rack broker's request/response
+// protocol over net.Conn: a TCP server for real deployments plus an in-memory
+// pipe listener for tests and in-process load generation.
+//
+// Two framings share one server port. The original lock-step framing carries
+// one request at a time per connection: a 4-byte big-endian length, a 1-byte
+// opcode (requests) or status (responses), and an operation-specific body
+// encoded by the broker package's codec. The multiplexed framing (see mux.go)
+// is selected by a connection preamble and adds an 8-byte sequence number per
+// frame, so one connection sustains many in-flight calls and the server may
+// respond out of order. The server detects the framing from the first four
+// bytes of each connection, so old lock-step clients keep working unchanged.
 package transport
 
 import (
+	"bufio"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"sealedbottle/internal/broker"
 )
 
-// Opcodes of the framed protocol.
+// Opcodes of the framed protocol. The batch opcodes carry several operations
+// in one frame and return per-item outcomes, amortizing both the round trip
+// and the broker's per-operation shard locking.
 const (
 	OpSubmit byte = iota + 1
 	OpSweep
@@ -25,6 +35,9 @@ const (
 	OpFetch
 	OpStats
 	OpRemove
+	OpSubmitBatch
+	OpReplyBatch
+	OpFetchBatch
 )
 
 // Response status bytes.
@@ -37,6 +50,11 @@ const (
 // allocation so a malicious peer cannot ask the server to allocate gigabytes.
 const MaxFrameSize = 16 << 20
 
+// DefaultMaxInflight bounds concurrently executing requests per multiplexed
+// connection; past it the server stops reading the connection (backpressure)
+// until a slot frees up.
+const DefaultMaxInflight = 64
+
 // Errors of the framed protocol.
 var (
 	// ErrFrameTooLarge indicates a frame exceeding MaxFrameSize.
@@ -45,7 +63,69 @@ var (
 	ErrShortFrame = errors.New("transport: frame too short")
 )
 
-// writeFrame writes one tagged frame.
+// RemoteError is an error reported by the server for one operation: the
+// request was delivered and answered, so callers (connection pools in
+// particular) must not treat it as a connection failure or retry it.
+type RemoteError struct {
+	// Msg is the server-side error text.
+	Msg string
+}
+
+func (e *RemoteError) Error() string { return "transport: remote error: " + e.Msg }
+
+// Options tunes a client (either framing).
+type Options struct {
+	// CallTimeout bounds one round trip; zero means no limit. A lock-step
+	// client arms read and write deadlines with it. A multiplexed client
+	// enforces it as a progress deadline: whenever calls are pending, the
+	// connection must deliver a response within CallTimeout or it fails
+	// entirely with ErrCallTimeout — on a shared pipelined connection a stalled
+	// peer has stalled every caller, so there is no per-call salvage.
+	CallTimeout time.Duration
+	// WriteTimeout bounds a single frame write (zero: CallTimeout governs).
+	WriteTimeout time.Duration
+}
+
+// writeDeadline resolves the write deadline implied by the options.
+func (o Options) writeDeadline() time.Time {
+	d := o.WriteTimeout
+	if d <= 0 {
+		d = o.CallTimeout
+	}
+	if d <= 0 {
+		return time.Time{}
+	}
+	return time.Now().Add(d)
+}
+
+// firstOption collapses an optional variadic Options.
+func firstOption(opts []Options) Options {
+	if len(opts) > 0 {
+		return opts[0]
+	}
+	return Options{}
+}
+
+// ServerOptions tunes a Server.
+type ServerOptions struct {
+	// ReadIdleTimeout is the longest the server waits for the next request
+	// frame before dropping the connection as dead (zero: wait forever).
+	ReadIdleTimeout time.Duration
+	// WriteTimeout bounds one response write (zero: no limit).
+	WriteTimeout time.Duration
+	// MaxInflight bounds concurrently executing requests per multiplexed
+	// connection (zero: DefaultMaxInflight).
+	MaxInflight int
+}
+
+func (o ServerOptions) maxInflight() int {
+	if o.MaxInflight > 0 {
+		return o.MaxInflight
+	}
+	return DefaultMaxInflight
+}
+
+// writeFrame writes one tagged lock-step frame.
 func writeFrame(w io.Writer, tag byte, body []byte) error {
 	if len(body)+1 > MaxFrameSize {
 		return ErrFrameTooLarge
@@ -57,13 +137,9 @@ func writeFrame(w io.Writer, tag byte, body []byte) error {
 	return err
 }
 
-// readFrame reads one tagged frame.
-func readFrame(r io.Reader) (byte, []byte, error) {
-	var lenBuf [4]byte
-	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
-		return 0, nil, err
-	}
-	size := binary.BigEndian.Uint32(lenBuf[:])
+// readFrameBody reads the remainder of a lock-step frame whose 4-byte length
+// prefix has already been consumed.
+func readFrameBody(r io.Reader, size uint32) (byte, []byte, error) {
 	if size == 0 {
 		return 0, nil, ErrShortFrame
 	}
@@ -77,9 +153,20 @@ func readFrame(r io.Reader) (byte, []byte, error) {
 	return buf[0], buf[1:], nil
 }
 
-// Server serves rack operations over accepted connections.
+// readFrame reads one tagged lock-step frame.
+func readFrame(r io.Reader) (byte, []byte, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return 0, nil, err
+	}
+	return readFrameBody(r, binary.BigEndian.Uint32(lenBuf[:]))
+}
+
+// Server serves rack operations over accepted connections, speaking whichever
+// framing each connection opens with.
 type Server struct {
 	rack *broker.Rack
+	opts ServerOptions
 
 	mu    sync.Mutex
 	conns map[net.Conn]struct{}
@@ -87,13 +174,17 @@ type Server struct {
 }
 
 // NewServer wraps a rack.
-func NewServer(rack *broker.Rack) *Server {
-	return &Server{rack: rack, conns: make(map[net.Conn]struct{})}
+func NewServer(rack *broker.Rack, opts ...ServerOptions) *Server {
+	var o ServerOptions
+	if len(opts) > 0 {
+		o = opts[0]
+	}
+	return &Server{rack: rack, opts: o, conns: make(map[net.Conn]struct{})}
 }
 
 // Serve accepts connections until the listener is closed; each connection is
-// served by its own goroutine, one request at a time (clients may pipeline
-// by opening several connections).
+// served by its own goroutine. Lock-step connections execute one request at a
+// time; multiplexed connections execute up to MaxInflight concurrently.
 func (s *Server) Serve(l net.Listener) error {
 	for {
 		conn, err := l.Accept()
@@ -148,26 +239,136 @@ func (s *Server) untrack(conn net.Conn) {
 	s.mu.Unlock()
 }
 
-// serveConn answers framed requests on one connection until it closes.
+// armReadDeadline applies the idle read deadline, if configured.
+func (s *Server) armReadDeadline(conn net.Conn) {
+	if s.opts.ReadIdleTimeout > 0 {
+		conn.SetReadDeadline(time.Now().Add(s.opts.ReadIdleTimeout))
+	}
+}
+
+// armWriteDeadline applies the response write deadline, if configured.
+func (s *Server) armWriteDeadline(conn net.Conn) {
+	if s.opts.WriteTimeout > 0 {
+		conn.SetWriteDeadline(time.Now().Add(s.opts.WriteTimeout))
+	}
+}
+
+// serveConn sniffs the framing from the connection's first four bytes — the
+// mux magic selects multiplexed service, anything else is the length prefix
+// of a first lock-step frame — and serves accordingly. Reads go through one
+// buffered reader per connection.
 func (s *Server) serveConn(conn net.Conn) {
 	defer conn.Close()
 	defer s.untrack(conn)
+	br := bufio.NewReaderSize(conn, muxBufferSize)
+	s.armReadDeadline(conn)
+	var first [4]byte
+	if _, err := io.ReadFull(br, first[:]); err != nil {
+		return
+	}
+	if binary.BigEndian.Uint32(first[:]) == MuxMagic {
+		s.serveMux(conn, br)
+		return
+	}
+	s.serveLockStep(conn, br, binary.BigEndian.Uint32(first[:]))
+}
+
+// serveLockStep answers framed requests one at a time until the connection
+// closes. firstLen is the already-consumed length prefix of the first frame.
+func (s *Server) serveLockStep(conn net.Conn, br *bufio.Reader, firstLen uint32) {
+	op, body, err := readFrameBody(br, firstLen)
 	for {
-		op, body, err := readFrame(conn)
 		if err != nil {
 			return
 		}
 		respBody, opErr := s.dispatch(op, body)
+		s.armWriteDeadline(conn)
 		if opErr != nil {
 			if err := writeFrame(conn, statusErr, []byte(opErr.Error())); err != nil {
 				return
 			}
-			continue
-		}
-		if err := writeFrame(conn, statusOK, respBody); err != nil {
+		} else if err := writeFrame(conn, statusOK, respBody); err != nil {
 			return
 		}
+		s.armReadDeadline(conn)
+		op, body, err = readFrame(br)
 	}
+}
+
+// heavyOp reports whether an opcode is worth a goroutine of its own: sweeps
+// and stats visit every shard (a sweep fans out over the rack's worker pool
+// and can run for milliseconds), and a batch frame can carry thousands of
+// items each needing validation — running any of those inline would stall
+// every pipelined request queued behind them. The point lookups are a few
+// microseconds of locked map work: for those a goroutine handoff costs more
+// than the operation, and executing them inline lets a burst of pipelined
+// frames be served back-to-back so the coalescing writer packs their
+// responses into one syscall.
+func heavyOp(op byte) bool {
+	switch op {
+	case OpSweep, OpStats, OpSubmitBatch, OpReplyBatch, OpFetchBatch:
+		return true
+	}
+	return false
+}
+
+// serveMux answers multiplexed requests: cheap operations execute inline in
+// frame order, heavy ones are dispatched to goroutines (at most MaxInflight
+// concurrently); all responses funnel through a per-connection coalescing
+// writer. Responses may therefore be out of request order; the echoed
+// sequence number lets the client demux them.
+func (s *Server) serveMux(conn net.Conn, br *bufio.Reader) {
+	var (
+		wg   sync.WaitGroup
+		sem  = make(chan struct{}, s.opts.maxInflight())
+		done = make(chan struct{})
+	)
+	// On a write failure the writer closes the connection so the read loop
+	// below exits rather than leaving the client hanging on a broken stream.
+	writer := newMuxWriter(conn, done, s.writeDeadline, func(error) { conn.Close() })
+	defer func() {
+		wg.Wait() // let in-flight dispatches enqueue their responses
+		close(done)
+		<-writer.exited
+	}()
+	respond := func(seq uint64, respBody []byte, opErr error) {
+		tag := statusOK
+		if opErr != nil {
+			tag, respBody = statusErr, []byte(opErr.Error())
+		}
+		if len(respBody)+muxHeaderSize > MaxFrameSize {
+			tag, respBody = statusErr, []byte(ErrFrameTooLarge.Error())
+		}
+		writer.enqueue(appendMuxFrame(make([]byte, 0, 4+muxHeaderSize+len(respBody)), seq, tag, respBody))
+	}
+	for {
+		s.armReadDeadline(conn)
+		seq, op, body, err := readMuxFrame(br)
+		if err != nil {
+			return
+		}
+		if !heavyOp(op) {
+			respBody, opErr := s.dispatch(op, body)
+			respond(seq, respBody, opErr)
+			continue
+		}
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(seq uint64, op byte, body []byte) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			respBody, opErr := s.dispatch(op, body)
+			respond(seq, respBody, opErr)
+		}(seq, op, body)
+	}
+}
+
+// writeDeadline resolves the server's per-write deadline.
+func (s *Server) writeDeadline() time.Time {
+	if s.opts.WriteTimeout <= 0 {
+		return time.Time{}
+	}
+	return time.Now().Add(s.opts.WriteTimeout)
 }
 
 // dispatch executes one operation against the rack.
@@ -208,28 +409,64 @@ func (s *Server) dispatch(op byte, body []byte) ([]byte, error) {
 			return []byte{1}, nil
 		}
 		return []byte{0}, nil
+	case OpSubmitBatch:
+		raws, err := broker.UnmarshalRawList(body)
+		if err != nil {
+			return nil, err
+		}
+		results, err := s.rack.SubmitBatch(raws)
+		if err != nil {
+			return nil, err
+		}
+		return broker.MarshalSubmitResults(results), nil
+	case OpReplyBatch:
+		posts, err := broker.UnmarshalReplyBatch(body)
+		if err != nil {
+			return nil, err
+		}
+		errs, err := s.rack.ReplyBatch(posts)
+		if err != nil {
+			return nil, err
+		}
+		return broker.MarshalErrorList(errs), nil
+	case OpFetchBatch:
+		ids, err := broker.UnmarshalIDList(body)
+		if err != nil {
+			return nil, err
+		}
+		results, err := s.rack.FetchBatch(ids)
+		if err != nil {
+			return nil, err
+		}
+		return broker.MarshalFetchResults(results), nil
 	default:
 		return nil, fmt.Errorf("transport: unknown opcode %d", op)
 	}
 }
 
-// Client speaks the framed protocol over one connection. Methods are safe for
-// concurrent use; requests are serialized on the connection.
+// Client speaks the lock-step framing over one connection: methods are safe
+// for concurrent use, but requests are serialized — each call holds the
+// connection for a full round trip. Kept for compatibility with old servers;
+// new code should use Mux (or the internal/client courier, which wraps it).
 type Client struct {
 	mu   sync.Mutex
 	conn net.Conn
+	br   *bufio.Reader
+	opts Options
 }
 
 // NewClient wraps an established connection.
-func NewClient(conn net.Conn) *Client { return &Client{conn: conn} }
+func NewClient(conn net.Conn, opts ...Options) *Client {
+	return &Client{conn: conn, br: bufio.NewReader(conn), opts: firstOption(opts)}
+}
 
-// Dial connects a client over TCP.
-func Dial(addr string) (*Client, error) {
+// Dial connects a lock-step client over TCP.
+func Dial(addr string, opts ...Options) (*Client, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	return NewClient(conn), nil
+	return NewClient(conn, opts...), nil
 }
 
 // Close closes the underlying connection.
@@ -243,21 +480,32 @@ func (c *Client) Close() error {
 func (c *Client) call(op byte, body []byte) ([]byte, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if d := c.opts.writeDeadline(); !d.IsZero() {
+		c.conn.SetWriteDeadline(d)
+	}
 	if err := writeFrame(c.conn, op, body); err != nil {
 		return nil, err
 	}
-	status, resp, err := readFrame(c.conn)
+	if c.opts.CallTimeout > 0 {
+		c.conn.SetReadDeadline(time.Now().Add(c.opts.CallTimeout))
+	}
+	status, resp, err := readFrame(c.br)
 	if err != nil {
 		return nil, err
 	}
 	if status != statusOK {
-		return nil, fmt.Errorf("transport: remote error: %s", resp)
+		return nil, &RemoteError{Msg: string(resp)}
 	}
 	return resp, nil
 }
 
-// Submit racks a marshalled request package and returns its request ID.
-func (c *Client) Submit(raw []byte) (string, error) {
+// caller abstracts the two client framings for the shared operation wrappers.
+type caller interface {
+	call(op byte, body []byte) ([]byte, error)
+}
+
+// doSubmit racks a marshalled request package and returns its request ID.
+func doSubmit(c caller, raw []byte) (string, error) {
 	resp, err := c.call(OpSubmit, raw)
 	if err != nil {
 		return "", err
@@ -265,8 +513,8 @@ func (c *Client) Submit(raw []byte) (string, error) {
 	return string(resp), nil
 }
 
-// Sweep screens the rack with the query's residue sets.
-func (c *Client) Sweep(q broker.SweepQuery) (broker.SweepResult, error) {
+// doSweep screens the rack with the query's residue sets.
+func doSweep(c caller, q broker.SweepQuery) (broker.SweepResult, error) {
 	resp, err := c.call(OpSweep, broker.MarshalSweepQuery(q))
 	if err != nil {
 		return broker.SweepResult{}, err
@@ -274,14 +522,14 @@ func (c *Client) Sweep(q broker.SweepQuery) (broker.SweepResult, error) {
 	return broker.UnmarshalSweepResult(resp)
 }
 
-// Reply posts a marshalled reply for the given request.
-func (c *Client) Reply(requestID string, raw []byte) error {
+// doReply posts a marshalled reply for the given request.
+func doReply(c caller, requestID string, raw []byte) error {
 	_, err := c.call(OpReply, broker.MarshalReplyPost(requestID, raw))
 	return err
 }
 
-// Fetch drains the replies queued for a request.
-func (c *Client) Fetch(requestID string) ([][]byte, error) {
+// doFetch drains the replies queued for a request.
+func doFetch(c caller, requestID string) ([][]byte, error) {
 	resp, err := c.call(OpFetch, []byte(requestID))
 	if err != nil {
 		return nil, err
@@ -289,8 +537,8 @@ func (c *Client) Fetch(requestID string) ([][]byte, error) {
 	return broker.UnmarshalRawList(resp)
 }
 
-// Stats snapshots the rack's counters.
-func (c *Client) Stats() (broker.Stats, error) {
+// doStats snapshots the rack's counters.
+func doStats(c caller) (broker.Stats, error) {
 	resp, err := c.call(OpStats, nil)
 	if err != nil {
 		return broker.Stats{}, err
@@ -298,11 +546,110 @@ func (c *Client) Stats() (broker.Stats, error) {
 	return broker.UnmarshalStats(resp)
 }
 
-// Remove takes a bottle off the rack; it reports whether the bottle was held.
-func (c *Client) Remove(requestID string) (bool, error) {
+// doRemove takes a bottle off the rack.
+func doRemove(c caller, requestID string) (bool, error) {
 	resp, err := c.call(OpRemove, []byte(requestID))
 	if err != nil {
 		return false, err
 	}
 	return len(resp) == 1 && resp[0] == 1, nil
+}
+
+// doSubmitBatch racks several packages in one round trip.
+func doSubmitBatch(c caller, raws [][]byte) ([]broker.SubmitResult, error) {
+	resp, err := c.call(OpSubmitBatch, broker.MarshalRawList(raws))
+	if err != nil {
+		return nil, err
+	}
+	return broker.UnmarshalSubmitResults(resp)
+}
+
+// doReplyBatch posts several replies in one round trip.
+func doReplyBatch(c caller, posts []broker.ReplyPost) ([]error, error) {
+	resp, err := c.call(OpReplyBatch, broker.MarshalReplyBatch(posts))
+	if err != nil {
+		return nil, err
+	}
+	return broker.UnmarshalErrorList(resp)
+}
+
+// doFetchBatch drains replies for several requests in one round trip.
+func doFetchBatch(c caller, ids []string) ([]broker.FetchResult, error) {
+	resp, err := c.call(OpFetchBatch, broker.MarshalIDList(ids))
+	if err != nil {
+		return nil, err
+	}
+	return broker.UnmarshalFetchResults(resp)
+}
+
+// Submit racks a marshalled request package and returns its request ID.
+func (c *Client) Submit(raw []byte) (string, error) { return doSubmit(c, raw) }
+
+// Sweep screens the rack with the query's residue sets.
+func (c *Client) Sweep(q broker.SweepQuery) (broker.SweepResult, error) { return doSweep(c, q) }
+
+// Reply posts a marshalled reply for the given request.
+func (c *Client) Reply(requestID string, raw []byte) error { return doReply(c, requestID, raw) }
+
+// Fetch drains the replies queued for a request.
+func (c *Client) Fetch(requestID string) ([][]byte, error) { return doFetch(c, requestID) }
+
+// Stats snapshots the rack's counters.
+func (c *Client) Stats() (broker.Stats, error) { return doStats(c) }
+
+// Remove takes a bottle off the rack; it reports whether the bottle was held.
+func (c *Client) Remove(requestID string) (bool, error) { return doRemove(c, requestID) }
+
+// SubmitBatch racks several packages in one round trip, returning per-item
+// outcomes.
+func (c *Client) SubmitBatch(raws [][]byte) ([]broker.SubmitResult, error) {
+	return doSubmitBatch(c, raws)
+}
+
+// ReplyBatch posts several replies in one round trip, returning per-item
+// outcomes.
+func (c *Client) ReplyBatch(posts []broker.ReplyPost) ([]error, error) {
+	return doReplyBatch(c, posts)
+}
+
+// FetchBatch drains replies for several requests in one round trip, returning
+// per-item outcomes.
+func (c *Client) FetchBatch(ids []string) ([]broker.FetchResult, error) {
+	return doFetchBatch(c, ids)
+}
+
+// Submit racks a marshalled request package and returns its request ID.
+func (m *Mux) Submit(raw []byte) (string, error) { return doSubmit(m, raw) }
+
+// Sweep screens the rack with the query's residue sets.
+func (m *Mux) Sweep(q broker.SweepQuery) (broker.SweepResult, error) { return doSweep(m, q) }
+
+// Reply posts a marshalled reply for the given request.
+func (m *Mux) Reply(requestID string, raw []byte) error { return doReply(m, requestID, raw) }
+
+// Fetch drains the replies queued for a request.
+func (m *Mux) Fetch(requestID string) ([][]byte, error) { return doFetch(m, requestID) }
+
+// Stats snapshots the rack's counters.
+func (m *Mux) Stats() (broker.Stats, error) { return doStats(m) }
+
+// Remove takes a bottle off the rack; it reports whether the bottle was held.
+func (m *Mux) Remove(requestID string) (bool, error) { return doRemove(m, requestID) }
+
+// SubmitBatch racks several packages in one round trip, returning per-item
+// outcomes.
+func (m *Mux) SubmitBatch(raws [][]byte) ([]broker.SubmitResult, error) {
+	return doSubmitBatch(m, raws)
+}
+
+// ReplyBatch posts several replies in one round trip, returning per-item
+// outcomes.
+func (m *Mux) ReplyBatch(posts []broker.ReplyPost) ([]error, error) {
+	return doReplyBatch(m, posts)
+}
+
+// FetchBatch drains replies for several requests in one round trip, returning
+// per-item outcomes.
+func (m *Mux) FetchBatch(ids []string) ([]broker.FetchResult, error) {
+	return doFetchBatch(m, ids)
 }

@@ -41,8 +41,19 @@ func buildRaw(tb testing.TB, seed int64) ([]byte, *core.RequestPackage) {
 	return raw, built.Package
 }
 
-// exerciseEndToEnd drives the full operation set through a client.
-func exerciseEndToEnd(t *testing.T, c *Client) {
+// rackClient is the operation surface shared by the two client framings.
+type rackClient interface {
+	Submit(raw []byte) (string, error)
+	Sweep(q broker.SweepQuery) (broker.SweepResult, error)
+	Reply(requestID string, raw []byte) error
+	Fetch(requestID string) ([][]byte, error)
+	Stats() (broker.Stats, error)
+	Remove(requestID string) (bool, error)
+}
+
+// exerciseEndToEnd drives the full operation set through a client of either
+// framing.
+func exerciseEndToEnd(t *testing.T, c rackClient) {
 	t.Helper()
 	raw, pkg := buildRaw(t, 1)
 	id, err := c.Submit(raw)

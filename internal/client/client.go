@@ -1,0 +1,298 @@
+// Package client is the courier SDK for the bottle-rack broker: the one
+// client-side implementation of the rendezvous protocol that every consumer
+// (cmd/loadgen, the msn simulator's broker-backed delivery, examples) builds
+// on. A Courier wraps dialing, reconnection and a pool of multiplexed
+// transport connections behind the plain operation set; a Sweeper (see
+// sweeper.go) drives the Matcher-based sweep→unseal→reply loop on top of any
+// Rendezvous, remote or in-process.
+package client
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sealedbottle/internal/broker"
+	"sealedbottle/internal/broker/transport"
+)
+
+// Rendezvous is the minimal broker surface the friending protocol needs.
+// *broker.Rack (in-process), *Courier and the raw transport clients all
+// satisfy it.
+type Rendezvous interface {
+	// Submit racks a marshalled request package and returns its request ID.
+	Submit(raw []byte) (string, error)
+	// Sweep screens the rack with the query's residue sets.
+	Sweep(q broker.SweepQuery) (broker.SweepResult, error)
+	// Reply posts a marshalled reply for the given request.
+	Reply(requestID string, raw []byte) error
+	// Fetch drains the replies queued for a request.
+	Fetch(requestID string) ([][]byte, error)
+}
+
+// BatchRendezvous extends Rendezvous with the amortized batch operations.
+// *broker.Rack and *Courier satisfy it; consumers should type-assert and fall
+// back to the per-item calls, as FetchMany does.
+type BatchRendezvous interface {
+	Rendezvous
+	// SubmitBatch racks several packages at once, one outcome per item.
+	SubmitBatch(raws [][]byte) ([]broker.SubmitResult, error)
+	// ReplyBatch posts several replies at once, one outcome per item.
+	ReplyBatch(posts []broker.ReplyPost) ([]error, error)
+	// FetchBatch drains several reply queues at once, one outcome per item.
+	FetchBatch(ids []string) ([]broker.FetchResult, error)
+}
+
+// Errors of the courier.
+var (
+	// ErrNoEndpoint indicates a Config with neither Addr nor Dialer.
+	ErrNoEndpoint = errors.New("client: config needs an Addr or a Dialer")
+	// ErrCourierClosed indicates an operation on a closed courier.
+	ErrCourierClosed = errors.New("client: courier closed")
+)
+
+// DefaultCallTimeout bounds one round trip unless the config overrides it; it
+// is what turns a dead broker into an error instead of a hung goroutine.
+const DefaultCallTimeout = 30 * time.Second
+
+// Config tunes a Courier.
+type Config struct {
+	// Addr is the broker's TCP address.
+	Addr string
+	// Dialer, when non-nil, replaces TCP dialing (e.g. a pipe listener's Dial
+	// for in-process deployments). It must return a fresh connection per call.
+	Dialer func() (net.Conn, error)
+	// Conns is the connection pool size (zero: 1). One multiplexed connection
+	// already sustains many in-flight calls; more spread load across server
+	// read loops.
+	Conns int
+	// CallTimeout bounds one round trip (zero: DefaultCallTimeout; negative:
+	// no limit).
+	CallTimeout time.Duration
+	// WriteTimeout bounds one frame write (zero: CallTimeout governs).
+	WriteTimeout time.Duration
+	// Legacy selects the lock-step framing for compatibility with old
+	// servers; it serializes one request per connection.
+	Legacy bool
+}
+
+// conn is the method set shared by the two transport clients.
+type conn interface {
+	BatchRendezvous
+	Stats() (broker.Stats, error)
+	Remove(requestID string) (bool, error)
+	Close() error
+}
+
+// slot is one pooled connection, dialed lazily and discarded on failure.
+type slot struct {
+	mu sync.Mutex
+	c  conn
+}
+
+// Courier is the unified broker client: a pool of lazily-dialed transport
+// connections (multiplexed by default) with transparent redial. Methods are
+// safe for concurrent use; concurrent calls pipeline onto the pooled
+// connections. Remote (per-operation) errors are returned as-is and never
+// recycle a connection; transport-level failures discard the connection and
+// retry once on a fresh one.
+type Courier struct {
+	cfg    Config
+	slots  []slot
+	next   atomic.Uint64
+	closed atomic.Bool
+}
+
+// Dial builds a courier. Connections are dialed lazily, so Dial succeeds even
+// while the broker is down; the first operation reports the dial error.
+func Dial(cfg Config) (*Courier, error) {
+	if cfg.Addr == "" && cfg.Dialer == nil {
+		return nil, ErrNoEndpoint
+	}
+	if cfg.Conns <= 0 {
+		cfg.Conns = 1
+	}
+	if cfg.CallTimeout == 0 {
+		cfg.CallTimeout = DefaultCallTimeout
+	} else if cfg.CallTimeout < 0 {
+		cfg.CallTimeout = 0
+	}
+	return &Courier{cfg: cfg, slots: make([]slot, cfg.Conns)}, nil
+}
+
+// Close closes every pooled connection; subsequent operations fail with
+// ErrCourierClosed. Taking each slot's lock after marking closed means a
+// concurrent acquire either observes closed before dialing or has its fresh
+// connection swept here — nothing leaks.
+func (c *Courier) Close() error {
+	c.closed.Store(true)
+	for i := range c.slots {
+		s := &c.slots[i]
+		s.mu.Lock()
+		if s.c != nil {
+			s.c.Close()
+			s.c = nil
+		}
+		s.mu.Unlock()
+	}
+	return nil
+}
+
+// dialConn opens one transport connection per the config.
+func (c *Courier) dialConn() (conn, error) {
+	var nc net.Conn
+	var err error
+	if c.cfg.Dialer != nil {
+		nc, err = c.cfg.Dialer()
+	} else {
+		nc, err = net.Dial("tcp", c.cfg.Addr)
+	}
+	if err != nil {
+		return nil, err
+	}
+	opts := transport.Options{CallTimeout: c.cfg.CallTimeout, WriteTimeout: c.cfg.WriteTimeout}
+	if c.cfg.Legacy {
+		return transport.NewClient(nc, opts), nil
+	}
+	return transport.NewMux(nc, opts)
+}
+
+// acquire returns the slot's connection, dialing if it has none. The closed
+// check under the slot lock orders against Close's sweep of the same lock.
+func (s *slot) acquire(c *Courier) (conn, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if c.closed.Load() {
+		return nil, ErrCourierClosed
+	}
+	if s.c != nil {
+		return s.c, nil
+	}
+	cn, err := c.dialConn()
+	if err != nil {
+		return nil, err
+	}
+	s.c = cn
+	return cn, nil
+}
+
+// recycle discards a connection observed failing. Another call may have
+// recycled and redialed the slot already; only the observed connection is
+// cleared.
+func (s *slot) recycle(old conn) {
+	s.mu.Lock()
+	if s.c == old {
+		s.c = nil
+	}
+	s.mu.Unlock()
+	old.Close()
+}
+
+// do runs one operation over a pooled connection, redialing dead slots.
+// Remote errors are returned without retry — the server executed and
+// answered. A transport-level failure recycles the connection; the operation
+// itself is re-attempted on a fresh connection only when idempotent is true,
+// because once a frame may have reached the server a mutating operation
+// (Submit, Reply and their batches) may have executed — retrying it could
+// double-apply it or turn a success into a duplicate error. Dial failures
+// always permit one more attempt: nothing was sent.
+func do[T any](c *Courier, idempotent bool, fn func(conn) (T, error)) (T, error) {
+	var zero T
+	var lastErr error
+	for attempt := 0; attempt < 2; attempt++ {
+		if c.closed.Load() {
+			return zero, ErrCourierClosed
+		}
+		s := &c.slots[c.next.Add(1)%uint64(len(c.slots))]
+		cn, err := s.acquire(c)
+		if err != nil {
+			if errors.Is(err, ErrCourierClosed) {
+				return zero, err
+			}
+			lastErr = err
+			continue
+		}
+		v, err := fn(cn)
+		if err == nil {
+			return v, nil
+		}
+		var re *transport.RemoteError
+		if errors.As(err, &re) {
+			return zero, err
+		}
+		s.recycle(cn)
+		lastErr = err
+		if !idempotent || errors.Is(err, transport.ErrCallTimeout) {
+			break
+		}
+	}
+	return zero, lastErr
+}
+
+// Submit racks a marshalled request package and returns its request ID.
+func (c *Courier) Submit(raw []byte) (string, error) {
+	return do(c, false, func(cn conn) (string, error) { return cn.Submit(raw) })
+}
+
+// Sweep screens the rack with the query's residue sets.
+func (c *Courier) Sweep(q broker.SweepQuery) (broker.SweepResult, error) {
+	return do(c, true, func(cn conn) (broker.SweepResult, error) { return cn.Sweep(q) })
+}
+
+// Reply posts a marshalled reply for the given request.
+func (c *Courier) Reply(requestID string, raw []byte) error {
+	_, err := do(c, false, func(cn conn) (struct{}, error) { return struct{}{}, cn.Reply(requestID, raw) })
+	return err
+}
+
+// Fetch drains the replies queued for a request.
+func (c *Courier) Fetch(requestID string) ([][]byte, error) {
+	return do(c, true, func(cn conn) ([][]byte, error) { return cn.Fetch(requestID) })
+}
+
+// Stats snapshots the rack's counters.
+func (c *Courier) Stats() (broker.Stats, error) {
+	return do(c, true, func(cn conn) (broker.Stats, error) { return cn.Stats() })
+}
+
+// Remove takes a bottle off the rack; it reports whether the bottle was held.
+func (c *Courier) Remove(requestID string) (bool, error) {
+	return do(c, true, func(cn conn) (bool, error) { return cn.Remove(requestID) })
+}
+
+// SubmitBatch racks several packages in one round trip, one outcome per item.
+func (c *Courier) SubmitBatch(raws [][]byte) ([]broker.SubmitResult, error) {
+	return do(c, false, func(cn conn) ([]broker.SubmitResult, error) { return cn.SubmitBatch(raws) })
+}
+
+// ReplyBatch posts several replies in one round trip, one outcome per item.
+func (c *Courier) ReplyBatch(posts []broker.ReplyPost) ([]error, error) {
+	return do(c, false, func(cn conn) ([]error, error) { return cn.ReplyBatch(posts) })
+}
+
+// FetchBatch drains several reply queues in one round trip, one outcome per
+// item.
+func (c *Courier) FetchBatch(ids []string) ([]broker.FetchResult, error) {
+	return do(c, true, func(cn conn) ([]broker.FetchResult, error) { return cn.FetchBatch(ids) })
+}
+
+// FetchMany drains replies for several request IDs through any Rendezvous,
+// using the batched opcode when the implementation offers it and falling back
+// to per-item fetches otherwise.
+func FetchMany(rv Rendezvous, ids []string) []broker.FetchResult {
+	if len(ids) == 0 {
+		return nil
+	}
+	if b, ok := rv.(BatchRendezvous); ok {
+		if results, err := b.FetchBatch(ids); err == nil {
+			return results
+		}
+	}
+	results := make([]broker.FetchResult, len(ids))
+	for i, id := range ids {
+		results[i].Replies, results[i].Err = rv.Fetch(id)
+	}
+	return results
+}

@@ -1,0 +1,235 @@
+package client
+
+import (
+	"errors"
+	"math/rand"
+	"net"
+	"testing"
+	"time"
+
+	"sealedbottle/internal/attr"
+	"sealedbottle/internal/broker"
+	"sealedbottle/internal/broker/transport"
+	"sealedbottle/internal/core"
+)
+
+type detReader struct{ rng *rand.Rand }
+
+func (d *detReader) Read(p []byte) (int, error) { return d.rng.Read(p) }
+
+// buildRaw builds one marshalled request package searching for "chess" plus
+// one of "go"/"shogi".
+func buildRaw(tb testing.TB, seed int64) ([]byte, *core.RequestPackage) {
+	tb.Helper()
+	built, err := core.BuildRequest(core.RequestSpec{
+		Necessary: []attr.Attribute{attr.MustNew("interest", "chess")},
+		Optional: []attr.Attribute{
+			attr.MustNew("interest", "go"),
+			attr.MustNew("interest", "shogi"),
+		},
+		MinOptional: 1,
+	}, core.BuildOptions{
+		Origin: "alice",
+		Rand:   &detReader{rng: rand.New(rand.NewSource(seed))},
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	raw, err := built.Package.Marshal()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return raw, built.Package
+}
+
+// testServer stands up a rack behind the pipe listener and returns a config
+// dialing it.
+func testServer(t *testing.T) (Config, *broker.Rack, func()) {
+	t.Helper()
+	rack := broker.New(broker.Config{Shards: 4, Workers: 2, ReapInterval: -1})
+	l := transport.ListenPipe()
+	srv := transport.NewServer(rack)
+	go srv.Serve(l)
+	cfg := Config{Dialer: func() (net.Conn, error) { return l.Dial() }}
+	return cfg, rack, func() {
+		l.Close()
+		srv.Close()
+		rack.Close()
+	}
+}
+
+// exerciseCourier drives the full operation surface, batches included.
+func exerciseCourier(t *testing.T, c *Courier) {
+	t.Helper()
+	rawA, pkgA := buildRaw(t, 1)
+	id, err := c.Submit(rawA)
+	if err != nil || id != pkgA.ID {
+		t.Fatalf("Submit = %q, %v", id, err)
+	}
+	var re *transport.RemoteError
+	if _, err := c.Submit(rawA); !errors.As(err, &re) {
+		t.Fatalf("duplicate Submit = %v, want RemoteError", err)
+	}
+
+	rawB, pkgB := buildRaw(t, 2)
+	rawC, pkgC := buildRaw(t, 3)
+	results, err := c.SubmitBatch([][]byte{rawB, rawC, rawB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].ID != pkgB.ID || results[1].ID != pkgC.ID || results[2].Err == nil {
+		t.Fatalf("SubmitBatch = %+v", results)
+	}
+
+	matcher, err := core.NewMatcher(attr.NewProfile(
+		attr.MustNew("interest", "chess"),
+		attr.MustNew("interest", "go"),
+	), core.MatcherConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Sweep(broker.SweepQuery{
+		Residues: []core.ResidueSet{matcher.ResidueSet(core.DefaultPrime)},
+	})
+	if err != nil || len(res.Bottles) != 3 {
+		t.Fatalf("Sweep = %d bottles, %v; want 3", len(res.Bottles), err)
+	}
+
+	mkReply := func(id string) []byte {
+		return (&core.Reply{RequestID: id, From: "bob", SentAt: time.Now(), Acks: [][]byte{{7}}}).Marshal()
+	}
+	if err := c.Reply(pkgA.ID, mkReply(pkgA.ID)); err != nil {
+		t.Fatal(err)
+	}
+	errs, err := c.ReplyBatch([]broker.ReplyPost{
+		{RequestID: pkgB.ID, Raw: mkReply(pkgB.ID)},
+		{RequestID: "ghost", Raw: mkReply("ghost")},
+	})
+	if err != nil || errs[0] != nil || errs[1] == nil {
+		t.Fatalf("ReplyBatch = %v, %v", errs, err)
+	}
+
+	raws, err := c.Fetch(pkgA.ID)
+	if err != nil || len(raws) != 1 {
+		t.Fatalf("Fetch = %d replies, %v", len(raws), err)
+	}
+	fetches, err := c.FetchBatch([]string{pkgB.ID, "ghost"})
+	if err != nil || fetches[0].Err != nil || len(fetches[0].Replies) != 1 || fetches[1].Err == nil {
+		t.Fatalf("FetchBatch = %+v, %v", fetches, err)
+	}
+
+	st, err := c.Stats()
+	if err != nil || st.Held != 3 {
+		t.Fatalf("Stats held = %d, %v", st.Held, err)
+	}
+	removed, err := c.Remove(pkgA.ID)
+	if err != nil || !removed {
+		t.Fatalf("Remove = %v, %v", removed, err)
+	}
+}
+
+func TestCourierMultiplexed(t *testing.T) {
+	cfg, _, cleanup := testServer(t)
+	defer cleanup()
+	cfg.Conns = 2
+	c, err := Dial(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	exerciseCourier(t, c)
+}
+
+func TestCourierLegacyFraming(t *testing.T) {
+	cfg, _, cleanup := testServer(t)
+	defer cleanup()
+	cfg.Legacy = true
+	c, err := Dial(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	exerciseCourier(t, c)
+}
+
+// TestCourierReconnects proves the pool redials after the server drops an
+// idle connection.
+func TestCourierReconnects(t *testing.T) {
+	rack := broker.New(broker.Config{Shards: 2, Workers: 1, ReapInterval: -1})
+	defer rack.Close()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("cannot listen on loopback: %v", err)
+	}
+	srv := transport.NewServer(rack, transport.ServerOptions{ReadIdleTimeout: 30 * time.Millisecond})
+	go srv.Serve(l)
+	defer func() { l.Close(); srv.Close() }()
+
+	c, err := Dial(Config{Addr: l.Addr().String()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Stats(); err != nil {
+		t.Fatalf("first call: %v", err)
+	}
+	time.Sleep(150 * time.Millisecond) // server drops the idle connection
+	if _, err := c.Stats(); err != nil {
+		t.Fatalf("call after idle drop should redial, got %v", err)
+	}
+}
+
+func TestCourierClosed(t *testing.T) {
+	cfg, _, cleanup := testServer(t)
+	defer cleanup()
+	c, err := Dial(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	if _, err := c.Stats(); !errors.Is(err, ErrCourierClosed) {
+		t.Fatalf("call on closed courier = %v", err)
+	}
+}
+
+func TestDialValidatesConfig(t *testing.T) {
+	if _, err := Dial(Config{}); !errors.Is(err, ErrNoEndpoint) {
+		t.Fatalf("Dial with no endpoint = %v", err)
+	}
+}
+
+// TestFetchManyFallback proves FetchMany works for plain Rendezvous
+// implementations without the batch extension.
+func TestFetchManyFallback(t *testing.T) {
+	cfg, rack, cleanup := testServer(t)
+	defer cleanup()
+	_ = cfg
+	raw, pkg := buildRaw(t, 5)
+	if _, err := rack.Submit(raw); err != nil {
+		t.Fatal(err)
+	}
+	rep := (&core.Reply{RequestID: pkg.ID, From: "bob", SentAt: time.Now(), Acks: [][]byte{{7}}}).Marshal()
+	if err := rack.Reply(pkg.ID, rep); err != nil {
+		t.Fatal(err)
+	}
+
+	// narrowRV hides the rack's batch methods.
+	results := FetchMany(narrowRV{rack}, []string{pkg.ID, "ghost"})
+	if results[0].Err != nil || len(results[0].Replies) != 1 {
+		t.Fatalf("FetchMany[0] = %+v", results[0])
+	}
+	if results[1].Err == nil {
+		t.Fatal("FetchMany of unknown id succeeded")
+	}
+	if got := FetchMany(narrowRV{rack}, nil); got != nil {
+		t.Fatalf("FetchMany(nil) = %v", got)
+	}
+}
+
+// narrowRV restricts *broker.Rack to the plain Rendezvous surface.
+type narrowRV struct{ rack *broker.Rack }
+
+func (n narrowRV) Submit(raw []byte) (string, error)                     { return n.rack.Submit(raw) }
+func (n narrowRV) Sweep(q broker.SweepQuery) (broker.SweepResult, error) { return n.rack.Sweep(q) }
+func (n narrowRV) Reply(id string, raw []byte) error                     { return n.rack.Reply(id, raw) }
+func (n narrowRV) Fetch(id string) ([][]byte, error)                     { return n.rack.Fetch(id) }

@@ -1,0 +1,172 @@
+package client
+
+import (
+	"errors"
+
+	"sealedbottle/internal/broker"
+	"sealedbottle/internal/core"
+)
+
+// DefaultSeenCap bounds the seen-ID window shipped with every sweep query;
+// without a bound a long-lived sweeper's queries would grow (and cost the
+// broker) linearly with its lifetime. IDs that fall out of the window may be
+// swept again; the participant's own duplicate suppression drops them.
+const DefaultSeenCap = 4096
+
+// SweeperConfig configures a Sweeper.
+type SweeperConfig struct {
+	// Participant evaluates swept bottles and produces replies (required).
+	Participant *core.Participant
+	// Primes lists the remainder primes to screen against
+	// (nil: core.DefaultPrime only).
+	Primes []uint32
+	// Limit caps bottles per sweep (zero: the broker's default).
+	Limit int
+	// SeenCap bounds the seen-ID window (zero: DefaultSeenCap).
+	SeenCap int
+	// ExcludeOrigin skips bottles submitted by this origin server-side.
+	ExcludeOrigin string
+	// Skip, when non-nil, drops a swept bottle by request ID before it is
+	// unmarshalled (e.g. one's own requests in a shared-identity setup).
+	Skip func(requestID string) bool
+	// OnResult, when non-nil, observes every evaluated bottle with the
+	// participant's verdict, before its reply (if any) is posted.
+	OnResult func(pkg *core.RequestPackage, res *core.HandleResult)
+}
+
+// TickStats summarizes one sweep-evaluate-reply cycle.
+type TickStats struct {
+	// Swept is the number of bottles the broker returned.
+	Swept int
+	// Evaluated is the number run through the participant machinery.
+	Evaluated int
+	// Matches is the number the participant confirmed locally (Protocol 1).
+	Matches int
+	// Replies is the number of replies posted successfully.
+	Replies int
+	// ReplyErrors is the number of reply posts that failed (bottle expired
+	// between sweep and reply, transport hiccup); the paper's analogue of an
+	// undeliverable unicast.
+	ReplyErrors int
+	// Scanned and Rejected echo the broker's screening counters for the sweep.
+	Scanned, Rejected int
+	// Truncated reports that more bottles passed the prefilter than Limit
+	// allowed; another tick will pick them up.
+	Truncated bool
+}
+
+// Sweeper drives the candidate side of the rendezvous protocol: each Tick
+// sweeps the rack with the participant's residue sets, evaluates every
+// returned bottle with the full Matcher machinery, posts the resulting
+// replies (batched when the rendezvous supports it), and remembers evaluated
+// IDs so the next sweep spends its limit on fresh bottles. It is the single
+// implementation of the loop that loadgen, the msn simulator and the examples
+// previously each hand-rolled. Not safe for concurrent use; run one Sweeper
+// per goroutine (they may share a Courier).
+type Sweeper struct {
+	rv       Rendezvous
+	cfg      SweeperConfig
+	residues []core.ResidueSet
+	seen     []string
+}
+
+// NewSweeper builds a sweeper, computing the participant's residue sets once.
+func NewSweeper(rv Rendezvous, cfg SweeperConfig) (*Sweeper, error) {
+	if rv == nil {
+		return nil, errors.New("client: sweeper needs a rendezvous")
+	}
+	if cfg.Participant == nil {
+		return nil, errors.New("client: sweeper needs a participant")
+	}
+	if len(cfg.Primes) == 0 {
+		cfg.Primes = []uint32{core.DefaultPrime}
+	}
+	if cfg.SeenCap <= 0 {
+		cfg.SeenCap = DefaultSeenCap
+	}
+	matcher := cfg.Participant.Matcher()
+	residues := make([]core.ResidueSet, 0, len(cfg.Primes))
+	for _, p := range cfg.Primes {
+		residues = append(residues, matcher.ResidueSet(p))
+	}
+	return &Sweeper{rv: rv, cfg: cfg, residues: residues}, nil
+}
+
+// Tick performs one sweep-evaluate-reply cycle. The returned error is a sweep
+// failure; per-reply failures are reported in the stats.
+func (s *Sweeper) Tick() (TickStats, error) {
+	res, err := s.rv.Sweep(broker.SweepQuery{
+		Residues:      s.residues,
+		Limit:         s.cfg.Limit,
+		ExcludeOrigin: s.cfg.ExcludeOrigin,
+		Seen:          s.seen,
+	})
+	if err != nil {
+		return TickStats{}, err
+	}
+	st := TickStats{
+		Swept:     len(res.Bottles),
+		Scanned:   res.Scanned,
+		Rejected:  res.Rejected,
+		Truncated: res.Truncated,
+	}
+	var posts []broker.ReplyPost
+	for _, b := range res.Bottles {
+		s.seen = append(s.seen, b.ID)
+		if s.cfg.Skip != nil && s.cfg.Skip(b.ID) {
+			continue
+		}
+		pkg, err := core.UnmarshalPackage(b.Raw)
+		if err != nil {
+			continue
+		}
+		hr, err := s.cfg.Participant.HandleRequest(pkg)
+		if err != nil {
+			continue
+		}
+		st.Evaluated++
+		if hr.Matched {
+			st.Matches++
+		}
+		if s.cfg.OnResult != nil {
+			s.cfg.OnResult(pkg, hr)
+		}
+		if hr.Reply != nil {
+			posts = append(posts, broker.ReplyPost{RequestID: pkg.ID, Raw: hr.Reply.Marshal()})
+		}
+	}
+	if excess := len(s.seen) - s.cfg.SeenCap; excess > 0 {
+		s.seen = append(s.seen[:0], s.seen[excess:]...)
+	}
+	st.Replies, st.ReplyErrors = s.post(posts)
+	return st, nil
+}
+
+// post delivers the tick's replies, batched when the rendezvous supports it.
+func (s *Sweeper) post(posts []broker.ReplyPost) (ok, failed int) {
+	if len(posts) == 0 {
+		return 0, 0
+	}
+	if b, isBatch := s.rv.(BatchRendezvous); isBatch {
+		errs, err := b.ReplyBatch(posts)
+		if err == nil {
+			for _, e := range errs {
+				if e == nil {
+					ok++
+				} else {
+					failed++
+				}
+			}
+			return ok, failed
+		}
+		// Fall through to per-item posting on a whole-batch transport failure.
+	}
+	for _, p := range posts {
+		if err := s.rv.Reply(p.RequestID, p.Raw); err == nil {
+			ok++
+		} else {
+			failed++
+		}
+	}
+	return ok, failed
+}

@@ -1,0 +1,182 @@
+package client
+
+import (
+	"testing"
+	"time"
+
+	"sealedbottle/internal/attr"
+	"sealedbottle/internal/core"
+)
+
+// newParticipant builds a participant whose profile satisfies buildRaw's
+// search (chess + go).
+func newParticipant(t *testing.T, id string, interestNames ...string) *core.Participant {
+	t.Helper()
+	attrs := make([]attr.Attribute, len(interestNames))
+	for i, n := range interestNames {
+		attrs[i] = attr.MustNew("interest", n)
+	}
+	part, err := core.NewParticipant(attr.NewProfile(attrs...), core.ParticipantConfig{
+		ID:               id,
+		Matcher:          core.MatcherConfig{AllowCollisionSkip: true},
+		MinReplyInterval: time.Nanosecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return part
+}
+
+// TestSweeperTick proves the full sweep→unseal→reply loop: a matching
+// participant evaluates the racked bottle, reports the match through
+// OnResult, and its reply lands in the initiator's fetch queue.
+func TestSweeperTick(t *testing.T) {
+	cfg, rack, cleanup := testServer(t)
+	defer cleanup()
+	c, err := Dial(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	raw, pkg := buildRaw(t, 1)
+	if _, err := c.Submit(raw); err != nil {
+		t.Fatal(err)
+	}
+
+	var observed []string
+	sweeper, err := NewSweeper(c, SweeperConfig{
+		Participant: newParticipant(t, "bob", "chess", "go", "tennis"),
+		OnResult: func(p *core.RequestPackage, res *core.HandleResult) {
+			observed = append(observed, p.ID)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := sweeper.Tick()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Swept != 1 || st.Evaluated != 1 || st.Replies != 1 {
+		t.Fatalf("tick stats = %+v, want 1 swept/evaluated/replied", st)
+	}
+	if len(observed) != 1 || observed[0] != pkg.ID {
+		t.Fatalf("OnResult saw %v, want [%s]", observed, pkg.ID)
+	}
+
+	raws, err := c.Fetch(pkg.ID)
+	if err != nil || len(raws) != 1 {
+		t.Fatalf("Fetch after sweep = %d replies, %v", len(raws), err)
+	}
+	if reply, err := core.UnmarshalReply(raws[0]); err != nil || reply.From != "bob" {
+		t.Fatalf("fetched reply = %+v, %v", reply, err)
+	}
+
+	// The seen window keeps the second tick from re-evaluating the bottle.
+	st, err = sweeper.Tick()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Swept != 0 || st.Evaluated != 0 {
+		t.Fatalf("second tick stats = %+v, want nothing fresh", st)
+	}
+	_ = rack
+}
+
+// TestSweeperNonMatching proves a non-matching profile is screened out by
+// the broker-side prefilter and posts nothing.
+func TestSweeperNonMatching(t *testing.T) {
+	cfg, _, cleanup := testServer(t)
+	defer cleanup()
+	c, err := Dial(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	raw, _ := buildRaw(t, 2)
+	if _, err := c.Submit(raw); err != nil {
+		t.Fatal(err)
+	}
+	sweeper, err := NewSweeper(c, SweeperConfig{
+		Participant: newParticipant(t, "carol", "opera", "sailing"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := sweeper.Tick()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Replies != 0 || st.Matches != 0 {
+		t.Fatalf("non-matching sweeper produced %+v", st)
+	}
+}
+
+// TestSweeperSkip proves the Skip hook drops bottles before evaluation.
+func TestSweeperSkip(t *testing.T) {
+	cfg, rack, cleanup := testServer(t)
+	defer cleanup()
+	raw, pkg := buildRaw(t, 3)
+	if _, err := rack.Submit(raw); err != nil {
+		t.Fatal(err)
+	}
+	sweeper, err := NewSweeper(rack, SweeperConfig{
+		Participant: newParticipant(t, "bob", "chess", "go"),
+		Skip:        func(id string) bool { return id == pkg.ID },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := sweeper.Tick()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Swept != 1 || st.Evaluated != 0 {
+		t.Fatalf("skip hook did not drop the bottle: %+v", st)
+	}
+	_ = cfg
+}
+
+// TestSweeperSeenWindowBound proves the seen window stays bounded.
+func TestSweeperSeenWindowBound(t *testing.T) {
+	cfg, rack, cleanup := testServer(t)
+	defer cleanup()
+	_ = cfg
+	for i := 0; i < 12; i++ {
+		raw, _ := buildRaw(t, 100+int64(i))
+		if _, err := rack.Submit(raw); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sweeper, err := NewSweeper(rack, SweeperConfig{
+		Participant: newParticipant(t, "bob", "chess", "go"),
+		Limit:       4,
+		SeenCap:     8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := sweeper.Tick(); err != nil {
+			t.Fatal(err)
+		}
+		if len(sweeper.seen) > 8 {
+			t.Fatalf("seen window grew to %d (> cap 8) on tick %d", len(sweeper.seen), i)
+		}
+	}
+}
+
+// TestSweeperValidation proves constructor preconditions.
+func TestSweeperValidation(t *testing.T) {
+	cfg, rack, cleanup := testServer(t)
+	defer cleanup()
+	_ = cfg
+	if _, err := NewSweeper(nil, SweeperConfig{Participant: newParticipant(t, "x", "chess")}); err == nil {
+		t.Fatal("NewSweeper accepted nil rendezvous")
+	}
+	if _, err := NewSweeper(rack, SweeperConfig{}); err == nil {
+		t.Fatal("NewSweeper accepted nil participant")
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"sealedbottle/internal/attr"
+	"sealedbottle/internal/client"
 	"sealedbottle/internal/core"
 	"sealedbottle/internal/crypt"
 )
@@ -31,11 +32,12 @@ type FriendingApp struct {
 	rendezvous Rendezvous
 	// sweepPrimes lists the remainder primes this node screens against.
 	sweepPrimes []uint32
-	// sweepSeen is a bounded window of bottle IDs already evaluated, passed
-	// back to the broker so sweeps spend their limit on fresh bottles. Old
-	// entries falling out of the window may be swept again; the participant's
-	// own duplicate suppression drops them.
-	sweepSeen []string
+	// sweeper is the courier SDK's sweep-evaluate-reply loop bound to this
+	// node's participant; it owns the bounded seen-ID window.
+	sweeper *client.Sweeper
+	// tickNow is the simulated time of the RendezvousTick in progress, read by
+	// the sweeper's OnResult hook when recording peer matches.
+	tickNow time.Time
 
 	// PeerMatches records matches this node learned about as a participant
 	// (Protocol 1 only: the participant can verify locally).
@@ -106,6 +108,11 @@ func NewFriendingApp(sim *Simulator, id NodeID, pos Position, cfg FriendingConfi
 		return nil, nil, fmt.Errorf("msn: building participant for %q: %w", id, err)
 	}
 	app.part = part
+	if app.rendezvous != nil {
+		if err := app.initRendezvous(); err != nil {
+			return nil, nil, err
+		}
+	}
 	node, err := sim.AddNode(id, pos, app)
 	if err != nil {
 		return nil, nil, err

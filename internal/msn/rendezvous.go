@@ -4,21 +4,16 @@ import (
 	"fmt"
 	"time"
 
-	"sealedbottle/internal/broker"
+	"sealedbottle/internal/client"
 	"sealedbottle/internal/core"
 )
 
 // Rendezvous is the broker surface the friending layer needs: submit a
 // request bottle, sweep for candidate bottles, post a reply, fetch replies.
-// Both *broker.Rack (in-process) and *transport.Client (framed protocol over
-// a net.Conn) satisfy it, so a simulator scenario can run against the real
-// subsystem either way.
-type Rendezvous interface {
-	Submit(raw []byte) (string, error)
-	Sweep(q broker.SweepQuery) (broker.SweepResult, error)
-	Reply(requestID string, raw []byte) error
-	Fetch(requestID string) ([][]byte, error)
-}
+// It is the courier SDK's interface — *broker.Rack (in-process) and
+// *client.Courier (pipelined transport) both satisfy it, so a simulator
+// scenario can run against the real subsystem either way.
+type Rendezvous = client.Rendezvous
 
 // pendingRequest tracks one of this node's outstanding requests for
 // broker-mode reply fetching.
@@ -32,6 +27,39 @@ type pendingRequest struct {
 // linearly with its lifetime.
 const rendezvousSeenCap = 4096
 
+// initRendezvous builds the node's sweeper, wiring the participant's
+// evaluation loop to this app's bookkeeping. Called once from NewFriendingApp
+// after the participant exists.
+func (a *FriendingApp) initRendezvous() error {
+	sweeper, err := client.NewSweeper(a.rendezvous, client.SweeperConfig{
+		Participant:   a.part,
+		Primes:        a.sweepPrimes,
+		SeenCap:       rendezvousSeenCap,
+		ExcludeOrigin: string(a.id),
+		// Never evaluate our own bottles: the broker's origin exclusion
+		// already drops them, but a node could share an origin string.
+		Skip: func(requestID string) bool {
+			_, mine := a.initiators[requestID]
+			return mine
+		},
+		OnResult: func(pkg *core.RequestPackage, res *core.HandleResult) {
+			if res.Matched {
+				a.peerMatches = append(a.peerMatches, PeerMatch{
+					RequestID:  pkg.ID,
+					Initiator:  NodeID(pkg.Origin),
+					ChannelKey: res.ChannelKey,
+					At:         a.tickNow,
+				})
+			}
+		},
+	})
+	if err != nil {
+		return fmt.Errorf("msn: building sweeper for %q: %w", a.id, err)
+	}
+	a.sweeper = sweeper
+	return nil
+}
+
 // startRendezvousSearch submits the request bottle to the broker instead of
 // flooding it through the ad-hoc network.
 func (a *FriendingApp) startRendezvousSearch(payload []byte) error {
@@ -41,35 +69,19 @@ func (a *FriendingApp) startRendezvousSearch(payload []byte) error {
 	return nil
 }
 
-// RendezvousTick performs one sweep-and-fetch cycle against the broker: it
-// sweeps for fresh bottles with this node's residue sets, evaluates each with
-// the full participant machinery, posts any replies back to the rack, and
-// drains replies for this node's own outstanding requests. Scenarios
+// RendezvousTick performs one sweep-and-fetch cycle against the broker: the
+// courier SDK's sweeper screens, evaluates and replies with this node's
+// participant machinery, then replies for this node's own outstanding
+// requests are drained (batched when the broker supports it). Scenarios
 // typically register it with Simulator.Every so cycles happen on the
 // simulated clock.
 func (a *FriendingApp) RendezvousTick(now time.Time) error {
-	if a.rendezvous == nil {
+	if a.sweeper == nil {
 		return fmt.Errorf("msn: node %q has no rendezvous configured", a.id)
 	}
-	matcher := a.part.Matcher()
-	residues := make([]core.ResidueSet, 0, len(a.sweepPrimes))
-	for _, p := range a.sweepPrimes {
-		residues = append(residues, matcher.ResidueSet(p))
-	}
-	res, err := a.rendezvous.Sweep(broker.SweepQuery{
-		Residues:      residues,
-		ExcludeOrigin: string(a.id),
-		Seen:          a.sweepSeen,
-	})
-	if err != nil {
+	a.tickNow = now
+	if _, err := a.sweeper.Tick(); err != nil {
 		return fmt.Errorf("msn: sweeping rendezvous: %w", err)
-	}
-	for _, b := range res.Bottles {
-		a.sweepSeen = append(a.sweepSeen, b.ID)
-		a.handleRendezvousBottle(now, b)
-	}
-	if excess := len(a.sweepSeen) - rendezvousSeenCap; excess > 0 {
-		a.sweepSeen = append(a.sweepSeen[:0], a.sweepSeen[excess:]...)
 	}
 	// Drain replies for this node's outstanding requests, dropping requests
 	// whose bottles have expired off the rack — no further replies can arrive
@@ -81,16 +93,22 @@ func (a *FriendingApp) RendezvousTick(now time.Time) error {
 			continue
 		}
 		kept = append(kept, pr)
-		raws, err := a.rendezvous.Fetch(pr.id)
-		if err != nil {
+	}
+	a.pending = kept
+	ids := make([]string, len(a.pending))
+	for i, pr := range a.pending {
+		ids[i] = pr.id
+	}
+	for i, res := range client.FetchMany(a.rendezvous, ids) {
+		if res.Err != nil {
 			continue
 		}
-		for _, raw := range raws {
+		init := a.initiators[ids[i]]
+		for _, raw := range res.Replies {
 			reply, err := core.UnmarshalReply(raw)
 			if err != nil {
 				continue
 			}
-			init := a.initiators[pr.id]
 			_, reject, err := init.ProcessReply(reply)
 			if err != nil {
 				continue
@@ -100,38 +118,7 @@ func (a *FriendingApp) RendezvousTick(now time.Time) error {
 			}
 		}
 	}
-	a.pending = kept
 	return nil
-}
-
-// handleRendezvousBottle evaluates one swept bottle exactly as a flooded
-// request would be: full participant handling, match recording, and a reply
-// posted back to the rack instead of routed over a reverse path.
-func (a *FriendingApp) handleRendezvousBottle(now time.Time, b broker.SweptBottle) {
-	pkg, err := core.UnmarshalPackage(b.Raw)
-	if err != nil {
-		return
-	}
-	if _, mine := a.initiators[pkg.ID]; mine {
-		return
-	}
-	res, err := a.part.HandleRequest(pkg)
-	if err != nil {
-		return
-	}
-	if res.Matched {
-		a.peerMatches = append(a.peerMatches, PeerMatch{
-			RequestID:  pkg.ID,
-			Initiator:  NodeID(pkg.Origin),
-			ChannelKey: res.ChannelKey,
-			At:         now,
-		})
-	}
-	if res.Reply != nil {
-		// Reply errors (e.g. the bottle expired between sweep and reply) are
-		// the broker-mode analogue of an undeliverable unicast: dropped.
-		_ = a.rendezvous.Reply(pkg.ID, res.Reply.Marshal())
-	}
 }
 
 // AttachRendezvous registers one periodic hook that ticks every app against
@@ -143,7 +130,7 @@ func AttachRendezvous(sim *Simulator, interval time.Duration, apps ...*Friending
 	}
 	return sim.Every(interval, func(now time.Time) {
 		for _, app := range apps {
-			if app != nil && app.rendezvous != nil {
+			if app != nil && app.sweeper != nil {
 				_ = app.RendezvousTick(now)
 			}
 		}
