@@ -24,6 +24,7 @@ import (
 	"sealedbottle/internal/baseline/fnp"
 	"sealedbottle/internal/broker"
 	"sealedbottle/internal/broker/transport"
+	"sealedbottle/internal/broker/wal"
 	"sealedbottle/internal/client"
 	"sealedbottle/internal/core"
 	"sealedbottle/internal/crypt"
@@ -455,6 +456,81 @@ func BenchmarkBrokerSweepRackSize(b *testing.B) {
 				if _, err := rack.Sweep(broker.SweepQuery{Residues: residues, Limit: 64}); err != nil {
 					b.Fatal(err)
 				}
+			}
+		})
+	}
+}
+
+// BenchmarkBrokerSubmitDurable measures racked submissions with the
+// write-ahead log on, one sub-benchmark per fsync policy; hold against
+// BenchmarkBrokerSubmit (the in-memory path) on the same shard count. The
+// acceptance bar for the durability subsystem is fsync=interval within 2× of
+// in-memory: the hot path adds one record encode and one channel send, while
+// syncing rides the background timer. fsync=always pays a (group-committed)
+// fsync per acknowledged operation and is expected to be disk-bound.
+func BenchmarkBrokerSubmitDurable(b *testing.B) {
+	for _, policy := range []wal.Policy{wal.PolicyNever, wal.PolicyInterval, wal.PolicyAlways} {
+		b.Run("fsync="+policy.String(), func(b *testing.B) {
+			rack, err := broker.Open(broker.Config{
+				Shards:       64,
+				ReapInterval: -1,
+				Durability:   &broker.DurabilityConfig{Dir: b.TempDir(), Fsync: policy},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer rack.Close()
+			raws := benchRawBottles(b, b.N)
+			var next atomic.Int64
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					i := next.Add(1) - 1
+					if _, err := rack.Submit(raws[i]); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkBrokerSubmitBatchDurable measures the batched durable submit
+// path: one group commit per 64-bottle batch, so even fsync=always amortizes
+// its sync across the whole group.
+func BenchmarkBrokerSubmitBatchDurable(b *testing.B) {
+	const batch = 64
+	for _, policy := range []wal.Policy{wal.PolicyInterval, wal.PolicyAlways} {
+		b.Run("fsync="+policy.String(), func(b *testing.B) {
+			rack, err := broker.Open(broker.Config{
+				Shards:       64,
+				ReapInterval: -1,
+				Durability:   &broker.DurabilityConfig{Dir: b.TempDir(), Fsync: policy},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer rack.Close()
+			raws := benchRawBottles(b, b.N)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for done := 0; done < b.N; {
+				n := batch
+				if b.N-done < n {
+					n = b.N - done
+				}
+				results, err := rack.SubmitBatch(raws[done : done+n])
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, res := range results {
+					if res.Err != nil {
+						b.Fatal(res.Err)
+					}
+				}
+				done += n
 			}
 		})
 	}

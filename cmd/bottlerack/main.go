@@ -5,14 +5,21 @@
 //
 // The server speaks both wire framings — lock-step and multiplexed — detected
 // per connection, so old clients keep working while pipelined couriers sustain
-// many in-flight requests per connection. It shuts down gracefully on
-// SIGINT/SIGTERM (closing the listener and every connection, then logging a
-// final stats snapshot) and logs operational stats periodically.
+// many in-flight requests per connection. With -data-dir set the rack is
+// durable: every acknowledged mutation is written to a write-ahead log (fsync
+// policy per -fsync), snapshots bound replay time (periodic via
+// -snapshot-every, and one final snapshot on SIGINT/SIGTERM), and a restart
+// recovers every persisted bottle. It shuts down gracefully on signals
+// (closing the listener and every connection, then logging a final stats
+// snapshot) and logs operational stats — including recovery and WAL size
+// counters — periodically.
 //
 // Usage:
 //
 //	bottlerack [-addr :7117] [-shards 32] [-workers 0] [-reap 5s] [-stats 10s]
 //	           [-read-idle 10m] [-write-timeout 1m] [-inflight 64]
+//	           [-data-dir DIR] [-fsync interval] [-fsync-interval 100ms]
+//	           [-snapshot-every 5m] [-wal-segment 67108864]
 package main
 
 import (
@@ -27,6 +34,7 @@ import (
 
 	"sealedbottle/internal/broker"
 	"sealedbottle/internal/broker/transport"
+	"sealedbottle/internal/broker/wal"
 )
 
 func main() {
@@ -38,10 +46,51 @@ func main() {
 	readIdle := flag.Duration("read-idle", 10*time.Minute, "drop connections idle longer than this (0: never)")
 	writeTimeout := flag.Duration("write-timeout", time.Minute, "per-response write deadline (0: none)")
 	inflight := flag.Int("inflight", transport.DefaultMaxInflight, "max concurrent requests per multiplexed connection")
+	dataDir := flag.String("data-dir", "", "durability directory for the write-ahead log and snapshots (empty: in-memory only)")
+	fsync := flag.String("fsync", "interval", "WAL fsync policy: always, interval or never")
+	fsyncInterval := flag.Duration("fsync-interval", wal.DefaultInterval, "fsync period for -fsync interval")
+	snapshotEvery := flag.Duration("snapshot-every", 5*time.Minute, "periodic snapshot+compaction interval (0: only on shutdown)")
+	walSegment := flag.Int64("wal-segment", wal.DefaultSegmentBytes, "WAL segment roll threshold in bytes")
 	flag.Parse()
 
-	rack := broker.New(broker.Config{Shards: *shards, Workers: *workers, ReapInterval: *reap})
-	defer rack.Close()
+	cfg := broker.Config{Shards: *shards, Workers: *workers, ReapInterval: *reap}
+	if *dataDir == "" {
+		// Durability flags without a data directory would silently run an
+		// in-memory broker the operator believes is persistent.
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "fsync", "fsync-interval", "snapshot-every", "wal-segment":
+				log.Fatalf("bottlerack: -%s requires -data-dir (without it the rack is in-memory and nothing is persisted)", f.Name)
+			}
+		})
+	}
+	if *dataDir != "" {
+		policy, err := wal.ParsePolicy(*fsync)
+		if err != nil {
+			log.Fatalf("bottlerack: %v", err)
+		}
+		cfg.Durability = &broker.DurabilityConfig{
+			Dir:           *dataDir,
+			Fsync:         policy,
+			FsyncInterval: *fsyncInterval,
+			SegmentBytes:  *walSegment,
+			SnapshotEvery: *snapshotEvery,
+		}
+	}
+	rack, err := broker.Open(cfg)
+	if err != nil {
+		log.Fatalf("bottlerack: open rack: %v", err)
+	}
+	defer func() {
+		if err := rack.Close(); err != nil {
+			log.Printf("bottlerack: close rack: %v", err)
+		}
+	}()
+	if *dataDir != "" {
+		st := rack.Stats()
+		log.Printf("bottlerack: durability on (%s, fsync=%s): recovered %d bottles, wal %d bytes",
+			*dataDir, *fsync, st.Recovered, st.WALBytes)
+	}
 
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -77,6 +126,15 @@ func main() {
 			l.Close()
 			srv.Close()
 			<-done
+			if *dataDir != "" {
+				// A final snapshot makes the next start a pure snapshot load
+				// with no tail to replay, and compacts the log while at it.
+				if err := rack.Snapshot(); err != nil {
+					log.Printf("bottlerack: shutdown snapshot: %v", err)
+				} else {
+					log.Printf("bottlerack: shutdown snapshot written (wal %d bytes)", rack.Stats().WALBytes)
+				}
+			}
 			log.Print(statsLine(rack.Stats()))
 			return
 		case err := <-done:
@@ -91,10 +149,11 @@ func main() {
 // statsLine renders a one-line operational summary of a stats snapshot.
 func statsLine(st broker.Stats) string {
 	return fmt.Sprintf(
-		"bottlerack: held=%d submitted=%d dup=%d expired=%d sweeps=%d scanned=%d prefilter-reject=%.1f%% match=%.1f%% replies in/out/dropped=%d/%d/%d primes=%v",
+		"bottlerack: held=%d submitted=%d dup=%d expired=%d sweeps=%d scanned=%d prefilter-reject=%.1f%% match=%.1f%% replies in/out/dropped=%d/%d/%d recovered=%d wal=%dB primes=%v",
 		st.Held, st.Totals.Submitted, st.Totals.Duplicates, st.Totals.Expired,
 		st.Totals.Sweeps, st.Totals.Scanned,
 		100*st.PrefilterRejectRate(), 100*st.MatchRate(),
 		st.Totals.RepliesIn, st.Totals.RepliesOut, st.Totals.RepliesDropped,
+		st.Recovered, st.WALBytes,
 		st.Primes)
 }

@@ -5,11 +5,14 @@
 //
 // The implementation lives under internal/ (core mechanism, crypto substrate,
 // hexagonal-lattice location hashing, bottle-rack rendezvous broker with its
-// dual lock-step/multiplexed wire transport, the courier client SDK in
+// write-ahead-log durability substrate in internal/broker/wal and its dual
+// lock-step/multiplexed wire transport, the courier client SDK in
 // internal/client, MSN simulator, dataset generator, asymmetric baselines,
 // adversary harness, cost model and experiment generators), with runnable
 // entry points under cmd/ and examples/. The repository-level benchmarks in
 // bench_test.go regenerate every table and figure of the paper's evaluation
-// and track the broker's and transport's throughput; see README.md for the
-// package map, the wire formats and quickstart.
+// and track the broker's, transport's and durability subsystem's
+// throughput. See README.md for the package map and quickstart,
+// docs/PROTOCOL.md for the complete wire and on-disk format specification,
+// and docs/ARCHITECTURE.md for the layer map and design rationale.
 package sealedbottle

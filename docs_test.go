@@ -1,0 +1,82 @@
+package sealedbottle
+
+// Documentation link check: every relative link in every tracked Markdown
+// file must point at a path that exists in the repository. CI runs this as
+// its docs job; it also runs with the ordinary test suite, so a doc rename
+// breaks loudly rather than rotting quietly.
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// mdLink matches inline Markdown links and images: [text](target). Targets
+// with schemes (https:, mailto:) are filtered out by the caller.
+var mdLink = regexp.MustCompile(`!?\[[^\]]*\]\(([^)\s]+)\)`)
+
+// fencedBlock strips ``` fenced code blocks, whose contents are examples,
+// not links.
+var fencedBlock = regexp.MustCompile("(?s)```.*?```")
+
+// markdownFiles walks the repository for .md files, skipping VCS and test
+// artefact directories.
+func markdownFiles(t *testing.T) []string {
+	t.Helper()
+	var files []string
+	err := filepath.WalkDir(".", func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			switch d.Name() {
+			case ".git", "testdata":
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		switch d.Name() {
+		case "PAPER.md", "PAPERS.md", "SNIPPETS.md":
+			// Auto-generated retrieval digests; their PDF-extraction figure
+			// references are not links we maintain.
+			return nil
+		}
+		if strings.HasSuffix(d.Name(), ".md") {
+			files = append(files, path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no markdown files found — is the test running at the repo root?")
+	}
+	return files
+}
+
+func TestDocsRelativeLinks(t *testing.T) {
+	for _, file := range markdownFiles(t) {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body := fencedBlock.ReplaceAllString(string(data), "")
+		for _, m := range mdLink.FindAllStringSubmatch(body, -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
+				continue // external; availability is not this test's business
+			}
+			if strings.HasPrefix(target, "#") {
+				continue // intra-document anchor
+			}
+			target = strings.SplitN(target, "#", 2)[0]
+			resolved := filepath.Join(filepath.Dir(file), target)
+			if _, err := os.Stat(resolved); err != nil {
+				t.Errorf("%s: broken relative link %q (resolved %s)", file, m[1], resolved)
+			}
+		}
+	}
+}

@@ -15,6 +15,13 @@
 // concurrent queries batch fairly behind it. Expiry is lazy (expired bottles
 // are skipped and unlinked as sweeps encounter them) with a background reaper
 // closing the long tail.
+//
+// Racks are in-memory by default; Config.Durability backs one with the
+// write-ahead log and snapshots of internal/broker/wal, in which case Open
+// recovers the previous state on startup (see durability.go and
+// docs/PROTOCOL.md for the record and snapshot formats). The durability
+// hook costs the in-memory path nothing: a nil hook leaves every operation
+// exactly as before.
 package broker
 
 import (
@@ -66,6 +73,12 @@ type Config struct {
 	// Now supplies the clock (nil: time.Now); injected by tests and by the
 	// discrete-event simulator so expiry follows simulated time.
 	Now func() time.Time
+	// Durability, when non-nil, backs the rack with a write-ahead log and
+	// snapshots under DurabilityConfig.Dir; Open then recovers the previous
+	// state on startup. Nil keeps the rack purely in-memory with zero
+	// durability overhead. Racks with durability must be built with Open
+	// (recovery can fail); New panics on such configs' errors.
+	Durability *DurabilityConfig
 }
 
 // withDefaults fills unset fields and normalizes the shard count.
@@ -100,6 +113,11 @@ type Rack struct {
 	mask   uint64
 	shards []*shard
 
+	// dur and recovered are set once by Open (before the rack serves) and
+	// never change: nil/zero on in-memory racks.
+	dur       *durability
+	recovered uint64
+
 	jobs    chan sweepJob
 	closed  chan struct{}
 	closeMu sync.Mutex
@@ -119,7 +137,20 @@ type sweepJob struct {
 }
 
 // New builds a rack and starts its worker pool and (unless disabled) reaper.
+// It panics if the config's durability setup fails; durable racks should use
+// Open, whose error is the disk's to give.
 func New(cfg Config) *Rack {
+	r, err := Open(cfg)
+	if err != nil {
+		panic(fmt.Sprintf("broker.New: %v (use broker.Open for durable racks)", err))
+	}
+	return r
+}
+
+// Open builds a rack, recovering prior state from the durability directory
+// when the config asks for it, and starts its worker pool, reaper and
+// (when configured) periodic snapshot loop.
+func Open(cfg Config) (*Rack, error) {
 	cfg = cfg.withDefaults()
 	r := &Rack{
 		cfg:    cfg,
@@ -131,6 +162,11 @@ func New(cfg Config) *Rack {
 	for i := range r.shards {
 		r.shards[i] = newShard()
 	}
+	if cfg.Durability != nil {
+		if err := r.openDurability(*cfg.Durability); err != nil {
+			return nil, err
+		}
+	}
 	for i := 0; i < cfg.Workers; i++ {
 		r.wg.Add(1)
 		go r.worker()
@@ -139,16 +175,23 @@ func New(cfg Config) *Rack {
 		r.wg.Add(1)
 		go r.reaper()
 	}
-	return r
+	if r.dur != nil && r.dur.snapshotEvery > 0 {
+		r.wg.Add(1)
+		go r.snapshotLoop()
+	}
+	return r, nil
 }
 
 // Close stops the worker pool and reaper. Operations after Close return
-// ErrRackClosed.
-func (r *Rack) Close() {
+// ErrRackClosed. On a durable rack the returned error reports a failed
+// final flush/fsync of the write-ahead-log tail — silent loss of the last
+// interval's records would otherwise surface only at the next recovery;
+// in-memory racks always return nil.
+func (r *Rack) Close() error {
 	r.closeMu.Lock()
 	defer r.closeMu.Unlock()
 	if r.done {
-		return
+		return nil
 	}
 	r.done = true
 	// Workers and in-flight sweeps exit via the closed channel; r.jobs is
@@ -156,6 +199,12 @@ func (r *Rack) Close() {
 	// its dispatch select could otherwise panic sending on it.
 	close(r.closed)
 	r.wg.Wait()
+	if r.dur != nil {
+		// Flush and fsync the log tail; the workers are gone, so nothing new
+		// can enqueue behind the close.
+		return r.dur.log.Close()
+	}
+	return nil
 }
 
 // isClosed reports whether Close has been called.
@@ -176,7 +225,8 @@ func (r *Rack) shardFor(id string) *shard {
 }
 
 // Submit validates a marshalled request package and racks it. It returns the
-// request ID under which the bottle is held.
+// request ID under which the bottle is held; on a durable rack, a nil error
+// additionally means the bottle is persisted per the fsync policy.
 func (r *Rack) Submit(raw []byte) (string, error) {
 	if r.isClosed() {
 		return "", ErrRackClosed
@@ -186,6 +236,9 @@ func (r *Rack) Submit(raw []byte) (string, error) {
 		return "", err
 	}
 	if err := r.shardFor(b.id).put(b); err != nil {
+		return "", err
+	}
+	if err := r.commitDur(); err != nil {
 		return "", err
 	}
 	return b.id, nil
@@ -255,6 +308,11 @@ func (r *Rack) SubmitBatch(raws [][]byte) ([]SubmitResult, error) {
 			}
 		}
 	}
+	// One durability wait for the whole batch: the shard loops above enqueued
+	// every racked bottle, so a single group commit covers them all.
+	if err := r.commitDur(); err != nil {
+		return results, err
+	}
 	return results, nil
 }
 
@@ -294,6 +352,9 @@ func (r *Rack) ReplyBatch(posts []ReplyPost) ([]error, error) {
 		for j, err := range sh.pushReplyBatch(posts, idxs, r.cfg.MaxRepliesPerBottle, now) {
 			errs[idxs[j]] = err
 		}
+	}
+	if err := r.commitDur(); err != nil {
+		return errs, err
 	}
 	return errs, nil
 }
@@ -501,7 +562,10 @@ func (r *Rack) Reply(requestID string, raw []byte) error {
 		return fmt.Errorf("broker: reply addressed to %q but carries request id %q", requestID, rep.RequestID)
 	}
 	sh := r.shardFor(requestID)
-	return sh.pushReply(requestID, raw, r.cfg.MaxRepliesPerBottle, r.cfg.Now().UTC())
+	if err := sh.pushReply(requestID, raw, r.cfg.MaxRepliesPerBottle, r.cfg.Now().UTC()); err != nil {
+		return err
+	}
+	return r.commitDur()
 }
 
 // Fetch drains and returns the replies queued for a request. Only bottles
@@ -514,12 +578,16 @@ func (r *Rack) Fetch(requestID string) ([][]byte, error) {
 }
 
 // Remove takes a bottle (and its pending replies) off the rack, e.g. when an
-// initiator has found enough matches. It reports whether the bottle was held.
-func (r *Rack) Remove(requestID string) bool {
+// initiator has found enough matches. It reports whether the bottle was
+// held; the error is only non-nil on a durable rack whose log commit failed.
+func (r *Rack) Remove(requestID string) (bool, error) {
 	if r.isClosed() {
-		return false
+		return false, ErrRackClosed
 	}
-	return r.shardFor(requestID).remove(requestID)
+	if !r.shardFor(requestID).remove(requestID) {
+		return false, nil
+	}
+	return true, r.commitDur()
 }
 
 // Reap removes every expired bottle now; it returns the number reaped. The
@@ -596,6 +664,13 @@ type Stats struct {
 	PerShard []ShardStats
 	// Primes is the sorted set of live remainder primes.
 	Primes []uint32
+	// Recovered is the number of bottles restored from the write-ahead log
+	// and snapshot at startup (zero on in-memory racks).
+	Recovered uint64
+	// WALBytes is the current on-disk size of the durability log — live
+	// segments plus the live snapshot (zero on in-memory racks). Operators
+	// watch it fall after compaction and grow between snapshots.
+	WALBytes uint64
 }
 
 // PrefilterRejectRate is the fraction of screened bottles the residue
@@ -641,5 +716,9 @@ func (r *Rack) Stats() Stats {
 		primes = append(primes, sh.primes()...)
 	}
 	st.Primes = core.MergePrimes(primes...)
+	st.Recovered = r.recovered
+	if r.dur != nil {
+		st.WALBytes = uint64(r.dur.log.SizeBytes())
+	}
 	return st
 }

@@ -149,11 +149,11 @@ func TestSubmitSweepReplyFetchLifecycle(t *testing.T) {
 		t.Fatalf("Primes = %v, want [%d]", st.Primes, pkg.Prime)
 	}
 
-	if !rack.Remove(pkg.ID) {
-		t.Fatal("Remove must report the bottle was held")
+	if ok, err := rack.Remove(pkg.ID); err != nil || !ok {
+		t.Fatalf("Remove = (%v, %v), must report the bottle was held", ok, err)
 	}
-	if rack.Remove(pkg.ID) {
-		t.Fatal("second Remove must report absence")
+	if ok, err := rack.Remove(pkg.ID); err != nil || ok {
+		t.Fatalf("second Remove = (%v, %v), must report absence", ok, err)
 	}
 	if _, err := rack.Fetch(pkg.ID); !errors.Is(err, ErrUnknownBottle) {
 		t.Fatalf("Fetch after Remove = %v, want ErrUnknownBottle", err)
@@ -510,7 +510,7 @@ func TestRackConcurrent(t *testing.T) {
 				}
 			}
 			if n++; n%7 == 0 {
-				rack.Remove(id)
+				rack.Remove(id) //nolint:errcheck // closed-rack race is part of the churn
 			}
 		}
 	}()

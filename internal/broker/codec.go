@@ -489,6 +489,8 @@ func MarshalStats(st Stats) []byte {
 	for _, p := range st.Primes {
 		buf = binary.BigEndian.AppendUint32(buf, p)
 	}
+	buf = binary.BigEndian.AppendUint64(buf, st.Recovered)
+	buf = binary.BigEndian.AppendUint64(buf, st.WALBytes)
 	return buf
 }
 
@@ -537,6 +539,18 @@ func UnmarshalStats(data []byte) (Stats, error) {
 		if st.Primes[i], err = r.uint32(); err != nil {
 			return st, fmt.Errorf("%w: prime", ErrMalformedFrame)
 		}
+	}
+	// The durability counters are a revision-2 tail: a revision-1 frame ends
+	// cleanly after the primes, and tolerating that absence (as zeros) keeps
+	// new clients working against old brokers.
+	if r.remaining() == 0 {
+		return st, nil
+	}
+	if st.Recovered, err = r.uint64(); err != nil {
+		return st, fmt.Errorf("%w: recovered", ErrMalformedFrame)
+	}
+	if st.WALBytes, err = r.uint64(); err != nil {
+		return st, fmt.Errorf("%w: wal bytes", ErrMalformedFrame)
 	}
 	if r.remaining() != 0 {
 		return st, fmt.Errorf("%w: trailing bytes", ErrMalformedFrame)

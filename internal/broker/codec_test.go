@@ -105,7 +105,9 @@ func TestStatsRoundTrip(t *testing.T) {
 			{Held: 3, Submitted: 4},
 			{Held: 4, Submitted: 5, Duplicates: 1, Expired: 2, Sweeps: 3, RepliesOut: 1, RepliesDropped: 2},
 		},
-		Primes: []uint32{11, 13},
+		Primes:    []uint32{11, 13},
+		Recovered: 21,
+		WALBytes:  4096,
 	}
 	got, err := UnmarshalStats(MarshalStats(st))
 	if err != nil {
@@ -113,6 +115,21 @@ func TestStatsRoundTrip(t *testing.T) {
 	}
 	if !reflect.DeepEqual(st, got) {
 		t.Fatalf("round trip mismatch:\n in: %+v\nout: %+v", st, got)
+	}
+}
+
+// TestStatsDecodesRevision1 pins the compatibility rule of
+// docs/PROTOCOL.md §2.7: a frame from a broker predating the durability
+// counters ends after the primes and must decode with both counters zero.
+func TestStatsDecodesRevision1(t *testing.T) {
+	full := MarshalStats(Stats{Shards: 2, Workers: 1, PerShard: []ShardStats{{}, {}}, Primes: []uint32{11}})
+	rev1 := full[:len(full)-16] // strip the two trailing u64 counters
+	got, err := UnmarshalStats(rev1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Recovered != 0 || got.WALBytes != 0 || got.Shards != 2 {
+		t.Fatalf("revision-1 decode = %+v, want zero durability counters", got)
 	}
 }
 
@@ -147,6 +164,11 @@ func TestCodecRejectsTruncation(t *testing.T) {
 			case "result":
 				_, err = UnmarshalSweepResult(enc[:cut])
 			case "stats":
+				if cut == len(enc)-16 {
+					// Exactly the durability counters missing: that is a
+					// well-formed revision-1 frame, accepted by design.
+					continue
+				}
 				_, err = UnmarshalStats(enc[:cut])
 			case "post":
 				_, _, err = UnmarshalReplyPost(enc[:cut])

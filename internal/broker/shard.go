@@ -35,6 +35,13 @@ type shard struct {
 	byPrime map[uint32][]*bottle
 	replies map[string][][]byte
 	stats   ShardStats
+
+	// logRec, when set, appends one write-ahead-log record for a mutation.
+	// It is invoked inside the critical section that applies the mutation,
+	// so the log's order equals the apply order for any bottle (both orders
+	// serialize on this mutex); durability waiting happens outside the lock.
+	// Nil on in-memory racks and during recovery replay.
+	logRec func(typ byte, payload []byte)
 }
 
 func newShard() *shard {
@@ -74,6 +81,9 @@ func (s *shard) putLocked(b *bottle) error {
 	s.bottles[b.id] = b
 	s.byPrime[b.prime] = append(s.byPrime[b.prime], b)
 	s.stats.Submitted++
+	if s.logRec != nil {
+		s.logRec(walRecSubmit, b.raw)
+	}
 	return nil
 }
 
@@ -165,6 +175,9 @@ func (s *shard) dropLocked(b *bottle) {
 	delete(s.bottles, b.id)
 	delete(s.replies, b.id)
 	s.stats.Expired++
+	if s.logRec != nil {
+		s.logRec(walRecExpire, []byte(b.id))
+	}
 }
 
 // pushReply queues a reply for a racked bottle.
@@ -199,6 +212,9 @@ func (s *shard) pushReplyLocked(id string, raw []byte, maxQueue int, now time.Ti
 	}
 	s.replies[id] = append(s.replies[id], append([]byte(nil), raw...))
 	s.stats.RepliesIn++
+	if s.logRec != nil {
+		s.logRec(walRecReply, MarshalReplyPost(id, raw))
+	}
 	return nil
 }
 
@@ -243,6 +259,9 @@ func (s *shard) drainRepliesLocked(id string) ([][]byte, error) {
 	out := s.replies[id]
 	delete(s.replies, id)
 	s.stats.RepliesOut += uint64(len(out))
+	if s.logRec != nil && len(out) > 0 {
+		s.logRec(walRecDrain, []byte(id))
+	}
 	return out, nil
 }
 
@@ -257,7 +276,23 @@ func (s *shard) remove(id string) bool {
 	b.gone = true
 	delete(s.bottles, id)
 	delete(s.replies, id)
+	if s.logRec != nil {
+		s.logRec(walRecRemove, []byte(id))
+	}
 	return true
+}
+
+// installReplies restores a recovered reply queue for a racked bottle; it is
+// only called during recovery, before the rack serves traffic.
+func (s *shard) installReplies(id string, raws [][]byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.bottles[id]; !ok {
+		return
+	}
+	if len(raws) > 0 {
+		s.replies[id] = raws
+	}
 }
 
 // reap removes every expired bottle and compacts the prime groups.

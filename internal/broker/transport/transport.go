@@ -1,15 +1,40 @@
 // Package transport layers the bottle-rack broker's request/response
-// protocol over net.Conn: a TCP server for real deployments plus an in-memory
-// pipe listener for tests and in-process load generation.
+// protocol over net.Conn: a TCP server for real deployments plus an
+// in-memory pipe listener (pipe.go) for tests and in-process load
+// generation. The full wire specification — framings, opcodes, body
+// encodings, error and deadline semantics — lives in docs/PROTOCOL.md; this
+// package is its reference implementation.
 //
-// Two framings share one server port. The original lock-step framing carries
-// one request at a time per connection: a 4-byte big-endian length, a 1-byte
-// opcode (requests) or status (responses), and an operation-specific body
-// encoded by the broker package's codec. The multiplexed framing (see mux.go)
-// is selected by a connection preamble and adds an 8-byte sequence number per
+// Two framings share one server port, detected from the first four bytes of
+// each connection. The original lock-step framing carries one request at a
+// time per connection: a 4-byte big-endian length, a 1-byte opcode
+// (requests) or status (responses), and an operation-specific body encoded
+// by the broker package's codec. The multiplexed framing (mux.go) is
+// selected by the "SBM1" preamble and adds an 8-byte sequence number per
 // frame, so one connection sustains many in-flight calls and the server may
-// respond out of order. The server detects the framing from the first four
-// bytes of each connection, so old lock-step clients keep working unchanged.
+// respond out of order; old lock-step clients keep working unchanged (with
+// one documented exception: the OpStats response grew a revision-2 tail
+// that pre-revision clients reject — docs/PROTOCOL.md §2.7).
+//
+// Operational behaviour worth knowing:
+//
+//   - Responses with status 1 carry the error text and become *RemoteError
+//     on the client — proof the server executed, so pools must not retry.
+//   - The server runs cheap opcodes inline in frame order and dispatches
+//     heavy ones (Sweep, Stats, the batches) to bounded goroutines
+//     (ServerOptions.MaxInflight per connection, with read back-pressure at
+//     the bound).
+//   - Both ends coalesce frame writes through a 64 KiB flush-on-idle
+//     buffer, so a pipelined burst rides a handful of syscalls.
+//   - Deadlines make dead peers errors instead of hangs: the server's
+//     ReadIdleTimeout/WriteTimeout, and the client's CallTimeout — a round
+//     trip bound on lock-step connections, a progress bound on multiplexed
+//     ones (a stalled shared connection fails every caller; there is no
+//     per-call salvage).
+//
+// Frames are bounded by MaxFrameSize (16 MiB), checked before allocation on
+// both ends. New code should dial through the internal/client courier
+// rather than using Client/Mux directly.
 package transport
 
 import (
@@ -405,7 +430,11 @@ func (s *Server) dispatch(op byte, body []byte) ([]byte, error) {
 	case OpStats:
 		return broker.MarshalStats(s.rack.Stats()), nil
 	case OpRemove:
-		if s.rack.Remove(string(body)) {
+		ok, err := s.rack.Remove(string(body))
+		if err != nil {
+			return nil, err
+		}
+		if ok {
 			return []byte{1}, nil
 		}
 		return []byte{0}, nil

@@ -1,0 +1,9 @@
+//go:build !unix
+
+package wal
+
+// lockDir is a no-op where flock is unavailable; single-writer discipline is
+// then the operator's to keep.
+func lockDir(string) (release func(), err error) {
+	return func() {}, nil
+}

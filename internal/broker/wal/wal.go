@@ -1,0 +1,655 @@
+// Package wal gives the bottle rack a durability substrate: an append-only,
+// segmented, CRC-checked write-ahead log plus point-in-time snapshots, so a
+// broker restart recovers every acknowledged bottle instead of silently
+// dropping the rack (the paper's model assumes pending requests persist in
+// the network until opened or expired — a production rendezvous service has
+// to assume the same of itself).
+//
+// The package is deliberately generic: records are an opaque (type, payload)
+// pair and the snapshot is an opaque blob, both encoded by the caller (the
+// broker package reuses its wire codec for them — see docs/PROTOCOL.md for
+// the exact on-disk formats). What the log provides is ordering, durability
+// and bounded disk use:
+//
+//   - Records are appended through a single committer goroutine fed by an
+//     ordered channel, so the log order equals the order in which callers
+//     enqueued (callers enqueue inside the same critical section that applies
+//     the mutation, making replay order equal apply order).
+//   - Durability follows the fsync Policy: PolicyAlways makes Commit a group
+//     commit — every record enqueued before the call is fsynced, with
+//     concurrent committers amortized into one fsync; PolicyInterval fsyncs
+//     on a timer; PolicyNever leaves syncing to the operating system.
+//   - The log is cut into segments (rolled at SegmentBytes); a snapshot
+//     supersedes every record enqueued before it, so segments older than the
+//     newest snapshot are deleted (compaction) and recovery replays only the
+//     snapshot plus the tail.
+//   - Replay tolerates a torn final record — a crash mid-write loses at most
+//     the unsynced suffix, never the ability to recover the prefix.
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Defaults for Options fields left zero.
+const (
+	// DefaultInterval is the PolicyInterval fsync period.
+	DefaultInterval = 100 * time.Millisecond
+	// DefaultSegmentBytes is the segment roll threshold.
+	DefaultSegmentBytes = 64 << 20
+)
+
+// enqueueDepth is the committer channel's buffer; enqueuers (who may hold a
+// rack shard lock) only block once this many records are waiting.
+const enqueueDepth = 4096
+
+// Errors of the log.
+var (
+	// ErrClosed indicates an operation on a closed (or crashed) log.
+	ErrClosed = errors.New("wal: log closed")
+	// ErrBadPolicy indicates an unknown fsync policy name.
+	ErrBadPolicy = errors.New("wal: unknown fsync policy")
+)
+
+// Policy selects when appended records are fsynced.
+type Policy int
+
+const (
+	// PolicyInterval (the default) fsyncs on a timer: a crash loses at most
+	// the last Interval of acknowledged records.
+	PolicyInterval Policy = iota
+	// PolicyAlways fsyncs before Commit returns: an acknowledged record
+	// survives any crash. Concurrent commits are grouped into one fsync.
+	PolicyAlways
+	// PolicyNever never fsyncs: the operating system decides when dirty pages
+	// reach the disk. Fastest, weakest.
+	PolicyNever
+)
+
+// String returns the policy's flag spelling.
+func (p Policy) String() string {
+	switch p {
+	case PolicyAlways:
+		return "always"
+	case PolicyInterval:
+		return "interval"
+	case PolicyNever:
+		return "never"
+	}
+	return fmt.Sprintf("policy(%d)", int(p))
+}
+
+// ParsePolicy parses a policy's flag spelling.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "always":
+		return PolicyAlways, nil
+	case "interval":
+		return PolicyInterval, nil
+	case "never":
+		return PolicyNever, nil
+	}
+	return 0, fmt.Errorf("%w: %q (want always, interval or never)", ErrBadPolicy, s)
+}
+
+// Options tunes a Log.
+type Options struct {
+	// Dir is the data directory; it is created if missing. Required.
+	Dir string
+	// Policy selects the fsync behaviour (zero: PolicyInterval).
+	Policy Policy
+	// Interval is the PolicyInterval fsync period (zero: DefaultInterval).
+	Interval time.Duration
+	// SegmentBytes is the segment roll threshold (zero: DefaultSegmentBytes).
+	SegmentBytes int64
+}
+
+// withDefaults fills unset fields.
+func (o Options) withDefaults() Options {
+	if o.Interval <= 0 {
+		o.Interval = DefaultInterval
+	}
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = DefaultSegmentBytes
+	}
+	return o
+}
+
+// op is one unit of committer work: a record, a commit barrier, or a
+// snapshot request.
+type op struct {
+	rec      []byte        // encoded record, nil for control ops
+	commit   chan error    // commit barrier: flush+sync everything enqueued before it
+	snap     func() []byte // produces the snapshot blob to persist
+	snapDone chan error
+}
+
+// Log is a segmented write-ahead log bound to one data directory. Open scans
+// the directory; LoadSnapshot and Replay recover its contents; Start begins a
+// fresh segment and accepts appends. Enqueue/Commit/Snapshot are safe for
+// concurrent use once started.
+type Log struct {
+	opts   Options
+	unlock func() // releases the data-directory flock
+
+	// Scan results, owned between Open and Start.
+	segs      []segmentInfo
+	snaps     []snapshotInfo
+	snapSeq   uint64 // first segment seq NOT covered by the loaded snapshot
+	replayed  bool
+	tornSeq   uint64 // segment where Replay hit a torn record (0: none)
+	tornValid int64  // valid byte prefix of the torn segment
+
+	ch      chan op
+	stop    chan struct{} // closed by Close/Crash; enqueuers bail out on it
+	exited  chan struct{} // closed when the committer returns
+	started bool
+	crash   atomic.Bool // Crash: committer abandons buffered state
+
+	mu     sync.Mutex // guards closing state transitions
+	closed bool
+
+	err      atomic.Value // sticky first write error, type error
+	size     atomic.Int64 // on-disk bytes: live segments + live snapshot
+	appended atomic.Int64 // records enqueued since open or last snapshot
+
+	// Committer-owned state.
+	cur *segmentWriter
+}
+
+// Open scans (creating if needed) the data directory and returns a log ready
+// for recovery: call LoadSnapshot, then Replay, then Start.
+func Open(opts Options) (*Log, error) {
+	if opts.Dir == "" {
+		return nil, errors.New("wal: Options.Dir is required")
+	}
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: create dir: %w", err)
+	}
+	unlock, err := lockDir(opts.Dir)
+	if err != nil {
+		return nil, err
+	}
+	l := &Log{
+		opts:   opts,
+		unlock: unlock,
+		ch:     make(chan op, enqueueDepth),
+		stop:   make(chan struct{}),
+		exited: make(chan struct{}),
+	}
+	if err := l.scan(); err != nil {
+		unlock()
+		return nil, err
+	}
+	return l, nil
+}
+
+// stickyErr returns the first write error, if any.
+func (l *Log) stickyErr() error {
+	if v := l.err.Load(); v != nil {
+		return v.(error)
+	}
+	return nil
+}
+
+// setErr records the first write error; later records are dropped and later
+// commits fail with it.
+func (l *Log) setErr(err error) {
+	if l.err.Load() == nil {
+		l.err.Store(fmt.Errorf("wal: log failed: %w", err))
+	}
+}
+
+// SizeBytes returns the current on-disk size of the log: live segments plus
+// the live snapshot.
+func (l *Log) SizeBytes() int64 { return l.size.Load() }
+
+// AppendedSinceSnapshot returns how many records have been enqueued since the
+// log was opened or the last snapshot was written; periodic snapshot loops
+// use it to skip no-op snapshots.
+func (l *Log) AppendedSinceSnapshot() int64 { return l.appended.Load() }
+
+// Start opens a fresh segment (sequence one past everything on disk — a torn
+// tail is never appended to) and starts the committer. It also finishes any
+// compaction interrupted by a crash (deleting segments and snapshots
+// superseded by the loaded snapshot) and trims the torn segment Replay
+// found, if any, so the tear cannot shadow records written from here on.
+func (l *Log) Start() error {
+	if l.started {
+		return errors.New("wal: already started")
+	}
+	l.removeObsolete(l.snapSeq)
+	if err := l.trimTorn(); err != nil {
+		return err
+	}
+	next := l.snapSeq
+	if n := len(l.segs); n > 0 {
+		next = l.segs[n-1].seq + 1
+	}
+	if next == 0 {
+		next = 1
+	}
+	w, err := createSegment(l.opts.Dir, next)
+	if err != nil {
+		return err
+	}
+	l.cur = w
+	l.size.Add(w.size)
+	l.segs = append(l.segs, segmentInfo{seq: next, path: w.path, size: w.size})
+	l.started = true
+	go l.run()
+	return nil
+}
+
+// Enqueue appends one record to the log's ordered queue. It is meant to be
+// called inside the same critical section that applies the record's effect,
+// so log order equals apply order; durability (per the policy) is what Commit
+// is for. Records enqueued during shutdown may be dropped — the caller's
+// Commit reports the close.
+func (l *Log) Enqueue(typ byte, payload []byte) {
+	l.appended.Add(1)
+	select {
+	case l.ch <- op{rec: appendRecord(nil, typ, payload)}:
+	case <-l.stop:
+	}
+}
+
+// Commit makes every record enqueued before the call durable per the policy:
+// under PolicyAlways it blocks for a (group) fsync; under PolicyInterval and
+// PolicyNever it reports a sticky write failure or a closed log, if any —
+// the closed check is what keeps Enqueue's contract honest: a record dropped
+// by a shutdown race surfaces here as ErrClosed instead of a false success.
+func (l *Log) Commit() error {
+	if err := l.stickyErr(); err != nil {
+		return err
+	}
+	select {
+	case <-l.stop:
+		return ErrClosed
+	default:
+	}
+	if l.opts.Policy != PolicyAlways {
+		return nil
+	}
+	done := make(chan error, 1)
+	select {
+	case l.ch <- op{commit: done}:
+	case <-l.stop:
+		return ErrClosed
+	}
+	select {
+	case err := <-done:
+		return err
+	case <-l.exited:
+		if err := l.stickyErr(); err != nil {
+			return err
+		}
+		return ErrClosed
+	}
+}
+
+// Snapshot persists a point-in-time snapshot superseding every record
+// enqueued before the call, then compacts: the current segment is retired, a
+// fresh one is started, and all older segments and snapshots are deleted.
+// The blob function is evaluated once, by the committer, when the snapshot's
+// turn in the log order comes; the caller must guarantee it produces a blob
+// reflecting exactly the effects of the records enqueued before this call
+// (the broker captures immutable references under every shard lock and
+// serializes them lazily here, keeping the stop-the-world window short).
+// The returned wait function reports when the snapshot is durable; the
+// enqueue itself establishes its position in the log order.
+func (l *Log) Snapshot(blob func() []byte) (wait func() error) {
+	done := make(chan error, 1)
+	select {
+	case l.ch <- op{snap: blob, snapDone: done}:
+	case <-l.stop:
+		return func() error { return ErrClosed }
+	}
+	return func() error {
+		select {
+		case err := <-done:
+			return err
+		case <-l.exited:
+			if err := l.stickyErr(); err != nil {
+				return err
+			}
+			return ErrClosed
+		}
+	}
+}
+
+// Close drains the queue, flushes and fsyncs the tail, and closes the
+// current segment. The log cannot be reused; Open the directory again.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.closed = true
+	close(l.stop)
+	l.mu.Unlock()
+	defer l.unlock()
+	if !l.started {
+		close(l.exited)
+		return nil
+	}
+	<-l.exited
+	return l.stickyErr()
+}
+
+// Crash abandons the log the way a kill -9 would: queued records and
+// buffered bytes are dropped without flushing, and the file is closed
+// mid-state. It exists so durability tests can exercise recovery from an
+// unclean shutdown in-process; production code calls Close.
+func (l *Log) Crash() {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return
+	}
+	l.closed = true
+	l.crash.Store(true)
+	close(l.stop)
+	l.mu.Unlock()
+	// The flock is released so the same test process can reopen the
+	// directory; a real kill -9 releases it via process death anyway.
+	defer l.unlock()
+	if !l.started {
+		close(l.exited)
+		return
+	}
+	<-l.exited
+}
+
+// run is the committer: the single goroutine that writes records, serves
+// commit barriers (group commit), rolls segments, and persists snapshots.
+func (l *Log) run() {
+	defer close(l.exited)
+	var tick <-chan time.Time
+	if l.opts.Policy == PolicyInterval {
+		t := time.NewTicker(l.opts.Interval)
+		defer t.Stop()
+		tick = t.C
+	}
+	dirty := false // bytes flushed to the OS but not yet fsynced
+	for {
+		select {
+		case o := <-l.ch:
+			l.handleBatch(o, &dirty)
+		case <-tick:
+			if dirty && l.sync() == nil {
+				dirty = false
+			}
+		case <-l.stop:
+			l.drainAndExit(dirty)
+			return
+		}
+	}
+}
+
+// handleBatch serves one op plus everything else already queued, then
+// flushes the burst; commit barriers collected along the way share one
+// fsync (group commit).
+func (l *Log) handleBatch(first op, dirty *bool) {
+	var commits []chan error
+	apply := func(o op) {
+		switch {
+		case o.rec != nil:
+			l.writeRecord(o.rec)
+			*dirty = true
+		case o.commit != nil:
+			commits = append(commits, o.commit)
+		case o.snapDone != nil:
+			l.flush()
+			l.persistSnapshot(o.snap, o.snapDone)
+			*dirty = false
+		}
+	}
+	apply(first)
+	for drained := false; !drained; {
+		select {
+		case o := <-l.ch:
+			apply(o)
+		default:
+			drained = true
+		}
+	}
+	l.flush()
+	if len(commits) > 0 {
+		err := l.sync()
+		if err == nil {
+			*dirty = false
+		}
+		for _, c := range commits {
+			c <- err
+		}
+	}
+}
+
+// drainAndExit finishes queued work on Close; on Crash it abandons
+// everything unflushed instead.
+func (l *Log) drainAndExit(dirty bool) {
+	if l.crash.Load() {
+		if l.cur != nil {
+			l.cur.f.Close() // abandon bufio contents
+		}
+		return
+	}
+	for {
+		select {
+		case o := <-l.ch:
+			l.handleBatch(o, &dirty)
+		default:
+			l.flush()
+			l.sync()
+			if l.cur != nil {
+				if err := l.cur.f.Close(); err != nil {
+					l.setErr(err)
+				}
+			}
+			return
+		}
+	}
+}
+
+// writeRecord appends one encoded record to the current segment, rolling
+// first when the segment is full.
+func (l *Log) writeRecord(rec []byte) {
+	if l.stickyErr() != nil {
+		return
+	}
+	if l.cur.size+int64(len(rec)) > l.opts.SegmentBytes && l.cur.size > segmentHeaderSize {
+		if err := l.roll(); err != nil {
+			l.setErr(err)
+			return
+		}
+	}
+	if err := l.cur.write(rec); err != nil {
+		l.setErr(err)
+		return
+	}
+	l.size.Add(int64(len(rec)))
+	l.segs[len(l.segs)-1].size = l.cur.size
+}
+
+// flush pushes buffered bytes to the operating system.
+func (l *Log) flush() {
+	if l.stickyErr() != nil {
+		return
+	}
+	if err := l.cur.bw.Flush(); err != nil {
+		l.setErr(err)
+	}
+}
+
+// sync flushes and fsyncs the current segment.
+func (l *Log) sync() error {
+	if err := l.stickyErr(); err != nil {
+		return err
+	}
+	if err := l.cur.bw.Flush(); err != nil {
+		l.setErr(err)
+		return l.stickyErr()
+	}
+	if err := l.cur.f.Sync(); err != nil {
+		l.setErr(err)
+		return l.stickyErr()
+	}
+	return nil
+}
+
+// roll closes the current segment (fsynced, so a completed segment is never
+// torn) and opens the next.
+func (l *Log) roll() error {
+	if err := l.sync(); err != nil {
+		return err
+	}
+	if err := l.cur.f.Close(); err != nil {
+		return err
+	}
+	next := l.cur.seq + 1
+	w, err := createSegment(l.opts.Dir, next)
+	if err != nil {
+		return err
+	}
+	l.cur = w
+	l.size.Add(w.size)
+	l.segs = append(l.segs, segmentInfo{seq: next, path: w.path, size: w.size})
+	syncDir(l.opts.Dir)
+	return nil
+}
+
+// persistSnapshot durably writes the snapshot blob, rolls to a fresh
+// segment, and deletes every segment and snapshot the blob supersedes. On
+// failure the previous segments are left intact, so recovery still has the
+// full record history.
+func (l *Log) persistSnapshot(makeBlob func() []byte, done chan error) {
+	blob := makeBlob()
+	fail := func(err error) {
+		l.setErr(err)
+		done <- l.stickyErr()
+	}
+	if err := l.stickyErr(); err != nil {
+		done <- err
+		return
+	}
+	// Retire the current segment: everything in it (and before) is covered by
+	// the blob; the records enqueued after the snapshot request go to the new
+	// segment and are replayed on top of it.
+	if err := l.cur.f.Sync(); err != nil {
+		fail(err)
+		return
+	}
+	if err := l.cur.f.Close(); err != nil {
+		fail(err)
+		return
+	}
+	covers := l.cur.seq + 1
+	size, err := writeSnapshotFile(l.opts.Dir, covers, blob)
+	if err != nil {
+		fail(err)
+		return
+	}
+	w, err := createSegment(l.opts.Dir, covers)
+	if err != nil {
+		fail(err)
+		return
+	}
+	l.cur = w
+	l.size.Add(w.size + size)
+	l.segs = append(l.segs, segmentInfo{seq: covers, path: w.path, size: w.size})
+	l.snaps = append(l.snaps, snapshotInfo{seq: covers, path: snapshotPath(l.opts.Dir, covers), size: size})
+	syncDir(l.opts.Dir)
+	l.removeObsolete(covers)
+	l.appended.Store(0)
+	done <- nil
+}
+
+// trimTorn repairs the torn segment found by Replay: a tear past the header
+// is truncated to its valid record prefix, a segment without even a valid
+// header is deleted, and segments beyond the tear (only possible after
+// repeated unclean shutdowns) are deleted — replay already cannot see past
+// the tear, so their records are unreachable history. This runs before the
+// fresh segment is created, so everything appended from now on sits after a
+// clean tail and is reachable by the next recovery.
+func (l *Log) trimTorn() error {
+	if !l.replayed || l.tornSeq == 0 {
+		return nil
+	}
+	kept := l.segs[:0]
+	for _, s := range l.segs {
+		switch {
+		case s.seq < l.tornSeq:
+			kept = append(kept, s)
+		case s.seq == l.tornSeq && l.tornValid >= segmentHeaderSize:
+			if err := os.Truncate(s.path, l.tornValid); err != nil {
+				return fmt.Errorf("wal: trim torn segment: %w", err)
+			}
+			l.size.Add(l.tornValid - s.size)
+			s.size = l.tornValid
+			kept = append(kept, s)
+		default:
+			if err := os.Remove(s.path); err != nil {
+				return fmt.Errorf("wal: remove torn segment: %w", err)
+			}
+			l.size.Add(-s.size)
+		}
+	}
+	l.segs = kept
+	syncDir(l.opts.Dir)
+	return nil
+}
+
+// removeObsolete deletes segments and snapshots fully superseded by the
+// snapshot covering sequence covers, releasing their bytes.
+func (l *Log) removeObsolete(covers uint64) {
+	keptSegs := l.segs[:0]
+	for _, s := range l.segs {
+		if s.seq < covers {
+			if os.Remove(s.path) == nil {
+				l.size.Add(-s.size)
+			}
+			continue
+		}
+		keptSegs = append(keptSegs, s)
+	}
+	l.segs = keptSegs
+	keptSnaps := l.snaps[:0]
+	for _, s := range l.snaps {
+		if s.seq < covers {
+			if os.Remove(s.path) == nil {
+				l.size.Add(-s.size)
+			}
+			continue
+		}
+		keptSnaps = append(keptSnaps, s)
+	}
+	l.snaps = keptSnaps
+}
+
+// syncDir fsyncs a directory so renames and creations within it are durable;
+// best-effort (some filesystems refuse directory fsync).
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+}
+
+// snapshotPath names the snapshot file covering segments below seq.
+func snapshotPath(dir string, seq uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("snap-%016x.snap", seq))
+}
+
+// segmentPath names the segment file with the given sequence.
+func segmentPath(dir string, seq uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("wal-%016x.log", seq))
+}

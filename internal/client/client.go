@@ -1,10 +1,34 @@
 // Package client is the courier SDK for the bottle-rack broker: the one
 // client-side implementation of the rendezvous protocol that every consumer
-// (cmd/loadgen, the msn simulator's broker-backed delivery, examples) builds
-// on. A Courier wraps dialing, reconnection and a pool of multiplexed
-// transport connections behind the plain operation set; a Sweeper (see
-// sweeper.go) drives the Matcher-based sweep→unseal→reply loop on top of any
-// Rendezvous, remote or in-process.
+// (cmd/loadgen, the msn simulator's broker-backed delivery, the examples)
+// builds on, so protocol behaviour — pooling, retry discipline, batching —
+// is decided once, here, rather than per caller.
+//
+// The pieces:
+//
+//   - Courier (Dial) is the connection layer: a pool of lazily-dialed
+//     multiplexed transport connections (Config.Conns; the legacy lock-step
+//     framing on request) with transparent redial. Its retry rule is the
+//     part worth knowing: a RemoteError means the server executed and
+//     answered, and is returned as-is, never retried; a transport-level
+//     failure recycles the connection and retries once on a fresh one, but
+//     only for idempotent operations (Sweep, Fetch, Stats, Remove) — a
+//     Submit or Reply whose frame may have reached the server is not
+//     replayed, because doing so could double-apply it.
+//   - Rendezvous is the minimal broker surface (Submit/Sweep/Reply/Fetch)
+//     that *broker.Rack, *Courier and the raw transport clients all satisfy,
+//     so protocol code runs unchanged in-process, over a pipe, or over TCP;
+//     BatchRendezvous adds the amortized batch operations, and FetchMany
+//     picks whichever the implementation offers.
+//   - Sweeper (NewSweeper) is the candidate-side loop: compute residue sets
+//     for the rack's live primes, sweep, evaluate returned bottles locally
+//     with the full core.Matcher, post replies batched, and remember
+//     evaluated IDs in a bounded seen-window so the broker spends its sweep
+//     limit on fresh bottles.
+//
+// The wire protocol the courier speaks is specified in docs/PROTOCOL.md;
+// the broker it talks to is internal/broker served by
+// internal/broker/transport.
 package client
 
 import (
