@@ -437,6 +437,45 @@ func BenchmarkBrokerSweepShards(b *testing.B) {
 	}
 }
 
+// BenchmarkRackSweep measures the steady-state sweep shape: a large rack
+// where far more bottles pass the prefilter than the query limit admits.
+// Every bottle here passes, so the sweep's cost is pure collection — the
+// case the shared whole-rack collection budget exists for. Before it, each
+// of the 64 shards collected up to the full limit and the merge threw all
+// but `limit` away (shards×limit collected bottles per sweep); now shards
+// stop scanning as soon as the shared budget is spent, so small-limit sweeps
+// over big racks no longer pay for the rack's size. Compare limit=16 against
+// limit=unbounded (which must still scan everything) to see the win.
+func BenchmarkRackSweep(b *testing.B) {
+	const rackSize = 32768
+	rack := broker.New(broker.Config{Shards: 64, ReapInterval: -1})
+	defer rack.Close()
+	for _, raw := range benchRawBottles(b, rackSize) {
+		if _, err := rack.Submit(raw); err != nil {
+			b.Fatal(err)
+		}
+	}
+	residues := benchSweeperResidues(b)
+	for _, limit := range []int{16, 256, rackSize} {
+		name := fmt.Sprintf("limit=%d", limit)
+		if limit == rackSize {
+			name = "limit=all"
+		}
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := rack.Sweep(broker.SweepQuery{Residues: residues, Limit: limit})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Bottles) != limit {
+					b.Fatalf("swept %d bottles, want %d", len(res.Bottles), limit)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkBrokerSweepRackSize measures how sweep cost scales with the number
 // of racked bottles at a fixed shard count.
 func BenchmarkBrokerSweepRackSize(b *testing.B) {

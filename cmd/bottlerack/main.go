@@ -5,7 +5,10 @@
 //
 // The server speaks both wire framings — lock-step and multiplexed — detected
 // per connection, so old clients keep working while pipelined couriers sustain
-// many in-flight requests per connection. With -data-dir set the rack is
+// many in-flight requests per connection. In a multi-rack cluster give each
+// rack a distinct -tag: issued request IDs then carry a "tag@" prefix that
+// lets the client-side Ring route replies and fetches back to the owning
+// rack even after a client restart. With -data-dir set the rack is
 // durable: every acknowledged mutation is written to a write-ahead log (fsync
 // policy per -fsync), snapshots bound replay time (periodic via
 // -snapshot-every, and one final snapshot on SIGINT/SIGTERM), and a restart
@@ -16,7 +19,7 @@
 //
 // Usage:
 //
-//	bottlerack [-addr :7117] [-shards 32] [-workers 0] [-reap 5s] [-stats 10s]
+//	bottlerack [-addr :7117] [-tag r1] [-shards 32] [-workers 0] [-reap 5s] [-stats 10s]
 //	           [-read-idle 10m] [-write-timeout 1m] [-inflight 64]
 //	           [-data-dir DIR] [-fsync interval] [-fsync-interval 100ms]
 //	           [-snapshot-every 5m] [-wal-segment 67108864]
@@ -39,6 +42,7 @@ import (
 
 func main() {
 	addr := flag.String("addr", ":7117", "TCP listen address")
+	tag := flag.String("tag", "", "rack tag prefixed to issued request IDs (\"tag@id\") so cluster routers can route IDs back here; required per rack in multi-rack deployments")
 	shards := flag.Int("shards", 32, "shard count (rounded up to a power of two)")
 	workers := flag.Int("workers", 0, "sweep worker pool size (0: GOMAXPROCS)")
 	reap := flag.Duration("reap", broker.DefaultReapInterval, "background reaper interval")
@@ -53,7 +57,7 @@ func main() {
 	walSegment := flag.Int64("wal-segment", wal.DefaultSegmentBytes, "WAL segment roll threshold in bytes")
 	flag.Parse()
 
-	cfg := broker.Config{Shards: *shards, Workers: *workers, ReapInterval: *reap}
+	cfg := broker.Config{Shards: *shards, Workers: *workers, ReapInterval: *reap, RackTag: *tag}
 	if *dataDir == "" {
 		// Durability flags without a data directory would silently run an
 		// in-memory broker the operator believes is persistent.
@@ -96,8 +100,12 @@ func main() {
 	if err != nil {
 		log.Fatalf("bottlerack: listen %s: %v", *addr, err)
 	}
-	log.Printf("bottlerack: listening on %s (%d shards, %d workers, read-idle %v, write-timeout %v)",
-		l.Addr(), rack.Stats().Shards, rack.Stats().Workers, *readIdle, *writeTimeout)
+	tagNote := ""
+	if *tag != "" {
+		tagNote = fmt.Sprintf(", tag %q", *tag)
+	}
+	log.Printf("bottlerack: listening on %s (%d shards, %d workers, read-idle %v, write-timeout %v%s)",
+		l.Addr(), rack.Stats().Shards, rack.Stats().Workers, *readIdle, *writeTimeout, tagNote)
 
 	srv := transport.NewServer(rack, transport.ServerOptions{
 		ReadIdleTimeout: *readIdle,

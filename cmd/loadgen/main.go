@@ -16,7 +16,14 @@
 //
 //	loadgen -bottles 100000 -submitters 8 -sweepers 4
 //
-// Point it at a running cmd/bottlerack with -addr host:port instead.
+// Point it at a running cmd/bottlerack with -addr host:port instead, or at a
+// whole cluster with -addrs a:7117,b:7117,c:7117 — a client-side Ring then
+// routes submits by rendezvous hashing, fans sweeps out to every rack and
+// steers replies and fetches back to the owning rack. -racks 3 runs the same
+// cluster topology in-process (three tagged racks, each behind its own pipe
+// transport), and -verify-counts asserts at exit that the brokers' submitted
+// counters equal what loadgen racked — the cluster smoke test in CI runs
+// exactly that against three real bottlerack processes.
 package main
 
 import (
@@ -26,6 +33,7 @@ import (
 	"math/rand"
 	"net"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -38,24 +46,29 @@ import (
 )
 
 type options struct {
-	addr       string
-	bottles    int
-	submitters int
-	sweepers   int
-	sweepLimit int
-	shards     int
-	conns      int
-	batch      int
-	legacy     bool
-	universe   int
-	validity   time.Duration
-	timeout    time.Duration
-	seed       int64
+	addr         string
+	addrs        string
+	racks        int
+	bottles      int
+	submitters   int
+	sweepers     int
+	sweepLimit   int
+	shards       int
+	conns        int
+	batch        int
+	legacy       bool
+	universe     int
+	validity     time.Duration
+	timeout      time.Duration
+	seed         int64
+	verifyCounts bool
 }
 
 func main() {
 	var opts options
 	flag.StringVar(&opts.addr, "addr", "", "broker TCP address (empty: in-process pipe transport)")
+	flag.StringVar(&opts.addrs, "addrs", "", "comma-separated rack addresses for cluster mode (a Ring routes across them)")
+	flag.IntVar(&opts.racks, "racks", 1, "in-process cluster size when no address is given (each rack behind its own pipe transport)")
 	flag.IntVar(&opts.bottles, "bottles", 100_000, "bottles to submit")
 	flag.IntVar(&opts.submitters, "submitters", 8, "concurrent submitter goroutines")
 	flag.IntVar(&opts.sweepers, "sweepers", 4, "concurrent sweeper goroutines")
@@ -68,6 +81,7 @@ func main() {
 	flag.DurationVar(&opts.validity, "validity", 5*time.Minute, "request validity window")
 	flag.DurationVar(&opts.timeout, "timeout", 30*time.Second, "per-call timeout")
 	flag.Int64Var(&opts.seed, "seed", 1, "workload seed")
+	flag.BoolVar(&opts.verifyCounts, "verify-counts", false, "fail unless the brokers' submitted counter equals the bottles submitted (fresh racks only)")
 	flag.Parse()
 
 	if err := run(opts); err != nil {
@@ -191,9 +205,15 @@ func run(opts options) error {
 		if err != nil {
 			return fmt.Errorf("fetching broker stats: %w", err)
 		}
-		fmt.Printf("rack       shards=%d workers=%d held=%d scanned=%d prefilter-reject=%.1f%% match=%.1f%% replies=%d\n",
-			st.Shards, st.Workers, st.Held, st.Totals.Scanned,
+		fmt.Printf("rack       shards=%d workers=%d held=%d submitted=%d scanned=%d prefilter-reject=%.1f%% match=%.1f%% replies=%d\n",
+			st.Shards, st.Workers, st.Held, st.Totals.Submitted, st.Totals.Scanned,
 			100*st.PrefilterRejectRate(), 100*st.MatchRate(), st.Totals.RepliesIn)
+		if opts.verifyCounts {
+			if got, want := st.Totals.Submitted, uint64(submitted.Load()); got != want {
+				return fmt.Errorf("count mismatch: brokers report %d bottles submitted, loadgen racked %d", got, want)
+			}
+			fmt.Printf("verified   broker submitted counters match loadgen (%d bottles)\n", submitted.Load())
+		}
 	}
 	if int(submitted.Load()) < opts.bottles {
 		return fmt.Errorf("only %d of %d bottles submitted", submitted.Load(), opts.bottles)
@@ -201,9 +221,10 @@ func run(opts options) error {
 	return nil
 }
 
-// submit racks one batch (or a single bottle) through the courier; it returns
-// how many were racked and whether the first bottle of the batch made it.
-func submit(courier *client.Courier, raws [][]byte) (racked int, firstOK bool) {
+// submit racks one batch (or a single bottle) through the rendezvous; it
+// returns how many were racked and whether the first bottle of the batch
+// made it.
+func submit(courier client.BatchRendezvous, raws [][]byte) (racked int, firstOK bool) {
 	if len(raws) == 1 {
 		if _, err := courier.Submit(raws[0]); err != nil {
 			return 0, false
@@ -225,42 +246,79 @@ func submit(courier *client.Courier, raws [][]byte) (racked int, firstOK bool) {
 	return racked, firstOK
 }
 
-// connect stands up the courier (and, without -addr, an in-process rack plus
-// framed server over the in-memory pipe listener).
-func connect(opts options) (courier *client.Courier, stats func() (broker.Stats, error), cleanup func(), err error) {
+// connect stands up the rendezvous the workload drives: a courier for one
+// TCP broker, a Ring of couriers for -addrs cluster mode, or — with no
+// address — an in-process cluster of -racks racks, each behind its own
+// framed server over an in-memory pipe listener.
+func connect(opts options) (rv client.BatchRendezvous, stats func() (broker.Stats, error), cleanup func(), err error) {
 	cfg := client.Config{
 		Conns:       opts.conns,
 		CallTimeout: opts.timeout,
 		Legacy:      opts.legacy,
 	}
+	if opts.addrs != "" {
+		ring, err := client.NewRing(client.RingConfig{
+			Addrs:   strings.Split(opts.addrs, ","),
+			Courier: cfg,
+		})
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		return ring, ring.Stats, func() { ring.Close() }, nil
+	}
 	if opts.addr != "" {
-		cfg.Addr = opts.addr
-		courier, err = client.Dial(cfg)
+		courier, err := client.Dial(client.Config{
+			Addr: opts.addr, Conns: cfg.Conns, CallTimeout: cfg.CallTimeout, Legacy: cfg.Legacy,
+		})
 		if err != nil {
 			return nil, nil, nil, err
 		}
 		return courier, courier.Stats, func() { courier.Close() }, nil
 	}
-	rack := broker.New(broker.Config{Shards: opts.shards})
-	l := transport.ListenPipe()
-	srv := transport.NewServer(rack)
-	go srv.Serve(l)
-	cfg.Dialer = func() (net.Conn, error) { return l.Dial() }
-	courier, err = client.Dial(cfg)
+
+	// In-process: -racks tagged racks, each with its own pipe listener and
+	// courier; a single rack skips the ring entirely.
+	n := opts.racks
+	if n < 1 {
+		n = 1
+	}
+	var closers []func()
+	cleanup = func() {
+		for i := len(closers) - 1; i >= 0; i-- {
+			closers[i]()
+		}
+	}
+	var backends []client.RingBackend
+	for i := 0; i < n; i++ {
+		rcfg := broker.Config{Shards: opts.shards}
+		if n > 1 {
+			rcfg.RackTag = fmt.Sprintf("r%d", i)
+		}
+		rack := broker.New(rcfg)
+		l := transport.ListenPipe()
+		srv := transport.NewServer(rack)
+		go srv.Serve(l)
+		ccfg := cfg
+		ccfg.Dialer = func() (net.Conn, error) { return l.Dial() }
+		courier, err := client.Dial(ccfg)
+		if err != nil {
+			cleanup()
+			return nil, nil, nil, err
+		}
+		closers = append(closers, func() { courier.Close(); l.Close(); srv.Close(); rack.Close() })
+		backends = append(backends, client.RingBackend{Name: fmt.Sprintf("rack-%d", i), Backend: courier})
+	}
+	if n == 1 {
+		courier := backends[0].Backend.(*client.Courier)
+		return courier, courier.Stats, cleanup, nil
+	}
+	ring, err := client.NewRing(client.RingConfig{Backends: backends})
 	if err != nil {
-		l.Close()
-		srv.Close()
-		rack.Close()
+		cleanup()
 		return nil, nil, nil, err
 	}
-	stats = func() (broker.Stats, error) { return rack.Stats(), nil }
-	cleanup = func() {
-		courier.Close()
-		l.Close()
-		srv.Close()
-		rack.Close()
-	}
-	return courier, stats, cleanup, nil
+	closers = append(closers, func() { ring.Close() })
+	return ring, ring.Stats, cleanup, nil
 }
 
 // buildBottles constructs opts.batch marshalled request packages, advancing

@@ -6,8 +6,9 @@
 // The implementation lives under internal/ (core mechanism, crypto substrate,
 // hexagonal-lattice location hashing, bottle-rack rendezvous broker with its
 // write-ahead-log durability substrate in internal/broker/wal and its dual
-// lock-step/multiplexed wire transport, the courier client SDK in
-// internal/client, MSN simulator, dataset generator, asymmetric baselines,
+// lock-step/multiplexed wire transport, the courier client SDK and
+// multi-rack cluster ring in internal/client, MSN simulator, dataset
+// generator, asymmetric baselines,
 // adversary harness, cost model and experiment generators), with runnable
 // entry points under cmd/ and examples/. The repository-level benchmarks in
 // bench_test.go regenerate every table and figure of the paper's evaluation

@@ -1,0 +1,178 @@
+// Cluster: the sealed-bottle rendezvous scaled out across three bottle
+// racks behind a client-side Ring — the same flow as examples/bottlerack,
+// with zero call-site changes on the protocol side. Three tagged racks run
+// behind their own framed pipe servers; the Ring routes Alice's submits by
+// rendezvous hashing, fans Bob's sweep out to every rack, and steers his
+// reply back to whichever rack holds the bottle via the learned ID→rack
+// table. Then one rack is killed to show the cluster keeps serving: the
+// Ring ejects it after a few faults and every bottle on the survivors stays
+// reachable.
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+
+	"sealedbottle/internal/attr"
+	"sealedbottle/internal/broker"
+	"sealedbottle/internal/broker/transport"
+	"sealedbottle/internal/client"
+	"sealedbottle/internal/core"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// rackProc is one "process" of the demo cluster: a tagged rack behind its
+// own framed server and pipe listener, like one cmd/bottlerack instance.
+type rackProc struct {
+	rack *broker.Rack
+	l    *transport.PipeListener
+	srv  *transport.Server
+}
+
+func (p *rackProc) stop() {
+	p.l.Close()
+	p.srv.Close()
+	p.rack.Close()
+}
+
+func run() error {
+	// 1. Three tagged racks, each the in-process analogue of
+	// `bottlerack -tag rN`, and a Ring of couriers over them.
+	procs := make([]*rackProc, 3)
+	ringCfg := client.RingConfig{ProbeInterval: -1} // demo drives Probe itself
+	for i := range procs {
+		rack := broker.New(broker.Config{Shards: 4, RackTag: fmt.Sprintf("r%d", i)})
+		l := transport.ListenPipe()
+		srv := transport.NewServer(rack)
+		go srv.Serve(l)
+		procs[i] = &rackProc{rack: rack, l: l, srv: srv}
+		courier, err := client.Dial(client.Config{Dialer: func() (net.Conn, error) { return l.Dial() }})
+		if err != nil {
+			return err
+		}
+		defer courier.Close()
+		ringCfg.Backends = append(ringCfg.Backends, client.RingBackend{
+			Name: fmt.Sprintf("rack-%d", i), Backend: courier,
+		})
+	}
+	defer func() {
+		for _, p := range procs {
+			p.stop()
+		}
+	}()
+	ring, err := client.NewRing(ringCfg)
+	if err != nil {
+		return err
+	}
+	defer ring.Close()
+
+	// 2. Alice racks several search bottles; the ring spreads them over the
+	// racks by rendezvous-hashing their request IDs.
+	spec := core.RequestSpec{
+		Necessary: []attr.Attribute{attr.MustNew("university", "Columbia")},
+		Optional: []attr.Attribute{
+			attr.MustNew("interest", "basketball"),
+			attr.MustNew("interest", "chess"),
+			attr.MustNew("interest", "golf"),
+		},
+		MinOptional: 2,
+	}
+	initiators := map[string]*core.Initiator{} // tagged ID -> initiator
+	perRack := map[string]int{}
+	for i := 0; i < 6; i++ {
+		alice, err := core.NewInitiator(spec, core.InitiatorConfig{Protocol: core.Protocol1, Origin: "alice"})
+		if err != nil {
+			return err
+		}
+		raw, err := alice.Request().Marshal()
+		if err != nil {
+			return err
+		}
+		id, err := ring.Submit(raw)
+		if err != nil {
+			return err
+		}
+		initiators[id] = alice
+		tag, _ := broker.SplitTaggedID(id)
+		perRack[tag]++
+	}
+	fmt.Printf("alice racked 6 bottles across the cluster: %v\n", perRack)
+
+	// 3. Bob sweeps once through the ring: the query fans out to all three
+	// racks, the matches come back merged, and his replies route to the
+	// racks that hold each bottle.
+	bob, err := core.NewParticipant(attr.NewProfile(
+		attr.MustNew("university", "Columbia"),
+		attr.MustNew("interest", "basketball"),
+		attr.MustNew("interest", "chess"),
+		attr.MustNew("interest", "cooking"),
+	), core.ParticipantConfig{ID: "bob", Matcher: core.MatcherConfig{AllowCollisionSkip: true}, MinReplyInterval: 1})
+	if err != nil {
+		return err
+	}
+	sweeper, err := client.NewSweeper(ring, client.SweeperConfig{Participant: bob})
+	if err != nil {
+		return err
+	}
+	st, err := sweeper.Tick()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("bob swept the whole cluster in one tick: %d bottles, %d replies posted, %d failed\n",
+		st.Swept, st.Replies, st.ReplyErrors)
+
+	// 4. Alice fetches her replies back through the ring — each fetch is
+	// steered to the rack named by the ID's tag.
+	confirmed := 0
+	for id, alice := range initiators {
+		for _, r := range client.FetchMany(ring, []string{id})[0].Replies {
+			reply, err := core.UnmarshalReply(r)
+			if err != nil {
+				continue
+			}
+			if m, _, err := alice.ProcessReply(reply); err == nil && m != nil {
+				confirmed++
+			}
+		}
+	}
+	fmt.Printf("alice confirmed %d matches\n", confirmed)
+
+	// 5. Kill rack 1. The ring ejects it after a few faults and the
+	// survivors keep serving every bottle they hold.
+	procs[1].stop()
+	for i := 0; i < client.DefaultFailThreshold; i++ {
+		ring.Probe()
+		_, _ = ring.Sweep(broker.SweepQuery{Residues: []core.ResidueSet{
+			bob.Matcher().ResidueSet(core.DefaultPrime),
+		}})
+	}
+	for _, h := range ring.Health() {
+		fmt.Printf("rack %s: down=%v\n", h.Name, h.Down)
+	}
+	reachable := 0
+	for id := range initiators {
+		tag, _ := broker.SplitTaggedID(id)
+		if tag == "r1" {
+			continue // lives on the dead rack
+		}
+		if _, err := ring.Fetch(id); err == nil {
+			reachable++
+		}
+	}
+	fmt.Printf("%d of %d surviving bottles still reachable with rack-1 down\n",
+		reachable, len(initiators)-perRack["r1"])
+
+	stats, err := ring.Stats()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("cluster stats (survivors): held=%d scanned=%d replies=%d/%d\n",
+		stats.Held, stats.Totals.Scanned, stats.Totals.RepliesIn, stats.Totals.RepliesOut)
+	return nil
+}

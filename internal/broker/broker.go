@@ -30,6 +30,7 @@ import (
 	"hash/fnv"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"sealedbottle/internal/core"
@@ -73,6 +74,16 @@ type Config struct {
 	// Now supplies the clock (nil: time.Now); injected by tests and by the
 	// discrete-event simulator so expiry follows simulated time.
 	Now func() time.Time
+	// RackTag, when non-empty, prefixes every ID the rack hands out (Submit
+	// results, swept bottle IDs) with "tag@", and the rack strips its own tag
+	// from inbound IDs (Reply/Fetch/Remove targets, sweep Seen lists). The tag
+	// is a pure routing hint for multi-rack deployments: a cluster router can
+	// recover which rack holds a bottle from the ID alone, even after losing
+	// its routing table to a restart. Internally — ID index, WAL, snapshots —
+	// bottles are always keyed by the untagged ID, so turning tagging on or
+	// off never invalidates a durable rack's on-disk state. Tags must satisfy
+	// ValidateTag ([A-Za-z0-9._-], at most MaxTagLen bytes).
+	RackTag string
 	// Durability, when non-nil, backs the rack with a write-ahead log and
 	// snapshots under DurabilityConfig.Dir; Open then recovers the previous
 	// state on startup. Nil keeps the rack purely in-memory with zero
@@ -126,14 +137,18 @@ type Rack struct {
 }
 
 // sweepJob asks a worker to scan one shard for one query. The seen set is
-// built once per query and shared read-only across all shard jobs.
+// built once per query and shared read-only across all shard jobs; remaining
+// is the query's shared collection budget — shards reserve slots from it and
+// stop scanning once it is spent, so one sweep never collects more than
+// Limit bottles across the whole rack.
 type sweepJob struct {
-	sh   *shard
-	q    *SweepQuery
-	seen map[string]struct{}
-	now  time.Time
-	out  chan<- shardSweep
-	idx  int
+	sh        *shard
+	q         *SweepQuery
+	seen      map[string]struct{}
+	now       time.Time
+	remaining *atomic.Int64
+	out       chan<- shardSweep
+	idx       int
 }
 
 // New builds a rack and starts its worker pool and (unless disabled) reaper.
@@ -152,6 +167,9 @@ func New(cfg Config) *Rack {
 // (when configured) periodic snapshot loop.
 func Open(cfg Config) (*Rack, error) {
 	cfg = cfg.withDefaults()
+	if err := ValidateTag(cfg.RackTag); err != nil {
+		return nil, err
+	}
 	r := &Rack{
 		cfg:    cfg,
 		mask:   uint64(cfg.Shards - 1),
@@ -225,8 +243,9 @@ func (r *Rack) shardFor(id string) *shard {
 }
 
 // Submit validates a marshalled request package and racks it. It returns the
-// request ID under which the bottle is held; on a durable rack, a nil error
-// additionally means the bottle is persisted per the fsync policy.
+// request ID under which the bottle is held — prefixed with the rack's tag
+// when one is configured; on a durable rack, a nil error additionally means
+// the bottle is persisted per the fsync policy.
 func (r *Rack) Submit(raw []byte) (string, error) {
 	if r.isClosed() {
 		return "", ErrRackClosed
@@ -241,7 +260,7 @@ func (r *Rack) Submit(raw []byte) (string, error) {
 	if err := r.commitDur(); err != nil {
 		return "", err
 	}
-	return b.id, nil
+	return r.tagID(b.id), nil
 }
 
 // SubmitResult is the outcome of one package within a SubmitBatch.
@@ -295,7 +314,7 @@ func (r *Rack) SubmitBatch(raws [][]byte) ([]SubmitResult, error) {
 		}
 		sh := r.shardFor(b.id)
 		perShard[sh] = append(perShard[sh], item{idx: i, b: b})
-		results[i].ID = b.id
+		results[i].ID = r.tagID(b.id)
 	}
 	for sh, items := range perShard {
 		bs := make([]*bottle, len(items))
@@ -331,6 +350,16 @@ type ReplyPost struct {
 func (r *Rack) ReplyBatch(posts []ReplyPost) ([]error, error) {
 	if r.isClosed() {
 		return nil, ErrRackClosed
+	}
+	if r.cfg.RackTag != "" {
+		// Normalize addressed IDs on a copy — the caller's slice is not ours
+		// to rewrite.
+		norm := make([]ReplyPost, len(posts))
+		copy(norm, posts)
+		for i := range norm {
+			norm[i].RequestID = r.untagID(norm[i].RequestID)
+		}
+		posts = norm
 	}
 	now := r.cfg.Now().UTC()
 	errs := make([]error, len(posts))
@@ -385,6 +414,13 @@ const MaxFetchBatchBytes = 8 << 20
 func (r *Rack) FetchBatch(ids []string) ([]FetchResult, error) {
 	if r.isClosed() {
 		return nil, ErrRackClosed
+	}
+	if r.cfg.RackTag != "" {
+		norm := make([]string, len(ids))
+		for i, id := range ids {
+			norm[i] = r.untagID(id)
+		}
+		ids = norm
 	}
 	results := make([]FetchResult, len(ids))
 	perShard := make(map[*shard][]int)
@@ -490,16 +526,24 @@ func (r *Rack) Sweep(q SweepQuery) (SweepResult, error) {
 	if len(q.Seen) > 0 {
 		seen = make(map[string]struct{}, len(q.Seen))
 		for _, id := range q.Seen {
-			seen[id] = struct{}{}
+			// Shards key bottles by the untagged ID; clients echo back the
+			// tagged IDs sweeps handed them.
+			seen[r.untagID(id)] = struct{}{}
 		}
 	}
+	// remaining is the query's whole-rack collection budget: shards reserve
+	// one slot per passing bottle and stop scanning when it is spent, so a
+	// sweep collects at most Limit bottles total instead of up to Limit per
+	// shard.
+	var remaining atomic.Int64
+	remaining.Store(int64(q.Limit))
 	// out is buffered to the shard count so workers never block on it, even
 	// when this sweep aborts early on Close.
 	out := make(chan shardSweep, len(r.shards))
 	dispatched := 0
 	for i, sh := range r.shards {
 		select {
-		case r.jobs <- sweepJob{sh: sh, q: &q, seen: seen, now: now, out: out, idx: i}:
+		case r.jobs <- sweepJob{sh: sh, q: &q, seen: seen, now: now, remaining: &remaining, out: out, idx: i}:
 			dispatched++
 		case <-r.closed:
 			return SweepResult{}, ErrRackClosed
@@ -515,7 +559,11 @@ func (r *Rack) Sweep(q SweepQuery) (SweepResult, error) {
 			return SweepResult{}, ErrRackClosed
 		}
 	}
-	// Merge in shard order so results are deterministic for a quiescent rack.
+	// Merge in shard order: results are deterministic for a quiescent rack as
+	// long as the sweep is not truncated. Under truncation, which shards win
+	// the budget race depends on worker scheduling — any Limit-sized subset
+	// of the passing bottles is a valid answer, Truncated tells the sweeper
+	// to come back, and its seen window makes repeat sweeps converge.
 	var res SweepResult
 	for _, p := range parts {
 		res.Scanned += p.scanned
@@ -529,6 +577,11 @@ func (r *Rack) Sweep(q SweepQuery) (SweepResult, error) {
 			res.Bottles = append(res.Bottles, b)
 		}
 	}
+	if r.cfg.RackTag != "" {
+		for i := range res.Bottles {
+			res.Bottles[i].ID = r.tagID(res.Bottles[i].ID)
+		}
+	}
 	return res, nil
 }
 
@@ -538,7 +591,7 @@ func (r *Rack) worker() {
 	for {
 		select {
 		case job := <-r.jobs:
-			out := job.sh.sweep(job.q, job.seen, job.now)
+			out := job.sh.sweep(job.q, job.seen, job.now, job.remaining)
 			out.idx = job.idx
 			job.out <- out
 		case <-r.closed:
@@ -554,6 +607,7 @@ func (r *Rack) Reply(requestID string, raw []byte) error {
 	if r.isClosed() {
 		return ErrRackClosed
 	}
+	requestID = r.untagID(requestID)
 	rep, err := core.UnmarshalReply(raw)
 	if err != nil {
 		return err
@@ -574,6 +628,7 @@ func (r *Rack) Fetch(requestID string) ([][]byte, error) {
 	if r.isClosed() {
 		return nil, ErrRackClosed
 	}
+	requestID = r.untagID(requestID)
 	return r.shardFor(requestID).drainReplies(requestID)
 }
 
@@ -584,6 +639,7 @@ func (r *Rack) Remove(requestID string) (bool, error) {
 	if r.isClosed() {
 		return false, ErrRackClosed
 	}
+	requestID = r.untagID(requestID)
 	if !r.shardFor(requestID).remove(requestID) {
 		return false, nil
 	}

@@ -2,6 +2,7 @@ package broker
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"sealedbottle/internal/core"
@@ -98,10 +99,14 @@ type shardSweep struct {
 
 // sweep screens the shard's bottles against the query; seen is the query's
 // already-evaluated ID set, built once by the rack and shared read-only
-// across shard jobs. Expired bottles encountered along the way are unlinked
-// (lazy expiry). Per-shard results are capped at the query limit; the rack
-// merges and truncates across shards.
-func (s *shard) sweep(q *SweepQuery, seen map[string]struct{}, now time.Time) shardSweep {
+// across shard jobs, and remaining is the query's whole-rack collection
+// budget shared by every shard job of the sweep. Expired bottles encountered
+// along the way are unlinked (lazy expiry). Each passing bottle reserves one
+// slot from the budget before it is collected; once the budget is spent the
+// scan stops immediately — without the shared bound every shard would collect
+// up to the full query limit, handing the merge up to shards×Limit bottles of
+// which all but Limit are discarded.
+func (s *shard) sweep(q *SweepQuery, seen map[string]struct{}, now time.Time, remaining *atomic.Int64) shardSweep {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.stats.Sweeps++
@@ -123,12 +128,16 @@ func (s *shard) sweep(q *SweepQuery, seen map[string]struct{}, now time.Time) sh
 				out.rejected++
 				continue
 			}
-			if len(out.bottles) < q.Limit {
-				out.bottles = append(out.bottles, SweptBottle{ID: b.id, Raw: b.raw})
-				s.stats.Returned++
-			} else {
+			if remaining.Add(-1) < 0 {
+				// A bottle passed but the sweep's budget is spent: the result
+				// is truncated and nothing more can be collected, so stop
+				// scanning — the next sweep (with this tick's IDs in its seen
+				// window) picks up where the budget ran out.
 				out.truncated = true
+				return out
 			}
+			out.bottles = append(out.bottles, SweptBottle{ID: b.id, Raw: b.raw})
+			s.stats.Returned++
 		}
 	}
 	return out

@@ -12,9 +12,12 @@
 //     part worth knowing: a RemoteError means the server executed and
 //     answered, and is returned as-is, never retried; a transport-level
 //     failure recycles the connection and retries once on a fresh one, but
-//     only for idempotent operations (Sweep, Fetch, Stats, Remove) — a
-//     Submit or Reply whose frame may have reached the server is not
-//     replayed, because doing so could double-apply it.
+//     only for the truly idempotent operations (Sweep, Stats) — a Submit or
+//     Reply whose frame may have reached the server is not replayed, because
+//     doing so could double-apply it; a Remove is not replayed because the
+//     retry would answer held=false for a bottle the first attempt removed;
+//     and a Fetch is not replayed because it drains destructively — the lost
+//     response may have carried replies a retry would silently swallow.
 //   - Rendezvous is the minimal broker surface (Submit/Sweep/Reply/Fetch)
 //     that *broker.Rack, *Courier and the raw transport clients all satisfy,
 //     so protocol code runs unchanged in-process, over a pipe, or over TCP;
@@ -22,9 +25,17 @@
 //     picks whichever the implementation offers.
 //   - Sweeper (NewSweeper) is the candidate-side loop: compute residue sets
 //     for the rack's live primes, sweep, evaluate returned bottles locally
-//     with the full core.Matcher, post replies batched, and remember
-//     evaluated IDs in a bounded seen-window so the broker spends its sweep
-//     limit on fresh bottles.
+//     with the full core.Matcher, post replies batched (transport-failed
+//     posts are queued and retried next tick, never silently lost), and
+//     remember evaluated IDs in a bounded seen-window so the broker spends
+//     its sweep limit on fresh bottles.
+//   - Ring (NewRing) scales all of the above out to a cluster: it implements
+//     the same Rendezvous/BatchRendezvous surface over N rack endpoints,
+//     routing submits by rendezvous hashing, fanning sweeps out to every
+//     healthy rack, and steering Reply/Fetch/Remove through a learned
+//     ID→rack table backed by the racks' ID tag prefixes
+//     (broker.Config.RackTag), with per-rack failure ejection and probe-based
+//     re-admission.
 //
 // The wire protocol the courier speaks is specified in docs/PROTOCOL.md;
 // the broker it talks to is internal/broker served by
@@ -271,9 +282,14 @@ func (c *Courier) Reply(requestID string, raw []byte) error {
 	return err
 }
 
-// Fetch drains the replies queued for a request.
+// Fetch drains the replies queued for a request. Fetching is destructive —
+// the server empties the queue as it answers — so like Remove it is never
+// auto-retried after a transport failure: the lost response may have carried
+// drained replies, and a retry would find an empty queue and report a clean
+// ([], nil) that silently swallows them. The transport error keeps the
+// possible loss visible to the caller.
 func (c *Courier) Fetch(requestID string) ([][]byte, error) {
-	return do(c, true, func(cn conn) ([][]byte, error) { return cn.Fetch(requestID) })
+	return do(c, false, func(cn conn) ([][]byte, error) { return cn.Fetch(requestID) })
 }
 
 // Stats snapshots the rack's counters.
@@ -281,9 +297,16 @@ func (c *Courier) Stats() (broker.Stats, error) {
 	return do(c, true, func(cn conn) (broker.Stats, error) { return cn.Stats() })
 }
 
-// Remove takes a bottle off the rack; it reports whether the bottle was held.
+// Remove takes a bottle off the rack; it reports whether the bottle was
+// held. Unlike the other read-side operations, Remove is never retried after
+// a transport failure: the lost frame may have reached the server and
+// removed the bottle, and a retried Remove would then answer held=false for
+// a bottle that *was* removed by this very call. The transport error keeps
+// that ambiguity visible; callers that need certainty re-issue the Remove
+// themselves and treat held=false as "gone, possibly by my earlier attempt"
+// (see docs/PROTOCOL.md §2 on Remove idempotency).
 func (c *Courier) Remove(requestID string) (bool, error) {
-	return do(c, true, func(cn conn) (bool, error) { return cn.Remove(requestID) })
+	return do(c, false, func(cn conn) (bool, error) { return cn.Remove(requestID) })
 }
 
 // SubmitBatch racks several packages in one round trip, one outcome per item.
@@ -297,9 +320,10 @@ func (c *Courier) ReplyBatch(posts []broker.ReplyPost) ([]error, error) {
 }
 
 // FetchBatch drains several reply queues in one round trip, one outcome per
-// item.
+// item. Like Fetch it drains destructively and is therefore never
+// auto-retried after a transport failure.
 func (c *Courier) FetchBatch(ids []string) ([]broker.FetchResult, error) {
-	return do(c, true, func(cn conn) ([]broker.FetchResult, error) { return cn.FetchBatch(ids) })
+	return do(c, false, func(cn conn) ([]broker.FetchResult, error) { return cn.FetchBatch(ids) })
 }
 
 // FetchMany drains replies for several request IDs through any Rendezvous,

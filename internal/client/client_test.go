@@ -1,9 +1,12 @@
 package client
 
 import (
+	"encoding/binary"
 	"errors"
+	"io"
 	"math/rand"
 	"net"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -195,6 +198,76 @@ func TestCourierClosed(t *testing.T) {
 func TestDialValidatesConfig(t *testing.T) {
 	if _, err := Dial(Config{}); !errors.Is(err, ErrNoEndpoint) {
 		t.Fatalf("Dial with no endpoint = %v", err)
+	}
+}
+
+// TestCourierRemoveNotRetriedAfterTransportFailure is the misreported-Remove
+// regression test. The scripted first connection forwards the Remove frame
+// to the real server (which applies it) and then severs before relaying the
+// response. The old courier treated Remove as idempotent and retried on a
+// fresh connection, and the retry honestly answered held=false — for a
+// bottle this very call had just removed. The fix surfaces the transport
+// error instead, leaving the ambiguity visible to the caller.
+func TestCourierRemoveNotRetriedAfterTransportFailure(t *testing.T) {
+	cfg, rack, cleanup := testServer(t)
+	defer cleanup()
+	raw, pkg := buildRaw(t, 9)
+	if _, err := rack.Submit(raw); err != nil {
+		t.Fatal(err)
+	}
+
+	realDial := cfg.Dialer
+	var dials atomic.Int32
+	evilDial := func() (net.Conn, error) {
+		if dials.Add(1) > 1 {
+			return realDial()
+		}
+		up, err := realDial()
+		if err != nil {
+			return nil, err
+		}
+		down, client := net.Pipe()
+		go func() {
+			defer up.Close()
+			defer down.Close()
+			// Forward exactly one lock-step frame client→server.
+			var lenBuf [4]byte
+			if _, err := io.ReadFull(down, lenBuf[:]); err != nil {
+				return
+			}
+			body := make([]byte, binary.BigEndian.Uint32(lenBuf[:]))
+			if _, err := io.ReadFull(down, body); err != nil {
+				return
+			}
+			if _, err := up.Write(lenBuf[:]); err != nil {
+				return
+			}
+			if _, err := up.Write(body); err != nil {
+				return
+			}
+			// Wait for the server's response — proof the Remove was applied —
+			// then sever the client side without relaying it.
+			io.ReadFull(up, lenBuf[:])
+		}()
+		return client, nil
+	}
+	c, err := Dial(Config{Dialer: evilDial, Legacy: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	held, err := c.Remove(pkg.ID)
+	if err == nil {
+		t.Fatalf("Remove over a severed connection = (%v, nil); want the transport error — a retry misreports held=false for a bottle this call removed", held)
+	}
+	// The first attempt really did reach the rack.
+	if _, err := rack.Fetch(pkg.ID); !errors.Is(err, broker.ErrUnknownBottle) {
+		t.Fatalf("bottle still fetchable after severed Remove: %v", err)
+	}
+	// An explicit caller-side retry gets the honest ambiguous answer.
+	if held, err := c.Remove(pkg.ID); err != nil || held {
+		t.Fatalf("explicit second Remove = (%v, %v), want (false, nil)", held, err)
 	}
 }
 

@@ -44,9 +44,11 @@ type TickStats struct {
 	Matches int
 	// Replies is the number of replies posted successfully.
 	Replies int
-	// ReplyErrors is the number of reply posts that failed (bottle expired
-	// between sweep and reply, transport hiccup); the paper's analogue of an
-	// undeliverable unicast.
+	// ReplyErrors is the number of reply posts that failed this tick (bottle
+	// expired between sweep and reply, transport hiccup); the paper's
+	// analogue of an undeliverable unicast. Transport-level failures are
+	// queued and retried on the next Tick, so a hiccup shows up here without
+	// losing the reply; a definitive broker answer drops it for good.
 	ReplyErrors int
 	// Scanned and Rejected echo the broker's screening counters for the sweep.
 	Scanned, Rejected int
@@ -68,7 +70,17 @@ type Sweeper struct {
 	cfg      SweeperConfig
 	residues []core.ResidueSet
 	seen     []string
+	// pending holds replies whose post failed at the transport level; they
+	// are retried on the next Tick. Without it a failed post lost the reply
+	// forever: the bottle was already in the seen window (and in the
+	// participant's duplicate suppression), so no future sweep would ever
+	// reproduce the reply.
+	pending []broker.ReplyPost
 }
+
+// maxPendingReplies bounds the failed-post retry queue; beyond it the oldest
+// replies are shed (their post failures were already reported).
+const maxPendingReplies = 1024
 
 // NewSweeper builds a sweeper, computing the participant's residue sets once.
 func NewSweeper(rv Rendezvous, cfg SweeperConfig) (*Sweeper, error) {
@@ -110,10 +122,19 @@ func (s *Sweeper) Tick() (TickStats, error) {
 		Rejected:  res.Rejected,
 		Truncated: res.Truncated,
 	}
-	var posts []broker.ReplyPost
+	// Replies whose post failed at the transport on an earlier tick are
+	// retried ahead of this tick's fresh posts. Keeping the bottle out of the
+	// seen window instead would not recover anything: the participant's own
+	// duplicate suppression drops a re-swept package as already evaluated and
+	// produces no second reply. The marshalled reply itself is what must
+	// survive the failed post.
+	posts := s.pending
+	s.pending = nil
 	for _, b := range res.Bottles {
 		s.seen = append(s.seen, b.ID)
-		if s.cfg.Skip != nil && s.cfg.Skip(b.ID) {
+		// Skip decides on the request ID proper; swept IDs may carry a rack
+		// tag ("tag@id") that callers keying by package ID never see.
+		if s.cfg.Skip != nil && s.cfg.Skip(broker.UntagID(b.ID)) {
 			continue
 		}
 		pkg, err := core.UnmarshalPackage(b.Raw)
@@ -138,35 +159,44 @@ func (s *Sweeper) Tick() (TickStats, error) {
 	if excess := len(s.seen) - s.cfg.SeenCap; excess > 0 {
 		s.seen = append(s.seen[:0], s.seen[excess:]...)
 	}
-	st.Replies, st.ReplyErrors = s.post(posts)
+	for i, err := range s.post(posts) {
+		switch {
+		case err == nil:
+			st.Replies++
+		case rackFault(err):
+			// Transport-level failure: the broker never answered, so the
+			// reply may still be deliverable — queue it for the next tick.
+			// A remote answer (bottle expired, validation) is definitive and
+			// the reply is dropped as undeliverable.
+			st.ReplyErrors++
+			s.pending = append(s.pending, posts[i])
+		default:
+			st.ReplyErrors++
+		}
+	}
+	if excess := len(s.pending) - maxPendingReplies; excess > 0 {
+		// Shed the oldest queued replies; their failures were already
+		// reported in the ticks that queued them.
+		s.pending = append(s.pending[:0], s.pending[excess:]...)
+	}
 	return st, nil
 }
 
-// post delivers the tick's replies, batched when the rendezvous supports it.
-func (s *Sweeper) post(posts []broker.ReplyPost) (ok, failed int) {
+// post delivers the tick's replies, batched when the rendezvous supports it,
+// returning one outcome per post in order.
+func (s *Sweeper) post(posts []broker.ReplyPost) []error {
 	if len(posts) == 0 {
-		return 0, 0
+		return nil
 	}
 	if b, isBatch := s.rv.(BatchRendezvous); isBatch {
-		errs, err := b.ReplyBatch(posts)
-		if err == nil {
-			for _, e := range errs {
-				if e == nil {
-					ok++
-				} else {
-					failed++
-				}
-			}
-			return ok, failed
+		if errs, err := b.ReplyBatch(posts); err == nil {
+			return errs
 		}
 		// Fall through to per-item posting on a whole-batch transport failure.
 	}
-	for _, p := range posts {
-		if err := s.rv.Reply(p.RequestID, p.Raw); err == nil {
-			ok++
-		} else {
-			failed++
-		}
+	errs := make([]error, len(posts))
+	for i, p := range posts {
+		errs[i] = s.rv.Reply(p.RequestID, p.Raw)
 	}
-	return ok, failed
+	return errs
 }

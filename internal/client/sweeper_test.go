@@ -1,10 +1,12 @@
 package client
 
 import (
+	"errors"
 	"testing"
 	"time"
 
 	"sealedbottle/internal/attr"
+	"sealedbottle/internal/broker"
 	"sealedbottle/internal/core"
 )
 
@@ -165,6 +167,123 @@ func TestSweeperSeenWindowBound(t *testing.T) {
 		if len(sweeper.seen) > 8 {
 			t.Fatalf("seen window grew to %d (> cap 8) on tick %d", len(sweeper.seen), i)
 		}
+	}
+}
+
+// flakyRV is a scripted Rendezvous whose Reply fails a configured number of
+// times at the transport level before succeeding; Sweep honours the query's
+// seen list like the real broker.
+type flakyRV struct {
+	bottles     []broker.SweptBottle
+	failReplies int
+	replyErr    error
+	posted      map[string][][]byte
+	replyCalls  int
+}
+
+func (f *flakyRV) Submit(raw []byte) (string, error) { return "", errors.New("unused") }
+
+func (f *flakyRV) Sweep(q broker.SweepQuery) (broker.SweepResult, error) {
+	seen := make(map[string]bool, len(q.Seen))
+	for _, id := range q.Seen {
+		seen[id] = true
+	}
+	var res broker.SweepResult
+	for _, b := range f.bottles {
+		if !seen[b.ID] {
+			res.Bottles = append(res.Bottles, b)
+		}
+	}
+	return res, nil
+}
+
+func (f *flakyRV) Reply(id string, raw []byte) error {
+	f.replyCalls++
+	if f.failReplies > 0 {
+		f.failReplies--
+		if f.replyErr != nil {
+			return f.replyErr
+		}
+		return errors.New("write tcp: broken pipe (scripted)")
+	}
+	if f.posted == nil {
+		f.posted = make(map[string][][]byte)
+	}
+	f.posted[id] = append(f.posted[id], raw)
+	return nil
+}
+
+func (f *flakyRV) Fetch(id string) ([][]byte, error) { return f.posted[id], nil }
+
+// TestSweeperRetriesFailedReplyPosts is the reply-loss regression test: a
+// transport failure while posting a reply must not lose it. The old sweeper
+// marked the bottle seen before posting, so the failed reply's bottle was
+// excluded from every later sweep and the initiator waited forever; the
+// participant's duplicate suppression means re-sweeping cannot regenerate
+// the reply either — it must be queued and retried.
+func TestSweeperRetriesFailedReplyPosts(t *testing.T) {
+	raw, pkg := buildRaw(t, 21)
+	rv := &flakyRV{
+		bottles:     []broker.SweptBottle{{ID: pkg.ID, Raw: raw}},
+		failReplies: 1,
+	}
+	sweeper, err := NewSweeper(rv, SweeperConfig{
+		Participant: newParticipant(t, "bob", "chess", "go"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := sweeper.Tick()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Swept != 1 || st.Evaluated != 1 || st.Replies != 0 || st.ReplyErrors != 1 {
+		t.Fatalf("tick 1 = %+v, want the reply post to fail", st)
+	}
+	if len(rv.posted[pkg.ID]) != 0 {
+		t.Fatal("reply delivered despite scripted failure")
+	}
+
+	st, err = sweeper.Tick()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Swept != 0 {
+		t.Fatalf("tick 2 re-swept %d bottles; the bottle should be in the seen window", st.Swept)
+	}
+	if st.Replies != 1 || st.ReplyErrors != 0 {
+		t.Fatalf("tick 2 = %+v, want the queued reply delivered", st)
+	}
+	if got := len(rv.posted[pkg.ID]); got != 1 {
+		t.Fatalf("initiator sees %d replies, want 1 — the reply was lost", got)
+	}
+}
+
+// TestSweeperDropsDefinitivelyFailedReplies proves a broker-decided failure
+// (bottle expired off the rack) is not retried forever.
+func TestSweeperDropsDefinitivelyFailedReplies(t *testing.T) {
+	raw, pkg := buildRaw(t, 22)
+	rv := &flakyRV{
+		bottles:     []broker.SweptBottle{{ID: pkg.ID, Raw: raw}},
+		failReplies: 100,
+		replyErr:    broker.ErrUnknownBottle,
+	}
+	sweeper, err := NewSweeper(rv, SweeperConfig{
+		Participant: newParticipant(t, "bob", "chess", "go"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st, err := sweeper.Tick(); err != nil || st.ReplyErrors != 1 {
+		t.Fatalf("tick 1 = %+v, %v", st, err)
+	}
+	calls := rv.replyCalls
+	if st, err := sweeper.Tick(); err != nil || st.ReplyErrors != 0 || st.Replies != 0 {
+		t.Fatalf("tick 2 = %+v, %v; the undeliverable reply must be dropped", st, err)
+	}
+	if rv.replyCalls != calls {
+		t.Fatal("sweeper retried a reply the broker definitively rejected")
 	}
 }
 

@@ -1,0 +1,272 @@
+package msn
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+	"time"
+
+	"sealedbottle/internal/attr"
+	"sealedbottle/internal/broker"
+	"sealedbottle/internal/client"
+	"sealedbottle/internal/core"
+)
+
+// clusterOutcome summarizes one cluster-backed scenario run for the
+// determinism comparison.
+type clusterOutcome struct {
+	matches     []string
+	peerMatches []string
+	totals      broker.ShardStats
+	heldByRack  []int
+}
+
+// runClusterScenario is the broker-backed friending scenario of
+// rendezvous_test.go with the single rack replaced by a three-rack cluster
+// behind a client.Ring: alice searches, bob matches, carol does not, and
+// nobody's code knows it is talking to more than one rack.
+func runClusterScenario(t *testing.T, seed int64) clusterOutcome {
+	t.Helper()
+	sim := NewSimulator(Config{Seed: seed})
+	racks := make([]*broker.Rack, 3)
+	ringCfg := client.RingConfig{ProbeInterval: -1}
+	for i := range racks {
+		racks[i] = broker.New(broker.Config{
+			Shards: 2, Workers: 1, ReapInterval: -1, Now: sim.Now,
+			RackTag: fmt.Sprintf("r%d", i),
+		})
+		defer racks[i].Close()
+		ringCfg.Backends = append(ringCfg.Backends, client.RingBackend{
+			Name: fmt.Sprintf("rack-%d", i), Backend: racks[i],
+		})
+	}
+	ring, err := client.NewRing(ringCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ring.Close()
+
+	spec := core.RequestSpec{
+		Necessary: []attr.Attribute{attr.MustNew("university", "tsinghua")},
+		Optional: []attr.Attribute{
+			attr.MustNew("interest", "basketball"),
+			attr.MustNew("interest", "chess"),
+			attr.MustNew("interest", "go"),
+		},
+		MinOptional: 2,
+	}
+	profiles := map[NodeID]*attr.Profile{
+		"alice": attr.NewProfile(
+			attr.MustNew("university", "tsinghua"),
+			attr.MustNew("interest", "basketball"),
+			attr.MustNew("interest", "chess"),
+			attr.MustNew("interest", "go"),
+		),
+		"bob": attr.NewProfile(
+			attr.MustNew("university", "tsinghua"),
+			attr.MustNew("interest", "basketball"),
+			attr.MustNew("interest", "chess"),
+			attr.MustNew("interest", "cooking"),
+		),
+		"carol": attr.NewProfile(
+			attr.MustNew("university", "pku"),
+			attr.MustNew("interest", "opera"),
+			attr.MustNew("interest", "cinema"),
+		),
+	}
+	apps := make(map[NodeID]*FriendingApp, len(profiles))
+	order := []NodeID{"alice", "bob", "carol"}
+	for i, id := range order {
+		app, _, err := NewFriendingApp(sim, id, Position{X: float64(i) * 400, Y: 0}, FriendingConfig{
+			Profile:    profiles[id],
+			Rand:       newDetReader(seed + int64(i)),
+			Rendezvous: ring,
+			Participant: core.ParticipantConfig{
+				Matcher: core.MatcherConfig{AllowCollisionSkip: true},
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		apps[id] = app
+	}
+	if err := AttachRendezvous(sim, 100*time.Millisecond, apps["alice"], apps["bob"], apps["carol"]); err != nil {
+		t.Fatal(err)
+	}
+
+	reqID, err := apps["alice"].StartSearch(spec, SearchOptions{
+		Protocol: core.Protocol1,
+		Rand:     newDetReader(seed + 100),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.RunFor(2 * time.Second)
+
+	var out clusterOutcome
+	for _, id := range order {
+		for rid, ms := range apps[id].Matches() {
+			if rid != reqID {
+				t.Fatalf("unexpected request id %q", rid)
+			}
+			for _, m := range ms {
+				out.matches = append(out.matches, fmt.Sprintf("%s<-%s", id, m.Peer))
+			}
+		}
+		for _, pm := range apps[id].PeerMatches() {
+			out.peerMatches = append(out.peerMatches, fmt.Sprintf("%s:%s@%s", id, pm.Initiator, pm.At.Format(time.RFC3339Nano)))
+		}
+	}
+	sort.Strings(out.matches)
+	sort.Strings(out.peerMatches)
+	st, err := ring.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out.totals = st.Totals
+	for _, rack := range racks {
+		out.heldByRack = append(out.heldByRack, rack.Stats().Held)
+	}
+	return out
+}
+
+// TestClusterRendezvousFriending proves the friending protocol runs
+// unchanged over a three-rack cluster: the match still lands, the reply
+// routes from bob's sweep rack back to alice's fetch, and exactly one rack
+// holds the bottle.
+func TestClusterRendezvousFriending(t *testing.T) {
+	out := runClusterScenario(t, 42)
+	if len(out.matches) != 1 || out.matches[0] != "alice<-bob" {
+		t.Fatalf("matches = %v, want [alice<-bob]", out.matches)
+	}
+	if len(out.peerMatches) != 1 {
+		t.Fatalf("peer matches = %v, want exactly bob's", out.peerMatches)
+	}
+	if out.totals.RepliesIn != 1 || out.totals.RepliesOut != 1 {
+		t.Fatalf("cluster reply flow = %d in / %d out, want 1/1", out.totals.RepliesIn, out.totals.RepliesOut)
+	}
+	held, racksHolding := 0, 0
+	for _, h := range out.heldByRack {
+		held += h
+		if h > 0 {
+			racksHolding++
+		}
+	}
+	if held != 1 || racksHolding != 1 {
+		t.Fatalf("heldByRack = %v, want exactly one bottle on exactly one rack", out.heldByRack)
+	}
+	if out.totals.Scanned == 0 {
+		t.Fatal("cluster sweeps never scanned the bottle")
+	}
+}
+
+// TestClusterRendezvousDeterminism re-runs the identical cluster scenario
+// and demands identical outcomes, including per-rack placement — rendezvous
+// hashing and the rack-ordered sweep merge make the cluster as reproducible
+// as a single rack.
+func TestClusterRendezvousDeterminism(t *testing.T) {
+	a := runClusterScenario(t, 7)
+	b := runClusterScenario(t, 7)
+	if fmt.Sprintf("%v", a.matches) != fmt.Sprintf("%v", b.matches) {
+		t.Fatalf("matches diverged: %v vs %v", a.matches, b.matches)
+	}
+	if fmt.Sprintf("%v", a.peerMatches) != fmt.Sprintf("%v", b.peerMatches) {
+		t.Fatalf("peer matches diverged: %v vs %v", a.peerMatches, b.peerMatches)
+	}
+	if fmt.Sprintf("%+v", a.totals) != fmt.Sprintf("%+v", b.totals) {
+		t.Fatalf("cluster totals diverged:\n a: %+v\n b: %+v", a.totals, b.totals)
+	}
+	if fmt.Sprintf("%v", a.heldByRack) != fmt.Sprintf("%v", b.heldByRack) {
+		t.Fatalf("placement diverged: %v vs %v", a.heldByRack, b.heldByRack)
+	}
+}
+
+// TestClusterRendezvousSurvivesRackLoss kills the one rack that does NOT
+// hold alice's bottle mid-scenario and checks the flow still completes: the
+// cluster keeps serving through the loss of a rack that holds none of the
+// state in flight.
+func TestClusterRendezvousSurvivesRackLoss(t *testing.T) {
+	sim := NewSimulator(Config{Seed: 11})
+	racks := make([]*broker.Rack, 3)
+	ringCfg := client.RingConfig{ProbeInterval: -1, FailThreshold: 1}
+	for i := range racks {
+		racks[i] = broker.New(broker.Config{
+			Shards: 2, Workers: 1, ReapInterval: -1, Now: sim.Now,
+			RackTag: fmt.Sprintf("r%d", i),
+		})
+		ringCfg.Backends = append(ringCfg.Backends, client.RingBackend{
+			Name: fmt.Sprintf("rack-%d", i), Backend: racks[i],
+		})
+	}
+	ring, err := client.NewRing(ringCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ring.Close()
+
+	alice, _, err := NewFriendingApp(sim, "alice", Position{}, FriendingConfig{
+		Profile: attr.NewProfile(
+			attr.MustNew("interest", "chess"),
+			attr.MustNew("interest", "go"),
+		),
+		Rand:       newDetReader(1),
+		Rendezvous: ring,
+		Participant: core.ParticipantConfig{
+			Matcher: core.MatcherConfig{AllowCollisionSkip: true},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bob, _, err := NewFriendingApp(sim, "bob", Position{X: 400}, FriendingConfig{
+		Profile: attr.NewProfile(
+			attr.MustNew("interest", "chess"),
+			attr.MustNew("interest", "go"),
+		),
+		Rand:       newDetReader(2),
+		Rendezvous: ring,
+		Participant: core.ParticipantConfig{
+			Matcher: core.MatcherConfig{AllowCollisionSkip: true},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := AttachRendezvous(sim, 100*time.Millisecond, alice, bob); err != nil {
+		t.Fatal(err)
+	}
+	reqID, err := alice.StartSearch(core.RequestSpec{
+		Necessary: []attr.Attribute{attr.MustNew("interest", "chess")},
+		Optional: []attr.Attribute{
+			attr.MustNew("interest", "go"),
+			attr.MustNew("interest", "shogi"),
+		},
+		MinOptional: 1,
+	}, SearchOptions{Protocol: core.Protocol1, Rand: newDetReader(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Close every rack that does not hold the bottle: the flow must finish
+	// on the survivor alone (closed racks fail at the "transport" with
+	// ErrRackClosed and are ejected after the first fault).
+	closed := 0
+	for _, rack := range racks {
+		if rack.Stats().Held == 0 {
+			rack.Close()
+			closed++
+		}
+	}
+	if closed != 2 {
+		t.Fatalf("expected the bottle on exactly one rack, closed %d of 3", closed)
+	}
+	sim.RunFor(2 * time.Second)
+
+	ms := alice.Matches()[reqID]
+	if len(ms) != 1 || ms[0].Peer != "bob" {
+		t.Fatalf("matches after rack loss = %+v, want bob", ms)
+	}
+	for _, rack := range racks {
+		rack.Close()
+	}
+}
