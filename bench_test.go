@@ -11,6 +11,7 @@ package sealedbottle
 // full renderings.
 
 import (
+	"context"
 	"crypto/rand"
 	"fmt"
 	"net"
@@ -402,7 +403,7 @@ func BenchmarkBrokerSubmit(b *testing.B) {
 			b.RunParallel(func(pb *testing.PB) {
 				for pb.Next() {
 					i := next.Add(1) - 1
-					if _, err := rack.Submit(raws[i]); err != nil {
+					if _, err := rack.Submit(context.Background(), raws[i]); err != nil {
 						b.Error(err)
 						return
 					}
@@ -421,7 +422,7 @@ func BenchmarkBrokerSweepShards(b *testing.B) {
 			rack := broker.New(broker.Config{Shards: shards, ReapInterval: -1})
 			defer rack.Close()
 			for _, raw := range benchRawBottles(b, rackSize) {
-				if _, err := rack.Submit(raw); err != nil {
+				if _, err := rack.Submit(context.Background(), raw); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -429,7 +430,7 @@ func BenchmarkBrokerSweepShards(b *testing.B) {
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := rack.Sweep(broker.SweepQuery{Residues: residues, Limit: 64}); err != nil {
+				if _, err := rack.Sweep(context.Background(), broker.SweepQuery{Residues: residues, Limit: 64}); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -451,7 +452,7 @@ func BenchmarkRackSweep(b *testing.B) {
 	rack := broker.New(broker.Config{Shards: 64, ReapInterval: -1})
 	defer rack.Close()
 	for _, raw := range benchRawBottles(b, rackSize) {
-		if _, err := rack.Submit(raw); err != nil {
+		if _, err := rack.Submit(context.Background(), raw); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -464,7 +465,7 @@ func BenchmarkRackSweep(b *testing.B) {
 		b.Run(name, func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				res, err := rack.Sweep(broker.SweepQuery{Residues: residues, Limit: limit})
+				res, err := rack.Sweep(context.Background(), broker.SweepQuery{Residues: residues, Limit: limit})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -484,7 +485,7 @@ func BenchmarkBrokerSweepRackSize(b *testing.B) {
 			rack := broker.New(broker.Config{Shards: 32, ReapInterval: -1})
 			defer rack.Close()
 			for _, raw := range benchRawBottles(b, rackSize) {
-				if _, err := rack.Submit(raw); err != nil {
+				if _, err := rack.Submit(context.Background(), raw); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -492,7 +493,7 @@ func BenchmarkBrokerSweepRackSize(b *testing.B) {
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := rack.Sweep(broker.SweepQuery{Residues: residues, Limit: 64}); err != nil {
+				if _, err := rack.Sweep(context.Background(), broker.SweepQuery{Residues: residues, Limit: 64}); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -526,7 +527,7 @@ func BenchmarkBrokerSubmitDurable(b *testing.B) {
 			b.RunParallel(func(pb *testing.PB) {
 				for pb.Next() {
 					i := next.Add(1) - 1
-					if _, err := rack.Submit(raws[i]); err != nil {
+					if _, err := rack.Submit(context.Background(), raws[i]); err != nil {
 						b.Error(err)
 						return
 					}
@@ -560,7 +561,7 @@ func BenchmarkBrokerSubmitBatchDurable(b *testing.B) {
 				if b.N-done < n {
 					n = b.N - done
 				}
-				results, err := rack.SubmitBatch(raws[done : done+n])
+				results, err := rack.SubmitBatch(context.Background(), raws[done:done+n])
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -635,7 +636,7 @@ func benchSubmitThroughput(b *testing.B, legacy bool) {
 	b.RunParallel(func(pb *testing.PB) {
 		for pb.Next() {
 			i := next.Add(1) - 1
-			if _, err := courier.Submit(raws[i]); err != nil {
+			if _, err := courier.Submit(context.Background(), raws[i]); err != nil {
 				b.Error(err)
 				return
 			}
@@ -672,7 +673,7 @@ func BenchmarkTransportSubmitBatched(b *testing.B) {
 		if b.N-done < n {
 			n = b.N - done
 		}
-		results, err := courier.SubmitBatch(raws[done : done+n])
+		results, err := courier.SubmitBatch(context.Background(), raws[done:done+n])
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -26,6 +26,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -35,8 +36,7 @@ import (
 	"syscall"
 	"time"
 
-	"sealedbottle/internal/broker"
-	"sealedbottle/internal/broker/transport"
+	"sealedbottle"
 	"sealedbottle/internal/broker/wal"
 )
 
@@ -45,11 +45,11 @@ func main() {
 	tag := flag.String("tag", "", "rack tag prefixed to issued request IDs (\"tag@id\") so cluster routers can route IDs back here; required per rack in multi-rack deployments")
 	shards := flag.Int("shards", 32, "shard count (rounded up to a power of two)")
 	workers := flag.Int("workers", 0, "sweep worker pool size (0: GOMAXPROCS)")
-	reap := flag.Duration("reap", broker.DefaultReapInterval, "background reaper interval")
+	reap := flag.Duration("reap", sealedbottle.DefaultReapInterval, "background reaper interval")
 	statsEvery := flag.Duration("stats", 10*time.Second, "stats logging interval (0: disabled)")
 	readIdle := flag.Duration("read-idle", 10*time.Minute, "drop connections idle longer than this (0: never)")
 	writeTimeout := flag.Duration("write-timeout", time.Minute, "per-response write deadline (0: none)")
-	inflight := flag.Int("inflight", transport.DefaultMaxInflight, "max concurrent requests per multiplexed connection")
+	inflight := flag.Int("inflight", sealedbottle.DefaultMaxInflight, "max concurrent requests per multiplexed connection")
 	dataDir := flag.String("data-dir", "", "durability directory for the write-ahead log and snapshots (empty: in-memory only)")
 	fsync := flag.String("fsync", "interval", "WAL fsync policy: always, interval or never")
 	fsyncInterval := flag.Duration("fsync-interval", wal.DefaultInterval, "fsync period for -fsync interval")
@@ -57,7 +57,7 @@ func main() {
 	walSegment := flag.Int64("wal-segment", wal.DefaultSegmentBytes, "WAL segment roll threshold in bytes")
 	flag.Parse()
 
-	cfg := broker.Config{Shards: *shards, Workers: *workers, ReapInterval: *reap, RackTag: *tag}
+	cfg := sealedbottle.RackConfig{Shards: *shards, Workers: *workers, ReapInterval: *reap, RackTag: *tag}
 	if *dataDir == "" {
 		// Durability flags without a data directory would silently run an
 		// in-memory broker the operator believes is persistent.
@@ -73,7 +73,7 @@ func main() {
 		if err != nil {
 			log.Fatalf("bottlerack: %v", err)
 		}
-		cfg.Durability = &broker.DurabilityConfig{
+		cfg.Durability = &sealedbottle.DurabilityConfig{
 			Dir:           *dataDir,
 			Fsync:         policy,
 			FsyncInterval: *fsyncInterval,
@@ -81,7 +81,7 @@ func main() {
 			SnapshotEvery: *snapshotEvery,
 		}
 	}
-	rack, err := broker.Open(cfg)
+	rack, err := sealedbottle.OpenRack(cfg)
 	if err != nil {
 		log.Fatalf("bottlerack: open rack: %v", err)
 	}
@@ -90,8 +90,9 @@ func main() {
 			log.Printf("bottlerack: close rack: %v", err)
 		}
 	}()
+	ctx := context.Background()
 	if *dataDir != "" {
-		st := rack.Stats()
+		st, _ := rack.Stats(ctx)
 		log.Printf("bottlerack: durability on (%s, fsync=%s): recovered %d bottles, wal %d bytes",
 			*dataDir, *fsync, st.Recovered, st.WALBytes)
 	}
@@ -104,10 +105,11 @@ func main() {
 	if *tag != "" {
 		tagNote = fmt.Sprintf(", tag %q", *tag)
 	}
+	startStats, _ := rack.Stats(ctx)
 	log.Printf("bottlerack: listening on %s (%d shards, %d workers, read-idle %v, write-timeout %v%s)",
-		l.Addr(), rack.Stats().Shards, rack.Stats().Workers, *readIdle, *writeTimeout, tagNote)
+		l.Addr(), startStats.Shards, startStats.Workers, *readIdle, *writeTimeout, tagNote)
 
-	srv := transport.NewServer(rack, transport.ServerOptions{
+	srv := sealedbottle.NewServer(rack, sealedbottle.ServerOptions{
 		ReadIdleTimeout: *readIdle,
 		WriteTimeout:    *writeTimeout,
 		MaxInflight:     *inflight,
@@ -128,7 +130,8 @@ func main() {
 	for {
 		select {
 		case <-tick:
-			log.Print(statsLine(rack.Stats()))
+			st, _ := rack.Stats(ctx)
+			log.Print(statsLine(st))
 		case s := <-sig:
 			log.Printf("bottlerack: %v, shutting down", s)
 			l.Close()
@@ -139,11 +142,12 @@ func main() {
 				// with no tail to replay, and compacts the log while at it.
 				if err := rack.Snapshot(); err != nil {
 					log.Printf("bottlerack: shutdown snapshot: %v", err)
-				} else {
-					log.Printf("bottlerack: shutdown snapshot written (wal %d bytes)", rack.Stats().WALBytes)
+				} else if st, err := rack.Stats(ctx); err == nil {
+					log.Printf("bottlerack: shutdown snapshot written (wal %d bytes)", st.WALBytes)
 				}
 			}
-			log.Print(statsLine(rack.Stats()))
+			st, _ := rack.Stats(ctx)
+			log.Print(statsLine(st))
 			return
 		case err := <-done:
 			if err != nil {
@@ -155,7 +159,7 @@ func main() {
 }
 
 // statsLine renders a one-line operational summary of a stats snapshot.
-func statsLine(st broker.Stats) string {
+func statsLine(st sealedbottle.Stats) string {
 	return fmt.Sprintf(
 		"bottlerack: held=%d submitted=%d dup=%d expired=%d sweeps=%d scanned=%d prefilter-reject=%.1f%% match=%.1f%% replies in/out/dropped=%d/%d/%d recovered=%d wal=%dB primes=%v",
 		st.Held, st.Totals.Submitted, st.Totals.Duplicates, st.Totals.Expired,

@@ -5,7 +5,7 @@
 // participant machinery, and post replies; a final phase fetches replies for
 // a sample of the submitted requests.
 //
-// Everything goes through the internal/client courier SDK: submitters share a
+// Everything goes through the public sealedbottle SDK: submitters share a
 // pool of multiplexed connections (many in-flight requests per connection)
 // and sweepers run the SDK's sweep-evaluate-reply loop. -batch amortizes the
 // round trip further with the batched opcodes; -legacy selects the lock-step
@@ -27,6 +27,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -38,10 +39,8 @@ import (
 	"sync/atomic"
 	"time"
 
+	"sealedbottle"
 	"sealedbottle/internal/attr"
-	"sealedbottle/internal/broker"
-	"sealedbottle/internal/broker/transport"
-	"sealedbottle/internal/client"
 	"sealedbottle/internal/core"
 )
 
@@ -93,6 +92,7 @@ func run(opts options) error {
 	if opts.batch < 1 {
 		opts.batch = 1
 	}
+	ctx := context.Background()
 	courier, statsFn, cleanup, err := connect(opts)
 	if err != nil {
 		return err
@@ -126,7 +126,7 @@ func run(opts options) error {
 					continue
 				}
 				t0 := time.Now()
-				racked, ok := submit(courier, raws)
+				racked, ok := submit(ctx, courier, raws)
 				subLat[w] = append(subLat[w], time.Since(t0))
 				failed.Add(int64(len(raws) - racked))
 				if racked == 0 {
@@ -156,7 +156,7 @@ func run(opts options) error {
 			if err != nil {
 				return
 			}
-			sweeper, err := client.NewSweeper(courier, client.SweeperConfig{
+			sweeper, err := sealedbottle.NewSweeper(courier, sealedbottle.SweeperConfig{
 				Participant: part,
 				Limit:       opts.sweepLimit,
 				SeenCap:     8192,
@@ -166,7 +166,7 @@ func run(opts options) error {
 			}
 			for submitting.Load() {
 				t0 := time.Now()
-				st, err := sweeper.Tick()
+				st, err := sweeper.Tick(ctx)
 				if err != nil {
 					return
 				}
@@ -186,7 +186,7 @@ func run(opts options) error {
 	// Final phase: fetch replies for the sampled request IDs, batched.
 	fetched := 0
 	for _, ids := range sampleIDs {
-		for _, res := range client.FetchMany(courier, ids) {
+		for _, res := range sealedbottle.FetchMany(ctx, courier, ids) {
 			if res.Err == nil {
 				fetched += len(res.Replies)
 			}
@@ -201,7 +201,7 @@ func run(opts options) error {
 		sweeps.Load(), swept.Load(), replies.Load(), fetched)
 	printLatencies("sweep ", flatten(sweepLat))
 	if statsFn != nil {
-		st, err := statsFn()
+		st, err := statsFn(ctx)
 		if err != nil {
 			return fmt.Errorf("fetching broker stats: %w", err)
 		}
@@ -224,14 +224,14 @@ func run(opts options) error {
 // submit racks one batch (or a single bottle) through the rendezvous; it
 // returns how many were racked and whether the first bottle of the batch
 // made it.
-func submit(courier client.BatchRendezvous, raws [][]byte) (racked int, firstOK bool) {
+func submit(ctx context.Context, courier sealedbottle.Backend, raws [][]byte) (racked int, firstOK bool) {
 	if len(raws) == 1 {
-		if _, err := courier.Submit(raws[0]); err != nil {
+		if _, err := courier.Submit(ctx, raws[0]); err != nil {
 			return 0, false
 		}
 		return 1, true
 	}
-	results, err := courier.SubmitBatch(raws)
+	results, err := courier.SubmitBatch(ctx, raws)
 	if err != nil {
 		return 0, false
 	}
@@ -250,14 +250,14 @@ func submit(courier client.BatchRendezvous, raws [][]byte) (racked int, firstOK 
 // TCP broker, a Ring of couriers for -addrs cluster mode, or — with no
 // address — an in-process cluster of -racks racks, each behind its own
 // framed server over an in-memory pipe listener.
-func connect(opts options) (rv client.BatchRendezvous, stats func() (broker.Stats, error), cleanup func(), err error) {
-	cfg := client.Config{
+func connect(opts options) (rv sealedbottle.Backend, stats func(context.Context) (sealedbottle.Stats, error), cleanup func(), err error) {
+	cfg := sealedbottle.CourierConfig{
 		Conns:       opts.conns,
 		CallTimeout: opts.timeout,
 		Legacy:      opts.legacy,
 	}
 	if opts.addrs != "" {
-		ring, err := client.NewRing(client.RingConfig{
+		ring, err := sealedbottle.NewRing(sealedbottle.RingConfig{
 			Addrs:   strings.Split(opts.addrs, ","),
 			Courier: cfg,
 		})
@@ -267,7 +267,7 @@ func connect(opts options) (rv client.BatchRendezvous, stats func() (broker.Stat
 		return ring, ring.Stats, func() { ring.Close() }, nil
 	}
 	if opts.addr != "" {
-		courier, err := client.Dial(client.Config{
+		courier, err := sealedbottle.Dial(sealedbottle.CourierConfig{
 			Addr: opts.addr, Conns: cfg.Conns, CallTimeout: cfg.CallTimeout, Legacy: cfg.Legacy,
 		})
 		if err != nil {
@@ -288,31 +288,31 @@ func connect(opts options) (rv client.BatchRendezvous, stats func() (broker.Stat
 			closers[i]()
 		}
 	}
-	var backends []client.RingBackend
+	var backends []sealedbottle.RingBackend
 	for i := 0; i < n; i++ {
-		rcfg := broker.Config{Shards: opts.shards}
+		rcfg := sealedbottle.RackConfig{Shards: opts.shards}
 		if n > 1 {
 			rcfg.RackTag = fmt.Sprintf("r%d", i)
 		}
-		rack := broker.New(rcfg)
-		l := transport.ListenPipe()
-		srv := transport.NewServer(rack)
+		rack := sealedbottle.NewRack(rcfg)
+		l := sealedbottle.ListenPipe()
+		srv := sealedbottle.NewServer(rack)
 		go srv.Serve(l)
 		ccfg := cfg
 		ccfg.Dialer = func() (net.Conn, error) { return l.Dial() }
-		courier, err := client.Dial(ccfg)
+		courier, err := sealedbottle.Dial(ccfg)
 		if err != nil {
 			cleanup()
 			return nil, nil, nil, err
 		}
 		closers = append(closers, func() { courier.Close(); l.Close(); srv.Close(); rack.Close() })
-		backends = append(backends, client.RingBackend{Name: fmt.Sprintf("rack-%d", i), Backend: courier})
+		backends = append(backends, sealedbottle.RingBackend{Name: fmt.Sprintf("rack-%d", i), Backend: courier})
 	}
 	if n == 1 {
-		courier := backends[0].Backend.(*client.Courier)
+		courier := backends[0].Backend.(*sealedbottle.Courier)
 		return courier, courier.Stats, cleanup, nil
 	}
-	ring, err := client.NewRing(client.RingConfig{Backends: backends})
+	ring, err := sealedbottle.NewRing(sealedbottle.RingConfig{Backends: backends})
 	if err != nil {
 		cleanup()
 		return nil, nil, nil, err

@@ -1,5 +1,5 @@
 // Bottlerack: the store-and-forward rendezvous flow end to end over the real
-// framed transport, driven entirely through the internal/client courier SDK.
+// framed transport, driven entirely through the public sealedbottle SDK.
 // A rack server runs behind the in-memory pipe listener; Alice's courier
 // submits a sealed-bottle request over a multiplexed connection; Bob's and
 // Carol's sweepers screen the rack with their residue presence sets — the
@@ -10,14 +10,13 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"net"
 
+	"sealedbottle"
 	"sealedbottle/internal/attr"
-	"sealedbottle/internal/broker"
-	"sealedbottle/internal/broker/transport"
-	"sealedbottle/internal/client"
 	"sealedbottle/internal/core"
 )
 
@@ -31,15 +30,16 @@ func run() error {
 	// 1. Stand up the rack, serve it over the framed protocol, and connect
 	// one courier that every party shares (its pooled multiplexed connection
 	// carries all their calls).
-	rack := broker.New(broker.Config{Shards: 8})
+	ctx := context.Background()
+	rack := sealedbottle.NewRack(sealedbottle.RackConfig{Shards: 8})
 	defer rack.Close()
-	l := transport.ListenPipe()
+	l := sealedbottle.ListenPipe()
 	defer l.Close()
-	srv := transport.NewServer(rack)
+	srv := sealedbottle.NewServer(rack)
 	go srv.Serve(l)
 	defer srv.Close()
 
-	courier, err := client.Dial(client.Config{Dialer: func() (net.Conn, error) { return l.Dial() }})
+	courier, err := sealedbottle.Dial(sealedbottle.CourierConfig{Dialer: func() (net.Conn, error) { return l.Dial() }})
 	if err != nil {
 		return err
 	}
@@ -63,7 +63,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	reqID, err := courier.Submit(raw)
+	reqID, err := courier.Submit(ctx, raw)
 	if err != nil {
 		return err
 	}
@@ -82,7 +82,7 @@ func run() error {
 			return err
 		}
 		var matchedKey string
-		sweeper, err := client.NewSweeper(courier, client.SweeperConfig{
+		sweeper, err := sealedbottle.NewSweeper(courier, sealedbottle.SweeperConfig{
 			Participant: part,
 			OnResult: func(pkg *core.RequestPackage, res *core.HandleResult) {
 				if res.Matched {
@@ -93,7 +93,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		st, err := sweeper.Tick()
+		st, err := sweeper.Tick(ctx)
 		if err != nil {
 			return err
 		}
@@ -124,7 +124,7 @@ func run() error {
 	}
 
 	// 4. Alice fetches her replies and confirms the match with x.
-	raws, err := courier.Fetch(reqID)
+	raws, err := courier.Fetch(ctx, reqID)
 	if err != nil {
 		return err
 	}
@@ -144,7 +144,7 @@ func run() error {
 		}
 	}
 
-	st, err := courier.Stats()
+	st, err := courier.Stats(ctx)
 	if err != nil {
 		return err
 	}

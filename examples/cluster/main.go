@@ -10,14 +10,13 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"net"
 
+	"sealedbottle"
 	"sealedbottle/internal/attr"
-	"sealedbottle/internal/broker"
-	"sealedbottle/internal/broker/transport"
-	"sealedbottle/internal/client"
 	"sealedbottle/internal/core"
 )
 
@@ -30,9 +29,9 @@ func main() {
 // rackProc is one "process" of the demo cluster: a tagged rack behind its
 // own framed server and pipe listener, like one cmd/bottlerack instance.
 type rackProc struct {
-	rack *broker.Rack
-	l    *transport.PipeListener
-	srv  *transport.Server
+	rack *sealedbottle.Rack
+	l    *sealedbottle.PipeListener
+	srv  *sealedbottle.Server
 }
 
 func (p *rackProc) stop() {
@@ -44,20 +43,21 @@ func (p *rackProc) stop() {
 func run() error {
 	// 1. Three tagged racks, each the in-process analogue of
 	// `bottlerack -tag rN`, and a Ring of couriers over them.
+	ctx := context.Background()
 	procs := make([]*rackProc, 3)
-	ringCfg := client.RingConfig{ProbeInterval: -1} // demo drives Probe itself
+	ringCfg := sealedbottle.RingConfig{ProbeInterval: -1} // demo drives Probe itself
 	for i := range procs {
-		rack := broker.New(broker.Config{Shards: 4, RackTag: fmt.Sprintf("r%d", i)})
-		l := transport.ListenPipe()
-		srv := transport.NewServer(rack)
+		rack := sealedbottle.NewRack(sealedbottle.RackConfig{Shards: 4, RackTag: fmt.Sprintf("r%d", i)})
+		l := sealedbottle.ListenPipe()
+		srv := sealedbottle.NewServer(rack)
 		go srv.Serve(l)
 		procs[i] = &rackProc{rack: rack, l: l, srv: srv}
-		courier, err := client.Dial(client.Config{Dialer: func() (net.Conn, error) { return l.Dial() }})
+		courier, err := sealedbottle.Dial(sealedbottle.CourierConfig{Dialer: func() (net.Conn, error) { return l.Dial() }})
 		if err != nil {
 			return err
 		}
 		defer courier.Close()
-		ringCfg.Backends = append(ringCfg.Backends, client.RingBackend{
+		ringCfg.Backends = append(ringCfg.Backends, sealedbottle.RingBackend{
 			Name: fmt.Sprintf("rack-%d", i), Backend: courier,
 		})
 	}
@@ -66,7 +66,7 @@ func run() error {
 			p.stop()
 		}
 	}()
-	ring, err := client.NewRing(ringCfg)
+	ring, err := sealedbottle.NewRing(ringCfg)
 	if err != nil {
 		return err
 	}
@@ -94,12 +94,12 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		id, err := ring.Submit(raw)
+		id, err := ring.Submit(ctx, raw)
 		if err != nil {
 			return err
 		}
 		initiators[id] = alice
-		tag, _ := broker.SplitTaggedID(id)
+		tag, _ := sealedbottle.SplitTaggedID(id)
 		perRack[tag]++
 	}
 	fmt.Printf("alice racked 6 bottles across the cluster: %v\n", perRack)
@@ -116,11 +116,11 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	sweeper, err := client.NewSweeper(ring, client.SweeperConfig{Participant: bob})
+	sweeper, err := sealedbottle.NewSweeper(ring, sealedbottle.SweeperConfig{Participant: bob})
 	if err != nil {
 		return err
 	}
-	st, err := sweeper.Tick()
+	st, err := sweeper.Tick(ctx)
 	if err != nil {
 		return err
 	}
@@ -131,7 +131,7 @@ func run() error {
 	// steered to the rack named by the ID's tag.
 	confirmed := 0
 	for id, alice := range initiators {
-		for _, r := range client.FetchMany(ring, []string{id})[0].Replies {
+		for _, r := range sealedbottle.FetchMany(ctx, ring, []string{id})[0].Replies {
 			reply, err := core.UnmarshalReply(r)
 			if err != nil {
 				continue
@@ -146,9 +146,9 @@ func run() error {
 	// 5. Kill rack 1. The ring ejects it after a few faults and the
 	// survivors keep serving every bottle they hold.
 	procs[1].stop()
-	for i := 0; i < client.DefaultFailThreshold; i++ {
-		ring.Probe()
-		_, _ = ring.Sweep(broker.SweepQuery{Residues: []core.ResidueSet{
+	for i := 0; i < sealedbottle.DefaultFailThreshold; i++ {
+		ring.Probe(ctx)
+		_, _ = ring.Sweep(ctx, sealedbottle.SweepQuery{Residues: []core.ResidueSet{
 			bob.Matcher().ResidueSet(core.DefaultPrime),
 		}})
 	}
@@ -157,18 +157,18 @@ func run() error {
 	}
 	reachable := 0
 	for id := range initiators {
-		tag, _ := broker.SplitTaggedID(id)
+		tag, _ := sealedbottle.SplitTaggedID(id)
 		if tag == "r1" {
 			continue // lives on the dead rack
 		}
-		if _, err := ring.Fetch(id); err == nil {
+		if _, err := ring.Fetch(ctx, id); err == nil {
 			reachable++
 		}
 	}
 	fmt.Printf("%d of %d surviving bottles still reachable with rack-1 down\n",
 		reachable, len(initiators)-perRack["r1"])
 
-	stats, err := ring.Stats()
+	stats, err := ring.Stats(ctx)
 	if err != nil {
 		return err
 	}

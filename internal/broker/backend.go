@@ -1,0 +1,46 @@
+package broker
+
+import "context"
+
+// Backend is the canonical rendezvous surface of the sealed-bottle system:
+// the one interface every layer implements, so racks (in-process), couriers
+// (one rack over TCP) and rings (a whole cluster) compose interchangeably —
+// anything accepting a Backend serves unchanged against any of them. It is
+// re-exported as the module's public API by the root sealedbottle package.
+//
+// Every call takes a context.Context as its first parameter and honors
+// cancellation: in-process racks stop between shard visits, couriers abandon
+// the in-flight wire call (the pipelined connection stays usable), and rings
+// stop dispatching to further racks. A canceled call may still have executed
+// on the far side — cancellation releases the caller, it does not undo work.
+// See docs/PROTOCOL.md §4 for the per-layer guarantees.
+//
+// Errors cross the wire with one-byte codes (ErrCode) decoded back into the
+// package's sentinels, so errors.Is(err, ErrUnknownBottle) and friends hold
+// identically in-process and over TCP.
+type Backend interface {
+	// Submit racks a marshalled request package and returns its request ID.
+	Submit(ctx context.Context, raw []byte) (string, error)
+	// SubmitBatch racks several packages at once, one outcome per item.
+	SubmitBatch(ctx context.Context, raws [][]byte) ([]SubmitResult, error)
+	// Sweep screens the rack with the query's residue sets.
+	Sweep(ctx context.Context, q SweepQuery) (SweepResult, error)
+	// Reply posts a marshalled reply for the given request.
+	Reply(ctx context.Context, requestID string, raw []byte) error
+	// ReplyBatch posts several replies at once, one outcome per item.
+	ReplyBatch(ctx context.Context, posts []ReplyPost) ([]error, error)
+	// Fetch drains the replies queued for a request.
+	Fetch(ctx context.Context, requestID string) ([][]byte, error)
+	// FetchBatch drains several reply queues at once, one outcome per item.
+	FetchBatch(ctx context.Context, ids []string) ([]FetchResult, error)
+	// Remove takes a bottle off the rack; it reports whether it was held.
+	Remove(ctx context.Context, requestID string) (bool, error)
+	// Stats snapshots the backend's counters (aggregated across racks when
+	// the backend is a ring).
+	Stats(ctx context.Context) (Stats, error)
+	// Close releases the backend's resources.
+	Close() error
+}
+
+// The in-process rack is the reference Backend implementation.
+var _ Backend = (*Rack)(nil)

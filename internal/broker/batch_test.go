@@ -1,6 +1,7 @@
 package broker
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 	"testing"
@@ -20,7 +21,7 @@ func TestSubmitBatchOutcomes(t *testing.T) {
 
 	rawA, pkgA := buildRawPackage(t, rng, clock, "a", interests("x"), nil, 0)
 	rawB, pkgB := buildRawPackage(t, rng, clock, "b", interests("y"), nil, 0)
-	results, err := rack.SubmitBatch([][]byte{rawA, rawB, rawA, []byte("garbage")})
+	results, err := rack.SubmitBatch(context.Background(), [][]byte{rawA, rawB, rawA, []byte("garbage")})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -36,7 +37,7 @@ func TestSubmitBatchOutcomes(t *testing.T) {
 	if results[3].Err == nil {
 		t.Fatal("garbage item racked")
 	}
-	st := rack.Stats()
+	st := statsOf(rack)
 	if st.Held != 2 || st.Totals.Submitted != 2 || st.Totals.Duplicates != 1 {
 		t.Fatalf("stats after batch = %+v", st.Totals)
 	}
@@ -44,7 +45,7 @@ func TestSubmitBatchOutcomes(t *testing.T) {
 	// A batch repeating a fresh ID twice must rack exactly one copy, whichever
 	// shard both copies hash to.
 	rawC, _ := buildRawPackage(t, rng, clock, "c", interests("z"), nil, 0)
-	results, err = rack.SubmitBatch([][]byte{rawC, rawC})
+	results, err = rack.SubmitBatch(context.Background(), [][]byte{rawC, rawC})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,14 +64,14 @@ func TestReplyBatchAndFetchBatch(t *testing.T) {
 
 	rawA, pkgA := buildRawPackage(t, rng, clock, "a", interests("x"), nil, 0)
 	rawB, pkgB := buildRawPackage(t, rng, clock, "b", interests("y"), nil, 0)
-	if _, err := rack.SubmitBatch([][]byte{rawA, rawB}); err != nil {
+	if _, err := rack.SubmitBatch(context.Background(), [][]byte{rawA, rawB}); err != nil {
 		t.Fatal(err)
 	}
 
 	mkReply := func(id, from string) []byte {
 		return (&core.Reply{RequestID: id, From: from, SentAt: clock.Now(), Acks: [][]byte{{1}}}).Marshal()
 	}
-	errs, err := rack.ReplyBatch([]ReplyPost{
+	errs, err := rack.ReplyBatch(context.Background(), []ReplyPost{
 		{RequestID: pkgA.ID, Raw: mkReply(pkgA.ID, "bob")},
 		{RequestID: pkgB.ID, Raw: mkReply(pkgB.ID, "bob")},
 		{RequestID: pkgB.ID, Raw: mkReply(pkgA.ID, "mallory")}, // echoes wrong ID
@@ -90,7 +91,7 @@ func TestReplyBatchAndFetchBatch(t *testing.T) {
 		t.Fatalf("unknown bottle err = %v", errs[3])
 	}
 
-	results, err := rack.FetchBatch([]string{pkgA.ID, pkgB.ID, "ghost"})
+	results, err := rack.FetchBatch(context.Background(), []string{pkgA.ID, pkgB.ID, "ghost"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,7 +105,7 @@ func TestReplyBatchAndFetchBatch(t *testing.T) {
 		t.Fatalf("fetch ghost err = %v", results[2].Err)
 	}
 	// Draining is destructive, exactly like Fetch.
-	results, err = rack.FetchBatch([]string{pkgA.ID})
+	results, err = rack.FetchBatch(context.Background(), []string{pkgA.ID})
 	if err != nil || results[0].Err != nil || len(results[0].Replies) != 0 {
 		t.Fatalf("second drain = %+v, %v", results[0], err)
 	}
@@ -120,16 +121,16 @@ func TestDrainBatchBudget(t *testing.T) {
 
 	rawA, pkgA := buildRawPackage(t, rng, clock, "a", interests("x"), nil, 0)
 	rawB, pkgB := buildRawPackage(t, rng, clock, "b", interests("y"), nil, 0)
-	if _, err := rack.SubmitBatch([][]byte{rawA, rawB}); err != nil {
+	if _, err := rack.SubmitBatch(context.Background(), [][]byte{rawA, rawB}); err != nil {
 		t.Fatal(err)
 	}
 	mkReply := func(id string, size int) []byte {
 		return (&core.Reply{RequestID: id, From: "bob", SentAt: clock.Now(), Acks: [][]byte{make([]byte, size)}}).Marshal()
 	}
-	if err := rack.Reply(pkgA.ID, mkReply(pkgA.ID, 64)); err != nil {
+	if err := rack.Reply(context.Background(), pkgA.ID, mkReply(pkgA.ID, 64)); err != nil {
 		t.Fatal(err)
 	}
-	if err := rack.Reply(pkgB.ID, mkReply(pkgB.ID, 64)); err != nil {
+	if err := rack.Reply(context.Background(), pkgB.ID, mkReply(pkgB.ID, 64)); err != nil {
 		t.Fatal(err)
 	}
 
@@ -150,7 +151,7 @@ func TestDrainBatchBudget(t *testing.T) {
 		t.Fatalf("budget not spent: %d", left)
 	}
 	// The refused queue survives and is fetchable afterwards.
-	raws, err := rack.Fetch(pkgB.ID)
+	raws, err := rack.Fetch(context.Background(), pkgB.ID)
 	if err != nil || len(raws) != 1 {
 		t.Fatalf("refetch of refused id = %d replies, %v", len(raws), err)
 	}
@@ -160,13 +161,13 @@ func TestDrainBatchBudget(t *testing.T) {
 func TestBatchOpsOnClosedRack(t *testing.T) {
 	rack := New(Config{Shards: 2, Workers: 1, ReapInterval: -1})
 	rack.Close()
-	if _, err := rack.SubmitBatch([][]byte{{1}}); !errors.Is(err, ErrRackClosed) {
+	if _, err := rack.SubmitBatch(context.Background(), [][]byte{{1}}); !errors.Is(err, ErrRackClosed) {
 		t.Fatalf("SubmitBatch on closed rack = %v", err)
 	}
-	if _, err := rack.ReplyBatch([]ReplyPost{{RequestID: "x"}}); !errors.Is(err, ErrRackClosed) {
+	if _, err := rack.ReplyBatch(context.Background(), []ReplyPost{{RequestID: "x"}}); !errors.Is(err, ErrRackClosed) {
 		t.Fatalf("ReplyBatch on closed rack = %v", err)
 	}
-	if _, err := rack.FetchBatch([]string{"x"}); !errors.Is(err, ErrRackClosed) {
+	if _, err := rack.FetchBatch(context.Background(), []string{"x"}); !errors.Is(err, ErrRackClosed) {
 		t.Fatalf("FetchBatch on closed rack = %v", err)
 	}
 }
@@ -185,13 +186,13 @@ func TestBatchEquivalence(t *testing.T) {
 	single := newTestRack(clock, 4)
 	defer single.Close()
 	for _, raw := range raws {
-		if _, err := single.Submit(raw); err != nil {
+		if _, err := single.Submit(context.Background(), raw); err != nil {
 			t.Fatal(err)
 		}
 	}
 	batched := newTestRack(clock, 4)
 	defer batched.Close()
-	results, err := batched.SubmitBatch(raws)
+	results, err := batched.SubmitBatch(context.Background(), raws)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -203,7 +204,7 @@ func TestBatchEquivalence(t *testing.T) {
 
 	q := func(r *Rack) SweepResult {
 		matcher := testMatcher(t, "x")
-		res, err := r.Sweep(SweepQuery{Residues: []core.ResidueSet{matcher.ResidueSet(core.DefaultPrime)}, Limit: 100})
+		res, err := r.Sweep(context.Background(), SweepQuery{Residues: []core.ResidueSet{matcher.ResidueSet(core.DefaultPrime)}, Limit: 100})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -25,6 +25,7 @@
 package broker
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"hash/fnv"
@@ -246,7 +247,10 @@ func (r *Rack) shardFor(id string) *shard {
 // request ID under which the bottle is held — prefixed with the rack's tag
 // when one is configured; on a durable rack, a nil error additionally means
 // the bottle is persisted per the fsync policy.
-func (r *Rack) Submit(raw []byte) (string, error) {
+func (r *Rack) Submit(ctx context.Context, raw []byte) (string, error) {
+	if err := ctx.Err(); err != nil {
+		return "", err
+	}
 	if r.isClosed() {
 		return "", ErrRackClosed
 	}
@@ -294,8 +298,13 @@ func bottleFromRaw(raw []byte, now time.Time) (*bottle, error) {
 // by shard and each shard's lock is taken once for its whole group, so the
 // per-operation locking cost is amortized across the batch. Outcomes are
 // returned per item, in order; the call itself only fails if the rack is
-// closed.
-func (r *Rack) SubmitBatch(raws [][]byte) ([]SubmitResult, error) {
+// closed or the context ends. Cancellation is honored between shard visits:
+// shards already visited keep their bottles (their items report success),
+// unvisited items carry the context's error, and the call returns it too.
+func (r *Rack) SubmitBatch(ctx context.Context, raws [][]byte) ([]SubmitResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if r.isClosed() {
 		return nil, ErrRackClosed
 	}
@@ -316,7 +325,17 @@ func (r *Rack) SubmitBatch(raws [][]byte) ([]SubmitResult, error) {
 		perShard[sh] = append(perShard[sh], item{idx: i, b: b})
 		results[i].ID = r.tagID(b.id)
 	}
+	var ctxErr error
 	for sh, items := range perShard {
+		if ctxErr = ctx.Err(); ctxErr != nil {
+			// Cancellation between shard visits: unvisited items are marked
+			// with the context error instead of silently reporting the IDs
+			// they never racked under.
+			for _, it := range items {
+				results[it.idx] = SubmitResult{Err: ctxErr}
+			}
+			continue
+		}
 		bs := make([]*bottle, len(items))
 		for j, it := range items {
 			bs[j] = it.b
@@ -332,7 +351,7 @@ func (r *Rack) SubmitBatch(raws [][]byte) ([]SubmitResult, error) {
 	if err := r.commitDur(); err != nil {
 		return results, err
 	}
-	return results, nil
+	return results, ctxErr
 }
 
 // ReplyPost is one reply within a ReplyBatch: the request it is addressed to
@@ -346,8 +365,13 @@ type ReplyPost struct {
 
 // ReplyBatch posts several replies at once, grouping by shard so each shard's
 // lock is taken once per batch. Outcomes are returned per item, in order; the
-// call itself only fails if the rack is closed.
-func (r *Rack) ReplyBatch(posts []ReplyPost) ([]error, error) {
+// call itself only fails if the rack is closed or the context ends.
+// Cancellation is honored between shard visits: posted replies stay posted,
+// unvisited items carry the context's error.
+func (r *Rack) ReplyBatch(ctx context.Context, posts []ReplyPost) ([]error, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if r.isClosed() {
 		return nil, ErrRackClosed
 	}
@@ -377,7 +401,14 @@ func (r *Rack) ReplyBatch(posts []ReplyPost) ([]error, error) {
 		sh := r.shardFor(p.RequestID)
 		perShard[sh] = append(perShard[sh], i)
 	}
+	var ctxErr error
 	for sh, idxs := range perShard {
+		if ctxErr = ctx.Err(); ctxErr != nil {
+			for _, i := range idxs {
+				errs[i] = ctxErr
+			}
+			continue
+		}
 		for j, err := range sh.pushReplyBatch(posts, idxs, r.cfg.MaxRepliesPerBottle, now) {
 			errs[idxs[j]] = err
 		}
@@ -385,7 +416,7 @@ func (r *Rack) ReplyBatch(posts []ReplyPost) ([]error, error) {
 	if err := r.commitDur(); err != nil {
 		return errs, err
 	}
-	return errs, nil
+	return errs, ctxErr
 }
 
 // FetchResult is the outcome of one request ID within a FetchBatch.
@@ -410,8 +441,14 @@ const MaxFetchBatchBytes = 8 << 20
 // FetchBatch drains the reply queues of several requests at once, grouping by
 // shard so each shard's lock is taken once per batch. Outcomes are returned
 // per item, in order; items beyond MaxFetchBatchBytes are left queued and
-// marked ErrFetchBudget. The call itself only fails if the rack is closed.
-func (r *Rack) FetchBatch(ids []string) ([]FetchResult, error) {
+// marked ErrFetchBudget. The call itself only fails if the rack is closed or
+// the context ends. Cancellation is honored between shard visits: queues
+// already drained stay drained (their items carry the replies), unvisited
+// items keep their queues and carry the context's error.
+func (r *Rack) FetchBatch(ctx context.Context, ids []string) ([]FetchResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if r.isClosed() {
 		return nil, ErrRackClosed
 	}
@@ -428,11 +465,18 @@ func (r *Rack) FetchBatch(ids []string) ([]FetchResult, error) {
 		sh := r.shardFor(id)
 		perShard[sh] = append(perShard[sh], i)
 	}
+	var ctxErr error
 	budget := MaxFetchBatchBytes
 	for sh, idxs := range perShard {
+		if ctxErr = ctx.Err(); ctxErr != nil {
+			for _, i := range idxs {
+				results[i].Err = ctxErr
+			}
+			continue
+		}
 		budget = sh.drainBatch(ids, idxs, results, budget)
 	}
-	return results, nil
+	return results, ctxErr
 }
 
 // SweepQuery describes one candidate's sweep: its residue presence sets (one
@@ -513,8 +557,16 @@ type SweepResult struct {
 
 // Sweep screens every racked bottle against the query's residue sets and
 // returns the ones the candidate could plausibly open. The scan is fanned out
-// across the shard set through the rack's worker pool.
-func (r *Rack) Sweep(q SweepQuery) (SweepResult, error) {
+// across the shard set through the rack's worker pool. Cancellation stops the
+// sweep through its collection budget: the budget is zeroed so in-flight
+// shard scans stop at their next passing bottle, no further shards are
+// dispatched, and the call returns the context's error — bottles already
+// collected are discarded (a sweep mutates nothing, so a canceled sweep is
+// free to repeat).
+func (r *Rack) Sweep(ctx context.Context, q SweepQuery) (SweepResult, error) {
+	if err := ctx.Err(); err != nil {
+		return SweepResult{}, err
+	}
 	if r.isClosed() {
 		return SweepResult{}, ErrRackClosed
 	}
@@ -545,6 +597,12 @@ func (r *Rack) Sweep(q SweepQuery) (SweepResult, error) {
 		select {
 		case r.jobs <- sweepJob{sh: sh, q: &q, seen: seen, now: now, remaining: &remaining, out: out, idx: i}:
 			dispatched++
+		case <-ctx.Done():
+			// Zero the budget so already-dispatched shard scans stop at their
+			// next passing bottle; their results land in the buffered out
+			// channel, so abandoning them blocks no worker.
+			remaining.Store(0)
+			return SweepResult{}, ctx.Err()
 		case <-r.closed:
 			return SweepResult{}, ErrRackClosed
 		}
@@ -554,6 +612,9 @@ func (r *Rack) Sweep(q SweepQuery) (SweepResult, error) {
 		select {
 		case p := <-out:
 			parts[p.idx] = p
+		case <-ctx.Done():
+			remaining.Store(0)
+			return SweepResult{}, ctx.Err()
 		case <-r.closed:
 			// Workers are gone; queued jobs will never be served.
 			return SweepResult{}, ErrRackClosed
@@ -603,7 +664,10 @@ func (r *Rack) worker() {
 // Reply racks a marshalled core.Reply for the initiator of the addressed
 // request to fetch. The reply must parse and must echo the request ID it is
 // posted under; replies to unknown or expired bottles are rejected.
-func (r *Rack) Reply(requestID string, raw []byte) error {
+func (r *Rack) Reply(ctx context.Context, requestID string, raw []byte) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	if r.isClosed() {
 		return ErrRackClosed
 	}
@@ -624,7 +688,10 @@ func (r *Rack) Reply(requestID string, raw []byte) error {
 
 // Fetch drains and returns the replies queued for a request. Only bottles
 // still on the rack (not yet reaped) can be fetched from.
-func (r *Rack) Fetch(requestID string) ([][]byte, error) {
+func (r *Rack) Fetch(ctx context.Context, requestID string) ([][]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if r.isClosed() {
 		return nil, ErrRackClosed
 	}
@@ -635,7 +702,10 @@ func (r *Rack) Fetch(requestID string) ([][]byte, error) {
 // Remove takes a bottle (and its pending replies) off the rack, e.g. when an
 // initiator has found enough matches. It reports whether the bottle was
 // held; the error is only non-nil on a durable rack whose log commit failed.
-func (r *Rack) Remove(requestID string) (bool, error) {
+func (r *Rack) Remove(ctx context.Context, requestID string) (bool, error) {
+	if err := ctx.Err(); err != nil {
+		return false, err
+	}
 	if r.isClosed() {
 		return false, ErrRackClosed
 	}
@@ -746,8 +816,13 @@ func (s Stats) MatchRate() float64 {
 	return float64(s.Totals.Returned) / float64(s.Totals.Scanned)
 }
 
-// Stats snapshots every shard's counters.
-func (r *Rack) Stats() Stats {
+// Stats snapshots every shard's counters. The error is only ever the
+// context's — an in-process snapshot cannot otherwise fail — and exists so
+// the signature matches the Backend surface shared with couriers and rings.
+func (r *Rack) Stats(ctx context.Context) (Stats, error) {
+	if err := ctx.Err(); err != nil {
+		return Stats{}, err
+	}
 	st := Stats{
 		Shards:   r.cfg.Shards,
 		Workers:  r.cfg.Workers,
@@ -776,5 +851,5 @@ func (r *Rack) Stats() Stats {
 	if r.dur != nil {
 		st.WALBytes = uint64(r.dur.log.SizeBytes())
 	}
-	return st
+	return st, nil
 }

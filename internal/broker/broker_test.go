@@ -1,6 +1,7 @@
 package broker
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -82,7 +83,7 @@ func TestSubmitSweepReplyFetchLifecycle(t *testing.T) {
 
 	raw, pkg := buildRawPackage(t, rng, clock, "alice",
 		interests("chess"), interests("go", "shogi", "xiangqi"), 2)
-	id, err := rack.Submit(raw)
+	id, err := rack.Submit(context.Background(), raw)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,7 +102,7 @@ func TestSubmitSweepReplyFetchLifecycle(t *testing.T) {
 	if !pkg.PrefilterMatch(rs) {
 		t.Fatal("sweeper owning all attributes must pass the prefilter")
 	}
-	res, err := rack.Sweep(SweepQuery{Residues: []core.ResidueSet{rs}})
+	res, err := rack.Sweep(context.Background(), SweepQuery{Residues: []core.ResidueSet{rs}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,7 +114,7 @@ func TestSubmitSweepReplyFetchLifecycle(t *testing.T) {
 	}
 
 	// The submitter's own sweep is excluded by origin.
-	own, err := rack.Sweep(SweepQuery{Residues: []core.ResidueSet{rs}, ExcludeOrigin: "alice"})
+	own, err := rack.Sweep(context.Background(), SweepQuery{Residues: []core.ResidueSet{rs}, ExcludeOrigin: "alice"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,10 +124,10 @@ func TestSubmitSweepReplyFetchLifecycle(t *testing.T) {
 
 	// Reply and fetch.
 	reply := &core.Reply{RequestID: pkg.ID, From: "bob", SentAt: clock.Now(), Acks: [][]byte{{1, 2, 3}}}
-	if err := rack.Reply(pkg.ID, reply.Marshal()); err != nil {
+	if err := rack.Reply(context.Background(), pkg.ID, reply.Marshal()); err != nil {
 		t.Fatal(err)
 	}
-	raws, err := rack.Fetch(pkg.ID)
+	raws, err := rack.Fetch(context.Background(), pkg.ID)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -137,11 +138,11 @@ func TestSubmitSweepReplyFetchLifecycle(t *testing.T) {
 		t.Fatalf("fetched reply does not decode: %v", err)
 	}
 	// Fetch drains.
-	if raws, err = rack.Fetch(pkg.ID); err != nil || len(raws) != 0 {
+	if raws, err = rack.Fetch(context.Background(), pkg.ID); err != nil || len(raws) != 0 {
 		t.Fatalf("second Fetch = %d replies, %v; want empty", len(raws), err)
 	}
 
-	st := rack.Stats()
+	st := statsOf(rack)
 	if st.Held != 1 || st.Totals.Submitted != 1 || st.Totals.RepliesIn != 1 || st.Totals.RepliesOut != 1 {
 		t.Fatalf("unexpected stats: %+v", st.Totals)
 	}
@@ -149,13 +150,13 @@ func TestSubmitSweepReplyFetchLifecycle(t *testing.T) {
 		t.Fatalf("Primes = %v, want [%d]", st.Primes, pkg.Prime)
 	}
 
-	if ok, err := rack.Remove(pkg.ID); err != nil || !ok {
+	if ok, err := rack.Remove(context.Background(), pkg.ID); err != nil || !ok {
 		t.Fatalf("Remove = (%v, %v), must report the bottle was held", ok, err)
 	}
-	if ok, err := rack.Remove(pkg.ID); err != nil || ok {
+	if ok, err := rack.Remove(context.Background(), pkg.ID); err != nil || ok {
 		t.Fatalf("second Remove = (%v, %v), must report absence", ok, err)
 	}
-	if _, err := rack.Fetch(pkg.ID); !errors.Is(err, ErrUnknownBottle) {
+	if _, err := rack.Fetch(context.Background(), pkg.ID); !errors.Is(err, ErrUnknownBottle) {
 		t.Fatalf("Fetch after Remove = %v, want ErrUnknownBottle", err)
 	}
 }
@@ -166,22 +167,22 @@ func TestSubmitRejectsGarbageDuplicatesAndExpired(t *testing.T) {
 	defer rack.Close()
 	rng := rand.New(rand.NewSource(2))
 
-	if _, err := rack.Submit([]byte("not a package")); !errors.Is(err, core.ErrMalformedPackage) {
+	if _, err := rack.Submit(context.Background(), []byte("not a package")); !errors.Is(err, core.ErrMalformedPackage) {
 		t.Fatalf("garbage submit = %v, want ErrMalformedPackage", err)
 	}
 	raw, _ := buildRawPackage(t, rng, clock, "a", interests("x"), nil, 0)
-	if _, err := rack.Submit(raw); err != nil {
+	if _, err := rack.Submit(context.Background(), raw); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := rack.Submit(raw); !errors.Is(err, ErrDuplicateBottle) {
+	if _, err := rack.Submit(context.Background(), raw); !errors.Is(err, ErrDuplicateBottle) {
 		t.Fatalf("duplicate submit = %v, want ErrDuplicateBottle", err)
 	}
 	stale, _ := buildRawPackage(t, rng, clock, "a", interests("y"), nil, 0)
 	clock.Advance(core.DefaultValidity + time.Second)
-	if _, err := rack.Submit(stale); !errors.Is(err, core.ErrExpired) {
+	if _, err := rack.Submit(context.Background(), stale); !errors.Is(err, core.ErrExpired) {
 		t.Fatalf("expired submit = %v, want ErrExpired", err)
 	}
-	if st := rack.Stats(); st.Totals.Duplicates != 1 {
+	if st := statsOf(rack); st.Totals.Duplicates != 1 {
 		t.Fatalf("Duplicates = %d, want 1", st.Totals.Duplicates)
 	}
 }
@@ -193,12 +194,12 @@ func TestLazyExpiryAndReap(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 
 	raw1, pkg1 := buildRawPackage(t, rng, clock, "a", interests("x"), nil, 0)
-	if _, err := rack.Submit(raw1); err != nil {
+	if _, err := rack.Submit(context.Background(), raw1); err != nil {
 		t.Fatal(err)
 	}
 	clock.Advance(time.Minute)
 	raw2, pkg2 := buildRawPackage(t, rng, clock, "b", interests("x"), nil, 0)
-	if _, err := rack.Submit(raw2); err != nil {
+	if _, err := rack.Submit(context.Background(), raw2); err != nil {
 		t.Fatal(err)
 	}
 
@@ -210,18 +211,18 @@ func TestLazyExpiryAndReap(t *testing.T) {
 
 	// Expire the first bottle only; a sweep must skip (and unlink) it.
 	clock.Advance(core.DefaultValidity - 30*time.Second)
-	res, err := rack.Sweep(SweepQuery{Residues: []core.ResidueSet{rs}})
+	res, err := rack.Sweep(context.Background(), SweepQuery{Residues: []core.ResidueSet{rs}})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(res.Bottles) != 1 || res.Bottles[0].ID != pkg2.ID {
 		t.Fatalf("sweep after partial expiry returned %v, want only %s", res.Bottles, pkg2.ID)
 	}
-	st := rack.Stats()
+	st := statsOf(rack)
 	if st.Held != 1 || st.Totals.Expired != 1 {
 		t.Fatalf("after lazy expiry: held=%d expired=%d, want 1/1", st.Held, st.Totals.Expired)
 	}
-	if _, err := rack.Fetch(pkg1.ID); !errors.Is(err, ErrUnknownBottle) {
+	if _, err := rack.Fetch(context.Background(), pkg1.ID); !errors.Is(err, ErrUnknownBottle) {
 		t.Fatalf("Fetch of lazily expired bottle = %v, want ErrUnknownBottle", err)
 	}
 
@@ -231,7 +232,7 @@ func TestLazyExpiryAndReap(t *testing.T) {
 	if n := rack.Reap(); n != 1 {
 		t.Fatalf("Reap = %d, want 1", n)
 	}
-	st = rack.Stats()
+	st = statsOf(rack)
 	if st.Held != 0 || st.Totals.Expired != 2 {
 		t.Fatalf("after reap: held=%d expired=%d, want 0/2", st.Held, st.Totals.Expired)
 	}
@@ -249,7 +250,7 @@ func TestSweepLimitSeenAndDeterministicOrder(t *testing.T) {
 	const n = 40
 	for i := 0; i < n; i++ {
 		raw, _ := buildRawPackage(t, rng, clock, "a", interests("x"), nil, 0)
-		if _, err := rack.Submit(raw); err != nil {
+		if _, err := rack.Submit(context.Background(), raw); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -259,7 +260,7 @@ func TestSweepLimitSeenAndDeterministicOrder(t *testing.T) {
 	}
 	rs := []core.ResidueSet{matcher.ResidueSet(core.DefaultPrime)}
 
-	first, err := rack.Sweep(SweepQuery{Residues: rs, Limit: 10})
+	first, err := rack.Sweep(context.Background(), SweepQuery{Residues: rs, Limit: 10})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -278,11 +279,11 @@ func TestSweepLimitSeenAndDeterministicOrder(t *testing.T) {
 	if len(distinct) != 10 {
 		t.Fatalf("truncated sweep returned %d distinct bottles, want 10", len(distinct))
 	}
-	full, err := rack.Sweep(SweepQuery{Residues: rs, Limit: n})
+	full, err := rack.Sweep(context.Background(), SweepQuery{Residues: rs, Limit: n})
 	if err != nil {
 		t.Fatal(err)
 	}
-	again, err := rack.Sweep(SweepQuery{Residues: rs, Limit: n})
+	again, err := rack.Sweep(context.Background(), SweepQuery{Residues: rs, Limit: n})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -300,7 +301,7 @@ func TestSweepLimitSeenAndDeterministicOrder(t *testing.T) {
 	for _, b := range first.Bottles {
 		seen = append(seen, b.ID)
 	}
-	rest, err := rack.Sweep(SweepQuery{Residues: rs, Seen: seen})
+	rest, err := rack.Sweep(context.Background(), SweepQuery{Residues: rs, Seen: seen})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -326,11 +327,11 @@ func TestSweepRejectsBadQuery(t *testing.T) {
 	clock := newTestClock()
 	rack := newTestRack(clock, 2)
 	defer rack.Close()
-	if _, err := rack.Sweep(SweepQuery{}); !errors.Is(err, ErrBadQuery) {
+	if _, err := rack.Sweep(context.Background(), SweepQuery{}); !errors.Is(err, ErrBadQuery) {
 		t.Fatalf("empty query = %v, want ErrBadQuery", err)
 	}
 	bad := core.ResidueSet{Prime: 9, Bits: []uint64{1}}
-	if _, err := rack.Sweep(SweepQuery{Residues: []core.ResidueSet{bad}}); !errors.Is(err, ErrBadQuery) {
+	if _, err := rack.Sweep(context.Background(), SweepQuery{Residues: []core.ResidueSet{bad}}); !errors.Is(err, ErrBadQuery) {
 		t.Fatalf("invalid residue set = %v, want ErrBadQuery", err)
 	}
 }
@@ -341,18 +342,18 @@ func TestReplyValidation(t *testing.T) {
 	defer rack.Close()
 	rng := rand.New(rand.NewSource(5))
 	raw, pkg := buildRawPackage(t, rng, clock, "a", interests("x"), nil, 0)
-	if _, err := rack.Submit(raw); err != nil {
+	if _, err := rack.Submit(context.Background(), raw); err != nil {
 		t.Fatal(err)
 	}
-	if err := rack.Reply(pkg.ID, []byte("junk")); err == nil {
+	if err := rack.Reply(context.Background(), pkg.ID, []byte("junk")); err == nil {
 		t.Fatal("garbage reply must be rejected")
 	}
 	mismatched := &core.Reply{RequestID: "someone-else", From: "b", SentAt: clock.Now()}
-	if err := rack.Reply(pkg.ID, mismatched.Marshal()); err == nil {
+	if err := rack.Reply(context.Background(), pkg.ID, mismatched.Marshal()); err == nil {
 		t.Fatal("reply with mismatched request id must be rejected")
 	}
 	orphan := &core.Reply{RequestID: "ghost", From: "b", SentAt: clock.Now()}
-	if err := rack.Reply("ghost", orphan.Marshal()); !errors.Is(err, ErrUnknownBottle) {
+	if err := rack.Reply(context.Background(), "ghost", orphan.Marshal()); !errors.Is(err, ErrUnknownBottle) {
 		t.Fatalf("reply to unknown bottle = %v, want ErrUnknownBottle", err)
 	}
 }
@@ -363,23 +364,23 @@ func TestReplyQueueBound(t *testing.T) {
 	defer rack.Close()
 	rng := rand.New(rand.NewSource(6))
 	raw, pkg := buildRawPackage(t, rng, clock, "a", interests("x"), nil, 0)
-	if _, err := rack.Submit(raw); err != nil {
+	if _, err := rack.Submit(context.Background(), raw); err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < 5; i++ {
 		r := &core.Reply{RequestID: pkg.ID, From: fmt.Sprintf("p%d", i), SentAt: clock.Now()}
-		if err := rack.Reply(pkg.ID, r.Marshal()); err != nil {
+		if err := rack.Reply(context.Background(), pkg.ID, r.Marshal()); err != nil {
 			t.Fatal(err)
 		}
 	}
-	raws, err := rack.Fetch(pkg.ID)
+	raws, err := rack.Fetch(context.Background(), pkg.ID)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(raws) != 2 {
 		t.Fatalf("queue bound: fetched %d, want 2", len(raws))
 	}
-	if st := rack.Stats(); st.Totals.RepliesDropped != 3 {
+	if st := statsOf(rack); st.Totals.RepliesDropped != 3 {
 		t.Fatalf("RepliesDropped = %d, want 3", st.Totals.RepliesDropped)
 	}
 }
@@ -393,7 +394,7 @@ func TestSweepDeduplicatesQueryPrimes(t *testing.T) {
 	defer rack.Close()
 	rng := rand.New(rand.NewSource(11))
 	raw, pkg := buildRawPackage(t, rng, clock, "a", interests("x"), nil, 0)
-	if _, err := rack.Submit(raw); err != nil {
+	if _, err := rack.Submit(context.Background(), raw); err != nil {
 		t.Fatal(err)
 	}
 	matcher, err := core.NewMatcher(attr.NewProfile(interests("x")...), core.MatcherConfig{})
@@ -401,7 +402,7 @@ func TestSweepDeduplicatesQueryPrimes(t *testing.T) {
 		t.Fatal(err)
 	}
 	rs := matcher.ResidueSet(pkg.Prime)
-	res, err := rack.Sweep(SweepQuery{Residues: []core.ResidueSet{rs, rs, rs}})
+	res, err := rack.Sweep(context.Background(), SweepQuery{Residues: []core.ResidueSet{rs, rs, rs}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -418,7 +419,7 @@ func TestCloseDuringSweeps(t *testing.T) {
 		rack := New(Config{Shards: 8, Workers: 2, ReapInterval: -1, Now: clock.Now})
 		rng := rand.New(rand.NewSource(int64(trial)))
 		raw, pkg := buildRawPackage(t, rng, clock, "a", interests("x"), nil, 0)
-		if _, err := rack.Submit(raw); err != nil {
+		if _, err := rack.Submit(context.Background(), raw); err != nil {
 			t.Fatal(err)
 		}
 		matcher, err := core.NewMatcher(attr.NewProfile(interests("x")...), core.MatcherConfig{})
@@ -432,7 +433,7 @@ func TestCloseDuringSweeps(t *testing.T) {
 			go func() {
 				defer wg.Done()
 				for {
-					if _, err := rack.Sweep(SweepQuery{Residues: rs}); errors.Is(err, ErrRackClosed) {
+					if _, err := rack.Sweep(context.Background(), SweepQuery{Residues: rs}); errors.Is(err, ErrRackClosed) {
 						return
 					}
 				}
@@ -447,16 +448,16 @@ func TestClosedRack(t *testing.T) {
 	rack := New(Config{Shards: 2, Workers: 1, ReapInterval: -1})
 	rack.Close()
 	rack.Close() // idempotent
-	if _, err := rack.Submit(nil); !errors.Is(err, ErrRackClosed) {
+	if _, err := rack.Submit(context.Background(), nil); !errors.Is(err, ErrRackClosed) {
 		t.Fatalf("Submit after Close = %v", err)
 	}
-	if _, err := rack.Sweep(SweepQuery{}); !errors.Is(err, ErrRackClosed) {
+	if _, err := rack.Sweep(context.Background(), SweepQuery{}); !errors.Is(err, ErrRackClosed) {
 		t.Fatalf("Sweep after Close = %v", err)
 	}
-	if err := rack.Reply("x", nil); !errors.Is(err, ErrRackClosed) {
+	if err := rack.Reply(context.Background(), "x", nil); !errors.Is(err, ErrRackClosed) {
 		t.Fatalf("Reply after Close = %v", err)
 	}
-	if _, err := rack.Fetch("x"); !errors.Is(err, ErrRackClosed) {
+	if _, err := rack.Fetch(context.Background(), "x"); !errors.Is(err, ErrRackClosed) {
 		t.Fatalf("Fetch after Close = %v", err)
 	}
 }
@@ -489,7 +490,7 @@ func TestRackConcurrent(t *testing.T) {
 			for i := 0; i < perWorker; i++ {
 				raw, pkg := buildRawPackage(t, rng, clock, fmt.Sprintf("o%d", w),
 					interests("x"), interests("y", "z", fmt.Sprintf("w%d-%d", w, i)), 1)
-				if _, err := rack.Submit(raw); err != nil {
+				if _, err := rack.Submit(context.Background(), raw); err != nil {
 					t.Error(err)
 					return
 				}
@@ -502,11 +503,11 @@ func TestRackConcurrent(t *testing.T) {
 		go func(w int) {
 			defer wg.Done()
 			for i := 0; i < perWorker; i++ {
-				if _, err := rack.Sweep(SweepQuery{Residues: rs, Limit: 16}); err != nil {
+				if _, err := rack.Sweep(context.Background(), SweepQuery{Residues: rs, Limit: 16}); err != nil {
 					t.Error(err)
 					return
 				}
-				rack.Stats()
+				statsOf(rack)
 				if i%10 == 0 {
 					clock.Advance(time.Second)
 					rack.Reap()
@@ -522,13 +523,13 @@ func TestRackConcurrent(t *testing.T) {
 			r := &core.Reply{RequestID: id, From: "rep", SentAt: clock.Now(), Acks: [][]byte{{1}}}
 			// The bottle may have expired under the advancing clock; both
 			// outcomes are fine, the point is exercising the paths.
-			if err := rack.Reply(id, r.Marshal()); err == nil {
-				if _, err := rack.Fetch(id); err != nil && !errors.Is(err, ErrUnknownBottle) {
+			if err := rack.Reply(context.Background(), id, r.Marshal()); err == nil {
+				if _, err := rack.Fetch(context.Background(), id); err != nil && !errors.Is(err, ErrUnknownBottle) {
 					t.Error(err)
 				}
 			}
 			if n++; n%7 == 0 {
-				rack.Remove(id) //nolint:errcheck // closed-rack race is part of the churn
+				rack.Remove(context.Background(), id) //nolint:errcheck // closed-rack race is part of the churn
 			}
 		}
 	}()
@@ -536,4 +537,14 @@ func TestRackConcurrent(t *testing.T) {
 	producers.Wait()
 	close(ids)
 	wg.Wait()
+}
+
+// statsOf snapshots a rack's counters, panicking on the impossible in-process
+// error — test call sites keep their one-liner chaining.
+func statsOf(r *Rack) Stats {
+	st, err := r.Stats(context.Background())
+	if err != nil {
+		panic(err)
+	}
+	return st
 }

@@ -213,23 +213,33 @@ func UnmarshalRawList(data []byte) ([][]byte, error) {
 	return out, nil
 }
 
-// Per-item outcome flags of the batch encodings.
+// Per-item outcome flags of the batch encodings. Since the error-code
+// protocol revision the flag byte doubles as the error's wire code
+// (OutcomeCodeBase+code); the bare outcomeErr value is what legacy peers
+// wrote, and both directions stay compatible because every decoder — old and
+// new — treats any nonzero flag as "error, text follows".
 const (
 	outcomeOK  byte = 0
 	outcomeErr byte = 1
+	// OutcomeCodeBase offsets an ErrCode into the outcome-flag (and response
+	// status) byte space: a coded error is written as OutcomeCodeBase+code.
+	OutcomeCodeBase byte = 0x10
 )
 
-// appendError appends an ok/err flag plus the error text for failed items.
+// appendError appends an outcome flag plus the error text for failed items.
+// The flag carries the error's wire code so the far side can reconstruct the
+// sentinel; legacy decoders see any nonzero flag as a plain text error.
 func appendError(buf []byte, err error) []byte {
 	if err == nil {
 		return append(buf, outcomeOK)
 	}
-	buf = append(buf, outcomeErr)
+	buf = append(buf, OutcomeCodeBase+byte(ErrCodeOf(err)))
 	return appendString16(buf, err.Error())
 }
 
 // readError reads the flag written by appendError, reconstructing failed
-// items as opaque errors carrying the remote text.
+// items as the coded sentinel (or a WireError preserving text and code); a
+// legacy flag without a code yields an opaque text error.
 func readError(r *reader) (error, bool, error) {
 	flag, err := r.byte()
 	if err != nil {
@@ -242,7 +252,15 @@ func readError(r *reader) (error, bool, error) {
 	if err != nil {
 		return nil, false, err
 	}
-	return errors.New(msg), true, nil
+	code := CodeNone
+	if flag >= OutcomeCodeBase {
+		code = ErrCode(flag - OutcomeCodeBase)
+	} else {
+		// Legacy peer: infer the code from the documented sentinel text so
+		// errors.Is keeps working across a rolling upgrade.
+		code = LegacyErrCodeOf(msg)
+	}
+	return DecodeWireError(code, msg), true, nil
 }
 
 // MarshalSubmitResults encodes the per-item outcomes of a SubmitBatch.

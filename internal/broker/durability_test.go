@@ -1,6 +1,7 @@
 package broker
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"math/rand"
@@ -92,7 +93,7 @@ func driveMixedLoad(tb testing.TB, r *Rack, clock *testClock, raws [][]byte) {
 		if end > len(raws) {
 			end = len(raws)
 		}
-		results, err := r.SubmitBatch(raws[start:end])
+		results, err := r.SubmitBatch(context.Background(), raws[start:end])
 		if err != nil {
 			tb.Fatal(err)
 		}
@@ -109,7 +110,7 @@ func driveMixedLoad(tb testing.TB, r *Rack, clock *testClock, raws [][]byte) {
 		id := fmt.Sprintf("%032x", i)
 		posts = append(posts, ReplyPost{RequestID: id, Raw: replyFor(clock, id, "batch-replier")})
 	}
-	errs, err := r.ReplyBatch(posts)
+	errs, err := r.ReplyBatch(context.Background(), posts)
 	if err != nil {
 		tb.Fatal(err)
 	}
@@ -120,20 +121,20 @@ func driveMixedLoad(tb testing.TB, r *Rack, clock *testClock, raws [][]byte) {
 	}
 	for i := 0; i < len(raws); i += 9 {
 		id := fmt.Sprintf("%032x", i)
-		if err := r.Reply(id, replyFor(clock, id, "solo-replier")); err != nil {
+		if err := r.Reply(context.Background(), id, replyFor(clock, id, "solo-replier")); err != nil {
 			tb.Fatal(err)
 		}
 	}
 	// Removes: every 10th bottle comes off the rack.
 	for i := 0; i < len(raws); i += 10 {
-		if _, err := r.Remove(fmt.Sprintf("%032x", i)); err != nil {
+		if _, err := r.Remove(context.Background(), fmt.Sprintf("%032x", i)); err != nil {
 			tb.Fatal(err)
 		}
 	}
 	// Fetches: every 6th bottle's replies are drained (some queues are empty,
 	// some bottles already removed — both outcomes must replay identically).
 	for i := 0; i < len(raws); i += 6 {
-		_, _ = r.Fetch(fmt.Sprintf("%032x", i))
+		_, _ = r.Fetch(context.Background(), fmt.Sprintf("%032x", i))
 	}
 	// Sentinel: orders a durable commit after the drain records above.
 	sentinel := rawBottles(tb, clock, 1)
@@ -146,7 +147,7 @@ func driveMixedLoad(tb testing.TB, r *Rack, clock *testClock, raws [][]byte) {
 	if err != nil {
 		tb.Fatal(err)
 	}
-	if _, err := r.Submit(raw); err != nil {
+	if _, err := r.Submit(context.Background(), raw); err != nil {
 		tb.Fatal(err)
 	}
 }
@@ -182,7 +183,7 @@ func TestDurableRecoverCleanClose(t *testing.T) {
 	if got := rackState(recovered); !reflect.DeepEqual(want, got) {
 		t.Fatalf("recovered state diverged: %d bottles, want %d", len(got), len(want))
 	}
-	st := recovered.Stats()
+	st := statsOf(recovered)
 	if st.Recovered != uint64(len(want)) {
 		t.Fatalf("Stats.Recovered = %d, want %d", st.Recovered, len(want))
 	}
@@ -196,7 +197,7 @@ func TestDurableRecoverCleanClose(t *testing.T) {
 	}
 	mem := New(Config{Shards: 2, ReapInterval: -1})
 	defer mem.Close()
-	if st := mem.Stats(); st.Recovered != 0 || st.WALBytes != 0 {
+	if st := statsOf(mem); st.Recovered != 0 || st.WALBytes != 0 {
 		t.Fatalf("in-memory rack must report zero Recovered/WALBytes, got %d/%d", st.Recovered, st.WALBytes)
 	}
 }
@@ -236,7 +237,7 @@ func TestDurableCrashReplayEquivalence(t *testing.T) {
 	if !reflect.DeepEqual(want, got) {
 		t.Fatalf("replay not equivalent: recovered %d bottles, uninterrupted twin has %d", len(got), len(want))
 	}
-	if st := recovered.Stats(); st.Recovered != uint64(len(want)) {
+	if st := statsOf(recovered); st.Recovered != uint64(len(want)) {
 		t.Fatalf("Stats.Recovered = %d, want %d", st.Recovered, len(want))
 	}
 }
@@ -310,14 +311,14 @@ func TestDurableSnapshotRecoveryAndCompaction(t *testing.T) {
 	}
 	// Post-snapshot tail: more submits, replies to pre-snapshot bottles,
 	// removes of pre-snapshot bottles.
-	if _, err := durable.SubmitBatch(raws[200:]); err != nil {
+	if _, err := durable.SubmitBatch(context.Background(), raws[200:]); err != nil {
 		t.Fatal(err)
 	}
 	lateID := fmt.Sprintf("%032x", 2) // submitted before the snapshot, alive
-	if err := durable.Reply(lateID, replyFor(clock, lateID, "late-replier")); err != nil {
+	if err := durable.Reply(context.Background(), lateID, replyFor(clock, lateID, "late-replier")); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := durable.Remove(fmt.Sprintf("%032x", 4)); err != nil {
+	if _, err := durable.Remove(context.Background(), fmt.Sprintf("%032x", 4)); err != nil {
 		t.Fatal(err)
 	}
 	want := rackState(durable)
@@ -345,7 +346,7 @@ func TestDurableExpiryReArmed(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := durable.SubmitBatch(raws); err != nil {
+	if _, err := durable.SubmitBatch(context.Background(), raws); err != nil {
 		t.Fatal(err)
 	}
 	durable.Close()
@@ -355,7 +356,7 @@ func TestDurableExpiryReArmed(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if held := recovered.Stats().Held; held != len(raws) {
+	if held := statsOf(recovered).Held; held != len(raws) {
 		t.Fatalf("recovered %d bottles, want %d", held, len(raws))
 	}
 	// The persisted deadline still governs: advance past it and reap.
@@ -371,7 +372,7 @@ func TestDurableExpiryReArmed(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer late.Close()
-	if held := late.Stats().Held; held != 0 {
+	if held := statsOf(late).Held; held != 0 {
 		t.Fatalf("expired bottles recovered: held=%d, want 0", held)
 	}
 }
@@ -398,13 +399,13 @@ func TestDurableFetchStaysDrained(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := durable.Submit(raws[0]); err != nil {
+	if _, err := durable.Submit(context.Background(), raws[0]); err != nil {
 		t.Fatal(err)
 	}
-	if err := durable.Reply(id, replyFor(clock, id, "replier")); err != nil {
+	if err := durable.Reply(context.Background(), id, replyFor(clock, id, "replier")); err != nil {
 		t.Fatal(err)
 	}
-	got, err := durable.Fetch(id)
+	got, err := durable.Fetch(context.Background(), id)
 	if err != nil || len(got) != 1 {
 		t.Fatalf("Fetch = (%d replies, %v), want 1", len(got), err)
 	}
@@ -415,7 +416,7 @@ func TestDurableFetchStaysDrained(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer recovered.Close()
-	again, err := recovered.Fetch(id)
+	again, err := recovered.Fetch(context.Background(), id)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,139 @@
+package broker
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"testing"
+
+	"sealedbottle/internal/core"
+)
+
+// TestErrCodeClassification pins the code assignment for every sentinel and
+// the conservative CodeInternal bucket for everything else.
+func TestErrCodeClassification(t *testing.T) {
+	cases := []struct {
+		err  error
+		want ErrCode
+	}{
+		{nil, CodeNone},
+		{ErrUnknownBottle, CodeUnknownBottle},
+		{ErrDuplicateBottle, CodeDuplicateBottle},
+		{ErrBadQuery, CodeBadQuery},
+		{ErrFetchBudget, CodeFetchBudget},
+		{core.ErrExpired, CodeExpired},
+		{core.ErrMalformedPackage, CodeMalformed},
+		{fmt.Errorf("wrapped: %w", ErrUnknownBottle), CodeUnknownBottle},
+		{ErrRackClosed, CodeInternal},
+		{ErrMalformedFrame, CodeInternal},
+		{errors.New("anything else"), CodeInternal},
+	}
+	for _, tc := range cases {
+		if got := ErrCodeOf(tc.err); got != tc.want {
+			t.Errorf("ErrCodeOf(%v) = %v, want %v", tc.err, got, tc.want)
+		}
+	}
+	// Decode is the inverse on the coded sentinels.
+	for code := CodeUnknownBottle; code < CodeInternal; code++ {
+		s := code.Sentinel()
+		if s == nil {
+			t.Fatalf("code %v has no sentinel", code)
+		}
+		if got := ErrCodeOf(s); got != code {
+			t.Errorf("ErrCodeOf(Sentinel(%v)) = %v", code, got)
+		}
+	}
+}
+
+// TestDecodeWireError covers the three decode shapes: exact sentinel text
+// returns the sentinel value itself, wrapped text keeps both text and
+// errors.Is identity, and uncoded text stays opaque.
+func TestDecodeWireError(t *testing.T) {
+	if got := DecodeWireError(CodeUnknownBottle, ErrUnknownBottle.Error()); got != ErrUnknownBottle {
+		t.Fatalf("exact text decode = %v, want the sentinel value", got)
+	}
+	wrapped := DecodeWireError(CodeUnknownBottle, "rack r1: broker: unknown bottle id")
+	if !errors.Is(wrapped, ErrUnknownBottle) {
+		t.Fatalf("wrapped decode lost errors.Is identity: %v", wrapped)
+	}
+	if wrapped.Error() != "rack r1: broker: unknown bottle id" {
+		t.Fatalf("wrapped decode lost text: %q", wrapped.Error())
+	}
+	opaque := DecodeWireError(CodeNone, "legacy text")
+	if opaque.Error() != "legacy text" {
+		t.Fatalf("legacy decode = %q", opaque.Error())
+	}
+	var we *WireError
+	if errors.As(opaque, &we) {
+		t.Fatal("legacy decode must stay opaque, not a coded WireError")
+	}
+}
+
+// TestErrorListLegacyFlagFallback hand-crafts a pre-code batch outcome list
+// (flag byte 1, text only) and proves the new decoder still reads it:
+// documented sentinel texts recover their errors.Is identity (rolling
+// upgrades keep routing), unrecognized texts stay opaque.
+func TestErrorListLegacyFlagFallback(t *testing.T) {
+	appendLegacyErr := func(buf []byte, msg string) []byte {
+		buf = append(buf, outcomeErr) // legacy error flag, no code
+		buf = binary.BigEndian.AppendUint16(buf, uint16(len(msg)))
+		return append(buf, msg...)
+	}
+	var buf []byte
+	buf = binary.BigEndian.AppendUint32(buf, 3)
+	buf = append(buf, outcomeOK)
+	buf = appendLegacyErr(buf, ErrUnknownBottle.Error())
+	buf = appendLegacyErr(buf, "weird legacy failure")
+
+	errs, err := UnmarshalErrorList(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errs[0] != nil {
+		t.Fatalf("item 0 = %v, want nil", errs[0])
+	}
+	if !errors.Is(errs[1], ErrUnknownBottle) {
+		t.Fatalf("legacy sentinel text = %v, want errors.Is ErrUnknownBottle", errs[1])
+	}
+	if errs[1].Error() != ErrUnknownBottle.Error() {
+		t.Fatalf("legacy sentinel text mangled: %q", errs[1].Error())
+	}
+	if errs[2] == nil || errs[2].Error() != "weird legacy failure" {
+		t.Fatalf("item 2 = %v, want the opaque legacy text", errs[2])
+	}
+	var we *WireError
+	if errors.As(errs[2], &we) {
+		t.Fatal("unrecognized legacy text must stay opaque")
+	}
+}
+
+// TestErrorListCodedRoundTrip proves the batch outcome encoding preserves
+// errors.Is identity through marshal/unmarshal for every coded sentinel.
+func TestErrorListCodedRoundTrip(t *testing.T) {
+	in := []error{
+		nil,
+		ErrUnknownBottle,
+		ErrDuplicateBottle,
+		fmt.Errorf("shard 3: %w", ErrFetchBudget),
+		core.ErrExpired,
+		errors.New("unclassified failure"),
+	}
+	out, err := UnmarshalErrorList(MarshalErrorList(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != nil {
+		t.Fatalf("nil outcome decoded as %v", out[0])
+	}
+	for i, want := range []error{ErrUnknownBottle, ErrDuplicateBottle, ErrFetchBudget, core.ErrExpired} {
+		if !errors.Is(out[i+1], want) {
+			t.Errorf("item %d = %v, want errors.Is %v", i+1, out[i+1], want)
+		}
+	}
+	if out[3].Error() != "shard 3: "+ErrFetchBudget.Error() {
+		t.Errorf("wrapped text lost: %q", out[3].Error())
+	}
+	if out[5] == nil || out[5].Error() != "unclassified failure" {
+		t.Errorf("unclassified item = %v", out[5])
+	}
+}

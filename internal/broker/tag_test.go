@@ -1,6 +1,7 @@
 package broker
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 	"sealedbottle/internal/attr"
@@ -52,7 +53,7 @@ func TestRackTagLifecycle(t *testing.T) {
 	rng := rand.New(rand.NewSource(9))
 
 	rawA, pkgA := buildRawPackage(t, rng, clock, "a", interests("x"), nil, 0)
-	id, err := rack.Submit(rawA)
+	id, err := rack.Submit(context.Background(), rawA)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,7 +62,7 @@ func TestRackTagLifecycle(t *testing.T) {
 	}
 
 	rawB, pkgB := buildRawPackage(t, rng, clock, "b", interests("x"), nil, 0)
-	results, err := rack.SubmitBatch([][]byte{rawB})
+	results, err := rack.SubmitBatch(context.Background(), [][]byte{rawB})
 	if err != nil || results[0].Err != nil {
 		t.Fatalf("SubmitBatch = %+v, %v", results, err)
 	}
@@ -74,7 +75,7 @@ func TestRackTagLifecycle(t *testing.T) {
 		t.Fatal(err)
 	}
 	rs := []core.ResidueSet{matcher.ResidueSet(core.DefaultPrime)}
-	swept, err := rack.Sweep(SweepQuery{Residues: rs})
+	swept, err := rack.Sweep(context.Background(), SweepQuery{Residues: rs})
 	if err != nil || len(swept.Bottles) != 2 {
 		t.Fatalf("Sweep = %d bottles, %v", len(swept.Bottles), err)
 	}
@@ -86,7 +87,7 @@ func TestRackTagLifecycle(t *testing.T) {
 
 	// Tagged seen IDs are untagged server-side.
 	seen := []string{swept.Bottles[0].ID, swept.Bottles[1].ID}
-	rest, err := rack.Sweep(SweepQuery{Residues: rs, Seen: seen})
+	rest, err := rack.Sweep(context.Background(), SweepQuery{Residues: rs, Seen: seen})
 	if err != nil || len(rest.Bottles) != 0 {
 		t.Fatalf("seen-filtered sweep = %d bottles, %v", len(rest.Bottles), err)
 	}
@@ -96,34 +97,34 @@ func TestRackTagLifecycle(t *testing.T) {
 	mkReply := func(id string) []byte {
 		return (&core.Reply{RequestID: id, From: "bob", SentAt: clock.Now(), Acks: [][]byte{{7}}}).Marshal()
 	}
-	if err := rack.Reply("r1@"+pkgA.ID, mkReply(pkgA.ID)); err != nil {
+	if err := rack.Reply(context.Background(), "r1@"+pkgA.ID, mkReply(pkgA.ID)); err != nil {
 		t.Fatalf("tagged Reply: %v", err)
 	}
-	if err := rack.Reply(pkgA.ID, mkReply(pkgA.ID)); err != nil {
+	if err := rack.Reply(context.Background(), pkgA.ID, mkReply(pkgA.ID)); err != nil {
 		t.Fatalf("untagged Reply: %v", err)
 	}
-	errs, err := rack.ReplyBatch([]ReplyPost{{RequestID: "r1@" + pkgB.ID, Raw: mkReply(pkgB.ID)}})
+	errs, err := rack.ReplyBatch(context.Background(), []ReplyPost{{RequestID: "r1@" + pkgB.ID, Raw: mkReply(pkgB.ID)}})
 	if err != nil || errs[0] != nil {
 		t.Fatalf("tagged ReplyBatch = %v, %v", errs, err)
 	}
 
-	if raws, err := rack.Fetch("r1@" + pkgA.ID); err != nil || len(raws) != 2 {
+	if raws, err := rack.Fetch(context.Background(), "r1@"+pkgA.ID); err != nil || len(raws) != 2 {
 		t.Fatalf("tagged Fetch = %d replies, %v", len(raws), err)
 	}
-	fetches, err := rack.FetchBatch([]string{"r1@" + pkgB.ID, pkgB.ID})
+	fetches, err := rack.FetchBatch(context.Background(), []string{"r1@" + pkgB.ID, pkgB.ID})
 	if err != nil || fetches[0].Err != nil || len(fetches[0].Replies) != 1 {
 		t.Fatalf("tagged FetchBatch = %+v, %v", fetches, err)
 	}
 
 	// A foreign tag misses: that bottle lives on another rack.
-	if _, err := rack.Fetch("r2@" + pkgA.ID); !errors.Is(err, ErrUnknownBottle) {
+	if _, err := rack.Fetch(context.Background(), "r2@"+pkgA.ID); !errors.Is(err, ErrUnknownBottle) {
 		t.Fatalf("foreign-tagged Fetch = %v, want ErrUnknownBottle", err)
 	}
 
-	if held, err := rack.Remove("r1@" + pkgA.ID); err != nil || !held {
+	if held, err := rack.Remove(context.Background(), "r1@"+pkgA.ID); err != nil || !held {
 		t.Fatalf("tagged Remove = %v, %v", held, err)
 	}
-	if held, err := rack.Remove(pkgB.ID); err != nil || !held {
+	if held, err := rack.Remove(context.Background(), pkgB.ID); err != nil || !held {
 		t.Fatalf("untagged Remove = %v, %v", held, err)
 	}
 }
@@ -140,7 +141,7 @@ func TestSweepCollectionBounded(t *testing.T) {
 	const n = 200
 	for i := 0; i < n; i++ {
 		raw, _ := buildRawPackage(t, rng, clock, "a", interests("x"), nil, 0)
-		if _, err := rack.Submit(raw); err != nil {
+		if _, err := rack.Submit(context.Background(), raw); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -150,14 +151,14 @@ func TestSweepCollectionBounded(t *testing.T) {
 	}
 	rs := []core.ResidueSet{matcher.ResidueSet(core.DefaultPrime)}
 
-	res, err := rack.Sweep(SweepQuery{Residues: rs, Limit: 10})
+	res, err := rack.Sweep(context.Background(), SweepQuery{Residues: rs, Limit: 10})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(res.Bottles) != 10 || !res.Truncated {
 		t.Fatalf("sweep = %d bottles truncated=%v, want 10/true", len(res.Bottles), res.Truncated)
 	}
-	if got := rack.Stats().Totals.Returned; got != 10 {
+	if got := statsOf(rack).Totals.Returned; got != 10 {
 		t.Fatalf("shards collected %d bottles for a Limit=10 sweep, want exactly 10", got)
 	}
 }

@@ -1,0 +1,234 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"sealedbottle/internal/attr"
+	"sealedbottle/internal/broker"
+	"sealedbottle/internal/core"
+)
+
+// TestErrCodeRoundTripOverWire is the error-code round-trip table test: every
+// exported sentinel provoked against a real rack must survive the trip
+// rack → server → client → errors.Is, over both framings, with the full
+// remote text preserved. This is what lets the ring (and any caller) test
+// transported errors structurally instead of matching strings.
+func TestErrCodeRoundTripOverWire(t *testing.T) {
+	for _, framing := range []string{"mux", "lockstep"} {
+		t.Run(framing, func(t *testing.T) {
+			rack := broker.New(broker.Config{Shards: 2, Workers: 1, ReapInterval: -1})
+			defer rack.Close()
+			l := ListenPipe()
+			srv := NewServer(rack)
+			go srv.Serve(l)
+			defer func() { l.Close(); srv.Close() }()
+
+			conn, err := l.Dial()
+			if err != nil {
+				t.Fatal(err)
+			}
+			var c rackClient
+			if framing == "mux" {
+				m, err := NewMux(conn)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer m.Close()
+				c = m
+			} else {
+				cl := NewClient(conn)
+				defer cl.Close()
+				c = cl
+			}
+
+			ctx := context.Background()
+			raw, pkg := buildRaw(t, 7)
+			if _, err := c.Submit(ctx, raw); err != nil {
+				t.Fatal(err)
+			}
+
+			// An already-expired package provokes the Expired sentinel.
+			expiredBuilt, err := core.BuildRequest(core.PerfectMatch(attr.MustNew("interest", "chess")),
+				core.BuildOptions{Origin: "old", Validity: time.Nanosecond})
+			if err != nil {
+				t.Fatal(err)
+			}
+			expiredRaw, err := expiredBuilt.Package.Marshal()
+			if err != nil {
+				t.Fatal(err)
+			}
+			time.Sleep(5 * time.Millisecond)
+
+			cases := []struct {
+				name     string
+				provoke  func() error
+				sentinel error
+			}{
+				{
+					name:     "unknown bottle",
+					provoke:  func() error { _, err := c.Fetch(ctx, "no-such-bottle"); return err },
+					sentinel: broker.ErrUnknownBottle,
+				},
+				{
+					name:     "duplicate bottle",
+					provoke:  func() error { _, err := c.Submit(ctx, raw); return err },
+					sentinel: broker.ErrDuplicateBottle,
+				},
+				{
+					name: "bad query",
+					provoke: func() error {
+						_, err := c.Sweep(ctx, broker.SweepQuery{})
+						return err
+					},
+					sentinel: broker.ErrBadQuery,
+				},
+				{
+					name: "malformed package",
+					provoke: func() error {
+						_, err := c.Submit(ctx, []byte("not a package"))
+						return err
+					},
+					sentinel: core.ErrMalformedPackage,
+				},
+				{
+					name: "expired package",
+					provoke: func() error {
+						_, err := c.Submit(ctx, expiredRaw)
+						return err
+					},
+					sentinel: core.ErrExpired,
+				},
+				{
+					name: "unknown bottle via reply",
+					provoke: func() error {
+						rep := &core.Reply{RequestID: "ghost", From: "bob", SentAt: time.Now(), Acks: [][]byte{{7}}}
+						return c.Reply(ctx, "ghost", rep.Marshal())
+					},
+					sentinel: broker.ErrUnknownBottle,
+				},
+			}
+			for _, tc := range cases {
+				err := tc.provoke()
+				if err == nil {
+					t.Fatalf("%s: expected an error", tc.name)
+				}
+				if !errors.Is(err, tc.sentinel) {
+					t.Errorf("%s: errors.Is(%v, %v) = false over %s framing", tc.name, err, tc.sentinel, framing)
+				}
+				var re *RemoteError
+				if !errors.As(err, &re) {
+					t.Errorf("%s: %v is not a RemoteError — the server answered, pools must not retry", tc.name, err)
+				} else if re.Code == broker.CodeNone {
+					t.Errorf("%s: RemoteError carries no code", tc.name)
+				}
+			}
+			_ = pkg
+		})
+	}
+}
+
+// TestErrCodeBatchItemRoundTrip proves per-item batch outcomes carry their
+// codes through the outcome-flag byte: a transported ReplyBatch/FetchBatch
+// miss is errors.Is-identical to the in-process sentinel.
+func TestErrCodeBatchItemRoundTrip(t *testing.T) {
+	rack := broker.New(broker.Config{Shards: 2, Workers: 1, ReapInterval: -1})
+	defer rack.Close()
+	l := ListenPipe()
+	srv := NewServer(rack)
+	go srv.Serve(l)
+	defer func() { l.Close(); srv.Close() }()
+	conn, err := l.Dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMux(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	ctx := context.Background()
+	raw, _ := buildRaw(t, 11)
+	if _, err := m.Submit(ctx, raw); err != nil {
+		t.Fatal(err)
+	}
+	results, err := m.SubmitBatch(ctx, [][]byte{raw})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(results[0].Err, broker.ErrDuplicateBottle) {
+		t.Fatalf("batch duplicate item = %v, want errors.Is ErrDuplicateBottle", results[0].Err)
+	}
+
+	rep := &core.Reply{RequestID: "ghost", From: "bob", SentAt: time.Now(), Acks: [][]byte{{7}}}
+	errs, err := m.ReplyBatch(ctx, []broker.ReplyPost{{RequestID: "ghost", Raw: rep.Marshal()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(errs[0], broker.ErrUnknownBottle) {
+		t.Fatalf("batch reply miss = %v, want errors.Is ErrUnknownBottle", errs[0])
+	}
+
+	fetches, err := m.FetchBatch(ctx, []string{"ghost"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(fetches[0].Err, broker.ErrUnknownBottle) {
+		t.Fatalf("batch fetch miss = %v, want errors.Is ErrUnknownBottle", fetches[0].Err)
+	}
+}
+
+// TestErrCodeLegacyAndUnknownFallback covers the two decode fallback paths:
+// a legacy error frame (bare statusErr, no code) is classified by its
+// documented sentinel text — so errors.Is routing keeps working against a
+// pre-code server — while unrecognized legacy text stays identityless, and
+// an unknown future code keeps its numeric value and text without inventing
+// a sentinel.
+func TestErrCodeLegacyAndUnknownFallback(t *testing.T) {
+	if got := codeOfStatus(statusErr); got != broker.CodeNone {
+		t.Fatalf("codeOfStatus(statusErr) = %v, want CodeNone", got)
+	}
+	// A pre-code server answering the documented sentinel text (possibly
+	// wrapped) still decodes to the sentinel.
+	legacy := remoteError(statusErr, []byte("rack r1: "+broker.ErrUnknownBottle.Error()))
+	if !errors.Is(legacy, broker.ErrUnknownBottle) {
+		t.Fatalf("legacy sentinel text = %v, want errors.Is ErrUnknownBottle (rolling-upgrade routing)", legacy)
+	}
+	// Unrecognized legacy text stays identityless.
+	opaque := remoteError(statusErr, []byte("weird legacy failure"))
+	if opaque.Code != broker.CodeNone || opaque.Unwrap() != nil {
+		t.Fatalf("opaque legacy error acquired code %v", opaque.Code)
+	}
+
+	const futureCode = 200
+	unknown := &RemoteError{Msg: "some future failure", Code: codeOfStatus(broker.OutcomeCodeBase + futureCode)}
+	if unknown.Code != broker.ErrCode(futureCode) {
+		t.Fatalf("unknown code = %v, want %d preserved", unknown.Code, futureCode)
+	}
+	if unknown.Unwrap() != nil {
+		t.Fatalf("unknown code unwrapped to %v, want nil", unknown.Unwrap())
+	}
+	for _, code := range []broker.ErrCode{broker.CodeNone, broker.CodeInternal, broker.ErrCode(futureCode)} {
+		if sent := code.Sentinel(); sent != nil {
+			t.Fatalf("code %v has sentinel %v, want none", code, sent)
+		}
+	}
+
+	// The status byte encoding round-trips every real code.
+	for code := broker.CodeUnknownBottle; code <= broker.CodeInternal; code++ {
+		if got := codeOfStatus(statusOf(errorForCode(code))); got != code {
+			t.Fatalf("status round trip of %v = %v", code, got)
+		}
+	}
+}
+
+// errorForCode returns an error classified as the given code.
+func errorForCode(code broker.ErrCode) error {
+	if s := code.Sentinel(); s != nil {
+		return s
+	}
+	return errors.New("opaque")
+}

@@ -2,8 +2,10 @@ package transport
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
 	"errors"
+	"fmt"
 	"io"
 	"net"
 	"os"
@@ -49,8 +51,12 @@ const muxBufferSize = 64 << 10
 // Errors of the multiplexed client.
 var (
 	// ErrCallTimeout indicates a call that did not complete within the
-	// configured CallTimeout; the connection is suspect (the request may or may
-	// not have executed) and pooled callers should recycle it.
+	// configured CallTimeout. Two distinct situations wrap it, and the error
+	// text says which: a per-call timeout arrives inside an AbandonedError —
+	// only that call is abandoned, the multiplexed connection keeps serving —
+	// while a progress-deadline expiry (no response frame at all while calls
+	// were pending: a dead peer) fails the whole connection, and pooled
+	// callers should recycle it.
 	ErrCallTimeout = errors.New("transport: call timed out")
 	// ErrClientClosed indicates a call attempted on a closed client.
 	ErrClientClosed = errors.New("transport: client closed")
@@ -241,15 +247,21 @@ func DialMux(addr string, opts ...Options) (*Mux, error) {
 // connection fails or the client closes. CallTimeout is enforced here as a
 // progress deadline: while calls are pending the connection must deliver a
 // response frame within CallTimeout or the whole connection fails with
-// ErrCallTimeout — a per-call timer would cost an allocation per operation to
-// detect the same dead peer.
+// ErrCallTimeout — the dead-peer detector. (Individual slow calls are bounded
+// separately by the per-call timer in wait(), which abandons just that call;
+// this connection-level deadline is what catches a peer sending nothing at
+// all.)
 func (m *Mux) readLoop() {
 	br := bufio.NewReaderSize(m.conn, muxBufferSize)
 	for {
 		seq, status, body, err := readMuxFrame(br)
 		if err != nil {
 			if errors.Is(err, os.ErrDeadlineExceeded) {
-				err = ErrCallTimeout
+				// No response frame at all within the progress window: the
+				// peer is dead to us, so the whole connection fails. (A single
+				// slow call would have been abandoned individually instead.)
+				err = fmt.Errorf("transport: no response within progress deadline %v: %w",
+					m.opts.CallTimeout, ErrCallTimeout)
 			}
 			m.fail(err)
 			m.conn.Close()
@@ -301,7 +313,21 @@ var muxResultChans = sync.Pool{New: func() any { return make(chan muxResult, 1) 
 
 // call performs one request/response exchange; responses for other in-flight
 // calls may be delivered first.
-func (m *Mux) call(op byte, body []byte) ([]byte, error) {
+//
+// Three bounds can end the wait, earliest wins, and the error says which:
+// the caller's context (ctx.Err, wrapped in AbandonedError), the per-call
+// CallTimeout (ErrCallTimeout wrapped in AbandonedError), and the
+// connection's progress deadline (the connection itself fails with
+// ErrCallTimeout — no response frame at all arrived within CallTimeout, the
+// dead-peer signal). The first two abandon only this call: its sequence
+// number is forgotten, a late response is discarded on arrival, and the
+// connection keeps serving every other caller. The request frame may already
+// be on the wire, so the server may still execute it — abandonment releases
+// the caller, it does not undo work.
+func (m *Mux) call(ctx context.Context, op byte, body []byte) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, &AbandonedError{Cause: err}
+	}
 	if len(body)+muxHeaderSize > MaxFrameSize {
 		return nil, ErrFrameTooLarge
 	}
@@ -332,25 +358,107 @@ func (m *Mux) call(op byte, body []byte) ([]byte, error) {
 		return nil, err
 	}
 
-	var res muxResult
+	res, err := m.wait(ctx, seq, ch)
+	if err != nil {
+		return nil, err
+	}
+	muxResultChans.Put(ch)
+	if res.status != statusOK {
+		return nil, remoteError(res.status, res.body)
+	}
+	return res.body, nil
+}
+
+// wait blocks until the call's response is delivered or a bound ends the
+// wait. On error the channel must NOT be pooled by the caller (abandon
+// pooled it, or a dying read loop may still reference it).
+func (m *Mux) wait(ctx context.Context, seq uint64, ch chan muxResult) (muxResult, error) {
+	// Fast path: the response may already be buffered (pipelined bursts on a
+	// loaded connection); skip the per-call timer allocation entirely then.
 	select {
-	case res = <-ch:
+	case res := <-ch:
+		return res, nil
+	default:
+	}
+	var timeoutC <-chan time.Time
+	if m.opts.CallTimeout > 0 {
+		timer := time.NewTimer(m.opts.CallTimeout)
+		defer timer.Stop()
+		timeoutC = timer.C
+	}
+	select {
+	case res := <-ch:
+		return res, nil
+	case <-ctx.Done():
+		if res, delivered := m.abandon(seq, ch); delivered {
+			return res, nil
+		}
+		return muxResult{}, &AbandonedError{Cause: ctx.Err()}
+	case <-timeoutC:
+		if res, delivered := m.abandon(seq, ch); delivered {
+			return res, nil
+		}
+		return muxResult{}, &AbandonedError{
+			Cause: fmt.Errorf("%w (per-call timeout %v)", ErrCallTimeout, m.opts.CallTimeout),
+		}
 	case <-m.done:
 		// Prefer a delivery that raced the failure; otherwise the channel may
 		// still be referenced by a dying read loop, so it is not pooled.
 		select {
-		case res = <-ch:
+		case res := <-ch:
+			return res, nil
 		default:
 			m.mu.Lock()
 			delete(m.pending, seq)
 			err := m.err
 			m.mu.Unlock()
-			return nil, err
+			return muxResult{}, err
 		}
 	}
-	muxResultChans.Put(ch)
-	if res.status != statusOK {
-		return nil, &RemoteError{Msg: string(res.body)}
+}
+
+// abandon withdraws a call whose caller stopped waiting. If the sequence is
+// still pending it is forgotten — the read loop will find no waiter when (if
+// ever) its response arrives and discard it, leaving the connection usable —
+// and the progress deadline is re-derived for the remaining pending set. If
+// the read loop already claimed the sequence, its delivery is imminent on the
+// buffered channel, so it is collected and returned as a normal completion
+// (delivered=true): the response exists, losing it would only force the
+// caller to wonder whether the operation executed.
+//
+// Pooling discipline: abandon pools the channel only on the abandoned
+// (delivered=false, sequence-was-ours) path. On the delivered path the
+// caller falls through to its normal completion and pools the channel
+// exactly once there — a second Put here would hand the same channel to two
+// future callers and cross-deliver their responses.
+func (m *Mux) abandon(seq uint64, ch chan muxResult) (muxResult, bool) {
+	m.mu.Lock()
+	_, mine := m.pending[seq]
+	if mine {
+		delete(m.pending, seq)
+		if m.opts.CallTimeout > 0 && len(m.pending) == 0 && m.err == nil {
+			// Last pending call abandoned: clear the progress deadline so the
+			// now-idle connection is not failed for silence nobody minds.
+			m.conn.SetReadDeadline(time.Time{})
+		}
 	}
-	return res.body, nil
+	m.mu.Unlock()
+	if mine {
+		muxResultChans.Put(ch)
+		return muxResult{}, false
+	}
+	// The loop claimed the sequence before we could: its buffered send either
+	// landed already or is instants away (or the connection is failing, in
+	// which case done breaks the wait and the channel is left unpooled).
+	select {
+	case res := <-ch:
+		return res, true
+	case <-m.done:
+		select {
+		case res := <-ch:
+			return res, true
+		default:
+			return muxResult{}, false
+		}
+	}
 }

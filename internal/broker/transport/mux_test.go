@@ -2,6 +2,7 @@ package transport
 
 import (
 	"bytes"
+	"context"
 	"encoding/binary"
 	"errors"
 	"io"
@@ -77,17 +78,17 @@ func TestMuxConcurrentCallers(t *testing.T) {
 				switch w % 3 {
 				case 0:
 					raw, _ := buildRaw(t, int64(1000*w+i))
-					if _, err := m.Submit(raw); err != nil {
+					if _, err := m.Submit(context.Background(), raw); err != nil {
 						t.Errorf("submit: %v", err)
 						return
 					}
 				case 1:
-					if _, err := m.Stats(); err != nil {
+					if _, err := m.Stats(context.Background()); err != nil {
 						t.Errorf("stats: %v", err)
 						return
 					}
 				default:
-					if _, err := m.Fetch("nope"); err == nil {
+					if _, err := m.Fetch(context.Background(), "nope"); err == nil {
 						t.Error("fetch of unknown id succeeded")
 						return
 					}
@@ -162,7 +163,7 @@ func TestMuxOutOfOrderResponses(t *testing.T) {
 			defer wg.Done()
 			// Fetch echoes the request ID as the response body in this
 			// scripted server, so a cross-delivery is detectable.
-			resp, err := m.call(OpFetch, []byte(id))
+			resp, err := m.call(context.Background(), OpFetch, []byte(id))
 			if err != nil {
 				t.Errorf("call %q: %v", id, err)
 				return
@@ -192,11 +193,11 @@ func TestMuxCallTimeout(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer m.Close()
-	if _, err := m.Stats(); !errors.Is(err, ErrCallTimeout) {
+	if _, err := m.Stats(context.Background()); !errors.Is(err, ErrCallTimeout) {
 		t.Fatalf("call against silent peer = %v, want ErrCallTimeout", err)
 	}
 	// The connection is failed; further calls error immediately.
-	if _, err := m.Stats(); err == nil {
+	if _, err := m.Stats(context.Background()); err == nil {
 		t.Fatal("call on failed connection succeeded")
 	}
 }
@@ -207,16 +208,16 @@ func TestMuxRemoteError(t *testing.T) {
 	m, cleanup := newMuxPair(t)
 	defer cleanup()
 	raw, _ := buildRaw(t, 99)
-	if _, err := m.Submit(raw); err != nil {
+	if _, err := m.Submit(context.Background(), raw); err != nil {
 		t.Fatal(err)
 	}
-	_, err := m.Submit(raw)
+	_, err := m.Submit(context.Background(), raw)
 	var re *RemoteError
 	if !errors.As(err, &re) {
 		t.Fatalf("duplicate submit err = %v, want RemoteError", err)
 	}
 	// The connection survives a remote error.
-	if _, err := m.Stats(); err != nil {
+	if _, err := m.Stats(context.Background()); err != nil {
 		t.Fatalf("stats after remote error: %v", err)
 	}
 }
@@ -229,7 +230,7 @@ func TestMuxBatchOps(t *testing.T) {
 
 	rawA, pkgA := buildRaw(t, 1)
 	rawB, pkgB := buildRaw(t, 2)
-	results, err := m.SubmitBatch([][]byte{rawA, rawB, rawA, []byte("garbage")})
+	results, err := m.SubmitBatch(context.Background(), [][]byte{rawA, rawB, rawA, []byte("garbage")})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -252,7 +253,7 @@ func TestMuxBatchOps(t *testing.T) {
 	replyFor := func(id, from string) []byte {
 		return (&core.Reply{RequestID: id, From: from, SentAt: time.Now(), Acks: [][]byte{{7}}}).Marshal()
 	}
-	errs, err := m.ReplyBatch([]broker.ReplyPost{
+	errs, err := m.ReplyBatch(context.Background(), []broker.ReplyPost{
 		{RequestID: pkgA.ID, Raw: replyFor(pkgA.ID, "bob")},
 		{RequestID: pkgB.ID, Raw: replyFor(pkgA.ID, "mallory")}, // ID mismatch
 		{RequestID: "unknown", Raw: replyFor("unknown", "carol")},
@@ -267,7 +268,7 @@ func TestMuxBatchOps(t *testing.T) {
 		t.Fatalf("mismatched/unknown replies accepted: %v %v", errs[1], errs[2])
 	}
 
-	fetched, err := m.FetchBatch([]string{pkgA.ID, pkgB.ID, "unknown"})
+	fetched, err := m.FetchBatch(context.Background(), []string{pkgA.ID, pkgB.ID, "unknown"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -300,11 +301,11 @@ func TestServerReadIdleTimeout(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer m.Close()
-	if _, err := m.Stats(); err != nil {
+	if _, err := m.Stats(context.Background()); err != nil {
 		t.Fatalf("stats before idling: %v", err)
 	}
 	time.Sleep(150 * time.Millisecond)
-	if _, err := m.Stats(); err == nil {
+	if _, err := m.Stats(context.Background()); err == nil {
 		t.Fatal("call on idle-dropped connection succeeded")
 	}
 }

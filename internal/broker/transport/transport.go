@@ -18,8 +18,18 @@
 //
 // Operational behaviour worth knowing:
 //
-//   - Responses with status 1 carry the error text and become *RemoteError
-//     on the client — proof the server executed, so pools must not retry.
+//   - Responses with a nonzero status carry the error text and become
+//     *RemoteError on the client — proof the server executed, so pools must
+//     not retry. The status byte doubles as a one-byte error code
+//     (broker.ErrCode, docs/PROTOCOL.md §1.3.1) that RemoteError decodes
+//     back into the broker/core sentinels, so errors.Is works identically
+//     in-process and over TCP; legacy status-1 frames decode as text-only.
+//   - Every client call takes a context. On a multiplexed connection a
+//     context that ends (or the per-call CallTimeout) abandons only that
+//     call — the sequence number is forgotten, a late response is discarded,
+//     the connection keeps serving — surfaced as *AbandonedError so pools
+//     know not to recycle. On a lock-step connection an interrupted exchange
+//     costs the connection.
 //   - The server runs cheap opcodes inline in frame order and dispatches
 //     heavy ones (Sweep, Stats, the batches) to bounded goroutines
 //     (ServerOptions.MaxInflight per connection, with read back-pressure at
@@ -28,22 +38,24 @@
 //     buffer, so a pipelined burst rides a handful of syscalls.
 //   - Deadlines make dead peers errors instead of hangs: the server's
 //     ReadIdleTimeout/WriteTimeout, and the client's CallTimeout — a round
-//     trip bound on lock-step connections, a progress bound on multiplexed
-//     ones (a stalled shared connection fails every caller; there is no
-//     per-call salvage).
+//     trip bound on lock-step connections; on multiplexed ones both a
+//     per-call bound (abandons one call) and a progress bound (no response
+//     at all while calls pend fails the whole connection).
 //
 // Frames are bounded by MaxFrameSize (16 MiB), checked before allocation on
-// both ends. New code should dial through the internal/client courier
-// rather than using Client/Mux directly.
+// both ends. New code should dial through the public sealedbottle package
+// (or internal/client) rather than using Client/Mux directly.
 package transport
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
 	"net"
+	"os"
 	"sync"
 	"time"
 
@@ -65,11 +77,44 @@ const (
 	OpFetchBatch
 )
 
-// Response status bytes.
+// Response status bytes. Since the error-code protocol revision the status
+// byte doubles as the error's one-byte wire code: a coded error response
+// carries status broker.OutcomeCodeBase+code (0x11..), while the bare
+// statusErr value is what legacy servers wrote. Both directions remain
+// compatible because every decoder — old and new — treats any nonzero status
+// as "error, body is the text".
 const (
 	statusOK  byte = 0
 	statusErr byte = 1
 )
+
+// statusOf encodes an operation error as a response status byte.
+func statusOf(err error) byte {
+	return broker.OutcomeCodeBase + byte(broker.ErrCodeOf(err))
+}
+
+// codeOfStatus recovers the wire error code from a response status byte;
+// legacy statuses (and unknown sub-0x10 values) carry no code.
+func codeOfStatus(status byte) broker.ErrCode {
+	if status >= broker.OutcomeCodeBase {
+		return broker.ErrCode(status - broker.OutcomeCodeBase)
+	}
+	return broker.CodeNone
+}
+
+// remoteError builds the client-side error for a nonzero response status.
+// When the peer predates the codes (bare legacy status) the code is inferred
+// from the documented sentinel texts, so errors.Is routing — the ring's
+// unknown-bottle fall-through in particular — keeps working against a
+// not-yet-upgraded rack.
+func remoteError(status byte, body []byte) *RemoteError {
+	msg := string(body)
+	code := codeOfStatus(status)
+	if code == broker.CodeNone {
+		code = broker.LegacyErrCodeOf(msg)
+	}
+	return &RemoteError{Msg: msg, Code: code}
+}
 
 // MaxFrameSize bounds a single frame; larger frames are rejected before
 // allocation so a malicious peer cannot ask the server to allocate gigabytes.
@@ -94,9 +139,39 @@ var (
 type RemoteError struct {
 	// Msg is the server-side error text.
 	Msg string
+	// Code is the one-byte wire classification carried by the response's
+	// status byte; broker.CodeNone when the server predates the codes.
+	Code broker.ErrCode
 }
 
 func (e *RemoteError) Error() string { return "transport: remote error: " + e.Msg }
+
+// Unwrap exposes the code's broker/core sentinel, so
+// errors.Is(err, broker.ErrUnknownBottle) and friends hold for transported
+// errors exactly as they do in-process. Codes without a sentinel (legacy,
+// internal, unknown) unwrap to nothing.
+func (e *RemoteError) Unwrap() error { return e.Code.Sentinel() }
+
+// AbandonedError marks a call the client gave up on — its context ended or
+// its per-call timeout elapsed — while the multiplexed connection underneath
+// remains healthy and keeps serving other calls; the late response, if one
+// arrives, is discarded by sequence number. Pools must NOT recycle the
+// connection on it. The request may still have executed server-side:
+// abandonment releases the caller, it does not undo work.
+type AbandonedError struct {
+	// Cause is the bound that ended the call: context.Canceled,
+	// context.DeadlineExceeded, or a per-call-timeout error wrapping
+	// ErrCallTimeout.
+	Cause error
+}
+
+func (e *AbandonedError) Error() string {
+	return "transport: call abandoned (connection unaffected): " + e.Cause.Error()
+}
+
+// Unwrap exposes the bound that fired, so errors.Is picks out
+// context.Canceled, context.DeadlineExceeded or ErrCallTimeout.
+func (e *AbandonedError) Unwrap() error { return e.Cause }
 
 // Options tunes a client (either framing).
 type Options struct {
@@ -193,6 +268,12 @@ type Server struct {
 	rack *broker.Rack
 	opts ServerOptions
 
+	// ctx is the server's lifetime context: it parents every dispatched rack
+	// operation and is canceled by Close, so a shutdown releases in-flight
+	// sweeps instead of waiting them out.
+	ctx    context.Context
+	cancel context.CancelFunc
+
 	mu    sync.Mutex
 	conns map[net.Conn]struct{}
 	done  bool
@@ -204,7 +285,8 @@ func NewServer(rack *broker.Rack, opts ...ServerOptions) *Server {
 	if len(opts) > 0 {
 		o = opts[0]
 	}
-	return &Server{rack: rack, opts: o, conns: make(map[net.Conn]struct{})}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Server{rack: rack, opts: o, ctx: ctx, cancel: cancel, conns: make(map[net.Conn]struct{})}
 }
 
 // Serve accepts connections until the listener is closed; each connection is
@@ -227,9 +309,10 @@ func (s *Server) Serve(l net.Listener) error {
 	}
 }
 
-// Close terminates every tracked connection; callers close the listener
-// themselves (Serve then returns nil).
+// Close terminates every tracked connection and cancels in-flight dispatches;
+// callers close the listener themselves (Serve then returns nil).
 func (s *Server) Close() {
+	s.cancel()
 	s.mu.Lock()
 	s.done = true
 	conns := make([]net.Conn, 0, len(s.conns))
@@ -309,7 +392,7 @@ func (s *Server) serveLockStep(conn net.Conn, br *bufio.Reader, firstLen uint32)
 		respBody, opErr := s.dispatch(op, body)
 		s.armWriteDeadline(conn)
 		if opErr != nil {
-			if err := writeFrame(conn, statusErr, []byte(opErr.Error())); err != nil {
+			if err := writeFrame(conn, statusOf(opErr), []byte(opErr.Error())); err != nil {
 				return
 			}
 		} else if err := writeFrame(conn, statusOK, respBody); err != nil {
@@ -359,10 +442,10 @@ func (s *Server) serveMux(conn net.Conn, br *bufio.Reader) {
 	respond := func(seq uint64, respBody []byte, opErr error) {
 		tag := statusOK
 		if opErr != nil {
-			tag, respBody = statusErr, []byte(opErr.Error())
+			tag, respBody = statusOf(opErr), []byte(opErr.Error())
 		}
 		if len(respBody)+muxHeaderSize > MaxFrameSize {
-			tag, respBody = statusErr, []byte(ErrFrameTooLarge.Error())
+			tag, respBody = statusOf(ErrFrameTooLarge), []byte(ErrFrameTooLarge.Error())
 		}
 		writer.enqueue(appendMuxFrame(make([]byte, 0, 4+muxHeaderSize+len(respBody)), seq, tag, respBody))
 	}
@@ -396,11 +479,13 @@ func (s *Server) writeDeadline() time.Time {
 	return time.Now().Add(s.opts.WriteTimeout)
 }
 
-// dispatch executes one operation against the rack.
+// dispatch executes one operation against the rack under the server's
+// lifetime context, so Close releases in-flight operations.
 func (s *Server) dispatch(op byte, body []byte) ([]byte, error) {
+	ctx := s.ctx
 	switch op {
 	case OpSubmit:
-		id, err := s.rack.Submit(body)
+		id, err := s.rack.Submit(ctx, body)
 		if err != nil {
 			return nil, err
 		}
@@ -410,7 +495,7 @@ func (s *Server) dispatch(op byte, body []byte) ([]byte, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := s.rack.Sweep(q)
+		res, err := s.rack.Sweep(ctx, q)
 		if err != nil {
 			return nil, err
 		}
@@ -420,17 +505,21 @@ func (s *Server) dispatch(op byte, body []byte) ([]byte, error) {
 		if err != nil {
 			return nil, err
 		}
-		return nil, s.rack.Reply(id, raw)
+		return nil, s.rack.Reply(ctx, id, raw)
 	case OpFetch:
-		raws, err := s.rack.Fetch(string(body))
+		raws, err := s.rack.Fetch(ctx, string(body))
 		if err != nil {
 			return nil, err
 		}
 		return broker.MarshalRawList(raws), nil
 	case OpStats:
-		return broker.MarshalStats(s.rack.Stats()), nil
+		st, err := s.rack.Stats(ctx)
+		if err != nil {
+			return nil, err
+		}
+		return broker.MarshalStats(st), nil
 	case OpRemove:
-		ok, err := s.rack.Remove(string(body))
+		ok, err := s.rack.Remove(ctx, string(body))
 		if err != nil {
 			return nil, err
 		}
@@ -443,7 +532,7 @@ func (s *Server) dispatch(op byte, body []byte) ([]byte, error) {
 		if err != nil {
 			return nil, err
 		}
-		results, err := s.rack.SubmitBatch(raws)
+		results, err := s.rack.SubmitBatch(ctx, raws)
 		if err != nil {
 			return nil, err
 		}
@@ -453,7 +542,7 @@ func (s *Server) dispatch(op byte, body []byte) ([]byte, error) {
 		if err != nil {
 			return nil, err
 		}
-		errs, err := s.rack.ReplyBatch(posts)
+		errs, err := s.rack.ReplyBatch(ctx, posts)
 		if err != nil {
 			return nil, err
 		}
@@ -463,7 +552,7 @@ func (s *Server) dispatch(op byte, body []byte) ([]byte, error) {
 		if err != nil {
 			return nil, err
 		}
-		results, err := s.rack.FetchBatch(ids)
+		results, err := s.rack.FetchBatch(ctx, ids)
 		if err != nil {
 			return nil, err
 		}
@@ -505,37 +594,96 @@ func (c *Client) Close() error {
 	return c.conn.Close()
 }
 
-// call performs one request/response round trip.
-func (c *Client) call(op byte, body []byte) ([]byte, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if d := c.opts.writeDeadline(); !d.IsZero() {
-		c.conn.SetWriteDeadline(d)
-	}
-	if err := writeFrame(c.conn, op, body); err != nil {
+// call performs one request/response round trip. The context composes with
+// the per-call timeout, earliest wins: the connection's read deadline is set
+// to whichever bound expires first, and a cancellation pops the deadline
+// immediately. Because the lock-step framing has no sequence numbers, an
+// interrupted call leaves the connection mid-response and therefore
+// unusable — unlike the multiplexed client, a lock-step cancellation costs
+// the connection (pools observe a plain transport error and recycle it).
+func (c *Client) call(ctx context.Context, op byte, body []byte) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	if c.opts.CallTimeout > 0 {
-		c.conn.SetReadDeadline(time.Now().Add(c.opts.CallTimeout))
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	// A cancellation mid-round-trip pops the deadlines so the blocked I/O
+	// returns now rather than at the timeout.
+	stop := context.AfterFunc(ctx, func() {
+		c.conn.SetReadDeadline(time.Now())
+		c.conn.SetWriteDeadline(time.Now())
+	})
+	defer stop()
+	// Deadlines are re-armed unconditionally (zero clears): a cancellation
+	// that fires in the instant between a completed exchange and its stop()
+	// would otherwise leave popped deadlines behind to fail the next call.
+	// Each arm is followed by a ctx re-check that re-pops, so a cancellation
+	// firing between the AfterFunc registration and an arm (which would
+	// otherwise erase the pop and block the canceled call for the full
+	// timeout) is always caught by one side or the other.
+	deadline, perCall := c.opts.callDeadline(ctx)
+	wd := c.opts.writeDeadline()
+	if wd.IsZero() || (!deadline.IsZero() && deadline.Before(wd)) {
+		wd = deadline
+	}
+	c.conn.SetWriteDeadline(wd)
+	if ctx.Err() != nil {
+		c.conn.SetWriteDeadline(time.Now())
+	}
+	if err := writeFrame(c.conn, op, body); err != nil {
+		return nil, c.mapDeadlineErr(ctx, err, perCall)
+	}
+	c.conn.SetReadDeadline(deadline)
+	if ctx.Err() != nil {
+		c.conn.SetReadDeadline(time.Now())
 	}
 	status, resp, err := readFrame(c.br)
 	if err != nil {
-		return nil, err
+		return nil, c.mapDeadlineErr(ctx, err, perCall)
 	}
 	if status != statusOK {
-		return nil, &RemoteError{Msg: string(resp)}
+		return nil, remoteError(status, resp)
 	}
 	return resp, nil
 }
 
+// mapDeadlineErr turns an I/O deadline expiry into the bound that caused it:
+// the caller's context error when the context ended, otherwise the per-call
+// timeout (as ErrCallTimeout) when that was the deadline armed. Either way
+// the lock-step connection is left mid-exchange and must be discarded.
+func (c *Client) mapDeadlineErr(ctx context.Context, err error, perCall bool) error {
+	if !errors.Is(err, os.ErrDeadlineExceeded) {
+		return err
+	}
+	if ctxErr := ctx.Err(); ctxErr != nil {
+		return fmt.Errorf("transport: lock-step call interrupted (connection unusable): %w", ctxErr)
+	}
+	if perCall {
+		return fmt.Errorf("transport: %w (per-call timeout %v, lock-step connection unusable)", ErrCallTimeout, c.opts.CallTimeout)
+	}
+	return err
+}
+
+// callDeadline resolves the earliest of the caller's context deadline and the
+// per-call timeout; perCall reports that the timeout is the binding bound.
+func (o Options) callDeadline(ctx context.Context) (deadline time.Time, perCall bool) {
+	if o.CallTimeout > 0 {
+		deadline, perCall = time.Now().Add(o.CallTimeout), true
+	}
+	if d, ok := ctx.Deadline(); ok && (deadline.IsZero() || d.Before(deadline)) {
+		deadline, perCall = d, false
+	}
+	return deadline, perCall
+}
+
 // caller abstracts the two client framings for the shared operation wrappers.
 type caller interface {
-	call(op byte, body []byte) ([]byte, error)
+	call(ctx context.Context, op byte, body []byte) ([]byte, error)
 }
 
 // doSubmit racks a marshalled request package and returns its request ID.
-func doSubmit(c caller, raw []byte) (string, error) {
-	resp, err := c.call(OpSubmit, raw)
+func doSubmit(ctx context.Context, c caller, raw []byte) (string, error) {
+	resp, err := c.call(ctx, OpSubmit, raw)
 	if err != nil {
 		return "", err
 	}
@@ -543,8 +691,8 @@ func doSubmit(c caller, raw []byte) (string, error) {
 }
 
 // doSweep screens the rack with the query's residue sets.
-func doSweep(c caller, q broker.SweepQuery) (broker.SweepResult, error) {
-	resp, err := c.call(OpSweep, broker.MarshalSweepQuery(q))
+func doSweep(ctx context.Context, c caller, q broker.SweepQuery) (broker.SweepResult, error) {
+	resp, err := c.call(ctx, OpSweep, broker.MarshalSweepQuery(q))
 	if err != nil {
 		return broker.SweepResult{}, err
 	}
@@ -552,14 +700,14 @@ func doSweep(c caller, q broker.SweepQuery) (broker.SweepResult, error) {
 }
 
 // doReply posts a marshalled reply for the given request.
-func doReply(c caller, requestID string, raw []byte) error {
-	_, err := c.call(OpReply, broker.MarshalReplyPost(requestID, raw))
+func doReply(ctx context.Context, c caller, requestID string, raw []byte) error {
+	_, err := c.call(ctx, OpReply, broker.MarshalReplyPost(requestID, raw))
 	return err
 }
 
 // doFetch drains the replies queued for a request.
-func doFetch(c caller, requestID string) ([][]byte, error) {
-	resp, err := c.call(OpFetch, []byte(requestID))
+func doFetch(ctx context.Context, c caller, requestID string) ([][]byte, error) {
+	resp, err := c.call(ctx, OpFetch, []byte(requestID))
 	if err != nil {
 		return nil, err
 	}
@@ -567,8 +715,8 @@ func doFetch(c caller, requestID string) ([][]byte, error) {
 }
 
 // doStats snapshots the rack's counters.
-func doStats(c caller) (broker.Stats, error) {
-	resp, err := c.call(OpStats, nil)
+func doStats(ctx context.Context, c caller) (broker.Stats, error) {
+	resp, err := c.call(ctx, OpStats, nil)
 	if err != nil {
 		return broker.Stats{}, err
 	}
@@ -576,8 +724,8 @@ func doStats(c caller) (broker.Stats, error) {
 }
 
 // doRemove takes a bottle off the rack.
-func doRemove(c caller, requestID string) (bool, error) {
-	resp, err := c.call(OpRemove, []byte(requestID))
+func doRemove(ctx context.Context, c caller, requestID string) (bool, error) {
+	resp, err := c.call(ctx, OpRemove, []byte(requestID))
 	if err != nil {
 		return false, err
 	}
@@ -585,8 +733,8 @@ func doRemove(c caller, requestID string) (bool, error) {
 }
 
 // doSubmitBatch racks several packages in one round trip.
-func doSubmitBatch(c caller, raws [][]byte) ([]broker.SubmitResult, error) {
-	resp, err := c.call(OpSubmitBatch, broker.MarshalRawList(raws))
+func doSubmitBatch(ctx context.Context, c caller, raws [][]byte) ([]broker.SubmitResult, error) {
+	resp, err := c.call(ctx, OpSubmitBatch, broker.MarshalRawList(raws))
 	if err != nil {
 		return nil, err
 	}
@@ -594,8 +742,8 @@ func doSubmitBatch(c caller, raws [][]byte) ([]broker.SubmitResult, error) {
 }
 
 // doReplyBatch posts several replies in one round trip.
-func doReplyBatch(c caller, posts []broker.ReplyPost) ([]error, error) {
-	resp, err := c.call(OpReplyBatch, broker.MarshalReplyBatch(posts))
+func doReplyBatch(ctx context.Context, c caller, posts []broker.ReplyPost) ([]error, error) {
+	resp, err := c.call(ctx, OpReplyBatch, broker.MarshalReplyBatch(posts))
 	if err != nil {
 		return nil, err
 	}
@@ -603,8 +751,8 @@ func doReplyBatch(c caller, posts []broker.ReplyPost) ([]error, error) {
 }
 
 // doFetchBatch drains replies for several requests in one round trip.
-func doFetchBatch(c caller, ids []string) ([]broker.FetchResult, error) {
-	resp, err := c.call(OpFetchBatch, broker.MarshalIDList(ids))
+func doFetchBatch(ctx context.Context, c caller, ids []string) ([]broker.FetchResult, error) {
+	resp, err := c.call(ctx, OpFetchBatch, broker.MarshalIDList(ids))
 	if err != nil {
 		return nil, err
 	}
@@ -612,73 +760,93 @@ func doFetchBatch(c caller, ids []string) ([]broker.FetchResult, error) {
 }
 
 // Submit racks a marshalled request package and returns its request ID.
-func (c *Client) Submit(raw []byte) (string, error) { return doSubmit(c, raw) }
+func (c *Client) Submit(ctx context.Context, raw []byte) (string, error) {
+	return doSubmit(ctx, c, raw)
+}
 
 // Sweep screens the rack with the query's residue sets.
-func (c *Client) Sweep(q broker.SweepQuery) (broker.SweepResult, error) { return doSweep(c, q) }
+func (c *Client) Sweep(ctx context.Context, q broker.SweepQuery) (broker.SweepResult, error) {
+	return doSweep(ctx, c, q)
+}
 
 // Reply posts a marshalled reply for the given request.
-func (c *Client) Reply(requestID string, raw []byte) error { return doReply(c, requestID, raw) }
+func (c *Client) Reply(ctx context.Context, requestID string, raw []byte) error {
+	return doReply(ctx, c, requestID, raw)
+}
 
 // Fetch drains the replies queued for a request.
-func (c *Client) Fetch(requestID string) ([][]byte, error) { return doFetch(c, requestID) }
+func (c *Client) Fetch(ctx context.Context, requestID string) ([][]byte, error) {
+	return doFetch(ctx, c, requestID)
+}
 
 // Stats snapshots the rack's counters.
-func (c *Client) Stats() (broker.Stats, error) { return doStats(c) }
+func (c *Client) Stats(ctx context.Context) (broker.Stats, error) { return doStats(ctx, c) }
 
 // Remove takes a bottle off the rack; it reports whether the bottle was held.
-func (c *Client) Remove(requestID string) (bool, error) { return doRemove(c, requestID) }
+func (c *Client) Remove(ctx context.Context, requestID string) (bool, error) {
+	return doRemove(ctx, c, requestID)
+}
 
 // SubmitBatch racks several packages in one round trip, returning per-item
 // outcomes.
-func (c *Client) SubmitBatch(raws [][]byte) ([]broker.SubmitResult, error) {
-	return doSubmitBatch(c, raws)
+func (c *Client) SubmitBatch(ctx context.Context, raws [][]byte) ([]broker.SubmitResult, error) {
+	return doSubmitBatch(ctx, c, raws)
 }
 
 // ReplyBatch posts several replies in one round trip, returning per-item
 // outcomes.
-func (c *Client) ReplyBatch(posts []broker.ReplyPost) ([]error, error) {
-	return doReplyBatch(c, posts)
+func (c *Client) ReplyBatch(ctx context.Context, posts []broker.ReplyPost) ([]error, error) {
+	return doReplyBatch(ctx, c, posts)
 }
 
 // FetchBatch drains replies for several requests in one round trip, returning
 // per-item outcomes.
-func (c *Client) FetchBatch(ids []string) ([]broker.FetchResult, error) {
-	return doFetchBatch(c, ids)
+func (c *Client) FetchBatch(ctx context.Context, ids []string) ([]broker.FetchResult, error) {
+	return doFetchBatch(ctx, c, ids)
 }
 
 // Submit racks a marshalled request package and returns its request ID.
-func (m *Mux) Submit(raw []byte) (string, error) { return doSubmit(m, raw) }
+func (m *Mux) Submit(ctx context.Context, raw []byte) (string, error) {
+	return doSubmit(ctx, m, raw)
+}
 
 // Sweep screens the rack with the query's residue sets.
-func (m *Mux) Sweep(q broker.SweepQuery) (broker.SweepResult, error) { return doSweep(m, q) }
+func (m *Mux) Sweep(ctx context.Context, q broker.SweepQuery) (broker.SweepResult, error) {
+	return doSweep(ctx, m, q)
+}
 
 // Reply posts a marshalled reply for the given request.
-func (m *Mux) Reply(requestID string, raw []byte) error { return doReply(m, requestID, raw) }
+func (m *Mux) Reply(ctx context.Context, requestID string, raw []byte) error {
+	return doReply(ctx, m, requestID, raw)
+}
 
 // Fetch drains the replies queued for a request.
-func (m *Mux) Fetch(requestID string) ([][]byte, error) { return doFetch(m, requestID) }
+func (m *Mux) Fetch(ctx context.Context, requestID string) ([][]byte, error) {
+	return doFetch(ctx, m, requestID)
+}
 
 // Stats snapshots the rack's counters.
-func (m *Mux) Stats() (broker.Stats, error) { return doStats(m) }
+func (m *Mux) Stats(ctx context.Context) (broker.Stats, error) { return doStats(ctx, m) }
 
 // Remove takes a bottle off the rack; it reports whether the bottle was held.
-func (m *Mux) Remove(requestID string) (bool, error) { return doRemove(m, requestID) }
+func (m *Mux) Remove(ctx context.Context, requestID string) (bool, error) {
+	return doRemove(ctx, m, requestID)
+}
 
 // SubmitBatch racks several packages in one round trip, returning per-item
 // outcomes.
-func (m *Mux) SubmitBatch(raws [][]byte) ([]broker.SubmitResult, error) {
-	return doSubmitBatch(m, raws)
+func (m *Mux) SubmitBatch(ctx context.Context, raws [][]byte) ([]broker.SubmitResult, error) {
+	return doSubmitBatch(ctx, m, raws)
 }
 
 // ReplyBatch posts several replies in one round trip, returning per-item
 // outcomes.
-func (m *Mux) ReplyBatch(posts []broker.ReplyPost) ([]error, error) {
-	return doReplyBatch(m, posts)
+func (m *Mux) ReplyBatch(ctx context.Context, posts []broker.ReplyPost) ([]error, error) {
+	return doReplyBatch(ctx, m, posts)
 }
 
 // FetchBatch drains replies for several requests in one round trip, returning
 // per-item outcomes.
-func (m *Mux) FetchBatch(ids []string) ([]broker.FetchResult, error) {
-	return doFetchBatch(m, ids)
+func (m *Mux) FetchBatch(ctx context.Context, ids []string) ([]broker.FetchResult, error) {
+	return doFetchBatch(ctx, m, ids)
 }

@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 	"net"
@@ -43,12 +44,12 @@ func buildRaw(tb testing.TB, seed int64) ([]byte, *core.RequestPackage) {
 
 // rackClient is the operation surface shared by the two client framings.
 type rackClient interface {
-	Submit(raw []byte) (string, error)
-	Sweep(q broker.SweepQuery) (broker.SweepResult, error)
-	Reply(requestID string, raw []byte) error
-	Fetch(requestID string) ([][]byte, error)
-	Stats() (broker.Stats, error)
-	Remove(requestID string) (bool, error)
+	Submit(ctx context.Context, raw []byte) (string, error)
+	Sweep(ctx context.Context, q broker.SweepQuery) (broker.SweepResult, error)
+	Reply(ctx context.Context, requestID string, raw []byte) error
+	Fetch(ctx context.Context, requestID string) ([][]byte, error)
+	Stats(ctx context.Context) (broker.Stats, error)
+	Remove(ctx context.Context, requestID string) (bool, error)
 }
 
 // exerciseEndToEnd drives the full operation set through a client of either
@@ -56,7 +57,7 @@ type rackClient interface {
 func exerciseEndToEnd(t *testing.T, c rackClient) {
 	t.Helper()
 	raw, pkg := buildRaw(t, 1)
-	id, err := c.Submit(raw)
+	id, err := c.Submit(context.Background(), raw)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,7 +65,7 @@ func exerciseEndToEnd(t *testing.T, c rackClient) {
 		t.Fatalf("Submit id = %q, want %q", id, pkg.ID)
 	}
 	// Error propagation: duplicate submission surfaces the remote error text.
-	if _, err := c.Submit(raw); err == nil || !strings.Contains(err.Error(), "duplicate") {
+	if _, err := c.Submit(context.Background(), raw); err == nil || !strings.Contains(err.Error(), "duplicate") {
 		t.Fatalf("duplicate submit error = %v, want remote duplicate error", err)
 	}
 
@@ -76,7 +77,7 @@ func exerciseEndToEnd(t *testing.T, c rackClient) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := c.Sweep(broker.SweepQuery{
+	res, err := c.Sweep(context.Background(), broker.SweepQuery{
 		Residues: []core.ResidueSet{matcher.ResidueSet(pkg.Prime)},
 	})
 	if err != nil {
@@ -87,10 +88,10 @@ func exerciseEndToEnd(t *testing.T, c rackClient) {
 	}
 
 	reply := &core.Reply{RequestID: pkg.ID, From: "bob", SentAt: time.Now(), Acks: [][]byte{{7}}}
-	if err := c.Reply(pkg.ID, reply.Marshal()); err != nil {
+	if err := c.Reply(context.Background(), pkg.ID, reply.Marshal()); err != nil {
 		t.Fatal(err)
 	}
-	raws, err := c.Fetch(pkg.ID)
+	raws, err := c.Fetch(context.Background(), pkg.ID)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,7 +102,7 @@ func exerciseEndToEnd(t *testing.T, c rackClient) {
 		t.Fatalf("fetched reply mismatch: %v", err)
 	}
 
-	st, err := c.Stats()
+	st, err := c.Stats(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,11 +110,11 @@ func exerciseEndToEnd(t *testing.T, c rackClient) {
 		t.Fatalf("Stats mismatch: %+v", st.Totals)
 	}
 
-	removed, err := c.Remove(pkg.ID)
+	removed, err := c.Remove(context.Background(), pkg.ID)
 	if err != nil || !removed {
 		t.Fatalf("Remove = %v, %v; want true", removed, err)
 	}
-	removed, err = c.Remove(pkg.ID)
+	removed, err = c.Remove(context.Background(), pkg.ID)
 	if err != nil || removed {
 		t.Fatalf("second Remove = %v, %v; want false", removed, err)
 	}
@@ -198,16 +199,16 @@ func TestConcurrentClients(t *testing.T) {
 						t.Error(err)
 						return
 					}
-					if _, err := c.Submit(raw); err != nil {
+					if _, err := c.Submit(context.Background(), raw); err != nil {
 						t.Error(err)
 						return
 					}
 				} else {
-					if _, err := c.Sweep(broker.SweepQuery{Residues: rs, Limit: 8}); err != nil {
+					if _, err := c.Sweep(context.Background(), broker.SweepQuery{Residues: rs, Limit: 8}); err != nil {
 						t.Error(err)
 						return
 					}
-					if _, err := c.Stats(); err != nil {
+					if _, err := c.Stats(context.Background()); err != nil {
 						t.Error(err)
 						return
 					}

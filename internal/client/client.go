@@ -2,7 +2,13 @@
 // client-side implementation of the rendezvous protocol that every consumer
 // (cmd/loadgen, the msn simulator's broker-backed delivery, the examples)
 // builds on, so protocol behaviour — pooling, retry discipline, batching —
-// is decided once, here, rather than per caller.
+// is decided once, here, rather than per caller. The public surface of the
+// module — the root sealedbottle package — re-exports everything here; new
+// external code should import that instead.
+//
+// Every layer implements the one canonical broker.Backend interface
+// (context-first Submit/SubmitBatch/Sweep/Reply/ReplyBatch/Fetch/FetchBatch/
+// Remove/Stats/Close), so racks, couriers and rings compose interchangeably.
 //
 // The pieces:
 //
@@ -10,19 +16,16 @@
 //     multiplexed transport connections (Config.Conns; the legacy lock-step
 //     framing on request) with transparent redial. Its retry rule is the
 //     part worth knowing: a RemoteError means the server executed and
-//     answered, and is returned as-is, never retried; a transport-level
-//     failure recycles the connection and retries once on a fresh one, but
-//     only for the truly idempotent operations (Sweep, Stats) — a Submit or
-//     Reply whose frame may have reached the server is not replayed, because
-//     doing so could double-apply it; a Remove is not replayed because the
-//     retry would answer held=false for a bottle the first attempt removed;
-//     and a Fetch is not replayed because it drains destructively — the lost
-//     response may have carried replies a retry would silently swallow.
-//   - Rendezvous is the minimal broker surface (Submit/Sweep/Reply/Fetch)
-//     that *broker.Rack, *Courier and the raw transport clients all satisfy,
-//     so protocol code runs unchanged in-process, over a pipe, or over TCP;
-//     BatchRendezvous adds the amortized batch operations, and FetchMany
-//     picks whichever the implementation offers.
+//     answered, and is returned as-is, never retried; a canceled or timed-out
+//     call (transport.AbandonedError) left the connection healthy and is
+//     likewise never retried; a transport-level failure recycles the
+//     connection and retries once on a fresh one, but only for the truly
+//     idempotent operations (Sweep, Stats) — a Submit or Reply whose frame
+//     may have reached the server is not replayed, because doing so could
+//     double-apply it; a Remove is not replayed because the retry would
+//     answer held=false for a bottle the first attempt removed; and a Fetch
+//     is not replayed because it drains destructively — the lost response may
+//     have carried replies a retry would silently swallow.
 //   - Sweeper (NewSweeper) is the candidate-side loop: compute residue sets
 //     for the rack's live primes, sweep, evaluate returned bottles locally
 //     with the full core.Matcher, post replies batched (transport-failed
@@ -30,19 +33,22 @@
 //     remember evaluated IDs in a bounded seen-window so the broker spends
 //     its sweep limit on fresh bottles.
 //   - Ring (NewRing) scales all of the above out to a cluster: it implements
-//     the same Rendezvous/BatchRendezvous surface over N rack endpoints,
-//     routing submits by rendezvous hashing, fanning sweeps out to every
-//     healthy rack, and steering Reply/Fetch/Remove through a learned
-//     ID→rack table backed by the racks' ID tag prefixes
-//     (broker.Config.RackTag), with per-rack failure ejection and probe-based
-//     re-admission.
+//     the same Backend surface over N rack endpoints, routing submits by
+//     rendezvous hashing, fanning sweeps out to every healthy rack, and
+//     steering Reply/Fetch/Remove through a learned ID→rack table backed by
+//     the racks' ID tag prefixes (broker.Config.RackTag), with per-rack
+//     failure ejection and probe-based re-admission.
 //
-// The wire protocol the courier speaks is specified in docs/PROTOCOL.md;
-// the broker it talks to is internal/broker served by
+// Cancellation is honored end to end: a context that ends mid-call abandons
+// the in-flight wire call (the pipelined connection keeps serving other
+// callers), stops ring fan-outs from dispatching further, and stops a rack
+// between shard visits. The wire protocol the courier speaks is specified in
+// docs/PROTOCOL.md; the broker it talks to is internal/broker served by
 // internal/broker/transport.
 package client
 
 import (
+	"context"
 	"errors"
 	"net"
 	"sync"
@@ -52,33 +58,6 @@ import (
 	"sealedbottle/internal/broker"
 	"sealedbottle/internal/broker/transport"
 )
-
-// Rendezvous is the minimal broker surface the friending protocol needs.
-// *broker.Rack (in-process), *Courier and the raw transport clients all
-// satisfy it.
-type Rendezvous interface {
-	// Submit racks a marshalled request package and returns its request ID.
-	Submit(raw []byte) (string, error)
-	// Sweep screens the rack with the query's residue sets.
-	Sweep(q broker.SweepQuery) (broker.SweepResult, error)
-	// Reply posts a marshalled reply for the given request.
-	Reply(requestID string, raw []byte) error
-	// Fetch drains the replies queued for a request.
-	Fetch(requestID string) ([][]byte, error)
-}
-
-// BatchRendezvous extends Rendezvous with the amortized batch operations.
-// *broker.Rack and *Courier satisfy it; consumers should type-assert and fall
-// back to the per-item calls, as FetchMany does.
-type BatchRendezvous interface {
-	Rendezvous
-	// SubmitBatch racks several packages at once, one outcome per item.
-	SubmitBatch(raws [][]byte) ([]broker.SubmitResult, error)
-	// ReplyBatch posts several replies at once, one outcome per item.
-	ReplyBatch(posts []broker.ReplyPost) ([]error, error)
-	// FetchBatch drains several reply queues at once, one outcome per item.
-	FetchBatch(ids []string) ([]broker.FetchResult, error)
-}
 
 // Errors of the courier.
 var (
@@ -104,41 +83,41 @@ type Config struct {
 	// read loops.
 	Conns int
 	// CallTimeout bounds one round trip (zero: DefaultCallTimeout; negative:
-	// no limit).
+	// no limit). It composes with the caller's context deadline — the
+	// earliest bound wins, and the returned error says which fired. On
+	// multiplexed connections it doubles as the progress deadline that turns
+	// a dead peer into an error.
 	CallTimeout time.Duration
 	// WriteTimeout bounds one frame write (zero: CallTimeout governs).
 	WriteTimeout time.Duration
 	// Legacy selects the lock-step framing for compatibility with old
-	// servers; it serializes one request per connection.
+	// servers; it serializes one request per connection, and a canceled call
+	// costs the connection (the framing has no way to abandon one exchange).
 	Legacy bool
-}
-
-// conn is the method set shared by the two transport clients.
-type conn interface {
-	BatchRendezvous
-	Stats() (broker.Stats, error)
-	Remove(requestID string) (bool, error)
-	Close() error
 }
 
 // slot is one pooled connection, dialed lazily and discarded on failure.
 type slot struct {
 	mu sync.Mutex
-	c  conn
+	c  broker.Backend
 }
 
 // Courier is the unified broker client: a pool of lazily-dialed transport
 // connections (multiplexed by default) with transparent redial. Methods are
 // safe for concurrent use; concurrent calls pipeline onto the pooled
 // connections. Remote (per-operation) errors are returned as-is and never
-// recycle a connection; transport-level failures discard the connection and
-// retry once on a fresh one.
+// recycle a connection; abandoned calls (context ended, per-call timeout)
+// leave the connection serving; transport-level failures discard the
+// connection and retry once on a fresh one when the operation is idempotent.
 type Courier struct {
 	cfg    Config
 	slots  []slot
 	next   atomic.Uint64
 	closed atomic.Bool
 }
+
+// The courier implements the canonical Backend surface.
+var _ broker.Backend = (*Courier)(nil)
 
 // Dial builds a courier. Connections are dialed lazily, so Dial succeeds even
 // while the broker is down; the first operation reports the dial error.
@@ -176,7 +155,7 @@ func (c *Courier) Close() error {
 }
 
 // dialConn opens one transport connection per the config.
-func (c *Courier) dialConn() (conn, error) {
+func (c *Courier) dialConn() (broker.Backend, error) {
 	var nc net.Conn
 	var err error
 	if c.cfg.Dialer != nil {
@@ -196,7 +175,7 @@ func (c *Courier) dialConn() (conn, error) {
 
 // acquire returns the slot's connection, dialing if it has none. The closed
 // check under the slot lock orders against Close's sweep of the same lock.
-func (s *slot) acquire(c *Courier) (conn, error) {
+func (s *slot) acquire(c *Courier) (broker.Backend, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if c.closed.Load() {
@@ -216,7 +195,7 @@ func (s *slot) acquire(c *Courier) (conn, error) {
 // recycle discards a connection observed failing. Another call may have
 // recycled and redialed the slot already; only the observed connection is
 // cleared.
-func (s *slot) recycle(old conn) {
+func (s *slot) recycle(old broker.Backend) {
 	s.mu.Lock()
 	if s.c == old {
 		s.c = nil
@@ -227,16 +206,22 @@ func (s *slot) recycle(old conn) {
 
 // do runs one operation over a pooled connection, redialing dead slots.
 // Remote errors are returned without retry — the server executed and
-// answered. A transport-level failure recycles the connection; the operation
-// itself is re-attempted on a fresh connection only when idempotent is true,
-// because once a frame may have reached the server a mutating operation
-// (Submit, Reply and their batches) may have executed — retrying it could
-// double-apply it or turn a success into a duplicate error. Dial failures
-// always permit one more attempt: nothing was sent.
-func do[T any](c *Courier, idempotent bool, fn func(conn) (T, error)) (T, error) {
+// answered. An abandoned call (context ended or per-call timeout) is
+// returned without retry or recycle: the connection underneath is still
+// healthy, only the caller stopped waiting. A transport-level failure
+// recycles the connection; the operation itself is re-attempted on a fresh
+// connection only when idempotent is true, because once a frame may have
+// reached the server a mutating operation (Submit, Reply and their batches)
+// may have executed — retrying it could double-apply it or turn a success
+// into a duplicate error. Dial failures always permit one more attempt:
+// nothing was sent.
+func do[T any](ctx context.Context, c *Courier, idempotent bool, fn func(broker.Backend) (T, error)) (T, error) {
 	var zero T
 	var lastErr error
 	for attempt := 0; attempt < 2; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return zero, err
+		}
 		if c.closed.Load() {
 			return zero, ErrCourierClosed
 		}
@@ -257,7 +242,21 @@ func do[T any](c *Courier, idempotent bool, fn func(conn) (T, error)) (T, error)
 		if errors.As(err, &re) {
 			return zero, err
 		}
+		var ab *transport.AbandonedError
+		if errors.As(err, &ab) {
+			// The caller's bound fired on a multiplexed connection, which
+			// promises the connection survived (the abandoned sequence is
+			// discarded on arrival): no recycle, no replay.
+			return zero, err
+		}
+		// Anything else — including a context cancellation that interrupted a
+		// lock-step exchange (no sequence numbers, so the connection is left
+		// mid-response) — poisons the connection and it must not be pooled.
 		s.recycle(cn)
+		if ctx.Err() != nil {
+			// The caller stopped waiting; never replay on a fresh connection.
+			return zero, err
+		}
 		lastErr = err
 		if !idempotent || errors.Is(err, transport.ErrCallTimeout) {
 			break
@@ -267,18 +266,20 @@ func do[T any](c *Courier, idempotent bool, fn func(conn) (T, error)) (T, error)
 }
 
 // Submit racks a marshalled request package and returns its request ID.
-func (c *Courier) Submit(raw []byte) (string, error) {
-	return do(c, false, func(cn conn) (string, error) { return cn.Submit(raw) })
+func (c *Courier) Submit(ctx context.Context, raw []byte) (string, error) {
+	return do(ctx, c, false, func(cn broker.Backend) (string, error) { return cn.Submit(ctx, raw) })
 }
 
 // Sweep screens the rack with the query's residue sets.
-func (c *Courier) Sweep(q broker.SweepQuery) (broker.SweepResult, error) {
-	return do(c, true, func(cn conn) (broker.SweepResult, error) { return cn.Sweep(q) })
+func (c *Courier) Sweep(ctx context.Context, q broker.SweepQuery) (broker.SweepResult, error) {
+	return do(ctx, c, true, func(cn broker.Backend) (broker.SweepResult, error) { return cn.Sweep(ctx, q) })
 }
 
 // Reply posts a marshalled reply for the given request.
-func (c *Courier) Reply(requestID string, raw []byte) error {
-	_, err := do(c, false, func(cn conn) (struct{}, error) { return struct{}{}, cn.Reply(requestID, raw) })
+func (c *Courier) Reply(ctx context.Context, requestID string, raw []byte) error {
+	_, err := do(ctx, c, false, func(cn broker.Backend) (struct{}, error) {
+		return struct{}{}, cn.Reply(ctx, requestID, raw)
+	})
 	return err
 }
 
@@ -288,13 +289,13 @@ func (c *Courier) Reply(requestID string, raw []byte) error {
 // drained replies, and a retry would find an empty queue and report a clean
 // ([], nil) that silently swallows them. The transport error keeps the
 // possible loss visible to the caller.
-func (c *Courier) Fetch(requestID string) ([][]byte, error) {
-	return do(c, false, func(cn conn) ([][]byte, error) { return cn.Fetch(requestID) })
+func (c *Courier) Fetch(ctx context.Context, requestID string) ([][]byte, error) {
+	return do(ctx, c, false, func(cn broker.Backend) ([][]byte, error) { return cn.Fetch(ctx, requestID) })
 }
 
 // Stats snapshots the rack's counters.
-func (c *Courier) Stats() (broker.Stats, error) {
-	return do(c, true, func(cn conn) (broker.Stats, error) { return cn.Stats() })
+func (c *Courier) Stats(ctx context.Context) (broker.Stats, error) {
+	return do(ctx, c, true, func(cn broker.Backend) (broker.Stats, error) { return cn.Stats(ctx) })
 }
 
 // Remove takes a bottle off the rack; it reports whether the bottle was
@@ -305,42 +306,51 @@ func (c *Courier) Stats() (broker.Stats, error) {
 // that ambiguity visible; callers that need certainty re-issue the Remove
 // themselves and treat held=false as "gone, possibly by my earlier attempt"
 // (see docs/PROTOCOL.md §2 on Remove idempotency).
-func (c *Courier) Remove(requestID string) (bool, error) {
-	return do(c, false, func(cn conn) (bool, error) { return cn.Remove(requestID) })
+func (c *Courier) Remove(ctx context.Context, requestID string) (bool, error) {
+	return do(ctx, c, false, func(cn broker.Backend) (bool, error) { return cn.Remove(ctx, requestID) })
 }
 
 // SubmitBatch racks several packages in one round trip, one outcome per item.
-func (c *Courier) SubmitBatch(raws [][]byte) ([]broker.SubmitResult, error) {
-	return do(c, false, func(cn conn) ([]broker.SubmitResult, error) { return cn.SubmitBatch(raws) })
+func (c *Courier) SubmitBatch(ctx context.Context, raws [][]byte) ([]broker.SubmitResult, error) {
+	return do(ctx, c, false, func(cn broker.Backend) ([]broker.SubmitResult, error) { return cn.SubmitBatch(ctx, raws) })
 }
 
 // ReplyBatch posts several replies in one round trip, one outcome per item.
-func (c *Courier) ReplyBatch(posts []broker.ReplyPost) ([]error, error) {
-	return do(c, false, func(cn conn) ([]error, error) { return cn.ReplyBatch(posts) })
+func (c *Courier) ReplyBatch(ctx context.Context, posts []broker.ReplyPost) ([]error, error) {
+	return do(ctx, c, false, func(cn broker.Backend) ([]error, error) { return cn.ReplyBatch(ctx, posts) })
 }
 
 // FetchBatch drains several reply queues in one round trip, one outcome per
 // item. Like Fetch it drains destructively and is therefore never
 // auto-retried after a transport failure.
-func (c *Courier) FetchBatch(ids []string) ([]broker.FetchResult, error) {
-	return do(c, false, func(cn conn) ([]broker.FetchResult, error) { return cn.FetchBatch(ids) })
+func (c *Courier) FetchBatch(ctx context.Context, ids []string) ([]broker.FetchResult, error) {
+	return do(ctx, c, false, func(cn broker.Backend) ([]broker.FetchResult, error) { return cn.FetchBatch(ctx, ids) })
 }
 
-// FetchMany drains replies for several request IDs through any Rendezvous,
-// using the batched opcode when the implementation offers it and falling back
-// to per-item fetches otherwise.
-func FetchMany(rv Rendezvous, ids []string) []broker.FetchResult {
+// FetchMany drains replies for several request IDs through any Backend in one
+// batched round trip, returning one outcome per ID. A whole-call failure is
+// surfaced on every item that got no definite outcome — never papered over
+// with per-item re-fetches: fetching drains destructively, so a failed batch
+// may already have drained queues whose responses were lost, and a re-fetch
+// would find them empty and report a clean nothing where replies vanished
+// (the same reason Courier.Fetch is never auto-retried, docs/PROTOCOL.md
+// §2.1.2). Items that did complete (a rack-side partial batch, e.g. under
+// cancellation) keep their real replies and errors.
+func FetchMany(ctx context.Context, b broker.Backend, ids []string) []broker.FetchResult {
 	if len(ids) == 0 {
 		return nil
 	}
-	if b, ok := rv.(BatchRendezvous); ok {
-		if results, err := b.FetchBatch(ids); err == nil {
-			return results
-		}
+	results, err := b.FetchBatch(ctx, ids)
+	if err == nil {
+		return results
 	}
-	results := make([]broker.FetchResult, len(ids))
-	for i, id := range ids {
-		results[i].Replies, results[i].Err = rv.Fetch(id)
+	if len(results) != len(ids) {
+		results = make([]broker.FetchResult, len(ids))
+	}
+	for i := range results {
+		if results[i].Err == nil && len(results[i].Replies) == 0 {
+			results[i].Err = err
+		}
 	}
 	return results
 }

@@ -1,6 +1,7 @@
 package client
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"io"
@@ -65,18 +66,18 @@ func testServer(t *testing.T) (Config, *broker.Rack, func()) {
 func exerciseCourier(t *testing.T, c *Courier) {
 	t.Helper()
 	rawA, pkgA := buildRaw(t, 1)
-	id, err := c.Submit(rawA)
+	id, err := c.Submit(context.Background(), rawA)
 	if err != nil || id != pkgA.ID {
 		t.Fatalf("Submit = %q, %v", id, err)
 	}
 	var re *transport.RemoteError
-	if _, err := c.Submit(rawA); !errors.As(err, &re) {
+	if _, err := c.Submit(context.Background(), rawA); !errors.As(err, &re) {
 		t.Fatalf("duplicate Submit = %v, want RemoteError", err)
 	}
 
 	rawB, pkgB := buildRaw(t, 2)
 	rawC, pkgC := buildRaw(t, 3)
-	results, err := c.SubmitBatch([][]byte{rawB, rawC, rawB})
+	results, err := c.SubmitBatch(context.Background(), [][]byte{rawB, rawC, rawB})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,7 +92,7 @@ func exerciseCourier(t *testing.T, c *Courier) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := c.Sweep(broker.SweepQuery{
+	res, err := c.Sweep(context.Background(), broker.SweepQuery{
 		Residues: []core.ResidueSet{matcher.ResidueSet(core.DefaultPrime)},
 	})
 	if err != nil || len(res.Bottles) != 3 {
@@ -101,10 +102,10 @@ func exerciseCourier(t *testing.T, c *Courier) {
 	mkReply := func(id string) []byte {
 		return (&core.Reply{RequestID: id, From: "bob", SentAt: time.Now(), Acks: [][]byte{{7}}}).Marshal()
 	}
-	if err := c.Reply(pkgA.ID, mkReply(pkgA.ID)); err != nil {
+	if err := c.Reply(context.Background(), pkgA.ID, mkReply(pkgA.ID)); err != nil {
 		t.Fatal(err)
 	}
-	errs, err := c.ReplyBatch([]broker.ReplyPost{
+	errs, err := c.ReplyBatch(context.Background(), []broker.ReplyPost{
 		{RequestID: pkgB.ID, Raw: mkReply(pkgB.ID)},
 		{RequestID: "ghost", Raw: mkReply("ghost")},
 	})
@@ -112,20 +113,20 @@ func exerciseCourier(t *testing.T, c *Courier) {
 		t.Fatalf("ReplyBatch = %v, %v", errs, err)
 	}
 
-	raws, err := c.Fetch(pkgA.ID)
+	raws, err := c.Fetch(context.Background(), pkgA.ID)
 	if err != nil || len(raws) != 1 {
 		t.Fatalf("Fetch = %d replies, %v", len(raws), err)
 	}
-	fetches, err := c.FetchBatch([]string{pkgB.ID, "ghost"})
+	fetches, err := c.FetchBatch(context.Background(), []string{pkgB.ID, "ghost"})
 	if err != nil || fetches[0].Err != nil || len(fetches[0].Replies) != 1 || fetches[1].Err == nil {
 		t.Fatalf("FetchBatch = %+v, %v", fetches, err)
 	}
 
-	st, err := c.Stats()
+	st, err := c.Stats(context.Background())
 	if err != nil || st.Held != 3 {
 		t.Fatalf("Stats held = %d, %v", st.Held, err)
 	}
-	removed, err := c.Remove(pkgA.ID)
+	removed, err := c.Remove(context.Background(), pkgA.ID)
 	if err != nil || !removed {
 		t.Fatalf("Remove = %v, %v", removed, err)
 	}
@@ -173,11 +174,11 @@ func TestCourierReconnects(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c.Close()
-	if _, err := c.Stats(); err != nil {
+	if _, err := c.Stats(context.Background()); err != nil {
 		t.Fatalf("first call: %v", err)
 	}
 	time.Sleep(150 * time.Millisecond) // server drops the idle connection
-	if _, err := c.Stats(); err != nil {
+	if _, err := c.Stats(context.Background()); err != nil {
 		t.Fatalf("call after idle drop should redial, got %v", err)
 	}
 }
@@ -190,7 +191,7 @@ func TestCourierClosed(t *testing.T) {
 		t.Fatal(err)
 	}
 	c.Close()
-	if _, err := c.Stats(); !errors.Is(err, ErrCourierClosed) {
+	if _, err := c.Stats(context.Background()); !errors.Is(err, ErrCourierClosed) {
 		t.Fatalf("call on closed courier = %v", err)
 	}
 }
@@ -212,7 +213,7 @@ func TestCourierRemoveNotRetriedAfterTransportFailure(t *testing.T) {
 	cfg, rack, cleanup := testServer(t)
 	defer cleanup()
 	raw, pkg := buildRaw(t, 9)
-	if _, err := rack.Submit(raw); err != nil {
+	if _, err := rack.Submit(context.Background(), raw); err != nil {
 		t.Fatal(err)
 	}
 
@@ -257,52 +258,68 @@ func TestCourierRemoveNotRetriedAfterTransportFailure(t *testing.T) {
 	}
 	defer c.Close()
 
-	held, err := c.Remove(pkg.ID)
+	held, err := c.Remove(context.Background(), pkg.ID)
 	if err == nil {
 		t.Fatalf("Remove over a severed connection = (%v, nil); want the transport error — a retry misreports held=false for a bottle this call removed", held)
 	}
 	// The first attempt really did reach the rack.
-	if _, err := rack.Fetch(pkg.ID); !errors.Is(err, broker.ErrUnknownBottle) {
+	if _, err := rack.Fetch(context.Background(), pkg.ID); !errors.Is(err, broker.ErrUnknownBottle) {
 		t.Fatalf("bottle still fetchable after severed Remove: %v", err)
 	}
 	// An explicit caller-side retry gets the honest ambiguous answer.
-	if held, err := c.Remove(pkg.ID); err != nil || held {
+	if held, err := c.Remove(context.Background(), pkg.ID); err != nil || held {
 		t.Fatalf("explicit second Remove = (%v, %v), want (false, nil)", held, err)
 	}
 }
 
-// TestFetchManyFallback proves FetchMany works for plain Rendezvous
-// implementations without the batch extension.
-func TestFetchManyFallback(t *testing.T) {
-	cfg, rack, cleanup := testServer(t)
+// TestFetchManyBatchAndFailure proves FetchMany drains through the batch
+// opcode, and that a whole-call failure is surfaced on every undetermined
+// item rather than papered over with per-item re-fetches — fetching drains
+// destructively, so a failed batch may already have drained queues whose
+// responses were lost, and a re-fetch would silently report them empty.
+func TestFetchManyBatchAndFailure(t *testing.T) {
+	_, rack, cleanup := testServer(t)
 	defer cleanup()
-	_ = cfg
 	raw, pkg := buildRaw(t, 5)
-	if _, err := rack.Submit(raw); err != nil {
+	if _, err := rack.Submit(context.Background(), raw); err != nil {
 		t.Fatal(err)
 	}
 	rep := (&core.Reply{RequestID: pkg.ID, From: "bob", SentAt: time.Now(), Acks: [][]byte{{7}}}).Marshal()
-	if err := rack.Reply(pkg.ID, rep); err != nil {
+	if err := rack.Reply(context.Background(), pkg.ID, rep); err != nil {
 		t.Fatal(err)
 	}
 
-	// narrowRV hides the rack's batch methods.
-	results := FetchMany(narrowRV{rack}, []string{pkg.ID, "ghost"})
+	results := FetchMany(context.Background(), rack, []string{pkg.ID, "ghost"})
 	if results[0].Err != nil || len(results[0].Replies) != 1 {
 		t.Fatalf("FetchMany[0] = %+v", results[0])
 	}
-	if results[1].Err == nil {
-		t.Fatal("FetchMany of unknown id succeeded")
+	if !errors.Is(results[1].Err, broker.ErrUnknownBottle) {
+		t.Fatalf("FetchMany of unknown id = %v, want ErrUnknownBottle", results[1].Err)
 	}
-	if got := FetchMany(narrowRV{rack}, nil); got != nil {
-		t.Fatalf("FetchMany(nil) = %v", got)
+
+	// A failing batch marks every undetermined item with the call error and
+	// issues no per-item fetches that could swallow drained replies.
+	failing := failingBatchRV{Rack: rack}
+	results = FetchMany(context.Background(), failing, []string{pkg.ID, "ghost"})
+	for i, res := range results {
+		if res.Err == nil {
+			t.Fatalf("item %d of a failed batch reported success: %+v", i, res)
+		}
+	}
+	if got := FetchMany(context.Background(), rack, nil); got != nil {
+		t.Fatalf("FetchMany with no ids = %v", got)
 	}
 }
 
-// narrowRV restricts *broker.Rack to the plain Rendezvous surface.
-type narrowRV struct{ rack *broker.Rack }
+// failingBatchRV is a Backend whose FetchBatch fails wholesale, standing in
+// for a batch whose transport died after the server may have drained.
+type failingBatchRV struct{ *broker.Rack }
 
-func (n narrowRV) Submit(raw []byte) (string, error)                     { return n.rack.Submit(raw) }
-func (n narrowRV) Sweep(q broker.SweepQuery) (broker.SweepResult, error) { return n.rack.Sweep(q) }
-func (n narrowRV) Reply(id string, raw []byte) error                     { return n.rack.Reply(id, raw) }
-func (n narrowRV) Fetch(id string) ([][]byte, error)                     { return n.rack.Fetch(id) }
+func (n failingBatchRV) FetchBatch(ctx context.Context, ids []string) ([]broker.FetchResult, error) {
+	return nil, errors.New("write tcp: broken pipe (simulated)")
+}
+
+// Fetch must never be called by FetchMany after a batch failure.
+func (n failingBatchRV) Fetch(ctx context.Context, id string) ([][]byte, error) {
+	panic("FetchMany re-fetched per item after a failed batch — this can swallow drained replies")
+}

@@ -1,11 +1,11 @@
 package client
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"hash/fnv"
 	"sort"
-	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -14,15 +14,6 @@ import (
 	"sealedbottle/internal/broker/transport"
 	"sealedbottle/internal/core"
 )
-
-// Backend is the full per-rack surface the ring routes over: the rendezvous
-// operations (batches included) plus Remove. *broker.Rack (in-process) and
-// *Courier (over the wire) both satisfy it — and so does *Ring itself, so
-// rings compose anywhere a single rack was accepted.
-type Backend interface {
-	BatchRendezvous
-	Remove(requestID string) (bool, error)
-}
 
 // Errors of the ring.
 var (
@@ -48,8 +39,9 @@ type RingBackend struct {
 	// Name identifies the rack; it is the stable input of the rendezvous
 	// hash, so renaming a rack reshuffles which bottles route to it.
 	Name string
-	// Backend is the rack itself.
-	Backend Backend
+	// Backend is the rack itself — an in-process *broker.Rack, a *Courier,
+	// or even a nested *Ring.
+	Backend broker.Backend
 }
 
 // RingConfig tunes a Ring. Exactly one of Addrs and Backends must be set.
@@ -81,15 +73,15 @@ type RingConfig struct {
 type rackNode struct {
 	idx   int
 	name  string
-	b     Backend
+	b     broker.Backend
 	fails atomic.Int32
 	down  atomic.Bool
 }
 
 // Ring routes the rendezvous protocol across N rack endpoints behind the
-// same Rendezvous/BatchRendezvous surface a single rack offers, so every
-// consumer — Sweeper, the msn broker-backed delivery, loadgen, the examples —
-// scales out with zero call-site changes.
+// same broker.Backend surface a single rack offers, so every consumer —
+// Sweeper, the msn broker-backed delivery, loadgen, the examples — scales
+// out with zero call-site changes.
 //
 // Routing:
 //
@@ -107,11 +99,21 @@ type rackNode struct {
 //
 // Health: a rack is ejected after FailThreshold consecutive rack faults
 // (transport-level failures — per-operation outcomes computed by a rack
-// never count) and re-admitted by the background prober, by Probe, or by
-// any call that happens to succeed against it. A dead rack therefore costs
-// a few failed calls and is then routed around until it returns.
+// never count, and neither do calls the caller's own context ended) and
+// re-admitted by the background prober, by Probe, or by any call that
+// happens to succeed against it. A dead rack therefore costs a few failed
+// calls and is then routed around until it returns.
 //
-// Methods are safe for concurrent use.
+// Cancellation: fan-out operations stop dispatching to further racks the
+// moment the context ends and return the context's error alongside whatever
+// partial results the racks that answered produced (per-item outcomes of
+// batch operations mark undispatched items with the context's error).
+// Already-dispatched rack calls are themselves canceled through the same
+// context.
+//
+// Methods are safe for concurrent use. A Ring itself satisfies the
+// canonical Backend surface, so rings compose anywhere a single rack was
+// accepted — including as a backend of another ring.
 type Ring struct {
 	nodes         []*rackNode
 	failThreshold int
@@ -125,6 +127,9 @@ type Ring struct {
 	closeOnce    sync.Once
 	wg           sync.WaitGroup
 }
+
+// The ring implements the canonical Backend surface.
+var _ broker.Backend = (*Ring)(nil)
 
 // NewRing builds a ring over the configured racks. With Addrs the couriers
 // are dialed lazily, so NewRing succeeds while racks are still starting; the
@@ -203,7 +208,10 @@ func (r *Ring) Close() error {
 
 // rackFault reports whether err indicates the rack endpoint itself failed
 // (dial/transport failure, rack closed) rather than a per-operation outcome
-// the rack computed and answered. Only faults count toward ejection.
+// the rack computed and answered, or a call the caller itself abandoned.
+// Only faults count toward ejection. The wire error codes keep this check
+// structural: a decoded sentinel or a RemoteError means the rack answered —
+// not a fault — with no error-text inspection anywhere.
 func rackFault(err error) bool {
 	if err == nil {
 		return false
@@ -211,6 +219,10 @@ func rackFault(err error) bool {
 	var re *transport.RemoteError
 	if errors.As(err, &re) {
 		return false // the rack executed and answered
+	}
+	var ab *transport.AbandonedError
+	if errors.As(err, &ab) || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false // the caller's bound fired, not the rack
 	}
 	switch {
 	case errors.Is(err, broker.ErrUnknownBottle),
@@ -222,18 +234,11 @@ func rackFault(err error) bool {
 		errors.Is(err, ErrCourierClosed):
 		return false // in-process racks return these unwrapped
 	}
-	return true
-}
-
-// isUnknownBottle reports whether err means "this rack does not hold the
-// bottle" — the signal that lets routed calls fall through to the next
-// candidate rack. Over the wire the sentinel arrives as RemoteError text.
-func isUnknownBottle(err error) bool {
-	if errors.Is(err, broker.ErrUnknownBottle) {
-		return true
+	var we *broker.WireError
+	if errors.As(err, &we) {
+		return false // a coded per-item outcome decoded off the wire
 	}
-	var re *transport.RemoteError
-	return errors.As(err, &re) && strings.Contains(re.Msg, broker.ErrUnknownBottle.Error())
+	return true
 }
 
 // note records one call outcome against a rack's health.
@@ -343,7 +348,7 @@ func (r *Ring) candidates(id string) []*rackNode {
 // Submit routes a marshalled request package to the rendezvous-hashed
 // healthy rack and returns the (rack-tagged, when so configured) request ID
 // it is held under.
-func (r *Ring) Submit(raw []byte) (string, error) {
+func (r *Ring) Submit(ctx context.Context, raw []byte) (string, error) {
 	pkg, err := core.UnmarshalPackage(raw)
 	if err != nil {
 		return "", err
@@ -353,7 +358,7 @@ func (r *Ring) Submit(raw []byte) (string, error) {
 		return "", ErrNoHealthyRacks
 	}
 	n := pickHRW(healthy, pkg.ID)
-	id, err := n.b.Submit(raw)
+	id, err := n.b.Submit(ctx, raw)
 	r.note(n, err)
 	if err != nil {
 		return "", err
@@ -365,8 +370,10 @@ func (r *Ring) Submit(raw []byte) (string, error) {
 // SubmitBatch groups the packages by their rendezvous-hashed rack and sends
 // one SubmitBatch per rack, concurrently. Outcomes are per item, in order; a
 // rack call that faults marks all of that rack's items with the fault. The
-// call itself only fails when every rack is ejected.
-func (r *Ring) SubmitBatch(raws [][]byte) ([]broker.SubmitResult, error) {
+// call itself only fails when every rack is ejected or the context ends —
+// cancellation stops further rack dispatches (their items carry the context
+// error) and returns the context error alongside the partial outcomes.
+func (r *Ring) SubmitBatch(ctx context.Context, raws [][]byte) ([]broker.SubmitResult, error) {
 	healthy := r.healthy()
 	if len(healthy) == 0 {
 		return nil, ErrNoHealthyRacks
@@ -383,7 +390,14 @@ func (r *Ring) SubmitBatch(raws [][]byte) ([]broker.SubmitResult, error) {
 		groups[n] = append(groups[n], i)
 	}
 	var wg sync.WaitGroup
+	var ctxErr error
 	for n, idxs := range groups {
+		if ctxErr = ctx.Err(); ctxErr != nil {
+			for _, i := range idxs {
+				results[i] = broker.SubmitResult{Err: ctxErr}
+			}
+			continue
+		}
 		wg.Add(1)
 		go func(n *rackNode, idxs []int) {
 			defer wg.Done()
@@ -391,7 +405,7 @@ func (r *Ring) SubmitBatch(raws [][]byte) ([]broker.SubmitResult, error) {
 			for j, i := range idxs {
 				sub[j] = raws[i]
 			}
-			rs, err := n.b.SubmitBatch(sub)
+			rs, err := n.b.SubmitBatch(ctx, sub)
 			r.note(n, err)
 			if err != nil {
 				for _, i := range idxs {
@@ -408,15 +422,23 @@ func (r *Ring) SubmitBatch(raws [][]byte) ([]broker.SubmitResult, error) {
 		}(n, idxs)
 	}
 	wg.Wait()
-	return results, nil
+	if err := ctx.Err(); err != nil {
+		return results, err
+	}
+	return results, ctxErr
 }
 
 // Sweep fans the query out to every healthy rack concurrently and merges the
 // results in rack order under the query limit. Racks that fault are skipped
 // (and noted against their health); the sweep only fails when no rack
-// answered. Each returned bottle teaches the routing table which rack holds
-// it, which is what lets the subsequent replies route without fan-out.
-func (r *Ring) Sweep(q broker.SweepQuery) (broker.SweepResult, error) {
+// answered or the context ended. Cancellation stops further rack dispatches,
+// cancels the in-flight ones, and returns the context error together with
+// the partial merge of whatever racks answered in time (bottles from those
+// racks are real and already learned into the routing table — callers may
+// use or discard them). Each returned bottle teaches the routing table which
+// rack holds it, which is what lets the subsequent replies route without
+// fan-out.
+func (r *Ring) Sweep(ctx context.Context, q broker.SweepQuery) (broker.SweepResult, error) {
 	healthy := r.healthy()
 	if len(healthy) == 0 {
 		return broker.SweepResult{}, ErrNoHealthyRacks
@@ -431,11 +453,16 @@ func (r *Ring) Sweep(q broker.SweepQuery) (broker.SweepResult, error) {
 	}
 	parts := make([]part, len(healthy))
 	var wg sync.WaitGroup
+	var ctxErr error
 	for i, n := range healthy {
+		if ctxErr = ctx.Err(); ctxErr != nil {
+			parts[i] = part{err: ctxErr}
+			continue
+		}
 		wg.Add(1)
 		go func(i int, n *rackNode) {
 			defer wg.Done()
-			res, err := n.b.Sweep(q)
+			res, err := n.b.Sweep(ctx, q)
 			r.note(n, err)
 			parts[i] = part{res: res, err: err}
 		}(i, n)
@@ -464,6 +491,9 @@ func (r *Ring) Sweep(q broker.SweepQuery) (broker.SweepResult, error) {
 			out.Bottles = append(out.Bottles, b)
 		}
 	}
+	if err := ctx.Err(); err != nil {
+		return out, err
+	}
 	if answered == 0 {
 		return broker.SweepResult{}, firstErr
 	}
@@ -479,13 +509,16 @@ func (r *Ring) Sweep(q broker.SweepQuery) (broker.SweepResult, error) {
 // definitive broker answer — the Sweeper, for one, drops (rather than
 // queues) replies on definitive answers, so masking the fault would lose
 // the reply exactly the way the pre-PR-4 sweeper did.
-func (r *Ring) routed(id string, op func(n *rackNode) error) error {
+func (r *Ring) routed(ctx context.Context, id string, op func(n *rackNode) error) error {
 	cands := r.candidates(id)
 	if len(cands) == 0 {
 		return ErrNoHealthyRacks
 	}
 	var lastErr, faultErr error
 	for _, n := range cands {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		err := op(n)
 		r.note(n, err)
 		if err == nil {
@@ -499,7 +532,7 @@ func (r *Ring) routed(id string, op func(n *rackNode) error) error {
 			}
 			continue
 		}
-		if isUnknownBottle(err) {
+		if errors.Is(err, broker.ErrUnknownBottle) {
 			continue
 		}
 		return err
@@ -534,17 +567,17 @@ func (r *Ring) primaryFor(id string) *rackNode {
 
 // Reply posts a marshalled reply to whichever rack holds the addressed
 // bottle.
-func (r *Ring) Reply(requestID string, raw []byte) error {
-	return r.routed(requestID, func(n *rackNode) error {
-		return n.b.Reply(requestID, raw)
+func (r *Ring) Reply(ctx context.Context, requestID string, raw []byte) error {
+	return r.routed(ctx, requestID, func(n *rackNode) error {
+		return n.b.Reply(ctx, requestID, raw)
 	})
 }
 
 // Fetch drains the replies queued for a request from the rack holding it.
-func (r *Ring) Fetch(requestID string) ([][]byte, error) {
+func (r *Ring) Fetch(ctx context.Context, requestID string) ([][]byte, error) {
 	var out [][]byte
-	err := r.routed(requestID, func(n *rackNode) error {
-		raws, err := n.b.Fetch(requestID)
+	err := r.routed(ctx, requestID, func(n *rackNode) error {
+		raws, err := n.b.Fetch(ctx, requestID)
 		if err == nil {
 			out = raws
 		}
@@ -560,14 +593,17 @@ func (r *Ring) Fetch(requestID string) ([][]byte, error) {
 // any rack held it. When a rack faulted mid-search the fault is returned —
 // the bottle may live on the unreachable rack, and a clean held=false would
 // misreport that ambiguity.
-func (r *Ring) Remove(requestID string) (bool, error) {
+func (r *Ring) Remove(ctx context.Context, requestID string) (bool, error) {
 	cands := r.candidates(requestID)
 	if len(cands) == 0 {
 		return false, ErrNoHealthyRacks
 	}
 	var faultErr error
 	for _, n := range cands {
-		held, err := n.b.Remove(requestID)
+		if err := ctx.Err(); err != nil {
+			return false, err
+		}
+		held, err := n.b.Remove(ctx, requestID)
 		r.note(n, err)
 		if err == nil {
 			if held {
@@ -583,7 +619,7 @@ func (r *Ring) Remove(requestID string) (bool, error) {
 			}
 			continue
 		}
-		if isUnknownBottle(err) {
+		if errors.Is(err, broker.ErrUnknownBottle) {
 			continue
 		}
 		return false, err
@@ -594,8 +630,10 @@ func (r *Ring) Remove(requestID string) (bool, error) {
 // ReplyBatch groups the posts by their routed rack and sends one ReplyBatch
 // per rack concurrently; posts whose routed rack does not recognize the
 // bottle (stale table entry) or faulted fall back to individually routed
-// replies. Outcomes are per item, in order.
-func (r *Ring) ReplyBatch(posts []broker.ReplyPost) ([]error, error) {
+// replies. Outcomes are per item, in order. Cancellation stops further rack
+// dispatches and the per-item fallback round; affected items carry the
+// context's error, which is also returned.
+func (r *Ring) ReplyBatch(ctx context.Context, posts []broker.ReplyPost) ([]error, error) {
 	if len(posts) == 0 {
 		return nil, nil
 	}
@@ -612,7 +650,14 @@ func (r *Ring) ReplyBatch(posts []broker.ReplyPost) ([]error, error) {
 	var wg sync.WaitGroup
 	var mu sync.Mutex
 	var retry []int
+	var ctxErr error
 	for n, idxs := range groups {
+		if ctxErr = ctx.Err(); ctxErr != nil {
+			for _, i := range idxs {
+				errs[i] = ctxErr
+			}
+			continue
+		}
 		wg.Add(1)
 		go func(n *rackNode, idxs []int) {
 			defer wg.Done()
@@ -620,7 +665,7 @@ func (r *Ring) ReplyBatch(posts []broker.ReplyPost) ([]error, error) {
 			for j, i := range idxs {
 				sub[j] = posts[i]
 			}
-			rs, err := n.b.ReplyBatch(sub)
+			rs, err := n.b.ReplyBatch(ctx, sub)
 			r.note(n, err)
 			if err != nil {
 				mu.Lock()
@@ -630,7 +675,7 @@ func (r *Ring) ReplyBatch(posts []broker.ReplyPost) ([]error, error) {
 			}
 			var misses []int
 			for j, i := range idxs {
-				if rs[j] != nil && isUnknownBottle(rs[j]) {
+				if rs[j] != nil && errors.Is(rs[j], broker.ErrUnknownBottle) {
 					misses = append(misses, i)
 					continue
 				}
@@ -645,7 +690,10 @@ func (r *Ring) ReplyBatch(posts []broker.ReplyPost) ([]error, error) {
 	}
 	wg.Wait()
 	for _, i := range retry {
-		errs[i] = r.Reply(posts[i].RequestID, posts[i].Raw)
+		errs[i] = r.Reply(ctx, posts[i].RequestID, posts[i].Raw)
+	}
+	if err := ctx.Err(); err != nil {
+		return errs, err
 	}
 	return errs, nil
 }
@@ -653,8 +701,10 @@ func (r *Ring) ReplyBatch(posts []broker.ReplyPost) ([]error, error) {
 // FetchBatch groups the IDs by their routed rack and sends one FetchBatch
 // per rack concurrently; IDs the routed rack does not recognize (stale table
 // entry) or whose rack faulted fall back to individually routed fetches.
-// Outcomes are per item, in order.
-func (r *Ring) FetchBatch(ids []string) ([]broker.FetchResult, error) {
+// Outcomes are per item, in order. Cancellation stops further rack
+// dispatches and the per-item fallback round; affected items carry the
+// context's error (their queues stay intact), which is also returned.
+func (r *Ring) FetchBatch(ctx context.Context, ids []string) ([]broker.FetchResult, error) {
 	results := make([]broker.FetchResult, len(ids))
 	groups := make(map[*rackNode][]int)
 	for i, id := range ids {
@@ -668,7 +718,14 @@ func (r *Ring) FetchBatch(ids []string) ([]broker.FetchResult, error) {
 	var wg sync.WaitGroup
 	var mu sync.Mutex
 	var retry []int
+	var ctxErr error
 	for n, idxs := range groups {
+		if ctxErr = ctx.Err(); ctxErr != nil {
+			for _, i := range idxs {
+				results[i].Err = ctxErr
+			}
+			continue
+		}
 		wg.Add(1)
 		go func(n *rackNode, idxs []int) {
 			defer wg.Done()
@@ -676,7 +733,7 @@ func (r *Ring) FetchBatch(ids []string) ([]broker.FetchResult, error) {
 			for j, i := range idxs {
 				sub[j] = ids[i]
 			}
-			rs, err := n.b.FetchBatch(sub)
+			rs, err := n.b.FetchBatch(ctx, sub)
 			r.note(n, err)
 			if err != nil {
 				mu.Lock()
@@ -686,7 +743,7 @@ func (r *Ring) FetchBatch(ids []string) ([]broker.FetchResult, error) {
 			}
 			var misses []int
 			for j, i := range idxs {
-				if rs[j].Err != nil && isUnknownBottle(rs[j].Err) {
+				if rs[j].Err != nil && errors.Is(rs[j].Err, broker.ErrUnknownBottle) {
 					misses = append(misses, i)
 					continue
 				}
@@ -701,7 +758,10 @@ func (r *Ring) FetchBatch(ids []string) ([]broker.FetchResult, error) {
 	}
 	wg.Wait()
 	for _, i := range retry {
-		results[i].Replies, results[i].Err = r.Fetch(ids[i])
+		results[i].Replies, results[i].Err = r.Fetch(ctx, ids[i])
+	}
+	if err := ctx.Err(); err != nil {
+		return results, err
 	}
 	return results, nil
 }
@@ -710,8 +770,10 @@ func (r *Ring) FetchBatch(ids []string) ([]broker.FetchResult, error) {
 // per-shard snapshots concatenated in rack order, and primes merged. Racks
 // that fail to answer are skipped (their failure is noted against their
 // health — Stats doubles as a probe); the call only fails when no rack
-// answered. Shards and Workers report cluster-wide sums.
-func (r *Ring) Stats() (broker.Stats, error) {
+// answered or the context ended (cancellation stops further rack dispatches
+// and returns the context error). Shards and Workers report cluster-wide
+// sums.
+func (r *Ring) Stats(ctx context.Context) (broker.Stats, error) {
 	type part struct {
 		st  broker.Stats
 		err error
@@ -719,15 +781,22 @@ func (r *Ring) Stats() (broker.Stats, error) {
 	parts := make([]part, len(r.nodes))
 	var wg sync.WaitGroup
 	for i, n := range r.nodes {
+		if err := ctx.Err(); err != nil {
+			parts[i] = part{err: err}
+			continue
+		}
 		wg.Add(1)
 		go func(i int, n *rackNode) {
 			defer wg.Done()
-			st, err := backendStats(n.b)
+			st, err := n.b.Stats(ctx)
 			r.note(n, err)
 			parts[i] = part{st: st, err: err}
 		}(i, n)
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return broker.Stats{}, err
+	}
 	var out broker.Stats
 	var firstErr error
 	answered := 0
@@ -771,18 +840,6 @@ func addShardStats(dst *broker.ShardStats, src broker.ShardStats) {
 	dst.RepliesDropped += src.RepliesDropped
 }
 
-// backendStats snapshots one backend's stats through whichever Stats
-// signature it offers (*Courier returns an error, *broker.Rack does not).
-func backendStats(b Backend) (broker.Stats, error) {
-	switch s := b.(type) {
-	case interface{ Stats() (broker.Stats, error) }:
-		return s.Stats()
-	case interface{ Stats() broker.Stats }:
-		return s.Stats(), nil
-	}
-	return broker.Stats{}, errors.New("client: backend offers no Stats")
-}
-
 // RackHealth is one rack's health snapshot.
 type RackHealth struct {
 	// Name is the rack's configured name (its address in Addrs mode).
@@ -810,12 +867,15 @@ const ringProbeID = "ring-health-probe"
 // Probe synchronously probes every ejected rack once, re-admitting the ones
 // that answer. The background prober calls this on its interval; tests and
 // deployments that disabled the prober call it directly.
-func (r *Ring) Probe() {
+func (r *Ring) Probe(ctx context.Context) {
 	for _, n := range r.nodes {
+		if ctx.Err() != nil {
+			return
+		}
 		if !n.down.Load() {
 			continue
 		}
-		_, err := n.b.Fetch(ringProbeID)
+		_, err := n.b.Fetch(ctx, ringProbeID)
 		r.note(n, err)
 	}
 }
@@ -828,7 +888,7 @@ func (r *Ring) prober(interval time.Duration) {
 	for {
 		select {
 		case <-t.C:
-			r.Probe()
+			r.Probe(context.Background())
 		case <-r.closed:
 			return
 		}

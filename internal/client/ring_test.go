@@ -1,6 +1,7 @@
 package client
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync/atomic"
@@ -13,9 +14,9 @@ import (
 )
 
 // Compile-time proof the ring is a drop-in rack: it satisfies the same
-// surface it routes over, so rings compose and every Rendezvous consumer
+// surface it routes over, so rings compose and every Backend consumer
 // scales out unchanged.
-var _ Backend = (*Ring)(nil)
+var _ broker.Backend = (*Ring)(nil)
 
 // errRackDown simulates a dead rack endpoint (transport-level fault).
 var errRackDown = errors.New("dial tcp: connection refused (simulated)")
@@ -27,68 +28,70 @@ type unstableBackend struct {
 	dead atomic.Bool
 }
 
-func (u *unstableBackend) Submit(raw []byte) (string, error) {
+func (u *unstableBackend) Submit(ctx context.Context, raw []byte) (string, error) {
 	if u.dead.Load() {
 		return "", errRackDown
 	}
-	return u.rack.Submit(raw)
+	return u.rack.Submit(ctx, raw)
 }
 
-func (u *unstableBackend) Sweep(q broker.SweepQuery) (broker.SweepResult, error) {
+func (u *unstableBackend) Sweep(ctx context.Context, q broker.SweepQuery) (broker.SweepResult, error) {
 	if u.dead.Load() {
 		return broker.SweepResult{}, errRackDown
 	}
-	return u.rack.Sweep(q)
+	return u.rack.Sweep(ctx, q)
 }
 
-func (u *unstableBackend) Reply(id string, raw []byte) error {
+func (u *unstableBackend) Reply(ctx context.Context, id string, raw []byte) error {
 	if u.dead.Load() {
 		return errRackDown
 	}
-	return u.rack.Reply(id, raw)
+	return u.rack.Reply(ctx, id, raw)
 }
 
-func (u *unstableBackend) Fetch(id string) ([][]byte, error) {
+func (u *unstableBackend) Fetch(ctx context.Context, id string) ([][]byte, error) {
 	if u.dead.Load() {
 		return nil, errRackDown
 	}
-	return u.rack.Fetch(id)
+	return u.rack.Fetch(ctx, id)
 }
 
-func (u *unstableBackend) Remove(id string) (bool, error) {
+func (u *unstableBackend) Remove(ctx context.Context, id string) (bool, error) {
 	if u.dead.Load() {
 		return false, errRackDown
 	}
-	return u.rack.Remove(id)
+	return u.rack.Remove(ctx, id)
 }
 
-func (u *unstableBackend) SubmitBatch(raws [][]byte) ([]broker.SubmitResult, error) {
+func (u *unstableBackend) SubmitBatch(ctx context.Context, raws [][]byte) ([]broker.SubmitResult, error) {
 	if u.dead.Load() {
 		return nil, errRackDown
 	}
-	return u.rack.SubmitBatch(raws)
+	return u.rack.SubmitBatch(ctx, raws)
 }
 
-func (u *unstableBackend) ReplyBatch(posts []broker.ReplyPost) ([]error, error) {
+func (u *unstableBackend) ReplyBatch(ctx context.Context, posts []broker.ReplyPost) ([]error, error) {
 	if u.dead.Load() {
 		return nil, errRackDown
 	}
-	return u.rack.ReplyBatch(posts)
+	return u.rack.ReplyBatch(ctx, posts)
 }
 
-func (u *unstableBackend) FetchBatch(ids []string) ([]broker.FetchResult, error) {
+func (u *unstableBackend) FetchBatch(ctx context.Context, ids []string) ([]broker.FetchResult, error) {
 	if u.dead.Load() {
 		return nil, errRackDown
 	}
-	return u.rack.FetchBatch(ids)
+	return u.rack.FetchBatch(ctx, ids)
 }
 
-func (u *unstableBackend) Stats() (broker.Stats, error) {
+func (u *unstableBackend) Stats(ctx context.Context) (broker.Stats, error) {
 	if u.dead.Load() {
 		return broker.Stats{}, errRackDown
 	}
-	return u.rack.Stats(), nil
+	return u.rack.Stats(ctx)
 }
+
+func (u *unstableBackend) Close() error { return nil }
 
 // testCluster stands up n tagged in-process racks and a ring over them (no
 // background prober — tests drive Probe deterministically).
@@ -142,7 +145,7 @@ func TestRingRoutingDeterminism(t *testing.T) {
 	usedRacks := map[string]bool{}
 	for i := 0; i < 30; i++ {
 		raw, pkg := buildRaw(t, int64(1000+i))
-		id, err := ring.Submit(raw)
+		id, err := ring.Submit(context.Background(), raw)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -156,7 +159,7 @@ func TestRingRoutingDeterminism(t *testing.T) {
 		}
 		usedRacks[tag] = true
 		// The rack named by the tag really holds the bottle.
-		if _, err := racks[rackIdx].Fetch(pkg.ID); err != nil {
+		if _, err := racks[rackIdx].Fetch(context.Background(), pkg.ID); err != nil {
 			t.Fatalf("rack %d does not hold %s: %v", rackIdx, pkg.ID, err)
 		}
 		// An independent ring agrees on placement.
@@ -185,7 +188,7 @@ func TestRingBatchEquivalence(t *testing.T) {
 		raws[i] = raw
 		want[pkg.ID] = true
 	}
-	results, err := ring.SubmitBatch(raws)
+	results, err := ring.SubmitBatch(context.Background(), raws)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -194,23 +197,27 @@ func TestRingBatchEquivalence(t *testing.T) {
 			t.Fatalf("batch item %d: %v", i, res.Err)
 		}
 	}
-	if _, err := single.SubmitBatch(raws); err != nil {
+	if _, err := single.SubmitBatch(context.Background(), raws); err != nil {
 		t.Fatal(err)
 	}
 
 	held := 0
 	for _, r := range racks {
-		held += r.Stats().Held
+		st, err := r.Stats(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		held += st.Held
 	}
 	if held != n {
 		t.Fatalf("cluster holds %d bottles, want %d", held, n)
 	}
 
-	swept, err := ring.Sweep(broker.SweepQuery{Residues: chessResidues(t), Limit: n})
+	swept, err := ring.Sweep(context.Background(), broker.SweepQuery{Residues: chessResidues(t), Limit: n})
 	if err != nil {
 		t.Fatal(err)
 	}
-	sweptSingle, err := single.Sweep(broker.SweepQuery{Residues: chessResidues(t), Limit: n})
+	sweptSingle, err := single.Sweep(context.Background(), broker.SweepQuery{Residues: chessResidues(t), Limit: n})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -228,7 +235,7 @@ func TestRingBatchEquivalence(t *testing.T) {
 	}
 
 	// Aggregated stats line up with the per-rack ground truth.
-	st, err := ring.Stats()
+	st, err := ring.Stats(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -242,11 +249,11 @@ func TestRingSweepLimit(t *testing.T) {
 	ring, _, _ := testCluster(t, 3)
 	for i := 0; i < 30; i++ {
 		raw, _ := buildRaw(t, int64(3000+i))
-		if _, err := ring.Submit(raw); err != nil {
+		if _, err := ring.Submit(context.Background(), raw); err != nil {
 			t.Fatal(err)
 		}
 	}
-	res, err := ring.Sweep(broker.SweepQuery{Residues: chessResidues(t), Limit: 10})
+	res, err := ring.Sweep(context.Background(), broker.SweepQuery{Residues: chessResidues(t), Limit: 10})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -271,7 +278,7 @@ func TestRingRepliesRouteAcrossRacks(t *testing.T) {
 	ids := make([]string, 0, 12)
 	for i := 0; i < 12; i++ {
 		raw, pkg := buildRaw(t, int64(4000+i))
-		if _, err := ring.Submit(raw); err != nil {
+		if _, err := ring.Submit(context.Background(), raw); err != nil {
 			t.Fatal(err)
 		}
 		ids = append(ids, pkg.ID) // untagged, as msn tracks them
@@ -282,7 +289,7 @@ func TestRingRepliesRouteAcrossRacks(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	st, err := sweeper.Tick()
+	st, err := sweeper.Tick(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -290,7 +297,7 @@ func TestRingRepliesRouteAcrossRacks(t *testing.T) {
 		t.Fatalf("cluster tick = %+v, want 12 swept and replied", st)
 	}
 	fetched := 0
-	for _, res := range FetchMany(ring, ids) {
+	for _, res := range FetchMany(context.Background(), ring, ids) {
 		if res.Err != nil {
 			t.Fatalf("FetchMany: %v", res.Err)
 		}
@@ -317,11 +324,11 @@ func TestRingTagRoutingSurvivesRestart(t *testing.T) {
 	var all []planted
 	for i, rack := range racks {
 		raw, pkg := buildRaw(t, int64(5000+i))
-		id, err := rack.Submit(raw)
+		id, err := rack.Submit(context.Background(), raw)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if err := rack.Reply(pkg.ID, (&core.Reply{
+		if err := rack.Reply(context.Background(), pkg.ID, (&core.Reply{
 			RequestID: pkg.ID, From: "bob", SentAt: time.Now(), Acks: [][]byte{{7}},
 		}).Marshal()); err != nil {
 			t.Fatal(err)
@@ -330,13 +337,13 @@ func TestRingTagRoutingSurvivesRestart(t *testing.T) {
 	}
 	// The "restarted" ring knows nothing; only the tags in the IDs survive.
 	for _, p := range all {
-		raws, err := ring.Fetch(p.taggedID)
+		raws, err := ring.Fetch(context.Background(), p.taggedID)
 		if err != nil || len(raws) != 1 {
 			t.Fatalf("fresh ring Fetch(%s) = %d replies, %v", p.taggedID, len(raws), err)
 		}
 	}
 	// Unknown IDs still come back ErrUnknownBottle after the full fan-out.
-	if _, err := ring.Fetch("r1@ffffffffffffffffffffffffffffffff"); !isUnknownBottle(err) {
+	if _, err := ring.Fetch(context.Background(), "r1@ffffffffffffffffffffffffffffffff"); !errors.Is(err, broker.ErrUnknownBottle) {
 		t.Fatalf("Fetch of unknown id = %v, want unknown-bottle", err)
 	}
 }
@@ -351,7 +358,7 @@ func TestRingRackFailureMidLoad(t *testing.T) {
 	surviving := make([]string, 0, 64) // pkg IDs on racks 0 and 2
 	submit := func(seed int64) (rackTag string) {
 		raw, pkg := buildRaw(t, seed)
-		id, err := ring.Submit(raw)
+		id, err := ring.Submit(context.Background(), raw)
 		if err != nil {
 			return ""
 		}
@@ -393,7 +400,7 @@ func TestRingRackFailureMidLoad(t *testing.T) {
 	}
 
 	// Sweeps keep serving the healthy racks' bottles.
-	res, err := ring.Sweep(broker.SweepQuery{Residues: chessResidues(t), Limit: 1024})
+	res, err := ring.Sweep(context.Background(), broker.SweepQuery{Residues: chessResidues(t), Limit: 1024})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -402,24 +409,32 @@ func TestRingRackFailureMidLoad(t *testing.T) {
 	}
 	// Every bottle on a healthy rack is still fetchable (none lost).
 	for _, id := range surviving {
-		if _, err := ring.Fetch(id); err != nil {
+		if _, err := ring.Fetch(context.Background(), id); err != nil {
 			t.Fatalf("lost bottle %s on a healthy rack: %v", id, err)
 		}
 	}
 
 	// Revive and probe: the rack is re-admitted and receives load again.
 	backs[1].dead.Store(false)
-	ring.Probe()
+	ring.Probe(context.Background())
 	if h := ring.Health(); h[1].Down {
 		t.Fatalf("rack-1 still down after probe: %+v", h)
 	}
-	before := racks[1].Stats().Totals.Submitted
+	beforeStats, err := racks[1].Stats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := beforeStats.Totals.Submitted
 	for i := 0; i < 40; i++ {
 		if tag := submit(int64(9000 + i)); tag == "" {
 			t.Fatal("submit failed after re-admission")
 		}
 	}
-	if got := racks[1].Stats().Totals.Submitted; got == before {
+	afterStats, err := racks[1].Stats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if afterStats.Totals.Submitted == before {
 		t.Fatal("re-admitted rack received no submits")
 	}
 }
@@ -432,7 +447,7 @@ func TestRingRackFailureMidLoad(t *testing.T) {
 func TestRingRoutedPrefersFaultOverUnknown(t *testing.T) {
 	ring, backs, _ := testCluster(t, 3)
 	raw, pkg := buildRaw(t, 12_000)
-	id, err := ring.Submit(raw)
+	id, err := ring.Submit(context.Background(), raw)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -441,19 +456,19 @@ func TestRingRoutedPrefersFaultOverUnknown(t *testing.T) {
 	backs[holder].dead.Store(true)
 
 	reply := (&core.Reply{RequestID: pkg.ID, From: "bob", SentAt: time.Now(), Acks: [][]byte{{7}}}).Marshal()
-	err = ring.Reply(pkg.ID, reply)
+	err = ring.Reply(context.Background(), pkg.ID, reply)
 	if err == nil {
 		t.Fatal("Reply succeeded with the owning rack dead")
 	}
-	if isUnknownBottle(err) || !rackFault(err) {
+	if errors.Is(err, broker.ErrUnknownBottle) || !rackFault(err) {
 		t.Fatalf("Reply with owning rack dead = %v; want the rack fault, not a definitive unknown-bottle", err)
 	}
 	// Once the rack returns, the same reply goes through.
 	backs[holder].dead.Store(false)
-	if err := ring.Reply(pkg.ID, reply); err != nil {
+	if err := ring.Reply(context.Background(), pkg.ID, reply); err != nil {
 		t.Fatalf("Reply after rack recovery: %v", err)
 	}
-	if raws, err := ring.Fetch(pkg.ID); err != nil || len(raws) != 1 {
+	if raws, err := ring.Fetch(context.Background(), pkg.ID); err != nil || len(raws) != 1 {
 		t.Fatalf("Fetch after recovery = %d replies, %v", len(raws), err)
 	}
 }
@@ -468,12 +483,12 @@ func TestRingAllRacksDown(t *testing.T) {
 	raw, _ := buildRaw(t, 10_000)
 	// Trip the ejection threshold on both racks.
 	for i := 0; i < 2*DefaultFailThreshold+2; i++ {
-		_, err := ring.Submit(raw)
+		_, err := ring.Submit(context.Background(), raw)
 		if err == nil {
 			t.Fatal("submit succeeded against dead racks")
 		}
 		if errors.Is(err, ErrNoHealthyRacks) {
-			if _, err := ring.Sweep(broker.SweepQuery{Residues: chessResidues(t)}); !errors.Is(err, ErrNoHealthyRacks) {
+			if _, err := ring.Sweep(context.Background(), broker.SweepQuery{Residues: chessResidues(t)}); !errors.Is(err, ErrNoHealthyRacks) {
 				t.Fatalf("sweep on dead cluster = %v", err)
 			}
 			return
@@ -509,7 +524,7 @@ func TestRingIDTableBounded(t *testing.T) {
 	var ids []string
 	for i := 0; i < 24; i++ {
 		raw, pkg := buildRaw(t, int64(11_000+i))
-		if _, err := ring.Submit(raw); err != nil {
+		if _, err := ring.Submit(context.Background(), raw); err != nil {
 			t.Fatal(err)
 		}
 		ids = append(ids, pkg.ID)
@@ -519,7 +534,7 @@ func TestRingIDTableBounded(t *testing.T) {
 	}
 	// Evicted IDs still route (hash-order fan-out finds the rack).
 	for _, id := range ids {
-		if held, err := ring.Remove(id); err != nil || !held {
+		if held, err := ring.Remove(context.Background(), id); err != nil || !held {
 			t.Fatalf("Remove(%s) after eviction = %v, %v", id, held, err)
 		}
 	}

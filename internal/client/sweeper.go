@@ -1,9 +1,11 @@
 package client
 
 import (
+	"context"
 	"errors"
 
 	"sealedbottle/internal/broker"
+	"sealedbottle/internal/broker/transport"
 	"sealedbottle/internal/core"
 )
 
@@ -60,13 +62,14 @@ type TickStats struct {
 // Sweeper drives the candidate side of the rendezvous protocol: each Tick
 // sweeps the rack with the participant's residue sets, evaluates every
 // returned bottle with the full Matcher machinery, posts the resulting
-// replies (batched when the rendezvous supports it), and remembers evaluated
-// IDs so the next sweep spends its limit on fresh bottles. It is the single
-// implementation of the loop that loadgen, the msn simulator and the examples
-// previously each hand-rolled. Not safe for concurrent use; run one Sweeper
-// per goroutine (they may share a Courier).
+// replies batched, and remembers evaluated IDs so the next sweep spends its
+// limit on fresh bottles. It is the single implementation of the loop that
+// loadgen, the msn simulator and the examples previously each hand-rolled.
+// It runs against any Backend — an in-process rack, a courier, a whole ring.
+// Not safe for concurrent use; run one Sweeper per goroutine (they may share
+// a Courier).
 type Sweeper struct {
-	rv       Rendezvous
+	rv       broker.Backend
 	cfg      SweeperConfig
 	residues []core.ResidueSet
 	seen     []string
@@ -83,7 +86,7 @@ type Sweeper struct {
 const maxPendingReplies = 1024
 
 // NewSweeper builds a sweeper, computing the participant's residue sets once.
-func NewSweeper(rv Rendezvous, cfg SweeperConfig) (*Sweeper, error) {
+func NewSweeper(rv broker.Backend, cfg SweeperConfig) (*Sweeper, error) {
 	if rv == nil {
 		return nil, errors.New("client: sweeper needs a rendezvous")
 	}
@@ -104,10 +107,13 @@ func NewSweeper(rv Rendezvous, cfg SweeperConfig) (*Sweeper, error) {
 	return &Sweeper{rv: rv, cfg: cfg, residues: residues}, nil
 }
 
-// Tick performs one sweep-evaluate-reply cycle. The returned error is a sweep
-// failure; per-reply failures are reported in the stats.
-func (s *Sweeper) Tick() (TickStats, error) {
-	res, err := s.rv.Sweep(broker.SweepQuery{
+// Tick performs one sweep-evaluate-reply cycle. The returned error is a
+// sweep failure (including the context ending mid-sweep — a canceled tick is
+// safe to repeat, nothing swept was marked seen); per-reply failures are
+// reported in the stats. Cancellation between sweep and post queues the
+// tick's replies for the next Tick instead of dropping them.
+func (s *Sweeper) Tick(ctx context.Context) (TickStats, error) {
+	res, err := s.rv.Sweep(ctx, broker.SweepQuery{
 		Residues:      s.residues,
 		Limit:         s.cfg.Limit,
 		ExcludeOrigin: s.cfg.ExcludeOrigin,
@@ -159,15 +165,16 @@ func (s *Sweeper) Tick() (TickStats, error) {
 	if excess := len(s.seen) - s.cfg.SeenCap; excess > 0 {
 		s.seen = append(s.seen[:0], s.seen[excess:]...)
 	}
-	for i, err := range s.post(posts) {
+	for i, err := range s.post(ctx, posts) {
 		switch {
 		case err == nil:
 			st.Replies++
-		case rackFault(err):
-			// Transport-level failure: the broker never answered, so the
-			// reply may still be deliverable — queue it for the next tick.
-			// A remote answer (bottle expired, validation) is definitive and
-			// the reply is dropped as undeliverable.
+		case rackFault(err), retriablePost(err):
+			// Transport-level failure or a post our own context abandoned:
+			// the broker never answered (or we stopped waiting for it), so
+			// the reply may still be deliverable — queue it for the next
+			// tick. A remote answer (bottle expired, validation) is
+			// definitive and the reply is dropped as undeliverable.
 			st.ReplyErrors++
 			s.pending = append(s.pending, posts[i])
 		default:
@@ -182,21 +189,34 @@ func (s *Sweeper) Tick() (TickStats, error) {
 	return st, nil
 }
 
-// post delivers the tick's replies, batched when the rendezvous supports it,
-// returning one outcome per post in order.
-func (s *Sweeper) post(posts []broker.ReplyPost) []error {
+// retriablePost reports a reply post that never got a broker verdict because
+// the caller's own bound ended it (context cancellation/deadline, per-call
+// timeout). rackFault deliberately excludes these — a canceled call must not
+// eject a healthy rack — but for the pending queue they are exactly as
+// retriable as a transport failure.
+func retriablePost(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) ||
+		errors.Is(err, transport.ErrCallTimeout)
+}
+
+// post delivers the tick's replies in one batched round trip, returning one
+// outcome per post in order; a whole-batch transport failure falls back to
+// per-item posting (unless the context ended — then every post reports the
+// context error and the pending queue keeps the replies for the next tick).
+func (s *Sweeper) post(ctx context.Context, posts []broker.ReplyPost) []error {
 	if len(posts) == 0 {
 		return nil
 	}
-	if b, isBatch := s.rv.(BatchRendezvous); isBatch {
-		if errs, err := b.ReplyBatch(posts); err == nil {
-			return errs
-		}
-		// Fall through to per-item posting on a whole-batch transport failure.
+	if errs, err := s.rv.ReplyBatch(ctx, posts); err == nil {
+		return errs
 	}
 	errs := make([]error, len(posts))
 	for i, p := range posts {
-		errs[i] = s.rv.Reply(p.RequestID, p.Raw)
+		if err := ctx.Err(); err != nil {
+			errs[i] = err
+			continue
+		}
+		errs[i] = s.rv.Reply(ctx, p.RequestID, p.Raw)
 	}
 	return errs
 }

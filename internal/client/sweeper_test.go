@@ -1,6 +1,7 @@
 package client
 
 import (
+	"context"
 	"errors"
 	"testing"
 	"time"
@@ -42,7 +43,7 @@ func TestSweeperTick(t *testing.T) {
 	defer c.Close()
 
 	raw, pkg := buildRaw(t, 1)
-	if _, err := c.Submit(raw); err != nil {
+	if _, err := c.Submit(context.Background(), raw); err != nil {
 		t.Fatal(err)
 	}
 
@@ -56,7 +57,7 @@ func TestSweeperTick(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	st, err := sweeper.Tick()
+	st, err := sweeper.Tick(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,7 +68,7 @@ func TestSweeperTick(t *testing.T) {
 		t.Fatalf("OnResult saw %v, want [%s]", observed, pkg.ID)
 	}
 
-	raws, err := c.Fetch(pkg.ID)
+	raws, err := c.Fetch(context.Background(), pkg.ID)
 	if err != nil || len(raws) != 1 {
 		t.Fatalf("Fetch after sweep = %d replies, %v", len(raws), err)
 	}
@@ -76,7 +77,7 @@ func TestSweeperTick(t *testing.T) {
 	}
 
 	// The seen window keeps the second tick from re-evaluating the bottle.
-	st, err = sweeper.Tick()
+	st, err = sweeper.Tick(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,7 +99,7 @@ func TestSweeperNonMatching(t *testing.T) {
 	defer c.Close()
 
 	raw, _ := buildRaw(t, 2)
-	if _, err := c.Submit(raw); err != nil {
+	if _, err := c.Submit(context.Background(), raw); err != nil {
 		t.Fatal(err)
 	}
 	sweeper, err := NewSweeper(c, SweeperConfig{
@@ -107,7 +108,7 @@ func TestSweeperNonMatching(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	st, err := sweeper.Tick()
+	st, err := sweeper.Tick(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,7 +122,7 @@ func TestSweeperSkip(t *testing.T) {
 	cfg, rack, cleanup := testServer(t)
 	defer cleanup()
 	raw, pkg := buildRaw(t, 3)
-	if _, err := rack.Submit(raw); err != nil {
+	if _, err := rack.Submit(context.Background(), raw); err != nil {
 		t.Fatal(err)
 	}
 	sweeper, err := NewSweeper(rack, SweeperConfig{
@@ -131,7 +132,7 @@ func TestSweeperSkip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	st, err := sweeper.Tick()
+	st, err := sweeper.Tick(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,7 +149,7 @@ func TestSweeperSeenWindowBound(t *testing.T) {
 	_ = cfg
 	for i := 0; i < 12; i++ {
 		raw, _ := buildRaw(t, 100+int64(i))
-		if _, err := rack.Submit(raw); err != nil {
+		if _, err := rack.Submit(context.Background(), raw); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -161,7 +162,7 @@ func TestSweeperSeenWindowBound(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 4; i++ {
-		if _, err := sweeper.Tick(); err != nil {
+		if _, err := sweeper.Tick(context.Background()); err != nil {
 			t.Fatal(err)
 		}
 		if len(sweeper.seen) > 8 {
@@ -170,9 +171,10 @@ func TestSweeperSeenWindowBound(t *testing.T) {
 	}
 }
 
-// flakyRV is a scripted Rendezvous whose Reply fails a configured number of
+// flakyRV is a scripted Backend whose Reply fails a configured number of
 // times at the transport level before succeeding; Sweep honours the query's
-// seen list like the real broker.
+// seen list like the real broker, and ReplyBatch applies the same per-post
+// scripting as Reply.
 type flakyRV struct {
 	bottles     []broker.SweptBottle
 	failReplies int
@@ -181,9 +183,11 @@ type flakyRV struct {
 	replyCalls  int
 }
 
-func (f *flakyRV) Submit(raw []byte) (string, error) { return "", errors.New("unused") }
+func (f *flakyRV) Submit(ctx context.Context, raw []byte) (string, error) {
+	return "", errors.New("unused")
+}
 
-func (f *flakyRV) Sweep(q broker.SweepQuery) (broker.SweepResult, error) {
+func (f *flakyRV) Sweep(ctx context.Context, q broker.SweepQuery) (broker.SweepResult, error) {
 	seen := make(map[string]bool, len(q.Seen))
 	for _, id := range q.Seen {
 		seen[id] = true
@@ -197,7 +201,7 @@ func (f *flakyRV) Sweep(q broker.SweepQuery) (broker.SweepResult, error) {
 	return res, nil
 }
 
-func (f *flakyRV) Reply(id string, raw []byte) error {
+func (f *flakyRV) Reply(ctx context.Context, id string, raw []byte) error {
 	f.replyCalls++
 	if f.failReplies > 0 {
 		f.failReplies--
@@ -213,7 +217,37 @@ func (f *flakyRV) Reply(id string, raw []byte) error {
 	return nil
 }
 
-func (f *flakyRV) Fetch(id string) ([][]byte, error) { return f.posted[id], nil }
+func (f *flakyRV) ReplyBatch(ctx context.Context, posts []broker.ReplyPost) ([]error, error) {
+	errs := make([]error, len(posts))
+	for i, p := range posts {
+		errs[i] = f.Reply(ctx, p.RequestID, p.Raw)
+	}
+	return errs, nil
+}
+
+func (f *flakyRV) Fetch(ctx context.Context, id string) ([][]byte, error) { return f.posted[id], nil }
+
+func (f *flakyRV) FetchBatch(ctx context.Context, ids []string) ([]broker.FetchResult, error) {
+	out := make([]broker.FetchResult, len(ids))
+	for i, id := range ids {
+		out[i].Replies, out[i].Err = f.Fetch(ctx, id)
+	}
+	return out, nil
+}
+
+func (f *flakyRV) SubmitBatch(ctx context.Context, raws [][]byte) ([]broker.SubmitResult, error) {
+	return nil, errors.New("unused")
+}
+
+func (f *flakyRV) Remove(ctx context.Context, id string) (bool, error) {
+	return false, errors.New("unused")
+}
+
+func (f *flakyRV) Stats(ctx context.Context) (broker.Stats, error) {
+	return broker.Stats{}, errors.New("unused")
+}
+
+func (f *flakyRV) Close() error { return nil }
 
 // TestSweeperRetriesFailedReplyPosts is the reply-loss regression test: a
 // transport failure while posting a reply must not lose it. The old sweeper
@@ -234,7 +268,7 @@ func TestSweeperRetriesFailedReplyPosts(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	st, err := sweeper.Tick()
+	st, err := sweeper.Tick(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -245,7 +279,7 @@ func TestSweeperRetriesFailedReplyPosts(t *testing.T) {
 		t.Fatal("reply delivered despite scripted failure")
 	}
 
-	st, err = sweeper.Tick()
+	st, err = sweeper.Tick(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -275,11 +309,11 @@ func TestSweeperDropsDefinitivelyFailedReplies(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if st, err := sweeper.Tick(); err != nil || st.ReplyErrors != 1 {
+	if st, err := sweeper.Tick(context.Background()); err != nil || st.ReplyErrors != 1 {
 		t.Fatalf("tick 1 = %+v, %v", st, err)
 	}
 	calls := rv.replyCalls
-	if st, err := sweeper.Tick(); err != nil || st.ReplyErrors != 0 || st.Replies != 0 {
+	if st, err := sweeper.Tick(context.Background()); err != nil || st.ReplyErrors != 0 || st.Replies != 0 {
 		t.Fatalf("tick 2 = %+v, %v; the undeliverable reply must be dropped", st, err)
 	}
 	if rv.replyCalls != calls {

@@ -1,19 +1,20 @@
 package msn
 
 import (
+	"context"
 	"fmt"
 	"time"
 
+	"sealedbottle/internal/broker"
 	"sealedbottle/internal/client"
 	"sealedbottle/internal/core"
 )
 
-// Rendezvous is the broker surface the friending layer needs: submit a
-// request bottle, sweep for candidate bottles, post a reply, fetch replies.
-// It is the courier SDK's interface — *broker.Rack (in-process) and
-// *client.Courier (pipelined transport) both satisfy it, so a simulator
-// scenario can run against the real subsystem either way.
-type Rendezvous = client.Rendezvous
+// Rendezvous is the broker surface the friending layer needs — the module's
+// canonical context-first Backend. *broker.Rack (in-process), *client.Courier
+// (pipelined transport) and *client.Ring (a whole cluster) all satisfy it, so
+// a simulator scenario can run against the real subsystem any of those ways.
+type Rendezvous = broker.Backend
 
 // pendingRequest tracks one of this node's outstanding requests for
 // broker-mode reply fetching.
@@ -61,9 +62,11 @@ func (a *FriendingApp) initRendezvous() error {
 }
 
 // startRendezvousSearch submits the request bottle to the broker instead of
-// flooding it through the ad-hoc network.
+// flooding it through the ad-hoc network. StartSearch is a synchronous
+// simulator-driven call with no caller context, so the submission runs under
+// context.Background(); the cancelable path is RendezvousTick.
 func (a *FriendingApp) startRendezvousSearch(payload []byte) error {
-	if _, err := a.rendezvous.Submit(payload); err != nil {
+	if _, err := a.rendezvous.Submit(context.Background(), payload); err != nil {
 		return fmt.Errorf("msn: submitting request to rendezvous: %w", err)
 	}
 	return nil
@@ -72,15 +75,17 @@ func (a *FriendingApp) startRendezvousSearch(payload []byte) error {
 // RendezvousTick performs one sweep-and-fetch cycle against the broker: the
 // courier SDK's sweeper screens, evaluates and replies with this node's
 // participant machinery, then replies for this node's own outstanding
-// requests are drained (batched when the broker supports it). Scenarios
-// typically register it with Simulator.Every so cycles happen on the
-// simulated clock.
-func (a *FriendingApp) RendezvousTick(now time.Time) error {
+// requests are drained in one batched round trip. Scenarios typically
+// register it with Simulator.Every or AttachRendezvous so cycles happen on
+// the simulated clock. Canceling ctx stops the cycle mid-sweep (the sweeper
+// queues undelivered replies for the next tick) — the hook that lets a node
+// loop shut down without waiting out a slow broker.
+func (a *FriendingApp) RendezvousTick(ctx context.Context, now time.Time) error {
 	if a.sweeper == nil {
 		return fmt.Errorf("msn: node %q has no rendezvous configured", a.id)
 	}
 	a.tickNow = now
-	if _, err := a.sweeper.Tick(); err != nil {
+	if _, err := a.sweeper.Tick(ctx); err != nil {
 		return fmt.Errorf("msn: sweeping rendezvous: %w", err)
 	}
 	// Drain replies for this node's outstanding requests, dropping requests
@@ -99,7 +104,7 @@ func (a *FriendingApp) RendezvousTick(now time.Time) error {
 	for i, pr := range a.pending {
 		ids[i] = pr.id
 	}
-	for i, res := range client.FetchMany(a.rendezvous, ids) {
+	for i, res := range client.FetchMany(ctx, a.rendezvous, ids) {
 		if res.Err != nil {
 			continue
 		}
@@ -118,20 +123,21 @@ func (a *FriendingApp) RendezvousTick(now time.Time) error {
 			}
 		}
 	}
-	return nil
+	return ctx.Err()
 }
 
 // AttachRendezvous registers one periodic hook that ticks every app against
 // the broker in deterministic (registration) order; scenarios call it once
-// after building their nodes.
-func AttachRendezvous(sim *Simulator, interval time.Duration, apps ...*FriendingApp) error {
+// after building their nodes. The context bounds every tick the hook runs —
+// cancel it to stop broker traffic while the simulator keeps going.
+func AttachRendezvous(ctx context.Context, sim *Simulator, interval time.Duration, apps ...*FriendingApp) error {
 	if sim == nil {
 		return fmt.Errorf("msn: nil simulator")
 	}
 	return sim.Every(interval, func(now time.Time) {
 		for _, app := range apps {
 			if app != nil && app.sweeper != nil {
-				_ = app.RendezvousTick(now)
+				_ = app.RendezvousTick(ctx, now)
 			}
 		}
 	})

@@ -1,6 +1,7 @@
 package msn
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"testing"
@@ -90,7 +91,7 @@ func runClusterScenario(t *testing.T, seed int64) clusterOutcome {
 		}
 		apps[id] = app
 	}
-	if err := AttachRendezvous(sim, 100*time.Millisecond, apps["alice"], apps["bob"], apps["carol"]); err != nil {
+	if err := AttachRendezvous(context.Background(), sim, 100*time.Millisecond, apps["alice"], apps["bob"], apps["carol"]); err != nil {
 		t.Fatal(err)
 	}
 
@@ -119,13 +120,13 @@ func runClusterScenario(t *testing.T, seed int64) clusterOutcome {
 	}
 	sort.Strings(out.matches)
 	sort.Strings(out.peerMatches)
-	st, err := ring.Stats()
+	st, err := ring.Stats(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
 	out.totals = st.Totals
 	for _, rack := range racks {
-		out.heldByRack = append(out.heldByRack, rack.Stats().Held)
+		out.heldByRack = append(out.heldByRack, rackStats(rack).Held)
 	}
 	return out
 }
@@ -232,7 +233,7 @@ func TestClusterRendezvousSurvivesRackLoss(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := AttachRendezvous(sim, 100*time.Millisecond, alice, bob); err != nil {
+	if err := AttachRendezvous(context.Background(), sim, 100*time.Millisecond, alice, bob); err != nil {
 		t.Fatal(err)
 	}
 	reqID, err := alice.StartSearch(core.RequestSpec{
@@ -252,7 +253,7 @@ func TestClusterRendezvousSurvivesRackLoss(t *testing.T) {
 	// ErrRackClosed and are ejected after the first fault).
 	closed := 0
 	for _, rack := range racks {
-		if rack.Stats().Held == 0 {
+		if rackStats(rack).Held == 0 {
 			rack.Close()
 			closed++
 		}

@@ -1,6 +1,7 @@
 package msn
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"testing"
@@ -71,7 +72,7 @@ func runRendezvousScenario(t *testing.T, seed int64) rendezvousOutcome {
 		}
 		apps[id] = app
 	}
-	if err := AttachRendezvous(sim, 100*time.Millisecond, apps["alice"], apps["bob"], apps["carol"]); err != nil {
+	if err := AttachRendezvous(context.Background(), sim, 100*time.Millisecond, apps["alice"], apps["bob"], apps["carol"]); err != nil {
 		t.Fatal(err)
 	}
 
@@ -100,7 +101,7 @@ func runRendezvousScenario(t *testing.T, seed int64) rendezvousOutcome {
 	}
 	sort.Strings(out.matches)
 	sort.Strings(out.peerMatches)
-	out.stats = rack.Stats()
+	out.stats = rackStats(rack)
 	return out
 }
 
@@ -165,14 +166,14 @@ func TestRendezvousExpiryDropsBottle(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	if st := rack.Stats(); st.Held != 1 {
+	if st := rackStats(rack); st.Held != 1 {
 		t.Fatalf("held = %d, want 1", st.Held)
 	}
 	sim.RunFor(2 * time.Second)
 	if n := rack.Reap(); n != 1 {
 		t.Fatalf("Reap = %d, want 1", n)
 	}
-	if st := rack.Stats(); st.Held != 0 {
+	if st := rackStats(rack); st.Held != 0 {
 		t.Fatalf("held after expiry = %d, want 0", st.Held)
 	}
 }
@@ -232,4 +233,13 @@ func TestEveryValidation(t *testing.T) {
 	if ticks != 5 {
 		t.Fatalf("ticks = %d, want 5", ticks)
 	}
+}
+
+// rackStats snapshots an in-process rack's counters for assertions.
+func rackStats(r *broker.Rack) broker.Stats {
+	st, err := r.Stats(context.Background())
+	if err != nil {
+		panic(err)
+	}
+	return st
 }

@@ -1,0 +1,250 @@
+// Public API of the sealed-bottle rendezvous system.
+//
+// This file re-exports the module's client-facing surface — the canonical
+// context-first Backend interface, the three implementations (in-process
+// Rack, wire Courier, cluster Ring), the candidate-side Sweeper, the framed
+// TCP server, and the error sentinels — so external programs can embed a
+// rack or dial a cluster without reaching into internal packages. The
+// implementations live under internal/ and are aliased here; the golden-file
+// test in api_golden_test.go guards this surface against accidental breaking
+// changes.
+//
+// A minimal embedding (serve a rack, rack a bottle, sweep it back):
+//
+//	rack := sealedbottle.NewRack(sealedbottle.RackConfig{Shards: 8})
+//	defer rack.Close()
+//	l, _ := net.Listen("tcp", "127.0.0.1:7117")
+//	srv := sealedbottle.NewServer(rack)
+//	go srv.Serve(l)
+//	defer srv.Close()
+//
+//	courier, _ := sealedbottle.Dial(sealedbottle.CourierConfig{Addr: l.Addr().String()})
+//	defer courier.Close()
+//
+//	ctx := context.Background()
+//	id, _ := courier.Submit(ctx, rawRequestPackage)
+//	res, _ := courier.Sweep(ctx, sealedbottle.SweepQuery{Residues: residues})
+//	for _, b := range res.Bottles {
+//		_ = courier.Reply(ctx, b.ID, buildReply(b.Raw))
+//	}
+//	replies, _ := courier.Fetch(ctx, id)
+//	_ = replies
+//
+// Every call takes a context; canceling it abandons the in-flight call
+// promptly while the pipelined connection keeps serving other callers, and
+// errors cross TCP with one-byte codes so errors.Is(err, ErrUnknownBottle)
+// holds exactly as it does in-process. See docs/PROTOCOL.md for the wire
+// contract and docs/ARCHITECTURE.md for the layer map.
+package sealedbottle
+
+import (
+	"context"
+
+	"sealedbottle/internal/broker"
+	"sealedbottle/internal/broker/transport"
+	"sealedbottle/internal/client"
+)
+
+// Backend is the canonical rendezvous surface: one context-first interface
+// (Submit/SubmitBatch/Sweep/Reply/ReplyBatch/Fetch/FetchBatch/Remove/Stats/
+// Close) implemented by *Rack, *Courier and *Ring alike, so racks, couriers
+// and rings compose interchangeably.
+type Backend = broker.Backend
+
+// The three layers all satisfy the one public surface.
+var (
+	_ Backend = (*Rack)(nil)
+	_ Backend = (*Courier)(nil)
+	_ Backend = (*Ring)(nil)
+)
+
+// Operand types of the Backend surface.
+type (
+	// SweepQuery describes one candidate's sweep: residue presence sets, a
+	// result cap, and optional exclusions.
+	SweepQuery = broker.SweepQuery
+	// SweepResult is the outcome of one sweep query.
+	SweepResult = broker.SweepResult
+	// SweptBottle is one rack entry returned by a sweep.
+	SweptBottle = broker.SweptBottle
+	// SubmitResult is the outcome of one package within a SubmitBatch.
+	SubmitResult = broker.SubmitResult
+	// ReplyPost is one reply within a ReplyBatch.
+	ReplyPost = broker.ReplyPost
+	// FetchResult is the outcome of one request ID within a FetchBatch.
+	FetchResult = broker.FetchResult
+	// Stats is a point-in-time snapshot of a backend's counters.
+	Stats = broker.Stats
+	// ShardStats is one shard's counter snapshot.
+	ShardStats = broker.ShardStats
+)
+
+// Rack is the in-process bottle rack: the store-and-forward rendezvous
+// broker itself.
+type Rack = broker.Rack
+
+// RackConfig tunes a Rack (shards, workers, expiry, tagging, durability).
+type RackConfig = broker.Config
+
+// DurabilityConfig backs a rack with a write-ahead log and snapshots.
+type DurabilityConfig = broker.DurabilityConfig
+
+// NewRack builds an in-memory rack and starts its worker pool and reaper. It
+// panics if the config's durability setup fails; durable racks should use
+// OpenRack.
+func NewRack(cfg RackConfig) *Rack { return broker.New(cfg) }
+
+// OpenRack builds a rack, recovering prior state from the durability
+// directory when the config asks for it.
+func OpenRack(cfg RackConfig) (*Rack, error) { return broker.Open(cfg) }
+
+// Courier is the wire client for one rack: a pool of lazily-dialed
+// multiplexed connections with transparent redial and a strict retry
+// discipline (see docs/PROTOCOL.md §2.1.2).
+type Courier = client.Courier
+
+// CourierConfig tunes a Courier (endpoint, pool size, timeouts, framing).
+type CourierConfig = client.Config
+
+// Dial builds a courier. Connections are dialed lazily, so Dial succeeds
+// even while the broker is down; the first operation reports the dial error.
+func Dial(cfg CourierConfig) (*Courier, error) { return client.Dial(cfg) }
+
+// Ring routes the rendezvous protocol across N racks behind the same Backend
+// surface a single rack offers: submits by rendezvous hashing, sweeps fanned
+// out to every healthy rack, replies and fetches steered by a learned
+// ID→rack table, with per-rack failure ejection and probed re-admission.
+type Ring = client.Ring
+
+// RingConfig tunes a Ring. Exactly one of Addrs and Backends must be set.
+type RingConfig = client.RingConfig
+
+// RingBackend names one pre-built rack backend for RingConfig.Backends.
+type RingBackend = client.RingBackend
+
+// RackHealth is one rack's health snapshot, as reported by Ring.Health.
+type RackHealth = client.RackHealth
+
+// NewRing builds a ring over the configured racks.
+func NewRing(cfg RingConfig) (*Ring, error) { return client.NewRing(cfg) }
+
+// Sweeper drives the candidate side of the protocol against any Backend:
+// sweep, evaluate locally with the full matcher, post replies batched,
+// remember evaluated IDs.
+type Sweeper = client.Sweeper
+
+// SweeperConfig configures a Sweeper.
+type SweeperConfig = client.SweeperConfig
+
+// TickStats summarizes one sweep-evaluate-reply cycle.
+type TickStats = client.TickStats
+
+// NewSweeper builds a sweeper over any Backend, computing the participant's
+// residue sets once.
+func NewSweeper(b Backend, cfg SweeperConfig) (*Sweeper, error) {
+	return client.NewSweeper(b, cfg)
+}
+
+// FetchMany drains replies for several request IDs through any Backend in
+// one batched round trip, one outcome per ID; a whole-call failure is
+// surfaced on every undetermined item (fetching drains destructively, so a
+// failed batch is never papered over with per-item re-fetches).
+func FetchMany(ctx context.Context, b Backend, ids []string) []FetchResult {
+	return client.FetchMany(ctx, b, ids)
+}
+
+// Server serves a rack's operations over accepted connections, speaking both
+// wire framings (lock-step and multiplexed), auto-detected per connection.
+type Server = transport.Server
+
+// ServerOptions tunes a Server (idle and write deadlines, inflight bound).
+type ServerOptions = transport.ServerOptions
+
+// NewServer wraps a rack in a framed-protocol server; pair it with any
+// net.Listener (or ListenPipe for in-process deployments).
+func NewServer(rack *Rack, opts ...ServerOptions) *Server {
+	return transport.NewServer(rack, opts...)
+}
+
+// PipeListener is an in-memory listener for in-process deployments: the full
+// framed protocol with no sockets.
+type PipeListener = transport.PipeListener
+
+// ListenPipe creates an in-memory listener whose Dial returns connections
+// served by whatever Server is accepting on it.
+func ListenPipe() *PipeListener { return transport.ListenPipe() }
+
+// Defaults of the respective configs, re-exported for flag definitions and
+// documentation.
+const (
+	// DefaultShards is the rack shard count when RackConfig.Shards is zero.
+	DefaultShards = broker.DefaultShards
+	// DefaultSweepLimit caps a sweep's returned bottles when the query sets
+	// no limit.
+	DefaultSweepLimit = broker.DefaultSweepLimit
+	// DefaultReapInterval is the rack's background expiry period.
+	DefaultReapInterval = broker.DefaultReapInterval
+	// DefaultCallTimeout bounds one courier round trip unless configured.
+	DefaultCallTimeout = client.DefaultCallTimeout
+	// DefaultMaxInflight bounds concurrently executing requests per
+	// multiplexed server connection.
+	DefaultMaxInflight = transport.DefaultMaxInflight
+	// DefaultFailThreshold is the consecutive rack-fault count that ejects a
+	// rack from a ring's routing.
+	DefaultFailThreshold = client.DefaultFailThreshold
+)
+
+// SplitTaggedID splits a rack-tagged request ID ("tag@id") into its tag and
+// bare ID; IDs without a tag return tag "".
+func SplitTaggedID(id string) (tag, rest string) { return broker.SplitTaggedID(id) }
+
+// UntagID strips a rack tag, if any, from a request ID.
+func UntagID(id string) string { return broker.UntagID(id) }
+
+// Error sentinels of the rendezvous contract. They hold under errors.Is both
+// in-process and across TCP (the wire carries a one-byte code per error that
+// decodes back into these values).
+var (
+	// ErrUnknownBottle indicates a reply, fetch or remove for an ID not on
+	// the rack.
+	ErrUnknownBottle = broker.ErrUnknownBottle
+	// ErrDuplicateBottle indicates a submission reusing a held request ID.
+	ErrDuplicateBottle = broker.ErrDuplicateBottle
+	// ErrBadQuery indicates a sweep query with no valid residue sets.
+	ErrBadQuery = broker.ErrBadQuery
+	// ErrFetchBudget marks FetchBatch items left undrained by the batch byte
+	// budget; their replies are still queued.
+	ErrFetchBudget = broker.ErrFetchBudget
+	// ErrRackClosed indicates an operation on a closed rack.
+	ErrRackClosed = broker.ErrRackClosed
+	// ErrNoHealthyRacks indicates that every rack of a ring is ejected.
+	ErrNoHealthyRacks = client.ErrNoHealthyRacks
+	// ErrCallTimeout indicates a wire call that exceeded its per-call
+	// timeout (inside an AbandonedError, connection unaffected) or a
+	// connection that made no progress at all (connection failed).
+	ErrCallTimeout = transport.ErrCallTimeout
+)
+
+// ErrCode is the one-byte error classification carried by the wire
+// protocol's error responses; see docs/PROTOCOL.md §1.3.1 for the table.
+type ErrCode = broker.ErrCode
+
+// Wire error codes.
+const (
+	CodeNone            = broker.CodeNone
+	CodeUnknownBottle   = broker.CodeUnknownBottle
+	CodeDuplicateBottle = broker.CodeDuplicateBottle
+	CodeBadQuery        = broker.CodeBadQuery
+	CodeFetchBudget     = broker.CodeFetchBudget
+	CodeExpired         = broker.CodeExpired
+	CodeMalformed       = broker.CodeMalformed
+	CodeInternal        = broker.CodeInternal
+)
+
+// RemoteError is an error the server computed and answered for one
+// operation; it unwraps to the sentinel named by its wire code.
+type RemoteError = transport.RemoteError
+
+// AbandonedError marks a call the client gave up on (context ended or
+// per-call timeout) while the connection underneath kept serving.
+type AbandonedError = transport.AbandonedError
