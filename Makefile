@@ -1,0 +1,35 @@
+GO ?= go
+
+.PHONY: all build test race fuzz-smoke bench bench-json tables
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -shuffle=on ./...
+
+fuzz-smoke:
+	$(GO) test -run NONE -fuzz FuzzRequestPackageUnmarshal -fuzztime 20s ./internal/core
+	$(GO) test -run NONE -fuzz FuzzReplyUnmarshal -fuzztime 10s ./internal/core
+	$(GO) test -run NONE -fuzz FuzzMuxFrame -fuzztime 10s ./internal/broker/transport
+	$(GO) test -run NONE -fuzz FuzzWALReplay -fuzztime 10s ./internal/broker/wal
+	$(GO) test -run NONE -fuzz FuzzHandoffUnmarshal -fuzztime 10s ./internal/broker
+
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem .
+
+# Perf trajectory: run the root benchmark suite and record it as
+# BENCH_6.json (name, ns/op, B/op, allocs/op per benchmark). CI runs the
+# same pipeline at -benchtime 25x as a smoke test; regenerate at full
+# benchtime before checking in a new trajectory point.
+bench-json:
+	$(GO) test -run '^$$' -bench . -benchmem . | $(GO) run ./cmd/benchtables -bench-json BENCH_6.json
+	@echo wrote BENCH_6.json
+
+tables:
+	$(GO) run ./cmd/benchtables

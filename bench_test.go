@@ -722,3 +722,44 @@ func BenchmarkSealedBottleEndToEnd(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkRingSubmitReplicated measures what R-way replication costs a
+// submit over in-process racks: R=1 is the single-placement baseline, R=2
+// pays one extra rack write plus the fan-out bookkeeping. BENCH_6.json
+// records the pair as the replication overhead trajectory.
+func BenchmarkRingSubmitReplicated(b *testing.B) {
+	for _, rf := range []int{1, 2} {
+		b.Run(fmt.Sprintf("R=%d", rf), func(b *testing.B) {
+			cfg := client.RingConfig{ProbeInterval: -1, Replication: rf}
+			var racks []*broker.Rack
+			for i := 0; i < 3; i++ {
+				rack := broker.New(broker.Config{Shards: 8, ReapInterval: -1, RackTag: fmt.Sprintf("r%d", i)})
+				racks = append(racks, rack)
+				cfg.Backends = append(cfg.Backends, client.RingBackend{Name: fmt.Sprintf("rack-%d", i), Backend: rack})
+			}
+			defer func() {
+				for _, r := range racks {
+					r.Close()
+				}
+			}()
+			ring, err := client.NewRing(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer ring.Close()
+			raws := benchRawBottles(b, b.N)
+			var next atomic.Int64
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					i := next.Add(1) - 1
+					if _, err := ring.Submit(context.Background(), raws[i]); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+		})
+	}
+}

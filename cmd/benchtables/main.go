@@ -8,12 +8,25 @@
 //	benchtables -users 20000     # larger synthetic corpus
 //
 // Output is plain text, one rendered table/series per artefact.
+//
+// With -bench-json FILE it instead reads `go test -bench -benchmem` output on
+// stdin and writes the benchmark results as JSON (name, ns/op, B/op,
+// allocs/op) — the repository's perf-trajectory format:
+//
+//	go test -run '^$' -bench . -benchmem . | benchtables -bench-json BENCH_6.json
+//
+// (or just `make bench-json`).
 package main
 
 import (
+	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strconv"
+	"strings"
 
 	"sealedbottle/internal/experiments"
 )
@@ -28,15 +41,19 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("benchtables", flag.ContinueOnError)
 	var (
-		table    = fs.Int("table", 0, "regenerate only this table (1-7); 0 = all")
-		figure   = fs.Int("figure", 0, "regenerate only this figure (4-7); 0 = all")
-		ablation = fs.String("ablation", "", "run ablations: remainder, verifiability, location, or all")
-		users    = fs.Int("users", 0, "synthetic corpus size (default 5000)")
-		seed     = fs.Int64("seed", 1, "random seed for the synthetic corpus")
-		inits    = fs.Int("initiators", 0, "initiators averaged in Figures 6-7 (default 10)")
+		table     = fs.Int("table", 0, "regenerate only this table (1-7); 0 = all")
+		figure    = fs.Int("figure", 0, "regenerate only this figure (4-7); 0 = all")
+		ablation  = fs.String("ablation", "", "run ablations: remainder, verifiability, location, or all")
+		users     = fs.Int("users", 0, "synthetic corpus size (default 5000)")
+		seed      = fs.Int64("seed", 1, "random seed for the synthetic corpus")
+		inits     = fs.Int("initiators", 0, "initiators averaged in Figures 6-7 (default 10)")
+		benchJSON = fs.String("bench-json", "", "parse `go test -bench` output from stdin and write it as JSON to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *benchJSON != "" {
+		return writeBenchJSON(os.Stdin, *benchJSON)
 	}
 	cfg := experiments.Config{CorpusUsers: *users, Seed: *seed, Initiators: *inits}
 
@@ -102,4 +119,69 @@ func run(args []string) error {
 		}
 	}
 	return nil
+}
+
+// benchResult is one benchmark measurement of the perf trajectory.
+type benchResult struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+// writeBenchJSON converts `go test -bench -benchmem` text output into the
+// repository's BENCH_*.json trajectory format. Lines that are not benchmark
+// results (headers, PASS, ok) are skipped; a run with no benchmark lines is
+// an error so a silently empty trajectory cannot slip into CI.
+func writeBenchJSON(in io.Reader, path string) error {
+	var results []benchResult
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) < 4 || f[3] != "ns/op" {
+			continue
+		}
+		ns, err := strconv.ParseFloat(f[2], 64)
+		if err != nil {
+			continue
+		}
+		// Strip the trailing GOMAXPROCS suffix ("-8") so trajectories compare
+		// across machines.
+		name := f[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		r := benchResult{Name: name, NsPerOp: ns}
+		for i := 4; i+1 < len(f); i += 2 {
+			v, err := strconv.ParseInt(f[i], 10, 64)
+			if err != nil {
+				continue
+			}
+			switch f[i+1] {
+			case "B/op":
+				r.BytesPerOp = v
+			case "allocs/op":
+				r.AllocsPerOp = v
+			}
+		}
+		results = append(results, r)
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if len(results) == 0 {
+		return fmt.Errorf("no benchmark result lines on stdin (pipe `go test -bench . -benchmem` output in)")
+	}
+	buf, err := json.MarshalIndent(map[string]any{"benchmarks": results}, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
 }

@@ -17,12 +17,22 @@
 // snapshot) and logs operational stats — including recovery and WAL size
 // counters — periodically.
 //
+// With -replicate the rack joins a replicated deployment: it accepts the
+// replication opcodes (hint queueing, rack-to-rack handoff, runtime peer
+// administration) and streams queued hints to returning peers in the
+// background. -self names this rack in hint destinations, -peers seeds the
+// name→address table (amendable at runtime through the admin opcode), and
+// -hint-interval/-hint-max tune the handoff streamer. Rings submitting at
+// R>1 need every rack started with -replicate; see docs/PROTOCOL.md §2.10.
+//
 // Usage:
 //
 //	bottlerack [-addr :7117] [-tag r1] [-shards 32] [-workers 0] [-reap 5s] [-stats 10s]
 //	           [-read-idle 10m] [-write-timeout 1m] [-inflight 64]
 //	           [-data-dir DIR] [-fsync interval] [-fsync-interval 100ms]
 //	           [-snapshot-every 5m] [-wal-segment 67108864]
+//	           [-replicate] [-self NAME] [-peers name=addr,...]
+//	           [-hint-interval 2s] [-hint-max 8192]
 package main
 
 import (
@@ -33,6 +43,7 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -55,7 +66,25 @@ func main() {
 	fsyncInterval := flag.Duration("fsync-interval", wal.DefaultInterval, "fsync period for -fsync interval")
 	snapshotEvery := flag.Duration("snapshot-every", 5*time.Minute, "periodic snapshot+compaction interval (0: only on shutdown)")
 	walSegment := flag.Int64("wal-segment", wal.DefaultSegmentBytes, "WAL segment roll threshold in bytes")
+	replicate := flag.Bool("replicate", false, "serve the replication opcodes (hinted handoff, peer admin) for R>1 rings")
+	self := flag.String("self", "", "this rack's name in hint destinations (empty: only address-form destinations resolve to self)")
+	peersFlag := flag.String("peers", "", "comma-separated name=addr seed peer table for handoff streaming (amendable at runtime)")
+	hintInterval := flag.Duration("hint-interval", sealedbottle.DefaultStreamInterval, "handoff streaming period for queued hints")
+	hintMax := flag.Int("hint-max", sealedbottle.DefaultMaxHintsPerDest, "per-destination hint queue bound")
 	flag.Parse()
+
+	if !*replicate {
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "self", "peers", "hint-interval", "hint-max":
+				log.Fatalf("bottlerack: -%s requires -replicate (without it the rack rejects replication opcodes)", f.Name)
+			}
+		})
+	}
+	peers, err := parsePeers(*peersFlag)
+	if err != nil {
+		log.Fatalf("bottlerack: %v", err)
+	}
 
 	cfg := sealedbottle.RackConfig{Shards: *shards, Workers: *workers, ReapInterval: *reap, RackTag: *tag}
 	if *dataDir == "" {
@@ -85,8 +114,21 @@ func main() {
 	if err != nil {
 		log.Fatalf("bottlerack: open rack: %v", err)
 	}
+	// With replication on, the node owns the rack: closing it stops the
+	// handoff streamer first, then the rack.
+	var node *sealedbottle.ReplicaNode
+	closeRack := rack.Close
+	if *replicate {
+		node = sealedbottle.WrapReplica(rack, sealedbottle.ReplicaConfig{
+			Self:            *self,
+			Peers:           peers,
+			MaxHintsPerDest: *hintMax,
+			StreamInterval:  *hintInterval,
+		})
+		closeRack = node.Close
+	}
 	defer func() {
-		if err := rack.Close(); err != nil {
+		if err := closeRack(); err != nil {
 			log.Printf("bottlerack: close rack: %v", err)
 		}
 	}()
@@ -109,11 +151,17 @@ func main() {
 	log.Printf("bottlerack: listening on %s (%d shards, %d workers, read-idle %v, write-timeout %v%s)",
 		l.Addr(), startStats.Shards, startStats.Workers, *readIdle, *writeTimeout, tagNote)
 
-	srv := sealedbottle.NewServer(rack, sealedbottle.ServerOptions{
+	srvOpts := sealedbottle.ServerOptions{
 		ReadIdleTimeout: *readIdle,
 		WriteTimeout:    *writeTimeout,
 		MaxInflight:     *inflight,
-	})
+	}
+	if node != nil {
+		srvOpts.Replica = node
+		log.Printf("bottlerack: replication on (self %q, %d seed peers, hint interval %v, hint bound %d)",
+			*self, len(peers), *hintInterval, *hintMax)
+	}
+	srv := sealedbottle.NewServer(rack, srvOpts)
 	done := make(chan error, 1)
 	go func() { done <- srv.Serve(l) }()
 
@@ -131,7 +179,7 @@ func main() {
 		select {
 		case <-tick:
 			st, _ := rack.Stats(ctx)
-			log.Print(statsLine(st))
+			log.Print(statsLine(st) + replicaSuffix(node))
 		case s := <-sig:
 			log.Printf("bottlerack: %v, shutting down", s)
 			l.Close()
@@ -147,7 +195,7 @@ func main() {
 				}
 			}
 			st, _ := rack.Stats(ctx)
-			log.Print(statsLine(st))
+			log.Print(statsLine(st) + replicaSuffix(node))
 			return
 		case err := <-done:
 			if err != nil {
@@ -156,6 +204,33 @@ func main() {
 			return
 		}
 	}
+}
+
+// parsePeers parses a "name=addr,name=addr" seed peer table.
+func parsePeers(s string) (map[string]string, error) {
+	if s == "" {
+		return nil, nil
+	}
+	peers := make(map[string]string)
+	for _, pair := range strings.Split(s, ",") {
+		name, addr, ok := strings.Cut(pair, "=")
+		if !ok || name == "" || addr == "" {
+			return nil, fmt.Errorf("-peers entry %q is not name=addr", pair)
+		}
+		peers[name] = addr
+	}
+	return peers, nil
+}
+
+// replicaSuffix renders the replica node's hint counters for the stats line;
+// empty without replication.
+func replicaSuffix(node *sealedbottle.ReplicaNode) string {
+	if node == nil {
+		return ""
+	}
+	rs := node.ReplicaStats()
+	return fmt.Sprintf(" hints q/s/drop=%d/%d/%d handoff=%d pending=%d",
+		rs.HintsQueued, rs.HintsStreamed, rs.HintsDropped, rs.HandoffApplied, node.Pending())
 }
 
 // statsLine renders a one-line operational summary of a stats snapshot.

@@ -45,22 +45,24 @@ import (
 )
 
 type options struct {
-	addr         string
-	addrs        string
-	racks        int
-	bottles      int
-	submitters   int
-	sweepers     int
-	sweepLimit   int
-	shards       int
-	conns        int
-	batch        int
-	legacy       bool
-	universe     int
-	validity     time.Duration
-	timeout      time.Duration
-	seed         int64
-	verifyCounts bool
+	addr          string
+	addrs         string
+	racks         int
+	bottles       int
+	submitters    int
+	sweepers      int
+	sweepLimit    int
+	shards        int
+	conns         int
+	batch         int
+	legacy        bool
+	universe      int
+	validity      time.Duration
+	timeout       time.Duration
+	seed          int64
+	verifyCounts  bool
+	verifyReplies bool
+	replication   int
 }
 
 func main() {
@@ -80,7 +82,9 @@ func main() {
 	flag.DurationVar(&opts.validity, "validity", 5*time.Minute, "request validity window")
 	flag.DurationVar(&opts.timeout, "timeout", 30*time.Second, "per-call timeout")
 	flag.Int64Var(&opts.seed, "seed", 1, "workload seed")
-	flag.BoolVar(&opts.verifyCounts, "verify-counts", false, "fail unless the brokers' submitted counter equals the bottles submitted (fresh racks only)")
+	flag.BoolVar(&opts.verifyCounts, "verify-counts", false, "fail unless the brokers' submitted counter equals the bottles submitted (fresh racks only; scaled by -replication)")
+	flag.BoolVar(&opts.verifyReplies, "verify-replies", false, "fail unless every acknowledged reply post is drained back at exit — the chaos smoke's zero-lost-friendings assertion (replaces the sample fetch phase; runs shorter than -validity only)")
+	flag.IntVar(&opts.replication, "replication", 1, "ring replication factor R: each bottle is racked on the top-R rendezvous racks (cluster modes only)")
 	flag.Parse()
 
 	if err := run(opts); err != nil {
@@ -111,6 +115,7 @@ func run(opts options) error {
 
 	subLat := make([][]time.Duration, opts.submitters)
 	sampleIDs := make([][]string, opts.submitters)
+	allIDs := make([][]string, opts.submitters)
 	var wgSub sync.WaitGroup
 	start := time.Now()
 	for w := 0; w < opts.submitters; w++ {
@@ -131,6 +136,9 @@ func run(opts options) error {
 				failed.Add(int64(len(raws) - racked))
 				if racked == 0 {
 					continue
+				}
+				if opts.verifyReplies {
+					allIDs[w] = append(allIDs[w], ids...)
 				}
 				// Sample roughly every hundredth bottle for the fetch phase.
 				if n := submitted.Add(int64(racked)); ok && n%100 < int64(racked) {
@@ -183,12 +191,23 @@ func run(opts options) error {
 	submitting.Store(false)
 	wgSweep.Wait()
 
-	// Final phase: fetch replies for the sampled request IDs, batched.
+	// Final phase: fetch replies for the sampled request IDs, batched. With
+	// -verify-replies the drain covers every submitted ID instead — fetching
+	// is destructive, so a full drain both measures and asserts: every reply
+	// whose post was acknowledged must come back, or a matched friending was
+	// lost.
 	fetched := 0
-	for _, ids := range sampleIDs {
-		for _, res := range sealedbottle.FetchMany(ctx, courier, ids) {
-			if res.Err == nil {
-				fetched += len(res.Replies)
+	fetchIDs := sampleIDs
+	if opts.verifyReplies {
+		fetchIDs = allIDs
+	}
+	for _, ids := range fetchIDs {
+		for start := 0; start < len(ids); start += 512 {
+			end := min(start+512, len(ids))
+			for _, res := range sealedbottle.FetchMany(ctx, courier, ids[start:end]) {
+				if res.Err == nil {
+					fetched += len(res.Replies)
+				}
 			}
 		}
 	}
@@ -208,12 +227,32 @@ func run(opts options) error {
 		fmt.Printf("rack       shards=%d workers=%d held=%d submitted=%d scanned=%d prefilter-reject=%.1f%% match=%.1f%% replies=%d\n",
 			st.Shards, st.Workers, st.Held, st.Totals.Submitted, st.Totals.Scanned,
 			100*st.PrefilterRejectRate(), 100*st.MatchRate(), st.Totals.RepliesIn)
-		if opts.verifyCounts {
-			if got, want := st.Totals.Submitted, uint64(submitted.Load()); got != want {
-				return fmt.Errorf("count mismatch: brokers report %d bottles submitted, loadgen racked %d", got, want)
-			}
-			fmt.Printf("verified   broker submitted counters match loadgen (%d bottles)\n", submitted.Load())
+		if opts.replication > 1 {
+			fmt.Printf("replica    dedup=%d read-repairs=%d hints q/s/drop=%d/%d/%d handoff=%d\n",
+				st.Replication.ReplicaDedup, st.Replication.ReadRepairs,
+				st.Replication.HintsQueued, st.Replication.HintsStreamed,
+				st.Replication.HintsDropped, st.Replication.HandoffApplied)
 		}
+		if opts.verifyCounts {
+			// At R>1 every bottle is racked on R replicas, so the brokers'
+			// summed submitted counters run at R times the workload's count.
+			factor := uint64(1)
+			if opts.replication > 1 {
+				factor = uint64(opts.replication)
+			}
+			if got, want := st.Totals.Submitted, factor*uint64(submitted.Load()); got != want {
+				return fmt.Errorf("count mismatch: brokers report %d bottles submitted, loadgen racked %d x R=%d", got, want/factor, factor)
+			}
+			fmt.Printf("verified   broker submitted counters match loadgen (%d bottles x R=%d)\n", submitted.Load(), factor)
+		}
+	}
+	if opts.verifyReplies {
+		// Distinct stored replies can exceed acknowledged posts (a timed-out
+		// post may still have landed), never undershoot them.
+		if int64(fetched) < replies.Load() {
+			return fmt.Errorf("reply loss: %d replies posted but only %d drained back", replies.Load(), fetched)
+		}
+		fmt.Printf("verified   all %d acknowledged replies drained back (%d stored)\n", replies.Load(), fetched)
 	}
 	if int(submitted.Load()) < opts.bottles {
 		return fmt.Errorf("only %d of %d bottles submitted", submitted.Load(), opts.bottles)
@@ -258,8 +297,9 @@ func connect(opts options) (rv sealedbottle.Backend, stats func(context.Context)
 	}
 	if opts.addrs != "" {
 		ring, err := sealedbottle.NewRing(sealedbottle.RingConfig{
-			Addrs:   strings.Split(opts.addrs, ","),
-			Courier: cfg,
+			Addrs:       strings.Split(opts.addrs, ","),
+			Courier:     cfg,
+			Replication: opts.replication,
 		})
 		if err != nil {
 			return nil, nil, nil, err
@@ -277,7 +317,9 @@ func connect(opts options) (rv sealedbottle.Backend, stats func(context.Context)
 	}
 
 	// In-process: -racks tagged racks, each with its own pipe listener and
-	// courier; a single rack skips the ring entirely.
+	// courier; a single rack skips the ring entirely. With -replication > 1
+	// each rack is replica-wrapped (hint queues + handoff streaming over the
+	// pipe transports), the same shape the cluster smoke test runs over TCP.
 	n := opts.racks
 	if n < 1 {
 		n = 1
@@ -288,15 +330,45 @@ func connect(opts options) (rv sealedbottle.Backend, stats func(context.Context)
 			closers[i]()
 		}
 	}
+	// Listeners exist up front so every replica node's handoff dialer can
+	// resolve any peer name from the start.
+	listeners := make(map[string]*sealedbottle.PipeListener, n)
+	peers := make(map[string]string, n)
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("rack-%d", i)
+		listeners[name] = sealedbottle.ListenPipe()
+		peers[name] = name
+	}
 	var backends []sealedbottle.RingBackend
 	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("rack-%d", i)
 		rcfg := sealedbottle.RackConfig{Shards: opts.shards}
 		if n > 1 {
 			rcfg.RackTag = fmt.Sprintf("r%d", i)
 		}
 		rack := sealedbottle.NewRack(rcfg)
-		l := sealedbottle.ListenPipe()
-		srv := sealedbottle.NewServer(rack)
+		srvOpts := sealedbottle.ServerOptions{}
+		closeRack := rack.Close
+		if opts.replication > 1 && n > 1 {
+			node := sealedbottle.WrapReplica(rack, sealedbottle.ReplicaConfig{
+				Self:  name,
+				Peers: peers,
+				Dial: func(addr string) (sealedbottle.HandoffTarget, error) {
+					l, ok := listeners[addr]
+					if !ok {
+						return nil, fmt.Errorf("unknown handoff peer %q", addr)
+					}
+					return sealedbottle.Dial(sealedbottle.CourierConfig{
+						Conns:  1,
+						Dialer: func() (net.Conn, error) { return l.Dial() },
+					})
+				},
+			})
+			srvOpts.Replica = node
+			closeRack = node.Close
+		}
+		l := listeners[name]
+		srv := sealedbottle.NewServer(rack, srvOpts)
 		go srv.Serve(l)
 		ccfg := cfg
 		ccfg.Dialer = func() (net.Conn, error) { return l.Dial() }
@@ -305,14 +377,17 @@ func connect(opts options) (rv sealedbottle.Backend, stats func(context.Context)
 			cleanup()
 			return nil, nil, nil, err
 		}
-		closers = append(closers, func() { courier.Close(); l.Close(); srv.Close(); rack.Close() })
-		backends = append(backends, sealedbottle.RingBackend{Name: fmt.Sprintf("rack-%d", i), Backend: courier})
+		closers = append(closers, func() { courier.Close(); l.Close(); srv.Close(); closeRack() })
+		backends = append(backends, sealedbottle.RingBackend{Name: name, Backend: courier})
 	}
 	if n == 1 {
 		courier := backends[0].Backend.(*sealedbottle.Courier)
 		return courier, courier.Stats, cleanup, nil
 	}
-	ring, err := sealedbottle.NewRing(sealedbottle.RingConfig{Backends: backends})
+	ring, err := sealedbottle.NewRing(sealedbottle.RingConfig{
+		Backends:    backends,
+		Replication: opts.replication,
+	})
 	if err != nil {
 		cleanup()
 		return nil, nil, nil, err

@@ -1,12 +1,15 @@
 // Cluster: the sealed-bottle rendezvous scaled out across three bottle
-// racks behind a client-side Ring — the same flow as examples/bottlerack,
-// with zero call-site changes on the protocol side. Three tagged racks run
-// behind their own framed pipe servers; the Ring routes Alice's submits by
-// rendezvous hashing, fans Bob's sweep out to every rack, and steers his
-// reply back to whichever rack holds the bottle via the learned ID→rack
-// table. Then one rack is killed to show the cluster keeps serving: the
-// Ring ejects it after a few faults and every bottle on the survivors stays
-// reachable.
+// racks behind a client-side Ring at replication factor 2 — the same flow
+// as examples/bottlerack, with zero call-site changes on the protocol side.
+// Three tagged racks run behind their own framed pipe servers, each wrapped
+// as a replica node (hint queues + rack-to-rack handoff); the Ring places
+// every one of Alice's bottles on its top-2 rendezvous racks, fans Bob's
+// sweep out to every rack (merging the replica copies into one observation
+// each), and steers his reply to all replicas of the bottle. Then one rack
+// is killed to show what R=2 buys: the Ring ejects it after a few faults,
+// every single bottle stays reachable on its surviving replica, and the
+// survivors queue hints for the dead rack so it would converge by handoff
+// on return.
 package main
 
 import (
@@ -26,10 +29,11 @@ func main() {
 	}
 }
 
-// rackProc is one "process" of the demo cluster: a tagged rack behind its
-// own framed server and pipe listener, like one cmd/bottlerack instance.
+// rackProc is one "process" of the demo cluster: a tagged rack wrapped as a
+// replica node behind its own framed server and pipe listener, like one
+// `cmd/bottlerack -replicate` instance.
 type rackProc struct {
-	rack *sealedbottle.Rack
+	node *sealedbottle.ReplicaNode
 	l    *sealedbottle.PipeListener
 	srv  *sealedbottle.Server
 }
@@ -37,29 +41,45 @@ type rackProc struct {
 func (p *rackProc) stop() {
 	p.l.Close()
 	p.srv.Close()
-	p.rack.Close()
+	p.node.Close() // the node owns the rack
 }
 
 func run() error {
 	// 1. Three tagged racks, each the in-process analogue of
-	// `bottlerack -tag rN`, and a Ring of couriers over them.
+	// `bottlerack -tag rN -replicate`, and a Ring of couriers over them at
+	// R=2. The listeners exist up front so every node's handoff dialer can
+	// reach any peer by name.
 	ctx := context.Background()
-	procs := make([]*rackProc, 3)
-	ringCfg := sealedbottle.RingConfig{ProbeInterval: -1} // demo drives Probe itself
-	for i := range procs {
+	names := []string{"rack-0", "rack-1", "rack-2"}
+	listeners := map[string]*sealedbottle.PipeListener{}
+	peers := map[string]string{}
+	for _, name := range names {
+		listeners[name] = sealedbottle.ListenPipe()
+		peers[name] = name
+	}
+	procs := make([]*rackProc, len(names))
+	ringCfg := sealedbottle.RingConfig{ProbeInterval: -1, Replication: 2} // demo drives Probe itself
+	for i, name := range names {
 		rack := sealedbottle.NewRack(sealedbottle.RackConfig{Shards: 4, RackTag: fmt.Sprintf("r%d", i)})
-		l := sealedbottle.ListenPipe()
-		srv := sealedbottle.NewServer(rack)
+		node := sealedbottle.WrapReplica(rack, sealedbottle.ReplicaConfig{
+			Self:  name,
+			Peers: peers,
+			Dial: func(addr string) (sealedbottle.HandoffTarget, error) {
+				return sealedbottle.Dial(sealedbottle.CourierConfig{
+					Dialer: func() (net.Conn, error) { return listeners[addr].Dial() },
+				})
+			},
+		})
+		l := listeners[name]
+		srv := sealedbottle.NewServer(rack, sealedbottle.ServerOptions{Replica: node})
 		go srv.Serve(l)
-		procs[i] = &rackProc{rack: rack, l: l, srv: srv}
+		procs[i] = &rackProc{node: node, l: l, srv: srv}
 		courier, err := sealedbottle.Dial(sealedbottle.CourierConfig{Dialer: func() (net.Conn, error) { return l.Dial() }})
 		if err != nil {
 			return err
 		}
 		defer courier.Close()
-		ringCfg.Backends = append(ringCfg.Backends, sealedbottle.RingBackend{
-			Name: fmt.Sprintf("rack-%d", i), Backend: courier,
-		})
+		ringCfg.Backends = append(ringCfg.Backends, sealedbottle.RingBackend{Name: name, Backend: courier})
 	}
 	defer func() {
 		for _, p := range procs {
@@ -72,8 +92,8 @@ func run() error {
 	}
 	defer ring.Close()
 
-	// 2. Alice racks several search bottles; the ring spreads them over the
-	// racks by rendezvous-hashing their request IDs.
+	// 2. Alice racks several search bottles; the ring places each on the
+	// top-2 racks of its request ID's rendezvous order.
 	spec := core.RequestSpec{
 		Necessary: []attr.Attribute{attr.MustNew("university", "Columbia")},
 		Optional: []attr.Attribute{
@@ -102,11 +122,11 @@ func run() error {
 		tag, _ := sealedbottle.SplitTaggedID(id)
 		perRack[tag]++
 	}
-	fmt.Printf("alice racked 6 bottles across the cluster: %v\n", perRack)
+	fmt.Printf("alice racked 6 bottles across the cluster (2 copies each): %v\n", perRack)
 
 	// 3. Bob sweeps once through the ring: the query fans out to all three
-	// racks, the matches come back merged, and his replies route to the
-	// racks that hold each bottle.
+	// racks, the merged result collapses each bottle's two replica copies
+	// into one observation, and his replies route to every replica.
 	bob, err := core.NewParticipant(attr.NewProfile(
 		attr.MustNew("university", "Columbia"),
 		attr.MustNew("interest", "basketball"),
@@ -127,8 +147,9 @@ func run() error {
 	fmt.Printf("bob swept the whole cluster in one tick: %d bottles, %d replies posted, %d failed\n",
 		st.Swept, st.Replies, st.ReplyErrors)
 
-	// 4. Alice fetches her replies back through the ring — each fetch is
-	// steered to the rack named by the ID's tag.
+	// 4. Alice fetches her replies back through the ring — each fetch drains
+	// every replica and merges, so a diverged replica would be read-repaired
+	// here.
 	confirmed := 0
 	for id, alice := range initiators {
 		for _, r := range sealedbottle.FetchMany(ctx, ring, []string{id})[0].Replies {
@@ -143,8 +164,10 @@ func run() error {
 	}
 	fmt.Printf("alice confirmed %d matches\n", confirmed)
 
-	// 5. Kill rack 1. The ring ejects it after a few faults and the
-	// survivors keep serving every bottle they hold.
+	// 5. Kill rack 1. The ring ejects it after a few faults — and at R=2
+	// nothing is lost: every bottle's other replica keeps serving, and each
+	// operation that misses the dead rack queues a hint on a survivor, ready
+	// to be streamed back rack-to-rack when rack-1 returns.
 	procs[1].stop()
 	for i := 0; i < sealedbottle.DefaultFailThreshold; i++ {
 		ring.Probe(ctx)
@@ -157,22 +180,37 @@ func run() error {
 	}
 	reachable := 0
 	for id := range initiators {
-		tag, _ := sealedbottle.SplitTaggedID(id)
-		if tag == "r1" {
-			continue // lives on the dead rack
-		}
 		if _, err := ring.Fetch(ctx, id); err == nil {
 			reachable++
 		}
 	}
-	fmt.Printf("%d of %d surviving bottles still reachable with rack-1 down\n",
-		reachable, len(initiators)-perRack["r1"])
+	fmt.Printf("all %d of %d bottles still reachable with rack-1 down (R=2)\n",
+		reachable, len(initiators))
 
+	// 6. Alice keeps racking with rack-1 down. Placement intent still names
+	// rack-1 for some IDs — ejection is a health observation, not a placement
+	// change — so the ring extends those writes to the next live rack and
+	// queues a submit hint on a survivor, ready to stream rack-to-rack the
+	// moment rack-1 returns (hinted handoff).
+	for i := 0; i < 6; i++ {
+		alice, err := core.NewInitiator(spec, core.InitiatorConfig{Protocol: core.Protocol1, Origin: "alice"})
+		if err != nil {
+			return err
+		}
+		raw, err := alice.Request().Marshal()
+		if err != nil {
+			return err
+		}
+		if _, err := ring.Submit(ctx, raw); err != nil {
+			return err
+		}
+	}
 	stats, err := ring.Stats(ctx)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("cluster stats (survivors): held=%d scanned=%d replies=%d/%d\n",
-		stats.Held, stats.Totals.Scanned, stats.Totals.RepliesIn, stats.Totals.RepliesOut)
+	hinted := procs[0].node.Pending() + procs[2].node.Pending()
+	fmt.Printf("cluster stats (survivors): held=%d scanned=%d replies=%d/%d, %d hints queued for rack-1\n",
+		stats.Held, stats.Totals.Scanned, stats.Totals.RepliesIn, stats.Totals.RepliesOut, hinted)
 	return nil
 }

@@ -797,6 +797,10 @@ type Stats struct {
 	// segments plus the live snapshot (zero on in-memory racks). Operators
 	// watch it fall after compaction and grow between snapshots.
 	WALBytes uint64
+	// Replication counts replication traffic: hint-queue counters merged in
+	// by a replica-enabled server, plus the ring's client-side read-repair
+	// and dedup counters in ring-aggregated stats. Zero on a bare rack.
+	Replication ReplicationStats
 }
 
 // PrefilterRejectRate is the fraction of screened bottles the residue

@@ -509,6 +509,13 @@ func MarshalStats(st Stats) []byte {
 	}
 	buf = binary.BigEndian.AppendUint64(buf, st.Recovered)
 	buf = binary.BigEndian.AppendUint64(buf, st.WALBytes)
+	for _, v := range []uint64{
+		st.Replication.HintsQueued, st.Replication.HintsStreamed,
+		st.Replication.HintsDropped, st.Replication.HandoffApplied,
+		st.Replication.ReadRepairs, st.Replication.ReplicaDedup,
+	} {
+		buf = binary.BigEndian.AppendUint64(buf, v)
+	}
 	return buf
 }
 
@@ -569,6 +576,20 @@ func UnmarshalStats(data []byte) (Stats, error) {
 	}
 	if st.WALBytes, err = r.uint64(); err != nil {
 		return st, fmt.Errorf("%w: wal bytes", ErrMalformedFrame)
+	}
+	// The replication counters are a revision-3 tail, tolerated absent (as
+	// zeros) the same way the revision-2 durability tail is.
+	if r.remaining() == 0 {
+		return st, nil
+	}
+	for _, dst := range []*uint64{
+		&st.Replication.HintsQueued, &st.Replication.HintsStreamed,
+		&st.Replication.HintsDropped, &st.Replication.HandoffApplied,
+		&st.Replication.ReadRepairs, &st.Replication.ReplicaDedup,
+	} {
+		if *dst, err = r.uint64(); err != nil {
+			return st, fmt.Errorf("%w: replication counters", ErrMalformedFrame)
+		}
 	}
 	if r.remaining() != 0 {
 		return st, fmt.Errorf("%w: trailing bytes", ErrMalformedFrame)

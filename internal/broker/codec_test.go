@@ -118,18 +118,23 @@ func TestStatsRoundTrip(t *testing.T) {
 	}
 }
 
-// TestStatsDecodesRevision1 pins the compatibility rule of
+// TestStatsDecodesOldRevisions pins the compatibility rule of
 // docs/PROTOCOL.md §2.7: a frame from a broker predating the durability
-// counters ends after the primes and must decode with both counters zero.
-func TestStatsDecodesRevision1(t *testing.T) {
+// counters ends after the primes (revision 1), one predating the replication
+// counters ends after WALBytes (revision 2), and both must decode with the
+// missing tails zero.
+func TestStatsDecodesOldRevisions(t *testing.T) {
 	full := MarshalStats(Stats{Shards: 2, Workers: 1, PerShard: []ShardStats{{}, {}}, Primes: []uint32{11}})
-	rev1 := full[:len(full)-16] // strip the two trailing u64 counters
-	got, err := UnmarshalStats(rev1)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if got.Recovered != 0 || got.WALBytes != 0 || got.Shards != 2 {
-		t.Fatalf("revision-1 decode = %+v, want zero durability counters", got)
+	rev2 := full[:len(full)-48] // strip the six replication counters
+	rev1 := rev2[:len(rev2)-16] // additionally strip the two durability counters
+	for name, enc := range map[string][]byte{"rev1": rev1, "rev2": rev2} {
+		got, err := UnmarshalStats(enc)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if got.Recovered != 0 || got.WALBytes != 0 || got.Replication != (ReplicationStats{}) || got.Shards != 2 {
+			t.Fatalf("%s decode = %+v, want zero revision tails", name, got)
+		}
 	}
 }
 
@@ -164,9 +169,10 @@ func TestCodecRejectsTruncation(t *testing.T) {
 			case "result":
 				_, err = UnmarshalSweepResult(enc[:cut])
 			case "stats":
-				if cut == len(enc)-16 {
-					// Exactly the durability counters missing: that is a
-					// well-formed revision-1 frame, accepted by design.
+				if cut == len(enc)-48 || cut == len(enc)-64 {
+					// Exactly the replication counters missing (revision-2
+					// frame) or those plus the durability counters (revision
+					// 1): well-formed old frames, accepted by design.
 					continue
 				}
 				_, err = UnmarshalStats(enc[:cut])

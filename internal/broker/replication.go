@@ -1,0 +1,268 @@
+package broker
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// Replication types shared by the ring (which queues hints when a replica
+// write fails), the replica subsystem (internal/replica, which stores and
+// streams them), and the transport (which carries them rack-to-rack). A
+// handoff record is deliberately the same (type, payload) shape as a
+// write-ahead-log record — the WAL encodings double as the rack-to-rack
+// transfer format, so a streamed hint replays on the destination exactly the
+// way its own log would have.
+
+// Handoff record types. The values and payload encodings of the first three
+// match the write-ahead-log record types (durability.go): RecSubmit carries a
+// marshalled core.RequestPackage, RecReply a MarshalReplyPost frame, and
+// RecRemove the raw request-ID bytes. RecRepair exists only on the hint
+// *queueing* path: it names a bottle by ID and is resolved by the queueing
+// rack into a RecSubmit (plus RecReply records for the queued replies) from
+// its own copy, so a read-repair never ships the package over the client
+// connection that noticed the divergence.
+const (
+	// RecSubmit racks a bottle; payload: the marshalled core.RequestPackage.
+	RecSubmit byte = 1
+	// RecReply queues a reply; payload: MarshalReplyPost(requestID, reply).
+	RecReply byte = 2
+	// RecRemove unracks a bottle; payload: the untagged request-ID bytes.
+	RecRemove byte = 3
+	// RecRepair asks the queueing rack to re-replicate one of its own bottles;
+	// payload: the untagged request-ID bytes. Never streamed — resolved into
+	// RecSubmit/RecReply records at queue time.
+	RecRepair byte = 6
+)
+
+// HandoffRecord is one replication transfer unit: a WAL-typed payload applied
+// idempotently on the destination rack.
+type HandoffRecord struct {
+	// Type is one of RecSubmit, RecReply, RecRemove or RecRepair.
+	Type byte
+	// Payload is the record body in the WAL encoding for its type.
+	Payload []byte
+}
+
+// Hinter is the hint-queueing surface implemented by replica-enabled backends
+// (a Courier to a replica-enabled server, an in-process replica node). The
+// ring calls it best-effort when a replica write fails: the surviving rack
+// queues the records for dest and streams them when dest returns. It returns
+// the number of records accepted into the queue.
+type Hinter interface {
+	Hint(ctx context.Context, dest string, recs []HandoffRecord) (int, error)
+}
+
+// ReplicationStats counts replication traffic. The first four counters are
+// rack-side (maintained by the replica subsystem); ReadRepairs and
+// ReplicaDedup are client-side (maintained by the ring) and appear only in
+// ring-aggregated stats.
+type ReplicationStats struct {
+	// HintsQueued counts handoff records accepted into per-destination hint
+	// queues.
+	HintsQueued uint64
+	// HintsStreamed counts hint records delivered to their destination.
+	HintsStreamed uint64
+	// HintsDropped counts hint records shed by the per-destination queue
+	// bound.
+	HintsDropped uint64
+	// HandoffApplied counts records applied locally on behalf of a peer.
+	HandoffApplied uint64
+	// ReadRepairs counts bottles queued for re-replication after a fetch or
+	// reply found them on only some replicas.
+	ReadRepairs uint64
+	// ReplicaDedup counts duplicate observations collapsed by replica-aware
+	// merges (the same bottle from two racks in one sweep, the same reply
+	// fetched from two replicas).
+	ReplicaDedup uint64
+}
+
+// Add folds another snapshot's counters into s (used when a server merges a
+// replica handler's counters into rack stats, and when a ring aggregates
+// per-rack stats).
+func (s *ReplicationStats) Add(o ReplicationStats) {
+	s.HintsQueued += o.HintsQueued
+	s.HintsStreamed += o.HintsStreamed
+	s.HintsDropped += o.HintsDropped
+	s.HandoffApplied += o.HandoffApplied
+	s.ReadRepairs += o.ReadRepairs
+	s.ReplicaDedup += o.ReplicaDedup
+}
+
+// MarshalHandoffRecords encodes a batch of handoff records.
+func MarshalHandoffRecords(recs []HandoffRecord) []byte {
+	return appendHandoffRecords(nil, recs)
+}
+
+func appendHandoffRecords(buf []byte, recs []HandoffRecord) []byte {
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(recs)))
+	for _, rec := range recs {
+		buf = append(buf, rec.Type)
+		buf = binary.BigEndian.AppendUint32(buf, uint32(len(rec.Payload)))
+		buf = append(buf, rec.Payload...)
+	}
+	return buf
+}
+
+func readHandoffRecords(r *reader) ([]HandoffRecord, error) {
+	n, err := r.uint32()
+	if err != nil {
+		return nil, fmt.Errorf("%w: record count", ErrMalformedFrame)
+	}
+	if int(n) > r.remaining() {
+		return nil, fmt.Errorf("%w: implausible record count %d", ErrMalformedFrame, n)
+	}
+	out := make([]HandoffRecord, n)
+	for i := range out {
+		if out[i].Type, err = r.byte(); err != nil {
+			return nil, fmt.Errorf("%w: record type", ErrMalformedFrame)
+		}
+		size, err := r.uint32()
+		if err != nil {
+			return nil, fmt.Errorf("%w: record size", ErrMalformedFrame)
+		}
+		payload, err := r.bytes(int(size))
+		if err != nil {
+			return nil, fmt.Errorf("%w: record payload", ErrMalformedFrame)
+		}
+		out[i].Payload = append([]byte(nil), payload...)
+	}
+	return out, nil
+}
+
+// UnmarshalHandoffRecords decodes a batch of handoff records.
+func UnmarshalHandoffRecords(data []byte) ([]HandoffRecord, error) {
+	r := &reader{data: data}
+	out, err := readHandoffRecords(r)
+	if err != nil {
+		return nil, err
+	}
+	if r.remaining() != 0 {
+		return nil, fmt.Errorf("%w: trailing bytes", ErrMalformedFrame)
+	}
+	return out, nil
+}
+
+// MarshalHint encodes a hint request: the destination rack name followed by
+// the records to queue for it.
+func MarshalHint(dest string, recs []HandoffRecord) []byte {
+	return appendHandoffRecords(appendString16(nil, dest), recs)
+}
+
+// UnmarshalHint decodes a hint request.
+func UnmarshalHint(data []byte) (string, []HandoffRecord, error) {
+	r := &reader{data: data}
+	dest, err := r.string16()
+	if err != nil {
+		return "", nil, fmt.Errorf("%w: hint destination", ErrMalformedFrame)
+	}
+	recs, err := readHandoffRecords(r)
+	if err != nil {
+		return "", nil, err
+	}
+	if r.remaining() != 0 {
+		return "", nil, fmt.Errorf("%w: trailing bytes", ErrMalformedFrame)
+	}
+	return dest, recs, nil
+}
+
+// Peer-table admin verbs (the membership opcode's sub-operations).
+const (
+	// PeerVerbSet maps a rack name to a dialable address.
+	PeerVerbSet byte = 1
+	// PeerVerbDel removes a mapping.
+	PeerVerbDel byte = 2
+	// PeerVerbList returns the current table.
+	PeerVerbList byte = 3
+)
+
+// MarshalPeerUpdate encodes a peer-table admin request. addr is ignored for
+// the del and list verbs; name is ignored for list.
+func MarshalPeerUpdate(verb byte, name, addr string) []byte {
+	buf := []byte{verb}
+	buf = appendString16(buf, name)
+	buf = appendString16(buf, addr)
+	return buf
+}
+
+// UnmarshalPeerUpdate decodes a peer-table admin request.
+func UnmarshalPeerUpdate(data []byte) (verb byte, name, addr string, err error) {
+	r := &reader{data: data}
+	if verb, err = r.byte(); err != nil {
+		return 0, "", "", fmt.Errorf("%w: peer verb", ErrMalformedFrame)
+	}
+	if name, err = r.string16(); err != nil {
+		return 0, "", "", fmt.Errorf("%w: peer name", ErrMalformedFrame)
+	}
+	if addr, err = r.string16(); err != nil {
+		return 0, "", "", fmt.Errorf("%w: peer addr", ErrMalformedFrame)
+	}
+	if r.remaining() != 0 {
+		return 0, "", "", fmt.Errorf("%w: trailing bytes", ErrMalformedFrame)
+	}
+	return verb, name, addr, nil
+}
+
+// MarshalPeerList encodes a peer table (the list verb's response).
+func MarshalPeerList(peers map[string]string) []byte {
+	var buf []byte
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(peers)))
+	for _, name := range sortedKeys(peers) {
+		buf = appendString16(buf, name)
+		buf = appendString16(buf, peers[name])
+	}
+	return buf
+}
+
+// UnmarshalPeerList decodes a peer table.
+func UnmarshalPeerList(data []byte) (map[string]string, error) {
+	r := &reader{data: data}
+	n, err := r.uint32()
+	if err != nil {
+		return nil, fmt.Errorf("%w: peer count", ErrMalformedFrame)
+	}
+	if int(n) > r.remaining() {
+		return nil, fmt.Errorf("%w: implausible peer count %d", ErrMalformedFrame, n)
+	}
+	out := make(map[string]string, n)
+	for i := uint32(0); i < n; i++ {
+		name, err := r.string16()
+		if err != nil {
+			return nil, fmt.Errorf("%w: peer name", ErrMalformedFrame)
+		}
+		addr, err := r.string16()
+		if err != nil {
+			return nil, fmt.Errorf("%w: peer addr", ErrMalformedFrame)
+		}
+		out[name] = addr
+	}
+	if r.remaining() != 0 {
+		return nil, fmt.Errorf("%w: trailing bytes", ErrMalformedFrame)
+	}
+	return out, nil
+}
+
+// sortedKeys returns a map's keys in sorted order so the peer-list encoding
+// is deterministic.
+func sortedKeys(m map[string]string) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// PeekBottle returns a copy of a live bottle's marshalled package and
+// currently queued replies without draining anything. It is the read side of
+// hint-time read-repair resolution: the rack that holds a bottle resolves a
+// RecRepair hint into RecSubmit/RecReply records from its own state. The
+// inbound ID may carry this rack's tag.
+func (r *Rack) PeekBottle(id string) (raw []byte, replies [][]byte, ok bool) {
+	if r.isClosed() {
+		return nil, nil, false
+	}
+	id = r.untagID(id)
+	return r.shardFor(id).peek(id, r.cfg.Now().UTC())
+}

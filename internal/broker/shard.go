@@ -274,6 +274,22 @@ func (s *shard) drainRepliesLocked(id string) ([][]byte, error) {
 	return out, nil
 }
 
+// peek returns copies of a live bottle's raw package and queued replies
+// without mutating anything; expired bottles answer as absent.
+func (s *shard) peek(id string, now time.Time) (raw []byte, replies [][]byte, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, held := s.bottles[id]
+	if !held || b.expired(now) {
+		return nil, nil, false
+	}
+	raw = append([]byte(nil), b.raw...)
+	for _, rep := range s.replies[id] {
+		replies = append(replies, append([]byte(nil), rep...))
+	}
+	return raw, replies, true
+}
+
 // remove unlinks a bottle by ID.
 func (s *shard) remove(id string) bool {
 	s.mu.Lock()

@@ -75,6 +75,17 @@ const (
 	OpSubmitBatch
 	OpReplyBatch
 	OpFetchBatch
+	// OpHint asks a rack to queue handoff records for a currently-unreachable
+	// peer (docs/PROTOCOL.md §2.10); the body is a broker hint frame, the
+	// response the 4-byte count of records queued.
+	OpHint
+	// OpHandoff delivers queued handoff records rack-to-rack; the body is a
+	// broker handoff-record list, the response the 4-byte count applied.
+	OpHandoff
+	// OpPeers administers the rack's peer table (set/delete/list); the body is
+	// a broker peer-update frame, the response the full peer list after the
+	// update.
+	OpPeers
 )
 
 // Response status bytes. Since the error-code protocol revision the status
@@ -206,6 +217,29 @@ func firstOption(opts []Options) Options {
 	return Options{}
 }
 
+// ReplicaHandler is the server-side replication surface: a rack that
+// participates in R-way replication (internal/replica wraps a broker.Rack
+// into one) accepts hints for unreachable peers, applies handed-off records,
+// and administers a runtime peer table. A server without one rejects the
+// replication opcodes, so plain single-rack deployments expose nothing new.
+type ReplicaHandler interface {
+	// Hint queues handoff records for the named destination, returning how
+	// many were accepted (the rest were dropped against the queue bound).
+	Hint(ctx context.Context, dest string, recs []broker.HandoffRecord) (int, error)
+	// Handoff applies records handed off by a peer, returning how many took
+	// effect (duplicates and already-expired bottles count as applied).
+	Handoff(ctx context.Context, recs []broker.HandoffRecord) (int, error)
+	// SetPeer adds or updates a named peer's dial address.
+	SetPeer(name, addr string) error
+	// RemovePeer drops a peer (and any hints queued for it).
+	RemovePeer(name string) error
+	// Peers snapshots the peer table, name to dial address.
+	Peers() map[string]string
+	// ReplicaStats snapshots the handler's replication counters; the server
+	// folds them into OpStats responses.
+	ReplicaStats() broker.ReplicationStats
+}
+
 // ServerOptions tunes a Server.
 type ServerOptions struct {
 	// ReadIdleTimeout is the longest the server waits for the next request
@@ -216,6 +250,10 @@ type ServerOptions struct {
 	// MaxInflight bounds concurrently executing requests per multiplexed
 	// connection (zero: DefaultMaxInflight).
 	MaxInflight int
+	// Replica, when set, serves the replication opcodes (OpHint, OpHandoff,
+	// OpPeers) and folds the handler's counters into OpStats; when nil those
+	// opcodes answer with an error.
+	Replica ReplicaHandler
 }
 
 func (o ServerOptions) maxInflight() int {
@@ -414,7 +452,7 @@ func (s *Server) serveLockStep(conn net.Conn, br *bufio.Reader, firstLen uint32)
 // responses into one syscall.
 func heavyOp(op byte) bool {
 	switch op {
-	case OpSweep, OpStats, OpSubmitBatch, OpReplyBatch, OpFetchBatch:
+	case OpSweep, OpStats, OpSubmitBatch, OpReplyBatch, OpFetchBatch, OpHint, OpHandoff:
 		return true
 	}
 	return false
@@ -517,6 +555,9 @@ func (s *Server) dispatch(op byte, body []byte) ([]byte, error) {
 		if err != nil {
 			return nil, err
 		}
+		if s.opts.Replica != nil {
+			st.Replication.Add(s.opts.Replica.ReplicaStats())
+		}
 		return broker.MarshalStats(st), nil
 	case OpRemove:
 		ok, err := s.rack.Remove(ctx, string(body))
@@ -557,9 +598,74 @@ func (s *Server) dispatch(op byte, body []byte) ([]byte, error) {
 			return nil, err
 		}
 		return broker.MarshalFetchResults(results), nil
+	case OpHint:
+		if s.opts.Replica == nil {
+			return nil, errReplicationDisabled
+		}
+		dest, recs, err := broker.UnmarshalHint(body)
+		if err != nil {
+			return nil, err
+		}
+		n, err := s.opts.Replica.Hint(ctx, dest, recs)
+		if err != nil {
+			return nil, err
+		}
+		return appendCount(nil, n), nil
+	case OpHandoff:
+		if s.opts.Replica == nil {
+			return nil, errReplicationDisabled
+		}
+		recs, err := broker.UnmarshalHandoffRecords(body)
+		if err != nil {
+			return nil, err
+		}
+		n, err := s.opts.Replica.Handoff(ctx, recs)
+		if err != nil {
+			return nil, err
+		}
+		return appendCount(nil, n), nil
+	case OpPeers:
+		if s.opts.Replica == nil {
+			return nil, errReplicationDisabled
+		}
+		verb, name, addr, err := broker.UnmarshalPeerUpdate(body)
+		if err != nil {
+			return nil, err
+		}
+		switch verb {
+		case broker.PeerVerbSet:
+			err = s.opts.Replica.SetPeer(name, addr)
+		case broker.PeerVerbDel:
+			err = s.opts.Replica.RemovePeer(name)
+		case broker.PeerVerbList:
+			// List-only: the response below carries the table.
+		default:
+			err = fmt.Errorf("transport: unknown peer verb %d", verb)
+		}
+		if err != nil {
+			return nil, err
+		}
+		return broker.MarshalPeerList(s.opts.Replica.Peers()), nil
 	default:
 		return nil, fmt.Errorf("transport: unknown opcode %d", op)
 	}
+}
+
+// errReplicationDisabled answers the replication opcodes on a server without
+// a ReplicaHandler.
+var errReplicationDisabled = errors.New("transport: replication not enabled on this rack")
+
+// appendCount appends a count response: one 4-byte big-endian integer.
+func appendCount(b []byte, n int) []byte {
+	return binary.BigEndian.AppendUint32(b, uint32(n))
+}
+
+// parseCount decodes a count response.
+func parseCount(body []byte) (int, error) {
+	if len(body) != 4 {
+		return 0, fmt.Errorf("transport: malformed count response (%d bytes)", len(body))
+	}
+	return int(binary.BigEndian.Uint32(body)), nil
 }
 
 // Client speaks the lock-step framing over one connection: methods are safe
@@ -759,6 +865,33 @@ func doFetchBatch(ctx context.Context, c caller, ids []string) ([]broker.FetchRe
 	return broker.UnmarshalFetchResults(resp)
 }
 
+// doHint asks the rack to queue handoff records for an unreachable peer.
+func doHint(ctx context.Context, c caller, dest string, recs []broker.HandoffRecord) (int, error) {
+	resp, err := c.call(ctx, OpHint, broker.MarshalHint(dest, recs))
+	if err != nil {
+		return 0, err
+	}
+	return parseCount(resp)
+}
+
+// doHandoff delivers handoff records to the rack for application.
+func doHandoff(ctx context.Context, c caller, recs []broker.HandoffRecord) (int, error) {
+	resp, err := c.call(ctx, OpHandoff, broker.MarshalHandoffRecords(recs))
+	if err != nil {
+		return 0, err
+	}
+	return parseCount(resp)
+}
+
+// doPeers sends one peer-table update and returns the resulting table.
+func doPeers(ctx context.Context, c caller, verb byte, name, addr string) (map[string]string, error) {
+	resp, err := c.call(ctx, OpPeers, broker.MarshalPeerUpdate(verb, name, addr))
+	if err != nil {
+		return nil, err
+	}
+	return broker.UnmarshalPeerList(resp)
+}
+
 // Submit racks a marshalled request package and returns its request ID.
 func (c *Client) Submit(ctx context.Context, raw []byte) (string, error) {
 	return doSubmit(ctx, c, raw)
@@ -805,6 +938,32 @@ func (c *Client) FetchBatch(ctx context.Context, ids []string) ([]broker.FetchRe
 	return doFetchBatch(ctx, c, ids)
 }
 
+// Hint asks the rack to queue handoff records for an unreachable peer; it
+// returns how many were accepted.
+func (c *Client) Hint(ctx context.Context, dest string, recs []broker.HandoffRecord) (int, error) {
+	return doHint(ctx, c, dest, recs)
+}
+
+// Handoff delivers handoff records to the rack; it returns how many applied.
+func (c *Client) Handoff(ctx context.Context, recs []broker.HandoffRecord) (int, error) {
+	return doHandoff(ctx, c, recs)
+}
+
+// SetPeer adds or updates a peer in the rack's table, returning the table.
+func (c *Client) SetPeer(ctx context.Context, name, addr string) (map[string]string, error) {
+	return doPeers(ctx, c, broker.PeerVerbSet, name, addr)
+}
+
+// RemovePeer drops a peer from the rack's table, returning the table.
+func (c *Client) RemovePeer(ctx context.Context, name string) (map[string]string, error) {
+	return doPeers(ctx, c, broker.PeerVerbDel, name, "")
+}
+
+// Peers snapshots the rack's peer table.
+func (c *Client) Peers(ctx context.Context) (map[string]string, error) {
+	return doPeers(ctx, c, broker.PeerVerbList, "", "")
+}
+
 // Submit racks a marshalled request package and returns its request ID.
 func (m *Mux) Submit(ctx context.Context, raw []byte) (string, error) {
 	return doSubmit(ctx, m, raw)
@@ -849,4 +1008,30 @@ func (m *Mux) ReplyBatch(ctx context.Context, posts []broker.ReplyPost) ([]error
 // per-item outcomes.
 func (m *Mux) FetchBatch(ctx context.Context, ids []string) ([]broker.FetchResult, error) {
 	return doFetchBatch(ctx, m, ids)
+}
+
+// Hint asks the rack to queue handoff records for an unreachable peer; it
+// returns how many were accepted.
+func (m *Mux) Hint(ctx context.Context, dest string, recs []broker.HandoffRecord) (int, error) {
+	return doHint(ctx, m, dest, recs)
+}
+
+// Handoff delivers handoff records to the rack; it returns how many applied.
+func (m *Mux) Handoff(ctx context.Context, recs []broker.HandoffRecord) (int, error) {
+	return doHandoff(ctx, m, recs)
+}
+
+// SetPeer adds or updates a peer in the rack's table, returning the table.
+func (m *Mux) SetPeer(ctx context.Context, name, addr string) (map[string]string, error) {
+	return doPeers(ctx, m, broker.PeerVerbSet, name, addr)
+}
+
+// RemovePeer drops a peer from the rack's table, returning the table.
+func (m *Mux) RemovePeer(ctx context.Context, name string) (map[string]string, error) {
+	return doPeers(ctx, m, broker.PeerVerbDel, name, "")
+}
+
+// Peers snapshots the rack's peer table.
+func (m *Mux) Peers(ctx context.Context) (map[string]string, error) {
+	return doPeers(ctx, m, broker.PeerVerbList, "", "")
 }

@@ -65,17 +65,30 @@ type RingConfig struct {
 	ProbeInterval time.Duration
 	// IDTableCap bounds the learned ID→rack table (zero: DefaultIDTableCap).
 	IDTableCap int
+	// Replication is the replica count R for every bottle (zero or one: no
+	// replication — the original single-placement routing, byte for byte).
+	// With R>1 submits fan out to the bottle's top-R rendezvous racks, reads
+	// and replies fan out to the same set merging replica answers, and write
+	// failures queue hinted handoff on the surviving replicas (when the
+	// backends support it — couriers to replica-enabled racks, or
+	// replica.Node backends in-process). See docs/PROTOCOL.md §2.10.
+	Replication int
 }
 
 // rackNode is one rack of the ring with its health state. fails counts
 // consecutive rack faults; down flips once fails crosses the threshold and
-// back the moment any call (or probe) succeeds.
+// back the moment any call (or probe) succeeds. owned marks backends the ring
+// dialed itself (and therefore closes); removed marks a node taken out of the
+// membership at runtime — stale routing-table references check it and treat
+// the node as gone.
 type rackNode struct {
-	idx   int
-	name  string
-	b     broker.Backend
-	fails atomic.Int32
-	down  atomic.Bool
+	idx     int
+	name    string
+	b       broker.Backend
+	fails   atomic.Int32
+	down    atomic.Bool
+	owned   bool
+	removed atomic.Bool
 }
 
 // Ring routes the rendezvous protocol across N rack endpoints behind the
@@ -115,17 +128,29 @@ type rackNode struct {
 // canonical Backend surface, so rings compose anywhere a single rack was
 // accepted — including as a backend of another ring.
 type Ring struct {
-	nodes         []*rackNode
+	// nodes holds the current membership as an immutable snapshot slice;
+	// readers load it lock-free, membership changes (AddRack/RemoveRack)
+	// rebuild it under memberMu (copy-on-write).
+	nodes    atomic.Pointer[[]*rackNode]
+	memberMu sync.Mutex
+	nextIdx  int
+
 	failThreshold int
+	rf            int
 	idTab         *idTable
 
 	tagMu sync.Mutex
 	tags  map[string]*rackNode
 
-	ownsBackends bool
-	closed       chan struct{}
-	closeOnce    sync.Once
-	wg           sync.WaitGroup
+	// readRepairs and replicaDedup are the ring-side replication counters,
+	// folded into Stats (the rack-side counters live on the racks).
+	readRepairs  atomic.Uint64
+	replicaDedup atomic.Uint64
+
+	courierTmpl Config
+	closed      chan struct{}
+	closeOnce   sync.Once
+	wg          sync.WaitGroup
 }
 
 // The ring implements the canonical Backend surface.
@@ -150,26 +175,28 @@ func NewRing(cfg RingConfig) (*Ring, error) {
 	if cfg.ProbeInterval == 0 {
 		cfg.ProbeInterval = DefaultProbeInterval
 	}
+	if cfg.Replication < 1 {
+		cfg.Replication = 1
+	}
 	r := &Ring{
 		failThreshold: cfg.FailThreshold,
+		rf:            cfg.Replication,
 		idTab:         newIDTable(cfg.IDTableCap),
 		tags:          make(map[string]*rackNode),
+		courierTmpl:   cfg.Courier,
 		closed:        make(chan struct{}),
 	}
+	var nodes []*rackNode
 	if len(cfg.Addrs) > 0 {
-		r.ownsBackends = true
 		for i, addr := range cfg.Addrs {
-			ccfg := cfg.Courier
-			ccfg.Addr = addr
-			ccfg.Dialer = nil
-			c, err := Dial(ccfg)
+			c, err := r.dialCourier(addr)
 			if err != nil {
-				for _, n := range r.nodes {
+				for _, n := range nodes {
 					n.b.(*Courier).Close()
 				}
 				return nil, fmt.Errorf("client: ring rack %s: %w", addr, err)
 			}
-			r.nodes = append(r.nodes, &rackNode{idx: i, name: addr, b: c})
+			nodes = append(nodes, &rackNode{idx: i, name: addr, b: c, owned: true})
 		}
 	} else {
 		for i, be := range cfg.Backends {
@@ -180,9 +207,11 @@ func NewRing(cfg RingConfig) (*Ring, error) {
 			if name == "" {
 				name = fmt.Sprintf("rack-%d", i)
 			}
-			r.nodes = append(r.nodes, &rackNode{idx: i, name: name, b: be.Backend})
+			nodes = append(nodes, &rackNode{idx: i, name: name, b: be.Backend})
 		}
 	}
+	r.nextIdx = len(nodes)
+	r.nodes.Store(&nodes)
 	if cfg.ProbeInterval > 0 {
 		r.wg.Add(1)
 		go r.prober(cfg.ProbeInterval)
@@ -190,17 +219,31 @@ func NewRing(cfg RingConfig) (*Ring, error) {
 	return r, nil
 }
 
-// Close stops the prober and, when the ring dialed its own couriers (Addrs
-// mode), closes them. Supplied Backends are left running — they belong to
-// the caller.
+// dialCourier builds one owned courier from the ring's template.
+func (r *Ring) dialCourier(addr string) (*Courier, error) {
+	ccfg := r.courierTmpl
+	ccfg.Addr = addr
+	ccfg.Dialer = nil
+	return Dial(ccfg)
+}
+
+// members snapshots the current membership; the returned slice is immutable.
+func (r *Ring) members() []*rackNode {
+	return *r.nodes.Load()
+}
+
+// Close stops the prober and closes the backends the ring dialed itself
+// (Addrs mode and AddRackAddr). Supplied Backends are left running — they
+// belong to the caller.
 func (r *Ring) Close() error {
 	r.closeOnce.Do(func() { close(r.closed) })
 	r.wg.Wait()
-	if r.ownsBackends {
-		for _, n := range r.nodes {
-			if c, ok := n.b.(interface{ Close() error }); ok {
-				c.Close()
-			}
+	for _, n := range r.members() {
+		if !n.owned {
+			continue
+		}
+		if c, ok := n.b.(interface{ Close() error }); ok {
+			c.Close()
 		}
 	}
 	return nil
@@ -255,8 +298,9 @@ func (r *Ring) note(n *rackNode, err error) {
 
 // healthy returns the racks currently admitted to routing, in rack order.
 func (r *Ring) healthy() []*rackNode {
-	out := make([]*rackNode, 0, len(r.nodes))
-	for _, n := range r.nodes {
+	nodes := r.members()
+	out := make([]*rackNode, 0, len(nodes))
+	for _, n := range nodes {
 		if !n.down.Load() {
 			out = append(out, n)
 		}
@@ -312,11 +356,15 @@ func (r *Ring) learn(n *rackNode, id string) {
 	}
 }
 
-// tagNode resolves a learned rack tag.
+// tagNode resolves a learned rack tag; nodes removed from the membership no
+// longer resolve.
 func (r *Ring) tagNode(tag string) *rackNode {
 	r.tagMu.Lock()
 	defer r.tagMu.Unlock()
-	return r.tags[tag]
+	if n := r.tags[tag]; n != nil && !n.removed.Load() {
+		return n
+	}
+	return nil
 }
 
 // candidates orders the racks to try for an already-issued ID: the learned
@@ -325,10 +373,11 @@ func (r *Ring) tagNode(tag string) *rackNode {
 // is where an untagged submit would have placed it).
 func (r *Ring) candidates(id string) []*rackNode {
 	tag, rest := broker.SplitTaggedID(id)
-	out := make([]*rackNode, 0, len(r.nodes))
-	seen := make(map[*rackNode]bool, len(r.nodes))
+	nodes := r.members()
+	out := make([]*rackNode, 0, len(nodes))
+	seen := make(map[*rackNode]bool, len(nodes))
 	add := func(n *rackNode) {
-		if n != nil && !seen[n] {
+		if n != nil && !n.removed.Load() && !seen[n] {
 			seen[n] = true
 			out = append(out, n)
 		}
@@ -353,6 +402,9 @@ func (r *Ring) Submit(ctx context.Context, raw []byte) (string, error) {
 	if err != nil {
 		return "", err
 	}
+	if r.rf > 1 {
+		return r.submitReplicated(ctx, raw, pkg.ID)
+	}
 	healthy := r.healthy()
 	if len(healthy) == 0 {
 		return "", ErrNoHealthyRacks
@@ -374,6 +426,9 @@ func (r *Ring) Submit(ctx context.Context, raw []byte) (string, error) {
 // cancellation stops further rack dispatches (their items carry the context
 // error) and returns the context error alongside the partial outcomes.
 func (r *Ring) SubmitBatch(ctx context.Context, raws [][]byte) ([]broker.SubmitResult, error) {
+	if r.rf > 1 {
+		return r.submitBatchReplicated(ctx, raws)
+	}
 	healthy := r.healthy()
 	if len(healthy) == 0 {
 		return nil, ErrNoHealthyRacks
@@ -471,6 +526,10 @@ func (r *Ring) Sweep(ctx context.Context, q broker.SweepQuery) (broker.SweepResu
 	var out broker.SweepResult
 	var firstErr error
 	answered := 0
+	// Replicated racks can return the same bottle from several members (the
+	// rack tags differ, the bottle is one); merge on the untagged ID so the
+	// caller sees each bottle once. With R=1 the set is simply never hit.
+	merged := make(map[string]struct{})
 	for i, p := range parts {
 		if p.err != nil {
 			if firstErr == nil {
@@ -483,6 +542,11 @@ func (r *Ring) Sweep(ctx context.Context, q broker.SweepQuery) (broker.SweepResu
 		out.Rejected += p.res.Rejected
 		out.Truncated = out.Truncated || p.res.Truncated
 		for _, b := range p.res.Bottles {
+			if _, dup := merged[broker.UntagID(b.ID)]; dup {
+				r.replicaDedup.Add(1)
+				continue
+			}
+			merged[broker.UntagID(b.ID)] = struct{}{}
 			r.learn(healthy[i], b.ID)
 			if len(out.Bottles) >= limit {
 				out.Truncated = true
@@ -550,7 +614,7 @@ func (r *Ring) routed(ctx context.Context, id string, op func(n *rackNode) error
 // unlearned.
 func (r *Ring) primaryFor(id string) *rackNode {
 	tag, rest := broker.SplitTaggedID(id)
-	if n, ok := r.idTab.get(rest); ok {
+	if n, ok := r.idTab.get(rest); ok && !n.removed.Load() {
 		return n
 	}
 	if tag != "" {
@@ -568,6 +632,9 @@ func (r *Ring) primaryFor(id string) *rackNode {
 // Reply posts a marshalled reply to whichever rack holds the addressed
 // bottle.
 func (r *Ring) Reply(ctx context.Context, requestID string, raw []byte) error {
+	if r.rf > 1 {
+		return r.replyReplicated(ctx, requestID, raw)
+	}
 	return r.routed(ctx, requestID, func(n *rackNode) error {
 		return n.b.Reply(ctx, requestID, raw)
 	})
@@ -575,6 +642,9 @@ func (r *Ring) Reply(ctx context.Context, requestID string, raw []byte) error {
 
 // Fetch drains the replies queued for a request from the rack holding it.
 func (r *Ring) Fetch(ctx context.Context, requestID string) ([][]byte, error) {
+	if r.rf > 1 {
+		return r.fetchReplicated(ctx, requestID)
+	}
 	var out [][]byte
 	err := r.routed(ctx, requestID, func(n *rackNode) error {
 		raws, err := n.b.Fetch(ctx, requestID)
@@ -594,6 +664,9 @@ func (r *Ring) Fetch(ctx context.Context, requestID string) ([][]byte, error) {
 // the bottle may live on the unreachable rack, and a clean held=false would
 // misreport that ambiguity.
 func (r *Ring) Remove(ctx context.Context, requestID string) (bool, error) {
+	if r.rf > 1 {
+		return r.removeReplicated(ctx, requestID)
+	}
 	cands := r.candidates(requestID)
 	if len(cands) == 0 {
 		return false, ErrNoHealthyRacks
@@ -636,6 +709,9 @@ func (r *Ring) Remove(ctx context.Context, requestID string) (bool, error) {
 func (r *Ring) ReplyBatch(ctx context.Context, posts []broker.ReplyPost) ([]error, error) {
 	if len(posts) == 0 {
 		return nil, nil
+	}
+	if r.rf > 1 {
+		return r.replyBatchReplicated(ctx, posts)
 	}
 	errs := make([]error, len(posts))
 	groups := make(map[*rackNode][]int)
@@ -705,6 +781,9 @@ func (r *Ring) ReplyBatch(ctx context.Context, posts []broker.ReplyPost) ([]erro
 // dispatches and the per-item fallback round; affected items carry the
 // context's error (their queues stay intact), which is also returned.
 func (r *Ring) FetchBatch(ctx context.Context, ids []string) ([]broker.FetchResult, error) {
+	if r.rf > 1 {
+		return r.fetchBatchReplicated(ctx, ids)
+	}
 	results := make([]broker.FetchResult, len(ids))
 	groups := make(map[*rackNode][]int)
 	for i, id := range ids {
@@ -778,9 +857,10 @@ func (r *Ring) Stats(ctx context.Context) (broker.Stats, error) {
 		st  broker.Stats
 		err error
 	}
-	parts := make([]part, len(r.nodes))
+	nodes := r.members()
+	parts := make([]part, len(nodes))
 	var wg sync.WaitGroup
-	for i, n := range r.nodes {
+	for i, n := range nodes {
 		if err := ctx.Err(); err != nil {
 			parts[i] = part{err: err}
 			continue
@@ -817,11 +897,14 @@ func (r *Ring) Stats(ctx context.Context) (broker.Stats, error) {
 		primes = append(primes, p.st.Primes...)
 		out.Recovered += p.st.Recovered
 		out.WALBytes += p.st.WALBytes
+		out.Replication.Add(p.st.Replication)
 	}
 	if answered == 0 {
 		return broker.Stats{}, firstErr
 	}
 	out.Primes = core.MergePrimes(primes...)
+	out.Replication.ReadRepairs += r.readRepairs.Load()
+	out.Replication.ReplicaDedup += r.replicaDedup.Load()
 	return out, nil
 }
 
@@ -852,8 +935,9 @@ type RackHealth struct {
 
 // Health snapshots every rack's health, in rack order.
 func (r *Ring) Health() []RackHealth {
-	out := make([]RackHealth, len(r.nodes))
-	for i, n := range r.nodes {
+	nodes := r.members()
+	out := make([]RackHealth, len(nodes))
+	for i, n := range nodes {
 		out[i] = RackHealth{Name: n.name, Down: n.down.Load(), ConsecutiveFails: int(n.fails.Load())}
 	}
 	return out
@@ -868,7 +952,7 @@ const ringProbeID = "ring-health-probe"
 // that answer. The background prober calls this on its interval; tests and
 // deployments that disabled the prober call it directly.
 func (r *Ring) Probe(ctx context.Context) {
-	for _, n := range r.nodes {
+	for _, n := range r.members() {
 		if ctx.Err() != nil {
 			return
 		}

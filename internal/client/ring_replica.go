@@ -1,0 +1,830 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"sealedbottle/internal/broker"
+	"sealedbottle/internal/core"
+)
+
+// This file is the replicated side of the ring: runtime membership
+// (AddRack/RemoveRack) and the R-way fan-out paths the Backend methods branch
+// into when RingConfig.Replication > 1. Placement stays pure rendezvous
+// hashing — a bottle's replica set is the top-R members by HRW score of its
+// untagged ID over the whole membership (down members included: ejection is a
+// health observation, not a placement change). Writes go to the replica set's
+// healthy members (submits extend along the rendezvous order to keep R live
+// copies); writes that miss a replica queue hinted handoff on a replica that
+// succeeded; reads fan out to the replica set, merge, and queue read-repair
+// for replicas found missing a bottle. See docs/PROTOCOL.md §2.10 for the
+// consistency contract.
+
+// Members lists the current membership names in rack order.
+func (r *Ring) Members() []string {
+	nodes := r.members()
+	out := make([]string, len(nodes))
+	for i, n := range nodes {
+		out[i] = n.name
+	}
+	return out
+}
+
+// AddRack adds a named backend to the membership at runtime. Rendezvous
+// hashing bounds the re-placement: only IDs whose top-R set now includes the
+// new member move, ~R/N of the space — everything else keeps its replicas.
+// The backend belongs to the caller (the ring does not close it).
+func (r *Ring) AddRack(name string, b broker.Backend) error {
+	if name == "" {
+		return errors.New("client: rack name must be non-empty")
+	}
+	if b == nil {
+		return errors.New("client: rack backend must be non-nil")
+	}
+	return r.addNode(name, b, false)
+}
+
+// AddRackAddr dials a courier for addr and adds it to the membership under
+// its address as the name (the same naming Addrs-mode construction uses).
+// The courier dials lazily, so the rack may still be starting; the ring owns
+// and eventually closes it.
+func (r *Ring) AddRackAddr(addr string) error {
+	c, err := r.dialCourier(addr)
+	if err != nil {
+		return err
+	}
+	if err := r.addNode(addr, c, true); err != nil {
+		c.Close()
+		return err
+	}
+	return nil
+}
+
+func (r *Ring) addNode(name string, b broker.Backend, owned bool) error {
+	r.memberMu.Lock()
+	defer r.memberMu.Unlock()
+	cur := r.members()
+	for _, n := range cur {
+		if n.name == name {
+			return fmt.Errorf("client: ring already has a rack named %q", name)
+		}
+	}
+	next := make([]*rackNode, len(cur), len(cur)+1)
+	copy(next, cur)
+	next = append(next, &rackNode{idx: r.nextIdx, name: name, b: b, owned: owned})
+	r.nextIdx++
+	r.nodes.Store(&next)
+	return nil
+}
+
+// RemoveRack takes the named rack out of the membership at runtime. In-flight
+// operations holding the previous membership snapshot finish against it;
+// stale routing-table and tag references observe the removed mark and skip
+// it. An owned backend (Addrs mode, AddRackAddr) is closed. Re-placement is
+// again bounded by rendezvous hashing: only the removed member's ~R/N share
+// of the ID space re-ranks.
+func (r *Ring) RemoveRack(name string) error {
+	r.memberMu.Lock()
+	cur := r.members()
+	var victim *rackNode
+	next := make([]*rackNode, 0, len(cur))
+	for _, n := range cur {
+		if n.name == name && victim == nil {
+			victim = n
+			continue
+		}
+		next = append(next, n)
+	}
+	if victim == nil {
+		r.memberMu.Unlock()
+		return fmt.Errorf("client: ring has no rack named %q", name)
+	}
+	r.nodes.Store(&next)
+	r.memberMu.Unlock()
+	victim.removed.Store(true)
+	if victim.owned {
+		if c, ok := victim.b.(interface{ Close() error }); ok {
+			c.Close()
+		}
+	}
+	return nil
+}
+
+// submitTargets plans a replicated submit for an untagged ID: live is the
+// healthy members to write to — the healthy part of the top-R intent set,
+// extended along the rendezvous order until R live targets (so R copies exist
+// immediately even with an intent member down) — and missed is the intent
+// members currently ejected, which get hints instead of writes.
+func (r *Ring) submitTargets(id string) (live, missed []*rackNode) {
+	ranked := sortHRW(r.members(), id)
+	rf := min(r.rf, len(ranked))
+	for _, n := range ranked[:rf] {
+		if n.down.Load() {
+			missed = append(missed, n)
+		} else {
+			live = append(live, n)
+		}
+	}
+	for _, n := range ranked[rf:] {
+		if len(live) >= rf {
+			break
+		}
+		if !n.down.Load() {
+			live = append(live, n)
+		}
+	}
+	return live, missed
+}
+
+// replicaSet splits an untagged ID's intent set by health, with the learned
+// holder (which can sit outside the intent set after a membership change)
+// prepended to live.
+func (r *Ring) replicaSet(id string) (live, down []*rackNode) {
+	ranked := sortHRW(r.members(), id)
+	rf := min(r.rf, len(ranked))
+	seen := make(map[*rackNode]bool, rf+1)
+	if n, ok := r.idTab.get(id); ok && !n.removed.Load() && !n.down.Load() {
+		live = append(live, n)
+		seen[n] = true
+	}
+	for _, n := range ranked[:rf] {
+		if seen[n] {
+			continue
+		}
+		if n.down.Load() {
+			down = append(down, n)
+		} else {
+			live = append(live, n)
+		}
+	}
+	return live, down
+}
+
+// hintKey addresses one per-destination hint batch through the replica that
+// will queue it.
+type hintKey struct {
+	via  *rackNode
+	dest string
+}
+
+// hintSet accumulates the handoff records a fan-out decided to queue, grouped
+// by (queueing replica, destination) so each pair costs one Hint call.
+type hintSet struct {
+	m map[hintKey][]broker.HandoffRecord
+}
+
+func newHintSet() *hintSet { return &hintSet{m: make(map[hintKey][]broker.HandoffRecord)} }
+
+// add queues rec for dest via the first of the succeeded replicas whose
+// backend supports hinting; silently dropped when none does (in-process
+// plain racks) — replication then still works, only the handoff convergence
+// is absent.
+func (h *hintSet) add(via []*rackNode, dest string, rec broker.HandoffRecord) {
+	for _, n := range via {
+		if _, ok := n.b.(broker.Hinter); ok {
+			k := hintKey{via: n, dest: dest}
+			h.m[k] = append(h.m[k], rec)
+			return
+		}
+	}
+}
+
+// send delivers the accumulated hints, best-effort: hint queueing is an
+// optimization of convergence, never a reason to fail the operation that
+// already succeeded.
+func (r *Ring) sendHints(ctx context.Context, h *hintSet) {
+	for k, recs := range h.m {
+		if ctx.Err() != nil {
+			return
+		}
+		_, err := k.via.b.(broker.Hinter).Hint(ctx, k.dest, recs)
+		r.note(k.via, err)
+	}
+}
+
+// fanout runs op against every target concurrently and returns the per-target
+// errors, noting each against rack health.
+func (r *Ring) fanout(ctx context.Context, targets []*rackNode, op func(n *rackNode) error) []error {
+	errs := make([]error, len(targets))
+	var wg sync.WaitGroup
+	for i, n := range targets {
+		if err := ctx.Err(); err != nil {
+			errs[i] = err
+			continue
+		}
+		wg.Add(1)
+		go func(i int, n *rackNode) {
+			defer wg.Done()
+			err := op(n)
+			r.note(n, err)
+			errs[i] = err
+		}(i, n)
+	}
+	wg.Wait()
+	return errs
+}
+
+// closedBackend reports an error that means the target backend was torn down
+// under the call (a rack being removed at runtime) — inconclusive like a
+// fault, never a definitive answer.
+func closedBackend(err error) bool {
+	return errors.Is(err, ErrCourierClosed) || errors.Is(err, broker.ErrRackClosed)
+}
+
+// submitReplicated places raw on the bottle's R-way replica set. Success is
+// one replica accepting; replicas that miss the write (down at planning time,
+// or faulted during it) get RecSubmit hints queued on a replica that holds
+// the bottle. A replica answering duplicate already holds the bottle — that
+// is replication working, not an error — but when *every* replica says
+// duplicate the submit as a whole is the duplicate it would have been on a
+// single rack.
+func (r *Ring) submitReplicated(ctx context.Context, raw []byte, id string) (string, error) {
+	live, missed := r.submitTargets(id)
+	if len(live) == 0 {
+		return "", ErrNoHealthyRacks
+	}
+	ids := make([]string, len(live))
+	errs := make([]error, len(live))
+	var wg sync.WaitGroup
+	for i, n := range live {
+		if err := ctx.Err(); err != nil {
+			errs[i] = err
+			continue
+		}
+		wg.Add(1)
+		go func(i int, n *rackNode) {
+			defer wg.Done()
+			tid, err := n.b.Submit(ctx, raw)
+			r.note(n, err)
+			ids[i], errs[i] = tid, err
+		}(i, n)
+	}
+	wg.Wait()
+	var succ []*rackNode
+	var firstNode *rackNode
+	var firstID string
+	var firstErr error
+	for i, n := range live {
+		switch {
+		case errs[i] == nil:
+			if firstID == "" {
+				firstID, firstNode = ids[i], n
+			}
+			succ = append(succ, n)
+		case errors.Is(errs[i], broker.ErrDuplicateBottle):
+			succ = append(succ, n) // holds the bottle: a valid hint relay
+		default:
+			if firstErr == nil {
+				firstErr = errs[i]
+			}
+		}
+	}
+	if len(succ) == 0 {
+		return "", firstErr
+	}
+	if firstID == "" {
+		return "", broker.ErrDuplicateBottle
+	}
+	hints := newHintSet()
+	rec := broker.HandoffRecord{Type: broker.RecSubmit, Payload: raw}
+	for _, n := range missed {
+		hints.add(succ, n.name, rec)
+	}
+	for i, n := range live {
+		if errs[i] != nil && !errors.Is(errs[i], broker.ErrDuplicateBottle) {
+			hints.add(succ, n.name, rec)
+		}
+	}
+	r.sendHints(ctx, hints)
+	r.learn(firstNode, firstID)
+	if err := ctx.Err(); err != nil {
+		return "", err
+	}
+	return firstID, nil
+}
+
+// submitBatchReplicated is submitReplicated over a batch: items group into
+// one SubmitBatch per live replica, outcomes merge per item, and per-item
+// hints batch per (relay, destination) pair.
+func (r *Ring) submitBatchReplicated(ctx context.Context, raws [][]byte) ([]broker.SubmitResult, error) {
+	results := make([]broker.SubmitResult, len(raws))
+	type plan struct {
+		live, missed []*rackNode
+	}
+	plans := make([]plan, len(raws))
+	ids := make([]string, len(raws))
+	groups := make(map[*rackNode][]int)
+	anyTargets := false
+	for i, raw := range raws {
+		pkg, err := core.UnmarshalPackage(raw)
+		if err != nil {
+			results[i].Err = err
+			continue
+		}
+		ids[i] = pkg.ID
+		live, missed := r.submitTargets(pkg.ID)
+		if len(live) == 0 {
+			results[i].Err = ErrNoHealthyRacks
+			continue
+		}
+		plans[i] = plan{live: live, missed: missed}
+		for _, n := range live {
+			groups[n] = append(groups[n], i)
+		}
+		anyTargets = true
+	}
+	if !anyTargets && len(raws) > 0 {
+		// Nothing was routable; mirror the unreplicated contract when the
+		// cause is an empty healthy set rather than per-item validation.
+		if len(r.healthy()) == 0 {
+			return nil, ErrNoHealthyRacks
+		}
+		return results, nil
+	}
+	outcomes := r.dispatchGroups(ctx, groups, func(n *rackNode, idxs []int) map[int]outcome {
+		sub := make([][]byte, len(idxs))
+		for j, i := range idxs {
+			sub[j] = raws[i]
+		}
+		rs, err := n.b.SubmitBatch(ctx, sub)
+		r.note(n, err)
+		m := make(map[int]outcome, len(idxs))
+		for j, i := range idxs {
+			if err != nil {
+				m[i] = outcome{err: err}
+			} else {
+				m[i] = outcome{id: rs[j].ID, err: rs[j].Err}
+			}
+		}
+		return m
+	})
+	hints := newHintSet()
+	for i := range raws {
+		if results[i].Err != nil || ids[i] == "" {
+			continue
+		}
+		var succ []*rackNode
+		var firstNode *rackNode
+		var firstID string
+		var firstErr error
+		for _, n := range plans[i].live {
+			o := outcomes[n][i]
+			switch {
+			case o.err == nil:
+				if firstID == "" {
+					firstID, firstNode = o.id, n
+				}
+				succ = append(succ, n)
+			case errors.Is(o.err, broker.ErrDuplicateBottle):
+				succ = append(succ, n)
+			default:
+				if firstErr == nil {
+					firstErr = o.err
+				}
+			}
+		}
+		if len(succ) == 0 {
+			results[i].Err = firstErr
+			continue
+		}
+		if firstID == "" {
+			results[i].Err = broker.ErrDuplicateBottle
+			continue
+		}
+		results[i] = broker.SubmitResult{ID: firstID}
+		r.learn(firstNode, firstID)
+		rec := broker.HandoffRecord{Type: broker.RecSubmit, Payload: raws[i]}
+		for _, n := range plans[i].missed {
+			hints.add(succ, n.name, rec)
+		}
+		for _, n := range plans[i].live {
+			if o := outcomes[n][i]; o.err != nil && !errors.Is(o.err, broker.ErrDuplicateBottle) {
+				hints.add(succ, n.name, rec)
+			}
+		}
+	}
+	r.sendHints(ctx, hints)
+	if err := ctx.Err(); err != nil {
+		return results, err
+	}
+	return results, nil
+}
+
+// outcome is one (item, replica) result in a replicated batch dispatch.
+type outcome struct {
+	id      string
+	err     error
+	replies [][]byte
+}
+
+// dispatchGroups runs one batched call per replica concurrently, returning
+// each replica's per-item outcomes. Groups skipped by cancellation report the
+// context error for their items.
+func (r *Ring) dispatchGroups(ctx context.Context, groups map[*rackNode][]int, call func(n *rackNode, idxs []int) map[int]outcome) map[*rackNode]map[int]outcome {
+	out := make(map[*rackNode]map[int]outcome, len(groups))
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for n, idxs := range groups {
+		if err := ctx.Err(); err != nil {
+			m := make(map[int]outcome, len(idxs))
+			for _, i := range idxs {
+				m[i] = outcome{err: err}
+			}
+			out[n] = m
+			continue
+		}
+		wg.Add(1)
+		go func(n *rackNode, idxs []int) {
+			defer wg.Done()
+			m := call(n, idxs)
+			mu.Lock()
+			out[n] = m
+			mu.Unlock()
+		}(n, idxs)
+	}
+	wg.Wait()
+	return out
+}
+
+// replyOutcome classifies one replica's answer to a replicated write/read.
+type replyClass int
+
+const (
+	classOK replyClass = iota
+	classMissing
+	classFault
+	classOther
+)
+
+func classify(err error) replyClass {
+	switch {
+	case err == nil:
+		return classOK
+	case errors.Is(err, broker.ErrUnknownBottle):
+		return classMissing
+	case closedBackend(err), rackFault(err):
+		return classFault
+	default:
+		return classOther
+	}
+}
+
+// resolveReplicated merges per-replica errors into one outcome with the
+// ring's precedence: any success wins; then a definitive (validation) error;
+// then a fault (an unreachable replica may hold the bottle — see routed());
+// then unknown-bottle.
+func resolveReplicated(live []*rackNode, errs []error) (succ, missing, faulted []*rackNode, err error) {
+	var defErr, faultErr, lastErr error
+	for i, n := range live {
+		switch classify(errs[i]) {
+		case classOK:
+			succ = append(succ, n)
+		case classMissing:
+			missing = append(missing, n)
+			lastErr = errs[i]
+		case classFault:
+			faulted = append(faulted, n)
+			if faultErr == nil {
+				faultErr = errs[i]
+			}
+		case classOther:
+			if defErr == nil {
+				defErr = errs[i]
+			}
+		}
+	}
+	if len(succ) > 0 {
+		return succ, missing, faulted, nil
+	}
+	switch {
+	case defErr != nil:
+		err = defErr
+	case faultErr != nil:
+		err = faultErr
+	case lastErr != nil:
+		err = lastErr
+	default:
+		err = ErrNoHealthyRacks
+	}
+	return succ, missing, faulted, err
+}
+
+// replyReplicated posts the reply to every live replica of the bottle so any
+// replica can serve the subsequent fetch. Replicas missed by the post
+// converge through hints: RecReply for unreachable ones, read-repair
+// (RecRepair, which ships the bottle and its queued replies from a holder)
+// for live replicas that turned out not to hold the bottle at all.
+func (r *Ring) replyReplicated(ctx context.Context, requestID string, raw []byte) error {
+	rest := broker.UntagID(requestID)
+	live, down := r.replicaSet(rest)
+	if len(live) == 0 {
+		return ErrNoHealthyRacks
+	}
+	errs := r.fanout(ctx, live, func(n *rackNode) error {
+		return n.b.Reply(ctx, rest, raw)
+	})
+	succ, missing, faulted, err := resolveReplicated(live, errs)
+	if err != nil {
+		return err
+	}
+	// Remember a holder for the untagged ID only: the outer tag names the
+	// rack that minted the ID, which need not be the replica that answered.
+	r.idTab.put(rest, succ[0])
+	hints := newHintSet()
+	rec := broker.HandoffRecord{Type: broker.RecReply, Payload: broker.MarshalReplyPost(rest, raw)}
+	for _, n := range down {
+		hints.add(succ, n.name, rec)
+	}
+	for _, n := range faulted {
+		hints.add(succ, n.name, rec)
+	}
+	for _, n := range missing {
+		hints.add(succ, n.name, broker.HandoffRecord{Type: broker.RecRepair, Payload: []byte(rest)})
+		r.readRepairs.Add(1)
+	}
+	r.sendHints(ctx, hints)
+	return ctx.Err()
+}
+
+// fetchReplicated drains every live replica's queue for the bottle and merges
+// the replies, collapsing byte-identical copies the replication itself
+// produced. Replicas that don't hold the bottle while others do get
+// read-repair hints.
+func (r *Ring) fetchReplicated(ctx context.Context, requestID string) ([][]byte, error) {
+	rest := broker.UntagID(requestID)
+	live, _ := r.replicaSet(rest)
+	if len(live) == 0 {
+		return nil, ErrNoHealthyRacks
+	}
+	replies := make([][][]byte, len(live))
+	errs := make([]error, len(live))
+	var wg sync.WaitGroup
+	for i, n := range live {
+		if err := ctx.Err(); err != nil {
+			errs[i] = err
+			continue
+		}
+		wg.Add(1)
+		go func(i int, n *rackNode) {
+			defer wg.Done()
+			raws, err := n.b.Fetch(ctx, rest)
+			r.note(n, err)
+			replies[i], errs[i] = raws, err
+		}(i, n)
+	}
+	wg.Wait()
+	succ, missing, _, err := resolveReplicated(live, errs)
+	if err != nil {
+		return nil, err
+	}
+	var out [][]byte
+	seen := make(map[string]struct{})
+	for i := range live {
+		if errs[i] != nil {
+			continue
+		}
+		for _, rep := range replies[i] {
+			if _, dup := seen[string(rep)]; dup {
+				r.replicaDedup.Add(1)
+				continue
+			}
+			seen[string(rep)] = struct{}{}
+			out = append(out, rep)
+		}
+	}
+	r.idTab.put(rest, succ[0])
+	if len(missing) > 0 {
+		hints := newHintSet()
+		for _, n := range missing {
+			hints.add(succ, n.name, broker.HandoffRecord{Type: broker.RecRepair, Payload: []byte(rest)})
+			r.readRepairs.Add(1)
+		}
+		r.sendHints(ctx, hints)
+	}
+	if err := ctx.Err(); err != nil {
+		return out, err
+	}
+	return out, nil
+}
+
+// removeReplicated takes the bottle off every live replica, best-effort
+// destructive: held reports whether any replica held it, and replicas the
+// remove could not reach get RecRemove hints so the bottle does not resurface
+// from a returning replica.
+func (r *Ring) removeReplicated(ctx context.Context, requestID string) (bool, error) {
+	rest := broker.UntagID(requestID)
+	live, down := r.replicaSet(rest)
+	if len(live) == 0 {
+		return false, ErrNoHealthyRacks
+	}
+	held := make([]bool, len(live))
+	errs := make([]error, len(live))
+	var wg sync.WaitGroup
+	for i, n := range live {
+		if err := ctx.Err(); err != nil {
+			errs[i] = err
+			continue
+		}
+		wg.Add(1)
+		go func(i int, n *rackNode) {
+			defer wg.Done()
+			h, err := n.b.Remove(ctx, rest)
+			r.note(n, err)
+			held[i], errs[i] = h, err
+		}(i, n)
+	}
+	wg.Wait()
+	var succ, faulted []*rackNode
+	var faultErr error
+	anyHeld := false
+	for i, n := range live {
+		if errs[i] == nil {
+			succ = append(succ, n)
+			anyHeld = anyHeld || held[i]
+			continue
+		}
+		faulted = append(faulted, n)
+		if faultErr == nil {
+			faultErr = errs[i]
+		}
+	}
+	if len(succ) == 0 {
+		return false, faultErr
+	}
+	hints := newHintSet()
+	rec := broker.HandoffRecord{Type: broker.RecRemove, Payload: []byte(rest)}
+	for _, n := range down {
+		hints.add(succ, n.name, rec)
+	}
+	for _, n := range faulted {
+		hints.add(succ, n.name, rec)
+	}
+	r.sendHints(ctx, hints)
+	r.idTab.del(rest)
+	if err := ctx.Err(); err != nil {
+		return anyHeld, err
+	}
+	// A faulted replica leaves the ambiguity visible only when nothing held:
+	// any holder answering makes the remove definitive, the hints converge
+	// the rest.
+	if !anyHeld && faultErr != nil {
+		return false, faultErr
+	}
+	return anyHeld, nil
+}
+
+// replyBatchReplicated is replyReplicated over a batch: one ReplyBatch per
+// live replica, outcomes merged per item, hints batched per destination.
+func (r *Ring) replyBatchReplicated(ctx context.Context, posts []broker.ReplyPost) ([]error, error) {
+	errs := make([]error, len(posts))
+	type plan struct {
+		live, down []*rackNode
+	}
+	plans := make([]plan, len(posts))
+	rests := make([]string, len(posts))
+	groups := make(map[*rackNode][]int)
+	for i, p := range posts {
+		rests[i] = broker.UntagID(p.RequestID)
+		live, down := r.replicaSet(rests[i])
+		if len(live) == 0 {
+			errs[i] = ErrNoHealthyRacks
+			continue
+		}
+		plans[i] = plan{live: live, down: down}
+		for _, n := range live {
+			groups[n] = append(groups[n], i)
+		}
+	}
+	outcomes := r.dispatchGroups(ctx, groups, func(n *rackNode, idxs []int) map[int]outcome {
+		sub := make([]broker.ReplyPost, len(idxs))
+		for j, i := range idxs {
+			sub[j] = broker.ReplyPost{RequestID: rests[i], Raw: posts[i].Raw}
+		}
+		rs, err := n.b.ReplyBatch(ctx, sub)
+		r.note(n, err)
+		m := make(map[int]outcome, len(idxs))
+		for j, i := range idxs {
+			if err != nil {
+				m[i] = outcome{err: err}
+			} else {
+				m[i] = outcome{err: rs[j]}
+			}
+		}
+		return m
+	})
+	hints := newHintSet()
+	for i := range posts {
+		if plans[i].live == nil {
+			continue
+		}
+		perNode := make([]error, len(plans[i].live))
+		for j, n := range plans[i].live {
+			perNode[j] = outcomes[n][i].err
+		}
+		succ, missing, faulted, err := resolveReplicated(plans[i].live, perNode)
+		errs[i] = err
+		if err != nil {
+			continue
+		}
+		rec := broker.HandoffRecord{Type: broker.RecReply, Payload: broker.MarshalReplyPost(rests[i], posts[i].Raw)}
+		for _, n := range plans[i].down {
+			hints.add(succ, n.name, rec)
+		}
+		for _, n := range faulted {
+			hints.add(succ, n.name, rec)
+		}
+		for _, n := range missing {
+			hints.add(succ, n.name, broker.HandoffRecord{Type: broker.RecRepair, Payload: []byte(rests[i])})
+			r.readRepairs.Add(1)
+		}
+	}
+	r.sendHints(ctx, hints)
+	if err := ctx.Err(); err != nil {
+		return errs, err
+	}
+	return errs, nil
+}
+
+// fetchBatchReplicated is fetchReplicated over a batch: one FetchBatch per
+// live replica, replies merged and deduplicated per item.
+func (r *Ring) fetchBatchReplicated(ctx context.Context, ids []string) ([]broker.FetchResult, error) {
+	results := make([]broker.FetchResult, len(ids))
+	type plan struct {
+		live []*rackNode
+	}
+	plans := make([]plan, len(ids))
+	rests := make([]string, len(ids))
+	groups := make(map[*rackNode][]int)
+	for i, id := range ids {
+		rests[i] = broker.UntagID(id)
+		live, _ := r.replicaSet(rests[i])
+		if len(live) == 0 {
+			results[i].Err = ErrNoHealthyRacks
+			continue
+		}
+		plans[i] = plan{live: live}
+		for _, n := range live {
+			groups[n] = append(groups[n], i)
+		}
+	}
+	outcomes := r.dispatchGroups(ctx, groups, func(n *rackNode, idxs []int) map[int]outcome {
+		sub := make([]string, len(idxs))
+		for j, i := range idxs {
+			sub[j] = rests[i]
+		}
+		rs, err := n.b.FetchBatch(ctx, sub)
+		r.note(n, err)
+		m := make(map[int]outcome, len(idxs))
+		for j, i := range idxs {
+			if err != nil {
+				m[i] = outcome{err: err}
+			} else {
+				m[i] = outcome{replies: rs[j].Replies, err: rs[j].Err}
+			}
+		}
+		return m
+	})
+	hints := newHintSet()
+	for i := range ids {
+		if plans[i].live == nil {
+			continue
+		}
+		perNode := make([]error, len(plans[i].live))
+		for j, n := range plans[i].live {
+			perNode[j] = outcomes[n][i].err
+		}
+		succ, missing, _, err := resolveReplicated(plans[i].live, perNode)
+		if err != nil {
+			results[i].Err = err
+			continue
+		}
+		seen := make(map[string]struct{})
+		var merged [][]byte
+		for _, n := range plans[i].live {
+			o := outcomes[n][i]
+			if o.err != nil {
+				continue
+			}
+			for _, rep := range o.replies {
+				if _, dup := seen[string(rep)]; dup {
+					r.replicaDedup.Add(1)
+					continue
+				}
+				seen[string(rep)] = struct{}{}
+				merged = append(merged, rep)
+			}
+		}
+		results[i] = broker.FetchResult{Replies: merged}
+		for _, n := range missing {
+			hints.add(succ, n.name, broker.HandoffRecord{Type: broker.RecRepair, Payload: []byte(rests[i])})
+			r.readRepairs.Add(1)
+		}
+	}
+	r.sendHints(ctx, hints)
+	if err := ctx.Err(); err != nil {
+		return results, err
+	}
+	return results, nil
+}

@@ -52,6 +52,9 @@ type TickStats struct {
 	// queued and retried on the next Tick, so a hiccup shows up here without
 	// losing the reply; a definitive broker answer drops it for good.
 	ReplyErrors int
+	// Duplicates is the number of swept bottles dropped as replica copies of
+	// a bottle already handled this tick (same untagged ID, different rack).
+	Duplicates int
 	// Scanned and Rejected echo the broker's screening counters for the sweep.
 	Scanned, Rejected int
 	// Truncated reports that more bottles passed the prefilter than Limit
@@ -136,11 +139,24 @@ func (s *Sweeper) Tick(ctx context.Context) (TickStats, error) {
 	// survive the failed post.
 	posts := s.pending
 	s.pending = nil
+	// One bottle, one observation — regardless of how many replicas served
+	// it. tick collapses same-ID copies inside this sweep; the seen window
+	// stores the *untagged* ID because each rack strips only its own tag from
+	// inbound Seen entries: a tagged entry learned from replica A would never
+	// suppress the same bottle on replica B, and the candidate would evaluate
+	// it once per replica.
+	tick := make(map[string]struct{}, len(res.Bottles))
 	for _, b := range res.Bottles {
-		s.seen = append(s.seen, b.ID)
+		id := broker.UntagID(b.ID)
+		if _, dup := tick[id]; dup {
+			st.Duplicates++
+			continue
+		}
+		tick[id] = struct{}{}
+		s.seen = append(s.seen, id)
 		// Skip decides on the request ID proper; swept IDs may carry a rack
 		// tag ("tag@id") that callers keying by package ID never see.
-		if s.cfg.Skip != nil && s.cfg.Skip(broker.UntagID(b.ID)) {
+		if s.cfg.Skip != nil && s.cfg.Skip(id) {
 			continue
 		}
 		pkg, err := core.UnmarshalPackage(b.Raw)

@@ -333,3 +333,86 @@ func TestSweeperValidation(t *testing.T) {
 		t.Fatal("NewSweeper accepted nil participant")
 	}
 }
+
+// duplicatingBackend re-serves every swept bottle under a second fake rack
+// tag, simulating an aggregator that fans a sweep over two replicas without
+// merging — the worst case the sweeper's own dedup must absorb.
+type duplicatingBackend struct {
+	*broker.Rack
+}
+
+func (d *duplicatingBackend) Sweep(ctx context.Context, q broker.SweepQuery) (broker.SweepResult, error) {
+	res, err := d.Rack.Sweep(ctx, q)
+	if err != nil {
+		return res, err
+	}
+	copies := make([]broker.SweptBottle, 0, 2*len(res.Bottles))
+	for _, b := range res.Bottles {
+		copies = append(copies,
+			broker.SweptBottle{ID: "ra@" + broker.UntagID(b.ID), Raw: b.Raw},
+			broker.SweptBottle{ID: "rb@" + broker.UntagID(b.ID), Raw: b.Raw},
+		)
+	}
+	res.Bottles = copies
+	return res, nil
+}
+
+// TestSweeperReplicaCopiesOneObservation proves the same bottle served by two
+// replicas in one sweep is evaluated once, replied to once, and counted as
+// one duplicate.
+func TestSweeperReplicaCopiesOneObservation(t *testing.T) {
+	rack := broker.New(broker.Config{Shards: 2, ReapInterval: -1})
+	defer rack.Close()
+	raw, pkg := buildRaw(t, 81)
+	if _, err := rack.Submit(context.Background(), raw); err != nil {
+		t.Fatal(err)
+	}
+	sweeper, err := NewSweeper(&duplicatingBackend{Rack: rack}, SweeperConfig{
+		Participant: newParticipant(t, "bob", "chess", "go"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := sweeper.Tick(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Swept != 2 || st.Evaluated != 1 || st.Duplicates != 1 || st.Replies != 1 {
+		t.Fatalf("tick stats = %+v, want 2 swept collapsing to 1 evaluation, 1 duplicate, 1 reply", st)
+	}
+	if got, err := rack.Fetch(context.Background(), pkg.ID); err != nil || len(got) != 1 {
+		t.Fatalf("Fetch = %d replies, %v; want exactly one", len(got), err)
+	}
+}
+
+// TestSweeperSeenWindowSpansReplicas proves the seen window suppresses a
+// bottle on *every* replica: each rack strips only its own tag from inbound
+// Seen entries, so a window of tagged IDs would let the other replica
+// re-serve the bottle on the next tick.
+func TestSweeperSeenWindowSpansReplicas(t *testing.T) {
+	ring, _, _ := testReplicatedCluster(t, 2, 2)
+	raw, _ := buildRaw(t, 82)
+	if _, err := ring.Submit(context.Background(), raw); err != nil {
+		t.Fatal(err)
+	}
+	sweeper, err := NewSweeper(ring, SweeperConfig{
+		Participant: newParticipant(t, "bob", "chess", "go"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := sweeper.Tick(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Evaluated != 1 || st.Replies != 1 {
+		t.Fatalf("tick 1 stats = %+v, want the bottle evaluated and replied once", st)
+	}
+	st, err = sweeper.Tick(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Swept != 0 || st.Evaluated != 0 || st.Duplicates != 0 {
+		t.Fatalf("tick 2 stats = %+v, want both replicas suppressed by the seen window", st)
+	}
+}

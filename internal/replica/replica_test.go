@@ -1,0 +1,257 @@
+package replica
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"sealedbottle/internal/attr"
+	"sealedbottle/internal/broker"
+	"sealedbottle/internal/broker/transport"
+	"sealedbottle/internal/core"
+)
+
+type detReader struct{ rng *rand.Rand }
+
+func (d *detReader) Read(p []byte) (int, error) { return d.rng.Read(p) }
+
+func buildRaw(tb testing.TB, seed int64) ([]byte, *core.RequestPackage) {
+	tb.Helper()
+	built, err := core.BuildRequest(core.RequestSpec{
+		Necessary: []attr.Attribute{attr.MustNew("interest", "chess")},
+	}, core.BuildOptions{
+		Origin: "alice",
+		Rand:   &detReader{rng: rand.New(rand.NewSource(seed))},
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	raw, err := built.Package.Marshal()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return raw, built.Package
+}
+
+func newNode(tb testing.TB, self string, cfg Config) *Node {
+	tb.Helper()
+	cfg.Self = self
+	if cfg.StreamInterval == 0 {
+		cfg.StreamInterval = -1 // tests drive Flush explicitly
+	}
+	n := Wrap(broker.New(broker.Config{Shards: 2, ReapInterval: -1}), cfg)
+	tb.Cleanup(func() { n.Close() })
+	return n
+}
+
+func TestHintQueueDedupAndBound(t *testing.T) {
+	n := newNode(t, "rack-0", Config{MaxHintsPerDest: 2})
+	ctx := context.Background()
+	rec1 := broker.HandoffRecord{Type: broker.RecRemove, Payload: []byte("a")}
+	rec2 := broker.HandoffRecord{Type: broker.RecRemove, Payload: []byte("b")}
+	rec3 := broker.HandoffRecord{Type: broker.RecRemove, Payload: []byte("c")}
+
+	if got, err := n.Hint(ctx, "rack-1", []broker.HandoffRecord{rec1, rec1, rec2}); err != nil || got != 3 {
+		t.Fatalf("Hint = %d, %v; want 3 accepted (duplicate covered)", got, err)
+	}
+	if n.Pending() != 2 {
+		t.Fatalf("Pending = %d, want 2 (duplicate collapsed)", n.Pending())
+	}
+	// Queue is at its bound: a third distinct record is shed.
+	if got, err := n.Hint(ctx, "rack-1", []broker.HandoffRecord{rec3}); err != nil || got != 0 {
+		t.Fatalf("Hint past bound = %d, %v; want 0 accepted", got, err)
+	}
+	st := n.ReplicaStats()
+	if st.HintsQueued != 2 || st.HintsDropped != 1 {
+		t.Fatalf("stats = %+v, want 2 queued / 1 dropped", st)
+	}
+}
+
+func TestHintToSelfAppliesLocally(t *testing.T) {
+	n := newNode(t, "rack-0", Config{})
+	raw, pkg := buildRaw(t, 1)
+	got, err := n.Hint(context.Background(), "rack-0", []broker.HandoffRecord{{Type: broker.RecSubmit, Payload: raw}})
+	if err != nil || got != 1 {
+		t.Fatalf("Hint to self = %d, %v; want 1 applied", got, err)
+	}
+	if n.Pending() != 0 {
+		t.Fatalf("Pending = %d, want 0 (applied, not queued)", n.Pending())
+	}
+	if _, _, ok := n.PeekBottle(pkg.ID); !ok {
+		t.Fatal("self-hinted bottle not racked")
+	}
+}
+
+func TestHandoffIdempotent(t *testing.T) {
+	n := newNode(t, "rack-0", Config{})
+	ctx := context.Background()
+	raw, pkg := buildRaw(t, 2)
+	rep := (&core.Reply{RequestID: pkg.ID, From: "bob", SentAt: time.Now()}).Marshal()
+	ghostRep := (&core.Reply{RequestID: "ghost", From: "bob", SentAt: time.Now()}).Marshal()
+	recs := []broker.HandoffRecord{
+		{Type: broker.RecSubmit, Payload: raw},
+		{Type: broker.RecReply, Payload: broker.MarshalReplyPost(pkg.ID, rep)},
+		{Type: broker.RecReply, Payload: broker.MarshalReplyPost("ghost", ghostRep)}, // unknown bottle: moot
+		{Type: broker.RecRemove, Payload: []byte("ghost")},                           // absent bottle: moot
+		{Type: 99, Payload: []byte("future")},                                        // unknown type: skipped
+	}
+	applied, err := n.Handoff(ctx, recs)
+	if err != nil || applied != 4 {
+		t.Fatalf("Handoff = %d, %v; want 4 applied", applied, err)
+	}
+	// Re-delivery of the same batch converges instead of failing.
+	if _, err := n.Handoff(ctx, recs); err != nil {
+		t.Fatalf("re-delivered Handoff errored: %v", err)
+	}
+	if got, err := n.Fetch(ctx, pkg.ID); err != nil || len(got) != 2 {
+		t.Fatalf("Fetch = %d replies, %v; want the original and re-delivered reply", len(got), err)
+	}
+}
+
+func TestRepairHintResolvesFromOwnCopy(t *testing.T) {
+	n := newNode(t, "rack-0", Config{})
+	ctx := context.Background()
+	raw, pkg := buildRaw(t, 3)
+	if _, err := n.Submit(ctx, raw); err != nil {
+		t.Fatal(err)
+	}
+	rep := (&core.Reply{RequestID: pkg.ID, From: "bob", SentAt: time.Now()}).Marshal()
+	if err := n.Reply(ctx, pkg.ID, rep); err != nil {
+		t.Fatal(err)
+	}
+	got, err := n.Hint(ctx, "rack-1", []broker.HandoffRecord{
+		{Type: broker.RecRepair, Payload: []byte(pkg.ID)},
+		{Type: broker.RecRepair, Payload: []byte("not-held")}, // silently droppable
+	})
+	if err != nil || got != 2 {
+		t.Fatalf("repair Hint = %d, %v; want 2 (submit + reply)", got, err)
+	}
+	if n.Pending() != 2 {
+		t.Fatalf("Pending = %d, want resolved submit + reply records", n.Pending())
+	}
+}
+
+func TestPeerTableAdmin(t *testing.T) {
+	n := newNode(t, "rack-0", Config{Peers: map[string]string{"rack-1": "a:1"}})
+	if err := n.SetPeer("rack-2", "b:2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.SetPeer("", "x"); err == nil {
+		t.Fatal("empty peer name accepted")
+	}
+	if got := n.Peers(); len(got) != 2 || got["rack-1"] != "a:1" || got["rack-2"] != "b:2" {
+		t.Fatalf("Peers = %v", got)
+	}
+	// Removing a peer sheds its queued hints.
+	if _, err := n.Hint(context.Background(), "rack-1", []broker.HandoffRecord{{Type: broker.RecRemove, Payload: []byte("x")}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.RemovePeer("rack-1"); err != nil {
+		t.Fatal(err)
+	}
+	if n.Pending() != 0 {
+		t.Fatalf("Pending = %d after RemovePeer, want 0", n.Pending())
+	}
+	if st := n.ReplicaStats(); st.HintsDropped != 1 {
+		t.Fatalf("HintsDropped = %d, want 1", st.HintsDropped)
+	}
+}
+
+// TestStreamEndToEnd runs the full handoff loop over the wire: rack-0 queues
+// hints while rack-1 is down, rack-1 comes up, a flush streams the records
+// through OpHandoff, and rack-1 converges to holding the bottle and reply.
+func TestStreamEndToEnd(t *testing.T) {
+	ctx := context.Background()
+
+	// rack-1 comes up behind a pipe listener with its own replica handler.
+	n1 := newNode(t, "rack-1", Config{})
+	l := transport.ListenPipe()
+	srv := transport.NewServer(n1.Rack, transport.ServerOptions{Replica: n1})
+	go srv.Serve(l)
+	defer func() { l.Close(); srv.Close() }()
+
+	up := false
+	n0 := newNode(t, "rack-0", Config{
+		Peers:       map[string]string{"rack-1": "pipe"},
+		StreamBatch: 1, // force multiple delivery round trips
+		Dial: func(addr string) (HandoffTarget, error) {
+			if !up {
+				return nil, errors.New("peer down")
+			}
+			conn, err := l.Dial()
+			if err != nil {
+				return nil, err
+			}
+			return transport.NewMux(conn)
+		},
+	})
+
+	raw, pkg := buildRaw(t, 4)
+	rep := (&core.Reply{RequestID: pkg.ID, From: "bob", SentAt: time.Now()}).Marshal()
+	if _, err := n0.Hint(ctx, "rack-1", []broker.HandoffRecord{
+		{Type: broker.RecSubmit, Payload: raw},
+		{Type: broker.RecReply, Payload: broker.MarshalReplyPost(pkg.ID, rep)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// While the peer is down the queue survives a failed pass.
+	if sent, err := n0.Flush(ctx); err == nil || sent != 0 {
+		t.Fatalf("Flush against down peer = %d, %v; want 0 and an error", sent, err)
+	}
+	if n0.Pending() != 2 {
+		t.Fatalf("Pending = %d after failed flush, want 2", n0.Pending())
+	}
+
+	up = true
+	if sent, err := n0.Flush(ctx); err != nil || sent != 2 {
+		t.Fatalf("Flush = %d, %v; want 2 streamed", sent, err)
+	}
+	if n0.Pending() != 0 {
+		t.Fatalf("Pending = %d after flush, want 0", n0.Pending())
+	}
+	if got, err := n1.Fetch(ctx, pkg.ID); err != nil || len(got) != 1 {
+		t.Fatalf("rack-1 Fetch = %d replies, %v; want converged bottle with 1 reply", len(got), err)
+	}
+	st0, st1 := n0.ReplicaStats(), n1.ReplicaStats()
+	if st0.HintsStreamed != 2 || st1.HandoffApplied != 2 {
+		t.Fatalf("counters: streamer %+v, receiver %+v", st0, st1)
+	}
+}
+
+// TestBackgroundStreamer proves the ticker path delivers without explicit
+// Flush calls.
+func TestBackgroundStreamer(t *testing.T) {
+	n1 := newNode(t, "rack-1", Config{})
+	l := transport.ListenPipe()
+	srv := transport.NewServer(n1.Rack, transport.ServerOptions{Replica: n1})
+	go srv.Serve(l)
+	defer func() { l.Close(); srv.Close() }()
+
+	n0 := newNode(t, "rack-0", Config{
+		Peers:          map[string]string{"rack-1": "pipe"},
+		StreamInterval: 10 * time.Millisecond,
+		Dial: func(addr string) (HandoffTarget, error) {
+			conn, err := l.Dial()
+			if err != nil {
+				return nil, err
+			}
+			return transport.NewMux(conn)
+		},
+	})
+
+	raw, pkg := buildRaw(t, 5)
+	if _, err := n0.Hint(context.Background(), "rack-1", []broker.HandoffRecord{{Type: broker.RecSubmit, Payload: raw}}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if _, _, ok := n1.PeekBottle(pkg.ID); ok {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("background streamer never delivered the hint")
+}

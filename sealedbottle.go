@@ -43,6 +43,7 @@ import (
 	"sealedbottle/internal/broker"
 	"sealedbottle/internal/broker/transport"
 	"sealedbottle/internal/client"
+	"sealedbottle/internal/replica"
 )
 
 // Backend is the canonical rendezvous surface: one context-first interface
@@ -166,6 +167,32 @@ func NewServer(rack *Rack, opts ...ServerOptions) *Server {
 	return transport.NewServer(rack, opts...)
 }
 
+// ReplicationStats counts a backend's replication activity: hinted-handoff
+// queue traffic on the rack side, read-repairs and replica-dedup hits on the
+// ring side. It rides inside Stats and crosses the wire with it.
+type ReplicationStats = broker.ReplicationStats
+
+// HandoffRecord is one replicated mutation in transit between racks — the
+// WAL record encodings reused as the rack-to-rack transfer format.
+type HandoffRecord = broker.HandoffRecord
+
+// ReplicaNode wraps a Rack with the server side of replication: per-peer
+// hint queues, a background handoff streamer, idempotent handoff apply, and
+// a runtime peer table. It remains a full Backend.
+type ReplicaNode = replica.Node
+
+// ReplicaConfig tunes a ReplicaNode (identity, peer table, hint bounds,
+// streaming cadence).
+type ReplicaConfig = replica.Config
+
+// HandoffTarget is the destination surface the replica streamer delivers
+// hint batches to.
+type HandoffTarget = replica.HandoffTarget
+
+// WrapReplica wraps a rack for replicated duty. The node takes ownership of
+// the rack: closing the node closes the rack.
+func WrapReplica(rack *Rack, cfg ReplicaConfig) *ReplicaNode { return replica.Wrap(rack, cfg) }
+
 // PipeListener is an in-memory listener for in-process deployments: the full
 // framed protocol with no sockets.
 type PipeListener = transport.PipeListener
@@ -192,6 +219,11 @@ const (
 	// DefaultFailThreshold is the consecutive rack-fault count that ejects a
 	// rack from a ring's routing.
 	DefaultFailThreshold = client.DefaultFailThreshold
+	// DefaultMaxHintsPerDest bounds a replica node's per-destination hint
+	// queue.
+	DefaultMaxHintsPerDest = replica.DefaultMaxHintsPerDest
+	// DefaultStreamInterval is the replica node's handoff streaming period.
+	DefaultStreamInterval = replica.DefaultStreamInterval
 )
 
 // SplitTaggedID splits a rack-tagged request ID ("tag@id") into its tag and
@@ -219,6 +251,9 @@ var (
 	ErrRackClosed = broker.ErrRackClosed
 	// ErrNoHealthyRacks indicates that every rack of a ring is ejected.
 	ErrNoHealthyRacks = client.ErrNoHealthyRacks
+	// ErrNotReplicated indicates a replication operation against an endpoint
+	// that does not speak the replication opcodes.
+	ErrNotReplicated = client.ErrNotReplicated
 	// ErrCallTimeout indicates a wire call that exceeded its per-call
 	// timeout (inside an AbandonedError, connection unaffected) or a
 	// connection that made no progress at all (connection failed).
