@@ -1,6 +1,12 @@
 GO ?= go
 
-.PHONY: all build test race fuzz-smoke bench bench-json tables
+# Perf trajectory knobs: BENCH_OUT is where `make bench-json` records the
+# current numbers (bump the <n> when a PR moves the needle), BENCH_BASELINE
+# is the checked-in point `make bench-compare` gates against.
+BENCH_OUT ?= BENCH_7.json
+BENCH_BASELINE ?= BENCH_7.json
+
+.PHONY: all build test race fuzz-smoke bench bench-json bench-compare profile tables
 
 all: build test
 
@@ -24,12 +30,29 @@ bench:
 	$(GO) test -run '^$$' -bench . -benchmem .
 
 # Perf trajectory: run the root benchmark suite and record it as
-# BENCH_6.json (name, ns/op, B/op, allocs/op per benchmark). CI runs the
+# $(BENCH_OUT) (name, ns/op, B/op, allocs/op per benchmark). CI runs the
 # same pipeline at -benchtime 25x as a smoke test; regenerate at full
 # benchtime before checking in a new trajectory point.
 bench-json:
-	$(GO) test -run '^$$' -bench . -benchmem . | $(GO) run ./cmd/benchtables -bench-json BENCH_6.json
-	@echo wrote BENCH_6.json
+	$(GO) test -run '^$$' -bench . -benchmem . | $(GO) run ./cmd/benchtables -bench-json $(BENCH_OUT)
+	@echo wrote $(BENCH_OUT)
+
+# Old-vs-new perf gate: run the broker/transport bench smoke and fail on a
+# >20% ns/op geomean regression (or allocs/op growth) against the
+# checked-in $(BENCH_BASELINE). CI runs this on every push.
+# Time-based benchtime, not a fixed -benchtime Nx: pool and WAL warm-up
+# allocations only amortize out of allocs/op at high iteration counts, and
+# the alloc gate is the sharp edge of the comparison.
+bench-compare:
+	$(GO) test -run '^$$' -bench 'Broker|Transport|RackSweep|Codec' -benchtime 0.5s -benchmem . \
+		| $(GO) run ./cmd/benchtables -bench-compare $(BENCH_BASELINE)
+
+# Profile the submit/sweep hot path; inspect with `go tool pprof cpu.pprof`
+# (or mem.pprof). bench.test is kept so pprof can resolve symbols.
+profile:
+	$(GO) test -run '^$$' -bench 'BrokerSubmitDurable|RackSweep|TransportSubmitPipelined' -benchtime 2s \
+		-cpuprofile cpu.pprof -memprofile mem.pprof -o bench.test .
+	@echo wrote cpu.pprof, mem.pprof, bench.test
 
 tables:
 	$(GO) run ./cmd/benchtables

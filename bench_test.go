@@ -591,6 +591,45 @@ func BenchmarkBrokerPrefilter(b *testing.B) {
 	}
 }
 
+// BenchmarkCodecRoundTrips measures the steady-state codec paths of the
+// allocation-free hot path: the Append* encoders reuse caller scratch and the
+// *View decoders alias the frame, so a warmed round trip allocates nothing.
+// The budgets are pinned by TestCodecRoundTripAllocFree; this records them in
+// the perf trajectory.
+func BenchmarkCodecRoundTrips(b *testing.B) {
+	raws := benchRawBottles(b, 3)
+	res := broker.SweepResult{
+		Bottles: []broker.SweptBottle{
+			{ID: "bench-codec-1", Raw: raws[0]},
+			{ID: "bench-codec-2", Raw: raws[1]},
+			{ID: "bench-codec-3", Raw: raws[2]},
+		},
+		Scanned: 64,
+	}
+	b.Run("sweep-result", func(b *testing.B) {
+		var buf []byte
+		var view broker.SweepResultView
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			buf = broker.AppendSweepResult(buf[:0], res)
+			if err := broker.UnmarshalSweepResultView(buf, &view); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("reply-post", func(b *testing.B) {
+		var buf []byte
+		var view broker.ReplyPostView
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			buf = broker.AppendReplyPost(buf[:0], "bench-codec-1", raws[0])
+			if err := broker.UnmarshalReplyPostView(buf, &view); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // --- Transport benchmarks -------------------------------------------------
 //
 // These compare the two wire framings on ONE connection: the lock-step client

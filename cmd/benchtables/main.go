@@ -13,9 +13,12 @@
 // stdin and writes the benchmark results as JSON (name, ns/op, B/op,
 // allocs/op) — the repository's perf-trajectory format:
 //
-//	go test -run '^$' -bench . -benchmem . | benchtables -bench-json BENCH_6.json
+//	go test -run '^$' -bench . -benchmem . | benchtables -bench-json BENCH_7.json
 //
-// (or just `make bench-json`).
+// (or just `make bench-json`). With -bench-compare BASELINE.json it instead
+// compares the stdin results against a checked-in trajectory point and exits
+// nonzero on a >20% ns/op geomean regression or allocs/op growth past a +1
+// rounding slack — the `make bench-compare` / CI perf gate.
 package main
 
 import (
@@ -24,6 +27,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"strconv"
 	"strings"
@@ -41,19 +45,24 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("benchtables", flag.ContinueOnError)
 	var (
-		table     = fs.Int("table", 0, "regenerate only this table (1-7); 0 = all")
-		figure    = fs.Int("figure", 0, "regenerate only this figure (4-7); 0 = all")
-		ablation  = fs.String("ablation", "", "run ablations: remainder, verifiability, location, or all")
-		users     = fs.Int("users", 0, "synthetic corpus size (default 5000)")
-		seed      = fs.Int64("seed", 1, "random seed for the synthetic corpus")
-		inits     = fs.Int("initiators", 0, "initiators averaged in Figures 6-7 (default 10)")
-		benchJSON = fs.String("bench-json", "", "parse `go test -bench` output from stdin and write it as JSON to this file")
+		table        = fs.Int("table", 0, "regenerate only this table (1-7); 0 = all")
+		figure       = fs.Int("figure", 0, "regenerate only this figure (4-7); 0 = all")
+		ablation     = fs.String("ablation", "", "run ablations: remainder, verifiability, location, or all")
+		users        = fs.Int("users", 0, "synthetic corpus size (default 5000)")
+		seed         = fs.Int64("seed", 1, "random seed for the synthetic corpus")
+		inits        = fs.Int("initiators", 0, "initiators averaged in Figures 6-7 (default 10)")
+		benchJSON    = fs.String("bench-json", "", "parse `go test -bench` output from stdin and write it as JSON to this file")
+		benchCompare = fs.String("bench-compare", "", "parse `go test -bench` output from stdin and compare it against this baseline BENCH_*.json; exit nonzero past -bench-compare-max")
+		benchMax     = fs.Float64("bench-compare-max", 1.20, "maximum allowed ns/op geometric-mean ratio (new/old) for -bench-compare")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *benchJSON != "" {
 		return writeBenchJSON(os.Stdin, *benchJSON)
+	}
+	if *benchCompare != "" {
+		return compareBench(os.Stdin, os.Stdout, *benchCompare, *benchMax)
 	}
 	cfg := experiments.Config{CorpusUsers: *users, Seed: *seed, Initiators: *inits}
 
@@ -129,11 +138,11 @@ type benchResult struct {
 	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
 }
 
-// writeBenchJSON converts `go test -bench -benchmem` text output into the
-// repository's BENCH_*.json trajectory format. Lines that are not benchmark
-// results (headers, PASS, ok) are skipped; a run with no benchmark lines is
-// an error so a silently empty trajectory cannot slip into CI.
-func writeBenchJSON(in io.Reader, path string) error {
+// parseBenchText extracts benchmark results from `go test -bench -benchmem`
+// text output. Lines that are not benchmark results (headers, PASS, ok) are
+// skipped; a run with no benchmark lines is an error so a silently empty
+// trajectory cannot slip into CI.
+func parseBenchText(in io.Reader) ([]benchResult, error) {
 	var results []benchResult
 	sc := bufio.NewScanner(in)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
@@ -174,14 +183,88 @@ func writeBenchJSON(in io.Reader, path string) error {
 		results = append(results, r)
 	}
 	if err := sc.Err(); err != nil {
-		return err
+		return nil, err
 	}
 	if len(results) == 0 {
-		return fmt.Errorf("no benchmark result lines on stdin (pipe `go test -bench . -benchmem` output in)")
+		return nil, fmt.Errorf("no benchmark result lines on stdin (pipe `go test -bench . -benchmem` output in)")
+	}
+	return results, nil
+}
+
+// writeBenchJSON converts `go test -bench -benchmem` text output into the
+// repository's BENCH_*.json trajectory format.
+func writeBenchJSON(in io.Reader, path string) error {
+	results, err := parseBenchText(in)
+	if err != nil {
+		return err
 	}
 	buf, err := json.MarshalIndent(map[string]any{"benchmarks": results}, "", "  ")
 	if err != nil {
 		return err
 	}
 	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}
+
+// compareBench compares fresh `go test -bench -benchmem` output on stdin
+// against a checked-in BENCH_*.json baseline, benchstat-style: one line per
+// benchmark present in both, then the ns/op geometric mean of the new/old
+// ratios. A geomean above maxRatio (the regression gate) is an error, as is
+// any matched benchmark whose allocs/op grew past a +1 rounding slack — time
+// regressions can hide in machine noise, but at high iteration counts an
+// allocation regression is deterministic and always a real change (the one
+// count of slack absorbs warm-up rounding on slow, low-iteration benchmarks).
+func compareBench(in io.Reader, out io.Writer, baselinePath string, maxRatio float64) error {
+	fresh, err := parseBenchText(in)
+	if err != nil {
+		return err
+	}
+	blob, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return fmt.Errorf("read baseline: %w", err)
+	}
+	var baseline struct {
+		Benchmarks []benchResult `json:"benchmarks"`
+	}
+	if err := json.Unmarshal(blob, &baseline); err != nil {
+		return fmt.Errorf("parse baseline %s: %w", baselinePath, err)
+	}
+	old := make(map[string]benchResult, len(baseline.Benchmarks))
+	for _, r := range baseline.Benchmarks {
+		old[r.Name] = r
+	}
+	var (
+		logSum     float64
+		matched    int
+		allocsGrew []string
+	)
+	fmt.Fprintf(out, "%-60s %14s %14s %8s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+	for _, r := range fresh {
+		o, ok := old[r.Name]
+		if !ok || o.NsPerOp <= 0 || r.NsPerOp <= 0 {
+			continue
+		}
+		ratio := r.NsPerOp / o.NsPerOp
+		logSum += math.Log(ratio)
+		matched++
+		fmt.Fprintf(out, "%-60s %14.0f %14.0f %+7.1f%%\n", r.Name, o.NsPerOp, r.NsPerOp, (ratio-1)*100)
+		// +1 slack: allocs/op is an integer average, and on slow benchmarks
+		// (tens of iterations per run) one-time warm-up allocations round it
+		// up by one. Anything past that is a real per-op regression.
+		if r.AllocsPerOp > o.AllocsPerOp+1 {
+			allocsGrew = append(allocsGrew,
+				fmt.Sprintf("%s: %d → %d allocs/op", r.Name, o.AllocsPerOp, r.AllocsPerOp))
+		}
+	}
+	if matched == 0 {
+		return fmt.Errorf("no benchmark on stdin matches the baseline %s", baselinePath)
+	}
+	geomean := math.Exp(logSum / float64(matched))
+	fmt.Fprintf(out, "geomean (new/old, %d benchmarks): %.3f (gate: %.2f)\n", matched, geomean, maxRatio)
+	if len(allocsGrew) > 0 {
+		return fmt.Errorf("allocs/op regressed:\n  %s", strings.Join(allocsGrew, "\n  "))
+	}
+	if geomean > maxRatio {
+		return fmt.Errorf("ns/op geomean %.3f exceeds the %.2f regression gate", geomean, maxRatio)
+	}
+	return nil
 }

@@ -28,7 +28,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"hash/fnv"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -137,6 +136,13 @@ type Rack struct {
 	wg      sync.WaitGroup
 }
 
+// seenMaps recycles the per-query seen sets built by Sweep; sweepers echo back
+// windows of thousands of IDs every tick, and rebuilding the map each sweep
+// was a measurable slice of steady-state garbage.
+var seenMaps = sync.Pool{
+	New: func() any { return make(map[string]struct{}, DefaultSweepLimit) },
+}
+
 // sweepJob asks a worker to scan one shard for one query. The seen set is
 // built once per query and shared read-only across all shard jobs; remaining
 // is the query's shared collection budget — shards reserve slots from it and
@@ -236,11 +242,16 @@ func (r *Rack) isClosed() bool {
 	}
 }
 
-// shardFor hashes a request ID to its shard.
+// shardFor hashes a request ID to its shard with an inlined FNV-1a —
+// hash/fnv's New64a allocates its state object, and this runs once per
+// operation on the hot path. The values are identical to fnv.New64a.
 func (r *Rack) shardFor(id string) *shard {
-	h := fnv.New64a()
-	h.Write([]byte(id))
-	return r.shards[h.Sum64()&r.mask]
+	h := uint64(14695981039346269811)
+	for i := 0; i < len(id); i++ {
+		h ^= uint64(id[i])
+		h *= 1099511628211
+	}
+	return r.shards[h&r.mask]
 }
 
 // Submit validates a marshalled request package and racks it. It returns the
@@ -276,21 +287,28 @@ type SubmitResult struct {
 }
 
 // bottleFromRaw validates one marshalled package and builds its rack entry.
+// The broker decodes only the header view (core.UnmarshalPackageView): the
+// hint matrix is candidate-side machinery, and skipping its field-element
+// parsing is most of the submit path's CPU. Copy-on-retain happens here — the
+// caller's buffer may be a transport frame that is reused after the handler
+// returns, so the bottle copies first and the view aliases the bottle's own
+// copy.
 func bottleFromRaw(raw []byte, now time.Time) (*bottle, error) {
-	pkg, err := core.UnmarshalPackage(raw)
+	owned := append([]byte(nil), raw...)
+	v, err := core.UnmarshalPackageView(owned)
 	if err != nil {
 		return nil, err
 	}
-	if pkg.Expired(now) {
+	if v.Expired(now) {
 		return nil, core.ErrExpired
 	}
 	return &bottle{
-		id:        pkg.ID,
-		origin:    pkg.Origin,
-		prime:     pkg.Prime,
-		raw:       append([]byte(nil), raw...),
-		pkg:       pkg,
-		expiresAt: pkg.ExpiresAt,
+		id:        v.ID,
+		origin:    v.Origin,
+		prime:     v.Prime,
+		raw:       owned,
+		pkg:       v,
+		expiresAt: v.ExpiresAt,
 	}, nil
 }
 
@@ -576,7 +594,7 @@ func (r *Rack) Sweep(ctx context.Context, q SweepQuery) (SweepResult, error) {
 	now := r.cfg.Now().UTC()
 	var seen map[string]struct{}
 	if len(q.Seen) > 0 {
-		seen = make(map[string]struct{}, len(q.Seen))
+		seen = seenMaps.Get().(map[string]struct{})
 		for _, id := range q.Seen {
 			// Shards key bottles by the untagged ID; clients echo back the
 			// tagged IDs sweeps handed them.
@@ -619,6 +637,13 @@ func (r *Rack) Sweep(ctx context.Context, q SweepQuery) (SweepResult, error) {
 			// Workers are gone; queued jobs will never be served.
 			return SweepResult{}, ErrRackClosed
 		}
+	}
+	if seen != nil {
+		// Every shard job has reported back, so no worker can still read the
+		// map; recycle it. Abandoning sweeps (the error returns above) leave
+		// their maps to the GC because in-flight workers may still hold them.
+		clear(seen)
+		seenMaps.Put(seen)
 	}
 	// Merge in shard order: results are deterministic for a quiescent rack as
 	// long as the sweep is not truncated. Under truncation, which shards win

@@ -12,13 +12,23 @@ import (
 // Wire encodings for the broker operations, shared by the transport client
 // and server. The style matches the core package's request/reply format:
 // big-endian fixed-width integers and uint16/uint32 length prefixes.
+//
+// Memory discipline (see docs/ARCHITECTURE.md, "Memory and the hot path"):
+// every MarshalX has an AppendX twin that extends a caller-owned buffer, so
+// steady-state encoders can reuse scratch instead of allocating per call.
+// Decoders are zero-copy: returned []byte payloads (bottle Raw, reply blobs)
+// alias the input frame and are valid only as long as the caller keeps that
+// frame alive and unmodified — retain-after-return requires a copy, which the
+// shard boundary (bottleFromRaw, pushReplyLocked) already performs.
 
 // ErrMalformedFrame indicates a broker wire encoding that cannot be decoded.
 var ErrMalformedFrame = errors.New("broker: malformed frame")
 
 // MarshalSweepQuery encodes a sweep query.
-func MarshalSweepQuery(q SweepQuery) []byte {
-	var buf []byte
+func MarshalSweepQuery(q SweepQuery) []byte { return AppendSweepQuery(nil, q) }
+
+// AppendSweepQuery appends the encoding of a sweep query to buf.
+func AppendSweepQuery(buf []byte, q SweepQuery) []byte {
 	buf = binary.BigEndian.AppendUint16(buf, uint16(len(q.Residues)))
 	for _, s := range q.Residues {
 		buf = binary.BigEndian.AppendUint32(buf, s.Prime)
@@ -95,8 +105,10 @@ func UnmarshalSweepQuery(data []byte) (SweepQuery, error) {
 }
 
 // MarshalSweepResult encodes a sweep result.
-func MarshalSweepResult(res SweepResult) []byte {
-	var buf []byte
+func MarshalSweepResult(res SweepResult) []byte { return AppendSweepResult(nil, res) }
+
+// AppendSweepResult appends the encoding of a sweep result to buf.
+func AppendSweepResult(buf []byte, res SweepResult) []byte {
 	buf = binary.BigEndian.AppendUint32(buf, uint32(len(res.Bottles)))
 	for _, b := range res.Bottles {
 		buf = appendString16(buf, b.ID)
@@ -113,7 +125,9 @@ func MarshalSweepResult(res SweepResult) []byte {
 	return buf
 }
 
-// UnmarshalSweepResult decodes a sweep result.
+// UnmarshalSweepResult decodes a sweep result. Bottle Raw payloads alias
+// data (zero-copy): they are valid for as long as the caller keeps data alive
+// and unmodified.
 func UnmarshalSweepResult(data []byte) (SweepResult, error) {
 	r := &reader{data: data}
 	var res SweepResult
@@ -133,11 +147,9 @@ func UnmarshalSweepResult(data []byte) (SweepResult, error) {
 		if err != nil {
 			return res, fmt.Errorf("%w: bottle size", ErrMalformedFrame)
 		}
-		raw, err := r.bytes(int(size))
-		if err != nil {
+		if res.Bottles[i].Raw, err = r.bytes(int(size)); err != nil {
 			return res, fmt.Errorf("%w: bottle payload", ErrMalformedFrame)
 		}
-		res.Bottles[i].Raw = append([]byte(nil), raw...)
 	}
 	scanned, err := r.uint64()
 	if err != nil {
@@ -170,8 +182,10 @@ func appendRawList(buf []byte, raws [][]byte) []byte {
 	return buf
 }
 
-// readRawList reads a count-prefixed list of sized byte blobs.
-func readRawList(r *reader) ([][]byte, error) {
+// readRawList reads a count-prefixed list of sized byte blobs into out
+// (reusing its backing array when capacity allows). Blobs alias the reader's
+// data (zero-copy).
+func readRawList(r *reader, out [][]byte) ([][]byte, error) {
 	n, err := r.uint32()
 	if err != nil {
 		return nil, fmt.Errorf("%w: blob count", ErrMalformedFrame)
@@ -179,8 +193,8 @@ func readRawList(r *reader) ([][]byte, error) {
 	if int(n) > r.remaining() {
 		return nil, fmt.Errorf("%w: implausible blob count %d", ErrMalformedFrame, n)
 	}
-	out := make([][]byte, n)
-	for i := range out {
+	out = out[:0]
+	for i := 0; i < int(n); i++ {
 		size, err := r.uint32()
 		if err != nil {
 			return nil, fmt.Errorf("%w: blob size", ErrMalformedFrame)
@@ -189,7 +203,7 @@ func readRawList(r *reader) ([][]byte, error) {
 		if err != nil {
 			return nil, fmt.Errorf("%w: blob payload", ErrMalformedFrame)
 		}
-		out[i] = append([]byte(nil), raw...)
+		out = append(out, raw)
 	}
 	return out, nil
 }
@@ -197,13 +211,27 @@ func readRawList(r *reader) ([][]byte, error) {
 // MarshalRawList encodes a list of opaque byte blobs (fetched replies,
 // batched submissions).
 func MarshalRawList(raws [][]byte) []byte {
-	return appendRawList(nil, raws)
+	return AppendRawList(nil, raws)
 }
 
-// UnmarshalRawList decodes a list of opaque byte blobs.
+// AppendRawList appends the encoding of a blob list to buf.
+func AppendRawList(buf []byte, raws [][]byte) []byte {
+	return appendRawList(buf, raws)
+}
+
+// UnmarshalRawList decodes a list of opaque byte blobs. The blobs alias data
+// (zero-copy): they are valid for as long as the caller keeps data alive and
+// unmodified.
 func UnmarshalRawList(data []byte) ([][]byte, error) {
+	return UnmarshalRawListInto(data, nil)
+}
+
+// UnmarshalRawListInto decodes a blob list reusing out's backing array when
+// its capacity allows, for allocation-free steady-state decoding. The blobs
+// alias data, exactly as in UnmarshalRawList.
+func UnmarshalRawListInto(data []byte, out [][]byte) ([][]byte, error) {
 	r := &reader{data: data}
-	out, err := readRawList(r)
+	out, err := readRawList(r, out)
 	if err != nil {
 		return nil, err
 	}
@@ -265,7 +293,11 @@ func readError(r *reader) (error, bool, error) {
 
 // MarshalSubmitResults encodes the per-item outcomes of a SubmitBatch.
 func MarshalSubmitResults(results []SubmitResult) []byte {
-	var buf []byte
+	return AppendSubmitResults(nil, results)
+}
+
+// AppendSubmitResults appends the encoding of SubmitBatch outcomes to buf.
+func AppendSubmitResults(buf []byte, results []SubmitResult) []byte {
 	buf = binary.BigEndian.AppendUint32(buf, uint32(len(results)))
 	for _, res := range results {
 		buf = appendError(buf, res.Err)
@@ -307,8 +339,10 @@ func UnmarshalSubmitResults(data []byte) ([]SubmitResult, error) {
 }
 
 // MarshalReplyBatch encodes a batch of reply posts.
-func MarshalReplyBatch(posts []ReplyPost) []byte {
-	var buf []byte
+func MarshalReplyBatch(posts []ReplyPost) []byte { return AppendReplyBatch(nil, posts) }
+
+// AppendReplyBatch appends the encoding of a reply-post batch to buf.
+func AppendReplyBatch(buf []byte, posts []ReplyPost) []byte {
 	buf = binary.BigEndian.AppendUint32(buf, uint32(len(posts)))
 	for _, p := range posts {
 		buf = appendString16(buf, p.RequestID)
@@ -318,7 +352,9 @@ func MarshalReplyBatch(posts []ReplyPost) []byte {
 	return buf
 }
 
-// UnmarshalReplyBatch decodes a batch of reply posts.
+// UnmarshalReplyBatch decodes a batch of reply posts. Post Raw payloads alias
+// data (zero-copy): they are valid for as long as the caller keeps data alive
+// and unmodified.
 func UnmarshalReplyBatch(data []byte) ([]ReplyPost, error) {
 	r := &reader{data: data}
 	n, err := r.uint32()
@@ -337,11 +373,9 @@ func UnmarshalReplyBatch(data []byte) ([]ReplyPost, error) {
 		if err != nil {
 			return nil, fmt.Errorf("%w: reply size", ErrMalformedFrame)
 		}
-		raw, err := r.bytes(int(size))
-		if err != nil {
+		if out[i].Raw, err = r.bytes(int(size)); err != nil {
 			return nil, fmt.Errorf("%w: reply payload", ErrMalformedFrame)
 		}
-		out[i].Raw = append([]byte(nil), raw...)
 	}
 	if r.remaining() != 0 {
 		return nil, fmt.Errorf("%w: trailing bytes", ErrMalformedFrame)
@@ -351,8 +385,10 @@ func UnmarshalReplyBatch(data []byte) ([]ReplyPost, error) {
 
 // MarshalErrorList encodes per-item outcomes that carry no payload (the
 // ReplyBatch response).
-func MarshalErrorList(errs []error) []byte {
-	var buf []byte
+func MarshalErrorList(errs []error) []byte { return AppendErrorList(nil, errs) }
+
+// AppendErrorList appends the encoding of payload-free outcomes to buf.
+func AppendErrorList(buf []byte, errs []error) []byte {
 	buf = binary.BigEndian.AppendUint32(buf, uint32(len(errs)))
 	for _, err := range errs {
 		buf = appendError(buf, err)
@@ -385,8 +421,10 @@ func UnmarshalErrorList(data []byte) ([]error, error) {
 }
 
 // MarshalIDList encodes a list of request IDs (the FetchBatch request).
-func MarshalIDList(ids []string) []byte {
-	var buf []byte
+func MarshalIDList(ids []string) []byte { return AppendIDList(nil, ids) }
+
+// AppendIDList appends the encoding of an ID list to buf.
+func AppendIDList(buf []byte, ids []string) []byte {
 	buf = binary.BigEndian.AppendUint32(buf, uint32(len(ids)))
 	for _, id := range ids {
 		buf = appendString16(buf, id)
@@ -420,7 +458,11 @@ func UnmarshalIDList(data []byte) ([]string, error) {
 // item is an outcome flag followed by either the drained reply list or the
 // error text.
 func MarshalFetchResults(results []FetchResult) []byte {
-	var buf []byte
+	return AppendFetchResults(nil, results)
+}
+
+// AppendFetchResults appends the encoding of FetchBatch outcomes to buf.
+func AppendFetchResults(buf []byte, results []FetchResult) []byte {
 	buf = binary.BigEndian.AppendUint32(buf, uint32(len(results)))
 	for _, res := range results {
 		buf = appendError(buf, res.Err)
@@ -451,7 +493,7 @@ func UnmarshalFetchResults(data []byte) ([]FetchResult, error) {
 			out[i].Err = itemErr
 			continue
 		}
-		if out[i].Replies, err = readRawList(r); err != nil {
+		if out[i].Replies, err = readRawList(r, nil); err != nil {
 			return nil, err
 		}
 	}
@@ -493,8 +535,10 @@ func unmarshalShardStats(r *reader) (ShardStats, error) {
 }
 
 // MarshalStats encodes a stats snapshot.
-func MarshalStats(st Stats) []byte {
-	var buf []byte
+func MarshalStats(st Stats) []byte { return AppendStats(nil, st) }
+
+// AppendStats appends the encoding of a stats snapshot to buf.
+func AppendStats(buf []byte, st Stats) []byte {
 	buf = binary.BigEndian.AppendUint32(buf, uint32(st.Shards))
 	buf = binary.BigEndian.AppendUint32(buf, uint32(st.Workers))
 	buf = binary.BigEndian.AppendUint64(buf, uint64(st.Held))
@@ -599,31 +643,58 @@ func UnmarshalStats(data []byte) (Stats, error) {
 
 // MarshalReplyPost encodes a reply post (request ID + marshalled reply).
 func MarshalReplyPost(requestID string, raw []byte) []byte {
-	var buf []byte
+	return AppendReplyPost(nil, requestID, raw)
+}
+
+// AppendReplyPost appends the encoding of a reply post to buf.
+func AppendReplyPost(buf []byte, requestID string, raw []byte) []byte {
 	buf = appendString16(buf, requestID)
 	buf = binary.BigEndian.AppendUint32(buf, uint32(len(raw)))
 	return append(buf, raw...)
 }
 
-// UnmarshalReplyPost decodes a reply post.
+// UnmarshalReplyPost decodes a reply post. The returned payload aliases data
+// (zero-copy): it is valid for as long as the caller keeps data alive and
+// unmodified.
 func UnmarshalReplyPost(data []byte) (string, []byte, error) {
+	var v ReplyPostView
+	if err := UnmarshalReplyPostView(data, &v); err != nil {
+		return "", nil, err
+	}
+	return string(v.RequestID), v.Raw, nil
+}
+
+// ReplyPostView is the allocation-free decode of a reply post: both fields
+// alias the frame the view was decoded from and share its lifetime.
+type ReplyPostView struct {
+	// RequestID addresses the racked bottle.
+	RequestID []byte
+	// Raw is the marshalled reply.
+	Raw []byte
+}
+
+// UnmarshalReplyPostView decodes a reply post without allocating: both view
+// fields alias data. It is the steady-state twin of UnmarshalReplyPost for
+// callers (WAL replay, handoff apply) that convert or copy on retain anyway.
+func UnmarshalReplyPostView(data []byte, v *ReplyPostView) error {
 	r := &reader{data: data}
-	id, err := r.string16()
+	id, err := r.bytes16()
 	if err != nil {
-		return "", nil, fmt.Errorf("%w: request id", ErrMalformedFrame)
+		return fmt.Errorf("%w: request id", ErrMalformedFrame)
 	}
 	size, err := r.uint32()
 	if err != nil {
-		return "", nil, fmt.Errorf("%w: reply size", ErrMalformedFrame)
+		return fmt.Errorf("%w: reply size", ErrMalformedFrame)
 	}
 	raw, err := r.bytes(int(size))
 	if err != nil {
-		return "", nil, fmt.Errorf("%w: reply payload", ErrMalformedFrame)
+		return fmt.Errorf("%w: reply payload", ErrMalformedFrame)
 	}
 	if r.remaining() != 0 {
-		return "", nil, fmt.Errorf("%w: trailing bytes", ErrMalformedFrame)
+		return fmt.Errorf("%w: trailing bytes", ErrMalformedFrame)
 	}
-	return id, append([]byte(nil), raw...), nil
+	v.RequestID, v.Raw = id, raw
+	return nil
 }
 
 // appendString16 appends a uint16-length-prefixed string. Strings beyond the
@@ -688,13 +759,87 @@ func (r *reader) uint64() (uint64, error) {
 }
 
 func (r *reader) string16() (string, error) {
-	n, err := r.uint16()
-	if err != nil {
-		return "", err
-	}
-	b, err := r.bytes(int(n))
+	b, err := r.bytes16()
 	if err != nil {
 		return "", err
 	}
 	return string(b), nil
+}
+
+// bytes16 reads a uint16-length-prefixed byte string without copying: the
+// result aliases the reader's data.
+func (r *reader) bytes16() ([]byte, error) {
+	n, err := r.uint16()
+	if err != nil {
+		return nil, err
+	}
+	return r.bytes(int(n))
+}
+
+// SweptBottleView is one sweep-result entry decoded without allocating; both
+// fields alias the source frame and share its lifetime.
+type SweptBottleView struct {
+	// ID is the request ID bytes.
+	ID []byte
+	// Raw is the marshalled request package.
+	Raw []byte
+}
+
+// SweepResultView is the allocation-free decode of a sweep result. Reusing
+// one view across UnmarshalSweepResultView calls reuses its Bottles backing
+// array, making steady-state decode zero-alloc.
+type SweepResultView struct {
+	// Bottles holds the prefilter-passing packages, aliasing the frame.
+	Bottles []SweptBottleView
+	// Scanned, Rejected and Truncated mirror SweepResult.
+	Scanned   int
+	Rejected  int
+	Truncated bool
+}
+
+// UnmarshalSweepResultView decodes a sweep result into v, reusing v.Bottles'
+// backing array when capacity allows. Every field of every bottle aliases
+// data: the view is valid for as long as the caller keeps data alive and
+// unmodified.
+func UnmarshalSweepResultView(data []byte, v *SweepResultView) error {
+	r := &reader{data: data}
+	n, err := r.uint32()
+	if err != nil {
+		return fmt.Errorf("%w: bottle count", ErrMalformedFrame)
+	}
+	if int(n) > r.remaining() {
+		return fmt.Errorf("%w: implausible bottle count %d", ErrMalformedFrame, n)
+	}
+	v.Bottles = v.Bottles[:0]
+	for i := 0; i < int(n); i++ {
+		var b SweptBottleView
+		if b.ID, err = r.bytes16(); err != nil {
+			return fmt.Errorf("%w: bottle id", ErrMalformedFrame)
+		}
+		size, err := r.uint32()
+		if err != nil {
+			return fmt.Errorf("%w: bottle size", ErrMalformedFrame)
+		}
+		if b.Raw, err = r.bytes(int(size)); err != nil {
+			return fmt.Errorf("%w: bottle payload", ErrMalformedFrame)
+		}
+		v.Bottles = append(v.Bottles, b)
+	}
+	scanned, err := r.uint64()
+	if err != nil {
+		return fmt.Errorf("%w: scanned", ErrMalformedFrame)
+	}
+	rejected, err := r.uint64()
+	if err != nil {
+		return fmt.Errorf("%w: rejected", ErrMalformedFrame)
+	}
+	trunc, err := r.byte()
+	if err != nil {
+		return fmt.Errorf("%w: truncated flag", ErrMalformedFrame)
+	}
+	v.Scanned, v.Rejected, v.Truncated = int(scanned), int(rejected), trunc != 0
+	if r.remaining() != 0 {
+		return fmt.Errorf("%w: trailing bytes", ErrMalformedFrame)
+	}
+	return nil
 }

@@ -273,9 +273,15 @@ func (r *Rack) installSnapshot(blob []byte) error {
 		if err != nil {
 			return fmt.Errorf("%w: bottle payload", ErrMalformedFrame)
 		}
-		replies, err := readRawList(rd)
+		replies, err := readRawList(rd, nil)
 		if err != nil {
 			return err
+		}
+		// readRawList is zero-copy; installReplies retains the queues, so copy
+		// them out of the snapshot blob instead of pinning it whole (cold
+		// path: recovery only).
+		for j, rep := range replies {
+			replies[j] = append([]byte(nil), rep...)
 		}
 		b, err := bottleFromRaw(raw, now)
 		if err != nil {

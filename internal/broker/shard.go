@@ -10,11 +10,13 @@ import (
 
 // bottle is one racked request package.
 type bottle struct {
-	id        string
-	origin    string
-	prime     uint32
+	id     string
+	origin string
+	prime  uint32
+	// raw is the marshalled package exactly as submitted; pkg is the broker's
+	// header view decoded over raw (it aliases raw, which the bottle owns).
 	raw       []byte
-	pkg       *core.RequestPackage
+	pkg       core.PackageView
 	expiresAt time.Time
 	// gone marks a bottle removed from the ID index but not yet compacted out
 	// of its prime group slice.
@@ -43,6 +45,12 @@ type shard struct {
 	// serialize on this mutex); durability waiting happens outside the lock.
 	// Nil on in-memory racks and during recovery replay.
 	logRec func(typ byte, payload []byte)
+
+	// encBuf is scratch for encoding logRec payloads (guarded by mu). logRec
+	// copies the payload before returning (wal.Log.Enqueue encodes it into a
+	// pooled record buffer synchronously), so the scratch is free again as
+	// soon as the call returns.
+	encBuf []byte
 }
 
 func newShard() *shard {
@@ -222,7 +230,8 @@ func (s *shard) pushReplyLocked(id string, raw []byte, maxQueue int, now time.Ti
 	s.replies[id] = append(s.replies[id], append([]byte(nil), raw...))
 	s.stats.RepliesIn++
 	if s.logRec != nil {
-		s.logRec(walRecReply, MarshalReplyPost(id, raw))
+		s.encBuf = AppendReplyPost(s.encBuf[:0], id, raw)
+		s.logRec(walRecReply, s.encBuf)
 	}
 	return nil
 }

@@ -70,16 +70,49 @@ func appendMuxFrame(buf []byte, seq uint64, tag byte, body []byte) []byte {
 	return append(buf, body...)
 }
 
+// muxBufs pools encoded-frame and read-side buffers so the steady-state mux
+// path allocates nothing per frame. Ownership is single-holder: whoever Got
+// the buffer either hands it (whole, via the writer queue) to the one
+// goroutine that will Put it, or Puts it itself; a buffer is never Put while
+// any view into it is still live. Buffers that grew past maxPooledMuxBuf are
+// dropped instead of pooled so one jumbo frame does not pin megabytes.
+var muxBufs = sync.Pool{New: func() any { return new([]byte) }}
+
+const maxPooledMuxBuf = 256 << 10
+
+func putMuxBuf(buf *[]byte) {
+	if cap(*buf) > maxPooledMuxBuf {
+		return
+	}
+	*buf = (*buf)[:0]
+	muxBufs.Put(buf)
+}
+
+// newMuxFrame encodes one sequence-tagged frame into a pooled buffer. The
+// caller owns the buffer and must route it to exactly one putMuxBuf — via the
+// coalescing writer (which recycles after writing) or directly on an enqueue
+// failure.
+func newMuxFrame(seq uint64, tag byte, body []byte) *[]byte {
+	f := muxBufs.Get().(*[]byte)
+	*f = appendMuxFrame((*f)[:0], seq, tag, body)
+	return f
+}
+
 // writeMuxFrame writes one sequence-tagged frame as a single Write.
 func writeMuxFrame(w io.Writer, seq uint64, tag byte, body []byte) error {
 	if len(body)+muxHeaderSize > MaxFrameSize {
 		return ErrFrameTooLarge
 	}
-	_, err := w.Write(appendMuxFrame(make([]byte, 0, 4+muxHeaderSize+len(body)), seq, tag, body))
+	f := newMuxFrame(seq, tag, body)
+	_, err := w.Write(*f)
+	putMuxBuf(f)
 	return err
 }
 
-// readMuxFrame reads one sequence-tagged frame.
+// readMuxFrame reads one sequence-tagged frame into a fresh buffer whose
+// ownership passes to the caller — the client read loop uses it because
+// response bodies outlive the loop iteration (callers' zero-copy decodes
+// alias them indefinitely).
 func readMuxFrame(r io.Reader) (seq uint64, tag byte, body []byte, err error) {
 	var lenBuf [4]byte
 	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
@@ -99,35 +132,76 @@ func readMuxFrame(r io.Reader) (seq uint64, tag byte, body []byte, err error) {
 	return binary.BigEndian.Uint64(buf[:8]), buf[8], buf[muxHeaderSize:], nil
 }
 
+// readMuxFramePooled reads one sequence-tagged frame into a pooled buffer.
+// body aliases the returned buffer; the caller must putMuxBuf it once the
+// body is dead — the server request loop can, because every rack operation
+// copies what it retains before dispatch returns (the codec's documented
+// copy-on-retain boundary).
+func readMuxFramePooled(r io.Reader) (seq uint64, tag byte, body []byte, buf *[]byte, err error) {
+	// The length prefix is read into the pooled buffer too: a local [4]byte
+	// would escape through the io.Reader interface and cost the one
+	// allocation this path exists to avoid.
+	buf = muxBufs.Get().(*[]byte)
+	if cap(*buf) < 4 {
+		*buf = make([]byte, 4, muxHeaderSize+1024)
+	}
+	*buf = (*buf)[:4]
+	if _, err := io.ReadFull(r, *buf); err != nil {
+		putMuxBuf(buf)
+		return 0, 0, nil, nil, err
+	}
+	size := binary.BigEndian.Uint32(*buf)
+	if size < muxHeaderSize {
+		putMuxBuf(buf)
+		return 0, 0, nil, nil, ErrShortFrame
+	}
+	if size > MaxFrameSize {
+		putMuxBuf(buf)
+		return 0, 0, nil, nil, ErrFrameTooLarge
+	}
+	if cap(*buf) < int(size) {
+		*buf = make([]byte, size)
+	}
+	*buf = (*buf)[:size]
+	if _, err := io.ReadFull(r, *buf); err != nil {
+		putMuxBuf(buf)
+		return 0, 0, nil, nil, err
+	}
+	b := *buf
+	return binary.BigEndian.Uint64(b[:8]), b[8], b[muxHeaderSize:], buf, nil
+}
+
 // muxWriter is the coalescing frame writer shared by the mux client and the
 // server's mux connections: frames are queued on a channel and a single
 // goroutine writes them through a bufio.Writer, flushing only when the queue
-// is momentarily empty. onErr is invoked once on the first write failure;
-// after a failure the writer keeps draining the queue so enqueuers never
-// block on a dead connection.
+// is momentarily empty. Queued frames are pooled buffers: the writer recycles
+// each one after copying it into the bufio buffer (or skipping it after a
+// failure), so the frame pool turns over at queue speed. onErr is invoked
+// once on the first write failure; after a failure the writer keeps draining
+// the queue so enqueuers never block on a dead connection.
 type muxWriter struct {
-	ch     chan []byte
+	ch     chan *[]byte
 	done   chan struct{} // closed by the owner to stop the writer
 	exited chan struct{} // closed when the writer goroutine returns
 }
 
 func newMuxWriter(conn net.Conn, done chan struct{}, deadline func() time.Time, onErr func(error)) *muxWriter {
-	w := &muxWriter{ch: make(chan []byte, muxWriteQueue), done: done, exited: make(chan struct{})}
+	w := &muxWriter{ch: make(chan *[]byte, muxWriteQueue), done: done, exited: make(chan struct{})}
 	go func() {
 		defer close(w.exited)
 		bw := bufio.NewWriterSize(conn, muxBufferSize)
 		failed := false
-		write := func(frame []byte) {
-			if failed {
-				return
+		write := func(frame *[]byte) {
+			if !failed {
+				if d := deadline(); !d.IsZero() {
+					conn.SetWriteDeadline(d)
+				}
+				if _, err := bw.Write(*frame); err != nil {
+					failed = true
+					onErr(err)
+				}
 			}
-			if d := deadline(); !d.IsZero() {
-				conn.SetWriteDeadline(d)
-			}
-			if _, err := bw.Write(frame); err != nil {
-				failed = true
-				onErr(err)
-			}
+			putMuxBuf(frame)
 		}
 		for {
 			select {
@@ -173,9 +247,10 @@ func newMuxWriter(conn net.Conn, done chan struct{}, deadline func() time.Time, 
 	return w
 }
 
-// enqueue hands a frame to the writer; it fails only once the owner has
-// signalled done.
-func (w *muxWriter) enqueue(frame []byte) bool {
+// enqueue hands a pooled frame to the writer; it fails only once the owner
+// has signalled done. On success the writer owns the frame and recycles it;
+// on failure ownership stays with the caller, who must putMuxBuf it.
+func (w *muxWriter) enqueue(frame *[]byte) bool {
 	select {
 	case w.ch <- frame:
 		return true
@@ -350,7 +425,8 @@ func (m *Mux) call(ctx context.Context, op byte, body []byte) ([]byte, error) {
 	}
 	m.mu.Unlock()
 
-	if !m.writer.enqueue(appendMuxFrame(make([]byte, 0, 4+muxHeaderSize+len(body)), seq, op, body)) {
+	if frame := newMuxFrame(seq, op, body); !m.writer.enqueue(frame) {
+		putMuxBuf(frame)
 		m.mu.Lock()
 		delete(m.pending, seq)
 		err := m.err

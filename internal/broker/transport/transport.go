@@ -263,15 +263,20 @@ func (o ServerOptions) maxInflight() int {
 	return DefaultMaxInflight
 }
 
-// writeFrame writes one tagged lock-step frame.
+// writeFrame writes one tagged lock-step frame as a single Write, staging it
+// in a pooled buffer (the body is copied, so the caller's scratch is free on
+// return).
 func writeFrame(w io.Writer, tag byte, body []byte) error {
 	if len(body)+1 > MaxFrameSize {
 		return ErrFrameTooLarge
 	}
-	header := make([]byte, 5, 5+len(body))
-	binary.BigEndian.PutUint32(header, uint32(len(body)+1))
-	header[4] = tag
-	_, err := w.Write(append(header, body...))
+	f := muxBufs.Get().(*[]byte)
+	buf := binary.BigEndian.AppendUint32((*f)[:0], uint32(len(body)+1))
+	buf = append(buf, tag)
+	buf = append(buf, body...)
+	*f = buf
+	_, err := w.Write(buf)
+	putMuxBuf(f)
 	return err
 }
 
@@ -485,27 +490,36 @@ func (s *Server) serveMux(conn net.Conn, br *bufio.Reader) {
 		if len(respBody)+muxHeaderSize > MaxFrameSize {
 			tag, respBody = statusOf(ErrFrameTooLarge), []byte(ErrFrameTooLarge.Error())
 		}
-		writer.enqueue(appendMuxFrame(make([]byte, 0, 4+muxHeaderSize+len(respBody)), seq, tag, respBody))
+		// newMuxFrame copies respBody into the pooled frame, so the caller's
+		// response scratch is free to reuse the moment respond returns.
+		if f := newMuxFrame(seq, tag, respBody); !writer.enqueue(f) {
+			putMuxBuf(f)
+		}
 	}
 	for {
 		s.armReadDeadline(conn)
-		seq, op, body, err := readMuxFrame(br)
+		// Request bodies ride pooled buffers: every rack operation copies what
+		// it retains before dispatch returns, so the buffer is recycled as soon
+		// as the response is enqueued (respond copies the body into the frame).
+		seq, op, body, buf, err := readMuxFramePooled(br)
 		if err != nil {
 			return
 		}
 		if !heavyOp(op) {
 			respBody, opErr := s.dispatch(op, body)
 			respond(seq, respBody, opErr)
+			putMuxBuf(buf)
 			continue
 		}
 		sem <- struct{}{}
 		wg.Add(1)
-		go func(seq uint64, op byte, body []byte) {
+		go func(seq uint64, op byte, body []byte, buf *[]byte) {
 			defer wg.Done()
 			defer func() { <-sem }()
 			respBody, opErr := s.dispatch(op, body)
 			respond(seq, respBody, opErr)
-		}(seq, op, body)
+			putMuxBuf(buf)
+		}(seq, op, body, buf)
 	}
 }
 

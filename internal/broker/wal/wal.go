@@ -124,10 +124,28 @@ func (o Options) withDefaults() Options {
 // op is one unit of committer work: a record, a commit barrier, or a
 // snapshot request.
 type op struct {
-	rec      []byte        // encoded record, nil for control ops
+	rec      *[]byte       // pooled encoded record, nil for control ops
 	commit   chan error    // commit barrier: flush+sync everything enqueued before it
 	snap     func() []byte // produces the snapshot blob to persist
 	snapDone chan error
+}
+
+// recBufs recycles record encode buffers between Enqueue (which fills one)
+// and the committer (which returns it after staging the bytes). Without the
+// pool every logged mutation allocates its record's encoding.
+var recBufs = sync.Pool{New: func() any { return new([]byte) }}
+
+// maxPooledRecBuf caps the capacity recycled through recBufs so one oversized
+// record does not pin a large buffer forever.
+const maxPooledRecBuf = 1 << 20
+
+// putRecBuf returns a record buffer to the pool (dropping oversized ones).
+func putRecBuf(buf *[]byte) {
+	if cap(*buf) > maxPooledRecBuf {
+		return
+	}
+	*buf = (*buf)[:0]
+	recBufs.Put(buf)
 }
 
 // Log is a segmented write-ahead log bound to one data directory. Open scans
@@ -161,6 +179,11 @@ type Log struct {
 
 	// Committer-owned state.
 	cur *segmentWriter
+	// batch stages the records of one committer burst (one fsync window under
+	// PolicyAlways, one channel drain otherwise) so they reach the segment as
+	// a single write instead of one bufio copy per record. Capacity is reused
+	// across bursts.
+	batch []byte
 }
 
 // Open scans (creating if needed) the data directory and returns a log ready
@@ -255,9 +278,12 @@ func (l *Log) Start() error {
 // Commit reports the close.
 func (l *Log) Enqueue(typ byte, payload []byte) {
 	l.appended.Add(1)
+	buf := recBufs.Get().(*[]byte)
+	*buf = appendRecord((*buf)[:0], typ, payload)
 	select {
-	case l.ch <- op{rec: appendRecord(nil, typ, payload)}:
+	case l.ch <- op{rec: buf}:
 	case <-l.stop:
+		putRecBuf(buf)
 	}
 }
 
@@ -403,7 +429,8 @@ func (l *Log) handleBatch(first op, dirty *bool) {
 	apply := func(o op) {
 		switch {
 		case o.rec != nil:
-			l.writeRecord(o.rec)
+			l.writeRecord(*o.rec)
+			putRecBuf(o.rec)
 			*dirty = true
 		case o.commit != nil:
 			commits = append(commits, o.commit)
@@ -460,28 +487,60 @@ func (l *Log) drainAndExit(dirty bool) {
 	}
 }
 
-// writeRecord appends one encoded record to the current segment, rolling
-// first when the segment is full.
+// batchFlushBytes caps how much one burst stages before the batch buffer is
+// flushed mid-drain. Kept well under maxPooledRecBuf so the buffer's capacity
+// survives flushBatch and steady state regrows nothing: an uncapped burst
+// (the committer drains up to enqueueDepth records) would stage several
+// megabytes, trip the release cap every flush, and rebuild the buffer from
+// zero through repeated doublings.
+const batchFlushBytes = 512 << 10
+
+// writeRecord stages one encoded record into the committer's batch buffer,
+// rolling the segment first when the staged size would overflow it. The
+// bytes reach the segment writer in flushBatch, one write per burst (or per
+// batchFlushBytes within an oversized burst).
 func (l *Log) writeRecord(rec []byte) {
 	if l.stickyErr() != nil {
 		return
 	}
-	if l.cur.size+int64(len(rec)) > l.opts.SegmentBytes && l.cur.size > segmentHeaderSize {
+	staged := l.cur.size + int64(len(l.batch))
+	if staged+int64(len(rec)) > l.opts.SegmentBytes && staged > segmentHeaderSize {
+		l.flushBatch()
 		if err := l.roll(); err != nil {
 			l.setErr(err)
 			return
 		}
 	}
-	if err := l.cur.write(rec); err != nil {
-		l.setErr(err)
-		return
-	}
+	l.batch = append(l.batch, rec...)
 	l.size.Add(int64(len(rec)))
-	l.segs[len(l.segs)-1].size = l.cur.size
+	if len(l.batch) >= batchFlushBytes {
+		l.flushBatch()
+	}
 }
 
-// flush pushes buffered bytes to the operating system.
+// flushBatch hands the staged burst to the segment writer as a single write,
+// keeping the batch buffer's capacity for the next burst (oversized buffers
+// are released so one large burst does not pin memory forever).
+func (l *Log) flushBatch() {
+	if len(l.batch) == 0 {
+		return
+	}
+	if l.stickyErr() == nil {
+		if err := l.cur.write(l.batch); err != nil {
+			l.setErr(err)
+		}
+		l.segs[len(l.segs)-1].size = l.cur.size
+	}
+	if cap(l.batch) > maxPooledRecBuf {
+		l.batch = nil
+	} else {
+		l.batch = l.batch[:0]
+	}
+}
+
+// flush pushes staged and buffered bytes to the operating system.
 func (l *Log) flush() {
+	l.flushBatch()
 	if l.stickyErr() != nil {
 		return
 	}
@@ -492,6 +551,7 @@ func (l *Log) flush() {
 
 // sync flushes and fsyncs the current segment.
 func (l *Log) sync() error {
+	l.flushBatch()
 	if err := l.stickyErr(); err != nil {
 		return err
 	}

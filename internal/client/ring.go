@@ -249,6 +249,13 @@ func (r *Ring) Close() error {
 	return nil
 }
 
+// sweepMergeSets pools Sweep's per-call replica-dedup sets. A set is only
+// used (and only Put back) by the Sweep call that Got it, after the fan-out
+// goroutines have been joined, so pooled sets are always empty and unshared.
+var sweepMergeSets = sync.Pool{
+	New: func() any { return make(map[string]struct{}, broker.DefaultSweepLimit) },
+}
+
 // rackFault reports whether err indicates the rack endpoint itself failed
 // (dial/transport failure, rack closed) rather than a per-operation outcome
 // the rack computed and answered, or a call the caller itself abandoned.
@@ -529,7 +536,13 @@ func (r *Ring) Sweep(ctx context.Context, q broker.SweepQuery) (broker.SweepResu
 	// Replicated racks can return the same bottle from several members (the
 	// rack tags differ, the bottle is one); merge on the untagged ID so the
 	// caller sees each bottle once. With R=1 the set is simply never hit.
-	merged := make(map[string]struct{})
+	// The set is pooled: a steady-state sweeper otherwise re-grows this map
+	// to thousands of entries every tick.
+	merged := sweepMergeSets.Get().(map[string]struct{})
+	defer func() {
+		clear(merged)
+		sweepMergeSets.Put(merged)
+	}()
 	for i, p := range parts {
 		if p.err != nil {
 			if firstErr == nil {

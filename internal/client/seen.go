@@ -1,0 +1,76 @@
+package client
+
+// seenWindow is the sweeper's bounded window of recently evaluated request
+// IDs: a fixed-capacity ring of the newest cap IDs plus a membership index,
+// so recording an ID and evicting the oldest are both O(1). It replaces the
+// previous []string window, whose every-tick trim re-copied the entire
+// window and whose membership was only enforced broker-side. Eviction is
+// strictly oldest-first, so the window always excludes exactly the last cap
+// distinct IDs in evaluation order.
+type seenWindow struct {
+	cap  int
+	ring []string
+	// head is the next overwrite position once the ring is full; while the
+	// ring is filling it stays 0, so oldest-first order is ring[head:] then
+	// ring[:head] in both regimes.
+	head  int
+	index map[string]struct{}
+	// scratch backs snapshot's ordered view, reused across ticks. The view is
+	// handed to Backend.Sweep, which never retains it past the call (racks
+	// build their own seen set, couriers marshal it), so one backing array
+	// serves every tick.
+	scratch []string
+}
+
+func newSeenWindow(capacity int) *seenWindow {
+	return &seenWindow{
+		cap:   capacity,
+		ring:  make([]string, 0, capacity),
+		index: make(map[string]struct{}, capacity),
+	}
+}
+
+// add records an ID, evicting the oldest entry once the window is full. An ID
+// already in the window is left in place (its age is not refreshed): the
+// broker excluded window entries from the sweep, so a re-add can only happen
+// when a replica raced the window bound, and keeping the original position
+// preserves eviction order.
+func (w *seenWindow) add(id string) {
+	if _, ok := w.index[id]; ok {
+		return
+	}
+	if len(w.ring) < w.cap {
+		w.ring = append(w.ring, id)
+		w.index[id] = struct{}{}
+		return
+	}
+	delete(w.index, w.ring[w.head])
+	w.ring[w.head] = id
+	w.index[id] = struct{}{}
+	w.head++
+	if w.head == w.cap {
+		w.head = 0
+	}
+}
+
+// contains reports whether an ID is currently excluded by the window.
+func (w *seenWindow) contains(id string) bool {
+	_, ok := w.index[id]
+	return ok
+}
+
+// len is the number of IDs currently in the window.
+func (w *seenWindow) len() int { return len(w.ring) }
+
+// snapshot returns the window's IDs oldest-first in a reused backing slice;
+// the view is valid until the next snapshot call.
+func (w *seenWindow) snapshot() []string {
+	if len(w.ring) == 0 {
+		return nil
+	}
+	if cap(w.scratch) < w.cap {
+		w.scratch = make([]string, 0, w.cap)
+	}
+	w.scratch = append(w.scratch[:0], w.ring[w.head:]...)
+	return append(w.scratch, w.ring[:w.head]...)
+}

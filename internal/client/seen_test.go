@@ -1,0 +1,84 @@
+package client
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestSeenWindowEvictionOrder proves trimming the window at capacity evicts
+// strictly oldest-first and keeps exactly the newest cap IDs excluded — the
+// regression the old []string trim was trusted with but never tested for.
+func TestSeenWindowEvictionOrder(t *testing.T) {
+	const capacity = 8
+	w := newSeenWindow(capacity)
+	const total = 3*capacity + 5 // wrap the ring a few times, land mid-ring
+	for i := 0; i < total; i++ {
+		w.add(fmt.Sprintf("id-%03d", i))
+		if w.len() > capacity {
+			t.Fatalf("window grew to %d after %d adds (cap %d)", w.len(), i+1, capacity)
+		}
+	}
+	// Exactly the newest cap IDs are excluded, everything older is not.
+	for i := 0; i < total; i++ {
+		id := fmt.Sprintf("id-%03d", i)
+		want := i >= total-capacity
+		if got := w.contains(id); got != want {
+			t.Fatalf("contains(%s) = %v, want %v", id, got, want)
+		}
+	}
+	// The snapshot lists the survivors oldest-first.
+	snap := w.snapshot()
+	if len(snap) != capacity {
+		t.Fatalf("snapshot has %d IDs, want %d", len(snap), capacity)
+	}
+	for j, id := range snap {
+		if want := fmt.Sprintf("id-%03d", total-capacity+j); id != want {
+			t.Fatalf("snapshot[%d] = %s, want %s", j, id, want)
+		}
+	}
+}
+
+// TestSeenWindowDuplicateAdd proves a re-added ID keeps its original window
+// position instead of consuming a fresh slot (the old []string window grew by
+// one per duplicate, silently shrinking the effective exclusion horizon).
+func TestSeenWindowDuplicateAdd(t *testing.T) {
+	w := newSeenWindow(4)
+	for _, id := range []string{"a", "b", "a", "c", "b", "a"} {
+		w.add(id)
+	}
+	if w.len() != 3 {
+		t.Fatalf("window holds %d IDs after duplicate adds, want 3", w.len())
+	}
+	// One more distinct ID fills the window; the next evicts "a" (oldest),
+	// not a duplicate-inflated victim.
+	w.add("d")
+	w.add("e")
+	if w.contains("a") {
+		t.Fatal("oldest ID survived eviction past capacity")
+	}
+	for _, id := range []string{"b", "c", "d", "e"} {
+		if !w.contains(id) {
+			t.Fatalf("recent ID %q evicted early", id)
+		}
+	}
+}
+
+// TestSeenWindowSnapshotReuse proves consecutive snapshots reuse one backing
+// array (the per-tick steady state) while still reflecting the live window.
+func TestSeenWindowSnapshotReuse(t *testing.T) {
+	w := newSeenWindow(4)
+	w.add("a")
+	w.add("b")
+	s1 := w.snapshot()
+	if len(s1) != 2 || s1[0] != "a" || s1[1] != "b" {
+		t.Fatalf("snapshot = %v, want [a b]", s1)
+	}
+	w.add("c")
+	s2 := w.snapshot()
+	if len(s2) != 3 || s2[2] != "c" {
+		t.Fatalf("snapshot after add = %v, want [a b c]", s2)
+	}
+	if &s1[0] != &s2[0] {
+		t.Fatal("snapshot reallocated its backing array within capacity")
+	}
+}

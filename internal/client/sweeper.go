@@ -75,7 +75,7 @@ type Sweeper struct {
 	rv       broker.Backend
 	cfg      SweeperConfig
 	residues []core.ResidueSet
-	seen     []string
+	seen     *seenWindow
 	// pending holds replies whose post failed at the transport level; they
 	// are retried on the next Tick. Without it a failed post lost the reply
 	// forever: the bottle was already in the seen window (and in the
@@ -107,7 +107,7 @@ func NewSweeper(rv broker.Backend, cfg SweeperConfig) (*Sweeper, error) {
 	for _, p := range cfg.Primes {
 		residues = append(residues, matcher.ResidueSet(p))
 	}
-	return &Sweeper{rv: rv, cfg: cfg, residues: residues}, nil
+	return &Sweeper{rv: rv, cfg: cfg, residues: residues, seen: newSeenWindow(cfg.SeenCap)}, nil
 }
 
 // Tick performs one sweep-evaluate-reply cycle. The returned error is a
@@ -120,7 +120,7 @@ func (s *Sweeper) Tick(ctx context.Context) (TickStats, error) {
 		Residues:      s.residues,
 		Limit:         s.cfg.Limit,
 		ExcludeOrigin: s.cfg.ExcludeOrigin,
-		Seen:          s.seen,
+		Seen:          s.seen.snapshot(),
 	})
 	if err != nil {
 		return TickStats{}, err
@@ -153,7 +153,7 @@ func (s *Sweeper) Tick(ctx context.Context) (TickStats, error) {
 			continue
 		}
 		tick[id] = struct{}{}
-		s.seen = append(s.seen, id)
+		s.seen.add(id)
 		// Skip decides on the request ID proper; swept IDs may carry a rack
 		// tag ("tag@id") that callers keying by package ID never see.
 		if s.cfg.Skip != nil && s.cfg.Skip(id) {
@@ -177,9 +177,6 @@ func (s *Sweeper) Tick(ctx context.Context) (TickStats, error) {
 		if hr.Reply != nil {
 			posts = append(posts, broker.ReplyPost{RequestID: pkg.ID, Raw: hr.Reply.Marshal()})
 		}
-	}
-	if excess := len(s.seen) - s.cfg.SeenCap; excess > 0 {
-		s.seen = append(s.seen[:0], s.seen[excess:]...)
 	}
 	for i, err := range s.post(ctx, posts) {
 		switch {

@@ -1,0 +1,161 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// assertViewMatches checks a PackageView against the full decode of the same
+// bytes, field by field.
+func assertViewMatches(t *testing.T, v PackageView, p *RequestPackage) {
+	t.Helper()
+	if v.ID != p.ID || v.Origin != p.Origin || v.Mode != p.Mode || v.Prime != p.Prime {
+		t.Error("view header fields disagree with full decode")
+	}
+	if !v.CreatedAt.Equal(p.CreatedAt) || !v.ExpiresAt.Equal(p.ExpiresAt) {
+		t.Error("view timestamps disagree with full decode")
+	}
+	if v.MaxUnknown != p.MaxUnknown {
+		t.Errorf("view γ=%d, full decode γ=%d", v.MaxUnknown, p.MaxUnknown)
+	}
+	if v.AttributeCount() != p.AttributeCount() {
+		t.Fatalf("view m_t=%d, full decode m_t=%d", v.AttributeCount(), p.AttributeCount())
+	}
+	for i := range p.Remainders {
+		if v.Remainder(i) != p.Remainders[i] || v.IsOptional(i) != p.Optional[i] {
+			t.Fatalf("view remainders/mask disagree at %d", i)
+		}
+	}
+	if v.OptionalCount() != p.OptionalCount() {
+		t.Error("view optional count disagrees with full decode")
+	}
+	if v.SealedLen() != len(p.Sealed) {
+		t.Error("view sealed length disagrees with full decode")
+	}
+}
+
+func TestPackageViewMatchesFullDecode(t *testing.T) {
+	for _, mode := range []SealMode{SealModeVerifiable, SealModeOpaque} {
+		pkg := builtPackage(t, mode)
+		data, err := pkg.Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		full, err := UnmarshalPackage(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, err := UnmarshalPackageView(data)
+		if err != nil {
+			t.Fatalf("UnmarshalPackageView: %v", err)
+		}
+		assertViewMatches(t, v, full)
+	}
+
+	noHint := mustBuild(t, PerfectMatch(tags("a", "b")...), BuildOptions{}).Package
+	data, err := noHint.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := UnmarshalPackage(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := UnmarshalPackageView(data)
+	if err != nil {
+		t.Fatalf("UnmarshalPackageView (no hint): %v", err)
+	}
+	assertViewMatches(t, v, full)
+}
+
+// Differential property: the view's acceptance set sandwiches the full
+// decoder's. Every input the full decoder accepts, the view accepts with
+// identical fields (the view must never reject a valid package); every input
+// the view rejects, the full decoder rejects too (the view's structural
+// checks are a subset of the full decoder's). Inputs where only the view
+// accepts are legal — hint-element canonicality is deferred to the full
+// decode, which candidates always run.
+func TestPackageViewDifferential(t *testing.T) {
+	pkg := builtPackage(t, SealModeVerifiable)
+	data, err := pkg.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	check := func(mutated []byte) {
+		t.Helper()
+		full, fullErr := UnmarshalPackage(mutated)
+		v, viewErr := UnmarshalPackageView(mutated)
+		if fullErr == nil && viewErr != nil {
+			t.Fatalf("view rejected an input the full decoder accepts: %v", viewErr)
+		}
+		if fullErr == nil {
+			assertViewMatches(t, v, full)
+		}
+	}
+	check(data)
+	for i := 0; i < 500; i++ {
+		mutated := append([]byte(nil), data...)
+		switch rng.Intn(3) {
+		case 0: // single byte flip
+			mutated[rng.Intn(len(mutated))] ^= byte(1 + rng.Intn(255))
+		case 1: // truncation
+			mutated = mutated[:rng.Intn(len(mutated))]
+		case 2: // trailing garbage
+			mutated = append(mutated, byte(rng.Intn(256)))
+		}
+		check(mutated)
+	}
+}
+
+// Property: truncating the wire form at any offset never yields a valid view.
+func TestPackageViewTruncationProperty(t *testing.T) {
+	pkg := builtPackage(t, SealModeVerifiable)
+	data, err := pkg.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(cut uint16) bool {
+		n := int(cut) % len(data)
+		_, err := UnmarshalPackageView(data[:n])
+		return err != nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The view's prefilter must agree with the full package's on every residue
+// set, since the broker screens bottles with the view alone.
+func TestPackageViewPrefilterAgrees(t *testing.T) {
+	pkg := builtPackage(t, SealModeVerifiable)
+	data, err := pkg.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := UnmarshalPackageView(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 200; i++ {
+		residues := make([]uint32, rng.Intn(8))
+		for j := range residues {
+			residues[j] = uint32(rng.Intn(int(pkg.Prime)))
+		}
+		rs := NewResidueSet(pkg.Prime, residues)
+		if got, want := v.PrefilterMatch(rs), pkg.PrefilterMatch(rs); got != want {
+			t.Fatalf("prefilter disagreement on %v: view=%v full=%v", residues, got, want)
+		}
+		// A subset drawn from the package's own remainders should usually
+		// match; check agreement on that shape too.
+		own := append([]uint32(nil), pkg.Remainders...)
+		rng.Shuffle(len(own), func(a, b int) { own[a], own[b] = own[b], own[a] })
+		own = own[:rng.Intn(len(own)+1)]
+		rs = NewResidueSet(pkg.Prime, own)
+		if got, want := v.PrefilterMatch(rs), pkg.PrefilterMatch(rs); got != want {
+			t.Fatalf("prefilter disagreement on own-subset %v: view=%v full=%v", own, got, want)
+		}
+	}
+}
