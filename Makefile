@@ -3,8 +3,8 @@ GO ?= go
 # Perf trajectory knobs: BENCH_OUT is where `make bench-json` records the
 # current numbers (bump the <n> when a PR moves the needle), BENCH_BASELINE
 # is the checked-in point `make bench-compare` gates against.
-BENCH_OUT ?= BENCH_7.json
-BENCH_BASELINE ?= BENCH_7.json
+BENCH_OUT ?= BENCH_8.json
+BENCH_BASELINE ?= BENCH_8.json
 
 .PHONY: all build test race fuzz-smoke bench bench-json bench-compare profile tables
 

@@ -19,10 +19,18 @@
 // compares the stdin results against a checked-in trajectory point and exits
 // nonzero on a >20% ns/op geomean regression or allocs/op growth past a +1
 // rounding slack — the `make bench-compare` / CI perf gate.
+//
+// With -cluster SCENARIO (or -cluster all) it runs the paper-reproduction
+// scenario suite against an in-process replicated ring — the same presets
+// cmd/loadgen -scenario replays over TCP — and prints each run's summary
+// table plus the cost comparison against the five baseline schemes. Any
+// invariant violation exits nonzero, so the mode doubles as a standalone
+// correctness harness.
 package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -33,6 +41,7 @@ import (
 	"strings"
 
 	"sealedbottle/internal/experiments"
+	"sealedbottle/internal/experiments/cluster"
 )
 
 func main() {
@@ -54,6 +63,10 @@ func run(args []string) error {
 		benchJSON    = fs.String("bench-json", "", "parse `go test -bench` output from stdin and write it as JSON to this file")
 		benchCompare = fs.String("bench-compare", "", "parse `go test -bench` output from stdin and compare it against this baseline BENCH_*.json; exit nonzero past -bench-compare-max")
 		benchMax     = fs.Float64("bench-compare-max", 1.20, "maximum allowed ns/op geometric-mean ratio (new/old) for -bench-compare")
+		clusterRuns  = fs.String("cluster", "", "run cluster scenarios against an in-process replicated ring: a preset name ("+strings.Join(cluster.PresetNames(), ", ")+") or 'all'; exits nonzero on invariant violations")
+		clusterRacks = fs.Int("cluster-racks", 3, "racks in the -cluster in-process ring")
+		clusterRepl  = fs.Int("cluster-replication", 2, "replication factor R for -cluster")
+		clusterSize  = fs.Int("cluster-bottles", 64, "bottles per -cluster scenario run")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -63,6 +76,9 @@ func run(args []string) error {
 	}
 	if *benchCompare != "" {
 		return compareBench(os.Stdin, os.Stdout, *benchCompare, *benchMax)
+	}
+	if *clusterRuns != "" {
+		return runClusterScenarios(os.Stdout, *clusterRuns, *clusterRacks, *clusterRepl, *clusterSize, *users, *seed)
 	}
 	cfg := experiments.Config{CorpusUsers: *users, Seed: *seed, Initiators: *inits}
 
@@ -126,6 +142,51 @@ func run(args []string) error {
 		if which == "all" || which == "location" {
 			emit(experiments.AblationLocationBinding(cfg).Render())
 		}
+	}
+	return nil
+}
+
+// runClusterScenarios drives the experiment suite's scenario presets against
+// an in-process replicated ring and renders paper-style tables for each run.
+// Invariant violations (or a scenario that fails to drain) make the whole
+// invocation fail.
+func runClusterScenarios(out io.Writer, which string, racks, replication, bottles, users int, seed int64) error {
+	var presets []cluster.Preset
+	if which == "all" {
+		presets = cluster.Presets()
+	} else {
+		p, err := cluster.PresetByName(which)
+		if err != nil {
+			return err
+		}
+		presets = []cluster.Preset{p}
+	}
+	failed := 0
+	for _, p := range presets {
+		h, err := cluster.NewHarness(cluster.Topology{Racks: racks, Replication: replication})
+		if err != nil {
+			return fmt.Errorf("scenario %s: harness: %w", p.Name, err)
+		}
+		rep, err := cluster.Run(context.Background(), h, p, cluster.ScenarioConfig{
+			Bottles:         bottles,
+			PopulationUsers: users,
+			Seed:            seed,
+		})
+		h.Close()
+		if err != nil {
+			return fmt.Errorf("scenario %s: %w", p.Name, err)
+		}
+		fmt.Fprintln(out, cluster.ReportTable(rep).Render())
+		fmt.Fprintln(out, cluster.ComparisonTable(rep, 2).Render())
+		for _, v := range rep.Violations {
+			fmt.Fprintf(out, "VIOLATION [%s]: %s\n", p.Name, v)
+		}
+		if len(rep.Violations) > 0 || !rep.Drained {
+			failed++
+		}
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d of %d cluster scenarios violated invariants", failed, len(presets))
 	}
 	return nil
 }

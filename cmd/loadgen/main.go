@@ -24,6 +24,12 @@
 // transport), and -verify-counts asserts at exit that the brokers' submitted
 // counters equal what loadgen racked — the cluster smoke test in CI runs
 // exactly that against three real bottlerack processes.
+//
+// -scenario applies one of the experiment suite's workload presets (see
+// internal/experiments/cluster and docs/EXPERIMENTS.md): bursty arrivals,
+// msn-derived connect/disconnect churn, lossy access links, Zipf-skewed
+// attribute draws, or opaque adversarial submits — the same shapes the
+// in-process scenario tests check invariants for, replayed over TCP.
 package main
 
 import (
@@ -42,6 +48,8 @@ import (
 	"sealedbottle"
 	"sealedbottle/internal/attr"
 	"sealedbottle/internal/core"
+	"sealedbottle/internal/experiments/cluster"
+	"sealedbottle/internal/msn"
 )
 
 type options struct {
@@ -63,6 +71,72 @@ type options struct {
 	verifyCounts  bool
 	verifyReplies bool
 	replication   int
+	scenario      string
+}
+
+// shape is the workload shaping a -scenario preset resolves to: how arrivals
+// are paced, whether clients churn, and how bottles are built. The zero value
+// is the unshaped open loop.
+type shape struct {
+	burstSize int
+	burstGap  time.Duration
+	loss      float64
+	zipf      bool
+	opaque    bool
+	timeline  [][]bool // per-client connectivity windows (nil: always on)
+}
+
+// resolveShape maps a scenario preset onto loadgen's workload knobs. The
+// churn timeline has one row per client (submitters first, then sweepers),
+// derived from the same msn mobility model the in-process scenario suite
+// replays.
+func resolveShape(opts options) (shape, error) {
+	if opts.scenario == "" {
+		return shape{}, nil
+	}
+	p, err := cluster.PresetByName(opts.scenario)
+	if err != nil {
+		return shape{}, err
+	}
+	s := shape{
+		burstSize: p.BurstSize,
+		burstGap:  p.BurstGap,
+		loss:      p.LossRate,
+		zipf:      p.ZipfExponent > 1.2,
+		opaque:    p.Adversarial,
+	}
+	if p.Churn {
+		s.timeline, err = msn.ChurnTimeline(msn.ChurnModel{
+			Clients: opts.submitters + opts.sweepers,
+			Ticks:   120,
+			Seed:    opts.seed,
+		})
+		if err != nil {
+			return shape{}, err
+		}
+	}
+	return s, nil
+}
+
+// churnColumnPeriod is how much wall clock one simulated connectivity tick
+// spans when a churn timeline is replayed.
+const churnColumnPeriod = 5 * time.Millisecond
+
+// waitOnline blocks while the timeline says client row is out of coverage,
+// for at most one full timeline cycle (a client whose row never enters
+// coverage proceeds degraded rather than deadlocking the run).
+func (s shape) waitOnline(row int, start time.Time) {
+	if s.timeline == nil {
+		return
+	}
+	cols := len(s.timeline[0])
+	for i := 0; i < cols; i++ {
+		col := int(time.Since(start)/churnColumnPeriod) % cols
+		if s.timeline[row][col] {
+			return
+		}
+		time.Sleep(churnColumnPeriod)
+	}
 }
 
 func main() {
@@ -85,6 +159,7 @@ func main() {
 	flag.BoolVar(&opts.verifyCounts, "verify-counts", false, "fail unless the brokers' submitted counter equals the bottles submitted (fresh racks only; scaled by -replication)")
 	flag.BoolVar(&opts.verifyReplies, "verify-replies", false, "fail unless every acknowledged reply post is drained back at exit — the chaos smoke's zero-lost-friendings assertion (replaces the sample fetch phase; runs shorter than -validity only)")
 	flag.IntVar(&opts.replication, "replication", 1, "ring replication factor R: each bottle is racked on the top-R rendezvous racks (cluster modes only)")
+	flag.StringVar(&opts.scenario, "scenario", "", "workload scenario preset: "+strings.Join(cluster.PresetNames(), ", ")+" (empty: open loop)")
 	flag.Parse()
 
 	if err := run(opts); err != nil {
@@ -97,6 +172,10 @@ func run(opts options) error {
 		opts.batch = 1
 	}
 	ctx := context.Background()
+	shp, err := resolveShape(opts)
+	if err != nil {
+		return err
+	}
 	courier, statsFn, cleanup, err := connect(opts)
 	if err != nil {
 		return err
@@ -106,6 +185,7 @@ func run(opts options) error {
 	var (
 		submitted  atomic.Int64
 		failed     atomic.Int64
+		dropped    atomic.Int64
 		sweeps     atomic.Int64
 		swept      atomic.Int64
 		replies    atomic.Int64
@@ -123,11 +203,30 @@ func run(opts options) error {
 		go func(w int) {
 			defer wgSub.Done()
 			rng := rand.New(rand.NewSource(opts.seed + int64(w)))
+			var zipf *rand.Zipf
+			if shp.zipf {
+				zipf = rand.NewZipf(rng, 1.4, 1, uint64(opts.universe-1))
+			}
 			i := 0
+			burst := 0
 			for int(submitted.Load()) < opts.bottles {
-				raws, ids, err := buildBottles(rng, opts, w, &i)
+				shp.waitOnline(w, start)
+				if shp.burstSize > 0 && burst >= shp.burstSize {
+					burst = 0
+					if shp.burstGap > 0 {
+						time.Sleep(shp.burstGap)
+					}
+				}
+				burst++
+				raws, ids, err := buildBottles(rng, zipf, shp.opaque, opts, w, &i)
 				if err != nil {
 					failed.Add(int64(opts.batch))
+					continue
+				}
+				if shp.loss > 0 && rng.Float64() < shp.loss {
+					// A lossy access link: the batch never reaches the wire
+					// and the submitter retries with fresh bottles.
+					dropped.Add(int64(len(raws)))
 					continue
 				}
 				t0 := time.Now()
@@ -173,6 +272,7 @@ func run(opts options) error {
 				return
 			}
 			for submitting.Load() {
+				shp.waitOnline(opts.submitters+w, start)
 				t0 := time.Now()
 				st, err := sweeper.Tick(ctx)
 				if err != nil {
@@ -212,6 +312,11 @@ func run(opts options) error {
 		}
 	}
 
+	if opts.scenario != "" {
+		fmt.Printf("scenario   %s (burst=%d gap=%v churn=%v loss=%d dropped, zipf=%v opaque=%v)\n",
+			opts.scenario, shp.burstSize, shp.burstGap, shp.timeline != nil,
+			dropped.Load(), shp.zipf, shp.opaque)
+	}
 	fmt.Printf("submitted  %d bottles in %v (%.0f bottles/sec, %d failed, batch=%d)\n",
 		submitted.Load(), elapsed.Round(time.Millisecond),
 		float64(submitted.Load())/elapsed.Seconds(), failed.Load(), opts.batch)
@@ -398,11 +503,11 @@ func connect(opts options) (rv sealedbottle.Backend, stats func(context.Context)
 
 // buildBottles constructs opts.batch marshalled request packages, advancing
 // the worker's bottle counter.
-func buildBottles(rng *rand.Rand, opts options, worker int, counter *int) ([][]byte, []string, error) {
+func buildBottles(rng *rand.Rand, zipf *rand.Zipf, opaque bool, opts options, worker int, counter *int) ([][]byte, []string, error) {
 	raws := make([][]byte, 0, opts.batch)
 	ids := make([]string, 0, opts.batch)
 	for len(raws) < opts.batch {
-		raw, id, err := buildBottle(rng, opts, worker, *counter)
+		raw, id, err := buildBottle(rng, zipf, opaque, opts, worker, *counter)
 		*counter++
 		if err != nil {
 			return nil, nil, err
@@ -413,14 +518,23 @@ func buildBottles(rng *rand.Rand, opts options, worker int, counter *int) ([][]b
 	return raws, ids, nil
 }
 
+// drawAttr draws an attribute index: uniform by default, Zipf-skewed when a
+// scenario preset crowds the popular head of the vocabulary.
+func drawAttr(rng *rand.Rand, zipf *rand.Zipf, n int) int {
+	if zipf != nil {
+		return int(zipf.Uint64()) % n
+	}
+	return rng.Intn(n)
+}
+
 // buildBottle constructs one marshalled request package: one necessary group
 // attribute plus four optional interests with β=2 (so γ=2 exercises the hint
 // matrix on both the build and sweep sides).
-func buildBottle(rng *rand.Rand, opts options, worker, i int) ([]byte, string, error) {
+func buildBottle(rng *rand.Rand, zipf *rand.Zipf, opaque bool, opts options, worker, i int) ([]byte, string, error) {
 	optional := make([]attr.Attribute, 0, 4)
 	seen := make(map[int]struct{}, 4)
 	for len(optional) < 4 {
-		k := rng.Intn(opts.universe)
+		k := drawAttr(rng, zipf, opts.universe)
 		if _, dup := seen[k]; dup {
 			continue
 		}
@@ -432,7 +546,12 @@ func buildBottle(rng *rand.Rand, opts options, worker, i int) ([]byte, string, e
 		Optional:    optional,
 		MinOptional: 2,
 	}
+	mode := core.SealModeVerifiable
+	if opaque {
+		mode = core.SealModeOpaque
+	}
 	built, err := core.BuildRequest(spec, core.BuildOptions{
+		Mode:     mode,
 		Origin:   fmt.Sprintf("sub-%d-%d", worker, i),
 		Validity: opts.validity,
 		Rand:     rng,

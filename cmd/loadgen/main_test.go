@@ -1,0 +1,100 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+// TestResolveShape pins how each -scenario preset shapes the workload: the
+// arrival pacing, the link behaviour, and the bottle build mode.
+func TestResolveShape(t *testing.T) {
+	base := options{submitters: 2, sweepers: 2, seed: 1}
+	cases := []struct {
+		scenario  string
+		burstSize int
+		burstGap  time.Duration
+		churn     bool
+		loss      bool
+		zipf      bool
+		opaque    bool
+	}{
+		{scenario: "", burstSize: 0},
+		{scenario: "burst", burstSize: 16, burstGap: 2 * time.Millisecond},
+		{scenario: "churn", burstSize: 4, burstGap: time.Millisecond, churn: true},
+		{scenario: "adversarial", burstSize: 8, burstGap: time.Millisecond, opaque: true},
+		{scenario: "zipf", burstSize: 4, zipf: true},
+		{scenario: "lossy", burstSize: 4, loss: true},
+	}
+	for _, tc := range cases {
+		name := tc.scenario
+		if name == "" {
+			name = "open-loop"
+		}
+		t.Run(name, func(t *testing.T) {
+			opts := base
+			opts.scenario = tc.scenario
+			shp, err := resolveShape(opts)
+			if err != nil {
+				t.Fatalf("resolveShape: %v", err)
+			}
+			if shp.burstSize != tc.burstSize {
+				t.Errorf("burstSize = %d, want %d", shp.burstSize, tc.burstSize)
+			}
+			if shp.burstGap != tc.burstGap {
+				t.Errorf("burstGap = %v, want %v", shp.burstGap, tc.burstGap)
+			}
+			if got := shp.timeline != nil; got != tc.churn {
+				t.Errorf("churn timeline present = %v, want %v", got, tc.churn)
+			}
+			if tc.churn && len(shp.timeline) != opts.submitters+opts.sweepers {
+				t.Errorf("timeline rows = %d, want one per client (%d)", len(shp.timeline), opts.submitters+opts.sweepers)
+			}
+			if got := shp.loss > 0; got != tc.loss {
+				t.Errorf("loss = %v, want %v", got, tc.loss)
+			}
+			if shp.zipf != tc.zipf {
+				t.Errorf("zipf = %v, want %v", shp.zipf, tc.zipf)
+			}
+			if shp.opaque != tc.opaque {
+				t.Errorf("opaque = %v, want %v", shp.opaque, tc.opaque)
+			}
+		})
+	}
+}
+
+func TestResolveShapeRejectsUnknownScenario(t *testing.T) {
+	if _, err := resolveShape(options{scenario: "nope", submitters: 1, sweepers: 1}); err == nil {
+		t.Fatalf("resolveShape accepted an unknown scenario")
+	}
+}
+
+// TestRunScenarios drives each preset end-to-end against an in-process
+// 3-rack replicated cluster — the exact shape the CI scenario smoke runs
+// over TCP — and asserts the run's own verification passes.
+func TestRunScenarios(t *testing.T) {
+	for _, scenario := range []string{"burst", "churn", "adversarial", "zipf", "lossy"} {
+		t.Run(scenario, func(t *testing.T) {
+			opts := options{
+				racks:         3,
+				replication:   2,
+				bottles:       48,
+				submitters:    2,
+				sweepers:      2,
+				sweepLimit:    32,
+				shards:        4,
+				conns:         2,
+				batch:         4,
+				universe:      48,
+				validity:      5 * time.Minute,
+				timeout:       30 * time.Second,
+				seed:          1,
+				scenario:      scenario,
+				verifyCounts:  true,
+				verifyReplies: true,
+			}
+			if err := run(opts); err != nil {
+				t.Fatalf("run(-scenario %s): %v", scenario, err)
+			}
+		})
+	}
+}

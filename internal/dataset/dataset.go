@@ -250,6 +250,35 @@ func (c *Corpus) Sample(k int, seed int64) []User {
 	return out
 }
 
+// PopularTags returns the k most frequent tags in the corpus, most popular
+// first (ties broken lexicographically). Under the Zipf popularity model the
+// head of this list covers a disproportionate share of all profiles — it is
+// both the natural dictionary for the paper's dictionary-profiling adversary
+// (an attacker enumerates popular attributes first) and a direct view of the
+// skew the sampler produced.
+func (c *Corpus) PopularTags(k int) []string {
+	counts := make(map[string]int)
+	for _, u := range c.Users {
+		for _, t := range u.Tags {
+			counts[t]++
+		}
+	}
+	tags := make([]string, 0, len(counts))
+	for t := range counts {
+		tags = append(tags, t)
+	}
+	sort.Slice(tags, func(i, j int) bool {
+		if counts[tags[i]] != counts[tags[j]] {
+			return counts[tags[i]] > counts[tags[j]]
+		}
+		return tags[i] < tags[j]
+	})
+	if k < len(tags) {
+		tags = tags[:k]
+	}
+	return tags
+}
+
 // EntropyModel builds a per-category value distribution model from the corpus
 // (used by Protocol 3's ϕ budgets).
 func (c *Corpus) EntropyModel(withKeywords bool) *attr.EntropyModel {

@@ -239,3 +239,39 @@ func TestTruncatedGeometricProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestPopularTags(t *testing.T) {
+	c := Generate(Params{Users: 2000, TagVocabulary: 500, Seed: 11})
+	top := c.PopularTags(10)
+	if len(top) != 10 {
+		t.Fatalf("got %d tags, want 10", len(top))
+	}
+	counts := make(map[string]int)
+	for _, u := range c.Users {
+		for _, tag := range u.Tags {
+			counts[tag]++
+		}
+	}
+	for i := 1; i < len(top); i++ {
+		a, b := counts[top[i-1]], counts[top[i]]
+		if a < b || (a == b && top[i-1] >= top[i]) {
+			t.Fatalf("tags not ordered by (count desc, name asc): %q(%d) before %q(%d)", top[i-1], a, top[i], b)
+		}
+	}
+	// Zipf skew: the head of the popularity list must cover a large share of
+	// all tag occurrences.
+	total, head := 0, 0
+	for _, n := range counts {
+		total += n
+	}
+	for _, tag := range top {
+		head += counts[tag]
+	}
+	if frac := float64(head) / float64(total); frac < 0.10 {
+		t.Fatalf("top-10 tags cover only %.1f%% of occurrences; the Zipf head should dominate", 100*frac)
+	}
+	// Asking for more tags than exist returns them all.
+	if all := c.PopularTags(1 << 20); len(all) != len(counts) {
+		t.Fatalf("PopularTags(huge) returned %d of %d distinct tags", len(all), len(counts))
+	}
+}

@@ -1,0 +1,249 @@
+package cluster
+
+import (
+	"context"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"sealedbottle"
+	"sealedbottle/internal/attr"
+	"sealedbottle/internal/core"
+)
+
+// threeRacks is the acceptance topology: a 3-rack ring with R=2 replication,
+// every scenario test drives it in-process over the real wire protocol.
+func threeRacks(t *testing.T) *Harness {
+	t.Helper()
+	h, err := NewHarness(Topology{Racks: 3, Replication: 2})
+	if err != nil {
+		t.Fatalf("NewHarness: %v", err)
+	}
+	t.Cleanup(func() { h.Close() })
+	return h
+}
+
+// smallScenario keeps -race runs quick while exercising every phase.
+func smallScenario(seed int64) ScenarioConfig {
+	return ScenarioConfig{
+		Bottles:         36,
+		Submitters:      3,
+		Sweepers:        3,
+		PopulationUsers: 240,
+		Seed:            seed,
+		SweepLimit:      24,
+		DrainTimeout:    45 * time.Second,
+	}
+}
+
+func mustPreset(t *testing.T, name string) Preset {
+	t.Helper()
+	p, err := PresetByName(name)
+	if err != nil {
+		t.Fatalf("PresetByName(%q): %v", name, err)
+	}
+	return p
+}
+
+func runScenario(t *testing.T, name string, cfg ScenarioConfig) *Report {
+	t.Helper()
+	h := threeRacks(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	rep, err := Run(ctx, h, mustPreset(t, name), cfg)
+	if err != nil {
+		t.Fatalf("Run(%q): %v", name, err)
+	}
+	for _, v := range rep.Violations {
+		t.Errorf("invariant violation: %s", v)
+	}
+	if !rep.Drained {
+		t.Errorf("scenario %q did not drain: some promised evaluations never landed", name)
+	}
+	if rep.Bottles != cfg.Bottles {
+		t.Errorf("acknowledged %d bottles, want %d", rep.Bottles, cfg.Bottles)
+	}
+	if rep.ExpectedEvaluations == 0 {
+		t.Errorf("prefilter promised no evaluations — the scenario exercised nothing")
+	}
+	if rep.AcceptedMatches == 0 {
+		t.Errorf("no accepted matches — first-bottle ground-truth matches are guaranteed")
+	}
+	return rep
+}
+
+func TestScenarioBurst(t *testing.T) {
+	rep := runScenario(t, "burst", smallScenario(11))
+	if rep.Ticks.Evaluated < rep.ExpectedEvaluations {
+		t.Errorf("evaluated %d < expected %d", rep.Ticks.Evaluated, rep.ExpectedEvaluations)
+	}
+}
+
+func TestScenarioChurnWithRackKill(t *testing.T) {
+	cfg := smallScenario(12)
+	cfg.SeverRack = 2
+	rep := runScenario(t, "churn", cfg)
+	if rep.SeveredRack != "rack-1" {
+		t.Errorf("severed %q, want rack-1", rep.SeveredRack)
+	}
+	if rep.SubmitRetries == 0 {
+		t.Errorf("churn produced no submit retries — connectivity never dropped")
+	}
+}
+
+func TestScenarioAdversarial(t *testing.T) {
+	rep := runScenario(t, "adversarial", smallScenario(13))
+	if rep.ForgedPosts == 0 {
+		t.Fatalf("cheater posted no forged replies — the attack never ran")
+	}
+	if rep.RejectedForgeries != rep.ForgedPosts {
+		t.Errorf("rejected %d forgeries, want all %d posted", rep.RejectedForgeries, rep.ForgedPosts)
+	}
+	if rep.DictionaryAttempts == 0 {
+		t.Errorf("dictionary attacker never ran")
+	}
+	if rep.DictionaryRecoveries != 0 {
+		t.Errorf("dictionary attacker verified %d recoveries against opaque requests", rep.DictionaryRecoveries)
+	}
+}
+
+// TestScenarioLossyDuplicates is the TickStats.Duplicates regression: on the
+// lossy preset sweepers bypass the ring's replica merge and fan out over
+// every rack directly, so replica copies reach the Sweeper and only its own
+// per-tick collapsing keeps evaluation exactly-once.
+func TestScenarioLossyDuplicates(t *testing.T) {
+	rep := runScenario(t, "lossy", smallScenario(14))
+	if rep.Ticks.Duplicates == 0 {
+		t.Errorf("direct replica sweeps produced no duplicates for the Sweeper to collapse")
+	}
+	if rep.SubmitRetries == 0 {
+		t.Errorf("lossy links produced no submit retries")
+	}
+}
+
+func TestScenarioZipf(t *testing.T) {
+	rep := runScenario(t, "zipf", smallScenario(15))
+	if rep.Ticks.Rejected == 0 {
+		t.Errorf("heavy skew scenario never exercised the prefilter's reject path")
+	}
+}
+
+// scriptedBackend hands the Sweeper exactly the bottles it is told to,
+// emulating a replicated cluster returning the same bottle once per rack.
+type scriptedBackend struct {
+	bottles []sealedbottle.SweepResult
+	calls   int
+}
+
+func (s *scriptedBackend) Submit(context.Context, []byte) (string, error) { return "", nil }
+func (s *scriptedBackend) SubmitBatch(context.Context, [][]byte) ([]sealedbottle.SubmitResult, error) {
+	return nil, nil
+}
+func (s *scriptedBackend) Sweep(context.Context, sealedbottle.SweepQuery) (sealedbottle.SweepResult, error) {
+	if s.calls >= len(s.bottles) {
+		return sealedbottle.SweepResult{}, nil
+	}
+	res := s.bottles[s.calls]
+	s.calls++
+	return res, nil
+}
+func (s *scriptedBackend) Reply(context.Context, string, []byte) error { return nil }
+func (s *scriptedBackend) ReplyBatch(_ context.Context, posts []sealedbottle.ReplyPost) ([]error, error) {
+	return make([]error, len(posts)), nil
+}
+func (s *scriptedBackend) Fetch(context.Context, string) ([][]byte, error) { return nil, nil }
+func (s *scriptedBackend) FetchBatch(_ context.Context, ids []string) ([]sealedbottle.FetchResult, error) {
+	return make([]sealedbottle.FetchResult, len(ids)), nil
+}
+func (s *scriptedBackend) Remove(context.Context, string) (bool, error) { return false, nil }
+func (s *scriptedBackend) Stats(context.Context) (sealedbottle.Stats, error) {
+	return sealedbottle.Stats{}, nil
+}
+func (s *scriptedBackend) Close() error { return nil }
+
+// TestSweeperCollapsesScriptedReplicaCopies pins the exact duplicate count:
+// the same bottle arriving under two rack tags in one sweep must be
+// evaluated once and counted once as a duplicate.
+func TestSweeperCollapsesScriptedReplicaCopies(t *testing.T) {
+	a1 := attr.MustNew(attr.HeaderTag, "alpha")
+	a2 := attr.MustNew(attr.HeaderTag, "beta")
+	rng := rand.New(rand.NewSource(1))
+	init, err := core.NewInitiator(core.FuzzyMatch(1, a1, a2), core.InitiatorConfig{
+		Origin: "origin", Rand: rng,
+	})
+	if err != nil {
+		t.Fatalf("NewInitiator: %v", err)
+	}
+	pkg := init.Request()
+	raw, err := pkg.Marshal()
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	backend := &scriptedBackend{bottles: []sealedbottle.SweepResult{{
+		Bottles: []sealedbottle.SweptBottle{
+			{ID: "r0@" + pkg.ID, Raw: raw},
+			{ID: "r1@" + pkg.ID, Raw: raw},
+		},
+		Scanned: 2,
+	}}}
+	part, err := core.NewParticipant(attr.NewProfile(a1, a2), core.ParticipantConfig{
+		ID: "candidate", Rand: rng,
+	})
+	if err != nil {
+		t.Fatalf("NewParticipant: %v", err)
+	}
+	sw, err := sealedbottle.NewSweeper(backend, sealedbottle.SweeperConfig{Participant: part})
+	if err != nil {
+		t.Fatalf("NewSweeper: %v", err)
+	}
+	st, err := sw.Tick(context.Background())
+	if err != nil {
+		t.Fatalf("Tick: %v", err)
+	}
+	if st.Swept != 2 || st.Duplicates != 1 || st.Evaluated != 1 {
+		t.Fatalf("tick = swept %d, duplicates %d, evaluated %d; want 2, 1, 1", st.Swept, st.Duplicates, st.Evaluated)
+	}
+}
+
+func TestPresetCatalog(t *testing.T) {
+	names := PresetNames()
+	want := []string{"adversarial", "burst", "churn", "lossy", "zipf"}
+	if strings.Join(names, ",") != strings.Join(want, ",") {
+		t.Fatalf("PresetNames() = %v, want %v", names, want)
+	}
+	for _, name := range want {
+		p, err := PresetByName(name)
+		if err != nil {
+			t.Fatalf("PresetByName(%q): %v", name, err)
+		}
+		if p.Name != name {
+			t.Errorf("preset %q carries name %q", name, p.Name)
+		}
+		if p.Description == "" {
+			t.Errorf("preset %q has no description", name)
+		}
+		if p.BurstSize < 1 {
+			t.Errorf("preset %q has burst size %d", name, p.BurstSize)
+		}
+		if p.ZipfExponent <= 1 || p.TagVocabulary < 2 {
+			t.Errorf("preset %q has degenerate population shape", name)
+		}
+	}
+	if _, err := PresetByName("nope"); err == nil {
+		t.Fatalf("PresetByName accepted an unknown scenario")
+	}
+}
+
+func TestSeverRequiresReplication(t *testing.T) {
+	h, err := NewHarness(Topology{Racks: 3, Replication: 1})
+	if err != nil {
+		t.Fatalf("NewHarness: %v", err)
+	}
+	defer h.Close()
+	cfg := smallScenario(16)
+	cfg.SeverRack = 1
+	if _, err := Run(context.Background(), h, mustPreset(t, "burst"), cfg); err == nil {
+		t.Fatalf("Run accepted a rack kill on an unreplicated ring")
+	}
+}

@@ -1,0 +1,75 @@
+package cluster
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"sealedbottle"
+	"sealedbottle/internal/experiments"
+)
+
+// fixedReport is a frozen scenario outcome: table layout stays under golden
+// control without re-running (and re-timing) a live cluster.
+func fixedReport() *Report {
+	return &Report{
+		Scenario:             "adversarial",
+		Racks:                3,
+		Replication:          2,
+		PopulationUsers:      240,
+		Submitters:           3,
+		Sweepers:             3,
+		Bottles:              36,
+		SubmitRetries:        4,
+		SeveredRack:          "rack-1",
+		Sweeps:               120,
+		Ticks:                sealedbottle.TickStats{Swept: 110, Evaluated: 104, Matches: 9, Replies: 21, Duplicates: 6, Scanned: 900, Rejected: 640},
+		ExpectedEvaluations:  104,
+		Drained:              true,
+		FetchedReplies:       27,
+		AcceptedMatches:      9,
+		ForgedPosts:          18,
+		RejectedForgeries:    18,
+		DictionaryAttempts:   36,
+		DictionaryRecoveries: 0,
+		DictionaryWork:       5200,
+		Elapsed:              1234 * time.Millisecond,
+	}
+}
+
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatalf("mkdir: %v", err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatalf("update golden: %v", err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden %s (run with UPDATE_GOLDEN=1 to create): %v", path, err)
+	}
+	if got != string(want) {
+		t.Errorf("%s drifted from its golden file.\n--- got ---\n%s\n--- want ---\n%s\n(regenerate with UPDATE_GOLDEN=1 if the change is intentional)", name, got, want)
+	}
+}
+
+func TestGoldenReportTable(t *testing.T) {
+	checkGolden(t, "report_table.golden", ReportTable(fixedReport()).Render())
+}
+
+// TestGoldenComparisonTableSkeleton pins the comparison table's structure
+// (schemes, columns, the sealed-bottle row's model note) while masking the
+// host-measured timing cells.
+func TestGoldenComparisonTableSkeleton(t *testing.T) {
+	tbl := ComparisonTable(fixedReport(), 1)
+	masked := experiments.Table{Title: tbl.Title, Header: tbl.Header}
+	for _, row := range tbl.Rows {
+		masked.Rows = append(masked.Rows, []string{row[0], "<measured>", "<measured>", row[3]})
+	}
+	checkGolden(t, "comparison_table.skeleton.golden", masked.Render())
+}

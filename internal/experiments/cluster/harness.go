@@ -1,0 +1,192 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"time"
+
+	"sealedbottle"
+)
+
+// Topology sizes the cluster a scenario runs against.
+type Topology struct {
+	// Racks is the number of racks in the ring (≥1).
+	Racks int
+	// Replication is the ring's replication factor R (top-R rendezvous
+	// placement; 1 disables replication).
+	Replication int
+	// Shards is the per-rack shard count (zero: the rack default).
+	Shards int
+	// CallTimeout bounds each courier round trip (zero: the client default).
+	CallTimeout time.Duration
+}
+
+// rackHandle is one rack of the harness: the rack behind its own pipe
+// listener and framed server, plus the courier the ring (and the degraded
+// direct-sweep path) reaches it through — exactly the shape the TCP cluster
+// smoke runs with real bottlerack processes.
+type rackHandle struct {
+	name      string
+	listener  *sealedbottle.PipeListener
+	server    *sealedbottle.Server
+	courier   *sealedbottle.Courier
+	closeRack func() error
+	severed   bool
+}
+
+// Harness is an N-rack replicated ring running in-process: every rack behind
+// its own pipe transport and framed server, replica-wrapped when R>1 (hint
+// queues and handoff streaming over the same pipes), fronted by a client-side
+// Ring. It exists so experiment scenarios and tests drive the real wire
+// protocol and replication machinery, not an in-memory shortcut.
+type Harness struct {
+	topo  Topology
+	racks []*rackHandle
+	ring  *sealedbottle.Ring
+}
+
+// NewHarness builds and starts the cluster.
+func NewHarness(topo Topology) (*Harness, error) {
+	if topo.Racks < 1 {
+		topo.Racks = 1
+	}
+	if topo.Replication < 1 {
+		topo.Replication = 1
+	}
+	h := &Harness{topo: topo}
+
+	// Listeners exist up front so every replica node's handoff dialer can
+	// resolve any peer name from the start.
+	listeners := make(map[string]*sealedbottle.PipeListener, topo.Racks)
+	peers := make(map[string]string, topo.Racks)
+	for i := 0; i < topo.Racks; i++ {
+		name := rackName(i)
+		listeners[name] = sealedbottle.ListenPipe()
+		peers[name] = name
+	}
+	var backends []sealedbottle.RingBackend
+	for i := 0; i < topo.Racks; i++ {
+		name := rackName(i)
+		rcfg := sealedbottle.RackConfig{Shards: topo.Shards}
+		if topo.Racks > 1 {
+			rcfg.RackTag = fmt.Sprintf("r%d", i)
+		}
+		rack := sealedbottle.NewRack(rcfg)
+		srvOpts := sealedbottle.ServerOptions{}
+		closeRack := rack.Close
+		if topo.Replication > 1 && topo.Racks > 1 {
+			node := sealedbottle.WrapReplica(rack, sealedbottle.ReplicaConfig{
+				Self:  name,
+				Peers: peers,
+				Dial: func(addr string) (sealedbottle.HandoffTarget, error) {
+					l, ok := listeners[addr]
+					if !ok {
+						return nil, fmt.Errorf("unknown handoff peer %q", addr)
+					}
+					return sealedbottle.Dial(sealedbottle.CourierConfig{
+						Conns:  1,
+						Dialer: func() (net.Conn, error) { return l.Dial() },
+					})
+				},
+			})
+			srvOpts.Replica = node
+			closeRack = node.Close
+		}
+		l := listeners[name]
+		srv := sealedbottle.NewServer(rack, srvOpts)
+		go srv.Serve(l)
+		courier, err := sealedbottle.Dial(sealedbottle.CourierConfig{
+			Conns:       2,
+			CallTimeout: topo.CallTimeout,
+			Dialer:      func() (net.Conn, error) { return l.Dial() },
+		})
+		if err != nil {
+			h.Close()
+			return nil, err
+		}
+		h.racks = append(h.racks, &rackHandle{
+			name: name, listener: l, server: srv, courier: courier, closeRack: closeRack,
+		})
+		backends = append(backends, sealedbottle.RingBackend{Name: name, Backend: courier})
+	}
+	ring, err := sealedbottle.NewRing(sealedbottle.RingConfig{
+		Backends:    backends,
+		Replication: topo.Replication,
+	})
+	if err != nil {
+		h.Close()
+		return nil, err
+	}
+	h.ring = ring
+	return h, nil
+}
+
+func rackName(i int) string { return fmt.Sprintf("rack-%d", i) }
+
+// Ring returns the cluster's client-side ring — the Backend scenarios drive.
+func (h *Harness) Ring() *sealedbottle.Ring { return h.ring }
+
+// Topology returns the harness's effective topology.
+func (h *Harness) Topology() Topology { return h.topo }
+
+// RackNames lists the racks in index order.
+func (h *Harness) RackNames() []string {
+	names := make([]string, len(h.racks))
+	for i, r := range h.racks {
+		names[i] = r.name
+	}
+	return names
+}
+
+// RackBackends returns one courier per live rack — the degraded direct-sweep
+// path that bypasses the ring's replica merge. Severed racks are skipped.
+func (h *Harness) RackBackends() []sealedbottle.Backend {
+	var out []sealedbottle.Backend
+	for _, r := range h.racks {
+		if !r.severed {
+			out = append(out, r.courier)
+		}
+	}
+	return out
+}
+
+// Sever kills rack i with SIGKILL semantics: its listener, server and rack go
+// away mid-flight and nothing is flushed. In-flight and future calls to it
+// fail, the ring's health tracking ejects it, and (at R>1) surviving replicas
+// keep its bottles sweepable while peers queue hints for it. It returns the
+// rack's name for logging.
+func (h *Harness) Sever(i int) string {
+	r := h.racks[i]
+	if r.severed {
+		return r.name
+	}
+	r.severed = true
+	r.listener.Close()
+	r.server.Close()
+	r.closeRack()
+	return r.name
+}
+
+// Stats snapshots the ring's aggregated counters (severed racks excluded by
+// the ring's own health handling).
+func (h *Harness) Stats(ctx context.Context) (sealedbottle.Stats, error) {
+	return h.ring.Stats(ctx)
+}
+
+// Close tears the cluster down: ring, couriers, servers, listeners, racks.
+func (h *Harness) Close() error {
+	if h.ring != nil {
+		h.ring.Close()
+	}
+	for i := len(h.racks) - 1; i >= 0; i-- {
+		r := h.racks[i]
+		r.courier.Close()
+		if !r.severed {
+			r.listener.Close()
+			r.server.Close()
+			r.closeRack()
+		}
+	}
+	return nil
+}

@@ -1,0 +1,648 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sealedbottle"
+	"sealedbottle/internal/adversary"
+	"sealedbottle/internal/attr"
+	"sealedbottle/internal/core"
+	"sealedbottle/internal/dataset"
+	"sealedbottle/internal/msn"
+)
+
+// cheaterID names the forged-reply adversary; an initiator accepting a match
+// from it is an invariant violation.
+const cheaterID = "cheater"
+
+// ScenarioConfig sizes one scenario run against a Harness.
+type ScenarioConfig struct {
+	// Bottles is the number of acknowledged submits the run drives to
+	// completion (zero: 48).
+	Bottles int
+	// Submitters and Sweepers are the client populations (zero: 3 each).
+	Submitters int
+	Sweepers   int
+	// PopulationUsers sizes the synthetic corpus profiles are drawn from
+	// (zero: 240).
+	PopulationUsers int
+	// Seed makes the population, specs, churn and loss deterministic.
+	Seed int64
+	// Validity bounds request lifetime and the initiator's reply window; it
+	// must outlast the run so nothing expires mid-scenario (zero: 10m).
+	Validity time.Duration
+	// SweepLimit caps bottles per sweep tick (zero: 32).
+	SweepLimit int
+	// DrainTimeout bounds the drain phase: how long the run waits for every
+	// expected evaluation and every pending reply to land once injected
+	// faults stop (zero: 30s).
+	DrainTimeout time.Duration
+	// SeverRack, when positive, kills rack number SeverRack (1-based) with
+	// SIGKILL semantics once half the bottles are acknowledged. Requires a
+	// replicated topology — at R=1 the dead rack's bottles are simply gone
+	// and the exactly-once invariant cannot hold.
+	SeverRack int
+}
+
+func (c ScenarioConfig) withDefaults() ScenarioConfig {
+	if c.Bottles <= 0 {
+		c.Bottles = 48
+	}
+	if c.Submitters <= 0 {
+		c.Submitters = 3
+	}
+	if c.Sweepers <= 0 {
+		c.Sweepers = 3
+	}
+	if c.PopulationUsers <= 0 {
+		c.PopulationUsers = 240
+	}
+	if c.Validity <= 0 {
+		c.Validity = 10 * time.Minute
+	}
+	if c.SweepLimit <= 0 {
+		c.SweepLimit = 32
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 30 * time.Second
+	}
+	return c
+}
+
+// Report is the outcome of one scenario run: what the clients did, what the
+// adversaries achieved, and every invariant violation the checker derived.
+type Report struct {
+	// Scenario, topology and population echo the run's shape.
+	Scenario        string
+	Racks           int
+	Replication     int
+	PopulationUsers int
+	Submitters      int
+	Sweepers        int
+
+	// Bottles is the number of acknowledged submits; SubmitRetries counts
+	// submit calls the access link rejected (offline or lost) before an ack.
+	Bottles       int
+	SubmitRetries int
+
+	// SeveredRack names the rack killed mid-run, if any.
+	SeveredRack string
+
+	// Sweeps is the number of sweep ticks across all sweepers; Ticks sums
+	// their per-tick stats (Duplicates is the replica copies the Sweeper
+	// itself collapsed — nonzero only on degraded direct-replica sweeps).
+	Sweeps int
+	Ticks  sealedbottle.TickStats
+
+	// ExpectedEvaluations is how many (sweeper, bottle) evaluations the
+	// residue prefilter promised; Drained reports whether all of them (and
+	// all pending replies) landed before DrainTimeout.
+	ExpectedEvaluations int
+	Drained             bool
+
+	// FetchedReplies and AcceptedMatches summarize the fetch phase;
+	// accepted matches are genuineness-checked against the ground truth.
+	FetchedReplies  int
+	AcceptedMatches int
+
+	// Adversary counters (adversarial scenarios only).
+	ForgedPosts          int
+	RejectedForgeries    int
+	DictionaryAttempts   int
+	DictionaryRecoveries int
+	DictionaryWork       int
+
+	// Elapsed is the wall-clock run time; ClusterStats snapshots the ring's
+	// aggregated counters after the run.
+	Elapsed      time.Duration
+	ClusterStats sealedbottle.Stats
+
+	// Violations is every invariant violation; empty means the run passed.
+	Violations []string
+}
+
+// addTicks folds one tick's stats into the report totals.
+func addTicks(sum *sealedbottle.TickStats, st sealedbottle.TickStats) {
+	sum.Swept += st.Swept
+	sum.Evaluated += st.Evaluated
+	sum.Matches += st.Matches
+	sum.Replies += st.Replies
+	sum.ReplyErrors += st.ReplyErrors
+	sum.Duplicates += st.Duplicates
+	sum.Scanned += st.Scanned
+	sum.Rejected += st.Rejected
+	sum.Truncated = sum.Truncated || st.Truncated
+}
+
+// submission is one acknowledged submit held by its initiator for the fetch
+// phase.
+type submission struct {
+	init *core.Initiator
+	spec core.RequestSpec
+	id   string
+}
+
+// Run drives one scenario against the harness: a Zipf-skewed population is
+// generated, sweeper clients tick the real ring through their (possibly
+// churning, possibly lossy) access links, submitter clients race bottles in
+// under the preset's arrival shape, adversaries attack the live wire when
+// armed, a rack may be severed mid-run — and afterwards the checker derives
+// the end-to-end invariants from what the clients observed.
+func Run(ctx context.Context, h *Harness, preset Preset, cfg ScenarioConfig) (*Report, error) {
+	cfg = cfg.withDefaults()
+	topo := h.Topology()
+	if cfg.SeverRack > 0 {
+		if topo.Replication < 2 || topo.Racks < 2 {
+			return nil, fmt.Errorf("cluster: severing a rack requires a replicated topology (have %d racks, R=%d)", topo.Racks, topo.Replication)
+		}
+		if cfg.SeverRack > topo.Racks {
+			return nil, fmt.Errorf("cluster: rack %d out of range (have %d racks)", cfg.SeverRack, topo.Racks)
+		}
+	}
+	start := time.Now()
+
+	corpus := dataset.Generate(dataset.Params{
+		Users:             cfg.PopulationUsers,
+		TagVocabulary:     preset.TagVocabulary,
+		KeywordVocabulary: 2_000,
+		MeanTags:          7,
+		MaxTags:           12,
+		ZipfExponent:      preset.ZipfExponent,
+		Seed:              cfg.Seed,
+	})
+	// The spec shape below needs 1 necessary + 4 optional attributes, so only
+	// users with at least 5 tags submit or sweep. Sweeper k adopts pool[k]'s
+	// full profile, and submitters draw specs from pool users' tags: every
+	// bottle built from pool[k]'s tags is ground-truth matched by sweeper k.
+	var pool []dataset.User
+	for _, u := range corpus.Users {
+		if len(u.Tags) >= 5 {
+			pool = append(pool, u)
+		}
+	}
+	if len(pool) < cfg.Sweepers+1 {
+		return nil, fmt.Errorf("cluster: population too small: only %d users with ≥5 tags", len(pool))
+	}
+
+	checker := NewChecker()
+	ring := h.Ring()
+	rep := &Report{
+		Scenario:        preset.Name,
+		Racks:           topo.Racks,
+		Replication:     topo.Replication,
+		PopulationUsers: cfg.PopulationUsers,
+		Submitters:      cfg.Submitters,
+		Sweepers:        cfg.Sweepers,
+	}
+
+	// --- Sweeper clients -------------------------------------------------
+	type sweeperRun struct {
+		id      string
+		link    *link
+		sweeper *sealedbottle.Sweeper
+		flushed atomic.Bool
+	}
+	var (
+		statsMu      sync.Mutex
+		drainStarted atomic.Bool
+	)
+	sweeperProfiles := make(map[string]*attr.Profile, cfg.Sweepers)
+	sweepers := make([]*sweeperRun, cfg.Sweepers)
+	for k := 0; k < cfg.Sweepers; k++ {
+		id := fmt.Sprintf("sweeper-%d", k)
+		profile := pool[k].TagProfile()
+		sweeperProfiles[id] = profile
+		part, err := core.NewParticipant(profile, core.ParticipantConfig{
+			ID:               id,
+			Matcher:          core.MatcherConfig{AllowCollisionSkip: true},
+			MinReplyInterval: time.Nanosecond,
+			Rand:             rand.New(rand.NewSource(cfg.Seed + int64(100+k))),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("cluster: sweeper %d: %w", k, err)
+		}
+		checker.RegisterSweeper(id, part.Matcher().ResidueSet(core.DefaultPrime))
+		var backend sealedbottle.Backend = ring
+		if preset.DirectReplicaSweep && topo.Racks > 1 {
+			backend = &directSweep{Backend: ring, harness: h}
+		}
+		l := newLink(backend, checker, preset.LossRate, cfg.Seed+int64(200+k))
+		sid := id
+		sw, err := sealedbottle.NewSweeper(l, sealedbottle.SweeperConfig{
+			Participant: part,
+			Limit:       cfg.SweepLimit,
+			SeenCap:     4*cfg.Bottles + 256,
+			OnResult: func(pkg *core.RequestPackage, hr *core.HandleResult) {
+				checker.ObserveEvaluation(sid, pkg.ID, hr.Dropped)
+			},
+		})
+		if err != nil {
+			return nil, fmt.Errorf("cluster: sweeper %d: %w", k, err)
+		}
+		sweepers[k] = &sweeperRun{id: id, link: l, sweeper: sw}
+	}
+
+	stopSweep := make(chan struct{})
+	var sweepWG sync.WaitGroup
+	for _, s := range sweepers {
+		s := s
+		sweepWG.Add(1)
+		go func() {
+			defer sweepWG.Done()
+			for {
+				select {
+				case <-stopSweep:
+					return
+				case <-ctx.Done():
+					return
+				default:
+				}
+				st, err := s.sweeper.Tick(ctx)
+				statsMu.Lock()
+				rep.Sweeps++
+				addTicks(&rep.Ticks, st)
+				statsMu.Unlock()
+				if err == nil && st.ReplyErrors == 0 && drainStarted.Load() {
+					// A clean tick retried every queued reply post
+					// successfully: this sweeper's pending queue is empty.
+					s.flushed.Store(true)
+				}
+				if err != nil || st.Swept == 0 {
+					time.Sleep(time.Millisecond)
+				}
+			}
+		}()
+	}
+
+	// --- Submitter clients ----------------------------------------------
+	subLinks := make([]*link, cfg.Submitters)
+	for w := range subLinks {
+		subLinks[w] = newLink(ring, checker, preset.LossRate, cfg.Seed+int64(300+w))
+	}
+
+	// --- Churn controller ------------------------------------------------
+	// Connectivity windows come from msn random-waypoint mobility: each
+	// churned client follows one node's gateway-coverage timeline, replayed
+	// at 5ms per simulated second and wrapped around.
+	churnStop := make(chan struct{})
+	var churnWG sync.WaitGroup
+	if preset.Churn {
+		churned := append(append([]*link(nil), subLinks...), func() []*link {
+			ls := make([]*link, len(sweepers))
+			for i, s := range sweepers {
+				ls[i] = s.link
+			}
+			return ls
+		}()...)
+		timeline, err := msn.ChurnTimeline(msn.ChurnModel{
+			Clients: len(churned),
+			Ticks:   180,
+			Seed:    cfg.Seed + 1,
+		})
+		if err != nil {
+			close(stopSweep)
+			sweepWG.Wait()
+			return nil, fmt.Errorf("cluster: churn timeline: %w", err)
+		}
+		churnWG.Add(1)
+		go func() {
+			defer churnWG.Done()
+			tick := time.NewTicker(5 * time.Millisecond)
+			defer tick.Stop()
+			for t := 0; ; t++ {
+				col := t % len(timeline[0])
+				for i, l := range churned {
+					l.setOnline(timeline[i][col])
+				}
+				select {
+				case <-churnStop:
+					return
+				case <-tick.C:
+				}
+			}
+		}()
+	}
+
+	// --- Mid-run rack severing -------------------------------------------
+	var (
+		severOnce  sync.Once
+		ackedCount atomic.Int64
+	)
+	maybeSever := func() {
+		if cfg.SeverRack > 0 && int(ackedCount.Load()) >= cfg.Bottles/2 {
+			severOnce.Do(func() {
+				rep.SeveredRack = h.Sever(cfg.SeverRack - 1)
+			})
+		}
+	}
+
+	// --- Adversaries ------------------------------------------------------
+	advStop := make(chan struct{})
+	var advWG sync.WaitGroup
+	if preset.Adversarial {
+		popular := corpus.PopularTags(24)
+		dictAttrs := make([]attr.Attribute, len(popular))
+		for i, t := range popular {
+			dictAttrs[i] = attr.MustNew(attr.HeaderTag, t)
+		}
+		attacker, err := adversary.NewDictionaryAttacker(adversary.NewDictionary(dictAttrs...), 512)
+		if err != nil {
+			close(stopSweep)
+			sweepWG.Wait()
+			return nil, fmt.Errorf("cluster: dictionary attacker: %w", err)
+		}
+		advMatcher, err := core.NewMatcher(attr.NewProfile(dictAttrs...), core.MatcherConfig{
+			AllowCollisionSkip:  true,
+			MaxCandidateVectors: 512,
+		})
+		if err != nil {
+			close(stopSweep)
+			sweepWG.Wait()
+			return nil, fmt.Errorf("cluster: adversary matcher: %w", err)
+		}
+		advResidues := advMatcher.ResidueSet(core.DefaultPrime)
+		advRng := rand.New(rand.NewSource(cfg.Seed + 7))
+		cheater := adversary.NewCheater(cheaterID, 4, advRng, nil)
+		// The cheater posts through a checked link too: its acknowledged
+		// forgeries enter the no-reply-loss invariant and must be drained
+		// (and then rejected) by the very initiators they try to fool.
+		advLink := newLink(ring, checker, 0, cfg.Seed+8)
+		advWG.Add(1)
+		go func() {
+			defer advWG.Done()
+			seen := make(map[string]struct{})
+			var seenList []string
+			for {
+				select {
+				case <-advStop:
+					return
+				case <-ctx.Done():
+					return
+				default:
+				}
+				res, err := advLink.Sweep(ctx, sealedbottle.SweepQuery{
+					Residues: []core.ResidueSet{advResidues},
+					Limit:    64,
+					Seen:     seenList,
+				})
+				if err != nil {
+					time.Sleep(time.Millisecond)
+					continue
+				}
+				for _, b := range res.Bottles {
+					uid := sealedbottle.UntagID(b.ID)
+					if _, dup := seen[uid]; dup {
+						continue
+					}
+					seen[uid] = struct{}{}
+					seenList = append(seenList, uid)
+					pkg, err := core.UnmarshalPackage(b.Raw)
+					if err != nil {
+						continue
+					}
+					rec, err := attacker.RecoverRequest(pkg)
+					statsMu.Lock()
+					rep.DictionaryAttempts++
+					if err == nil {
+						rep.DictionaryWork += rec.Work
+						if rec.Verified {
+							rep.DictionaryRecoveries++
+							if pkg.Mode == core.SealModeOpaque {
+								checker.Violationf("dictionary attacker verified a recovery of opaque request %s", uid)
+							}
+						}
+					}
+					statsMu.Unlock()
+					forged, err := cheater.ForgeReply(pkg)
+					if err != nil {
+						continue
+					}
+					if advLink.Reply(ctx, b.ID, forged.Marshal()) == nil {
+						statsMu.Lock()
+						rep.ForgedPosts++
+						statsMu.Unlock()
+					}
+				}
+				if len(res.Bottles) == 0 {
+					time.Sleep(time.Millisecond)
+				}
+			}
+		}()
+	}
+
+	// --- Submit phase ------------------------------------------------------
+	proto := core.Protocol1
+	if preset.Adversarial {
+		proto = core.Protocol2
+	}
+	popularHead := corpus.PopularTags(8)
+	quotas := make([]int, cfg.Submitters)
+	for i := 0; i < cfg.Bottles; i++ {
+		quotas[i%cfg.Submitters]++
+	}
+	submissions := make([][]submission, cfg.Submitters)
+	subErrs := make([]error, cfg.Submitters)
+	var subWG sync.WaitGroup
+	for w := 0; w < cfg.Submitters; w++ {
+		w := w
+		subWG.Add(1)
+		go func() {
+			defer subWG.Done()
+			clientID := fmt.Sprintf("submitter-%d", w)
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(400+w)))
+			l := subLinks[w]
+			acked := 0
+			for acked < quotas[w] {
+				for b := 0; b < max(preset.BurstSize, 1) && acked < quotas[w]; b++ {
+					var tags []string
+					if acked == 0 && b == 0 {
+						// The first bottle each submitter races in is built
+						// from a sweeper's own pool user, so every run has
+						// ground-truth matches regardless of how the random
+						// draws land.
+						u := pool[w%cfg.Sweepers]
+						perm := rng.Perm(len(u.Tags))[:5]
+						for _, j := range perm {
+							tags = append(tags, u.Tags[j])
+						}
+					} else if preset.Adversarial && w == 0 && len(popularHead) >= 5 {
+						// The flood decoy submitter: bottles built from the
+						// popularity head, fully covered by the attacker's
+						// dictionary and hitting nearly every prefilter.
+						perm := rng.Perm(len(popularHead))[:5]
+						for _, j := range perm {
+							tags = append(tags, popularHead[j])
+						}
+					} else {
+						u := pool[rng.Intn(len(pool))]
+						perm := rng.Perm(len(u.Tags))[:5]
+						for _, j := range perm {
+							tags = append(tags, u.Tags[j])
+						}
+					}
+					attrs := make([]attr.Attribute, len(tags))
+					for i, t := range tags {
+						attrs[i] = attr.MustNew(attr.HeaderTag, t)
+					}
+					spec := core.RequestSpec{
+						Necessary:   attrs[:1],
+						Optional:    attrs[1:],
+						MinOptional: 2,
+					}
+					init, err := core.NewInitiator(spec, core.InitiatorConfig{
+						Protocol:    proto,
+						Origin:      clientID,
+						Validity:    cfg.Validity,
+						ReplyWindow: cfg.Validity,
+						Rand:        rng,
+					})
+					if err != nil {
+						subErrs[w] = fmt.Errorf("build initiator: %w", err)
+						return
+					}
+					raw, err := init.Request().Marshal()
+					if err != nil {
+						subErrs[w] = fmt.Errorf("marshal request: %w", err)
+						return
+					}
+					for {
+						if ctx.Err() != nil {
+							subErrs[w] = ctx.Err()
+							return
+						}
+						id, err := l.Submit(ctx, raw)
+						if err == nil {
+							checker.TrackSubmit(clientID, id, init.Request())
+							submissions[w] = append(submissions[w], submission{init: init, spec: spec, id: id})
+							acked++
+							ackedCount.Add(1)
+							maybeSever()
+							break
+						}
+						statsMu.Lock()
+						rep.SubmitRetries++
+						statsMu.Unlock()
+						time.Sleep(time.Millisecond)
+					}
+				}
+				if preset.BurstGap > 0 {
+					time.Sleep(preset.BurstGap)
+				}
+			}
+		}()
+	}
+	subWG.Wait()
+	for _, err := range subErrs {
+		if err != nil {
+			close(advStop)
+			close(churnStop)
+			close(stopSweep)
+			advWG.Wait()
+			churnWG.Wait()
+			sweepWG.Wait()
+			return nil, fmt.Errorf("cluster: submit phase: %w", err)
+		}
+	}
+	rep.Bottles = int(ackedCount.Load())
+
+	// --- Drain phase -------------------------------------------------------
+	// Adversaries and churn stop, injected faults clear, and the sweepers
+	// keep ticking until every promised evaluation happened and every queued
+	// reply post flushed.
+	close(advStop)
+	advWG.Wait()
+	close(churnStop)
+	churnWG.Wait()
+	for _, s := range sweepers {
+		s.link.clearFaults()
+	}
+	for _, l := range subLinks {
+		l.clearFaults()
+	}
+	drainStarted.Store(true)
+	deadline := time.Now().Add(cfg.DrainTimeout)
+	for time.Now().Before(deadline) {
+		if checker.AllObserved() {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	rep.Drained = checker.AllObserved()
+	for allFlushed := false; !allFlushed && time.Now().Before(deadline); {
+		allFlushed = true
+		for _, s := range sweepers {
+			if !s.flushed.Load() {
+				allFlushed = false
+				time.Sleep(5 * time.Millisecond)
+				break
+			}
+		}
+	}
+	close(stopSweep)
+	sweepWG.Wait()
+
+	// --- Fetch phase -------------------------------------------------------
+	// Every submitter drains its requests and runs each reply through its
+	// initiator; accepted matches are checked against ground truth and
+	// forged replies must all be rejected.
+	for w, subs := range submissions {
+		clientID := fmt.Sprintf("submitter-%d", w)
+		ids := make([]string, len(subs))
+		for i, s := range subs {
+			ids[i] = s.id
+		}
+		results := sealedbottle.FetchMany(ctx, subLinks[w], ids)
+		for i, fr := range results {
+			if fr.Err != nil {
+				checker.Violationf("fetch of request %s failed: %v", sealedbottle.UntagID(ids[i]), fr.Err)
+				continue
+			}
+			checker.TrackFetch(clientID, ids[i], fr.Replies)
+			rep.FetchedReplies += len(fr.Replies)
+			for _, raw := range fr.Replies {
+				r, err := core.UnmarshalReply(raw)
+				if err != nil {
+					continue // Violations() flags the unparseable bytes.
+				}
+				m, reject, err := subs[i].init.ProcessReply(r)
+				if err != nil {
+					checker.Violationf("request %s: processing a drained reply failed: %v", sealedbottle.UntagID(ids[i]), err)
+					continue
+				}
+				if m != nil {
+					rep.AcceptedMatches++
+					if m.Peer == cheaterID {
+						checker.Violationf("initiator %s accepted a forged reply from the cheater on request %s", clientID, sealedbottle.UntagID(ids[i]))
+						continue
+					}
+					prof, ok := sweeperProfiles[m.Peer]
+					switch {
+					case !ok:
+						checker.Violationf("initiator %s accepted a match from unknown peer %q", clientID, m.Peer)
+					case !subs[i].spec.Matches(prof):
+						checker.Violationf("initiator %s accepted peer %q whose profile does not satisfy the spec", clientID, m.Peer)
+					}
+					continue
+				}
+				if r.From == cheaterID && reject != core.RejectNone {
+					statsMu.Lock()
+					rep.RejectedForgeries++
+					statsMu.Unlock()
+				}
+			}
+		}
+	}
+
+	rep.ExpectedEvaluations = checker.ExpectedEvaluations()
+	if stats, err := h.Stats(ctx); err == nil {
+		rep.ClusterStats = stats
+	}
+	rep.Elapsed = time.Since(start)
+	rep.Violations = checker.Violations()
+	return rep, nil
+}

@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// goldenCfg keeps golden runs fast: a small corpus and few measurement
+// iterations (measured cells are masked anyway).
+func goldenCfg() Config {
+	return Config{CorpusUsers: 800, Seed: 1, MeasureIterations: 50}
+}
+
+// checkGolden compares rendered output against testdata/<name>; run with
+// UPDATE_GOLDEN=1 to regenerate after an intentional change.
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatalf("mkdir: %v", err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatalf("update golden: %v", err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden %s (run with UPDATE_GOLDEN=1 to create): %v", path, err)
+	}
+	if got != string(want) {
+		t.Errorf("%s drifted from its golden file.\n--- got ---\n%s\n--- want ---\n%s\n(regenerate with UPDATE_GOLDEN=1 if the change is intentional)", name, got, want)
+	}
+}
+
+// skeleton renders a table's stable structure — title, header, first-column
+// labels, notes — with every value cell masked. Measured tables keep their
+// shape under golden control while host-dependent timings stay free to move.
+func skeleton(tbl Table) string {
+	masked := Table{Title: tbl.Title, Header: tbl.Header, Notes: tbl.Notes}
+	for _, row := range tbl.Rows {
+		m := make([]string, len(row))
+		for i, cell := range row {
+			if i == 0 {
+				m[i] = cell
+			} else {
+				m[i] = "<measured>"
+			}
+		}
+		masked.Rows = append(masked.Rows, m)
+	}
+	return masked.Render()
+}
+
+// maskedNotes strips note lines (they may embed measured values) before
+// masking; kept separate so fully deterministic tables keep their notes.
+func withoutNotes(tbl Table) Table {
+	tbl.Notes = nil
+	return tbl
+}
+
+func TestGoldenDeterministicTables(t *testing.T) {
+	checkGolden(t, "table_1.golden", TableI().Render())
+	checkGolden(t, "table_2.golden", TableII().Render())
+	checkGolden(t, "table_3.golden", TableIII().Render())
+}
+
+func TestGoldenMeasuredTableSkeletons(t *testing.T) {
+	cfg := goldenCfg()
+	checkGolden(t, "table_4.skeleton.golden", skeleton(withoutNotes(TableIV(cfg))))
+	checkGolden(t, "table_5.skeleton.golden", skeleton(withoutNotes(TableV(cfg))))
+	checkGolden(t, "table_6.skeleton.golden", skeleton(withoutNotes(TableVI(cfg))))
+	checkGolden(t, "table_7.skeleton.golden", skeleton(withoutNotes(TableVII(cfg))))
+}
+
+func TestGoldenCorpusFigures(t *testing.T) {
+	cfg := goldenCfg()
+	fig4 := Figure4(cfg).Render()
+	fig5 := Figure5(cfg).Render()
+	checkGolden(t, "figure_4.golden", fig4)
+	checkGolden(t, "figure_5.golden", fig5)
+	if !strings.Contains(fig4, "Figure 4") || !strings.Contains(fig5, "Figure 5") {
+		t.Errorf("figure renders lost their titles")
+	}
+}

@@ -1,0 +1,139 @@
+package msn
+
+import (
+	"fmt"
+	"time"
+)
+
+// ChurnModel parameterizes a mobility-derived connectivity timeline.
+type ChurnModel struct {
+	// Clients is the number of mobile clients to simulate.
+	Clients int
+	// Ticks is the number of connectivity samples per client.
+	Ticks int
+	// Tick is the simulated time between samples (default 1s).
+	Tick time.Duration
+	// Area bounds the mobility region (default 420×420 m).
+	Area Position
+	// Range is the gateway's radio range in meters (default 150).
+	Range float64
+	// Speed is the clients' random-waypoint speed in m/s (default 30).
+	Speed float64
+	// Seed makes the timeline deterministic.
+	Seed int64
+}
+
+func (m ChurnModel) withDefaults() ChurnModel {
+	if m.Tick <= 0 {
+		m.Tick = time.Second
+	}
+	if m.Area.X <= 0 {
+		m.Area.X = 420
+	}
+	if m.Area.Y <= 0 {
+		m.Area.Y = 420
+	}
+	if m.Range <= 0 {
+		m.Range = 150
+	}
+	if m.Speed <= 0 {
+		m.Speed = 30
+	}
+	return m
+}
+
+// ChurnTimeline derives per-client connectivity windows from random-waypoint
+// mobility: clients wander the area while a stationary gateway (the bottle
+// rack's access point) sits at its center, and a client is online exactly
+// while it is within the gateway's radio range. The result is indexed
+// [client][tick]; it is deterministic for a given model, so cluster scenarios
+// built on it replay identically.
+//
+// This is the connect/disconnect model of the paper's mobile setting: a
+// phone's reachability toggles as its owner walks through and out of hotspot
+// coverage, rather than by a memoryless coin flip.
+func ChurnTimeline(model ChurnModel) ([][]bool, error) {
+	model = model.withDefaults()
+	if model.Clients <= 0 || model.Ticks <= 0 {
+		return nil, fmt.Errorf("msn: churn timeline needs clients and ticks, got %d×%d", model.Clients, model.Ticks)
+	}
+	sim := NewSimulator(Config{
+		Range:            model.Range,
+		Area:             model.Area,
+		MobilityInterval: model.Tick,
+		Seed:             model.Seed,
+	})
+	idle := HandlerFunc(func(time.Time, *Node, *Message) (bool, []*Message) { return false, nil })
+	const gatewayID = NodeID("gateway")
+	center := Position{X: model.Area.X / 2, Y: model.Area.Y / 2}
+	gw, err := sim.AddNode(gatewayID, center, idle)
+	if err != nil {
+		return nil, err
+	}
+	ids := make([]NodeID, model.Clients)
+	for i := range ids {
+		ids[i] = NodeID(fmt.Sprintf("client-%04d", i))
+		if _, err := sim.AddNode(ids[i], center, idle); err != nil {
+			return nil, err
+		}
+	}
+	// Scatter everyone, pin the gateway back to the center, then enable
+	// random-waypoint mobility for the clients only.
+	sim.PlaceUniform()
+	gw.SetPosition(center)
+	for _, id := range ids {
+		if err := sim.RandomWaypoint(id, model.Speed); err != nil {
+			return nil, err
+		}
+	}
+	timeline := make([][]bool, model.Clients)
+	for i := range timeline {
+		timeline[i] = make([]bool, model.Ticks)
+	}
+	index := make(map[NodeID]int, len(ids))
+	for i, id := range ids {
+		index[id] = i
+	}
+	for t := 0; t < model.Ticks; t++ {
+		sim.RunFor(model.Tick)
+		for _, id := range sim.Neighbors(gatewayID) {
+			if i, ok := index[id]; ok {
+				timeline[i][t] = true
+			}
+		}
+	}
+	return timeline, nil
+}
+
+// OnlineFraction returns the fraction of (client, tick) samples that are
+// online in a timeline — the duty cycle the mobility model produced.
+func OnlineFraction(timeline [][]bool) float64 {
+	total, online := 0, 0
+	for _, row := range timeline {
+		for _, up := range row {
+			total++
+			if up {
+				online++
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(online) / float64(total)
+}
+
+// Transitions counts online↔offline edges across a timeline — how much churn
+// the mobility model produced, as opposed to clients that never move in or
+// out of coverage.
+func Transitions(timeline [][]bool) int {
+	n := 0
+	for _, row := range timeline {
+		for t := 1; t < len(row); t++ {
+			if row[t] != row[t-1] {
+				n++
+			}
+		}
+	}
+	return n
+}

@@ -1,0 +1,60 @@
+package msn
+
+import (
+	"testing"
+	"time"
+)
+
+func TestChurnTimelineShapeAndDeterminism(t *testing.T) {
+	model := ChurnModel{Clients: 12, Ticks: 60, Tick: time.Second, Seed: 7}
+	a, err := ChurnTimeline(model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != 12 {
+		t.Fatalf("got %d client rows, want 12", len(a))
+	}
+	for i, row := range a {
+		if len(row) != 60 {
+			t.Fatalf("client %d has %d ticks, want 60", i, len(row))
+		}
+	}
+	b, err := ChurnTimeline(model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		for t2 := range a[i] {
+			if a[i][t2] != b[i][t2] {
+				t.Fatalf("timeline not deterministic at client %d tick %d", i, t2)
+			}
+		}
+	}
+}
+
+func TestChurnTimelineActuallyChurns(t *testing.T) {
+	// With a 150m range inside a 420×420 area and 60 mobile seconds, the
+	// population must both spend time on each side of the coverage edge and
+	// cross it: all-online, all-offline, or transition-free timelines would
+	// make the churn scenario vacuous.
+	timeline, err := ChurnTimeline(ChurnModel{Clients: 16, Ticks: 60, Tick: time.Second, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	frac := OnlineFraction(timeline)
+	if frac <= 0.05 || frac >= 0.95 {
+		t.Fatalf("online fraction %.2f is degenerate", frac)
+	}
+	if n := Transitions(timeline); n < 8 {
+		t.Fatalf("only %d online/offline transitions across the population, want ≥8", n)
+	}
+}
+
+func TestChurnTimelineValidation(t *testing.T) {
+	if _, err := ChurnTimeline(ChurnModel{Clients: 0, Ticks: 5}); err == nil {
+		t.Fatal("expected an error for zero clients")
+	}
+	if _, err := ChurnTimeline(ChurnModel{Clients: 5, Ticks: 0}); err == nil {
+		t.Fatal("expected an error for zero ticks")
+	}
+}

@@ -1,8 +1,20 @@
 #!/usr/bin/env bash
-# chaos_smoke.sh — 3-rack R=2 replication chaos smoke.
+# chaos_smoke.sh — scenario smoke matrix + 3-rack R=2 replication chaos smoke.
 #
-# Starts three replicated bottlerack processes, drives them with loadgen at
-# replication factor 2, SIGKILLs one rack mid-load, restarts it, and asserts:
+# Phase 1 (scenario matrix): for each workload preset shared with the
+# experiment suite (internal/experiments/cluster, docs/EXPERIMENTS.md), start
+# three fresh replicated bottlerack processes and drive them over TCP with
+# `loadgen -scenario <name> -verify-counts -verify-replies`: every bottle
+# racked, counters exact at R=2, every acknowledged reply drained back.
+#
+# Phase 2 (invariant checker): `benchtables -cluster all` replays the same
+# presets in-process against a 3-rack R=2 ring with the end-to-end invariant
+# checker (exactly-once evaluation per matcher, no reply loss or cross-client
+# leakage, adversaries defeated) and exits nonzero on any violation.
+#
+# Phase 3 (kill-one-rack under churn): three replicated racks again, loadgen
+# under the churn scenario (clients connect and disconnect on an msn mobility
+# timeline), one rack SIGKILLed mid-load and restarted; asserts:
 #
 #   1. loadgen finishes clean: every bottle racked and — via -verify-replies —
 #      every acknowledged reply (matched friending) drained back. R=2 keeps
@@ -15,13 +27,18 @@ set -euo pipefail
 
 BIN=${BIN:-$(mktemp -d)}
 OUT=${OUT:-$BIN}
-BOTTLES=${BOTTLES:-60000}
+BOTTLES=${BOTTLES:-20000}
+MATRIX_BOTTLES=${MATRIX_BOTTLES:-4000}
+SCENARIOS=${SCENARIOS:-"burst adversarial zipf lossy"}
 
 go build -o "$BIN/bottlerack" ./cmd/bottlerack
 go build -o "$BIN/loadgen" ./cmd/loadgen
+go build -o "$BIN/benchtables" ./cmd/benchtables
 
 P0=7127 P1=7128 P2=7129
+ADDRS="127.0.0.1:$P0,127.0.0.1:$P1,127.0.0.1:$P2"
 PEERS="r0=127.0.0.1:$P0,r1=127.0.0.1:$P1,r2=127.0.0.1:$P2"
+PID0= PID1= PID2=
 
 start_rack() { # name port -> pid
   "$BIN/bottlerack" -addr "127.0.0.1:$2" -tag "$1" \
@@ -39,15 +56,69 @@ wait_port() {
   return 1
 }
 
-PID0=$(start_rack r0 $P0)
-PID1=$(start_rack r1 $P1)
-PID2=$(start_rack r2 $P2)
-trap 'kill "$PID0" "$PID1" "$PID2" 2>/dev/null || true' EXIT
-wait_port $P0 && wait_port $P1 && wait_port $P2
+wait_port_free() {
+  for _ in $(seq 1 50); do
+    if ! (exec 3<>"/dev/tcp/127.0.0.1/$1") 2>/dev/null; then return 0; fi
+    exec 3>&-
+    sleep 0.2
+  done
+  echo "chaos: rack on port $1 never released its listener" >&2
+  return 1
+}
 
-"$BIN/loadgen" -addrs "127.0.0.1:$P0,127.0.0.1:$P1,127.0.0.1:$P2" \
+start_cluster() {
+  PID0=$(start_rack r0 $P0)
+  PID1=$(start_rack r1 $P1)
+  PID2=$(start_rack r2 $P2)
+  wait_port $P0 && wait_port $P1 && wait_port $P2
+}
+
+stop_cluster() {
+  kill "$PID0" "$PID1" "$PID2" 2>/dev/null || true
+  wait_port_free $P0 && wait_port_free $P1 && wait_port_free $P2
+}
+
+trap 'kill "$PID0" "$PID1" "$PID2" 2>/dev/null || true' EXIT
+
+# ---- Phase 1: scenario matrix over TCP --------------------------------------
+for scenario in $SCENARIOS; do
+  : >"$OUT/r0.log"; : >"$OUT/r1.log"; : >"$OUT/r2.log"
+  start_cluster
+  echo "chaos: scenario matrix — $scenario"
+  if ! "$BIN/loadgen" -addrs "$ADDRS" \
+      -bottles "$MATRIX_BOTTLES" -batch 16 -submitters 4 -sweepers 2 \
+      -replication 2 -scenario "$scenario" \
+      -verify-counts -verify-replies >"$OUT/loadgen-$scenario.out" 2>&1; then
+    echo "chaos: scenario $scenario failed" >&2
+    cat "$OUT/loadgen-$scenario.out" >&2
+    exit 1
+  fi
+  grep -q "^verified " "$OUT/loadgen-$scenario.out"
+  stop_cluster
+done
+echo "chaos: scenario matrix passed ($SCENARIOS)"
+
+# ---- Phase 2: in-process invariant checker over every preset ----------------
+echo "chaos: invariant checker — benchtables -cluster all"
+if ! "$BIN/benchtables" -cluster all >"$OUT/invariants.out" 2>&1; then
+  echo "chaos: cluster scenarios violated invariants" >&2
+  cat "$OUT/invariants.out" >&2
+  exit 1
+fi
+if grep -q "^VIOLATION" "$OUT/invariants.out"; then
+  echo "chaos: invariant violations reported" >&2
+  grep "^VIOLATION" "$OUT/invariants.out" >&2
+  exit 1
+fi
+echo "chaos: invariant checker passed on every preset"
+
+# ---- Phase 3: kill-one-rack under churn -------------------------------------
+: >"$OUT/r0.log"; : >"$OUT/r1.log"; : >"$OUT/r2.log"
+start_cluster
+
+"$BIN/loadgen" -addrs "$ADDRS" \
   -bottles "$BOTTLES" -batch 32 -submitters 4 -sweepers 2 \
-  -replication 2 -verify-replies >"$OUT/loadgen.out" 2>&1 &
+  -replication 2 -scenario churn -verify-replies >"$OUT/loadgen.out" 2>&1 &
 LG=$!
 
 sleep 2
@@ -58,7 +129,7 @@ if ! kill -0 "$LG" 2>/dev/null; then
   exit 1
 fi
 kill -9 "$PID2"
-echo "chaos: SIGKILLed rack r2 mid-load"
+echo "chaos: SIGKILLed rack r2 mid-load (churn scenario)"
 
 # Survivors queue hints for r2 while the ring fails over; then r2 returns
 # empty (in-memory rack) and must converge from its peers' hint streams.
