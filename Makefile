@@ -3,8 +3,8 @@ GO ?= go
 # Perf trajectory knobs: BENCH_OUT is where `make bench-json` records the
 # current numbers (bump the <n> when a PR moves the needle), BENCH_BASELINE
 # is the checked-in point `make bench-compare` gates against.
-BENCH_OUT ?= BENCH_8.json
-BENCH_BASELINE ?= BENCH_8.json
+BENCH_OUT ?= BENCH_9.json
+BENCH_BASELINE ?= BENCH_9.json
 
 .PHONY: all build test race fuzz-smoke bench bench-json bench-compare profile tables
 
@@ -25,6 +25,7 @@ fuzz-smoke:
 	$(GO) test -run NONE -fuzz FuzzMuxFrame -fuzztime 10s ./internal/broker/transport
 	$(GO) test -run NONE -fuzz FuzzWALReplay -fuzztime 10s ./internal/broker/wal
 	$(GO) test -run NONE -fuzz FuzzHandoffUnmarshal -fuzztime 10s ./internal/broker
+	$(GO) test -run NONE -fuzz FuzzTokenUnmarshal -fuzztime 10s ./internal/auth
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .

@@ -163,7 +163,15 @@ func runClusterScenarios(out io.Writer, which string, racks, replication, bottle
 	}
 	failed := 0
 	for _, p := range presets {
-		h, err := cluster.NewHarness(cluster.Topology{Racks: racks, Replication: replication})
+		// Imposter runs need the identity layer armed: token-verifying racks
+		// and per-identity admission quotas for the flood to race.
+		h, err := cluster.NewHarness(cluster.Topology{
+			Racks:       racks,
+			Replication: replication,
+			Secured:     p.Imposter,
+			QuotaRate:   50,
+			QuotaBurst:  16,
+		})
 		if err != nil {
 			return fmt.Errorf("scenario %s: harness: %w", p.Name, err)
 		}

@@ -25,6 +25,19 @@
 // -hint-interval/-hint-max tune the handoff streamer. Rings submitting at
 // R>1 need every rack started with -replicate; see docs/PROTOCOL.md §2.10.
 //
+// The transport can be secured end to end. -tls-cert/-tls-key serve every
+// connection over TLS (the dual-framing auto-detect runs inside the encrypted
+// stream), and -tls-client-ca additionally demands client certificates from
+// that CA (mutual TLS). -auth-key (a hex key from `sealedbottle keygen`)
+// requires every client to present a capability token minted under it
+// (`sealedbottle token`): connections are pinned to the token's identity,
+// bottles remember their submitter, and fetch/remove of another identity's
+// bottle answers ErrUnauthorized. -quota-rate/-quota-burst add per-identity
+// admission: calls over the bucket answer ErrOverload — typed backpressure
+// rings treat as a broker answer, never a rack fault. In replicated TLS
+// deployments the racks share one CA (-tls-client-ca); each rack dials its
+// peers with its own certificate and a self-minted replica-scope token.
+//
 // Usage:
 //
 //	bottlerack [-addr :7117] [-tag r1] [-shards 32] [-workers 0] [-reap 5s] [-stats 10s]
@@ -33,10 +46,13 @@
 //	           [-snapshot-every 5m] [-wal-segment 67108864]
 //	           [-replicate] [-self NAME] [-peers name=addr,...]
 //	           [-hint-interval 2s] [-hint-max 8192]
+//	           [-tls-cert CERT.pem -tls-key KEY.pem] [-tls-client-ca CA.pem]
+//	           [-auth-key HEX] [-quota-rate N] [-quota-burst M]
 package main
 
 import (
 	"context"
+	"crypto/tls"
 	"flag"
 	"fmt"
 	"log"
@@ -48,6 +64,7 @@ import (
 	"time"
 
 	"sealedbottle"
+	"sealedbottle/internal/auth"
 	"sealedbottle/internal/broker/wal"
 )
 
@@ -71,6 +88,12 @@ func main() {
 	peersFlag := flag.String("peers", "", "comma-separated name=addr seed peer table for handoff streaming (amendable at runtime)")
 	hintInterval := flag.Duration("hint-interval", sealedbottle.DefaultStreamInterval, "handoff streaming period for queued hints")
 	hintMax := flag.Int("hint-max", sealedbottle.DefaultMaxHintsPerDest, "per-destination hint queue bound")
+	tlsCert := flag.String("tls-cert", "", "PEM server certificate; serves every connection over TLS")
+	tlsKey := flag.String("tls-key", "", "PEM private key for -tls-cert")
+	tlsClientCA := flag.String("tls-client-ca", "", "PEM CA bundle; require client certificates from it (mutual TLS). In replicated clusters this is the shared cluster CA used to verify peers too")
+	authKey := flag.String("auth-key", "", "hex token-signing key (sealedbottle keygen); require capability tokens minted under it")
+	quotaRate := flag.Float64("quota-rate", 0, "per-identity admission quota in operations/second (0: unlimited)")
+	quotaBurst := flag.Int("quota-burst", 0, "per-identity admission burst (0: derived from -quota-rate)")
 	flag.Parse()
 
 	if !*replicate {
@@ -80,6 +103,35 @@ func main() {
 				log.Fatalf("bottlerack: -%s requires -replicate (without it the rack rejects replication opcodes)", f.Name)
 			}
 		})
+	}
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "tls-key", "tls-client-ca":
+			if *tlsCert == "" {
+				log.Fatalf("bottlerack: -%s requires -tls-cert", f.Name)
+			}
+		case "auth-key":
+			// Tokens are bearer credentials: over plaintext TCP anyone on the
+			// path could replay them, so the CLI refuses to hand them out
+			// unencrypted (in-process embedders may still choose to).
+			if *tlsCert == "" {
+				log.Fatalf("bottlerack: -auth-key requires -tls-cert (capability tokens must not cross the wire unencrypted)")
+			}
+		case "quota-rate", "quota-burst":
+			if *authKey == "" {
+				log.Fatalf("bottlerack: -%s requires -auth-key (admission buckets key on verified identities)", f.Name)
+			}
+		}
+	})
+	if *tlsCert != "" && *tlsKey == "" {
+		log.Fatal("bottlerack: -tls-cert requires -tls-key")
+	}
+	if *replicate && *tlsCert != "" && *tlsClientCA == "" {
+		log.Fatal("bottlerack: replicated TLS deployments need -tls-client-ca (the shared cluster CA peers are verified against)")
+	}
+	sec, err := loadSecurity(*tlsCert, *tlsKey, *tlsClientCA, *authKey, *self)
+	if err != nil {
+		log.Fatalf("bottlerack: %v", err)
 	}
 	peers, err := parsePeers(*peersFlag)
 	if err != nil {
@@ -124,6 +176,8 @@ func main() {
 			Peers:           peers,
 			MaxHintsPerDest: *hintMax,
 			StreamInterval:  *hintInterval,
+			Token:           sec.rackToken,
+			TLS:             sec.peerTLS,
 		})
 		closeRack = node.Close
 	}
@@ -155,6 +209,23 @@ func main() {
 		ReadIdleTimeout: *readIdle,
 		WriteTimeout:    *writeTimeout,
 		MaxInflight:     *inflight,
+		TLS:             sec.serverTLS,
+		AuthKey:         sec.authKey,
+		Quota:           sealedbottle.NewAdmission(*quotaRate, *quotaBurst),
+	}
+	if sec.serverTLS != nil {
+		mode := "TLS"
+		if sec.serverTLS.ClientCAs != nil {
+			mode = "mutual TLS"
+		}
+		authNote := ""
+		if len(sec.authKey) > 0 {
+			authNote = ", capability tokens required"
+		}
+		if *quotaRate > 0 {
+			authNote += fmt.Sprintf(", quota %.4g ops/s per identity", *quotaRate)
+		}
+		log.Printf("bottlerack: %s on%s", mode, authNote)
 	}
 	if node != nil {
 		srvOpts.Replica = node
@@ -204,6 +275,64 @@ func main() {
 			return
 		}
 	}
+}
+
+// security is the rack's loaded transport-security material.
+type security struct {
+	serverTLS *tls.Config // accepted connections (nil: plaintext)
+	peerTLS   *tls.Config // replica peer dialing (nil: plaintext)
+	authKey   []byte      // token verification key (nil: open server)
+	rackToken []byte      // this rack's replica-scope token for peer dialing
+}
+
+// loadSecurity reads the TLS and token flag material. The replica dialer
+// reuses the rack's own certificate as its client certificate and the client
+// CA as the root it verifies peers against — in a cluster all racks share one
+// CA, so one leaf per rack secures both directions.
+func loadSecurity(certFile, keyFile, clientCAFile, authKeyHex, self string) (security, error) {
+	var sec security
+	if certFile != "" {
+		certPEM, err := os.ReadFile(certFile)
+		if err != nil {
+			return sec, err
+		}
+		keyPEM, err := os.ReadFile(keyFile)
+		if err != nil {
+			return sec, err
+		}
+		var caPEM []byte
+		if clientCAFile != "" {
+			if caPEM, err = os.ReadFile(clientCAFile); err != nil {
+				return sec, err
+			}
+		}
+		if sec.serverTLS, err = auth.ServerTLS(certPEM, keyPEM, caPEM); err != nil {
+			return sec, err
+		}
+		if caPEM != nil {
+			if sec.peerTLS, err = auth.ClientTLS(caPEM, certPEM, keyPEM); err != nil {
+				return sec, err
+			}
+		}
+	}
+	if authKeyHex != "" {
+		key, err := sealedbottle.ParseAuthKey(authKeyHex)
+		if err != nil {
+			return sec, err
+		}
+		sec.authKey = key
+		// The rack's own identity for dialing peers: replica scope only, so a
+		// leaked rack token cannot impersonate a client.
+		tok, err := sealedbottle.MintToken(key, sealedbottle.AuthToken{
+			Identity: "rack:" + self,
+			Ops:      auth.OpReplica,
+		})
+		if err != nil {
+			return sec, err
+		}
+		sec.rackToken = tok
+	}
+	return sec, nil
 }
 
 // parsePeers parses a "name=addr,name=addr" seed peer table.

@@ -34,11 +34,14 @@ package main
 
 import (
 	"context"
+	"crypto/tls"
+	"encoding/hex"
 	"flag"
 	"fmt"
 	"log"
 	"math/rand"
 	"net"
+	"os"
 	"sort"
 	"strings"
 	"sync"
@@ -47,31 +50,37 @@ import (
 
 	"sealedbottle"
 	"sealedbottle/internal/attr"
+	"sealedbottle/internal/auth"
 	"sealedbottle/internal/core"
 	"sealedbottle/internal/experiments/cluster"
 	"sealedbottle/internal/msn"
 )
 
 type options struct {
-	addr          string
-	addrs         string
-	racks         int
-	bottles       int
-	submitters    int
-	sweepers      int
-	sweepLimit    int
-	shards        int
-	conns         int
-	batch         int
-	legacy        bool
-	universe      int
-	validity      time.Duration
-	timeout       time.Duration
-	seed          int64
-	verifyCounts  bool
-	verifyReplies bool
-	replication   int
-	scenario      string
+	addr             string
+	addrs            string
+	racks            int
+	bottles          int
+	submitters       int
+	sweepers         int
+	sweepLimit       int
+	shards           int
+	conns            int
+	batch            int
+	legacy           bool
+	universe         int
+	validity         time.Duration
+	timeout          time.Duration
+	seed             int64
+	verifyCounts     bool
+	verifyReplies    bool
+	verifyInvariants bool
+	replication      int
+	scenario         string
+	tlsCA            string
+	tlsCert          string
+	tlsKey           string
+	token            string
 }
 
 // shape is the workload shaping a -scenario preset resolves to: how arrivals
@@ -158,8 +167,13 @@ func main() {
 	flag.Int64Var(&opts.seed, "seed", 1, "workload seed")
 	flag.BoolVar(&opts.verifyCounts, "verify-counts", false, "fail unless the brokers' submitted counter equals the bottles submitted (fresh racks only; scaled by -replication)")
 	flag.BoolVar(&opts.verifyReplies, "verify-replies", false, "fail unless every acknowledged reply post is drained back at exit — the chaos smoke's zero-lost-friendings assertion (replaces the sample fetch phase; runs shorter than -validity only)")
+	flag.BoolVar(&opts.verifyInvariants, "verify-invariants", false, "run every client operation through the experiment suite's invariant checker and fail on any violation: exactly-once evaluation, prefilter soundness, no reply loss, no cross-client leakage (implies -verify-replies)")
 	flag.IntVar(&opts.replication, "replication", 1, "ring replication factor R: each bottle is racked on the top-R rendezvous racks (cluster modes only)")
 	flag.StringVar(&opts.scenario, "scenario", "", "workload scenario preset: "+strings.Join(cluster.PresetNames(), ", ")+" (empty: open loop)")
+	flag.StringVar(&opts.tlsCA, "tls-ca", "", "root CA certificate PEM: verify rack server certificates and wrap every connection in TLS (TCP modes only)")
+	flag.StringVar(&opts.tlsCert, "tls-cert", "", "client certificate PEM presented to racks that demand mTLS (requires -tls-ca and -tls-key)")
+	flag.StringVar(&opts.tlsKey, "tls-key", "", "client key PEM paired with -tls-cert")
+	flag.StringVar(&opts.token, "token", "", "capability token presented in the connection HELLO: hex string or @FILE holding the raw bytes `sealedbottle token -out` writes")
 	flag.Parse()
 
 	if err := run(opts); err != nil {
@@ -167,20 +181,89 @@ func main() {
 	}
 }
 
+// loadSecurity resolves the client-side identity flags: a TLS config built
+// from the CA (plus an optional mTLS keypair) and the raw capability token.
+// Both only make sense against real sockets — the in-process pipe racks run
+// unsecured.
+func loadSecurity(opts options) (*tls.Config, []byte, error) {
+	if (opts.tlsCert != "") != (opts.tlsKey != "") {
+		return nil, nil, fmt.Errorf("-tls-cert and -tls-key must be given together")
+	}
+	if opts.tlsCert != "" && opts.tlsCA == "" {
+		return nil, nil, fmt.Errorf("-tls-cert/-tls-key require -tls-ca")
+	}
+	if (opts.tlsCA != "" || opts.token != "") && opts.addr == "" && opts.addrs == "" {
+		return nil, nil, fmt.Errorf("-tls-ca/-token require -addr or -addrs (the in-process racks run unsecured)")
+	}
+	var tlsConf *tls.Config
+	if opts.tlsCA != "" {
+		ca, err := os.ReadFile(opts.tlsCA)
+		if err != nil {
+			return nil, nil, fmt.Errorf("reading -tls-ca: %w", err)
+		}
+		var cert, key []byte
+		if opts.tlsCert != "" {
+			if cert, err = os.ReadFile(opts.tlsCert); err != nil {
+				return nil, nil, fmt.Errorf("reading -tls-cert: %w", err)
+			}
+			if key, err = os.ReadFile(opts.tlsKey); err != nil {
+				return nil, nil, fmt.Errorf("reading -tls-key: %w", err)
+			}
+		}
+		tlsConf, err = auth.ClientTLS(ca, cert, key)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	var token []byte
+	if strings.HasPrefix(opts.token, "@") {
+		raw, err := os.ReadFile(opts.token[1:])
+		if err != nil {
+			return nil, nil, fmt.Errorf("reading -token file: %w", err)
+		}
+		token = raw
+	} else if opts.token != "" {
+		raw, err := hex.DecodeString(strings.TrimSpace(opts.token))
+		if err != nil {
+			return nil, nil, fmt.Errorf("decoding -token hex: %w", err)
+		}
+		token = raw
+	}
+	return tlsConf, token, nil
+}
+
 func run(opts options) error {
 	if opts.batch < 1 {
 		opts.batch = 1
+	}
+	if opts.verifyInvariants {
+		opts.verifyReplies = true
 	}
 	ctx := context.Background()
 	shp, err := resolveShape(opts)
 	if err != nil {
 		return err
 	}
-	courier, statsFn, cleanup, err := connect(opts)
+	tlsConf, token, err := loadSecurity(opts)
+	if err != nil {
+		return err
+	}
+	courier, statsFn, cleanup, err := connect(opts, tlsConf, token)
 	if err != nil {
 		return err
 	}
 	defer cleanup()
+
+	// With -verify-invariants every client operation crosses a checked link,
+	// so the checker sees exactly what the scenario suite's in-process runs
+	// see: acknowledged submits, registered matchers, evaluations, reply
+	// posts, drains.
+	var checker *cluster.Checker
+	workload := courier
+	if opts.verifyInvariants {
+		checker = cluster.NewChecker()
+		workload = cluster.CheckedBackend(courier, checker)
+	}
 
 	var (
 		submitted  atomic.Int64
@@ -218,7 +301,7 @@ func run(opts options) error {
 					}
 				}
 				burst++
-				raws, ids, err := buildBottles(rng, zipf, shp.opaque, opts, w, &i)
+				raws, pkgs, err := buildBottles(rng, zipf, shp.opaque, opts, w, &i)
 				if err != nil {
 					failed.Add(int64(opts.batch))
 					continue
@@ -230,18 +313,28 @@ func run(opts options) error {
 					continue
 				}
 				t0 := time.Now()
-				racked, ok := submit(ctx, courier, raws)
+				oks, racked := submit(ctx, workload, raws)
 				subLat[w] = append(subLat[w], time.Since(t0))
 				failed.Add(int64(len(raws) - racked))
 				if racked == 0 {
 					continue
 				}
-				if opts.verifyReplies {
-					allIDs[w] = append(allIDs[w], ids...)
+				// Only acknowledged bottles enter the drain set and the
+				// checker's ledger — a rejected submit owes nobody anything.
+				for j, ok := range oks {
+					if !ok {
+						continue
+					}
+					if opts.verifyReplies {
+						allIDs[w] = append(allIDs[w], pkgs[j].ID)
+					}
+					if checker != nil {
+						checker.TrackSubmit(fmt.Sprintf("sub-%d", w), pkgs[j].ID, pkgs[j])
+					}
 				}
 				// Sample roughly every hundredth bottle for the fetch phase.
-				if n := submitted.Add(int64(racked)); ok && n%100 < int64(racked) {
-					sampleIDs[w] = append(sampleIDs[w], ids[0])
+				if n := submitted.Add(int64(racked)); oks[0] && n%100 < int64(racked) {
+					sampleIDs[w] = append(sampleIDs[w], pkgs[0].ID)
 				}
 			}
 		}(w)
@@ -254,8 +347,9 @@ func run(opts options) error {
 		go func(w int) {
 			defer wgSweep.Done()
 			rng := rand.New(rand.NewSource(opts.seed + 1000 + int64(w)))
+			sid := fmt.Sprintf("sweeper-%d", w)
 			part, err := core.NewParticipant(randomProfile(rng, opts.universe, 6), core.ParticipantConfig{
-				ID:               fmt.Sprintf("sweeper-%d", w),
+				ID:               sid,
 				Matcher:          core.MatcherConfig{AllowCollisionSkip: true},
 				MinReplyInterval: time.Nanosecond,
 				Rand:             rng,
@@ -263,15 +357,41 @@ func run(opts options) error {
 			if err != nil {
 				return
 			}
-			sweeper, err := sealedbottle.NewSweeper(courier, sealedbottle.SweeperConfig{
+			scfg := sealedbottle.SweeperConfig{
 				Participant: part,
 				Limit:       opts.sweepLimit,
 				SeenCap:     8192,
-			})
+			}
+			if checker != nil {
+				// The checker holds this matcher to exactly-once coverage of
+				// every passing bottle, so the seen window must outlast the
+				// whole run — a recycled slot would re-evaluate.
+				checker.RegisterSweeper(sid, part.Matcher().ResidueSet(core.DefaultPrime))
+				scfg.SeenCap = 4*opts.bottles + 256
+				scfg.OnResult = func(pkg *core.RequestPackage, hr *core.HandleResult) {
+					checker.ObserveEvaluation(sid, pkg.ID, hr.Dropped)
+				}
+			}
+			sweeper, err := sealedbottle.NewSweeper(workload, scfg)
 			if err != nil {
 				return
 			}
-			for submitting.Load() {
+			// Once submitting stops, a checked run keeps ticking until every
+			// promised evaluation has been observed and this sweeper's pending
+			// reply posts flushed cleanly, bounded by a drain deadline.
+			var drainUntil time.Time
+			for {
+				if !submitting.Load() {
+					if checker == nil {
+						break
+					}
+					if drainUntil.IsZero() {
+						drainUntil = time.Now().Add(60 * time.Second)
+					}
+					if time.Now().After(drainUntil) {
+						break
+					}
+				}
 				shp.waitOnline(opts.submitters+w, start)
 				t0 := time.Now()
 				st, err := sweeper.Tick(ctx)
@@ -282,6 +402,9 @@ func run(opts options) error {
 				sweeps.Add(1)
 				swept.Add(int64(st.Swept))
 				replies.Add(int64(st.Replies))
+				if !submitting.Load() && checker != nil && st.ReplyErrors == 0 && checker.AllObserved() {
+					break
+				}
 			}
 		}(w)
 	}
@@ -301,12 +424,30 @@ func run(opts options) error {
 	if opts.verifyReplies {
 		fetchIDs = allIDs
 	}
-	for _, ids := range fetchIDs {
+	fetchDeadline := time.Now().Add(60 * time.Second)
+	for w, ids := range fetchIDs {
 		for start := 0; start < len(ids); start += 512 {
 			end := min(start+512, len(ids))
-			for _, res := range sealedbottle.FetchMany(ctx, courier, ids[start:end]) {
-				if res.Err == nil {
-					fetched += len(res.Replies)
+			chunk := ids[start:end]
+			var results []sealedbottle.FetchResult
+			if opts.verifyReplies {
+				// A secured cluster may shed fetches under the admission
+				// quota; ErrOverload means retry after backoff, so the
+				// verifying drain accumulates partial results until clean.
+				results = cluster.DrainFetch(ctx, workload, chunk, fetchDeadline)
+			} else {
+				results = sealedbottle.FetchMany(ctx, workload, chunk)
+			}
+			for i, res := range results {
+				if res.Err != nil {
+					if checker != nil {
+						checker.Violationf("fetch of request %s failed: %v", sealedbottle.UntagID(chunk[i]), res.Err)
+					}
+					continue
+				}
+				fetched += len(res.Replies)
+				if checker != nil {
+					checker.TrackFetch(fmt.Sprintf("sub-%d", w), chunk[i], res.Replies)
 				}
 			}
 		}
@@ -359,6 +500,15 @@ func run(opts options) error {
 		}
 		fmt.Printf("verified   all %d acknowledged replies drained back (%d stored)\n", replies.Load(), fetched)
 	}
+	if checker != nil {
+		if v := checker.Violations(); len(v) > 0 {
+			for _, s := range v {
+				fmt.Printf("violation  %s\n", s)
+			}
+			return fmt.Errorf("%d invariant violation(s)", len(v))
+		}
+		fmt.Printf("verified   %d expected evaluations observed, no invariant violations\n", checker.ExpectedEvaluations())
+	}
 	if int(submitted.Load()) < opts.bottles {
 		return fmt.Errorf("only %d of %d bottles submitted", submitted.Load(), opts.bottles)
 	}
@@ -366,39 +516,40 @@ func run(opts options) error {
 }
 
 // submit racks one batch (or a single bottle) through the rendezvous; it
-// returns how many were racked and whether the first bottle of the batch
-// made it.
-func submit(ctx context.Context, courier sealedbottle.Backend, raws [][]byte) (racked int, firstOK bool) {
+// returns a per-bottle acknowledged flag (same order as raws) plus the count.
+func submit(ctx context.Context, courier sealedbottle.Backend, raws [][]byte) (oks []bool, racked int) {
+	oks = make([]bool, len(raws))
 	if len(raws) == 1 {
 		if _, err := courier.Submit(ctx, raws[0]); err != nil {
-			return 0, false
+			return oks, 0
 		}
-		return 1, true
+		oks[0] = true
+		return oks, 1
 	}
 	results, err := courier.SubmitBatch(ctx, raws)
 	if err != nil {
-		return 0, false
+		return oks, 0
 	}
 	for i, res := range results {
 		if res.Err == nil {
+			oks[i] = true
 			racked++
-			if i == 0 {
-				firstOK = true
-			}
 		}
 	}
-	return racked, firstOK
+	return oks, racked
 }
 
 // connect stands up the rendezvous the workload drives: a courier for one
 // TCP broker, a Ring of couriers for -addrs cluster mode, or — with no
 // address — an in-process cluster of -racks racks, each behind its own
 // framed server over an in-memory pipe listener.
-func connect(opts options) (rv sealedbottle.Backend, stats func(context.Context) (sealedbottle.Stats, error), cleanup func(), err error) {
+func connect(opts options, tlsConf *tls.Config, token []byte) (rv sealedbottle.Backend, stats func(context.Context) (sealedbottle.Stats, error), cleanup func(), err error) {
 	cfg := sealedbottle.CourierConfig{
 		Conns:       opts.conns,
 		CallTimeout: opts.timeout,
 		Legacy:      opts.legacy,
+		TLS:         tlsConf,
+		Token:       token,
 	}
 	if opts.addrs != "" {
 		ring, err := sealedbottle.NewRing(sealedbottle.RingConfig{
@@ -414,6 +565,7 @@ func connect(opts options) (rv sealedbottle.Backend, stats func(context.Context)
 	if opts.addr != "" {
 		courier, err := sealedbottle.Dial(sealedbottle.CourierConfig{
 			Addr: opts.addr, Conns: cfg.Conns, CallTimeout: cfg.CallTimeout, Legacy: cfg.Legacy,
+			TLS: cfg.TLS, Token: cfg.Token,
 		})
 		if err != nil {
 			return nil, nil, nil, err
@@ -503,19 +655,19 @@ func connect(opts options) (rv sealedbottle.Backend, stats func(context.Context)
 
 // buildBottles constructs opts.batch marshalled request packages, advancing
 // the worker's bottle counter.
-func buildBottles(rng *rand.Rand, zipf *rand.Zipf, opaque bool, opts options, worker int, counter *int) ([][]byte, []string, error) {
+func buildBottles(rng *rand.Rand, zipf *rand.Zipf, opaque bool, opts options, worker int, counter *int) ([][]byte, []*core.RequestPackage, error) {
 	raws := make([][]byte, 0, opts.batch)
-	ids := make([]string, 0, opts.batch)
+	pkgs := make([]*core.RequestPackage, 0, opts.batch)
 	for len(raws) < opts.batch {
-		raw, id, err := buildBottle(rng, zipf, opaque, opts, worker, *counter)
+		raw, pkg, err := buildBottle(rng, zipf, opaque, opts, worker, *counter)
 		*counter++
 		if err != nil {
 			return nil, nil, err
 		}
 		raws = append(raws, raw)
-		ids = append(ids, id)
+		pkgs = append(pkgs, pkg)
 	}
-	return raws, ids, nil
+	return raws, pkgs, nil
 }
 
 // drawAttr draws an attribute index: uniform by default, Zipf-skewed when a
@@ -530,7 +682,7 @@ func drawAttr(rng *rand.Rand, zipf *rand.Zipf, n int) int {
 // buildBottle constructs one marshalled request package: one necessary group
 // attribute plus four optional interests with β=2 (so γ=2 exercises the hint
 // matrix on both the build and sweep sides).
-func buildBottle(rng *rand.Rand, zipf *rand.Zipf, opaque bool, opts options, worker, i int) ([]byte, string, error) {
+func buildBottle(rng *rand.Rand, zipf *rand.Zipf, opaque bool, opts options, worker, i int) ([]byte, *core.RequestPackage, error) {
 	optional := make([]attr.Attribute, 0, 4)
 	seen := make(map[int]struct{}, 4)
 	for len(optional) < 4 {
@@ -557,13 +709,13 @@ func buildBottle(rng *rand.Rand, zipf *rand.Zipf, opaque bool, opts options, wor
 		Rand:     rng,
 	})
 	if err != nil {
-		return nil, "", err
+		return nil, nil, err
 	}
 	raw, err := built.Package.Marshal()
 	if err != nil {
-		return nil, "", err
+		return nil, nil, err
 	}
-	return raw, built.Package.ID, nil
+	return raw, built.Package, nil
 }
 
 // randomProfile draws a sweeper profile over the same vocabulary the

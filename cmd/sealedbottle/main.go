@@ -10,6 +10,12 @@
 //	    -in request.bin
 //
 //	sealedbottle inspect -in request.bin
+//
+// It also mints the material a secured deployment needs (see secure.go):
+//
+//	sealedbottle keygen -out cluster.key
+//	sealedbottle token -key @cluster.key -identity alice -ops client -ttl 24h
+//	sealedbottle certgen -dir certs -name rack-1 -hosts 127.0.0.1
 package main
 
 import (
@@ -31,7 +37,7 @@ func main() {
 
 func run(args []string) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: sealedbottle <request|answer|inspect> [flags]")
+		return fmt.Errorf("usage: sealedbottle <request|answer|inspect|keygen|token|certgen> [flags]")
 	}
 	switch args[0] {
 	case "request":
@@ -40,8 +46,14 @@ func run(args []string) error {
 		return runAnswer(args[1:])
 	case "inspect":
 		return runInspect(args[1:])
+	case "keygen":
+		return runKeygen(args[1:])
+	case "token":
+		return runToken(args[1:])
+	case "certgen":
+		return runCertgen(args[1:])
 	default:
-		return fmt.Errorf("unknown subcommand %q (want request, answer or inspect)", args[0])
+		return fmt.Errorf("unknown subcommand %q (want request, answer, inspect, keygen, token or certgen)", args[0])
 	}
 }
 

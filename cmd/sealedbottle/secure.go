@@ -1,0 +1,177 @@
+// The security subcommands: keygen mints the cluster's token-signing key,
+// token mints capability tokens under it, and certgen produces a self-signed
+// CA plus per-rack leaf certificates — everything a secured deployment needs
+// without an external TLS toolchain.
+
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"sealedbottle"
+	"sealedbottle/internal/auth"
+)
+
+// runKeygen mints a fresh token-signing key and prints it in the hex format
+// bottlerack's -auth-key and this command's token -key consume.
+func runKeygen(args []string) error {
+	fs := flag.NewFlagSet("keygen", flag.ContinueOnError)
+	outPath := fs.String("out", "", "write the key to this file (0600) instead of stdout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	key, err := sealedbottle.NewAuthKey()
+	if err != nil {
+		return err
+	}
+	hexKey := auth.FormatKey(key)
+	if *outPath != "" {
+		if err := os.WriteFile(*outPath, []byte(hexKey+"\n"), 0o600); err != nil {
+			return err
+		}
+		fmt.Printf("token-signing key written to %s\n", *outPath)
+		return nil
+	}
+	fmt.Println(hexKey)
+	return nil
+}
+
+// runToken mints one capability token: an identity, an operation scope and an
+// optional time-to-live, signed under the cluster key.
+func runToken(args []string) error {
+	fs := flag.NewFlagSet("token", flag.ContinueOnError)
+	var (
+		keyHex   = fs.String("key", "", "hex token-signing key (or @FILE to read one written by keygen -out)")
+		identity = fs.String("identity", "", "identity the token asserts (bottle ownership and admission key on it)")
+		ops      = fs.String("ops", "client", "permitted operations: 'client', 'all', 'none' or a comma list (submit,sweep,reply,fetch,remove,stats,replica)")
+		ttl      = fs.Duration("ttl", 0, "token lifetime from now (0: no expiry)")
+		outPath  = fs.String("out", "", "write the raw token bytes to this file (0600) instead of hex on stdout")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *identity == "" {
+		return fmt.Errorf("token: -identity is required")
+	}
+	key, err := readKeyArg(*keyHex)
+	if err != nil {
+		return err
+	}
+	mask, err := sealedbottle.ParseAuthOps(*ops)
+	if err != nil {
+		return err
+	}
+	tok := sealedbottle.AuthToken{Identity: *identity, Ops: mask}
+	if *ttl > 0 {
+		tok.Expiry = time.Now().Add(*ttl)
+	}
+	raw, err := sealedbottle.MintToken(key, tok)
+	if err != nil {
+		return err
+	}
+	if *outPath != "" {
+		if err := os.WriteFile(*outPath, raw, 0o600); err != nil {
+			return err
+		}
+		fmt.Printf("token for %q (%v) written to %s (%d bytes)\n", *identity, mask, *outPath, len(raw))
+		return nil
+	}
+	fmt.Printf("%x\n", raw)
+	return nil
+}
+
+// runCertgen mints TLS material: with -ca-cert/-ca-key it issues a leaf from
+// an existing CA, otherwise it first creates the CA. Files land in -dir as
+// <name>.pem/<name>-key.pem (plus ca.pem/ca-key.pem when minting the CA).
+func runCertgen(args []string) error {
+	fs := flag.NewFlagSet("certgen", flag.ContinueOnError)
+	var (
+		dir    = fs.String("dir", ".", "output directory")
+		name   = fs.String("name", "", "leaf name; empty mints only the CA")
+		hosts  = fs.String("hosts", "127.0.0.1,localhost", "comma-separated DNS names / IPs the leaf is valid for")
+		caCert = fs.String("ca-cert", "", "existing CA certificate to issue from (default: mint a new CA in -dir)")
+		caKey  = fs.String("ca-key", "", "private key for -ca-cert")
+		caName = fs.String("ca-name", "sealedbottle-cluster-ca", "common name for a newly minted CA")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := os.MkdirAll(*dir, 0o755); err != nil {
+		return err
+	}
+	now := time.Now()
+	var ca *auth.CA
+	switch {
+	case *caCert != "" && *caKey != "":
+		certPEM, err := os.ReadFile(*caCert)
+		if err != nil {
+			return err
+		}
+		keyPEM, err := os.ReadFile(*caKey)
+		if err != nil {
+			return err
+		}
+		if ca, err = auth.LoadCA(certPEM, keyPEM); err != nil {
+			return err
+		}
+	case *caCert != "" || *caKey != "":
+		return fmt.Errorf("certgen: -ca-cert and -ca-key go together")
+	default:
+		var err error
+		if ca, err = auth.NewCA(*caName, now); err != nil {
+			return err
+		}
+		if err := writePEM(*dir, "ca.pem", ca.CertPEM, 0o644); err != nil {
+			return err
+		}
+		if err := writePEM(*dir, "ca-key.pem", ca.KeyPEM, 0o600); err != nil {
+			return err
+		}
+		fmt.Printf("CA %q written to %s/ca.pem (key: ca-key.pem)\n", *caName, *dir)
+	}
+	if *name == "" {
+		return nil
+	}
+	hostList := strings.Split(*hosts, ",")
+	for i := range hostList {
+		hostList[i] = strings.TrimSpace(hostList[i])
+	}
+	certPEM, keyPEM, err := ca.Issue(*name, hostList, now)
+	if err != nil {
+		return err
+	}
+	if err := writePEM(*dir, *name+".pem", certPEM, 0o644); err != nil {
+		return err
+	}
+	if err := writePEM(*dir, *name+"-key.pem", keyPEM, 0o600); err != nil {
+		return err
+	}
+	fmt.Printf("leaf %q (%s) written to %s/%s.pem (key: %s-key.pem)\n",
+		*name, strings.Join(hostList, ","), *dir, *name, *name)
+	return nil
+}
+
+// readKeyArg reads a hex signing key given directly or as @FILE.
+func readKeyArg(s string) ([]byte, error) {
+	if s == "" {
+		return nil, fmt.Errorf("-key is required (mint one with: sealedbottle keygen)")
+	}
+	if rest, ok := strings.CutPrefix(s, "@"); ok {
+		data, err := os.ReadFile(rest)
+		if err != nil {
+			return nil, err
+		}
+		s = strings.TrimSpace(string(data))
+	}
+	return sealedbottle.ParseAuthKey(s)
+}
+
+// writePEM writes one PEM file under dir with the given mode.
+func writePEM(dir, name string, data []byte, mode os.FileMode) error {
+	return os.WriteFile(filepath.Join(dir, name), data, mode)
+}

@@ -1,0 +1,183 @@
+// Self-signed certificate material for securing rack transports. A CA here
+// is a deployment convenience, not a public-web PKI: an operator mints one CA
+// per cluster (sealedbottle certgen), issues each rack and client a leaf, and
+// distributes the CA certificate as the sole trust root — so the test
+// harness, the chaos scripts and small real deployments get mutual TLS
+// without an external toolchain.
+
+package auth
+
+import (
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/tls"
+	"crypto/x509"
+	"crypto/x509/pkix"
+	"encoding/pem"
+	"errors"
+	"fmt"
+	"math/big"
+	"net"
+	"time"
+)
+
+// CA is a self-signed certificate authority able to issue leaf certificates.
+type CA struct {
+	// CertPEM is the PEM-encoded CA certificate — the trust root peers load
+	// into their pools.
+	CertPEM []byte
+	// KeyPEM is the PEM-encoded CA private key; needed only to issue.
+	KeyPEM []byte
+
+	cert *x509.Certificate
+	key  *ecdsa.PrivateKey
+}
+
+// certValidity is how long generated certificates live. Generated material is
+// for clusters whose operator can re-run certgen, so a modest lifetime beats
+// a decade-long secret.
+const certValidity = 2 * 365 * 24 * time.Hour
+
+// NewCA mints a self-signed ECDSA P-256 certificate authority.
+func NewCA(commonName string, now time.Time) (*CA, error) {
+	key, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		return nil, err
+	}
+	tmpl := &x509.Certificate{
+		SerialNumber:          newSerial(),
+		Subject:               pkix.Name{CommonName: commonName},
+		NotBefore:             now.Add(-time.Hour),
+		NotAfter:              now.Add(certValidity),
+		KeyUsage:              x509.KeyUsageCertSign | x509.KeyUsageDigitalSignature,
+		BasicConstraintsValid: true,
+		IsCA:                  true,
+		MaxPathLen:            1,
+	}
+	der, err := x509.CreateCertificate(rand.Reader, tmpl, tmpl, &key.PublicKey, key)
+	if err != nil {
+		return nil, err
+	}
+	cert, err := x509.ParseCertificate(der)
+	if err != nil {
+		return nil, err
+	}
+	keyDER, err := x509.MarshalECPrivateKey(key)
+	if err != nil {
+		return nil, err
+	}
+	return &CA{
+		CertPEM: pem.EncodeToMemory(&pem.Block{Type: "CERTIFICATE", Bytes: der}),
+		KeyPEM:  pem.EncodeToMemory(&pem.Block{Type: "EC PRIVATE KEY", Bytes: keyDER}),
+		cert:    cert,
+		key:     key,
+	}, nil
+}
+
+// LoadCA reopens a CA from its PEM pair for further issuance.
+func LoadCA(certPEM, keyPEM []byte) (*CA, error) {
+	certBlock, _ := pem.Decode(certPEM)
+	if certBlock == nil {
+		return nil, errors.New("auth: no PEM block in CA certificate")
+	}
+	cert, err := x509.ParseCertificate(certBlock.Bytes)
+	if err != nil {
+		return nil, fmt.Errorf("auth: parse CA certificate: %w", err)
+	}
+	keyBlock, _ := pem.Decode(keyPEM)
+	if keyBlock == nil {
+		return nil, errors.New("auth: no PEM block in CA key")
+	}
+	key, err := x509.ParseECPrivateKey(keyBlock.Bytes)
+	if err != nil {
+		return nil, fmt.Errorf("auth: parse CA key: %w", err)
+	}
+	return &CA{CertPEM: certPEM, KeyPEM: keyPEM, cert: cert, key: key}, nil
+}
+
+// Issue signs a leaf certificate for the named hosts (DNS names or IP
+// literals), valid for both server and client authentication so one leaf
+// secures a rack that also dials its replica peers.
+func (ca *CA) Issue(commonName string, hosts []string, now time.Time) (certPEM, keyPEM []byte, err error) {
+	key, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		return nil, nil, err
+	}
+	tmpl := &x509.Certificate{
+		SerialNumber: newSerial(),
+		Subject:      pkix.Name{CommonName: commonName},
+		NotBefore:    now.Add(-time.Hour),
+		NotAfter:     now.Add(certValidity),
+		KeyUsage:     x509.KeyUsageDigitalSignature,
+		ExtKeyUsage:  []x509.ExtKeyUsage{x509.ExtKeyUsageServerAuth, x509.ExtKeyUsageClientAuth},
+	}
+	for _, h := range hosts {
+		if ip := net.ParseIP(h); ip != nil {
+			tmpl.IPAddresses = append(tmpl.IPAddresses, ip)
+		} else {
+			tmpl.DNSNames = append(tmpl.DNSNames, h)
+		}
+	}
+	der, err := x509.CreateCertificate(rand.Reader, tmpl, ca.cert, &key.PublicKey, ca.key)
+	if err != nil {
+		return nil, nil, err
+	}
+	keyDER, err := x509.MarshalECPrivateKey(key)
+	if err != nil {
+		return nil, nil, err
+	}
+	return pem.EncodeToMemory(&pem.Block{Type: "CERTIFICATE", Bytes: der}),
+		pem.EncodeToMemory(&pem.Block{Type: "EC PRIVATE KEY", Bytes: keyDER}), nil
+}
+
+// newSerial draws a random 128-bit certificate serial.
+func newSerial() *big.Int {
+	limit := new(big.Int).Lsh(big.NewInt(1), 128)
+	n, err := rand.Int(rand.Reader, limit)
+	if err != nil {
+		panic("auth: serial entropy unavailable: " + err.Error())
+	}
+	return n
+}
+
+// ServerTLS builds a server-side TLS config from PEM material: the server's
+// certificate and key, plus an optional client CA that, when present, turns
+// on mutual TLS (clients without a certificate from it are rejected at the
+// handshake).
+func ServerTLS(certPEM, keyPEM, clientCAPEM []byte) (*tls.Config, error) {
+	cert, err := tls.X509KeyPair(certPEM, keyPEM)
+	if err != nil {
+		return nil, fmt.Errorf("auth: load server keypair: %w", err)
+	}
+	cfg := &tls.Config{Certificates: []tls.Certificate{cert}, MinVersion: tls.VersionTLS13}
+	if len(clientCAPEM) > 0 {
+		pool := x509.NewCertPool()
+		if !pool.AppendCertsFromPEM(clientCAPEM) {
+			return nil, errors.New("auth: no certificates in client CA PEM")
+		}
+		cfg.ClientCAs = pool
+		cfg.ClientAuth = tls.RequireAndVerifyClientCert
+	}
+	return cfg, nil
+}
+
+// ClientTLS builds a client-side TLS config trusting the given root CA, with
+// an optional client certificate for mutual TLS (both certPEM and keyPEM, or
+// neither). ServerName is left empty: the transport dialer fills it from the
+// dialed address.
+func ClientTLS(rootCAPEM, certPEM, keyPEM []byte) (*tls.Config, error) {
+	pool := x509.NewCertPool()
+	if !pool.AppendCertsFromPEM(rootCAPEM) {
+		return nil, errors.New("auth: no certificates in root CA PEM")
+	}
+	cfg := &tls.Config{RootCAs: pool, MinVersion: tls.VersionTLS13}
+	if len(certPEM) > 0 || len(keyPEM) > 0 {
+		cert, err := tls.X509KeyPair(certPEM, keyPEM)
+		if err != nil {
+			return nil, fmt.Errorf("auth: load client keypair: %w", err)
+		}
+		cfg.Certificates = []tls.Certificate{cert}
+	}
+	return cfg, nil
+}

@@ -1,0 +1,255 @@
+// Package auth implements the capability tokens of the identity-secured
+// transport: a token names an identity, the set of operations it may perform
+// and an expiry, and is HMAC-SHA256-signed with a key shared between the
+// racks and whoever mints tokens. Clients present their token once per
+// connection in the post-handshake HELLO frame (docs/PROTOCOL.md §1.5.2); the
+// server verifies it and pins the identity to the connection, where the
+// broker's ownership and admission checks pick it up.
+//
+// Tokens are bearer credentials: possession is proof. They are only safe on
+// an encrypted transport, which is why cmd/bottlerack refuses -auth-key
+// without -tls-cert.
+package auth
+
+import (
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"crypto/subtle"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Token verification errors. ErrInvalidToken wraps every structural and
+// signature failure so callers test one sentinel; ErrTokenExpired is separate
+// because an expired token is well-formed and correctly signed — a client can
+// fix it by re-minting, not by re-reading its config.
+var (
+	ErrInvalidToken = errors.New("auth: invalid token")
+	ErrTokenExpired = errors.New("auth: token expired")
+)
+
+// Ops is the capability bitmask of a token: which operation families the
+// bearer may invoke. Unknown bits are preserved (future ops) but grant
+// nothing on a server that does not know them.
+type Ops uint16
+
+// Capability bits. The groups mirror the wire opcode families, not individual
+// opcodes, so a token stays valid across protocol revisions that add batch
+// variants of an existing family.
+const (
+	// OpSubmit covers Submit and SubmitBatch.
+	OpSubmit Ops = 1 << iota
+	// OpSweep covers Sweep.
+	OpSweep
+	// OpReply covers Reply and ReplyBatch.
+	OpReply
+	// OpFetch covers Fetch and FetchBatch.
+	OpFetch
+	// OpRemove covers Remove.
+	OpRemove
+	// OpStats covers Stats.
+	OpStats
+	// OpReplica covers the rack-to-rack opcodes: Hint, Handoff, SetPeer,
+	// RemovePeer, Peers.
+	OpReplica
+
+	// OpsClient grants the full client surface (everything but replica
+	// administration).
+	OpsClient = OpSubmit | OpSweep | OpReply | OpFetch | OpRemove | OpStats
+	// OpsAll grants everything, including the replica stream.
+	OpsAll = OpsClient | OpReplica
+)
+
+// opNames orders the capability names for String/ParseOps; index = bit.
+var opNames = []string{"submit", "sweep", "reply", "fetch", "remove", "stats", "replica"}
+
+// String renders the mask as a comma-joined capability list ("submit,sweep"),
+// with "all", "client" and "none" as the compact forms.
+func (o Ops) String() string {
+	switch o {
+	case 0:
+		return "none"
+	case OpsClient:
+		return "client"
+	case OpsAll:
+		return "all"
+	}
+	var parts []string
+	for i, name := range opNames {
+		if o&(1<<i) != 0 {
+			parts = append(parts, name)
+		}
+	}
+	if rest := o &^ OpsAll; rest != 0 {
+		parts = append(parts, fmt.Sprintf("0x%x", uint16(rest)))
+	}
+	return strings.Join(parts, ",")
+}
+
+// ParseOps parses the String form back into a mask.
+func ParseOps(s string) (Ops, error) {
+	switch s {
+	case "", "all":
+		return OpsAll, nil
+	case "client":
+		return OpsClient, nil
+	case "none":
+		return 0, nil
+	}
+	var o Ops
+next:
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		for i, name := range opNames {
+			if part == name {
+				o |= 1 << i
+				continue next
+			}
+		}
+		return 0, fmt.Errorf("auth: unknown op %q (have %s, or all/client/none)", part, strings.Join(opNames, ", "))
+	}
+	return o, nil
+}
+
+// Token is one parsed capability token.
+type Token struct {
+	// Identity is the caller's name — the string the broker records as a
+	// bottle's owner and keys admission quotas by. Non-empty, at most
+	// MaxIdentityLen bytes.
+	Identity string
+	// Ops is the operation families the bearer may invoke.
+	Ops Ops
+	// Expiry is when the token stops verifying. The zero time means no
+	// expiry.
+	Expiry time.Time
+}
+
+// Allows reports whether the token grants every capability in need.
+func (t Token) Allows(need Ops) bool { return t.Ops&need == need }
+
+// Token wire format (the HELLO frame's payload):
+//
+//	[u8 version=1][u16 idLen][identity][u16 ops][i64 expiryUnix][32B HMAC-SHA256]
+//
+// The MAC covers every byte before it. expiryUnix 0 means no expiry.
+const (
+	tokenVersion = 1
+	// MaxIdentityLen bounds the identity string; generous for
+	// "rack:name"-style identities, small enough that a token always fits a
+	// HELLO frame.
+	MaxIdentityLen = 256
+	macLen         = sha256.Size
+	// MaxTokenLen is the largest marshalled token; HELLO readers use it to
+	// bound the frame.
+	MaxTokenLen = 1 + 2 + MaxIdentityLen + 2 + 8 + macLen
+
+	// KeyLen is the signing key size NewKey mints. Verification accepts any
+	// non-empty key (HMAC has no structural key requirement), so operators
+	// may bring their own secret.
+	KeyLen = 32
+)
+
+// NewKey mints a random signing key.
+func NewKey() ([]byte, error) {
+	key := make([]byte, KeyLen)
+	if _, err := rand.Read(key); err != nil {
+		return nil, err
+	}
+	return key, nil
+}
+
+// ParseKey decodes a hex-encoded signing key (the `sealedbottle keygen`
+// output, and the -auth-key flag value).
+func ParseKey(s string) ([]byte, error) {
+	key, err := hex.DecodeString(strings.TrimSpace(s))
+	if err != nil {
+		return nil, fmt.Errorf("auth: key is not hex: %w", err)
+	}
+	if len(key) == 0 {
+		return nil, errors.New("auth: empty key")
+	}
+	return key, nil
+}
+
+// FormatKey hex-encodes a signing key for flags and config files.
+func FormatKey(key []byte) string { return hex.EncodeToString(key) }
+
+// Mint signs a token. The identity must be non-empty and within
+// MaxIdentityLen.
+func Mint(key []byte, t Token) ([]byte, error) {
+	if len(key) == 0 {
+		return nil, errors.New("auth: mint needs a key")
+	}
+	if t.Identity == "" {
+		return nil, errors.New("auth: token needs an identity")
+	}
+	if len(t.Identity) > MaxIdentityLen {
+		return nil, fmt.Errorf("auth: identity longer than %d bytes", MaxIdentityLen)
+	}
+	buf := make([]byte, 0, 1+2+len(t.Identity)+2+8+macLen)
+	buf = append(buf, tokenVersion)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(t.Identity)))
+	buf = append(buf, t.Identity...)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(t.Ops))
+	var exp int64
+	if !t.Expiry.IsZero() {
+		exp = t.Expiry.Unix()
+	}
+	buf = binary.BigEndian.AppendUint64(buf, uint64(exp))
+	mac := hmac.New(sha256.New, key)
+	mac.Write(buf)
+	return mac.Sum(buf), nil
+}
+
+// Unmarshal parses a token's fields without checking its signature or
+// expiry — the structural half of Verify, exposed for inspection tooling and
+// the fuzz target. The returned token must not be trusted.
+func Unmarshal(raw []byte) (Token, error) {
+	if len(raw) < 1+2 || raw[0] != tokenVersion {
+		return Token{}, ErrInvalidToken
+	}
+	idLen := int(binary.BigEndian.Uint16(raw[1:3]))
+	if idLen == 0 || idLen > MaxIdentityLen {
+		return Token{}, ErrInvalidToken
+	}
+	if len(raw) != 1+2+idLen+2+8+macLen {
+		return Token{}, ErrInvalidToken
+	}
+	t := Token{
+		Identity: string(raw[3 : 3+idLen]),
+		Ops:      Ops(binary.BigEndian.Uint16(raw[3+idLen:])),
+	}
+	if exp := int64(binary.BigEndian.Uint64(raw[3+idLen+2:])); exp != 0 {
+		t.Expiry = time.Unix(exp, 0)
+	}
+	return t, nil
+}
+
+// Verify parses and authenticates a token against the signing key at time
+// now, returning the pinned claims. Signature mismatches (wrong key, bit
+// flips, truncation) report ErrInvalidToken; a correctly signed token past
+// its expiry reports ErrTokenExpired.
+func Verify(key, raw []byte, now time.Time) (Token, error) {
+	if len(key) == 0 {
+		return Token{}, fmt.Errorf("%w: no verification key", ErrInvalidToken)
+	}
+	t, err := Unmarshal(raw)
+	if err != nil {
+		return Token{}, err
+	}
+	body := raw[:len(raw)-macLen]
+	mac := hmac.New(sha256.New, key)
+	mac.Write(body)
+	if subtle.ConstantTimeCompare(mac.Sum(nil), raw[len(raw)-macLen:]) != 1 {
+		return Token{}, fmt.Errorf("%w: bad signature", ErrInvalidToken)
+	}
+	if !t.Expiry.IsZero() && now.After(t.Expiry) {
+		return Token{}, ErrTokenExpired
+	}
+	return t, nil
+}

@@ -1,0 +1,185 @@
+package auth
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestMintVerifyRoundTrip(t *testing.T) {
+	key, err := NewKey()
+	if err != nil {
+		t.Fatalf("NewKey: %v", err)
+	}
+	exp := time.Now().Add(time.Hour).Truncate(time.Second)
+	raw, err := Mint(key, Token{Identity: "alice", Ops: OpsClient, Expiry: exp})
+	if err != nil {
+		t.Fatalf("Mint: %v", err)
+	}
+	tok, err := Verify(key, raw, time.Now())
+	if err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	if tok.Identity != "alice" || tok.Ops != OpsClient || !tok.Expiry.Equal(exp) {
+		t.Fatalf("round trip mismatch: %+v", tok)
+	}
+	if !tok.Allows(OpSubmit | OpFetch) {
+		t.Fatalf("client token should allow submit+fetch")
+	}
+	if tok.Allows(OpReplica) {
+		t.Fatalf("client token must not allow replica ops")
+	}
+}
+
+func TestVerifyNoExpiry(t *testing.T) {
+	key := []byte("shared-secret")
+	raw, err := Mint(key, Token{Identity: "rack:r0", Ops: OpsAll})
+	if err != nil {
+		t.Fatalf("Mint: %v", err)
+	}
+	tok, err := Verify(key, raw, time.Now().Add(100*365*24*time.Hour))
+	if err != nil {
+		t.Fatalf("Verify far in the future: %v", err)
+	}
+	if !tok.Expiry.IsZero() {
+		t.Fatalf("expiry = %v, want zero", tok.Expiry)
+	}
+}
+
+func TestVerifyRejectsTampering(t *testing.T) {
+	key := []byte("k1")
+	raw, err := Mint(key, Token{Identity: "alice", Ops: OpsAll})
+	if err != nil {
+		t.Fatalf("Mint: %v", err)
+	}
+	// Wrong key.
+	if _, err := Verify([]byte("k2"), raw, time.Now()); !errors.Is(err, ErrInvalidToken) {
+		t.Fatalf("wrong key: err = %v, want ErrInvalidToken", err)
+	}
+	// Flip one identity bit: the claimed identity changes, the MAC must fail.
+	flipped := append([]byte(nil), raw...)
+	flipped[3] ^= 1
+	if _, err := Verify(key, flipped, time.Now()); !errors.Is(err, ErrInvalidToken) {
+		t.Fatalf("tampered identity: err = %v, want ErrInvalidToken", err)
+	}
+	// Truncation.
+	if _, err := Verify(key, raw[:len(raw)-1], time.Now()); !errors.Is(err, ErrInvalidToken) {
+		t.Fatalf("truncated: err = %v, want ErrInvalidToken", err)
+	}
+	if _, err := Verify(key, nil, time.Now()); !errors.Is(err, ErrInvalidToken) {
+		t.Fatalf("nil: err = %v, want ErrInvalidToken", err)
+	}
+}
+
+func TestVerifyExpiry(t *testing.T) {
+	key := []byte("k")
+	exp := time.Unix(1000, 0)
+	raw, err := Mint(key, Token{Identity: "bob", Ops: OpSweep, Expiry: exp})
+	if err != nil {
+		t.Fatalf("Mint: %v", err)
+	}
+	if _, err := Verify(key, raw, time.Unix(999, 0)); err != nil {
+		t.Fatalf("before expiry: %v", err)
+	}
+	if _, err := Verify(key, raw, time.Unix(1001, 0)); !errors.Is(err, ErrTokenExpired) {
+		t.Fatalf("after expiry: err = %v, want ErrTokenExpired", err)
+	}
+	// An expired token is still well-formed: Unmarshal accepts it.
+	if _, err := Unmarshal(raw); err != nil {
+		t.Fatalf("Unmarshal expired token: %v", err)
+	}
+}
+
+func TestMintValidation(t *testing.T) {
+	if _, err := Mint(nil, Token{Identity: "x"}); err == nil {
+		t.Fatalf("mint without key succeeded")
+	}
+	if _, err := Mint([]byte("k"), Token{}); err == nil {
+		t.Fatalf("mint without identity succeeded")
+	}
+	long := make([]byte, MaxIdentityLen+1)
+	for i := range long {
+		long[i] = 'a'
+	}
+	if _, err := Mint([]byte("k"), Token{Identity: string(long)}); err == nil {
+		t.Fatalf("mint with oversized identity succeeded")
+	}
+}
+
+func TestKeyHexRoundTrip(t *testing.T) {
+	key, err := NewKey()
+	if err != nil {
+		t.Fatalf("NewKey: %v", err)
+	}
+	back, err := ParseKey(FormatKey(key))
+	if err != nil {
+		t.Fatalf("ParseKey: %v", err)
+	}
+	if string(back) != string(key) {
+		t.Fatalf("key hex round trip mismatch")
+	}
+	if _, err := ParseKey("not hex!"); err == nil {
+		t.Fatalf("ParseKey accepted garbage")
+	}
+	if _, err := ParseKey(""); err == nil {
+		t.Fatalf("ParseKey accepted empty key")
+	}
+}
+
+func TestOpsStringParse(t *testing.T) {
+	cases := []Ops{0, OpSubmit, OpSweep | OpReply, OpsClient, OpsAll, OpFetch | OpRemove | OpStats}
+	for _, o := range cases {
+		back, err := ParseOps(o.String())
+		if err != nil {
+			t.Fatalf("ParseOps(%q): %v", o.String(), err)
+		}
+		if back != o {
+			t.Fatalf("ParseOps(%q) = %v, want %v", o.String(), back, o)
+		}
+	}
+	if _, err := ParseOps("submit,frobnicate"); err == nil {
+		t.Fatalf("ParseOps accepted an unknown op")
+	}
+	if o, err := ParseOps(""); err != nil || o != OpsAll {
+		t.Fatalf("ParseOps(\"\") = %v, %v; want OpsAll", o, err)
+	}
+}
+
+// FuzzTokenUnmarshal throws arbitrary bytes at the token parser and checks
+// the structural invariants: Unmarshal never panics, an accepted parse
+// re-mints to a Verify-able token, and Verify never accepts bytes the key
+// did not sign.
+func FuzzTokenUnmarshal(f *testing.F) {
+	key := []byte("fuzz-key")
+	seed, _ := Mint(key, Token{Identity: "seed", Ops: OpsClient, Expiry: time.Unix(1<<32, 0)})
+	f.Add(seed)
+	f.Add([]byte{})
+	f.Add([]byte{tokenVersion, 0, 1, 'a'})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		tok, err := Unmarshal(raw)
+		if err != nil {
+			if _, verr := Verify(key, raw, time.Unix(0, 0)); verr == nil {
+				t.Fatalf("Verify accepted bytes Unmarshal rejected")
+			}
+			return
+		}
+		if tok.Identity == "" || len(tok.Identity) > MaxIdentityLen {
+			t.Fatalf("Unmarshal accepted invalid identity %q", tok.Identity)
+		}
+		if len(raw) > MaxTokenLen {
+			t.Fatalf("Unmarshal accepted %d bytes, over MaxTokenLen %d", len(raw), MaxTokenLen)
+		}
+		// A structurally valid token only verifies if the MAC matches this
+		// key; re-minting the parsed claims must always verify.
+		minted, err := Mint(key, tok)
+		if err != nil {
+			t.Fatalf("re-mint of parsed token failed: %v", err)
+		}
+		now := time.Unix(0, 0) // before any representable expiry
+		if tok.Expiry.IsZero() || tok.Expiry.After(now) {
+			if _, err := Verify(key, minted, now); err != nil {
+				t.Fatalf("re-minted token failed verify: %v", err)
+			}
+		}
+	})
+}

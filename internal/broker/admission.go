@@ -1,0 +1,117 @@
+package broker
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// admissionMaxBuckets bounds the per-identity bucket table. When an insert
+// would cross the bound, buckets that have refilled to capacity (identities
+// idle long enough to be indistinguishable from new ones) are pruned; a
+// hostile client minting unbounded identities therefore costs one bucket
+// each, recycled as soon as it goes idle.
+const admissionMaxBuckets = 8192
+
+// Admission is a per-identity token-bucket admission controller: each
+// identity may perform Rate operations per second with bursts up to Burst.
+// Calls over quota are shed with ErrOverload — typed backpressure the ring
+// treats as a broker answer, never a rack fault. One Admission is shared by
+// every connection of a server, so a client reconnecting (or fanning out
+// over several connections) stays inside one bucket.
+//
+// All methods are safe for concurrent use.
+type Admission struct {
+	rate  float64 // tokens per second
+	burst float64 // bucket capacity
+	now   func() time.Time
+	shed  atomic.Uint64
+
+	mu      sync.Mutex
+	buckets map[string]*admissionBucket
+}
+
+// admissionBucket is one identity's bucket state, guarded by Admission.mu.
+type admissionBucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// NewAdmission builds an admission controller allowing rate operations per
+// second per identity, with bursts of up to burst operations (burst < 1 uses
+// max(2*rate, 8)). A rate <= 0 returns nil — admission disabled — so callers
+// can pass flag values straight through.
+func NewAdmission(rate float64, burst int) *Admission {
+	if rate <= 0 {
+		return nil
+	}
+	b := float64(burst)
+	if b < 1 {
+		b = 2 * rate
+		if b < 8 {
+			b = 8
+		}
+	}
+	return &Admission{
+		rate:    rate,
+		burst:   b,
+		now:     time.Now,
+		buckets: make(map[string]*admissionBucket),
+	}
+}
+
+// SetClock overrides the controller's clock (tests).
+func (a *Admission) SetClock(now func() time.Time) { a.now = now }
+
+// Allow reports whether one operation by identity is admitted, consuming a
+// token when it is. A nil Admission admits everything.
+func (a *Admission) Allow(identity string) bool {
+	if a == nil {
+		return true
+	}
+	now := a.now()
+	a.mu.Lock()
+	b, ok := a.buckets[identity]
+	if !ok {
+		if len(a.buckets) >= admissionMaxBuckets {
+			a.pruneLocked(now)
+		}
+		b = &admissionBucket{tokens: a.burst, last: now}
+		a.buckets[identity] = b
+	} else {
+		if dt := now.Sub(b.last).Seconds(); dt > 0 {
+			b.tokens += dt * a.rate
+			if b.tokens > a.burst {
+				b.tokens = a.burst
+			}
+		}
+		b.last = now
+	}
+	admitted := b.tokens >= 1
+	if admitted {
+		b.tokens--
+	}
+	a.mu.Unlock()
+	if !admitted {
+		a.shed.Add(1)
+	}
+	return admitted
+}
+
+// pruneLocked drops buckets that have refilled to capacity; they carry no
+// state a fresh bucket would not.
+func (a *Admission) pruneLocked(now time.Time) {
+	for id, b := range a.buckets {
+		if b.tokens+now.Sub(b.last).Seconds()*a.rate >= a.burst {
+			delete(a.buckets, id)
+		}
+	}
+}
+
+// Shed returns the number of operations shed over quota since construction.
+func (a *Admission) Shed() uint64 {
+	if a == nil {
+		return 0
+	}
+	return a.shed.Load()
+}

@@ -140,7 +140,7 @@ func TestDrainBatchBudget(t *testing.T) {
 	sh := rack.shards[0]
 	results := make([]FetchResult, 2)
 	ids := []string{pkgA.ID, pkgB.ID}
-	left := sh.drainBatch(ids, []int{0, 1}, results, budget)
+	left := sh.drainBatch(ids, []int{0, 1}, results, budget, "")
 	if results[0].Err != nil || len(results[0].Replies) != 1 {
 		t.Fatalf("first item = %+v, want drained", results[0])
 	}

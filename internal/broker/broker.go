@@ -57,6 +57,16 @@ var (
 	ErrUnknownBottle = errors.New("broker: unknown bottle id")
 	// ErrBadQuery indicates a sweep query with no valid residue sets.
 	ErrBadQuery = errors.New("broker: sweep query has no valid residue sets")
+	// ErrUnauthorized indicates the caller's identity does not permit the
+	// operation: a missing or invalid capability token, an op outside the
+	// token's scope, or an attempt to Fetch/Remove/Reply against another
+	// identity's bottle. It is a definitive broker answer, never a rack
+	// fault — the ring must not eject a rack for refusing an imposter.
+	ErrUnauthorized = errors.New("broker: unauthorized")
+	// ErrOverload indicates per-identity admission shed the call before it
+	// touched a shard. It is backpressure, not failure: the caller should
+	// retry after a pause, and the ring's health accounting ignores it.
+	ErrOverload = errors.New("broker: identity over admission quota, retry later")
 )
 
 // Config tunes a Rack.
@@ -269,6 +279,7 @@ func (r *Rack) Submit(ctx context.Context, raw []byte) (string, error) {
 	if err != nil {
 		return "", err
 	}
+	b.owner = IdentityFromContext(ctx)
 	if err := r.shardFor(b.id).put(b); err != nil {
 		return "", err
 	}
@@ -327,6 +338,7 @@ func (r *Rack) SubmitBatch(ctx context.Context, raws [][]byte) ([]SubmitResult, 
 		return nil, ErrRackClosed
 	}
 	now := r.cfg.Now().UTC()
+	owner := IdentityFromContext(ctx)
 	results := make([]SubmitResult, len(raws))
 	type item struct {
 		idx int
@@ -339,6 +351,7 @@ func (r *Rack) SubmitBatch(ctx context.Context, raws [][]byte) ([]SubmitResult, 
 			results[i].Err = err
 			continue
 		}
+		b.owner = owner
 		sh := r.shardFor(b.id)
 		perShard[sh] = append(perShard[sh], item{idx: i, b: b})
 		results[i].ID = r.tagID(b.id)
@@ -484,6 +497,7 @@ func (r *Rack) FetchBatch(ctx context.Context, ids []string) ([]FetchResult, err
 		perShard[sh] = append(perShard[sh], i)
 	}
 	var ctxErr error
+	caller := IdentityFromContext(ctx)
 	budget := MaxFetchBatchBytes
 	for sh, idxs := range perShard {
 		if ctxErr = ctx.Err(); ctxErr != nil {
@@ -492,7 +506,7 @@ func (r *Rack) FetchBatch(ctx context.Context, ids []string) ([]FetchResult, err
 			}
 			continue
 		}
-		budget = sh.drainBatch(ids, idxs, results, budget)
+		budget = sh.drainBatch(ids, idxs, results, budget, caller)
 	}
 	return results, ctxErr
 }
@@ -712,7 +726,8 @@ func (r *Rack) Reply(ctx context.Context, requestID string, raw []byte) error {
 }
 
 // Fetch drains and returns the replies queued for a request. Only bottles
-// still on the rack (not yet reaped) can be fetched from.
+// still on the rack (not yet reaped) can be fetched from, and only by the
+// identity that submitted them when ownership is recorded.
 func (r *Rack) Fetch(ctx context.Context, requestID string) ([][]byte, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -721,7 +736,7 @@ func (r *Rack) Fetch(ctx context.Context, requestID string) ([][]byte, error) {
 		return nil, ErrRackClosed
 	}
 	requestID = r.untagID(requestID)
-	return r.shardFor(requestID).drainReplies(requestID)
+	return r.shardFor(requestID).drainReplies(requestID, IdentityFromContext(ctx))
 }
 
 // Remove takes a bottle (and its pending replies) off the rack, e.g. when an
@@ -735,8 +750,9 @@ func (r *Rack) Remove(ctx context.Context, requestID string) (bool, error) {
 		return false, ErrRackClosed
 	}
 	requestID = r.untagID(requestID)
-	if !r.shardFor(requestID).remove(requestID) {
-		return false, nil
+	held, err := r.shardFor(requestID).remove(requestID, IdentityFromContext(ctx))
+	if err != nil || !held {
+		return false, err
 	}
 	return true, r.commitDur()
 }

@@ -151,10 +151,13 @@ func (r *Rack) replayRecord(typ byte, payload []byte) error {
 		_ = r.shardFor(id).pushReply(id, raw, r.cfg.MaxRepliesPerBottle, now)
 	case walRecRemove, walRecExpire:
 		id := string(payload)
-		r.shardFor(id).remove(id)
+		// Replay is pre-serving and owner-blind: recovered bottles carry open
+		// ownership (the record format predates it), so the empty caller is
+		// always allowed.
+		_, _ = r.shardFor(id).remove(id, "")
 	case walRecDrain:
 		id := string(payload)
-		_, _ = r.shardFor(id).drainReplies(id)
+		_, _ = r.shardFor(id).drainReplies(id, "")
 	}
 	// Unknown record types are skipped: a downgraded broker replays what it
 	// understands rather than refusing to start.

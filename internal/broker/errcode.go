@@ -29,6 +29,12 @@ const (
 	CodeExpired
 	CodeMalformed
 	CodeInternal
+	// CodeUnauthorized and CodeOverload joined in the identity-secured
+	// transport revision; they sit after CodeInternal because wire codes are
+	// append-only. Legacy peers decode them as unknown codes (no errors.Is
+	// identity) — they predate every server that can emit them.
+	CodeUnauthorized
+	CodeOverload
 )
 
 // String names the code for logs and error text.
@@ -50,6 +56,10 @@ func (c ErrCode) String() string {
 		return "malformed"
 	case CodeInternal:
 		return "internal"
+	case CodeUnauthorized:
+		return "unauthorized"
+	case CodeOverload:
+		return "overload"
 	}
 	return fmt.Sprintf("code-%d", byte(c))
 }
@@ -75,6 +85,10 @@ func ErrCodeOf(err error) ErrCode {
 		return CodeExpired
 	case errors.Is(err, core.ErrMalformedPackage):
 		return CodeMalformed
+	case errors.Is(err, ErrUnauthorized):
+		return CodeUnauthorized
+	case errors.Is(err, ErrOverload):
+		return CodeOverload
 	}
 	return CodeInternal
 }
@@ -96,6 +110,10 @@ func (c ErrCode) Sentinel() error {
 		return core.ErrExpired
 	case CodeMalformed:
 		return core.ErrMalformedPackage
+	case CodeUnauthorized:
+		return ErrUnauthorized
+	case CodeOverload:
+		return ErrOverload
 	}
 	return nil
 }

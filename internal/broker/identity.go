@@ -1,0 +1,25 @@
+package broker
+
+import "context"
+
+// identityKey keys the authenticated caller identity in a context.
+type identityKey struct{}
+
+// WithIdentity returns a context carrying the caller's authenticated
+// identity. The transport server attaches the identity it pinned from the
+// connection's verified capability token before dispatching into the rack;
+// in-process callers may attach one directly. An empty identity is the
+// anonymous caller (no token, or authentication not configured).
+func WithIdentity(ctx context.Context, identity string) context.Context {
+	if identity == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, identityKey{}, identity)
+}
+
+// IdentityFromContext returns the authenticated caller identity attached to
+// ctx, or "" for anonymous callers.
+func IdentityFromContext(ctx context.Context) string {
+	id, _ := ctx.Value(identityKey{}).(string)
+	return id
+}

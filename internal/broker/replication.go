@@ -41,6 +41,14 @@ const (
 type HandoffRecord struct {
 	// Type is one of RecSubmit, RecReply, RecRemove or RecRepair.
 	Type byte
+	// Owner is the identity a RecSubmit bottle is racked under on the
+	// destination, so ownership survives replication: the submitter — not the
+	// rack that relayed the record — must stay the only identity allowed to
+	// Fetch or Remove the converged copy. The hint-queueing rack stamps it
+	// from its authenticated caller (or its own store for read-repair) and
+	// ignores whatever the client claims; empty means open ownership, which
+	// pre-ownership peers produce. Unused by the other record types.
+	Owner string
 	// Payload is the record body in the WAL encoding for its type.
 	Payload []byte
 }
@@ -99,6 +107,7 @@ func appendHandoffRecords(buf []byte, recs []HandoffRecord) []byte {
 	buf = binary.BigEndian.AppendUint32(buf, uint32(len(recs)))
 	for _, rec := range recs {
 		buf = append(buf, rec.Type)
+		buf = appendString16(buf, rec.Owner)
 		buf = binary.BigEndian.AppendUint32(buf, uint32(len(rec.Payload)))
 		buf = append(buf, rec.Payload...)
 	}
@@ -117,6 +126,9 @@ func readHandoffRecords(r *reader) ([]HandoffRecord, error) {
 	for i := range out {
 		if out[i].Type, err = r.byte(); err != nil {
 			return nil, fmt.Errorf("%w: record type", ErrMalformedFrame)
+		}
+		if out[i].Owner, err = r.string16(); err != nil {
+			return nil, fmt.Errorf("%w: record owner", ErrMalformedFrame)
 		}
 		size, err := r.uint32()
 		if err != nil {
@@ -254,14 +266,16 @@ func sortedKeys(m map[string]string) []string {
 	return keys
 }
 
-// PeekBottle returns a copy of a live bottle's marshalled package and
-// currently queued replies without draining anything. It is the read side of
-// hint-time read-repair resolution: the rack that holds a bottle resolves a
-// RecRepair hint into RecSubmit/RecReply records from its own state. The
-// inbound ID may carry this rack's tag.
-func (r *Rack) PeekBottle(id string) (raw []byte, replies [][]byte, ok bool) {
+// PeekBottle returns a copy of a live bottle's marshalled package, its
+// recorded owner identity, and currently queued replies without draining
+// anything. It is the read side of hint-time read-repair resolution: the rack
+// that holds a bottle resolves a RecRepair hint into RecSubmit/RecReply
+// records from its own state, and the owner rides along so the repaired copy
+// keeps answering only to its submitter. The inbound ID may carry this
+// rack's tag.
+func (r *Rack) PeekBottle(id string) (raw []byte, owner string, replies [][]byte, ok bool) {
 	if r.isClosed() {
-		return nil, nil, false
+		return nil, "", nil, false
 	}
 	id = r.untagID(id)
 	return r.shardFor(id).peek(id, r.cfg.Now().UTC())

@@ -118,12 +118,12 @@ func TestPeekBottle(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, _, ok := rack.PeekBottle("no-such-bottle"); ok {
+	if _, _, _, ok := rack.PeekBottle("no-such-bottle"); ok {
 		t.Fatal("peek of unknown bottle reported held")
 	}
 	// Peek accepts both the tagged and untagged forms of the ID.
 	for _, lookup := range []string{id, UntagID(id)} {
-		gotRaw, replies, ok := rack.PeekBottle(lookup)
+		gotRaw, _, replies, ok := rack.PeekBottle(lookup)
 		if !ok {
 			t.Fatalf("peek(%q) reported absent", lookup)
 		}
@@ -140,7 +140,7 @@ func TestPeekBottle(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 2; i++ {
-		_, replies, ok := rack.PeekBottle(id)
+		_, _, replies, ok := rack.PeekBottle(id)
 		if !ok || len(replies) != 1 || !bytes.Equal(replies[0], rep) {
 			t.Fatalf("peek %d after reply: ok=%v replies=%d", i, ok, len(replies))
 		}

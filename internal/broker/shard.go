@@ -12,7 +12,13 @@ import (
 type bottle struct {
 	id     string
 	origin string
-	prime  uint32
+	// owner is the authenticated identity that submitted the bottle; only it
+	// may Fetch or Remove the bottle. Empty is open ownership: anonymous
+	// submits, and bottles restored from the WAL or a handoff stream (the
+	// persisted record format predates ownership, so recovery cannot prove
+	// who submitted — documented in docs/PROTOCOL.md §1.5.3).
+	owner string
+	prime uint32
 	// raw is the marshalled package exactly as submitted; pkg is the broker's
 	// header view decoded over raw (it aliases raw, which the bottle owns).
 	raw       []byte
@@ -27,6 +33,12 @@ type bottle struct {
 func (b *bottle) expired(now time.Time) bool {
 	return !b.expiresAt.IsZero() && now.After(b.expiresAt)
 }
+
+// ownerAllows reports whether caller may drain or remove an owned bottle:
+// open ownership (no recorded owner) admits everyone, otherwise only the
+// submitter itself. The check is deliberately not applied to Reply — replies
+// come from other identities by design.
+func ownerAllows(owner, caller string) bool { return owner == "" || owner == caller }
 
 // shard is one lock domain of the rack: an ID index, insertion-ordered prime
 // groups for sweeps, per-request reply queues, and counters. All fields are
@@ -237,20 +249,27 @@ func (s *shard) pushReplyLocked(id string, raw []byte, maxQueue int, now time.Ti
 }
 
 // drainReplies returns and clears the reply queue for a racked bottle.
-func (s *shard) drainReplies(id string) ([][]byte, error) {
+// caller is the authenticated identity draining it (empty: anonymous).
+func (s *shard) drainReplies(id, caller string) ([][]byte, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.drainRepliesLocked(id)
+	return s.drainRepliesLocked(id, caller)
 }
 
 // drainBatch drains the reply queues of the bottles at the given indices
 // under one lock acquisition, writing each outcome back to results. Draining
 // stops once the byte budget is spent — remaining items keep their queues and
 // are marked ErrFetchBudget — and the leftover budget is returned.
-func (s *shard) drainBatch(ids []string, idxs []int, results []FetchResult, budget int) int {
+func (s *shard) drainBatch(ids []string, idxs []int, results []FetchResult, budget int, caller string) int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for _, idx := range idxs {
+		if b, ok := s.bottles[ids[idx]]; ok && !ownerAllows(b.owner, caller) {
+			// Refused before sizing: an imposter must not learn whether the
+			// queue would have fit the budget, let alone drain it.
+			results[idx].Err = ErrUnauthorized
+			continue
+		}
 		size := 0
 		for _, raw := range s.replies[ids[idx]] {
 			size += len(raw)
@@ -262,7 +281,7 @@ func (s *shard) drainBatch(ids []string, idxs []int, results []FetchResult, budg
 			results[idx].Err = ErrFetchBudget
 			continue
 		}
-		results[idx].Replies, results[idx].Err = s.drainRepliesLocked(ids[idx])
+		results[idx].Replies, results[idx].Err = s.drainRepliesLocked(ids[idx], caller)
 		budget -= size
 	}
 	return budget
@@ -270,9 +289,13 @@ func (s *shard) drainBatch(ids []string, idxs []int, results []FetchResult, budg
 
 // drainRepliesLocked is the drain path shared by drainReplies and drainBatch.
 // The caller holds mu.
-func (s *shard) drainRepliesLocked(id string) ([][]byte, error) {
-	if _, ok := s.bottles[id]; !ok {
+func (s *shard) drainRepliesLocked(id, caller string) ([][]byte, error) {
+	b, ok := s.bottles[id]
+	if !ok {
 		return nil, ErrUnknownBottle
+	}
+	if !ownerAllows(b.owner, caller) {
+		return nil, ErrUnauthorized
 	}
 	out := s.replies[id]
 	delete(s.replies, id)
@@ -285,27 +308,32 @@ func (s *shard) drainRepliesLocked(id string) ([][]byte, error) {
 
 // peek returns copies of a live bottle's raw package and queued replies
 // without mutating anything; expired bottles answer as absent.
-func (s *shard) peek(id string, now time.Time) (raw []byte, replies [][]byte, ok bool) {
+func (s *shard) peek(id string, now time.Time) (raw []byte, owner string, replies [][]byte, ok bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	b, held := s.bottles[id]
 	if !held || b.expired(now) {
-		return nil, nil, false
+		return nil, "", nil, false
 	}
 	raw = append([]byte(nil), b.raw...)
 	for _, rep := range s.replies[id] {
 		replies = append(replies, append([]byte(nil), rep...))
 	}
-	return raw, replies, true
+	return raw, b.owner, replies, true
 }
 
-// remove unlinks a bottle by ID.
-func (s *shard) remove(id string) bool {
+// remove unlinks a bottle by ID; caller is the authenticated identity
+// removing it (empty: anonymous). An imposter gets ErrUnauthorized and the
+// bottle stays racked.
+func (s *shard) remove(id, caller string) (bool, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	b, ok := s.bottles[id]
 	if !ok {
-		return false
+		return false, nil
+	}
+	if !ownerAllows(b.owner, caller) {
+		return false, ErrUnauthorized
 	}
 	b.gone = true
 	delete(s.bottles, id)
@@ -313,7 +341,7 @@ func (s *shard) remove(id string) bool {
 	if s.logRec != nil {
 		s.logRec(walRecRemove, []byte(id))
 	}
-	return true
+	return true, nil
 }
 
 // installReplies restores a recovered reply queue for a racked bottle; it is

@@ -297,6 +297,14 @@ func NewMux(conn net.Conn, opts ...Options) (*Mux, error) {
 	if d := m.opts.writeDeadline(); !d.IsZero() {
 		conn.SetWriteDeadline(d)
 	}
+	// The authentication preamble, when configured, precedes the framing
+	// magic: the server pins the connection's identity before sniffing.
+	if len(m.opts.Token) > 0 {
+		if err := writeHello(conn, m.opts.Token); err != nil {
+			conn.Close()
+			return nil, err
+		}
+	}
 	if _, err := conn.Write(magic[:]); err != nil {
 		conn.Close()
 		return nil, err
@@ -309,9 +317,10 @@ func NewMux(conn net.Conn, opts ...Options) (*Mux, error) {
 	return m, nil
 }
 
-// DialMux connects a multiplexed client over TCP.
+// DialMux connects a multiplexed client over TCP (TLS when the options carry
+// a config).
 func DialMux(addr string, opts ...Options) (*Mux, error) {
-	conn, err := net.Dial("tcp", addr)
+	conn, err := dialNetConn(addr, firstOption(opts))
 	if err != nil {
 		return nil, err
 	}

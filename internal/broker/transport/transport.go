@@ -50,6 +50,7 @@ package transport
 import (
 	"bufio"
 	"context"
+	"crypto/tls"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -195,6 +196,17 @@ type Options struct {
 	CallTimeout time.Duration
 	// WriteTimeout bounds a single frame write (zero: CallTimeout governs).
 	WriteTimeout time.Duration
+	// Token is a capability token (internal/auth) presented to the server in
+	// a HELLO preamble before the framing bytes; empty sends no preamble.
+	// Against a server that requires authentication, a connection without a
+	// valid token still works at the wire level but receives
+	// broker.ErrUnauthorized for every operation.
+	Token []byte
+	// TLS, when set, wraps connections opened by Dial/DialMux in a TLS client
+	// stream (a zero-ServerName config verifies against the dialed host).
+	// NewClient/NewMux callers that bring their own connection wrap it
+	// themselves before handing it over.
+	TLS *tls.Config
 }
 
 // writeDeadline resolves the write deadline implied by the options.
@@ -254,6 +266,23 @@ type ServerOptions struct {
 	// OpPeers) and folds the handler's counters into OpStats; when nil those
 	// opcodes answer with an error.
 	Replica ReplicaHandler
+	// TLS, when set, wraps every accepted connection in a TLS server stream
+	// before any bytes are read; the framing auto-detect then runs inside the
+	// encrypted stream. Set ClientCAs + ClientAuth for mutual TLS.
+	TLS *tls.Config
+	// AuthKey, when set, requires every connection to authenticate with a
+	// capability token minted under this key (internal/auth): connections
+	// without a valid token receive broker.ErrUnauthorized for every
+	// operation, and verified connections are scoped to their token's
+	// operations and pinned to its identity (bottle ownership, admission).
+	// When empty, HELLO preambles are consumed and ignored.
+	AuthKey []byte
+	// AuthNow overrides the clock used for token expiry checks (tests).
+	AuthNow func() time.Time
+	// Quota, when set, is the per-identity admission controller: each
+	// operation costs one token from the caller's bucket, and calls over
+	// quota answer broker.ErrOverload. Replication opcodes are exempt.
+	Quota *broker.Admission
 }
 
 func (o ServerOptions) maxInflight() int {
@@ -404,35 +433,55 @@ func (s *Server) armWriteDeadline(conn net.Conn) {
 	}
 }
 
-// serveConn sniffs the framing from the connection's first four bytes — the
-// mux magic selects multiplexed service, anything else is the length prefix
-// of a first lock-step frame — and serves accordingly. Reads go through one
-// buffered reader per connection.
+// serveConn authenticates and sniffs the framing from the connection's
+// leading bytes: an optional TLS wrap first (so everything below travels
+// inside the encrypted stream), then an optional HELLO preamble pinning the
+// caller's identity, then the four framing bytes — the mux magic selects
+// multiplexed service, anything else is the length prefix of a first
+// lock-step frame. Reads go through one buffered reader per connection.
 func (s *Server) serveConn(conn net.Conn) {
 	defer conn.Close()
 	defer s.untrack(conn)
-	br := bufio.NewReaderSize(conn, muxBufferSize)
-	s.armReadDeadline(conn)
+	stream := conn
+	if s.opts.TLS != nil {
+		// The handshake runs implicitly on the first read, bounded by the same
+		// idle deadline as a first frame; closing the raw conn (Server.Close)
+		// unblocks it.
+		stream = tls.Server(conn, s.opts.TLS)
+	}
+	br := bufio.NewReaderSize(stream, muxBufferSize)
+	s.armReadDeadline(stream)
 	var first [4]byte
 	if _, err := io.ReadFull(br, first[:]); err != nil {
 		return
 	}
+	ca := &connAuth{ctx: s.ctx}
+	if binary.BigEndian.Uint32(first[:]) == HelloMagic {
+		if !s.readHello(br, ca) {
+			return
+		}
+		if _, err := io.ReadFull(br, first[:]); err != nil {
+			return
+		}
+	} else if len(s.opts.AuthKey) > 0 {
+		ca.err = fmt.Errorf("transport: no capability token presented: %w", broker.ErrUnauthorized)
+	}
 	if binary.BigEndian.Uint32(first[:]) == MuxMagic {
-		s.serveMux(conn, br)
+		s.serveMux(stream, br, ca)
 		return
 	}
-	s.serveLockStep(conn, br, binary.BigEndian.Uint32(first[:]))
+	s.serveLockStep(stream, br, ca, binary.BigEndian.Uint32(first[:]))
 }
 
 // serveLockStep answers framed requests one at a time until the connection
 // closes. firstLen is the already-consumed length prefix of the first frame.
-func (s *Server) serveLockStep(conn net.Conn, br *bufio.Reader, firstLen uint32) {
+func (s *Server) serveLockStep(conn net.Conn, br *bufio.Reader, ca *connAuth, firstLen uint32) {
 	op, body, err := readFrameBody(br, firstLen)
 	for {
 		if err != nil {
 			return
 		}
-		respBody, opErr := s.dispatch(op, body)
+		respBody, opErr := s.dispatch(ca, op, body)
 		s.armWriteDeadline(conn)
 		if opErr != nil {
 			if err := writeFrame(conn, statusOf(opErr), []byte(opErr.Error())); err != nil {
@@ -468,7 +517,7 @@ func heavyOp(op byte) bool {
 // concurrently); all responses funnel through a per-connection coalescing
 // writer. Responses may therefore be out of request order; the echoed
 // sequence number lets the client demux them.
-func (s *Server) serveMux(conn net.Conn, br *bufio.Reader) {
+func (s *Server) serveMux(conn net.Conn, br *bufio.Reader, ca *connAuth) {
 	var (
 		wg   sync.WaitGroup
 		sem  = make(chan struct{}, s.opts.maxInflight())
@@ -506,7 +555,7 @@ func (s *Server) serveMux(conn net.Conn, br *bufio.Reader) {
 			return
 		}
 		if !heavyOp(op) {
-			respBody, opErr := s.dispatch(op, body)
+			respBody, opErr := s.dispatch(ca, op, body)
 			respond(seq, respBody, opErr)
 			putMuxBuf(buf)
 			continue
@@ -516,7 +565,7 @@ func (s *Server) serveMux(conn net.Conn, br *bufio.Reader) {
 		go func(seq uint64, op byte, body []byte, buf *[]byte) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			respBody, opErr := s.dispatch(op, body)
+			respBody, opErr := s.dispatch(ca, op, body)
 			respond(seq, respBody, opErr)
 			putMuxBuf(buf)
 		}(seq, op, body, buf)
@@ -532,9 +581,14 @@ func (s *Server) writeDeadline() time.Time {
 }
 
 // dispatch executes one operation against the rack under the server's
-// lifetime context, so Close releases in-flight operations.
-func (s *Server) dispatch(op byte, body []byte) ([]byte, error) {
-	ctx := s.ctx
+// lifetime context (so Close releases in-flight operations), carrying the
+// connection's pinned identity, after the admission gate — authentication,
+// token scope, per-identity quota — has passed it.
+func (s *Server) dispatch(ca *connAuth, op byte, body []byte) ([]byte, error) {
+	if err := s.admit(ca, op); err != nil {
+		return nil, err
+	}
+	ctx := ca.ctx
 	switch op {
 	case OpSubmit:
 		id, err := s.rack.Submit(ctx, body)
@@ -687,10 +741,11 @@ func parseCount(body []byte) (int, error) {
 // connection for a full round trip. Kept for compatibility with old servers;
 // new code should use Mux (or the internal/client courier, which wraps it).
 type Client struct {
-	mu   sync.Mutex
-	conn net.Conn
-	br   *bufio.Reader
-	opts Options
+	mu        sync.Mutex
+	conn      net.Conn
+	br        *bufio.Reader
+	opts      Options
+	helloSent bool
 }
 
 // NewClient wraps an established connection.
@@ -698,9 +753,10 @@ func NewClient(conn net.Conn, opts ...Options) *Client {
 	return &Client{conn: conn, br: bufio.NewReader(conn), opts: firstOption(opts)}
 }
 
-// Dial connects a lock-step client over TCP.
+// Dial connects a lock-step client over TCP (TLS when the options carry a
+// config).
 func Dial(addr string, opts ...Options) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
+	conn, err := dialNetConn(addr, firstOption(opts))
 	if err != nil {
 		return nil, err
 	}
@@ -749,6 +805,15 @@ func (c *Client) call(ctx context.Context, op byte, body []byte) ([]byte, error)
 	c.conn.SetWriteDeadline(wd)
 	if ctx.Err() != nil {
 		c.conn.SetWriteDeadline(time.Now())
+	}
+	// The authentication preamble must precede the first frame; writing it
+	// lazily here (under the call lock and the armed write deadline) keeps
+	// NewClient infallible.
+	if len(c.opts.Token) > 0 && !c.helloSent {
+		if err := writeHello(c.conn, c.opts.Token); err != nil {
+			return nil, c.mapDeadlineErr(ctx, err, perCall)
+		}
+		c.helloSent = true
 	}
 	if err := writeFrame(c.conn, op, body); err != nil {
 		return nil, c.mapDeadlineErr(ctx, err, perCall)

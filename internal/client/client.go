@@ -49,6 +49,7 @@ package client
 
 import (
 	"context"
+	"crypto/tls"
 	"errors"
 	"net"
 	"sync"
@@ -94,6 +95,14 @@ type Config struct {
 	// servers; it serializes one request per connection, and a canceled call
 	// costs the connection (the framing has no way to abandon one exchange).
 	Legacy bool
+	// TLS, when set, wraps every dialed connection (including Dialer-provided
+	// ones) in a TLS client stream; a zero ServerName verifies against the
+	// Addr host.
+	TLS *tls.Config
+	// Token is a capability token (internal/auth) presented on every dialed
+	// connection; the broker pins the courier's operations and bottle
+	// ownership to its identity. Empty sends none.
+	Token []byte
 }
 
 // slot is one pooled connection, dialed lazily and discarded on failure.
@@ -166,7 +175,16 @@ func (c *Courier) dialConn() (broker.Backend, error) {
 	if err != nil {
 		return nil, err
 	}
-	opts := transport.Options{CallTimeout: c.cfg.CallTimeout, WriteTimeout: c.cfg.WriteTimeout}
+	if c.cfg.TLS != nil {
+		tc := c.cfg.TLS.Clone()
+		if tc.ServerName == "" && !tc.InsecureSkipVerify {
+			if host, _, err := net.SplitHostPort(c.cfg.Addr); err == nil {
+				tc.ServerName = host
+			}
+		}
+		nc = tls.Client(nc, tc)
+	}
+	opts := transport.Options{CallTimeout: c.cfg.CallTimeout, WriteTimeout: c.cfg.WriteTimeout, Token: c.cfg.Token}
 	if c.cfg.Legacy {
 		return transport.NewClient(nc, opts), nil
 	}

@@ -283,6 +283,12 @@ func rackFault(err error) bool {
 		errors.Is(err, core.ErrMalformedPackage),
 		errors.Is(err, ErrCourierClosed):
 		return false // in-process racks return these unwrapped
+	case errors.Is(err, broker.ErrUnauthorized),
+		errors.Is(err, broker.ErrOverload):
+		// Definitive admission answers: a rack shedding one identity's flood
+		// (or refusing an imposter) is healthy — ejecting it would let an
+		// attacker take racks out of the ring by being refused.
+		return false
 	}
 	var we *broker.WireError
 	if errors.As(err, &we) {

@@ -466,6 +466,13 @@ func classify(err error) replyClass {
 		return classMissing
 	case closedBackend(err), rackFault(err):
 		return classFault
+	case errors.Is(err, broker.ErrOverload):
+		// A quota shed is transient, like an unreachable replica: the write
+		// must still converge onto this replica through handoff hints
+		// (delivered over the quota-exempt replica channel). It is NOT a
+		// health fault — classFault here only routes hint queuing and error
+		// precedence; consecutive-fault counting happens in Ring.note.
+		return classFault
 	default:
 		return classOther
 	}
@@ -605,6 +612,14 @@ func (r *Ring) fetchReplicated(ctx context.Context, requestID string) ([][]byte,
 	}
 	if err := ctx.Err(); err != nil {
 		return out, err
+	}
+	// A replica shed under quota may hold replies this merge could not drain:
+	// hand back what was drained together with the shed error so the caller
+	// retries after backoff instead of mistaking a partial drain for complete.
+	for i := range live {
+		if errs[i] != nil && errors.Is(errs[i], broker.ErrOverload) {
+			return out, errs[i]
+		}
 	}
 	return out, nil
 }
@@ -802,9 +817,16 @@ func (r *Ring) fetchBatchReplicated(ctx context.Context, ids []string) ([]broker
 		}
 		seen := make(map[string]struct{})
 		var merged [][]byte
+		var shedErr error
 		for _, n := range plans[i].live {
 			o := outcomes[n][i]
 			if o.err != nil {
+				// Same contract as fetchReplicated: a replica shed under
+				// quota may still hold undrained replies, so the item is a
+				// partial drain the caller must retry after backoff.
+				if shedErr == nil && errors.Is(o.err, broker.ErrOverload) {
+					shedErr = o.err
+				}
 				continue
 			}
 			for _, rep := range o.replies {
@@ -816,7 +838,7 @@ func (r *Ring) fetchBatchReplicated(ctx context.Context, ids []string) ([]broker
 				merged = append(merged, rep)
 			}
 		}
-		results[i] = broker.FetchResult{Replies: merged}
+		results[i] = broker.FetchResult{Replies: merged, Err: shedErr}
 		for _, n := range missing {
 			hints.add(succ, n.name, broker.HandoffRecord{Type: broker.RecRepair, Payload: []byte(rests[i])})
 			r.readRepairs.Add(1)

@@ -61,7 +61,7 @@ func TestRingReplicatedSubmitPlacesRCopies(t *testing.T) {
 		}
 		ranked := sortHRW(ring.members(), pkg.ID)
 		for j, n := range ranked {
-			_, _, held := rackFor(t, n, racks).PeekBottle(pkg.ID)
+			_, _, _, held := rackFor(t, n, racks).PeekBottle(pkg.ID)
 			if want := j < 2; held != want {
 				t.Fatalf("seed %d: rank-%d rack %s held=%v, want %v", seed, j, n.name, held, want)
 			}
@@ -100,7 +100,7 @@ func TestRingReplicatedReplyFetchRemove(t *testing.T) {
 		t.Fatalf("Remove = %v, %v; want held", held, err)
 	}
 	for _, rack := range racks {
-		if _, _, ok := rack.PeekBottle(pkg.ID); ok {
+		if _, _, _, ok := rack.PeekBottle(pkg.ID); ok {
 			t.Fatal("replica still holds the bottle after replicated remove")
 		}
 	}
@@ -142,7 +142,7 @@ func TestRingReplicatedSurvivesRackLoss(t *testing.T) {
 	}
 	copies := 0
 	for _, b := range backs[1:] {
-		if _, _, ok := b.rack.PeekBottle(pkg.ID); ok {
+		if _, _, _, ok := b.rack.PeekBottle(pkg.ID); ok {
 			copies++
 		}
 	}
@@ -202,7 +202,7 @@ func TestRingReplicatedBatchPaths(t *testing.T) {
 		}
 		ranked := sortHRW(ring.members(), pkgs[i].ID)
 		for j := 0; j < 2; j++ {
-			if _, _, ok := rackFor(t, ranked[j], racks).PeekBottle(pkgs[i].ID); !ok {
+			if _, _, _, ok := rackFor(t, ranked[j], racks).PeekBottle(pkgs[i].ID); !ok {
 				t.Fatalf("item %d missing from replica %d", i, j)
 			}
 		}
@@ -291,7 +291,7 @@ func TestRingMembershipAddRemove(t *testing.T) {
 		if _, err := ring.Submit(ctx, raw); err != nil {
 			t.Fatal(err)
 		}
-		if _, _, ok := rack2.PeekBottle(pkg.ID); !ok {
+		if _, _, _, ok := rack2.PeekBottle(pkg.ID); !ok {
 			t.Fatal("new member ranked in top-R but holds no copy")
 		}
 		placedOnNew = true
@@ -313,7 +313,7 @@ func TestRingMembershipAddRemove(t *testing.T) {
 	if _, err := ring.Submit(ctx, raw); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, ok := racks[1].PeekBottle(pkg.ID); ok {
+	if _, _, _, ok := racks[1].PeekBottle(pkg.ID); ok {
 		t.Fatal("removed rack still receives placements")
 	}
 	// The removed backend was caller-owned: it must not have been closed.
@@ -406,7 +406,7 @@ func TestRingHintedHandoffConvergence(t *testing.T) {
 	// replica's copy is a queued hint.
 	copies, pending := 0, 0
 	for _, n := range nodes {
-		if _, _, ok := n.PeekBottle(pkg.ID); ok {
+		if _, _, _, ok := n.PeekBottle(pkg.ID); ok {
 			copies++
 		}
 		pending += n.Pending()
@@ -424,7 +424,7 @@ func TestRingHintedHandoffConvergence(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if _, _, ok := nodeByName(t, nodes, victim.name).PeekBottle(pkg.ID); !ok {
+	if _, _, _, ok := nodeByName(t, nodes, victim.name).PeekBottle(pkg.ID); !ok {
 		t.Fatal("returned replica did not converge via handoff")
 	}
 }
@@ -455,7 +455,7 @@ func TestRingReadRepairConvergence(t *testing.T) {
 	if _, err := holder.Flush(ctx); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, ok := missing.PeekBottle(pkg.ID); !ok {
+	if _, _, _, ok := missing.PeekBottle(pkg.ID); !ok {
 		t.Fatal("read repair did not restore the missing replica")
 	}
 	st, err := ring.Stats(ctx)
@@ -484,7 +484,7 @@ func TestRingReplicationFactorOneUnchanged(t *testing.T) {
 	}
 	copies := 0
 	for _, rack := range racks {
-		if _, _, ok := rack.PeekBottle(pkg.ID); ok {
+		if _, _, _, ok := rack.PeekBottle(pkg.ID); ok {
 			copies++
 		}
 	}

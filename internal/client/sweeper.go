@@ -202,14 +202,16 @@ func (s *Sweeper) Tick(ctx context.Context) (TickStats, error) {
 	return st, nil
 }
 
-// retriablePost reports a reply post that never got a broker verdict because
+// retriablePost reports a reply post that got no definitive broker verdict:
 // the caller's own bound ended it (context cancellation/deadline, per-call
-// timeout). rackFault deliberately excludes these — a canceled call must not
-// eject a healthy rack — but for the pending queue they are exactly as
-// retriable as a transport failure.
+// timeout), or the broker shed it over the identity's admission quota.
+// rackFault deliberately excludes all of these — neither a canceled call nor
+// quota backpressure may eject a healthy rack — but for the pending queue
+// they are exactly as retriable as a transport failure: the quota bucket
+// refills, so a shed reply is deferred work, never a dropped reply.
 func retriablePost(err error) bool {
 	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) ||
-		errors.Is(err, transport.ErrCallTimeout)
+		errors.Is(err, transport.ErrCallTimeout) || errors.Is(err, broker.ErrOverload)
 }
 
 // post delivers the tick's replies in one batched round trip, returning one

@@ -122,6 +122,61 @@ func TestScenarioLossyDuplicates(t *testing.T) {
 	}
 }
 
+// TestScenarioImposter is the identity-attack acceptance run: a secured
+// 3-rack R=2 ring with tight per-identity quotas, attacked by a fully-scoped
+// foreign identity (cross-identity drains), bad tokens, and a quota-racing
+// flood. The invariant checker asserts zero cross-identity fetches, typed
+// ErrUnauthorized on every probe, quota-bounded flood damage, and that
+// shedding never ejected a healthy rack.
+func TestScenarioImposter(t *testing.T) {
+	h, err := NewHarness(Topology{
+		Racks:       3,
+		Replication: 2,
+		Secured:     true,
+		QuotaRate:   50,
+		QuotaBurst:  16,
+	})
+	if err != nil {
+		t.Fatalf("NewHarness: %v", err)
+	}
+	defer h.Close()
+	cfg := smallScenario(17)
+	cfg.Bottles = 24 // quota-throttled submits: keep the run quick under -race
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel()
+	rep, err := Run(ctx, h, mustPreset(t, "imposter"), cfg)
+	if err != nil {
+		t.Fatalf("Run(imposter): %v", err)
+	}
+	for _, v := range rep.Violations {
+		t.Errorf("invariant violation: %s", v)
+	}
+	if !rep.Drained {
+		t.Errorf("imposter scenario did not drain")
+	}
+	if rep.ImposterProbes == 0 || rep.ImposterDenied != rep.ImposterProbes {
+		t.Errorf("imposter probes %d, denied %d; want all probes denied with ErrUnauthorized", rep.ImposterProbes, rep.ImposterDenied)
+	}
+	if rep.FloodShed == 0 {
+		t.Errorf("flood of %d submits was never shed", rep.FloodSubmits)
+	}
+	if rep.FloodAccepted == 0 {
+		t.Errorf("flood landed nothing — the quota race never ran (burst should admit some)")
+	}
+	if rep.ReplyLatency.Samples == 0 {
+		t.Errorf("no reply latency samples recorded")
+	}
+}
+
+// TestImposterRequiresSecuredTopology pins the guard: identity attacks are
+// meaningless without token verification.
+func TestImposterRequiresSecuredTopology(t *testing.T) {
+	h := threeRacks(t)
+	if _, err := Run(context.Background(), h, mustPreset(t, "imposter"), smallScenario(18)); err == nil {
+		t.Fatalf("Run accepted the imposter preset on an unsecured harness")
+	}
+}
+
 func TestScenarioZipf(t *testing.T) {
 	rep := runScenario(t, "zipf", smallScenario(15))
 	if rep.Ticks.Rejected == 0 {
@@ -208,7 +263,7 @@ func TestSweeperCollapsesScriptedReplicaCopies(t *testing.T) {
 
 func TestPresetCatalog(t *testing.T) {
 	names := PresetNames()
-	want := []string{"adversarial", "burst", "churn", "lossy", "zipf"}
+	want := []string{"adversarial", "burst", "churn", "imposter", "lossy", "zipf"}
 	if strings.Join(names, ",") != strings.Join(want, ",") {
 		t.Fatalf("PresetNames() = %v, want %v", names, want)
 	}

@@ -34,7 +34,19 @@ func fixedReport() *Report {
 		DictionaryAttempts:   36,
 		DictionaryRecoveries: 0,
 		DictionaryWork:       5200,
-		Elapsed:              1234 * time.Millisecond,
+		ImposterProbes:       14,
+		ImposterDenied:       14,
+		FloodSubmits:         180,
+		FloodAccepted:        96,
+		FloodShed:            84,
+		ReplyLatency: LatencySummary{
+			P50:     420 * time.Microsecond,
+			P95:     1300 * time.Microsecond,
+			P99:     2100 * time.Microsecond,
+			Max:     3 * time.Millisecond,
+			Samples: 21,
+		},
+		Elapsed: 1234 * time.Millisecond,
 	}
 }
 

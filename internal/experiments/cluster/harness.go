@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"sealedbottle"
+	"sealedbottle/internal/auth"
 )
 
 // Topology sizes the cluster a scenario runs against.
@@ -20,6 +21,19 @@ type Topology struct {
 	Shards int
 	// CallTimeout bounds each courier round trip (zero: the client default).
 	CallTimeout time.Duration
+
+	// Secured arms the identity layer: the harness mints a token-signing key,
+	// every rack verifies capability tokens and enforces per-identity admission
+	// quotas, the ring's couriers authenticate as identity "clients" (full
+	// scope — at R>1 the ring itself relays hints, which needs the replica
+	// opcodes), and the replica handoff dialers authenticate as their racks.
+	// Imposter scenarios require it.
+	Secured bool
+	// QuotaRate and QuotaBurst shape each rack's per-identity token bucket
+	// when Secured (zero: 200 ops/sec, burst 64). Replication opcodes are
+	// quota-exempt.
+	QuotaRate  float64
+	QuotaBurst int
 }
 
 // rackHandle is one rack of the harness: the rack behind its own pipe
@@ -41,9 +55,10 @@ type rackHandle struct {
 // Ring. It exists so experiment scenarios and tests drive the real wire
 // protocol and replication machinery, not an in-memory shortcut.
 type Harness struct {
-	topo  Topology
-	racks []*rackHandle
-	ring  *sealedbottle.Ring
+	topo    Topology
+	racks   []*rackHandle
+	ring    *sealedbottle.Ring
+	authKey []byte
 }
 
 // NewHarness builds and starts the cluster.
@@ -54,7 +69,22 @@ func NewHarness(topo Topology) (*Harness, error) {
 	if topo.Replication < 1 {
 		topo.Replication = 1
 	}
+	if topo.Secured {
+		if topo.QuotaRate <= 0 {
+			topo.QuotaRate = 200
+		}
+		if topo.QuotaBurst <= 0 {
+			topo.QuotaBurst = 64
+		}
+	}
 	h := &Harness{topo: topo}
+	if topo.Secured {
+		key, err := sealedbottle.NewAuthKey()
+		if err != nil {
+			return nil, fmt.Errorf("cluster: minting auth key: %w", err)
+		}
+		h.authKey = key
+	}
 
 	// Listeners exist up front so every replica node's handoff dialer can
 	// resolve any peer name from the start.
@@ -74,8 +104,13 @@ func NewHarness(topo Topology) (*Harness, error) {
 		}
 		rack := sealedbottle.NewRack(rcfg)
 		srvOpts := sealedbottle.ServerOptions{}
+		if topo.Secured {
+			srvOpts.AuthKey = h.authKey
+			srvOpts.Quota = sealedbottle.NewAdmission(topo.QuotaRate, topo.QuotaBurst)
+		}
 		closeRack := rack.Close
 		if topo.Replication > 1 && topo.Racks > 1 {
+			rackToken := h.Token("rack:"+name, auth.OpReplica)
 			node := sealedbottle.WrapReplica(rack, sealedbottle.ReplicaConfig{
 				Self:  name,
 				Peers: peers,
@@ -86,6 +121,7 @@ func NewHarness(topo Topology) (*Harness, error) {
 					}
 					return sealedbottle.Dial(sealedbottle.CourierConfig{
 						Conns:  1,
+						Token:  rackToken,
 						Dialer: func() (net.Conn, error) { return l.Dial() },
 					})
 				},
@@ -99,6 +135,7 @@ func NewHarness(topo Topology) (*Harness, error) {
 		courier, err := sealedbottle.Dial(sealedbottle.CourierConfig{
 			Conns:       2,
 			CallTimeout: topo.CallTimeout,
+			Token:       h.Token("clients", sealedbottle.AuthOpsAll),
 			Dialer:      func() (net.Conn, error) { return l.Dial() },
 		})
 		if err != nil {
@@ -126,6 +163,66 @@ func rackName(i int) string { return fmt.Sprintf("rack-%d", i) }
 
 // Ring returns the cluster's client-side ring — the Backend scenarios drive.
 func (h *Harness) Ring() *sealedbottle.Ring { return h.ring }
+
+// Secured reports whether the harness runs with token verification and
+// per-identity admission armed.
+func (h *Harness) Secured() bool { return h.topo.Secured }
+
+// AuthKey returns the cluster's token-signing key (nil when unsecured) —
+// imposter scenarios mint near-miss tokens under other keys to contrast it.
+func (h *Harness) AuthKey() []byte { return h.authKey }
+
+// Token mints a capability token under the cluster's signing key. On an
+// unsecured harness it returns nil, which the couriers treat as "send no
+// HELLO" — so callers can thread it unconditionally.
+func (h *Harness) Token(identity string, ops sealedbottle.AuthOps) []byte {
+	if h.authKey == nil {
+		return nil
+	}
+	tok, err := sealedbottle.MintToken(h.authKey, sealedbottle.AuthToken{Identity: identity, Ops: ops})
+	if err != nil {
+		panic(fmt.Sprintf("cluster: minting %q token: %v", identity, err))
+	}
+	return tok
+}
+
+// DialRing builds a second client-side ring over the same racks whose
+// couriers present the given raw token (nil: no token) — the view an attacker
+// with its own credentials has of the cluster. The returned func closes the
+// ring and its couriers.
+func (h *Harness) DialRing(token []byte) (*sealedbottle.Ring, func(), error) {
+	var backends []sealedbottle.RingBackend
+	var couriers []*sealedbottle.Courier
+	closeAll := func() {
+		for _, c := range couriers {
+			c.Close()
+		}
+	}
+	for _, r := range h.racks {
+		l := r.listener
+		courier, err := sealedbottle.Dial(sealedbottle.CourierConfig{
+			Conns:       1,
+			CallTimeout: h.topo.CallTimeout,
+			Token:       token,
+			Dialer:      func() (net.Conn, error) { return l.Dial() },
+		})
+		if err != nil {
+			closeAll()
+			return nil, nil, err
+		}
+		couriers = append(couriers, courier)
+		backends = append(backends, sealedbottle.RingBackend{Name: r.name, Backend: courier})
+	}
+	ring, err := sealedbottle.NewRing(sealedbottle.RingConfig{
+		Backends:    backends,
+		Replication: h.topo.Replication,
+	})
+	if err != nil {
+		closeAll()
+		return nil, nil, err
+	}
+	return ring, func() { ring.Close(); closeAll() }, nil
+}
 
 // Topology returns the harness's effective topology.
 func (h *Harness) Topology() Topology { return h.topo }

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"math/rand"
 	"sync"
+	"time"
 
 	"sealedbottle"
 )
@@ -29,8 +30,9 @@ var (
 // (connectivity, loss, rng) is mutex-guarded so churn controllers and client
 // goroutines may race on it.
 type link struct {
-	backend sealedbottle.Backend
-	checker *Checker
+	backend  sealedbottle.Backend
+	checker  *Checker
+	replyLat *latencies // reply-post round trips (nil: not recorded)
 
 	mu     sync.Mutex
 	rng    *rand.Rand
@@ -103,7 +105,9 @@ func (l *link) Reply(ctx context.Context, requestID string, raw []byte) error {
 		return err
 	}
 	l.checker.ReplyAttempt(requestID, raw)
+	t0 := time.Now()
 	err := l.backend.Reply(ctx, requestID, raw)
+	l.replyLat.record(time.Since(t0))
 	if err == nil {
 		l.checker.ReplyAcked(requestID, raw)
 	}
@@ -117,7 +121,9 @@ func (l *link) ReplyBatch(ctx context.Context, posts []sealedbottle.ReplyPost) (
 	for _, p := range posts {
 		l.checker.ReplyAttempt(p.RequestID, p.Raw)
 	}
+	t0 := time.Now()
 	errs, err := l.backend.ReplyBatch(ctx, posts)
+	l.replyLat.record(time.Since(t0))
 	if err == nil {
 		for i, e := range errs {
 			if e == nil {
@@ -155,6 +161,14 @@ func (l *link) Stats(ctx context.Context) (sealedbottle.Stats, error) {
 
 // Close is a no-op: links share the scenario's backend.
 func (l *link) Close() error { return nil }
+
+// CheckedBackend wraps a backend with a fault-free link so every reply
+// crossing it is reported to the invariant checker — this is what promotes
+// the in-process scenario checker into cmd/loadgen's TCP soak runs
+// (-verify-invariants): same accounting, real sockets.
+func CheckedBackend(b sealedbottle.Backend, c *Checker) sealedbottle.Backend {
+	return newLink(b, c, 0, 0)
+}
 
 // directSweep degrades a client from the ring's replica-merged sweep to
 // sweeping every rack directly and concatenating the results — what a client

@@ -1,0 +1,61 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// LatencySummary condenses a latency distribution to the percentiles the
+// paper-style tables report.
+type LatencySummary struct {
+	P50, P95, P99, Max time.Duration
+	Samples            int
+}
+
+// String renders the summary for table cells ("-" with no samples).
+func (s LatencySummary) String() string {
+	if s.Samples == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%v / %v / %v (n=%d)",
+		s.P50.Round(time.Microsecond), s.P95.Round(time.Microsecond),
+		s.P99.Round(time.Microsecond), s.Samples)
+}
+
+// latencies collects call round-trip times across every link of one run.
+type latencies struct {
+	mu sync.Mutex
+	d  []time.Duration
+}
+
+func (l *latencies) record(d time.Duration) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.d = append(l.d, d)
+	l.mu.Unlock()
+}
+
+// summary sorts and condenses the recorded sample.
+func (l *latencies) summary() LatencySummary {
+	if l == nil {
+		return LatencySummary{}
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.d) == 0 {
+		return LatencySummary{}
+	}
+	sort.Slice(l.d, func(i, j int) bool { return l.d[i] < l.d[j] })
+	pct := func(p float64) time.Duration { return l.d[int(p*float64(len(l.d)-1))] }
+	return LatencySummary{
+		P50:     pct(0.50),
+		P95:     pct(0.95),
+		P99:     pct(0.99),
+		Max:     l.d[len(l.d)-1],
+		Samples: len(l.d),
+	}
+}

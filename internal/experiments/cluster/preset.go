@@ -61,6 +61,16 @@ type Preset struct {
 	// initiators must reject.
 	Adversarial bool
 
+	// Imposter arms the identity attacks and requires a Secured topology: a
+	// fully-scoped foreign identity tries to drain and remove other clients'
+	// bottles, under-scoped and wrong-key tokens probe every denial path, and
+	// a flood from one identity races the per-identity admission quota. The
+	// checker then asserts zero cross-identity fetches, typed ErrUnauthorized
+	// on every probe, quota-bounded flood damage, and that shedding never
+	// ejected a healthy rack. Over TCP, cmd/loadgen replays the preset as a
+	// plain workload shape (identity attacks need the harness's key access).
+	Imposter bool
+
 	// ZipfExponent and TagVocabulary shape the synthetic population's
 	// attribute skew (higher exponent + smaller vocabulary = heavier skew,
 	// more prefilter hits per sweep).
@@ -96,6 +106,15 @@ func Presets() []Preset {
 			Adversarial:   true,
 			ZipfExponent:  1.1,
 			TagVocabulary: 300,
+		},
+		{
+			Name:          "imposter",
+			Description:   "identity attacks on a secured ring: cross-identity drains, bad tokens, and a quota-racing flood",
+			BurstSize:     4,
+			BurstGap:      time.Millisecond,
+			Imposter:      true,
+			ZipfExponent:  1.05,
+			TagVocabulary: 600,
 		},
 		{
 			Name:          "zipf",

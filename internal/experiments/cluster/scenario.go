@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -117,6 +118,20 @@ type Report struct {
 	DictionaryRecoveries int
 	DictionaryWork       int
 
+	// Imposter counters (imposter scenarios only). Probes are cross-identity
+	// fetch/remove attempts plus bad-token operations, every one of which
+	// must come back errors.Is(ErrUnauthorized); the flood counters track the
+	// quota race (accepted is bounded by the bucket, shed must be nonzero).
+	ImposterProbes int
+	ImposterDenied int
+	FloodSubmits   int
+	FloodAccepted  int
+	FloodShed      int
+
+	// ReplyLatency condenses the round-trip time of every reply post the
+	// sweepers pushed through their access links (p50/p95/p99 per scenario).
+	ReplyLatency LatencySummary
+
 	// Elapsed is the wall-clock run time; ClusterStats snapshots the ring's
 	// aggregated counters after the run.
 	Elapsed      time.Duration
@@ -147,6 +162,53 @@ type submission struct {
 	id   string
 }
 
+// DrainFetch drains replies for ids, retrying items the cluster shed under
+// the per-identity admission quota — ErrOverload is deferred work the caller
+// backs off on, never a failure — until nothing is shed or the deadline
+// passes. A shed round can still be a partial drain (the ring hands back
+// whatever the non-shed replicas yielded), so replies accumulate across
+// rounds, collapsing the byte-identical copies replication produces. Both the
+// scenario suite's fetch phases and loadgen's -verify-replies drain use it.
+func DrainFetch(ctx context.Context, b sealedbottle.Backend, ids []string, deadline time.Time) []sealedbottle.FetchResult {
+	results := make([]sealedbottle.FetchResult, len(ids))
+	seen := make([]map[string]struct{}, len(ids))
+	merge := func(i int, fr sealedbottle.FetchResult) {
+		if seen[i] == nil {
+			seen[i] = make(map[string]struct{})
+		}
+		for _, rep := range fr.Replies {
+			if _, dup := seen[i][string(rep)]; dup {
+				continue
+			}
+			seen[i][string(rep)] = struct{}{}
+			results[i].Replies = append(results[i].Replies, rep)
+		}
+		results[i].Err = fr.Err
+	}
+	for i, fr := range sealedbottle.FetchMany(ctx, b, ids) {
+		merge(i, fr)
+	}
+	for {
+		var retry []int
+		for i := range results {
+			if results[i].Err != nil && errors.Is(results[i].Err, sealedbottle.ErrOverload) {
+				retry = append(retry, i)
+			}
+		}
+		if len(retry) == 0 || ctx.Err() != nil || time.Now().After(deadline) {
+			return results
+		}
+		time.Sleep(20 * time.Millisecond)
+		retryIDs := make([]string, len(retry))
+		for j, i := range retry {
+			retryIDs[j] = ids[i]
+		}
+		for j, fr := range sealedbottle.FetchMany(ctx, b, retryIDs) {
+			merge(retry[j], fr)
+		}
+	}
+}
+
 // Run drives one scenario against the harness: a Zipf-skewed population is
 // generated, sweeper clients tick the real ring through their (possibly
 // churning, possibly lossy) access links, submitter clients race bottles in
@@ -156,6 +218,9 @@ type submission struct {
 func Run(ctx context.Context, h *Harness, preset Preset, cfg ScenarioConfig) (*Report, error) {
 	cfg = cfg.withDefaults()
 	topo := h.Topology()
+	if preset.Imposter && !h.Secured() {
+		return nil, fmt.Errorf("cluster: the %q scenario needs a Secured topology (identity attacks are meaningless without token verification)", preset.Name)
+	}
 	if cfg.SeverRack > 0 {
 		if topo.Replication < 2 || topo.Racks < 2 {
 			return nil, fmt.Errorf("cluster: severing a rack requires a replicated topology (have %d racks, R=%d)", topo.Racks, topo.Replication)
@@ -211,6 +276,7 @@ func Run(ctx context.Context, h *Harness, preset Preset, cfg ScenarioConfig) (*R
 		statsMu      sync.Mutex
 		drainStarted atomic.Bool
 	)
+	replyLat := &latencies{}
 	sweeperProfiles := make(map[string]*attr.Profile, cfg.Sweepers)
 	sweepers := make([]*sweeperRun, cfg.Sweepers)
 	for k := 0; k < cfg.Sweepers; k++ {
@@ -232,6 +298,7 @@ func Run(ctx context.Context, h *Harness, preset Preset, cfg ScenarioConfig) (*R
 			backend = &directSweep{Backend: ring, harness: h}
 		}
 		l := newLink(backend, checker, preset.LossRate, cfg.Seed+int64(200+k))
+		l.replyLat = replyLat
 		sid := id
 		sw, err := sealedbottle.NewSweeper(l, sealedbottle.SweeperConfig{
 			Participant: part,
@@ -550,6 +617,37 @@ func Run(ctx context.Context, h *Harness, preset Preset, cfg ScenarioConfig) (*R
 	}
 	rep.Bottles = int(ackedCount.Load())
 
+	// --- Imposter phase ----------------------------------------------------
+	// Identity attacks against the secured ring, run after the submit phase
+	// so the target set is complete and deterministic. The sweepers are still
+	// ticking, so the flood's accepted bottles join the workload and must
+	// satisfy the same exactly-once and no-reply-loss invariants.
+	var (
+		malloryRing  *sealedbottle.Ring
+		malloryClose func()
+		floodIDs     []string
+	)
+	if preset.Imposter {
+		var legitIDs []string
+		for _, subs := range submissions {
+			for _, s := range subs {
+				legitIDs = append(legitIDs, s.id)
+			}
+		}
+		var err error
+		malloryRing, malloryClose, floodIDs, err = imposterPhase(ctx, h, checker, rep, pool, cfg, legitIDs)
+		if err != nil {
+			close(advStop)
+			close(churnStop)
+			close(stopSweep)
+			advWG.Wait()
+			churnWG.Wait()
+			sweepWG.Wait()
+			return nil, fmt.Errorf("cluster: imposter phase: %w", err)
+		}
+		defer malloryClose()
+	}
+
 	// --- Drain phase -------------------------------------------------------
 	// Adversaries and churn stop, injected faults clear, and the sweepers
 	// keep ticking until every promised evaluation happened and every queued
@@ -596,7 +694,7 @@ func Run(ctx context.Context, h *Harness, preset Preset, cfg ScenarioConfig) (*R
 		for i, s := range subs {
 			ids[i] = s.id
 		}
-		results := sealedbottle.FetchMany(ctx, subLinks[w], ids)
+		results := DrainFetch(ctx, subLinks[w], ids, time.Now().Add(cfg.DrainTimeout))
 		for i, fr := range results {
 			if fr.Err != nil {
 				checker.Violationf("fetch of request %s failed: %v", sealedbottle.UntagID(ids[i]), fr.Err)
@@ -638,7 +736,22 @@ func Run(ctx context.Context, h *Harness, preset Preset, cfg ScenarioConfig) (*R
 		}
 	}
 
+	// The imposter drains her own flood bottles: ownership must let the owner
+	// through (the positive half of the cross-identity invariant), and any
+	// replies the sweepers posted to them must not be lost.
+	if malloryRing != nil && len(floodIDs) > 0 {
+		for i, fr := range DrainFetch(ctx, malloryRing, floodIDs, time.Now().Add(cfg.DrainTimeout)) {
+			if fr.Err != nil {
+				checker.Violationf("imposter fetch of her own bottle %s failed: %v", sealedbottle.UntagID(floodIDs[i]), fr.Err)
+				continue
+			}
+			checker.TrackFetch("mallory", floodIDs[i], fr.Replies)
+			rep.FetchedReplies += len(fr.Replies)
+		}
+	}
+
 	rep.ExpectedEvaluations = checker.ExpectedEvaluations()
+	rep.ReplyLatency = replyLat.summary()
 	if stats, err := h.Stats(ctx); err == nil {
 		rep.ClusterStats = stats
 	}

@@ -25,6 +25,7 @@ func ReportTable(rep *Report) experiments.Table {
 		{"replica duplicates collapsed client-side", fmt.Sprintf("%d", rep.Ticks.Duplicates)},
 		{"expected evaluations (prefilter promise)", fmt.Sprintf("%d", rep.ExpectedEvaluations)},
 		{"replies posted / fetched", fmt.Sprintf("%d / %d", rep.Ticks.Replies, rep.FetchedReplies)},
+		{"reply post latency p50 / p95 / p99", rep.ReplyLatency.String()},
 		{"matches accepted (ground-truth checked)", fmt.Sprintf("%d", rep.AcceptedMatches)},
 	}
 	if rep.SeveredRack != "" {
@@ -34,6 +35,12 @@ func ReportTable(rep *Report) experiments.Table {
 		rows = append(rows,
 			[]string{"forged replies posted / rejected", fmt.Sprintf("%d / %d", rep.ForgedPosts, rep.RejectedForgeries)},
 			[]string{"dictionary attempts / verified recoveries", fmt.Sprintf("%d / %d", rep.DictionaryAttempts, rep.DictionaryRecoveries)},
+		)
+	}
+	if rep.ImposterProbes > 0 {
+		rows = append(rows,
+			[]string{"imposter probes / denied (ErrUnauthorized)", fmt.Sprintf("%d / %d", rep.ImposterProbes, rep.ImposterDenied)},
+			[]string{"flood submits / accepted / shed", fmt.Sprintf("%d / %d / %d", rep.FloodSubmits, rep.FloodAccepted, rep.FloodShed)},
 		)
 	}
 	rows = append(rows,

@@ -24,6 +24,7 @@ package replica
 
 import (
 	"context"
+	"crypto/tls"
 	"errors"
 	"strings"
 	"sync"
@@ -70,8 +71,15 @@ type Config struct {
 	// DefaultStreamBatch).
 	StreamBatch int
 	// Dial opens a connection to a peer address (nil: a multiplexed
-	// transport client with a 10s call timeout).
+	// transport client with a 10s call timeout, carrying Token/TLS below).
 	Dial func(addr string) (HandoffTarget, error)
+	// Token is the capability token the default dialer presents to peers —
+	// the rack's own identity, minted with replica scope, so hint and handoff
+	// streams authenticate rack-to-rack. Ignored when Dial is set.
+	Token []byte
+	// TLS, when set, makes the default dialer wrap peer connections in TLS.
+	// Ignored when Dial is set.
+	TLS *tls.Config
 }
 
 // hintQueue is one destination's pending handoff records, deduplicated by
@@ -83,7 +91,7 @@ type hintQueue struct {
 }
 
 func recKey(rec broker.HandoffRecord) string {
-	return string([]byte{rec.Type}) + string(rec.Payload)
+	return string([]byte{rec.Type}) + rec.Owner + "\x00" + string(rec.Payload)
 }
 
 // Node wraps a rack with hint queues and a streamer. It embeds the rack, so
@@ -116,8 +124,9 @@ func Wrap(rack *broker.Rack, cfg Config) *Node {
 		cfg.StreamBatch = DefaultStreamBatch
 	}
 	if cfg.Dial == nil {
+		opts := transport.Options{CallTimeout: 10 * time.Second, Token: cfg.Token, TLS: cfg.TLS}
 		cfg.Dial = func(addr string) (HandoffTarget, error) {
-			return transport.DialMux(addr, transport.Options{CallTimeout: 10 * time.Second})
+			return transport.DialMux(addr, opts)
 		}
 	}
 	n := &Node{
@@ -149,20 +158,31 @@ func (n *Node) Close() error {
 // It returns the number of records accepted (queued or applied); the rest
 // were shed against the queue bound or named bottles this rack no longer
 // holds.
+//
+// Ownership stamping happens here, on the queueing rack: a RecSubmit's Owner
+// is always the caller's authenticated identity (never the client-supplied
+// field — a caller can only queue bottles as itself), and a RecRepair's
+// resolved copy carries the owner this rack recorded at submit time. The
+// destination racks the converged bottle under that identity, so replication
+// never widens who may drain or remove it.
 func (n *Node) Hint(ctx context.Context, dest string, recs []broker.HandoffRecord) (int, error) {
+	caller := broker.IdentityFromContext(ctx)
 	resolved := make([]broker.HandoffRecord, 0, len(recs))
 	for _, rec := range recs {
 		if rec.Type != broker.RecRepair {
+			if rec.Type == broker.RecSubmit {
+				rec.Owner = caller
+			}
 			resolved = append(resolved, rec)
 			continue
 		}
 		// Read-repair: ship our own copy of the named bottle. A bottle we no
 		// longer hold (expired, removed) needs no repair.
-		raw, replies, ok := n.Rack.PeekBottle(string(rec.Payload))
+		raw, owner, replies, ok := n.Rack.PeekBottle(string(rec.Payload))
 		if !ok {
 			continue
 		}
-		resolved = append(resolved, broker.HandoffRecord{Type: broker.RecSubmit, Payload: raw})
+		resolved = append(resolved, broker.HandoffRecord{Type: broker.RecSubmit, Owner: owner, Payload: raw})
 		id := broker.UntagID(string(rec.Payload))
 		for _, rep := range replies {
 			resolved = append(resolved, broker.HandoffRecord{
@@ -210,7 +230,10 @@ func (n *Node) Handoff(ctx context.Context, recs []broker.HandoffRecord) (int, e
 		var err error
 		switch rec.Type {
 		case broker.RecSubmit:
-			_, err = n.Rack.Submit(ctx, rec.Payload)
+			// Rack the converged copy under the identity that submitted the
+			// original, not the peer relaying it: ownership checks on Fetch
+			// and Remove must give the same answer on every replica.
+			_, err = n.Rack.Submit(broker.WithIdentity(ctx, rec.Owner), rec.Payload)
 			if errors.Is(err, broker.ErrDuplicateBottle) || errors.Is(err, core.ErrExpired) {
 				err = nil
 			}

@@ -79,7 +79,7 @@ func TestHintToSelfAppliesLocally(t *testing.T) {
 	if n.Pending() != 0 {
 		t.Fatalf("Pending = %d, want 0 (applied, not queued)", n.Pending())
 	}
-	if _, _, ok := n.PeekBottle(pkg.ID); !ok {
+	if _, _, _, ok := n.PeekBottle(pkg.ID); !ok {
 		t.Fatal("self-hinted bottle not racked")
 	}
 }
@@ -130,6 +130,71 @@ func TestRepairHintResolvesFromOwnCopy(t *testing.T) {
 	}
 	if n.Pending() != 2 {
 		t.Fatalf("Pending = %d, want resolved submit + reply records", n.Pending())
+	}
+}
+
+// localTarget delivers handoff batches straight into a peer node's handler,
+// carrying the rack-to-rack identity the replica channel would pin.
+type localTarget struct{ n *Node }
+
+func (l localTarget) Handoff(ctx context.Context, recs []broker.HandoffRecord) (int, error) {
+	return l.n.Handoff(broker.WithIdentity(ctx, "rack:rack-0"), recs)
+}
+func (l localTarget) Close() error { return nil }
+
+// TestHandoffPreservesOwnership pins the identity layer's replication
+// contract: a bottle converging onto a replica via hinted handoff answers to
+// its original submitter — not to the rack relaying it, and not to whatever
+// Owner the hinting client claims.
+func TestHandoffPreservesOwnership(t *testing.T) {
+	ctx := context.Background()
+	dst := newNode(t, "rack-1", Config{})
+	src := newNode(t, "rack-0", Config{
+		Peers: map[string]string{"rack-1": "pipe:rack-1"},
+		Dial:  func(string) (HandoffTarget, error) { return localTarget{dst}, nil },
+	})
+
+	// alice's bottle reached rack-0 only; her ring queues the missed replica
+	// write as a hint — with a forged Owner the queueing rack must ignore.
+	raw, pkg := buildRaw(t, 7)
+	aliceCtx := broker.WithIdentity(ctx, "alice")
+	if _, err := src.Submit(aliceCtx, raw); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := src.Hint(aliceCtx, "rack-1", []broker.HandoffRecord{
+		{Type: broker.RecSubmit, Owner: "mallory", Payload: raw},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := src.Flush(ctx); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	if _, owner, _, ok := dst.PeekBottle(pkg.ID); !ok || owner != "alice" {
+		t.Fatalf("converged bottle owner = %q (held %v), want alice", owner, ok)
+	}
+	if _, err := dst.Fetch(broker.WithIdentity(ctx, "mallory"), pkg.ID); !errors.Is(err, broker.ErrUnauthorized) {
+		t.Fatalf("imposter fetch on the converged replica = %v, want ErrUnauthorized", err)
+	}
+	if _, err := dst.Fetch(aliceCtx, pkg.ID); err != nil {
+		t.Fatalf("owner fetch on the converged replica: %v", err)
+	}
+
+	// Read-repair resolves ownership from the holding rack's own records even
+	// when a third party (a sweeper noticing divergence) queues the repair.
+	raw2, pkg2 := buildRaw(t, 8)
+	if _, err := src.Submit(aliceCtx, raw2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := src.Hint(broker.WithIdentity(ctx, "sweeper"), "rack-1", []broker.HandoffRecord{
+		{Type: broker.RecRepair, Payload: []byte(pkg2.ID)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := src.Flush(ctx); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	if _, owner, _, ok := dst.PeekBottle(pkg2.ID); !ok || owner != "alice" {
+		t.Fatalf("read-repaired bottle owner = %q (held %v), want alice", owner, ok)
 	}
 }
 
@@ -248,7 +313,7 @@ func TestBackgroundStreamer(t *testing.T) {
 	}
 	deadline := time.Now().Add(5 * time.Second)
 	for time.Now().Before(deadline) {
-		if _, _, ok := n1.PeekBottle(pkg.ID); ok {
+		if _, _, _, ok := n1.PeekBottle(pkg.ID); ok {
 			return
 		}
 		time.Sleep(5 * time.Millisecond)

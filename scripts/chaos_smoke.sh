@@ -22,6 +22,13 @@
 #   2. The restarted rack converges via hinted handoff: the survivors stream
 #      their queued hints to it and its handoff-applied counter goes nonzero.
 #
+# Phase 4 (secured chaos): the same three racks run with TLS + mutual TLS +
+# capability tokens (`sealedbottle certgen/keygen/token`), loadgen drives them
+# with a client certificate and a token, one rack is SIGKILLed mid-load and
+# restarted; asserts the authenticated cluster loses zero acknowledged replies
+# and that the restarted rack converges via the mTLS-dialed, replica-scope-
+# token-authenticated handoff stream.
+#
 # Run from the repository root:  ./scripts/chaos_smoke.sh
 set -euo pipefail
 
@@ -34,6 +41,7 @@ SCENARIOS=${SCENARIOS:-"burst adversarial zipf lossy"}
 go build -o "$BIN/bottlerack" ./cmd/bottlerack
 go build -o "$BIN/loadgen" ./cmd/loadgen
 go build -o "$BIN/benchtables" ./cmd/benchtables
+go build -o "$BIN/sealedbottle" ./cmd/sealedbottle
 
 P0=7127 P1=7128 P2=7129
 ADDRS="127.0.0.1:$P0,127.0.0.1:$P1,127.0.0.1:$P2"
@@ -148,14 +156,74 @@ grep -q "^verified " "$OUT/loadgen.out"
 
 # Convergence: r2's own stats line reports handoff-applied records received
 # from the survivors' streamers (hint interval is 500ms; allow up to 20s).
-for _ in $(seq 1 40); do
-  if grep -Eq "handoff=[1-9]" "$OUT/r2.log"; then
-    echo "chaos: restarted rack converged via handoff"
-    echo "chaos smoke passed"
-    exit 0
-  fi
-  sleep 0.5
-done
-echo "chaos: restarted rack never applied a handoff record" >&2
-tail -n 3 "$OUT"/r0.log "$OUT"/r1.log "$OUT"/r2.log >&2
-exit 1
+wait_handoff() {
+  for _ in $(seq 1 40); do
+    if grep -Eq "handoff=[1-9]" "$OUT/r2.log"; then return 0; fi
+    sleep 0.5
+  done
+  echo "chaos: restarted rack never applied a handoff record" >&2
+  tail -n 3 "$OUT"/r0.log "$OUT"/r1.log "$OUT"/r2.log >&2
+  return 1
+}
+wait_handoff
+echo "chaos: restarted rack converged via handoff"
+stop_cluster
+
+# ---- Phase 4: secured chaos (TLS + mTLS + capability tokens) ----------------
+PKI="$OUT/pki"
+"$BIN/sealedbottle" certgen -dir "$PKI" -name rack
+"$BIN/sealedbottle" certgen -dir "$PKI" -name client -ca-cert "$PKI/ca.pem" -ca-key "$PKI/ca-key.pem"
+"$BIN/sealedbottle" keygen -out "$OUT/cluster.key"
+AUTH_KEY=$(cat "$OUT/cluster.key")
+# A ring at R=2 queues handoff hints client-side, so the workload token needs
+# the full scope (including replica), not just the client ops.
+"$BIN/sealedbottle" token -key "$AUTH_KEY" -identity chaos-loadgen -ops all -ttl 1h \
+  -out "$OUT/loadgen.tok"
+
+start_secure_rack() { # name port -> pid
+  "$BIN/bottlerack" -addr "127.0.0.1:$2" -tag "$1" \
+    -replicate -self "$1" -peers "$PEERS" -hint-interval 500ms \
+    -tls-cert "$PKI/rack.pem" -tls-key "$PKI/rack-key.pem" -tls-client-ca "$PKI/ca.pem" \
+    -auth-key "$AUTH_KEY" \
+    -stats 1s >>"$OUT/$1.log" 2>&1 &
+  echo $!
+}
+
+: >"$OUT/r0.log"; : >"$OUT/r1.log"; : >"$OUT/r2.log"
+PID0=$(start_secure_rack r0 $P0)
+PID1=$(start_secure_rack r1 $P1)
+PID2=$(start_secure_rack r2 $P2)
+wait_port $P0 && wait_port $P1 && wait_port $P2
+echo "chaos: secured cluster up (mTLS + tokens + per-identity admission)"
+
+"$BIN/loadgen" -addrs "$ADDRS" \
+  -bottles "$BOTTLES" -batch 32 -submitters 4 -sweepers 2 \
+  -replication 2 -verify-replies \
+  -tls-ca "$PKI/ca.pem" -tls-cert "$PKI/client.pem" -tls-key "$PKI/client-key.pem" \
+  -token "@$OUT/loadgen.tok" >"$OUT/loadgen-tls.out" 2>&1 &
+LG=$!
+
+sleep 2
+if ! kill -0 "$LG" 2>/dev/null; then
+  echo "chaos: secured loadgen finished before the kill — raise BOTTLES" >&2
+  cat "$OUT/loadgen-tls.out" >&2
+  exit 1
+fi
+kill -9 "$PID2"
+echo "chaos: SIGKILLed secured rack r2 mid-load"
+
+sleep 2
+PID2=$(start_secure_rack r2 $P2)
+wait_port $P2
+echo "chaos: restarted secured rack r2"
+
+if ! wait "$LG"; then
+  echo "chaos: secured loadgen failed — friendings or bottles were lost" >&2
+  cat "$OUT/loadgen-tls.out" >&2
+  exit 1
+fi
+cat "$OUT/loadgen-tls.out"
+grep -q "^verified " "$OUT/loadgen-tls.out"
+wait_handoff
+echo "chaos: restarted secured rack converged via authenticated handoff"
+echo "chaos smoke passed"

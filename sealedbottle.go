@@ -39,7 +39,9 @@ package sealedbottle
 
 import (
 	"context"
+	"time"
 
+	"sealedbottle/internal/auth"
 	"sealedbottle/internal/broker"
 	"sealedbottle/internal/broker/transport"
 	"sealedbottle/internal/client"
@@ -258,6 +260,15 @@ var (
 	// timeout (inside an AbandonedError, connection unaffected) or a
 	// connection that made no progress at all (connection failed).
 	ErrCallTimeout = transport.ErrCallTimeout
+	// ErrUnauthorized indicates a caller identity the broker refused: no (or
+	// an invalid) capability token on a secured server, an operation outside
+	// the token's scope, or a fetch/remove of another identity's bottle. A
+	// definitive answer, never a rack fault.
+	ErrUnauthorized = broker.ErrUnauthorized
+	// ErrOverload indicates the caller's identity is over its admission
+	// quota; the operation was shed and may be retried after backoff. A
+	// definitive answer, never a rack fault.
+	ErrOverload = broker.ErrOverload
 )
 
 // ErrCode is the one-byte error classification carried by the wire
@@ -274,6 +285,8 @@ const (
 	CodeExpired         = broker.CodeExpired
 	CodeMalformed       = broker.CodeMalformed
 	CodeInternal        = broker.CodeInternal
+	CodeUnauthorized    = broker.CodeUnauthorized
+	CodeOverload        = broker.CodeOverload
 )
 
 // RemoteError is an error the server computed and answered for one
@@ -283,3 +296,52 @@ type RemoteError = transport.RemoteError
 // AbandonedError marks a call the client gave up on (context ended or
 // per-call timeout) while the connection underneath kept serving.
 type AbandonedError = transport.AbandonedError
+
+// AuthToken is a capability token's decoded claims: an identity, a permitted
+// operation mask, and an optional expiry. Mint one with MintToken and hand
+// the bytes to CourierConfig.Token (or transport Options.Token); a secured
+// server verifies it and pins the connection to its identity — bottle
+// ownership, operation scope and admission quotas all key on it.
+type AuthToken = auth.Token
+
+// AuthOps is a capability token's permitted-operation bitmask.
+type AuthOps = auth.Ops
+
+// Capability scopes for AuthToken.Ops.
+const (
+	// AuthOpsClient permits the full client surface (everything but the
+	// rack-to-rack replication opcodes).
+	AuthOpsClient = auth.OpsClient
+	// AuthOpsAll permits everything, replication included — rack identities.
+	AuthOpsAll = auth.OpsAll
+)
+
+// ParseAuthOps parses a comma-separated scope list ("submit,fetch", "client",
+// "all", "none") into an operation mask — the flag-value format the commands
+// use.
+func ParseAuthOps(s string) (AuthOps, error) { return auth.ParseOps(s) }
+
+// NewAuthKey draws a fresh random token-signing key.
+func NewAuthKey() ([]byte, error) { return auth.NewKey() }
+
+// ParseAuthKey decodes a hex-encoded token-signing key (the format NewAuthKey
+// material is stored in by the sealedbottle keygen command).
+func ParseAuthKey(s string) ([]byte, error) { return auth.ParseKey(s) }
+
+// MintToken signs a capability token under the given key.
+func MintToken(key []byte, t AuthToken) ([]byte, error) { return auth.Mint(key, t) }
+
+// VerifyToken checks a token's signature and expiry against the key, at the
+// given instant, returning its claims.
+func VerifyToken(key, raw []byte, now time.Time) (AuthToken, error) {
+	return auth.Verify(key, raw, now)
+}
+
+// Admission is the per-identity token-bucket admission controller a server
+// mounts via ServerOptions.Quota: each identity gets rate operations per
+// second with bursts up to burst, and calls over quota answer ErrOverload.
+type Admission = broker.Admission
+
+// NewAdmission builds an admission controller; a rate <= 0 returns nil
+// (admission disabled), so flag values pass straight through.
+func NewAdmission(rate float64, burst int) *Admission { return broker.NewAdmission(rate, burst) }
