@@ -1,0 +1,16 @@
+# Build the sealed-bottle broker and tooling. Multi-stage: the final image
+# carries only static binaries, so it runs on a bare base image.
+FROM golang:1.24-alpine AS build
+WORKDIR /src
+COPY go.mod ./
+COPY . .
+RUN CGO_ENABLED=0 go build -trimpath -ldflags='-s -w' -o /out/ \
+    ./cmd/bottlerack ./cmd/sealedbottle ./cmd/loadgen
+
+FROM alpine:3.20
+# wget/curl-free health probes go through the ops endpoint with busybox wget.
+COPY --from=build /out/bottlerack /out/sealedbottle /out/loadgen /usr/local/bin/
+VOLUME /data
+EXPOSE 7117 9117
+ENTRYPOINT ["bottlerack"]
+CMD ["-addr", ":7117", "-ops-addr", ":9117"]

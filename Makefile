@@ -3,10 +3,11 @@ GO ?= go
 # Perf trajectory knobs: BENCH_OUT is where `make bench-json` records the
 # current numbers (bump the <n> when a PR moves the needle), BENCH_BASELINE
 # is the checked-in point `make bench-compare` gates against.
-BENCH_OUT ?= BENCH_9.json
-BENCH_BASELINE ?= BENCH_9.json
+BENCH_OUT ?= BENCH_10.json
+BENCH_BASELINE ?= BENCH_10.json
 
-.PHONY: all build test race fuzz-smoke bench bench-json bench-compare profile tables
+.PHONY: all build test race fuzz-smoke bench bench-json bench-compare profile tables \
+	cluster-up cluster-down
 
 all: build test
 
@@ -57,3 +58,13 @@ profile:
 
 tables:
 	$(GO) run ./cmd/benchtables
+
+# Local 3-rack replicated cluster (docker-compose.yml): durable racks r0-r2
+# on 127.0.0.1:7117-7119 with ops endpoints on 9117-9119. See
+# docs/OPERATIONS.md for the drive-it tour.
+cluster-up:
+	docker compose up --build -d
+	@echo "cluster up: racks on 7117-7119, metrics on http://127.0.0.1:9117/metrics (9118, 9119)"
+
+cluster-down:
+	docker compose down -v

@@ -38,10 +38,24 @@
 // deployments the racks share one CA (-tls-client-ca); each rack dials its
 // peers with its own certificate and a self-minted replica-scope token.
 //
+// With -ops-addr the rack serves an operational HTTP endpoint: /metrics in
+// Prometheus text format (per-opcode latency histograms, rack counters,
+// replication and admission gauges), /healthz, /readyz (503 until the WAL
+// replay finished and the listener is up, and again while draining) and
+// /debug/pprof. The rack control plane — drain mode, snapshot-now, admission
+// quota reload — is driven over the authenticated wire protocol itself
+// (`sealedbottle admin`); on secured racks it requires the "admin" token
+// scope, which the rack's own peer token carries. SIGINT/SIGTERM first enter
+// drain mode (new submits answer a typed ErrDraining that rings reroute to
+// replicas; sweeps, replies and replica traffic keep serving) for
+// -drain-grace, then close, snapshot and exit — so rolling restarts lose no
+// acked writes.
+//
 // Usage:
 //
 //	bottlerack [-addr :7117] [-tag r1] [-shards 32] [-workers 0] [-reap 5s] [-stats 10s]
 //	           [-read-idle 10m] [-write-timeout 1m] [-inflight 64]
+//	           [-ops-addr :9117] [-drain-grace 3s]
 //	           [-data-dir DIR] [-fsync interval] [-fsync-interval 100ms]
 //	           [-snapshot-every 5m] [-wal-segment 67108864]
 //	           [-replicate] [-self NAME] [-peers name=addr,...]
@@ -53,19 +67,24 @@ package main
 import (
 	"context"
 	"crypto/tls"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"sealedbottle"
 	"sealedbottle/internal/auth"
+	"sealedbottle/internal/broker"
 	"sealedbottle/internal/broker/wal"
+	"sealedbottle/internal/obs"
 )
 
 func main() {
@@ -78,6 +97,8 @@ func main() {
 	readIdle := flag.Duration("read-idle", 10*time.Minute, "drop connections idle longer than this (0: never)")
 	writeTimeout := flag.Duration("write-timeout", time.Minute, "per-response write deadline (0: none)")
 	inflight := flag.Int("inflight", sealedbottle.DefaultMaxInflight, "max concurrent requests per multiplexed connection")
+	opsAddr := flag.String("ops-addr", "", "HTTP address for /metrics, /healthz, /readyz and /debug/pprof (empty: no ops endpoint)")
+	drainGrace := flag.Duration("drain-grace", 3*time.Second, "drain period on SIGINT/SIGTERM before the listener closes: new submits answer ErrDraining (rings reroute them) while in-flight work completes")
 	dataDir := flag.String("data-dir", "", "durability directory for the write-ahead log and snapshots (empty: in-memory only)")
 	fsync := flag.String("fsync", "interval", "WAL fsync policy: always, interval or never")
 	fsyncInterval := flag.Duration("fsync-interval", wal.DefaultInterval, "fsync period for -fsync interval")
@@ -205,13 +226,19 @@ func main() {
 	log.Printf("bottlerack: listening on %s (%d shards, %d workers, read-idle %v, write-timeout %v%s)",
 		l.Addr(), startStats.Shards, startStats.Workers, *readIdle, *writeTimeout, tagNote)
 
+	quota := sealedbottle.NewAdmission(*quotaRate, *quotaBurst)
 	srvOpts := sealedbottle.ServerOptions{
 		ReadIdleTimeout: *readIdle,
 		WriteTimeout:    *writeTimeout,
 		MaxInflight:     *inflight,
 		TLS:             sec.serverTLS,
 		AuthKey:         sec.authKey,
-		Quota:           sealedbottle.NewAdmission(*quotaRate, *quotaBurst),
+		Quota:           quota,
+	}
+	var reg *sealedbottle.ObsRegistry
+	if *opsAddr != "" {
+		reg = sealedbottle.NewObsRegistry()
+		srvOpts.Metrics = sealedbottle.NewServerMetrics(reg)
 	}
 	if sec.serverTLS != nil {
 		mode := "TLS"
@@ -233,8 +260,51 @@ func main() {
 			*self, len(peers), *hintInterval, *hintMax)
 	}
 	srv := sealedbottle.NewServer(rack, srvOpts)
+	var serving atomic.Bool
+	if reg != nil {
+		// Rack, replication and admission state are scrape-time collectors:
+		// one Stats snapshot per scrape, no double bookkeeping next to the
+		// rack's own counters.
+		reg.RegisterFunc(func(e *obs.Emitter) {
+			if st, err := rack.Stats(ctx); err == nil {
+				broker.CollectStats(e, st)
+			}
+			broker.CollectAdmission(e, quota)
+			d := 0.0
+			if srv.Draining() {
+				d = 1
+			}
+			e.Gauge("sealedbottle_draining", "1 while the rack refuses new submits.", d)
+			if node != nil {
+				e.Gauge("sealedbottle_handoff_pending",
+					"Handoff records queued for unreachable peers.", float64(node.Pending()))
+			}
+		})
+		ready := func() error {
+			if !serving.Load() {
+				return errors.New("starting: listener not yet serving")
+			}
+			if srv.Draining() {
+				return errors.New("draining")
+			}
+			return nil
+		}
+		opsL, err := net.Listen("tcp", *opsAddr)
+		if err != nil {
+			log.Fatalf("bottlerack: ops listen %s: %v", *opsAddr, err)
+		}
+		defer opsL.Close()
+		opsSrv := &http.Server{Handler: sealedbottle.NewOpsMux(reg, ready)}
+		go func() {
+			if err := opsSrv.Serve(opsL); err != nil && !errors.Is(err, http.ErrServerClosed) && !errors.Is(err, net.ErrClosed) {
+				log.Printf("bottlerack: ops serve: %v", err)
+			}
+		}()
+		log.Printf("bottlerack: ops endpoint on %s (/metrics /healthz /readyz /debug/pprof)", opsL.Addr())
+	}
 	done := make(chan error, 1)
-	go func() { done <- srv.Serve(l) }()
+	go func() { done <- srv.Serve(l); serving.Store(false) }()
+	serving.Store(true)
 
 	var ticker *time.Ticker
 	var tick <-chan time.Time
@@ -252,6 +322,20 @@ func main() {
 			st, _ := rack.Stats(ctx)
 			log.Print(statsLine(st) + replicaSuffix(node))
 		case s := <-sig:
+			// Drain first: new submits answer ErrDraining — a definitive,
+			// typed refusal rings reroute to surviving replicas — while
+			// in-flight calls, sweeps and replica handoff finish. Only then
+			// does the listener close, so a rolling restart loses no acked
+			// writes. A second signal skips the grace period.
+			if *drainGrace > 0 {
+				srv.Drain(true)
+				log.Printf("bottlerack: %v, draining for %v (submits refused, reads and replica traffic serving)", s, *drainGrace)
+				select {
+				case <-time.After(*drainGrace):
+				case s2 := <-sig:
+					log.Printf("bottlerack: %v, skipping drain grace", s2)
+				}
+			}
 			log.Printf("bottlerack: %v, shutting down", s)
 			l.Close()
 			srv.Close()
@@ -321,11 +405,13 @@ func loadSecurity(certFile, keyFile, clientCAFile, authKeyHex, self string) (sec
 			return sec, err
 		}
 		sec.authKey = key
-		// The rack's own identity for dialing peers: replica scope only, so a
-		// leaked rack token cannot impersonate a client.
+		// The rack's own identity for dialing peers: replica plus admin scope
+		// — peer-to-peer handoff and the operator control plane (drain,
+		// snapshot, quota reload) ride the same credential — but never client
+		// scope, so a leaked rack token cannot impersonate a client.
 		tok, err := sealedbottle.MintToken(key, sealedbottle.AuthToken{
 			Identity: "rack:" + self,
-			Ops:      auth.OpReplica,
+			Ops:      auth.OpReplica | auth.OpAdmin,
 		})
 		if err != nil {
 			return sec, err

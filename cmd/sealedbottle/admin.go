@@ -1,0 +1,117 @@
+// The rack control plane from the command line: drain, undrain, status,
+// snapshot-now and admission-quota reload, sent over the same authenticated
+// wire protocol every client speaks. Against a secured rack the token must
+// carry the "admin" scope (`sealedbottle token -ops admin,...`, or the rack's
+// own peer token); the admin opcode is admission-exempt so a busy rack stays
+// reachable.
+package main
+
+import (
+	"context"
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"sealedbottle/internal/auth"
+	"sealedbottle/internal/broker"
+	"sealedbottle/internal/broker/transport"
+)
+
+// runAdmin dispatches one control-plane verb against a rack.
+func runAdmin(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: sealedbottle admin <status|drain|undrain|snapshot|quota> -addr HOST:PORT [flags]")
+	}
+	verb, ok := map[string]byte{
+		"status":   broker.AdminVerbStatus,
+		"drain":    broker.AdminVerbDrain,
+		"undrain":  broker.AdminVerbUndrain,
+		"snapshot": broker.AdminVerbSnapshot,
+		"quota":    broker.AdminVerbQuota,
+	}[args[0]]
+	if !ok {
+		return fmt.Errorf("unknown admin verb %q (want status, drain, undrain, snapshot or quota)", args[0])
+	}
+
+	fs := flag.NewFlagSet("admin "+args[0], flag.ExitOnError)
+	addr := fs.String("addr", "", "rack address HOST:PORT (required)")
+	timeout := fs.Duration("timeout", 5*time.Second, "whole-command deadline")
+	tlsCA := fs.String("tls-ca", "", "root CA certificate PEM: verify the rack's server certificate and connect over TLS")
+	tlsCert := fs.String("tls-cert", "", "client certificate PEM for racks that demand mTLS (requires -tls-ca and -tls-key)")
+	tlsKey := fs.String("tls-key", "", "client private key PEM for -tls-cert")
+	token := fs.String("token", "", "capability token with the admin scope: hex string or @FILE holding the raw bytes `sealedbottle token -out` writes")
+	rate := fs.Float64("rate", 0, "quota verb: new per-identity admission rate in ops/second (must be > 0)")
+	burst := fs.Int("burst", 0, "quota verb: new admission burst (0: derived from -rate)")
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+	if *addr == "" {
+		return fmt.Errorf("admin %s: -addr is required", args[0])
+	}
+	if verb == broker.AdminVerbQuota && *rate <= 0 {
+		return fmt.Errorf("admin quota: -rate must be > 0 (admission cannot be disabled at runtime)")
+	}
+
+	opts := transport.Options{CallTimeout: *timeout}
+	if (*tlsCert != "") != (*tlsKey != "") {
+		return fmt.Errorf("-tls-cert and -tls-key must be given together")
+	}
+	if *tlsCert != "" && *tlsCA == "" {
+		return fmt.Errorf("-tls-cert/-tls-key require -tls-ca")
+	}
+	if *tlsCA != "" {
+		ca, err := os.ReadFile(*tlsCA)
+		if err != nil {
+			return fmt.Errorf("reading -tls-ca: %w", err)
+		}
+		var cert, key []byte
+		if *tlsCert != "" {
+			if cert, err = os.ReadFile(*tlsCert); err != nil {
+				return fmt.Errorf("reading -tls-cert: %w", err)
+			}
+			if key, err = os.ReadFile(*tlsKey); err != nil {
+				return fmt.Errorf("reading -tls-key: %w", err)
+			}
+		}
+		if opts.TLS, err = auth.ClientTLS(ca, cert, key); err != nil {
+			return err
+		}
+	}
+	if rest, isFile := strings.CutPrefix(*token, "@"); isFile {
+		raw, err := os.ReadFile(rest)
+		if err != nil {
+			return fmt.Errorf("reading -token file: %w", err)
+		}
+		opts.Token = raw
+	} else if *token != "" {
+		raw, err := hex.DecodeString(strings.TrimSpace(*token))
+		if err != nil {
+			return fmt.Errorf("decoding -token hex: %w", err)
+		}
+		opts.Token = raw
+	}
+
+	m, err := transport.DialMux(*addr, opts)
+	if err != nil {
+		return fmt.Errorf("dialing %s: %w", *addr, err)
+	}
+	defer m.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	st, err := m.Admin(ctx, broker.AdminRequest{
+		Verb: verb, QuotaRate: *rate, QuotaBurst: uint32(*burst),
+	})
+	if err != nil {
+		return fmt.Errorf("admin %s against %s: %w", args[0], *addr, err)
+	}
+	quota := "off"
+	if st.QuotaRate > 0 {
+		quota = fmt.Sprintf("%.4g ops/s burst %.4g", st.QuotaRate, st.QuotaBurst)
+	}
+	fmt.Printf("%s %s: draining=%v held=%d wal=%dB quota=%s\n",
+		*addr, broker.AdminVerbName(verb), st.Draining, st.Held, st.WALBytes, quota)
+	return nil
+}

@@ -16,6 +16,12 @@
 //	sealedbottle keygen -out cluster.key
 //	sealedbottle token -key @cluster.key -identity alice -ops client -ttl 24h
 //	sealedbottle certgen -dir certs -name rack-1 -hosts 127.0.0.1
+//
+// And it drives a running rack's control plane (see admin.go):
+//
+//	sealedbottle admin status -addr 127.0.0.1:7117
+//	sealedbottle admin drain -addr 127.0.0.1:7117
+//	sealedbottle admin quota -addr 127.0.0.1:7117 -rate 500 -burst 1000
 package main
 
 import (
@@ -37,7 +43,7 @@ func main() {
 
 func run(args []string) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: sealedbottle <request|answer|inspect|keygen|token|certgen> [flags]")
+		return fmt.Errorf("usage: sealedbottle <request|answer|inspect|keygen|token|certgen|admin> [flags]")
 	}
 	switch args[0] {
 	case "request":
@@ -52,8 +58,10 @@ func run(args []string) error {
 		return runToken(args[1:])
 	case "certgen":
 		return runCertgen(args[1:])
+	case "admin":
+		return runAdmin(args[1:])
 	default:
-		return fmt.Errorf("unknown subcommand %q (want request, answer, inspect, keygen, token or certgen)", args[0])
+		return fmt.Errorf("unknown subcommand %q (want request, answer, inspect, keygen, token, certgen or admin)", args[0])
 	}
 }
 

@@ -57,16 +57,21 @@ const (
 	// OpReplica covers the rack-to-rack opcodes: Hint, Handoff, SetPeer,
 	// RemovePeer, Peers.
 	OpReplica
+	// OpAdmin covers the rack control plane: drain, snapshot-now, quota
+	// reload, admin status. Deliberately outside OpsClient — an operator
+	// credential, not a client one.
+	OpAdmin
 
 	// OpsClient grants the full client surface (everything but replica
 	// administration).
 	OpsClient = OpSubmit | OpSweep | OpReply | OpFetch | OpRemove | OpStats
-	// OpsAll grants everything, including the replica stream.
-	OpsAll = OpsClient | OpReplica
+	// OpsAll grants everything, including the replica stream and the admin
+	// control plane.
+	OpsAll = OpsClient | OpReplica | OpAdmin
 )
 
 // opNames orders the capability names for String/ParseOps; index = bit.
-var opNames = []string{"submit", "sweep", "reply", "fetch", "remove", "stats", "replica"}
+var opNames = []string{"submit", "sweep", "reply", "fetch", "remove", "stats", "replica", "admin"}
 
 // String renders the mask as a comma-joined capability list ("submit,sweep"),
 // with "all", "client" and "none" as the compact forms.

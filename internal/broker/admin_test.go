@@ -1,0 +1,55 @@
+package broker
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+)
+
+func TestAdminRequestRoundTrip(t *testing.T) {
+	req := AdminRequest{Verb: AdminVerbQuota, QuotaRate: 12.5, QuotaBurst: 64}
+	got, err := UnmarshalAdminRequest(MarshalAdminRequest(req))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(req, got) {
+		t.Fatalf("round trip mismatch: in %+v out %+v", req, got)
+	}
+}
+
+func TestAdminStatusRoundTrip(t *testing.T) {
+	st := AdminStatus{Draining: true, Held: 42, WALBytes: 1 << 20, QuotaRate: 100, QuotaBurst: 50}
+	got, err := UnmarshalAdminStatus(MarshalAdminStatus(st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(st, got) {
+		t.Fatalf("round trip mismatch: in %+v out %+v", st, got)
+	}
+}
+
+// TestAdminCodecRejectsBadFrames walks every strict prefix plus a trailing
+// extension of each admin encoding and demands ErrMalformedFrame.
+func TestAdminCodecRejectsBadFrames(t *testing.T) {
+	req := MarshalAdminRequest(AdminRequest{Verb: AdminVerbDrain})
+	st := MarshalAdminStatus(AdminStatus{Held: 1})
+	for cut := 0; cut < len(req); cut++ {
+		if _, err := UnmarshalAdminRequest(req[:cut]); !errors.Is(err, ErrMalformedFrame) {
+			t.Fatalf("request truncated at %d: err = %v", cut, err)
+		}
+	}
+	for cut := 0; cut < len(st); cut++ {
+		if _, err := UnmarshalAdminStatus(st[:cut]); !errors.Is(err, ErrMalformedFrame) {
+			t.Fatalf("status truncated at %d: err = %v", cut, err)
+		}
+	}
+	if _, err := UnmarshalAdminRequest(append(req, 0)); !errors.Is(err, ErrMalformedFrame) {
+		t.Fatalf("request with trailing byte: err = %v", err)
+	}
+	if _, err := UnmarshalAdminStatus(append(st, 0)); !errors.Is(err, ErrMalformedFrame) {
+		t.Fatalf("status with trailing byte: err = %v", err)
+	}
+	if AdminVerbName(AdminVerbDrain) != "drain" || AdminVerbName(99) == "" {
+		t.Fatal("AdminVerbName mapping broken")
+	}
+}

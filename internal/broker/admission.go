@@ -1,6 +1,8 @@
 package broker
 
 import (
+	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -62,6 +64,44 @@ func NewAdmission(rate float64, burst int) *Admission {
 
 // SetClock overrides the controller's clock (tests).
 func (a *Admission) SetClock(now func() time.Time) { a.now = now }
+
+// Update replaces the controller's rate and burst at runtime (the admin
+// quota-reload verb). Existing buckets keep their token balances — a reload
+// retunes the refill, it does not forgive accumulated debt — and the burst
+// derivation matches NewAdmission (burst < 1 uses max(2*rate, 8)). A rate
+// <= 0 is rejected: admission cannot be disabled at runtime, because every
+// connection shares this controller by pointer and nil-ing it out cannot be
+// done race-free. A nil Admission ignores the update.
+func (a *Admission) Update(rate float64, burst int) error {
+	if a == nil {
+		return errors.New("broker: admission not enabled on this rack")
+	}
+	if rate <= 0 {
+		return fmt.Errorf("broker: admission rate must be positive, got %v", rate)
+	}
+	b := float64(burst)
+	if b < 1 {
+		b = 2 * rate
+		if b < 8 {
+			b = 8
+		}
+	}
+	a.mu.Lock()
+	a.rate, a.burst = rate, b
+	a.mu.Unlock()
+	return nil
+}
+
+// Limits reports the controller's current rate and burst (zeros when nil —
+// admission disabled).
+func (a *Admission) Limits() (rate, burst float64) {
+	if a == nil {
+		return 0, 0
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.rate, a.burst
+}
 
 // Allow reports whether one operation by identity is admitted, consuming a
 // token when it is. A nil Admission admits everything.

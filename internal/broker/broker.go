@@ -67,6 +67,13 @@ var (
 	// touched a shard. It is backpressure, not failure: the caller should
 	// retry after a pause, and the ring's health accounting ignores it.
 	ErrOverload = errors.New("broker: identity over admission quota, retry later")
+	// ErrDraining indicates the rack is draining: client submits are refused
+	// while sweeps, replies, fetches and the replica stream keep serving, so
+	// in-flight rendezvous complete and the ring migrates new writes to the
+	// surviving replicas. Like ErrOverload it is a definitive answer, not a
+	// rack fault — the replicated ring routes around it via handoff hints
+	// without ejecting the rack.
+	ErrDraining = errors.New("broker: rack draining, submits refused")
 )
 
 // Config tunes a Rack.

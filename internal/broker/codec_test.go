@@ -121,19 +121,38 @@ func TestStatsRoundTrip(t *testing.T) {
 // TestStatsDecodesOldRevisions pins the compatibility rule of
 // docs/PROTOCOL.md §2.7: a frame from a broker predating the durability
 // counters ends after the primes (revision 1), one predating the replication
-// counters ends after WALBytes (revision 2), and both must decode with the
-// missing tails zero.
+// counters ends after WALBytes (revision 2), and the current encoding carries
+// both tails (revision 3). Every revision must decode, with absent tails
+// zero and present tails intact.
 func TestStatsDecodesOldRevisions(t *testing.T) {
-	full := MarshalStats(Stats{Shards: 2, Workers: 1, PerShard: []ShardStats{{}, {}}, Primes: []uint32{11}})
-	rev2 := full[:len(full)-48] // strip the six replication counters
-	rev1 := rev2[:len(rev2)-16] // additionally strip the two durability counters
-	for name, enc := range map[string][]byte{"rev1": rev1, "rev2": rev2} {
-		got, err := UnmarshalStats(enc)
+	st := Stats{
+		Shards: 2, Workers: 1,
+		PerShard:  []ShardStats{{}, {}},
+		Primes:    []uint32{11},
+		Recovered: 21, WALBytes: 4096,
+		Replication: ReplicationStats{HintsQueued: 5, HandoffApplied: 3},
+	}
+	full := MarshalStats(st)
+	rev2 := st
+	rev2.Replication = ReplicationStats{}
+	rev1 := rev2
+	rev1.Recovered, rev1.WALBytes = 0, 0
+	cases := []struct {
+		name string
+		enc  []byte
+		want Stats
+	}{
+		{"rev1", full[:len(full)-64], rev1}, // ends after the primes
+		{"rev2", full[:len(full)-48], rev2}, // ends after WALBytes
+		{"rev3", full, st},                  // current: full replication tail
+	}
+	for _, tc := range cases {
+		got, err := UnmarshalStats(tc.enc)
 		if err != nil {
-			t.Fatalf("%s: %v", name, err)
+			t.Fatalf("%s: %v", tc.name, err)
 		}
-		if got.Recovered != 0 || got.WALBytes != 0 || got.Replication != (ReplicationStats{}) || got.Shards != 2 {
-			t.Fatalf("%s decode = %+v, want zero revision tails", name, got)
+		if !reflect.DeepEqual(got, tc.want) {
+			t.Fatalf("%s decode:\n got %+v\nwant %+v", tc.name, got, tc.want)
 		}
 	}
 }

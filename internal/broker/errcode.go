@@ -35,6 +35,10 @@ const (
 	// identity) — they predate every server that can emit them.
 	CodeUnauthorized
 	CodeOverload
+	// CodeDraining joined with the admin control plane: a draining rack
+	// refuses client submits with it while continuing to serve everything
+	// else. Append-only, so it sits after CodeOverload.
+	CodeDraining
 )
 
 // String names the code for logs and error text.
@@ -60,6 +64,8 @@ func (c ErrCode) String() string {
 		return "unauthorized"
 	case CodeOverload:
 		return "overload"
+	case CodeDraining:
+		return "draining"
 	}
 	return fmt.Sprintf("code-%d", byte(c))
 }
@@ -89,6 +95,8 @@ func ErrCodeOf(err error) ErrCode {
 		return CodeUnauthorized
 	case errors.Is(err, ErrOverload):
 		return CodeOverload
+	case errors.Is(err, ErrDraining):
+		return CodeDraining
 	}
 	return CodeInternal
 }
@@ -114,6 +122,8 @@ func (c ErrCode) Sentinel() error {
 		return ErrUnauthorized
 	case CodeOverload:
 		return ErrOverload
+	case CodeDraining:
+		return ErrDraining
 	}
 	return nil
 }

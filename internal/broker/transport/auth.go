@@ -119,17 +119,22 @@ func opNeeds(op byte) auth.Ops {
 		return auth.OpStats
 	case OpHint, OpHandoff, OpPeers:
 		return auth.OpReplica
+	case OpAdmin:
+		return auth.OpAdmin
 	}
 	return 0
 }
 
 // admit gates one operation on the connection's pinned identity: the pinned
-// denial (if any), the token's operation scope, then the per-identity
-// admission quota. All three produce definitive broker answers — coded
-// ErrUnauthorized/ErrOverload responses the ring treats as backpressure,
-// never as rack faults. The replication opcodes are quota-exempt: shedding
-// rack-to-rack repair under client flood would turn an overload into data
-// loss.
+// denial (if any), the token's operation scope, drain mode, then the
+// per-identity admission quota. All four produce definitive broker answers —
+// coded ErrUnauthorized/ErrDraining/ErrOverload responses the ring treats as
+// backpressure, never as rack faults. The replication opcodes are
+// quota-exempt (shedding rack-to-rack repair under client flood would turn
+// an overload into data loss), and so is the admin opcode (an operator must
+// be able to drain a rack that is busy shedding clients). Drain refuses only
+// new client submits: sweeps, replies and fetches keep serving so in-flight
+// rendezvous finish, and the replica stream keeps the handoff path open.
 func (s *Server) admit(ca *connAuth, op byte) error {
 	if ca.err != nil {
 		return ca.err
@@ -138,7 +143,10 @@ func (s *Server) admit(ca *connAuth, op byte) error {
 	if len(s.opts.AuthKey) > 0 && ca.ops&need != need {
 		return fmt.Errorf("transport: token scope %v does not permit %v: %w", ca.ops, need, broker.ErrUnauthorized)
 	}
-	if need != auth.OpReplica && !s.opts.Quota.Allow(ca.identity) {
+	if (op == OpSubmit || op == OpSubmitBatch) && s.draining.Load() {
+		return broker.ErrDraining
+	}
+	if need != auth.OpReplica && need != auth.OpAdmin && !s.opts.Quota.Allow(ca.identity) {
 		return fmt.Errorf("transport: identity %q over admission quota: %w", ca.identity, broker.ErrOverload)
 	}
 	return nil

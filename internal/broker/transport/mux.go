@@ -409,6 +409,19 @@ var muxResultChans = sync.Pool{New: func() any { return make(chan muxResult, 1) 
 // be on the wire, so the server may still execute it — abandonment releases
 // the caller, it does not undo work.
 func (m *Mux) call(ctx context.Context, op byte, body []byte) ([]byte, error) {
+	cm := m.opts.Metrics
+	if cm == nil {
+		return m.roundTrip(ctx, op, body)
+	}
+	start := time.Now()
+	resp, err := m.roundTrip(ctx, op, body)
+	cm.record(op, start, err)
+	return resp, err
+}
+
+// roundTrip is call without the instrumentation wrapper; see call for the
+// deadline and abandonment semantics.
+func (m *Mux) roundTrip(ctx context.Context, op byte, body []byte) ([]byte, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, &AbandonedError{Cause: err}
 	}

@@ -58,6 +58,7 @@ import (
 	"net"
 	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"sealedbottle/internal/broker"
@@ -87,6 +88,11 @@ const (
 	// a broker peer-update frame, the response the full peer list after the
 	// update.
 	OpPeers
+	// OpAdmin drives the rack control plane (docs/PROTOCOL.md §2.11): the
+	// body is a broker admin request (status/drain/undrain/snapshot/quota),
+	// the response the rack's admin status after the verb took effect. Scoped
+	// to the auth "admin" capability on secured racks.
+	OpAdmin
 )
 
 // Response status bytes. Since the error-code protocol revision the status
@@ -207,6 +213,10 @@ type Options struct {
 	// NewClient/NewMux callers that bring their own connection wrap it
 	// themselves before handing it over.
 	TLS *tls.Config
+	// Metrics, when set, records per-opcode round-trip latency and error
+	// counts for every call on this connection. Pools share one ClientMetrics
+	// across their connections so the series aggregate.
+	Metrics *ClientMetrics
 }
 
 // writeDeadline resolves the write deadline implied by the options.
@@ -281,8 +291,13 @@ type ServerOptions struct {
 	AuthNow func() time.Time
 	// Quota, when set, is the per-identity admission controller: each
 	// operation costs one token from the caller's bucket, and calls over
-	// quota answer broker.ErrOverload. Replication opcodes are exempt.
+	// quota answer broker.ErrOverload. Replication and admin opcodes are
+	// exempt.
 	Quota *broker.Admission
+	// Metrics, when set, records per-opcode latency histograms, request and
+	// error counters, and byte counters for every dispatched operation on
+	// both framings.
+	Metrics *ServerMetrics
 }
 
 func (o ServerOptions) maxInflight() int {
@@ -346,10 +361,22 @@ type Server struct {
 	ctx    context.Context
 	cancel context.CancelFunc
 
+	// draining, when set, refuses client submits with broker.ErrDraining
+	// while every other operation — sweeps, replies, fetches, the replica
+	// stream — keeps serving, so in-flight rendezvous finish and the
+	// replicated ring migrates new writes to the surviving replicas.
+	draining atomic.Bool
+
 	mu    sync.Mutex
 	conns map[net.Conn]struct{}
 	done  bool
 }
+
+// Drain switches drain mode on or off; see the draining field for semantics.
+func (s *Server) Drain(on bool) { s.draining.Store(on) }
+
+// Draining reports whether the server is in drain mode.
+func (s *Server) Draining() bool { return s.draining.Load() }
 
 // NewServer wraps a rack.
 func NewServer(rack *broker.Rack, opts ...ServerOptions) *Server {
@@ -481,7 +508,7 @@ func (s *Server) serveLockStep(conn net.Conn, br *bufio.Reader, ca *connAuth, fi
 		if err != nil {
 			return
 		}
-		respBody, opErr := s.dispatch(ca, op, body)
+		respBody, opErr := s.dispatchMeasured(ca, op, body)
 		s.armWriteDeadline(conn)
 		if opErr != nil {
 			if err := writeFrame(conn, statusOf(opErr), []byte(opErr.Error())); err != nil {
@@ -506,7 +533,7 @@ func (s *Server) serveLockStep(conn net.Conn, br *bufio.Reader, ca *connAuth, fi
 // responses into one syscall.
 func heavyOp(op byte) bool {
 	switch op {
-	case OpSweep, OpStats, OpSubmitBatch, OpReplyBatch, OpFetchBatch, OpHint, OpHandoff:
+	case OpSweep, OpStats, OpSubmitBatch, OpReplyBatch, OpFetchBatch, OpHint, OpHandoff, OpAdmin:
 		return true
 	}
 	return false
@@ -555,7 +582,7 @@ func (s *Server) serveMux(conn net.Conn, br *bufio.Reader, ca *connAuth) {
 			return
 		}
 		if !heavyOp(op) {
-			respBody, opErr := s.dispatch(ca, op, body)
+			respBody, opErr := s.dispatchMeasured(ca, op, body)
 			respond(seq, respBody, opErr)
 			putMuxBuf(buf)
 			continue
@@ -565,7 +592,7 @@ func (s *Server) serveMux(conn net.Conn, br *bufio.Reader, ca *connAuth) {
 		go func(seq uint64, op byte, body []byte, buf *[]byte) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			respBody, opErr := s.dispatch(ca, op, body)
+			respBody, opErr := s.dispatchMeasured(ca, op, body)
 			respond(seq, respBody, opErr)
 			putMuxBuf(buf)
 		}(seq, op, body, buf)
@@ -714,6 +741,8 @@ func (s *Server) dispatch(ca *connAuth, op byte, body []byte) ([]byte, error) {
 			return nil, err
 		}
 		return broker.MarshalPeerList(s.opts.Replica.Peers()), nil
+	case OpAdmin:
+		return s.handleAdmin(ctx, body)
 	default:
 		return nil, fmt.Errorf("transport: unknown opcode %d", op)
 	}
@@ -770,14 +799,27 @@ func (c *Client) Close() error {
 	return c.conn.Close()
 }
 
-// call performs one request/response round trip. The context composes with
-// the per-call timeout, earliest wins: the connection's read deadline is set
-// to whichever bound expires first, and a cancellation pops the deadline
+// call performs one request/response round trip, recording it against the
+// options' ClientMetrics when configured.
+func (c *Client) call(ctx context.Context, op byte, body []byte) ([]byte, error) {
+	m := c.opts.Metrics
+	if m == nil {
+		return c.roundTrip(ctx, op, body)
+	}
+	start := time.Now()
+	resp, err := c.roundTrip(ctx, op, body)
+	m.record(op, start, err)
+	return resp, err
+}
+
+// roundTrip performs one request/response round trip. The context composes
+// with the per-call timeout, earliest wins: the connection's read deadline is
+// set to whichever bound expires first, and a cancellation pops the deadline
 // immediately. Because the lock-step framing has no sequence numbers, an
 // interrupted call leaves the connection mid-response and therefore
 // unusable — unlike the multiplexed client, a lock-step cancellation costs
 // the connection (pools observe a plain transport error and recycle it).
-func (c *Client) call(ctx context.Context, op byte, body []byte) ([]byte, error) {
+func (c *Client) roundTrip(ctx context.Context, op byte, body []byte) ([]byte, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}

@@ -103,6 +103,11 @@ type Config struct {
 	// connection; the broker pins the courier's operations and bottle
 	// ownership to its identity. Empty sends none.
 	Token []byte
+	// Metrics, when set, records per-opcode round-trip latency and error
+	// counts on every pooled connection. One ClientMetrics may be shared by
+	// many couriers (a ring passes its template's to every rack) so the
+	// series aggregate.
+	Metrics *transport.ClientMetrics
 }
 
 // slot is one pooled connection, dialed lazily and discarded on failure.
@@ -184,7 +189,7 @@ func (c *Courier) dialConn() (broker.Backend, error) {
 		}
 		nc = tls.Client(nc, tc)
 	}
-	opts := transport.Options{CallTimeout: c.cfg.CallTimeout, WriteTimeout: c.cfg.WriteTimeout, Token: c.cfg.Token}
+	opts := transport.Options{CallTimeout: c.cfg.CallTimeout, WriteTimeout: c.cfg.WriteTimeout, Token: c.cfg.Token, Metrics: c.cfg.Metrics}
 	if c.cfg.Legacy {
 		return transport.NewClient(nc, opts), nil
 	}

@@ -147,6 +147,14 @@ type Ring struct {
 	readRepairs  atomic.Uint64
 	replicaDedup atomic.Uint64
 
+	// hintsSent counts handoff records successfully queued on a relay for a
+	// replica this ring could not write to directly.
+	hintsSent atomic.Uint64
+
+	// metrics, when set (RegisterMetrics), records health ejections and
+	// readmissions; loaded atomically because registration may race routing.
+	metrics atomic.Pointer[ringMetrics]
+
 	courierTmpl Config
 	closed      chan struct{}
 	closeOnce   sync.Once
@@ -284,10 +292,14 @@ func rackFault(err error) bool {
 		errors.Is(err, ErrCourierClosed):
 		return false // in-process racks return these unwrapped
 	case errors.Is(err, broker.ErrUnauthorized),
-		errors.Is(err, broker.ErrOverload):
+		errors.Is(err, broker.ErrOverload),
+		errors.Is(err, broker.ErrDraining):
 		// Definitive admission answers: a rack shedding one identity's flood
 		// (or refusing an imposter) is healthy — ejecting it would let an
-		// attacker take racks out of the ring by being refused.
+		// attacker take racks out of the ring by being refused. A draining
+		// rack likewise: it is still serving sweeps, replies and the replica
+		// stream, so it stays in the ring while handoff hints migrate new
+		// writes to the surviving replicas.
 		return false
 	}
 	var we *broker.WireError
@@ -297,16 +309,24 @@ func rackFault(err error) bool {
 	return true
 }
 
-// note records one call outcome against a rack's health.
+// note records one call outcome against a rack's health. The CompareAndSwap
+// on the down flag makes the ejection/readmission transitions observable
+// exactly once each, so the metrics count state changes, not samples.
 func (r *Ring) note(n *rackNode, err error) {
 	if rackFault(err) {
-		if n.fails.Add(1) >= int32(r.failThreshold) {
-			n.down.Store(true)
+		if n.fails.Add(1) >= int32(r.failThreshold) && n.down.CompareAndSwap(false, true) {
+			if m := r.metrics.Load(); m != nil {
+				m.ejections.Inc()
+			}
 		}
 		return
 	}
 	n.fails.Store(0)
-	n.down.Store(false)
+	if n.down.CompareAndSwap(true, false) {
+		if m := r.metrics.Load(); m != nil {
+			m.readmissions.Inc()
+		}
+	}
 }
 
 // healthy returns the racks currently admitted to routing, in rack order.

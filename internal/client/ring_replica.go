@@ -199,7 +199,10 @@ func (r *Ring) sendHints(ctx context.Context, h *hintSet) {
 		if ctx.Err() != nil {
 			return
 		}
-		_, err := k.via.b.(broker.Hinter).Hint(ctx, k.dest, recs)
+		n, err := k.via.b.(broker.Hinter).Hint(ctx, k.dest, recs)
+		if err == nil {
+			r.hintsSent.Add(uint64(n))
+		}
 		r.note(k.via, err)
 	}
 }
@@ -466,12 +469,15 @@ func classify(err error) replyClass {
 		return classMissing
 	case closedBackend(err), rackFault(err):
 		return classFault
-	case errors.Is(err, broker.ErrOverload):
+	case errors.Is(err, broker.ErrOverload), errors.Is(err, broker.ErrDraining):
 		// A quota shed is transient, like an unreachable replica: the write
 		// must still converge onto this replica through handoff hints
 		// (delivered over the quota-exempt replica channel). It is NOT a
 		// health fault — classFault here only routes hint queuing and error
-		// precedence; consecutive-fault counting happens in Ring.note.
+		// precedence; consecutive-fault counting happens in Ring.note. A
+		// draining rack is the same shape: its submit refusal queues a hint,
+		// the acked write lands on the surviving replicas, and the drained
+		// rack catches up over the handoff stream if it returns.
 		return classFault
 	default:
 		return classOther

@@ -3,6 +3,7 @@ package client
 import (
 	"context"
 	"errors"
+	"time"
 
 	"sealedbottle/internal/broker"
 	"sealedbottle/internal/broker/transport"
@@ -34,6 +35,10 @@ type SweeperConfig struct {
 	// OnResult, when non-nil, observes every evaluated bottle with the
 	// participant's verdict, before its reply (if any) is posted.
 	OnResult func(pkg *core.RequestPackage, res *core.HandleResult)
+	// Metrics, when non-nil, records every completed tick (duration
+	// histogram plus the TickStats counters). One SweeperMetrics is shared
+	// by all sweepers of a process so the series aggregate.
+	Metrics *SweeperMetrics
 }
 
 // TickStats summarizes one sweep-evaluate-reply cycle.
@@ -116,6 +121,10 @@ func NewSweeper(rv broker.Backend, cfg SweeperConfig) (*Sweeper, error) {
 // reported in the stats. Cancellation between sweep and post queues the
 // tick's replies for the next Tick instead of dropping them.
 func (s *Sweeper) Tick(ctx context.Context) (TickStats, error) {
+	var start time.Time
+	if s.cfg.Metrics != nil {
+		start = time.Now()
+	}
 	res, err := s.rv.Sweep(ctx, broker.SweepQuery{
 		Residues:      s.residues,
 		Limit:         s.cfg.Limit,
@@ -198,6 +207,9 @@ func (s *Sweeper) Tick(ctx context.Context) (TickStats, error) {
 		// Shed the oldest queued replies; their failures were already
 		// reported in the ticks that queued them.
 		s.pending = append(s.pending[:0], s.pending[excess:]...)
+	}
+	if s.cfg.Metrics != nil {
+		s.cfg.Metrics.record(start, st)
 	}
 	return st, nil
 }

@@ -1,0 +1,54 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler serves the registry as a Prometheus /metrics endpoint.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		// Render errors past the header can't be reported to the scraper;
+		// a broken pipe mid-scrape is the client's problem.
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// OpsMux builds the process's operational HTTP mux:
+//
+//	/metrics      — Prometheus exposition of reg
+//	/healthz      — liveness: 200 once the process is serving HTTP at all
+//	/readyz       — readiness per the ready callback (e.g. WAL replay done,
+//	                TLS material loaded); 503 with the reason until then
+//	/debug/pprof/ — the standard profiling handlers, mounted explicitly so
+//	                the ops mux never depends on http.DefaultServeMux
+//
+// ready may be nil, in which case /readyz behaves like /healthz. The ops
+// port is operational surface, not client surface: bind it to loopback or an
+// admin network, never the rack's public address.
+func OpsMux(reg *Registry, ready func() error) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", Handler(reg))
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if ready != nil {
+			if err := ready(); err != nil {
+				w.WriteHeader(http.StatusServiceUnavailable)
+				w.Write([]byte(err.Error() + "\n"))
+				return
+			}
+		}
+		w.Write([]byte("ready\n"))
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

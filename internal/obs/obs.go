@@ -1,0 +1,451 @@
+// Package obs is the module's dependency-free observability substrate: a
+// metrics registry of counters, gauges and fixed-bucket latency histograms
+// that renders the Prometheus text exposition format (expo.go) and mounts as
+// an ops HTTP endpoint (http.go). Every layer of the stack — the transport
+// server and mux client, the broker's stats bridge, the courier/ring/sweeper
+// client side — instruments against this package, so one scrape of a
+// bottlerack's /metrics sees the whole submit → sweep → reply pipeline.
+//
+// Design constraints, in order:
+//
+//   - Recording must be allocation-free and lock-free: Counter.Inc,
+//     Gauge.Set and Histogram.Observe ride single atomics on the submit/sweep
+//     hot path, whose alloc budgets are pinned by testing.AllocsPerRun (the
+//     PR 7 regression gate). All the rendering cost lives at scrape time.
+//   - No dependencies: the exposition format is a line protocol, simple
+//     enough to emit directly; pulling a client library in for it would be
+//     the module's first external dependency.
+//   - Snapshots must merge: a ring aggregates per-rack histograms, and the
+//     experiment harness folds per-process snapshots into one report, so
+//     HistogramSnapshot.Merge adds same-shaped histograms bucketwise.
+//
+// Metrics are registered once (registration allocates and may take a lock;
+// recording never does). Counters that already exist elsewhere — the rack's
+// ShardStats, the replica node's hint counters — are not duplicated into
+// registry counters; a Collector bridges them, reading the source once per
+// scrape (see RegisterFunc and the broker package's stats collector).
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Label is one metric label pair, rendered as `key="value"` in the
+// exposition.
+type Label struct {
+	Key, Value string
+}
+
+// metricKind discriminates a family's exposition TYPE line.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	case kindHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// Counter is a monotonically increasing counter. The zero value is unusable;
+// obtain one from Registry.Counter.
+type Counter struct {
+	v      atomic.Uint64
+	labels string
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value reads the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a settable integer-valued gauge. The zero value is unusable;
+// obtain one from Registry.Gauge.
+type Gauge struct {
+	v      atomic.Int64
+	labels string
+}
+
+// Set replaces the gauge's value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adjusts the gauge by delta (negative to decrease).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Value reads the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// gaugeFunc is a gauge whose value is computed at scrape time.
+type gaugeFunc struct {
+	fn     func() float64
+	labels string
+}
+
+// DefaultLatencyBuckets is the histogram bucket layout used when a histogram
+// is registered with nil bounds: 50µs to 5s in a coarse exponential ladder,
+// wide enough to cover an in-memory point lookup and a cross-rack fsynced
+// sweep from the same layout (mergeable snapshots require every recorder to
+// agree on it).
+var DefaultLatencyBuckets = []time.Duration{
+	50 * time.Microsecond, 100 * time.Microsecond, 250 * time.Microsecond, 500 * time.Microsecond,
+	time.Millisecond, 2500 * time.Microsecond, 5 * time.Millisecond, 10 * time.Millisecond,
+	25 * time.Millisecond, 50 * time.Millisecond, 100 * time.Millisecond, 250 * time.Millisecond,
+	500 * time.Millisecond, time.Second, 2500 * time.Millisecond, 5 * time.Second,
+}
+
+// Histogram is a fixed-bucket latency histogram: Observe records one duration
+// into its bucket with two atomic adds and no allocation. Bucket bounds are
+// fixed at registration; the exposition renders them in seconds (the
+// Prometheus convention for *_seconds histograms). The zero value is
+// unusable; obtain one from Registry.Histogram.
+type Histogram struct {
+	// bounds are the inclusive upper bounds in nanoseconds, ascending; an
+	// implicit +Inf bucket follows the last.
+	bounds []int64
+	// counts[i] is the number of observations in bucket i (NOT cumulative;
+	// the exposition accumulates). len(counts) == len(bounds)+1.
+	counts []atomic.Uint64
+	sum    atomic.Int64 // summed nanoseconds
+	labels string
+}
+
+// Observe records one duration. It is lock-free and allocation-free.
+func (h *Histogram) Observe(d time.Duration) {
+	ns := int64(d)
+	if ns < 0 {
+		ns = 0
+	}
+	i := 0
+	for ; i < len(h.bounds); i++ {
+		if ns <= h.bounds[i] {
+			break
+		}
+	}
+	h.counts[i].Add(1)
+	h.sum.Add(ns)
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram, mergeable with
+// same-shaped snapshots. Because recording is lock-free, a snapshot taken
+// under concurrent writes may be torn by a handful of observations — fine
+// for monitoring, not a consistency point.
+type HistogramSnapshot struct {
+	// Bounds are the inclusive bucket upper bounds, ascending; an implicit
+	// +Inf bucket follows the last.
+	Bounds []time.Duration
+	// Counts are per-bucket (non-cumulative) observation counts,
+	// len(Bounds)+1.
+	Counts []uint64
+	// Count is the total number of observations.
+	Count uint64
+	// Sum is the sum of all observed durations.
+	Sum time.Duration
+}
+
+// Snapshot copies the histogram's current state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds: make([]time.Duration, len(h.bounds)),
+		Counts: make([]uint64, len(h.counts)),
+		Sum:    time.Duration(h.sum.Load()),
+	}
+	for i, b := range h.bounds {
+		s.Bounds[i] = time.Duration(b)
+	}
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		s.Counts[i] = c
+		s.Count += c
+	}
+	return s
+}
+
+// Merge adds other into s bucketwise. The two snapshots must share a bucket
+// layout — merged histograms only mean anything when every recorder agreed
+// on the bounds.
+func (s *HistogramSnapshot) Merge(other HistogramSnapshot) error {
+	if len(s.Bounds) != len(other.Bounds) {
+		return fmt.Errorf("obs: merging histograms with %d vs %d buckets", len(s.Bounds), len(other.Bounds))
+	}
+	for i := range s.Bounds {
+		if s.Bounds[i] != other.Bounds[i] {
+			return fmt.Errorf("obs: merging histograms with mismatched bucket bound %v vs %v", s.Bounds[i], other.Bounds[i])
+		}
+	}
+	for i := range s.Counts {
+		s.Counts[i] += other.Counts[i]
+	}
+	s.Count += other.Count
+	s.Sum += other.Sum
+	return nil
+}
+
+// Quantile estimates the q-quantile (0..1) from the bucket counts by linear
+// interpolation within the containing bucket — the same estimate a
+// Prometheus histogram_quantile produces from this data.
+func (s HistogramSnapshot) Quantile(q float64) time.Duration {
+	if s.Count == 0 || q <= 0 {
+		return 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	var cum float64
+	for i, c := range s.Counts {
+		prev := cum
+		cum += float64(c)
+		if cum < rank || c == 0 {
+			continue
+		}
+		var lo, hi float64
+		if i < len(s.Bounds) {
+			hi = float64(s.Bounds[i])
+		} else {
+			// The +Inf bucket has no upper bound; report its lower edge (the
+			// largest finite bound) rather than inventing one.
+			return s.Bounds[len(s.Bounds)-1]
+		}
+		if i > 0 {
+			lo = float64(s.Bounds[i-1])
+		}
+		return time.Duration(lo + (hi-lo)*(rank-prev)/float64(c))
+	}
+	if len(s.Bounds) == 0 {
+		return 0
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}
+
+// metric is one registered series within a family.
+type metric struct {
+	c  *Counter
+	g  *Gauge
+	gf *gaugeFunc
+	h  *Histogram
+}
+
+// family groups the series sharing one metric name; the exposition emits one
+// HELP/TYPE header per family.
+type family struct {
+	name    string
+	help    string
+	kind    metricKind
+	metrics []metric
+}
+
+// Collector contributes scrape-time series computed from state that lives
+// outside the registry (the rack's Stats, a ring's health table). Collect is
+// called once per exposition, after the registered metrics.
+type Collector interface {
+	Collect(e *Emitter)
+}
+
+// CollectorFunc adapts a function to the Collector interface.
+type CollectorFunc func(e *Emitter)
+
+// Collect calls f.
+func (f CollectorFunc) Collect(e *Emitter) { f(e) }
+
+// Registry holds registered metrics and collectors and renders them in
+// registration order. Registration is synchronized and may allocate;
+// recording against the returned metrics never does. A nil *Registry is a
+// valid no-op sink: every Register* method returns a usable (but unexported
+// and never-rendered) metric, so instrumented code does not nil-check.
+type Registry struct {
+	mu         sync.Mutex
+	families   []*family
+	byName     map[string]*family
+	collectors []Collector
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*family)}
+}
+
+// add registers one series under name, creating or extending its family.
+// Mixed kinds under one name are a programming error and panic — the
+// exposition could not render them.
+func (r *Registry) add(name, help string, kind metricKind, m metric) {
+	if !validMetricName(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.byName[name]
+	if !ok {
+		f = &family{name: name, help: help, kind: kind}
+		r.byName[name] = f
+		r.families = append(r.families, f)
+	} else if f.kind != kind {
+		panic(fmt.Sprintf("obs: metric %q registered as both %v and %v", name, f.kind, kind))
+	}
+	f.metrics = append(f.metrics, m)
+}
+
+// Counter registers and returns a counter series.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	c := &Counter{labels: renderLabels(labels)}
+	if r != nil {
+		r.add(name, help, kindCounter, metric{c: c})
+	}
+	return c
+}
+
+// Gauge registers and returns a gauge series.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	g := &Gauge{labels: renderLabels(labels)}
+	if r != nil {
+		r.add(name, help, kindGauge, metric{g: g})
+	}
+	return g
+}
+
+// GaugeFunc registers a gauge series whose value fn computes at scrape time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	if r == nil {
+		return
+	}
+	r.add(name, help, kindGauge, metric{gf: &gaugeFunc{fn: fn, labels: renderLabels(labels)}})
+}
+
+// Histogram registers and returns a histogram series. A nil bounds slice
+// uses DefaultLatencyBuckets; explicit bounds must be ascending.
+func (r *Registry) Histogram(name, help string, bounds []time.Duration, labels ...Label) *Histogram {
+	if bounds == nil {
+		bounds = DefaultLatencyBuckets
+	}
+	h := &Histogram{
+		bounds: make([]int64, len(bounds)),
+		counts: make([]atomic.Uint64, len(bounds)+1),
+		labels: renderLabels(labels),
+	}
+	for i, b := range bounds {
+		if i > 0 && int64(b) <= h.bounds[i-1] {
+			panic(fmt.Sprintf("obs: histogram %q bounds not ascending at %v", name, b))
+		}
+		h.bounds[i] = int64(b)
+	}
+	if r != nil {
+		r.add(name, help, kindHistogram, metric{h: h})
+	}
+	return h
+}
+
+// Register adds a scrape-time collector; collectors run after the registered
+// metrics, in registration order.
+func (r *Registry) Register(c Collector) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.collectors = append(r.collectors, c)
+	r.mu.Unlock()
+}
+
+// RegisterFunc adds a scrape-time collector function.
+func (r *Registry) RegisterFunc(fn func(e *Emitter)) { r.Register(CollectorFunc(fn)) }
+
+// snapshotFamilies copies the family/collector lists so the exposition
+// renders without holding the registration lock.
+func (r *Registry) snapshotFamilies() ([]*family, []Collector) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]*family(nil), r.families...), append([]Collector(nil), r.collectors...)
+}
+
+// validMetricName enforces the Prometheus metric-name charset
+// ([a-zA-Z_:][a-zA-Z0-9_:]*); rejecting bad names at registration keeps the
+// scrape output parseable no matter what.
+func validMetricName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// renderLabels renders a label set once, at registration, into the exact
+// `{k="v",...}` byte form the exposition writes — recording pays nothing and
+// scraping pays a copy.
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	sorted := append([]Label(nil), labels...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Key < sorted[j].Key })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range sorted {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabelValue escapes a label value per the exposition format.
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, c := range v {
+		switch c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(c)
+		}
+	}
+	return b.String()
+}
+
+// secondsOf converts a duration bound to the seconds float the exposition
+// renders.
+func secondsOf(d time.Duration) float64 {
+	return float64(d) / float64(time.Second)
+}
+
+// infSeconds marks the +Inf bucket bound.
+var infSeconds = math.Inf(1)

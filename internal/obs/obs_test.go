@@ -1,0 +1,243 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestExpositionGolden pins the exact exposition output for one registry
+// holding every metric kind plus a collector: HELP/TYPE grouping, label
+// rendering, cumulative histogram buckets with seconds-denominated le
+// bounds, and the +Inf terminal bucket. The format is contractual — the CI
+// cluster smoke greps and sums these lines with shell tools.
+func TestExpositionGolden(t *testing.T) {
+	reg := NewRegistry()
+
+	subs := reg.Counter("sealedbottle_submitted_total", "Bottles accepted.", Label{"op", "submit"})
+	subs.Add(41)
+	subs.Inc()
+
+	held := reg.Gauge("sealedbottle_held", "Bottles currently held.")
+	held.Set(7)
+
+	reg.GaugeFunc("sealedbottle_up", "Always one.", func() float64 { return 1 })
+
+	h := reg.Histogram("sealedbottle_op_latency_seconds", "Per-op latency.",
+		[]time.Duration{time.Millisecond, 10 * time.Millisecond}, Label{"op", "sweep"})
+	h.Observe(500 * time.Microsecond) // bucket 0
+	h.Observe(time.Millisecond)       // bucket 0 (inclusive upper bound)
+	h.Observe(2 * time.Millisecond)   // bucket 1
+	h.Observe(time.Second)            // +Inf bucket
+
+	reg.RegisterFunc(func(e *Emitter) {
+		e.Counter("sealedbottle_collected_total", "From a collector.", 9, Label{"src", `q"x`})
+	})
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	want := `# HELP sealedbottle_submitted_total Bottles accepted.
+# TYPE sealedbottle_submitted_total counter
+sealedbottle_submitted_total{op="submit"} 42
+# HELP sealedbottle_held Bottles currently held.
+# TYPE sealedbottle_held gauge
+sealedbottle_held 7
+# HELP sealedbottle_up Always one.
+# TYPE sealedbottle_up gauge
+sealedbottle_up 1
+# HELP sealedbottle_op_latency_seconds Per-op latency.
+# TYPE sealedbottle_op_latency_seconds histogram
+sealedbottle_op_latency_seconds_bucket{op="sweep",le="0.001"} 2
+sealedbottle_op_latency_seconds_bucket{op="sweep",le="0.01"} 3
+sealedbottle_op_latency_seconds_bucket{op="sweep",le="+Inf"} 4
+sealedbottle_op_latency_seconds_sum{op="sweep"} 1.0035
+sealedbottle_op_latency_seconds_count{op="sweep"} 4
+# HELP sealedbottle_collected_total From a collector.
+# TYPE sealedbottle_collected_total counter
+sealedbottle_collected_total{src="q\"x"} 9
+`
+	if got := b.String(); got != want {
+		t.Errorf("exposition mismatch\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestExpositionSharedFamily checks that two series under one name share a
+// single HELP/TYPE header, and that a collector extending a registered
+// family does not repeat it either.
+func TestExpositionSharedFamily(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("ops_total", "Ops.", Label{"op", "a"}).Inc()
+	reg.Counter("ops_total", "Ops.", Label{"op", "b"}).Add(2)
+	reg.RegisterFunc(func(e *Emitter) {
+		e.Counter("ops_total", "Ops.", 3, Label{"op", "c"})
+	})
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	got := b.String()
+	if n := strings.Count(got, "# TYPE ops_total counter"); n != 1 {
+		t.Errorf("want exactly one TYPE header, got %d in:\n%s", n, got)
+	}
+	for _, line := range []string{`ops_total{op="a"} 1`, `ops_total{op="b"} 2`, `ops_total{op="c"} 3`} {
+		if !strings.Contains(got, line+"\n") {
+			t.Errorf("missing %q in:\n%s", line, got)
+		}
+	}
+}
+
+func TestHistogramSnapshotMerge(t *testing.T) {
+	bounds := []time.Duration{time.Millisecond, 10 * time.Millisecond}
+	a := NewRegistry().Histogram("h", "", bounds)
+	b := NewRegistry().Histogram("h", "", bounds)
+	a.Observe(0)
+	a.Observe(5 * time.Millisecond)
+	b.Observe(5 * time.Millisecond)
+	b.Observe(time.Minute)
+
+	sa, sb := a.Snapshot(), b.Snapshot()
+	if err := sa.Merge(sb); err != nil {
+		t.Fatalf("Merge: %v", err)
+	}
+	if sa.Count != 4 {
+		t.Errorf("merged Count = %d, want 4", sa.Count)
+	}
+	if want := []uint64{1, 2, 1}; len(sa.Counts) != 3 || sa.Counts[0] != want[0] || sa.Counts[1] != want[1] || sa.Counts[2] != want[2] {
+		t.Errorf("merged Counts = %v, want %v", sa.Counts, want)
+	}
+	if want := 10*time.Millisecond + time.Minute; sa.Sum != want {
+		t.Errorf("merged Sum = %v, want %v", sa.Sum, want)
+	}
+
+	// Mismatched layouts must refuse to merge rather than produce a
+	// plausible-looking lie.
+	c := NewRegistry().Histogram("h", "", []time.Duration{time.Millisecond})
+	if err := sa.Merge(c.Snapshot()); err == nil {
+		t.Error("merge across bucket counts: want error, got nil")
+	}
+	d := NewRegistry().Histogram("h", "", []time.Duration{time.Millisecond, 20 * time.Millisecond})
+	if err := sa.Merge(d.Snapshot()); err == nil {
+		t.Error("merge across bucket bounds: want error, got nil")
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewRegistry().Histogram("h", "", []time.Duration{time.Millisecond, 10 * time.Millisecond, 100 * time.Millisecond})
+	for i := 0; i < 100; i++ {
+		h.Observe(500 * time.Microsecond)
+	}
+	for i := 0; i < 100; i++ {
+		h.Observe(5 * time.Millisecond)
+	}
+	s := h.Snapshot()
+	// p50 falls on the boundary of the first bucket; p75 interpolates
+	// halfway through the 1ms..10ms bucket.
+	if q := s.Quantile(0.5); q != time.Millisecond {
+		t.Errorf("p50 = %v, want 1ms", q)
+	}
+	if q := s.Quantile(0.75); q != 5500*time.Microsecond {
+		t.Errorf("p75 = %v, want 5.5ms", q)
+	}
+	var empty HistogramSnapshot
+	if q := empty.Quantile(0.99); q != 0 {
+		t.Errorf("empty quantile = %v, want 0", q)
+	}
+}
+
+// TestRecordAllocFree pins the recording hot path at zero allocations —
+// instrumentation rides inside paths whose budgets BenchmarkBrokerSubmitDurable
+// and the mux alloc tests enforce, so any allocation here would fail those
+// gates too.
+func TestRecordAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector instrumentation allocates; budgets are pinned by the non-race run")
+	}
+	reg := NewRegistry()
+	c := reg.Counter("c_total", "")
+	g := reg.Gauge("g", "")
+	h := reg.Histogram("h_seconds", "", nil)
+	requireZeroAllocs(t, "Counter.Inc", func() { c.Inc() })
+	requireZeroAllocs(t, "Gauge.Set", func() { g.Set(3) })
+	requireZeroAllocs(t, "Histogram.Observe", func() { h.Observe(3 * time.Millisecond) })
+}
+
+func requireZeroAllocs(t *testing.T, name string, f func()) {
+	t.Helper()
+	if avg := testing.AllocsPerRun(200, f); avg != 0 {
+		t.Errorf("%s: %v allocs/op, want 0", name, avg)
+	}
+}
+
+// TestConcurrentRecording exercises the lock-free recorders under the race
+// detector.
+func TestConcurrentRecording(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("c_total", "")
+	h := reg.Histogram("h_seconds", "", nil)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				h.Observe(time.Duration(j) * time.Microsecond)
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 20; i++ {
+			var b strings.Builder
+			if err := reg.WritePrometheus(&b); err != nil {
+				t.Errorf("WritePrometheus: %v", err)
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+	if c.Value() != 4000 {
+		t.Errorf("counter = %d, want 4000", c.Value())
+	}
+	if s := h.Snapshot(); s.Count != 4000 {
+		t.Errorf("histogram count = %d, want 4000", s.Count)
+	}
+}
+
+// TestNilRegistry checks the no-op sink contract: instrumented code holds
+// metrics from a nil registry without nil checks at record time.
+func TestNilRegistry(t *testing.T) {
+	var reg *Registry
+	reg.Counter("c_total", "").Inc()
+	reg.Gauge("g", "").Set(1)
+	reg.Histogram("h_seconds", "", nil).Observe(time.Second)
+	reg.GaugeFunc("gf", "", func() float64 { return 1 })
+	reg.RegisterFunc(func(e *Emitter) {})
+	if err := reg.WritePrometheus(&strings.Builder{}); err != nil {
+		t.Fatalf("nil WritePrometheus: %v", err)
+	}
+}
+
+func TestInvalidRegistrationPanics(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("dual", "")
+	for name, f := range map[string]func(){
+		"bad name":        func() { reg.Counter("bad name", "") },
+		"kind mismatch":   func() { reg.Gauge("dual", "") },
+		"unsorted bounds": func() { reg.Histogram("h", "", []time.Duration{2, 1}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: want panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,7 @@
+//go:build race
+
+package obs
+
+// raceEnabled reports that the race detector is instrumenting this build;
+// its bookkeeping allocates, so allocation-budget tests skip themselves.
+const raceEnabled = true

@@ -29,6 +29,14 @@
 # and that the restarted rack converges via the mTLS-dialed, replica-scope-
 # token-authenticated handoff stream.
 #
+# Phase 5 (drain under load): three replicated racks, loadgen mid-flight, one
+# rack put into drain mode with `sealedbottle admin drain`. The drained rack
+# answers new submits with the typed ErrDraining — which the ring reroutes to
+# the surviving replica, queueing a hint — while its sweeps, replies and
+# replica stream keep serving. Asserts loadgen finishes with -verify-replies
+# clean (zero acknowledged replies lost across the drain) and that the rack
+# reports draining over its admin status.
+#
 # Run from the repository root:  ./scripts/chaos_smoke.sh
 set -euo pipefail
 
@@ -226,4 +234,34 @@ cat "$OUT/loadgen-tls.out"
 grep -q "^verified " "$OUT/loadgen-tls.out"
 wait_handoff
 echo "chaos: restarted secured rack converged via authenticated handoff"
+stop_cluster
+
+# ---- Phase 5: drain one rack under load -------------------------------------
+: >"$OUT/r0.log"; : >"$OUT/r1.log"; : >"$OUT/r2.log"
+start_cluster
+
+"$BIN/loadgen" -addrs "$ADDRS" \
+  -bottles "$BOTTLES" -batch 32 -submitters 4 -sweepers 2 \
+  -replication 2 -verify-replies >"$OUT/loadgen-drain.out" 2>&1 &
+LG=$!
+
+sleep 2
+if ! kill -0 "$LG" 2>/dev/null; then
+  echo "chaos: loadgen finished before the drain — raise BOTTLES" >&2
+  cat "$OUT/loadgen-drain.out" >&2
+  exit 1
+fi
+"$BIN/sealedbottle" admin drain -addr "127.0.0.1:$P2" | tee "$OUT/drain.out"
+grep -q "draining=true" "$OUT/drain.out"
+echo "chaos: rack r2 draining mid-load (submits rerouted, reads still serving)"
+
+if ! wait "$LG"; then
+  echo "chaos: loadgen failed across the drain — acknowledged replies were lost" >&2
+  cat "$OUT/loadgen-drain.out" >&2
+  exit 1
+fi
+cat "$OUT/loadgen-drain.out"
+grep -q "^verified " "$OUT/loadgen-drain.out"
+"$BIN/sealedbottle" admin undrain -addr "127.0.0.1:$P2" >/dev/null
+echo "chaos: drain under load lost zero acknowledged replies"
 echo "chaos smoke passed"

@@ -39,12 +39,14 @@ package sealedbottle
 
 import (
 	"context"
+	"net/http"
 	"time"
 
 	"sealedbottle/internal/auth"
 	"sealedbottle/internal/broker"
 	"sealedbottle/internal/broker/transport"
 	"sealedbottle/internal/client"
+	"sealedbottle/internal/obs"
 	"sealedbottle/internal/replica"
 )
 
@@ -269,6 +271,11 @@ var (
 	// quota; the operation was shed and may be retried after backoff. A
 	// definitive answer, never a rack fault.
 	ErrOverload = broker.ErrOverload
+	// ErrDraining indicates a rack in drain mode refused a new submission; it
+	// keeps serving sweeps, replies, fetches and replica traffic. A definitive
+	// answer, never a rack fault; rings route the write to a surviving replica
+	// and queue a hint, so drains lose no acked writes.
+	ErrDraining = broker.ErrDraining
 )
 
 // ErrCode is the one-byte error classification carried by the wire
@@ -287,6 +294,7 @@ const (
 	CodeInternal        = broker.CodeInternal
 	CodeUnauthorized    = broker.CodeUnauthorized
 	CodeOverload        = broker.CodeOverload
+	CodeDraining        = broker.CodeDraining
 )
 
 // RemoteError is an error the server computed and answered for one
@@ -314,6 +322,10 @@ const (
 	AuthOpsClient = auth.OpsClient
 	// AuthOpsAll permits everything, replication included — rack identities.
 	AuthOpsAll = auth.OpsAll
+	// AuthOpAdmin permits the rack control plane (drain, snapshot, quota
+	// reload) — an operator credential, not a client one. AuthOpsAll includes
+	// it; AuthOpsClient deliberately does not.
+	AuthOpAdmin = auth.OpAdmin
 )
 
 // ParseAuthOps parses a comma-separated scope list ("submit,fetch", "client",
@@ -345,3 +357,78 @@ type Admission = broker.Admission
 // NewAdmission builds an admission controller; a rate <= 0 returns nil
 // (admission disabled), so flag values pass straight through.
 func NewAdmission(rate float64, burst int) *Admission { return broker.NewAdmission(rate, burst) }
+
+// ObsRegistry is the dependency-free metrics registry behind every
+// sealedbottle_* series: counters, gauges and fixed-bucket latency histograms
+// with an alloc-free record path and Prometheus text exposition. One registry
+// per process; hand it to NewServerMetrics / NewClientMetrics /
+// NewSweeperMetrics / Ring.RegisterMetrics and serve it with ObsHandler.
+type ObsRegistry = obs.Registry
+
+// NewObsRegistry builds an empty metrics registry.
+func NewObsRegistry() *ObsRegistry { return obs.NewRegistry() }
+
+// ObsHandler serves a registry in Prometheus text exposition format — mount
+// it wherever the embedding process keeps its ops endpoints.
+func ObsHandler(reg *ObsRegistry) http.Handler { return obs.Handler(reg) }
+
+// NewOpsMux builds the standard ops surface over a registry: /metrics,
+// /healthz, /readyz (503 with the reason until ready returns nil; a nil ready
+// reports ready immediately) and /debug/pprof. This is what bottlerack serves
+// on -ops-addr.
+func NewOpsMux(reg *ObsRegistry, ready func() error) *http.ServeMux {
+	return obs.OpsMux(reg, ready)
+}
+
+// ServerMetrics instruments a Server: per-opcode latency histograms,
+// request/error counters, request and response byte counters, plus
+// unauthorized/overload/draining refusal counters. Mount via
+// ServerOptions.Metrics; recording is alloc-free.
+type ServerMetrics = transport.ServerMetrics
+
+// NewServerMetrics registers the server-side wire series on reg.
+func NewServerMetrics(reg *ObsRegistry) *ServerMetrics { return transport.NewServerMetrics(reg) }
+
+// ClientMetrics instruments wire clients with per-opcode round-trip latency
+// histograms and error counters. Mount via CourierConfig.Metrics (one shared
+// instance per process, so series aggregate across couriers and rings).
+type ClientMetrics = transport.ClientMetrics
+
+// NewClientMetrics registers the client-side wire series on reg.
+func NewClientMetrics(reg *ObsRegistry) *ClientMetrics { return transport.NewClientMetrics(reg) }
+
+// SweeperMetrics instruments sweepers: a tick-duration histogram and the
+// TickStats counters. Mount via SweeperConfig.Metrics (shareable across
+// sweepers).
+type SweeperMetrics = client.SweeperMetrics
+
+// NewSweeperMetrics registers the sweeper series on reg.
+func NewSweeperMetrics(reg *ObsRegistry) *SweeperMetrics { return client.NewSweeperMetrics(reg) }
+
+// AdminRequest is one control-plane command for a rack: a verb plus the quota
+// parameters the quota verb carries.
+type AdminRequest = broker.AdminRequest
+
+// AdminStatus is the rack's control-plane answer: drain state, held bottles,
+// WAL size and the live admission limits.
+type AdminStatus = broker.AdminStatus
+
+// Control-plane verbs for AdminRequest.Verb. Every verb answers with the
+// rack's AdminStatus after it took effect. On secured racks the admin opcode
+// requires the AuthOpAdmin capability and is admission-exempt.
+const (
+	// AdminVerbStatus reads the rack's admin status without side effects.
+	AdminVerbStatus = broker.AdminVerbStatus
+	// AdminVerbDrain stops the rack accepting new submissions (ErrDraining)
+	// while sweeps, replies, fetches and replica traffic keep serving.
+	AdminVerbDrain = broker.AdminVerbDrain
+	// AdminVerbUndrain restores submissions.
+	AdminVerbUndrain = broker.AdminVerbUndrain
+	// AdminVerbSnapshot writes a durability snapshot now.
+	AdminVerbSnapshot = broker.AdminVerbSnapshot
+	// AdminVerbQuota reloads the admission controller's rate and burst.
+	AdminVerbQuota = broker.AdminVerbQuota
+)
+
+// AdminVerbName names a control-plane verb for logs and CLI output.
+func AdminVerbName(v byte) string { return broker.AdminVerbName(v) }
